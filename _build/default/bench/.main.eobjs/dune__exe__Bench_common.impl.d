@@ -1,0 +1,1 @@
+bench/bench_common.ml: Analyze Bechamel Benchmark Float Hashtbl Int64 List Measure Monotonic_clock Ode_util Option Printf String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/exp_a1.ml: Bench_common List Ode_event Ode_util Printf

@@ -1,0 +1,1 @@
+bench/exp_a2.ml: Bechamel Bench_common List Ode Ode_objstore Ode_storage Ode_util Option Staged Test

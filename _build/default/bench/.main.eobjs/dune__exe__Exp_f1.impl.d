@@ -1,0 +1,1 @@
+bench/exp_f1.ml: Array Bechamel Bench_common Format List Ode Ode_event Ode_util Printf Staged Test

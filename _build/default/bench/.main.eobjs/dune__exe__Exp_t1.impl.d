@@ -1,0 +1,1 @@
+bench/exp_t1.ml: Bechamel Bench_common List Ode Ode_objstore Ode_trigger Ode_util Printf Staged Test

@@ -1,0 +1,1 @@
+bench/exp_t2.ml: Array Bechamel Bench_common Hashtbl List Ode_baselines Ode_event Ode_util Printf Staged Test

@@ -1,0 +1,1 @@
+bench/exp_t3.ml: Array Bechamel Bench_common List Ode_baselines Ode_event Ode_util Printf Staged Test

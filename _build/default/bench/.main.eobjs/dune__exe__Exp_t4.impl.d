@@ -1,0 +1,1 @@
+bench/exp_t4.ml: Array Bechamel Bench_common List Ode_baselines Ode_event Ode_util Staged Test

@@ -1,0 +1,1 @@
+bench/exp_t5.ml: Bechamel Bench_common List Ode Ode_objstore Ode_storage Ode_trigger Ode_util Printf Staged Test

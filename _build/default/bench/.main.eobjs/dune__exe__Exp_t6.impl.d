@@ -1,0 +1,1 @@
+bench/exp_t6.ml: Array Bench_common List Ode Ode_objstore Ode_storage Ode_util Printf

@@ -1,0 +1,1 @@
+bench/exp_t7.ml: Array Bench_common List Ode Ode_objstore Ode_util Printf

@@ -1,0 +1,1 @@
+bench/exp_t8.ml: Bench_common List Ode Ode_objstore Ode_trigger Ode_util Printf String

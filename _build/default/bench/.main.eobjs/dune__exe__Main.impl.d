@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_a1 Exp_a2 Exp_f1 Exp_t1 Exp_t2 Exp_t3 Exp_t4 Exp_t5 Exp_t6 Exp_t7 Exp_t8 List Printf String Sys

@@ -1,0 +1,61 @@
+(* Shared benchmark plumbing: run Bechamel test groups and extract ns/run
+   estimates; print aligned tables. *)
+
+open Bechamel
+module Table = Ode_util.Table
+
+let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+
+(* Run a list of tests, returning (name, ns per run) in input order. *)
+let run_tests ?(quota = 0.25) tests =
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ~kde:None ()
+  in
+  let grouped = Test.make_grouped ~name:"g" ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let strip name =
+    match String.index_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  (* Key the analysis results by their stripped test name. *)
+  let by_name = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun key ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> est
+        | Some _ | None -> nan
+      in
+      Hashtbl.replace by_name (strip key) est)
+    analyzed;
+  List.concat_map
+    (fun test ->
+      List.map
+        (fun name ->
+          let name = strip name in
+          (name, Option.value (Hashtbl.find_opt by_name name) ~default:nan))
+        (Test.names test))
+    tests
+
+let ns_cell ns = if Float.is_nan ns then "n/a" else Printf.sprintf "%.0f" ns
+
+let ratio_cell base ns =
+  if Float.is_nan ns || Float.is_nan base || base = 0.0 then "n/a"
+  else Printf.sprintf "%.2fx" (ns /. base)
+
+let section id title =
+  Printf.printf "\n%s\n" (String.make 72 '=');
+  Printf.printf "%s  %s\n" id title;
+  Printf.printf "%s\n" (String.make 72 '=')
+
+let note fmt = Printf.printf fmt
+
+(* Wall-clock of one thunk, in ns, single shot (for macro runs). *)
+let wall f =
+  let t0 = Monotonic_clock.now () in
+  let result = f () in
+  let t1 = Monotonic_clock.now () in
+  (result, Int64.to_float (Int64.sub t1 t0))

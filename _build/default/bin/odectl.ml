@@ -1,0 +1,198 @@
+(* odectl — command-line companion for the Ode reproduction.
+
+   odectl fsm -E a,b,c -M Low,High -e "a, b & Low"   compile an event
+       expression over an ad-hoc alphabet and print the machine (or dot)
+   odectl figure1                                    print the paper's
+       Figure 1 machine from the credit-card schema
+   odectl demo                                       a compact run of the
+       credit-card example *)
+
+open Cmdliner
+module Ast = Ode_event.Ast
+module Parser = Ode_event.Parser
+module Compile = Ode_event.Compile
+module Minimize = Ode_event.Minimize
+module Fsm = Ode_event.Fsm
+module Intern = Ode_event.Intern
+module Session = Ode.Session
+module Credit_card = Ode.Credit_card
+module Value = Ode_objstore.Value
+
+let split_commas s =
+  String.split_on_char ',' s |> List.map String.trim |> List.filter (fun s -> s <> "")
+
+(* ------------------------------------------------------------------ *)
+(* odectl fsm *)
+
+let fsm_cmd =
+  let run events masks expr_text dot raw =
+    let reg = Intern.create () in
+    let event_names = split_commas events in
+    if event_names = [] then `Error (false, "at least one event is required (-E)")
+    else begin
+      let table =
+        List.map (fun name -> (name, Intern.id reg ~cls:"cli" (Intern.User name))) event_names
+      in
+      let mask_names = split_commas masks in
+      let mask_table =
+        List.mapi (fun i name -> (name, { Ast.mask_id = i; mask_name = name })) mask_names
+      in
+      let env =
+        {
+          Parser.resolve_event =
+            (fun ?cls basic ->
+              ignore cls;
+              match basic with
+              | Intern.User name -> List.assoc_opt name table
+              | _ -> None);
+          resolve_mask = (fun name -> List.assoc_opt name mask_table);
+        }
+      in
+      match Parser.parse env expr_text with
+      | Error e -> `Error (false, Format.asprintf "%a" Parser.pp_error e)
+      | Ok (anchored, ast) -> begin
+          let alphabet = List.map snd table in
+          match
+            let fsm = Compile.compile ~alphabet ~anchored ast in
+            if raw then fsm else Minimize.simplify fsm |> Minimize.prune_mask_states
+          with
+          | exception Compile.Unsupported msg -> `Error (false, msg)
+          | fsm ->
+              let event_name id = Intern.name_of_id reg id in
+              if dot then print_string (Fsm.to_dot ~event_name fsm)
+              else begin
+                Format.printf "expression: %s%s@."
+                  (if anchored then "^ " else "")
+                  (Ast.to_string ~event_name ast);
+                Format.printf "%a@." (Fsm.pp ~event_name ()) fsm
+              end;
+              `Ok ()
+        end
+    end
+  in
+  let events =
+    Arg.(value & opt string "" & info [ "E"; "events" ] ~docv:"NAMES"
+           ~doc:"Comma-separated declared (user) events forming the class alphabet.")
+  in
+  let masks =
+    Arg.(value & opt string "" & info [ "M"; "masks" ] ~docv:"NAMES"
+           ~doc:"Comma-separated mask names usable with &.")
+  in
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR"
+           ~doc:"Event expression, e.g. 'relative((a & Low), b)'.")
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of a table.") in
+  let raw =
+    Arg.(value & flag & info [ "raw" ] ~doc:"Skip minimisation and mask-state pruning.")
+  in
+  Cmd.v
+    (Cmd.info "fsm" ~doc:"Compile an event expression to its trigger FSM")
+    Term.(ret (const run $ events $ masks $ expr $ dot $ raw))
+
+(* ------------------------------------------------------------------ *)
+(* odectl figure1 *)
+
+let figure1_cmd =
+  let run dot =
+    let env = Session.create () in
+    Credit_card.define_all env;
+    let fsm = Session.trigger_fsm env ~cls:"CredCard" ~trigger:"AutoRaiseLimit" in
+    let event_name id = Intern.name_of_id (Session.intern env) id in
+    if dot then print_string (Fsm.to_dot ~event_name fsm)
+    else Format.printf "%a@." (Fsm.pp ~event_name ()) fsm
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz.") in
+  Cmd.v
+    (Cmd.info "figure1" ~doc:"Print the paper's Figure 1 (AutoRaiseLimit FSM)")
+    Term.(const run $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* odectl opp *)
+
+let opp_cmd =
+  let run path show_fsms =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg -> `Error (false, msg)
+    | source -> begin
+        let env = Session.create () in
+        match Ode.Opp.load ~on_missing:`Stub env ~bindings:Ode.Opp.no_bindings source with
+        | exception Ode.Opp.Syntax_error { line; message } ->
+            `Error (false, Printf.sprintf "%s:%d: %s" path line message)
+        | exception Session.Ode_error msg -> `Error (false, msg)
+        | classes ->
+            let event_name id = Intern.name_of_id (Session.intern env) id in
+            List.iter
+              (fun cls ->
+                Printf.printf "class %s\n" cls;
+                let registry = Ode_trigger.Runtime.registry (Session.runtime env) in
+                let descriptor = Ode_trigger.Trigger_def.Registry.find_exn registry cls in
+                Array.iter
+                  (fun info ->
+                    Printf.printf "  trigger %s%s (%s): %d states\n"
+                      info.Ode_trigger.Trigger_def.t_name
+                      (if info.Ode_trigger.Trigger_def.t_perpetual then " [perpetual]" else "")
+                      (Ode_trigger.Coupling.to_string info.Ode_trigger.Trigger_def.t_coupling)
+                      (Fsm.num_states info.Ode_trigger.Trigger_def.t_fsm);
+                    if show_fsms then
+                      Format.printf "%a@."
+                        (Fsm.pp ~event_name ())
+                        info.Ode_trigger.Trigger_def.t_fsm)
+                  descriptor.Ode_trigger.Trigger_def.d_triggers)
+              classes;
+            `Ok ()
+      end
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"O++-style schema file (see examples/schemas/).")
+  in
+  let show = Arg.(value & flag & info [ "fsms" ] ~doc:"Print each trigger's compiled machine.") in
+  Cmd.v
+    (Cmd.info "opp" ~doc:"Check an O++-style schema and compile its trigger FSMs")
+    Term.(ret (const run $ path $ show))
+
+(* ------------------------------------------------------------------ *)
+(* odectl demo *)
+
+let demo_cmd =
+  let run store =
+    let kind = match store with "disk" -> `Disk | _ -> `Mem in
+    let env = Session.create ~store:kind () in
+    Credit_card.define_all env;
+    let card, merchant =
+      Session.with_txn env (fun txn ->
+          let customer = Credit_card.new_customer env txn ~name:"demo" in
+          let merchant = Credit_card.new_merchant env txn ~name:"store" in
+          let card = Credit_card.new_card env txn ~customer ~limit:1000.0 () in
+          ignore (Session.activate env txn card ~trigger:"DenyCredit" ~args:[]);
+          ignore
+            (Session.activate env txn card ~trigger:"AutoRaiseLimit" ~args:[ Value.Float 500.0 ]);
+          (card, merchant))
+    in
+    let show label =
+      Session.with_txn env (fun txn ->
+          Printf.printf "%-26s balance=%8.2f limit=%8.2f\n" label
+            (Credit_card.balance env txn card) (Credit_card.limit env txn card))
+    in
+    Printf.printf "CredCard with DenyCredit + AutoRaiseLimit(500) on a %s store\n"
+      (match kind with `Disk -> "disk" | `Mem -> "main-memory");
+    show "start";
+    Session.with_txn env (fun txn -> Credit_card.buy env txn card ~merchant ~amount:850.0);
+    show "Buy(850)";
+    (match Session.attempt env (fun txn -> Credit_card.buy env txn card ~merchant ~amount:400.0) with
+    | Some () -> print_endline "Buy(400): allowed"
+    | None -> print_endline "Buy(400): denied by DenyCredit (transaction aborted)");
+    show "after denial";
+    Session.with_txn env (fun txn -> Credit_card.pay_bill env txn card ~amount:200.0);
+    show "PayBill(200) -> raise"
+  in
+  let store =
+    Arg.(value & opt string "mem" & info [ "store" ] ~docv:"KIND" ~doc:"'mem' or 'disk'.")
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Compact credit-card demo") Term.(const run $ store)
+
+let () =
+  let doc = "Ode active-database reproduction tools" in
+  let info = Cmd.info "odectl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ fsm_cmd; figure1_cmd; opp_cmd; demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/credit_card_monitor.ml: Format List Ode Ode_event Ode_objstore Printf String

@@ -1,0 +1,1 @@
+examples/extensions_tour.ml: List Ode Ode_objstore Ode_trigger Printf

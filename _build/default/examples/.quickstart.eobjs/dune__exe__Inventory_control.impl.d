@@ -1,0 +1,1 @@
+examples/inventory_control.ml: List Ode Ode_objstore Ode_trigger Printf

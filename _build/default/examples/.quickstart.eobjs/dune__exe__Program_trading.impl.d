@@ -1,0 +1,1 @@
+examples/program_trading.ml: List Ode Ode_objstore Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ode Ode_objstore Ode_trigger Printf

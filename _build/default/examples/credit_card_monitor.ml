@@ -1,0 +1,96 @@
+(* The paper's §4 credit-card monitoring example, end to end:
+
+     dune exec examples/credit_card_monitor.exe
+
+   Walks the two triggers from the paper (DenyCredit, AutoRaiseLimit) plus
+   the !dependent LogDenial pattern that makes the denial record survive
+   the aborted purchase — the coupling-mode subtlety §5.5 is about. *)
+
+module Session = Ode.Session
+module Credit_card = Ode.Credit_card
+module Value = Ode_objstore.Value
+module Fsm = Ode_event.Fsm
+
+let show env card label =
+  Session.with_txn env (fun txn ->
+      Printf.printf "  %-38s balance=%8.2f  limit=%8.2f\n" label
+        (Credit_card.balance env txn card)
+        (Credit_card.limit env txn card))
+
+let () =
+  let env = Session.create ~store:`Mem () in
+  Credit_card.define_all env;
+
+  print_endline "== Ode credit-card monitoring (paper, section 4) ==";
+
+  (* Print the compiled machine for AutoRaiseLimit: this is Figure 1. *)
+  print_endline "";
+  print_endline "Figure 1 - AutoRaiseLimit's finite state machine:";
+  let fsm = Session.trigger_fsm env ~cls:"CredCard" ~trigger:"AutoRaiseLimit" in
+  let names i = Ode_event.Intern.name_of_id (Session.intern env) i in
+  Format.printf "%a@." (Fsm.pp ~event_name:names ()) fsm;
+
+  let audit, card, merchant =
+    Session.with_txn env (fun txn ->
+        let customer = Credit_card.new_customer env txn ~name:"Narain" in
+        let merchant = Credit_card.new_merchant env txn ~name:"Murray Hill Deli" in
+        let audit = Credit_card.new_audit_log env txn in
+        let card = Credit_card.new_card env txn ~customer ~limit:1000.0 ~audit () in
+        (audit, card, merchant))
+  in
+
+  (* Activation is explicit, exactly as in the paper:
+     credcard->AutoRaiseLimit(1000.0). LogDenial is activated before
+     DenyCredit so its queued !dependent action survives the tabort. *)
+  Session.with_txn env (fun txn ->
+      ignore (Session.activate env txn card ~trigger:"LogDenial" ~args:[]);
+      ignore (Session.activate env txn card ~trigger:"DenyCredit" ~args:[]);
+      ignore
+        (Session.activate env txn card ~trigger:"AutoRaiseLimit" ~args:[ Value.Float 1000.0 ]));
+
+  print_endline "Triggers activated: LogDenial, DenyCredit, AutoRaiseLimit(1000.0)";
+  print_endline "";
+
+  show env card "initial state";
+
+  (* A normal purchase. *)
+  Session.with_txn env (fun txn -> Credit_card.buy env txn card ~merchant ~amount:400.0);
+  show env card "Buy(400)";
+
+  (* An over-limit purchase: DenyCredit black-marks and calls tabort, so
+     the whole transaction -- including the purchase -- rolls back. *)
+  (match
+     Session.attempt env (fun txn -> Credit_card.buy env txn card ~merchant ~amount:900.0)
+   with
+  | Some () -> print_endline "  Buy(900): allowed (unexpected!)"
+  | None -> print_endline "  Buy(900): DENIED by DenyCredit; transaction aborted");
+  show env card "after denied purchase";
+
+  Session.with_txn env (fun txn ->
+      let entries = Credit_card.audit_entries env txn audit in
+      Printf.printf "  audit log (written by !dependent LogDenial): %d entr%s\n"
+        (List.length entries)
+        (if List.length entries = 1 then "y" else "ies");
+      List.iter (fun e -> Printf.printf "    - %s\n" e) entries);
+
+  print_endline "";
+
+  (* Push utilisation past 80%% with a clean history, then pay: the
+     relative((after Buy & MoreCred), after PayBill) composite completes
+     and AutoRaiseLimit fires once. *)
+  Session.with_txn env (fun txn -> Credit_card.buy env txn card ~merchant ~amount:450.0);
+  show env card "Buy(450) (utilisation 85%, MoreCred true)";
+  Session.with_txn env (fun txn -> Credit_card.pay_bill env txn card ~amount:200.0);
+  show env card "PayBill(200) -> AutoRaiseLimit fires";
+
+  Session.with_txn env (fun txn ->
+      Printf.printf "  active triggers remaining on the card: %d (AutoRaiseLimit was once-only)\n"
+        (List.length (Session.active_triggers env txn card)));
+
+  print_endline "";
+  print_endline "Counters:";
+  List.iter
+    (fun (k, v) -> if v > 0 then Printf.printf "  %-24s %d\n" k v)
+    (List.filter
+       (fun (k, _) -> String.length k > 3 && String.sub k 0 3 = "rt.")
+       (Session.counters env))

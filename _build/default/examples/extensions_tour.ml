@@ -1,0 +1,111 @@
+(* A tour of the §8 future-work features the reproduction implements:
+
+     dune exec examples/extensions_tour.exe
+
+   1. intra-object constraints  (auto-activated tabort triggers)
+   2. local rules               (transaction-scoped, lock-free)
+   3. monitored classes         (triggers on volatile objects)
+   4. timed triggers            (broadcast clock events)
+   5. field indexes             (ordered queries over a cluster)  *)
+
+module Session = Ode.Session
+module Dsl = Ode.Dsl
+module Value = Ode_objstore.Value
+module Ctx = Ode_trigger.Trigger_def
+
+let () =
+  let env = Session.create ~store:`Mem () in
+
+  (* A warehouse item whose stock may never go negative (constraint), that
+     expires after 3 clock ticks (timed trigger), indexed by stock. *)
+  let take ctx args =
+    ctx.Session.set "stock" (Value.Float (Dsl.self_float ctx "stock" -. Dsl.nth_float args 0));
+    Value.Null
+  in
+  Session.define_class env ~name:"Item"
+    ~fields:[ ("sku", Dsl.str ""); ("stock", Dsl.float 0.0); ("expired", Dsl.bool false) ]
+    ~methods:[ ("Take", take) ]
+    ~events:[ Dsl.after "Take"; Dsl.user_event "tick" ]
+    ~triggers:
+      [
+        Dsl.trigger "Expire" ~event:"tick, tick, tick"
+          ~action:(fun env ctx ->
+            Printf.printf "  [timed]      %s expired after 3 ticks\n"
+              (Value.to_str (Dsl.obj_get env ctx "sku"));
+            Dsl.obj_set env ctx "expired" (Value.Bool true));
+      ]
+    ~constraints:
+      [ ("StockNonNegative", fun env ctx -> Dsl.obj_float env ctx "stock" >= 0.0) ]
+    ();
+
+  let items =
+    Session.with_txn env (fun txn ->
+        List.map
+          (fun (sku, stock) ->
+            Session.pnew env txn ~cls:"Item"
+              ~init:[ ("sku", Dsl.str sku); ("stock", Dsl.float stock) ]
+              ())
+          [ ("bolt", 12.0); ("nut", 3.0); ("washer", 7.0) ])
+  in
+
+  (* 1. Constraints: pnew auto-activated StockNonNegative on each item. *)
+  print_endline "1. constraints (auto-activated, veto with tabort):";
+  let bolt = List.nth items 0 in
+  (match
+     Session.attempt env (fun txn ->
+         ignore (Session.invoke env txn bolt "Take" [ Value.Float 20.0 ]))
+   with
+  | Some () -> print_endline "  take 20 bolts: allowed (unexpected)"
+  | None -> print_endline "  [constraint] take 20 of 12 bolts: vetoed, transaction aborted");
+  Session.with_txn env (fun txn ->
+      Printf.printf "  bolts still in stock: %.0f\n"
+        (Value.to_float (Session.get_field env txn bolt "stock")));
+
+  (* 2. Local rules: watch for two takes in ONE transaction, no locks. *)
+  print_endline "";
+  print_endline "2. local rules (transaction-scoped):";
+  Session.with_txn env (fun txn ->
+      Session.activate_local env txn bolt ~trigger:"Expire" ~args:[];
+      ignore txn;
+      print_endline "  activated Expire locally; it evaporates at commit");
+  Session.with_txn env (fun txn ->
+      ignore txn;
+      Printf.printf "  persistent activations on bolt: %d (only the constraint)\n"
+        (List.length (Session.active_triggers env txn bolt)));
+
+  (* 3. Monitored classes: a volatile scratch item with a trigger. *)
+  print_endline "";
+  print_endline "3. monitored classes (triggers on volatile objects):";
+  let scratch = Session.Volatile.vnew env ~cls:"Item" ~init:[ ("sku", Dsl.str "scratch"); ("stock", Dsl.float 5.0) ] () in
+  Session.Volatile.attach env scratch ~event:"after Take & Empty"
+    ~masks:[ ("Empty", fun v -> Value.to_float (Session.Volatile.get v "stock") <= 0.0) ]
+    ~action:(fun v ->
+      Printf.printf "  [monitored]  volatile %s ran dry\n"
+        (Value.to_str (Session.Volatile.get v "sku")))
+    ();
+  ignore (Session.Volatile.invoke env scratch "Take" [ Value.Float 2.0 ]);
+  ignore (Session.Volatile.invoke env scratch "Take" [ Value.Float 3.0 ]);
+
+  (* 4. Timed triggers: broadcast three clock ticks. *)
+  print_endline "";
+  print_endline "4. timed triggers (broadcast clock events):";
+  Session.with_txn env (fun txn ->
+      ignore (Session.activate env txn bolt ~trigger:"Expire" ~args:[]));
+  for i = 1 to 3 do
+    Printf.printf "  tick %d\n" i;
+    Session.with_txn env (fun txn -> Session.broadcast_event env txn "tick")
+  done;
+
+  (* 5. Field indexes. *)
+  print_endline "";
+  print_endline "5. field indexes (ordered B+-tree over the cluster):";
+  Session.with_txn env (fun txn ->
+      Session.create_index env txn ~name:"by_stock" ~cls:"Item" ~field:"stock");
+  Session.index_range env ~name:"by_stock" ~lo:(Value.Float 0.0) ~hi:(Value.Float 10.0) ()
+  |> List.iter (fun (key, oids) ->
+         Session.with_txn env (fun txn ->
+             List.iter
+               (fun oid ->
+                 Printf.printf "  stock %5.1f  %s\n" (Value.to_float key)
+                   (Value.to_str (Session.get_field env txn oid "sku")))
+               oids))

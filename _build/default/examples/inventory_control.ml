@@ -1,0 +1,141 @@
+(* Inventory control: coupling modes, transaction events, and durability.
+
+     dune exec examples/inventory_control.exe
+
+   A Warehouse Item carries three triggers with different coupling modes
+   (§4.2 / §5.5):
+
+   - Reorder      (end/deferred):  low-stock checks queue up during the
+                                   transaction and run once, right before
+                                   commit.
+   - CommitAudit  (immediate, on the transaction event
+                                   "before tcomplete"): counts committing
+                                   transactions that touched the item.
+   - ShipNotice   (phoenix):       ship confirmations run *after* commit,
+                                   durably -- §6's answer to after-tcommit.
+
+   The second half simulates a crash and recovery: trigger activations are
+   persistent TriggerStates, so they keep working in the recovered
+   database once the classes are re-defined (FSMs are recompiled each run,
+   §5.1.3). *)
+
+module Session = Ode.Session
+module Dsl = Ode.Dsl
+module Value = Ode_objstore.Value
+
+let define_item env =
+  let ship ctx args =
+    let qty = Dsl.nth_float args 0 in
+    ctx.Session.set "stock" (Value.Float (Dsl.self_float ctx "stock" -. qty));
+    Value.Null
+  in
+  let receive ctx args =
+    let qty = Dsl.nth_float args 0 in
+    ctx.Session.set "stock" (Value.Float (Dsl.self_float ctx "stock" +. qty));
+    ctx.Session.set "on_order" (Value.Bool false);
+    Value.Null
+  in
+  let place_order ctx _args =
+    ctx.Session.set "on_order" (Value.Bool true);
+    Value.Null
+  in
+  let low_stock env ctx =
+    Dsl.obj_float env ctx "stock" < Dsl.obj_float env ctx "reorder_point"
+    && not (Value.to_bool (Dsl.obj_get env ctx "on_order"))
+  in
+  let reorder env ctx =
+    if not (Value.to_bool (Dsl.obj_get env ctx "on_order")) then begin
+      Printf.printf "  [Reorder/end]      %s below reorder point (stock %.0f) -> ordering\n"
+        (Value.to_str (Dsl.obj_get env ctx "sku"))
+        (Dsl.obj_float env ctx "stock");
+      ignore (Dsl.obj_invoke env ctx "PlaceOrder" [])
+    end
+  in
+  let commit_audit env ctx =
+    Dsl.obj_set env ctx "touches" (Value.Int (Value.to_int (Dsl.obj_get env ctx "touches") + 1))
+  in
+  let ship_notice env ctx =
+    Printf.printf "  [ShipNotice/phx]   confirmation for %s sent after commit (stock now %.0f)\n"
+      (Value.to_str (Dsl.obj_get env ctx "sku"))
+      (Dsl.obj_float env ctx "stock")
+  in
+  Session.define_class env ~name:"Item"
+    ~fields:
+      [
+        ("sku", Dsl.str "");
+        ("stock", Dsl.float 0.0);
+        ("reorder_point", Dsl.float 0.0);
+        ("on_order", Dsl.bool false);
+        ("touches", Dsl.int 0);
+      ]
+    ~methods:[ ("Ship", ship); ("Receive", receive); ("PlaceOrder", place_order) ]
+    ~events:[ Dsl.after "Ship"; Dsl.after "Receive"; Dsl.before_tcomplete ]
+    ~masks:[ ("LowStock", low_stock) ]
+    ~triggers:
+      [
+        Dsl.trigger "Reorder" ~perpetual:true ~coupling:Ode_trigger.Coupling.End
+          ~event:"after Ship & LowStock" ~action:reorder;
+        Dsl.trigger "CommitAudit" ~perpetual:true ~event:"before tcomplete"
+          ~action:commit_audit;
+        Dsl.trigger "ShipNotice" ~perpetual:true ~coupling:Ode_trigger.Coupling.Phoenix
+          ~event:"after Ship" ~action:ship_notice;
+      ]
+    ()
+
+let stock env item =
+  Session.with_txn env (fun txn -> Value.to_float (Session.get_field env txn item "stock"))
+
+let () =
+  let env = Session.create ~store:`Disk () in
+  define_item env;
+  let item =
+    Session.with_txn env (fun txn ->
+        let item =
+          Session.pnew env txn ~cls:"Item"
+            ~init:
+              [ ("sku", Dsl.str "WIDGET-7"); ("stock", Dsl.float 20.0); ("reorder_point", Dsl.float 10.0) ]
+            ()
+        in
+        ignore (Session.activate env txn item ~trigger:"Reorder" ~args:[]);
+        ignore (Session.activate env txn item ~trigger:"CommitAudit" ~args:[]);
+        ignore (Session.activate env txn item ~trigger:"ShipNotice" ~args:[]);
+        item)
+  in
+  print_endline "== inventory control (disk store) ==";
+  Printf.printf "WIDGET-7 stock: %.0f, reorder point: 10\n" (stock env item);
+
+  print_endline "";
+  print_endline "-- one transaction shipping 8 + 5 units (deferred reorder at commit):";
+  Session.with_txn env (fun txn ->
+      ignore (Session.invoke env txn item "Ship" [ Value.Float 8.0 ]);
+      print_endline "  shipped 8 (no reorder yet -- end coupling defers it)";
+      ignore (Session.invoke env txn item "Ship" [ Value.Float 5.0 ]);
+      print_endline "  shipped 5 (still deferred)");
+  Printf.printf "after commit: stock=%.0f\n" (stock env item);
+
+  print_endline "";
+  print_endline "-- an aborted shipment leaves no trace (phoenix queue rolls back too):";
+  (match
+     Session.attempt env (fun txn ->
+         ignore (Session.invoke env txn item "Ship" [ Value.Float 5.0 ]);
+         print_endline "  shipped 5, then tabort";
+         Session.tabort ())
+   with
+  | Some () -> ()
+  | None -> Printf.printf "  aborted; stock still %.0f, no notice was sent\n" (stock env item));
+
+  print_endline "";
+  print_endline "-- crash and recover: activations are persistent TriggerStates";
+  let image = Session.crash env in
+  let env = Session.recover image in
+  define_item env;
+  Session.drain_phoenix env;
+  Printf.printf "recovered; stock=%.0f\n" (stock env item);
+  Session.with_txn env (fun txn ->
+      Printf.printf "active triggers on WIDGET-7 after recovery: %d\n"
+        (List.length (Session.active_triggers env txn item)));
+  print_endline "shipping 4 more in the recovered database:";
+  Session.with_txn env (fun txn -> ignore (Session.invoke env txn item "Ship" [ Value.Float 4.0 ]));
+  Printf.printf "final stock: %.0f (reorder flag %s)\n" (stock env item)
+    (Session.with_txn env (fun txn ->
+         if Value.to_bool (Session.get_field env txn item "on_order") then "set" else "clear"))

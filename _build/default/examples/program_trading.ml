@@ -1,0 +1,163 @@
+(* Program trading: the application the paper's design goal 1 names --
+   "applications such as program trading whose actions are triggered based
+   on patterns of event occurrences as opposed to single basic events".
+
+     dune exec examples/program_trading.exe
+
+   A Stock object receives tick events; the application classifies each
+   tick into user-defined events (Drop, Rise, Stable) and triggers watch
+   for patterns:
+
+   - MomentumBuy:   three consecutive drops followed by a rise (a
+                    sequence event) -> buy the dip once.
+   - StopLoss:      any movement that leaves the price below the floor
+                    while holding a position (masks) -> liquidate,
+                    perpetual.
+   - DipRecovery:   relative(Drop & Below60, Stable) -- the same pattern
+                    over the stock's own events.
+   - GoldenCross:   the paper's §8 inter-object future-work example,
+                    verbatim: "if AT&T goes below 60 and the price of gold
+                    stabilizes, buy 1000 shares of AT&T" -- a trigger
+                    anchored on the stock that also watches a Gold object
+                    (qualified event Gold.GStable, extra anchor at
+                    activation). *)
+
+module Session = Ode.Session
+module Dsl = Ode.Dsl
+module Value = Ode_objstore.Value
+
+let define_gold env =
+  Session.define_class env ~name:"Gold"
+    ~fields:[ ("price", Dsl.float 0.0) ]
+    ~methods:
+      [
+        ( "Fix",
+          fun ctx args ->
+            ctx.Session.set "price" (Dsl.nth args 0);
+            Value.Null );
+      ]
+    ~events:[ Dsl.user_event "GStable"; Dsl.user_event "GVolatile" ]
+    ()
+
+let define_stock env =
+  let tick ctx args =
+    let price = Dsl.nth_float args 0 in
+    ctx.Session.set "prev" (ctx.Session.get "price");
+    ctx.Session.set "price" (Value.Float price);
+    Value.Null
+  in
+  let buy ctx args =
+    let shares = Dsl.nth_float args 0 in
+    ctx.Session.set "position" (Value.Float (Dsl.self_float ctx "position" +. shares));
+    Value.Null
+  in
+  let sell_all ctx _args =
+    ctx.Session.set "position" (Value.Float 0.0);
+    Value.Null
+  in
+  let below60 env ctx = Dsl.obj_float env ctx "price" < 60.0 in
+  let below_floor env ctx = Dsl.obj_float env ctx "price" < Dsl.obj_float env ctx "floor" in
+  let has_position env ctx = Dsl.obj_float env ctx "position" > 0.0 in
+  let momentum_buy env ctx =
+    let price = Dsl.obj_float env ctx "price" in
+    Printf.printf "  [MomentumBuy]  3 drops then a rise at %.2f -> buying 100\n" price;
+    ignore (Dsl.obj_invoke env ctx "BuyShares" [ Value.Float 100.0 ])
+  in
+  let stop_loss env ctx =
+    Printf.printf "  [StopLoss]     price %.2f under floor %.2f -> liquidating\n"
+      (Dsl.obj_float env ctx "price") (Dsl.obj_float env ctx "floor");
+    ignore (Dsl.obj_invoke env ctx "SellAll" [])
+  in
+  let dip_recovery env ctx =
+    Printf.printf "  [DipRecovery]  dipped under 60, later stabilized at %.2f -> buying 50\n"
+      (Dsl.obj_float env ctx "price");
+    ignore (Dsl.obj_invoke env ctx "BuyShares" [ Value.Float 50.0 ])
+  in
+  let golden_cross env ctx =
+    Printf.printf
+      "  [GoldenCross]  AT&T under 60 and gold stabilized -> buying 1000 (paper, sec. 8)\n";
+    ignore (Dsl.obj_invoke env ctx "BuyShares" [ Value.Float 1000.0 ])
+  in
+  Session.define_class env ~name:"Stock"
+    ~fields:
+      [
+        ("symbol", Dsl.str "");
+        ("price", Dsl.float 0.0);
+        ("prev", Dsl.float 0.0);
+        ("position", Dsl.float 0.0);
+        ("floor", Dsl.float 0.0);
+      ]
+    ~methods:[ ("Tick", tick); ("BuyShares", buy); ("SellAll", sell_all) ]
+      (* The event stream of a Stock is its classification events; keeping
+         "after Tick" out of the declaration keeps "Drop, Drop, Drop, Rise"
+         a contiguous pattern over the events the triggers care about. *)
+    ~events:[ Dsl.user_event "Drop"; Dsl.user_event "Rise"; Dsl.user_event "Stable" ]
+    ~masks:
+      [ ("Below60", below60); ("BelowFloor", below_floor); ("HasPosition", has_position) ]
+    ~triggers:
+      [
+        Dsl.trigger "MomentumBuy" ~event:"Drop, Drop, Drop, Rise" ~action:momentum_buy;
+        Dsl.trigger "StopLoss" ~perpetual:true
+          ~event:"(Drop || Rise || Stable) & BelowFloor & HasPosition" ~action:stop_loss;
+        Dsl.trigger "DipRecovery" ~event:"relative(Drop & Below60, Stable)"
+          ~action:dip_recovery;
+        Dsl.trigger "GoldenCross" ~event:"relative(Drop & Below60, Gold.GStable)"
+          ~action:golden_cross;
+      ]
+    ()
+
+(* The application-side tick feed: classify each price movement and post
+   the matching user-defined event (user events are posted explicitly,
+   §4). *)
+let feed_tick env stock price =
+  Session.with_txn env (fun txn ->
+      let prev = Value.to_float (Session.get_field env txn stock "price") in
+      ignore (Session.invoke env txn stock "Tick" [ Value.Float price ]);
+      let delta = price -. prev in
+      let event =
+        if delta < -0.005 then "Drop" else if delta > 0.005 then "Rise" else "Stable"
+      in
+      Session.post_event env txn stock event;
+      let position = Value.to_float (Session.get_field env txn stock "position") in
+      Printf.printf "tick %6.2f (%-6s) position=%6.1f\n" price event position)
+
+let () =
+  let env = Session.create ~store:`Mem () in
+  define_gold env;
+  define_stock env;
+  let stock, gold =
+    Session.with_txn env (fun txn ->
+        let stock =
+          Session.pnew env txn ~cls:"Stock"
+            ~init:
+              [ ("symbol", Dsl.str "T"); ("price", Dsl.float 64.0); ("floor", Dsl.float 55.0) ]
+            ()
+        in
+        let gold = Session.pnew env txn ~cls:"Gold" ~init:[ ("price", Dsl.float 2300.0) ] () in
+        (stock, gold))
+  in
+  Session.with_txn env (fun txn ->
+      ignore (Session.activate env txn stock ~trigger:"MomentumBuy" ~args:[]);
+      ignore (Session.activate env txn stock ~trigger:"StopLoss" ~args:[]);
+      ignore (Session.activate env txn stock ~trigger:"DipRecovery" ~args:[]);
+      (* Inter-object: the stock trigger also watches the gold object. *)
+      ignore
+        (Session.activate env txn stock ~trigger:"GoldenCross" ~args:[] ~anchors:[ gold ]));
+  print_endline "== program trading on AT&T (symbol T), floor 55.00 ==";
+  let prices =
+    [ 63.5; 62.8; 61.9; 62.4 (* 3 drops then rise -> MomentumBuy *)
+    ; 59.5 (* below 60: DipRecovery arms *)
+    ; 59.5 (* stable -> DipRecovery fires *)
+    ; 54.0 (* below floor with a position -> StopLoss liquidates *)
+    ; 56.0 ]
+  in
+  List.iter (feed_tick env stock) prices;
+  (* The gold market settles: this event arrives at the Gold object, but
+     the GoldenCross trigger anchored on the stock sees it. *)
+  Session.with_txn env (fun txn ->
+      ignore (Session.invoke env txn gold "Fix" [ Value.Float 2310.0 ]);
+      Session.post_event env txn gold "GStable";
+      print_endline "gold fix 2310.00 (GStable)");
+  Session.with_txn env (fun txn ->
+      Printf.printf "final position: %.1f shares\n"
+        (Value.to_float (Session.get_field env txn stock "position")))

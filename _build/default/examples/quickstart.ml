@@ -1,0 +1,69 @@
+(* Quickstart: define a class with a composite-event trigger, activate it
+   on a persistent object, and watch it fire.
+
+     dune exec examples/quickstart.exe
+
+   The trigger fires when a Deposit is eventually followed by a Withdraw
+   that leaves the balance negative — a sequence event with a mask, the
+   shape the Ode paper is about. *)
+
+module Session = Ode.Session
+module Dsl = Ode.Dsl
+module Value = Ode_objstore.Value
+
+let () =
+  (* 1. An environment = object store + trigger store + transaction
+     manager. `Mem is MM-Ode; `Disk is the paged store. *)
+  let env = Session.create ~store:`Mem () in
+
+  (* 2. Define a class: fields, methods, declared events, masks, triggers.
+     This is what the O++ compiler would emit for a class definition. *)
+  let deposit ctx args =
+    ctx.Session.set "balance" (Value.Float (Dsl.self_float ctx "balance" +. Dsl.nth_float args 0));
+    Value.Null
+  in
+  let withdraw ctx args =
+    ctx.Session.set "balance" (Value.Float (Dsl.self_float ctx "balance" -. Dsl.nth_float args 0));
+    Value.Null
+  in
+  let overdrawn env ctx = Dsl.obj_float env ctx "balance" < 0.0 in
+  let alert _env ctx =
+    Printf.printf "  !! trigger fired: account %s is overdrawn\n"
+      (Ode_objstore.Oid.to_string ctx.Ode_trigger.Trigger_def.obj)
+  in
+  Session.define_class env ~name:"Account"
+    ~fields:[ ("balance", Dsl.float 0.0) ]
+    ~methods:[ ("Deposit", deposit); ("Withdraw", withdraw) ]
+    ~events:[ Dsl.after "Deposit"; Dsl.after "Withdraw" ]
+    ~masks:[ ("Overdrawn", overdrawn) ]
+    ~triggers:
+      [
+        Dsl.trigger "OverdraftAlert" ~perpetual:true
+          ~event:"relative(after Deposit, after Withdraw & Overdrawn)" ~action:alert;
+      ]
+    ();
+
+    (* 3. Create a persistent object and activate the trigger on it. *)
+  let account =
+    Session.with_txn env (fun txn ->
+        let account = Session.pnew env txn ~cls:"Account" () in
+        ignore (Session.activate env txn account ~trigger:"OverdraftAlert" ~args:[]);
+        account)
+  in
+  Printf.printf "created account, activated OverdraftAlert\n";
+
+  (* 4. Drive it. Each with_txn is one transaction; events post as the
+     methods are invoked through the persistent handle. *)
+  Session.with_txn env (fun txn ->
+      ignore (Session.invoke env txn account "Deposit" [ Value.Float 100.0 ]));
+  Printf.printf "deposited 100.0 (no alert: balance is positive)\n";
+  Session.with_txn env (fun txn ->
+      ignore (Session.invoke env txn account "Withdraw" [ Value.Float 40.0 ]));
+  Printf.printf "withdrew 40.0 (no alert)\n";
+  Session.with_txn env (fun txn ->
+      ignore (Session.invoke env txn account "Withdraw" [ Value.Float 80.0 ]));
+  Printf.printf "withdrew 80.0 -- the composite event matched:\n";
+  Session.with_txn env (fun txn ->
+      Printf.printf "final balance: %.2f\n"
+        (Value.to_float (Session.get_field env txn account "balance")));
+  print_string ""

@@ -1,0 +1,1 @@
+lib/baselines/dense_fsm.ml: Array List Ode_event

@@ -1,0 +1,1 @@
+lib/baselines/dense_fsm.mli: Ode_event

@@ -1,0 +1,1 @@
+lib/baselines/event_graph.ml: Ode_event

@@ -1,0 +1,1 @@
+lib/baselines/event_graph.mli: Ode_event

@@ -1,0 +1,1 @@
+lib/baselines/naive_detector.ml: List Ode_event

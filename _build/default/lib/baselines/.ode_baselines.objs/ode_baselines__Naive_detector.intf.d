@@ -1,0 +1,1 @@
+lib/baselines/naive_detector.mli: Ode_event

@@ -1,0 +1,1 @@
+lib/baselines/sentinel_repr.ml: Format Hashtbl List Ode_event String

@@ -1,0 +1,1 @@
+lib/baselines/sentinel_repr.mli: Format Ode_event

@@ -1,0 +1,52 @@
+module Fsm = Ode_event.Fsm
+module Sym = Ode_event.Sym
+
+type step_result = Stay | Goto of int | Dead
+
+(* Cell encoding: state numbers are >= 0; -1 = Dead; -2 = Stay. *)
+let cell_dead = -1
+let cell_stay = -2
+
+type t = { next : int array array; accept : bool array; start_state : int; width : int }
+
+let of_fsm fsm ~width =
+  let n = Fsm.num_states fsm in
+  let next =
+    Array.init n (fun state ->
+        Array.init width (fun event ->
+            match Fsm.step fsm state (Sym.Ev event) with
+            | Fsm.Goto target -> target
+            | Fsm.Dead -> cell_dead
+            | Fsm.Stay -> cell_stay))
+  in
+  let accept = Array.init n (Fsm.is_accept fsm) in
+  { next; accept; start_state = fsm.Fsm.start; width }
+
+let step t state event =
+  if event < 0 || event >= t.width then invalid_arg "Dense_fsm.step: event out of range";
+  match t.next.(state).(event) with
+  | -1 -> Dead
+  | -2 -> Stay
+  | target -> Goto target
+
+let start t = t.start_state
+
+let is_accept t state = t.accept.(state)
+
+let bytes t = Array.length t.next * (t.width * 8) + (Array.length t.next * 16)
+
+let agrees_with t fsm ~events =
+  let n = Fsm.num_states fsm in
+  let check_state state =
+    List.for_all
+      (fun event ->
+        let dense = step t state event in
+        let sparse = Fsm.step fsm state (Sym.Ev event) in
+        match (dense, sparse) with
+        | Stay, Fsm.Stay | Dead, Fsm.Dead -> true
+        | Goto a, Fsm.Goto b -> a = b
+        | (Stay | Dead | Goto _), _ -> false)
+      events
+  in
+  let rec go state = state >= n || (check_state state && go (state + 1)) in
+  go 0

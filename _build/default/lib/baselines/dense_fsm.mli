@@ -1,0 +1,34 @@
+(** Dense two-dimensional transition matrix — the representation the
+    authors originally planned and abandoned (§6).
+
+    A normal 2-D array indexed by (state, event id) is "very space
+    inefficient for sparse arrays": with globally unique event numbering
+    the row width is the total number of interned events in the program,
+    almost all of which any one machine ignores. Experiment T3 compares
+    this representation's memory and lookup time against the paper's
+    sparse per-state transition lists as the global alphabet grows.
+
+    Only real-event transitions are represented (mask pseudo-events stay
+    association-listed even in the paper's design). *)
+
+type t
+
+val of_fsm : Ode_event.Fsm.t -> width:int -> t
+(** [width] is the number of representable event ids (the global intern
+    count); event ids [>= width] raise [Invalid_argument]. Missing
+    transitions encode the {!Ode_event.Fsm.step} result: [Stay] for events
+    outside the machine's alphabet, [Dead] inside. *)
+
+type step_result = Stay | Goto of int | Dead
+
+val step : t -> int -> int -> step_result
+(** [step t state event] — one array indexing, no search. *)
+
+val start : t -> int
+val is_accept : t -> int -> bool
+val bytes : t -> int
+(** Memory footprint of the matrix (8 bytes per cell plus per-state
+    overhead). *)
+
+val agrees_with : t -> Ode_event.Fsm.t -> events:int list -> bool
+(** Cross-check against the sparse machine on the given event ids. *)

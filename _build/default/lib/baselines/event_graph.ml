@@ -1,0 +1,88 @@
+module Ast = Ode_event.Ast
+
+type expr = Prim of int | Or of expr * expr | And of expr * expr | Seq of expr * expr
+
+(* Each node remembers the tick of its most recent occurrence (-1 =
+   never) — the "recent" parameter context. *)
+type node = {
+  shape : shape;
+  mutable last : int;
+}
+
+and shape =
+  | N_prim of int
+  | N_or of node * node
+  | N_and of node * node
+  | N_seq of node * node
+
+type t = { root : node; mutable tick : int; mutable nodes : int }
+
+let rec build counter = function
+  | Prim e ->
+      incr counter;
+      { shape = N_prim e; last = -1 }
+  | Or (a, b) ->
+      incr counter;
+      { shape = N_or (build counter a, build counter b); last = -1 }
+  | And (a, b) ->
+      incr counter;
+      { shape = N_and (build counter a, build counter b); last = -1 }
+  | Seq (a, b) ->
+      incr counter;
+      { shape = N_seq (build counter a, build counter b); last = -1 }
+
+let create expr =
+  let counter = ref 0 in
+  let root = build counter expr in
+  { root; tick = 0; nodes = !counter }
+
+(* Bottom-up evaluation: returns whether the node occurs at this tick and
+   updates its [last]. [Seq] needs the left child's occurrence time from a
+   strictly earlier tick, captured before the child is evaluated. *)
+let rec eval node tick event =
+  let fires =
+    match node.shape with
+    | N_prim e -> e = event
+    | N_or (a, b) ->
+        let fa = eval a tick event in
+        let fb = eval b tick event in
+        fa || fb
+    | N_and (a, b) ->
+        let fa = eval a tick event in
+        let fb = eval b tick event in
+        (fa && b.last >= 0) || (fb && a.last >= 0)
+    | N_seq (a, b) ->
+        let prev_a = a.last in
+        let _fa = eval a tick event in
+        let fb = eval b tick event in
+        fb && prev_a >= 0
+  in
+  if fires then node.last <- tick;
+  fires
+
+let post t event =
+  t.tick <- t.tick + 1;
+  eval t.root t.tick event
+
+let rec reset_node node =
+  node.last <- -1;
+  match node.shape with
+  | N_prim _ -> ()
+  | N_or (a, b) | N_and (a, b) | N_seq (a, b) ->
+      reset_node a;
+      reset_node b
+
+let reset t =
+  reset_node t.root;
+  t.tick <- 0
+
+let node_count t = t.nodes
+
+let rec equivalent_regex = function
+  | Prim e -> Ast.Basic e
+  | Or (a, b) -> Ast.Or (equivalent_regex a, equivalent_regex b)
+  | Seq (a, b) -> Ast.Relative [ equivalent_regex a; equivalent_regex b ]
+  | And (a, b) ->
+      Ast.Or
+        ( Ast.Relative [ equivalent_regex a; equivalent_regex b ],
+          Ast.Relative [ equivalent_regex b; equivalent_regex a ] )

@@ -1,0 +1,51 @@
+(** Event-graph composite detection in the style of Snoop/Sentinel
+    (Chakravarthy et al., cited as [6]/[7] in the paper).
+
+    Composite events form an operator tree; each node keeps incremental
+    occurrence state and primitive events are injected at the leaves — an
+    alternative detection architecture to Ode's per-trigger FSMs. Semantics
+    follow the {e recent} parameter context: an operator remembers the most
+    recent occurrence of each constituent.
+
+    Operators: [Prim], [Or], [And] (both constituents, either order),
+    [Seq] (left strictly before right; NB a same-tick constituent pair
+    satisfies [And] at once). This is deliberately the subset
+    shared with Ode's language so experiment T4 can compare the two
+    detectors on the same patterns; the event-graph model cannot express
+    masks or anchored search, and the FSM model cannot share sub-expression
+    nodes across triggers — the trade the related-work section discusses. *)
+
+type expr =
+  | Prim of int
+  | Or of expr * expr
+  | And of expr * expr
+  | Seq of expr * expr
+
+type t
+
+val create : expr -> t
+
+val post : t -> int -> bool
+(** Inject a primitive event occurrence; [true] iff the root composite
+    event is raised by it. *)
+
+val reset : t -> unit
+(** Clear all partial state. *)
+
+val node_count : t -> int
+
+val equivalent_regex : expr -> Ode_event.Ast.t
+(** The Ode event expression detecting the same pattern: [Seq] maps to
+    [relative], [And e1 e2] to [relative(e1,e2) || relative(e2,e1)].
+
+    The two models agree exactly only on a fragment: operator nodes fire at
+    their {e detection time} (the tick of the completing constituent) and
+    let constituent matches interleave, whereas a regex subsequence orders
+    the {e whole} spans. Concretely, the translation is exact when every
+    [Seq] right operand and both [And] operands are single-event
+    expressions ([Prim] or unions of [Prim]s) over pairwise-distinct
+    primitives; with composite operands (e.g. [And] of two [Seq]s whose
+    spans interleave) the graph fires where the regex does not. This is
+    the semantic trade between Snoop-style graphs and Ode's FSMs that §7's
+    comparison is about; the tests cross-validate on the exact fragment
+    and demonstrate the divergence outside it. *)

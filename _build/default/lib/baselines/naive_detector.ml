@@ -1,0 +1,25 @@
+module Ast = Ode_event.Ast
+module Nfa = Ode_event.Nfa
+module Compile = Ode_event.Compile
+
+type t = { nfa : Nfa.t; mutable history : int list (* newest first *) }
+
+let create ~alphabet expr =
+  if Ast.has_mask expr then invalid_arg "Naive_detector: masked expressions not supported";
+  (* Unanchored semantics, like the trigger runtime's default. *)
+  let wrapped = Ast.Seq (Ast.Star Ast.Any, expr) in
+  { nfa = Compile.thompson ~alphabet wrapped; history = [] }
+
+let simulate nfa events =
+  let step set event = Nfa.closure nfa (Nfa.move_event nfa set event) in
+  let start = Nfa.closure nfa (Nfa.IntSet.singleton nfa.Nfa.start) in
+  let final = List.fold_left step start events in
+  Nfa.IntSet.mem nfa.Nfa.accept final
+
+let post t event =
+  t.history <- event :: t.history;
+  simulate t.nfa (List.rev t.history)
+
+let history_length t = List.length t.history
+
+let reset t = t.history <- []

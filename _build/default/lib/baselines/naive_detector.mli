@@ -1,0 +1,25 @@
+(** History-rescan composite event detection — the strawman that motivates
+    §5.1's "detection of composite events should be efficient" goal.
+
+    Instead of keeping an FSM state per activation, this detector stores
+    the anchor object's full event history and, on every posted event,
+    re-simulates the expression's NFA over the entire history to decide
+    whether a matching subsequence ends here. Per-event cost is
+    O(history × NFA states) versus the FSM's O(log transitions); experiment
+    T4 sweeps history length to show the divergence.
+
+    Mask-free expressions only (a rescan would re-evaluate masks against
+    state that has since changed, which is semantically wrong — an
+    incidental argument for incremental detection). *)
+
+type t
+
+val create : alphabet:int list -> Ode_event.Ast.t -> t
+(** Raises [Invalid_argument] if the expression contains a mask. *)
+
+val post : t -> int -> bool
+(** Append the event to the history and rescan; [true] iff some
+    subsequence of the history ending at this event matches. *)
+
+val history_length : t -> int
+val reset : t -> unit

@@ -1,0 +1,43 @@
+module Intern = Ode_event.Intern
+
+type triple = { s_cls : string; s_proto : string; s_position : string }
+
+let triple_equal a b =
+  String.equal a.s_cls b.s_cls
+  && String.equal a.s_proto b.s_proto
+  && String.equal a.s_position b.s_position
+
+let triple_hash t = Hashtbl.hash (t.s_cls, t.s_proto, t.s_position)
+
+module Tbl = Hashtbl.Make (struct
+  type t = triple
+
+  let equal = triple_equal
+  let hash = triple_hash
+end)
+
+type t = { subs : int list ref Tbl.t; mutable post_count : int }
+
+let create () = { subs = Tbl.create 64; post_count = 0 }
+
+let subscribe t triple id =
+  match Tbl.find_opt t.subs triple with
+  | Some bucket -> bucket := id :: !bucket
+  | None -> Tbl.replace t.subs triple (ref [ id ])
+
+let post t triple =
+  t.post_count <- t.post_count + 1;
+  match Tbl.find_opt t.subs triple with None -> [] | Some bucket -> List.rev !bucket
+
+let posts t = t.post_count
+
+let pp_triple fmt t = Format.fprintf fmt "(%s, %s, %s)" t.s_cls t.s_proto t.s_position
+
+let of_basic ~cls basic =
+  match basic with
+  | Intern.Before name -> { s_cls = cls; s_proto = "void " ^ name ^ "(...)"; s_position = "begin" }
+  | Intern.After name -> { s_cls = cls; s_proto = "void " ^ name ^ "(...)"; s_position = "end" }
+  | Intern.User name -> { s_cls = cls; s_proto = name; s_position = "user" }
+  | Intern.Before_tcomplete -> { s_cls = cls; s_proto = "tcomplete"; s_position = "begin" }
+  | Intern.Before_tabort -> { s_cls = cls; s_proto = "tabort"; s_position = "begin" }
+  | Intern.After_tcommit -> { s_cls = cls; s_proto = "tcommit"; s_position = "end" }

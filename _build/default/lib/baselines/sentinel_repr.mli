@@ -1,0 +1,30 @@
+(** Sentinel-style event representation: the comparison baseline of §7.
+
+    Sentinel represents a (member-function) event as a triple of strings —
+    the class name, the member-function prototype, and ["begin"] or
+    ["end"] — where Ode maps each event to a globally unique small integer
+    at run time. The paper argues Ode's mapping "is likely to have
+    significantly lower event posting overhead"; experiment T2 measures
+    exactly that: resolving an event occurrence against the subscription
+    table through triple-hashing versus through an [int] key. *)
+
+type triple = { s_cls : string; s_proto : string; s_position : string }
+
+val triple_equal : triple -> triple -> bool
+val triple_hash : triple -> int
+
+type t
+
+val create : unit -> t
+
+val subscribe : t -> triple -> int -> unit
+(** Register a subscriber (trigger) id under the triple. *)
+
+val post : t -> triple -> int list
+(** Subscribers for an occurrence of the event, in subscription order. *)
+
+val posts : t -> int
+val pp_triple : Format.formatter -> triple -> unit
+
+val of_basic : cls:string -> Ode_event.Intern.basic -> triple
+(** Render one of our interned events in Sentinel's representation. *)

@@ -1,0 +1,1 @@
+lib/core/credit_card.ml: Dsl List Ode_objstore Ode_trigger Session

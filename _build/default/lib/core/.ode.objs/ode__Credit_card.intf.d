@@ -1,0 +1,1 @@
+lib/core/credit_card.mli: Ode_objstore Ode_storage Session

@@ -1,0 +1,1 @@
+lib/core/dsl.ml: List Ode_event Ode_objstore Ode_trigger Printf Session

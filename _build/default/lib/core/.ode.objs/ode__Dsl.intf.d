@@ -1,0 +1,1 @@
+lib/core/dsl.mli: Ode_event Ode_objstore Ode_trigger Session

@@ -1,0 +1,1 @@
+lib/core/opp.ml: Buffer Format List Ode_event Ode_objstore Ode_trigger Printf Session String

@@ -1,0 +1,1 @@
+lib/core/opp.mli: Ode_objstore Session

@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Format Hashtbl Int List Ode_event Ode_objstore Ode_storage Ode_trigger String

@@ -1,0 +1,1 @@
+lib/core/session.mli: Ode_event Ode_objstore Ode_storage Ode_trigger

@@ -1,0 +1,165 @@
+module Value = Ode_objstore.Value
+module Oid = Ode_objstore.Oid
+module Coupling = Ode_trigger.Coupling
+module Ctx = Ode_trigger.Trigger_def
+
+let define_customer env =
+  Session.define_class env ~name:"Customer"
+    ~fields:[ ("name", Dsl.str ""); ("good_standing", Dsl.bool true) ]
+    ()
+
+let define_merchant env =
+  Session.define_class env ~name:"Merchant" ~fields:[ ("name", Dsl.str "") ] ()
+
+let define_audit_log env =
+  let append (ctx : Session.method_ctx) args =
+    let entry = Dsl.nth args 0 in
+    let entries = Value.to_list (ctx.Session.get "entries") in
+    ctx.Session.set "entries" (Value.List (entries @ [ entry ]));
+    Value.Null
+  in
+  Session.define_class env ~name:"AuditLog"
+    ~fields:[ ("entries", Dsl.list []) ]
+    ~methods:[ ("Append", append) ]
+    ()
+
+(* CredCard methods. *)
+
+let m_buy (ctx : Session.method_ctx) args =
+  (* args: merchant oid (or null), amount *)
+  let amount = Dsl.nth_float args 1 in
+  ctx.Session.set "currBal" (Value.Float (Dsl.self_float ctx "currBal" +. amount));
+  ctx.Session.set "purchases" (Value.Int (Dsl.self_int ctx "purchases" + 1));
+  Value.Null
+
+let m_pay_bill (ctx : Session.method_ctx) args =
+  let amount = Dsl.nth_float args 0 in
+  ctx.Session.set "currBal" (Value.Float (Dsl.self_float ctx "currBal" -. amount));
+  Value.Null
+
+let m_raise_limit (ctx : Session.method_ctx) args =
+  let amount = Dsl.nth_float args 0 in
+  ctx.Session.set "credLim" (Value.Float (Dsl.self_float ctx "credLim" +. amount));
+  Value.Null
+
+let m_black_mark (ctx : Session.method_ctx) args =
+  let problem = Dsl.nth_str args 0 in
+  let marks = Value.to_list (ctx.Session.get "black_marks") in
+  ctx.Session.set "black_marks" (Value.List (marks @ [ Value.Str problem ]));
+  Value.Null
+
+let m_good_cred_hist (ctx : Session.method_ctx) _args =
+  Value.Bool (Value.to_list (ctx.Session.get "black_marks") = [])
+
+(* Masks. *)
+
+let over_limit env ctx = Dsl.obj_float env ctx "currBal" > Dsl.obj_float env ctx "credLim"
+
+let more_cred env ctx =
+  (* (currBal > 0.8 * credLim) && GoodCredHist() *)
+  Dsl.obj_float env ctx "currBal" > 0.8 *. Dsl.obj_float env ctx "credLim"
+  && Value.to_bool (Dsl.obj_invoke env ctx "GoodCredHist" [])
+
+(* Trigger actions. *)
+
+let deny_credit_action env ctx =
+  ignore (Dsl.obj_invoke env ctx "BlackMark" [ Dsl.str "Over Limit"; Dsl.int 0 ]);
+  Session.tabort ()
+
+let auto_raise_limit_action env ctx =
+  ignore (Dsl.obj_invoke env ctx "RaiseLimit" [ Dsl.arg ctx 0 ])
+
+let log_denial_action env (ctx : Ctx.ctx) =
+  (* Runs in a separate, independent system transaction, so the record
+     survives even though DenyCredit aborts the purchase. *)
+  match Dsl.obj_get env ctx "audit" with
+  | Value.Oid log ->
+      ignore
+        (Session.invoke env ctx.Ctx.txn log "Append"
+           [ Dsl.str ("over-limit purchase attempt on card " ^ Oid.to_string ctx.Ctx.obj) ])
+  | _ -> ()
+
+let define_cred_card env =
+  Session.define_class env ~name:"CredCard"
+    ~fields:
+      [
+        ("issuedTo", Dsl.null);
+        ("credLim", Dsl.float 0.0);
+        ("currBal", Dsl.float 0.0);
+        ("black_marks", Dsl.list []);
+        ("purchases", Dsl.int 0);
+        ("audit", Dsl.null);
+      ]
+    ~methods:
+      [
+        ("Buy", m_buy);
+        ("PayBill", m_pay_bill);
+        ("RaiseLimit", m_raise_limit);
+        ("BlackMark", m_black_mark);
+        ("GoodCredHist", m_good_cred_hist);
+      ]
+    ~events:[ Dsl.after "Buy"; Dsl.after "PayBill"; Dsl.user_event "BigBuy" ]
+    ~masks:[ ("OverLimit", over_limit); ("MoreCred", more_cred) ]
+    ~triggers:
+      [
+        Dsl.trigger "DenyCredit" ~perpetual:true ~event:"after Buy & OverLimit"
+          ~action:deny_credit_action;
+        Dsl.trigger "AutoRaiseLimit" ~params:[ "amount" ]
+          ~event:"relative((after Buy & MoreCred()), after PayBill)"
+          ~action:auto_raise_limit_action;
+        Dsl.trigger "LogDenial" ~perpetual:true ~coupling:Coupling.Independent
+          ~event:"after Buy & OverLimit" ~action:log_denial_action;
+      ]
+    ()
+
+let define_gold_card env =
+  let m_upgrade (ctx : Session.method_ctx) _args =
+    ctx.Session.set "tier" (Value.Int (Dsl.self_int ctx "tier" + 1));
+    Value.Null
+  in
+  Session.define_class env ~name:"GoldCredCard" ~parents:[ "CredCard" ]
+    ~fields:[ ("tier", Dsl.int 1) ]
+    ~methods:[ ("Upgrade", m_upgrade) ]
+    ~events:[ Dsl.after "Upgrade" ]
+    ()
+
+let define_all env =
+  define_customer env;
+  define_merchant env;
+  define_audit_log env;
+  define_cred_card env;
+  define_gold_card env
+
+(* ------------------------------------------------------------------ *)
+(* Convenience constructors and accessors. *)
+
+let new_customer env txn ~name =
+  Session.pnew env txn ~cls:"Customer" ~init:[ ("name", Dsl.str name) ] ()
+
+let new_merchant env txn ~name =
+  Session.pnew env txn ~cls:"Merchant" ~init:[ ("name", Dsl.str name) ] ()
+
+let new_audit_log env txn = Session.pnew env txn ~cls:"AuditLog" ()
+
+let new_card env txn ?(cls = "CredCard") ~customer ~limit ?audit () =
+  let init =
+    [ ("issuedTo", Value.Oid customer); ("credLim", Dsl.float limit) ]
+    @ match audit with Some log -> [ ("audit", Value.Oid log) ] | None -> []
+  in
+  Session.pnew env txn ~cls ~init ()
+
+let buy env txn card ~merchant ~amount =
+  ignore (Session.invoke env txn card "Buy" [ Value.Oid merchant; Dsl.float amount ])
+
+let pay_bill env txn card ~amount =
+  ignore (Session.invoke env txn card "PayBill" [ Dsl.float amount ])
+
+let balance env txn card = Value.to_float (Session.get_field env txn card "currBal")
+
+let limit env txn card = Value.to_float (Session.get_field env txn card "credLim")
+
+let black_marks env txn card =
+  List.map Value.to_str (Value.to_list (Session.get_field env txn card "black_marks"))
+
+let audit_entries env txn log =
+  List.map Value.to_str (Value.to_list (Session.get_field env txn log "entries"))

@@ -1,0 +1,42 @@
+(** The paper's §4 credit-card monitoring example, as a reusable schema.
+
+    Classes: [Customer], [Merchant], [AuditLog], and [CredCard] with
+
+    {v
+      event after Buy, after PayBill, BigBuy;
+      trigger DenyCredit() : perpetual
+        after Buy & (currBal > credLim)
+        ==> { BlackMark("Over Limit", today()); tabort; }
+      trigger AutoRaiseLimit(float amount) :
+        relative((after Buy & MoreCred()), after PayBill)
+        ==> RaiseLimit(amount);
+    v}
+
+    plus a [GoldCredCard] subclass (own event [after Upgrade]) used by the
+    inheritance tests, and [LogDenial], a !dependent-coupled trigger showing
+    how to make the denial record survive the aborted purchase (the
+    immediate BlackMark in DenyCredit is rolled back together with the
+    transaction it aborts — see EXPERIMENTS.md T8). *)
+
+module Value := Ode_objstore.Value
+module Oid := Ode_objstore.Oid
+module Txn := Ode_storage.Txn
+
+val define_all : Session.t -> unit
+(** Register Customer, Merchant, AuditLog, CredCard and GoldCredCard. *)
+
+val new_customer : Session.t -> Txn.t -> name:string -> Oid.t
+val new_merchant : Session.t -> Txn.t -> name:string -> Oid.t
+val new_audit_log : Session.t -> Txn.t -> Oid.t
+
+val new_card :
+  Session.t -> Txn.t -> ?cls:string -> customer:Oid.t -> limit:float -> ?audit:Oid.t -> unit -> Oid.t
+(** [cls] defaults to ["CredCard"]; pass ["GoldCredCard"] for the
+    subclass. [audit] links the card to an audit log for [LogDenial]. *)
+
+val buy : Session.t -> Txn.t -> Oid.t -> merchant:Oid.t -> amount:float -> unit
+val pay_bill : Session.t -> Txn.t -> Oid.t -> amount:float -> unit
+val balance : Session.t -> Txn.t -> Oid.t -> float
+val limit : Session.t -> Txn.t -> Oid.t -> float
+val black_marks : Session.t -> Txn.t -> Oid.t -> string list
+val audit_entries : Session.t -> Txn.t -> Oid.t -> string list

@@ -1,0 +1,57 @@
+module Value = Ode_objstore.Value
+module Intern = Ode_event.Intern
+module Coupling = Ode_trigger.Coupling
+module Ctx = Ode_trigger.Trigger_def
+
+let int i = Value.Int i
+let float f = Value.Float f
+let str s = Value.Str s
+let bool b = Value.Bool b
+let null = Value.Null
+let list vs = Value.List vs
+
+let after name = Intern.After name
+let before name = Intern.Before name
+let user_event name = Intern.User name
+let before_tcomplete = Intern.Before_tcomplete
+let before_tabort = Intern.Before_tabort
+let after_tcommit = Intern.After_tcommit
+
+let trigger ?(params = []) ?(perpetual = false) ?(coupling = Coupling.Immediate) name ~event
+    ~action =
+  {
+    Session.tr_name = name;
+    tr_params = params;
+    tr_event = event;
+    tr_perpetual = perpetual;
+    tr_coupling = coupling;
+    tr_action = action;
+  }
+
+let obj_get env (ctx : Ctx.ctx) field = Session.get_field env ctx.Ctx.txn ctx.Ctx.obj field
+let obj_set env (ctx : Ctx.ctx) field v = Session.set_field env ctx.Ctx.txn ctx.Ctx.obj field v
+let obj_float env ctx field = Value.to_float (obj_get env ctx field)
+let obj_invoke env (ctx : Ctx.ctx) mname args = Session.invoke env ctx.Ctx.txn ctx.Ctx.obj mname args
+
+let arg (ctx : Ctx.ctx) i =
+  match List.nth_opt ctx.Ctx.args i with
+  | Some v -> v
+  | None -> raise (Session.Ode_error (Printf.sprintf "trigger has no argument #%d" i))
+
+let event_arg_opt (ctx : Ctx.ctx) i = List.nth_opt ctx.Ctx.ev_args i
+
+let event_arg ctx i =
+  match event_arg_opt ctx i with
+  | Some v -> v
+  | None -> raise (Session.Ode_error (Printf.sprintf "event has no attribute #%d" i))
+
+let self_float (ctx : Session.method_ctx) field = Value.to_float (ctx.Session.get field)
+let self_int (ctx : Session.method_ctx) field = Value.to_int (ctx.Session.get field)
+
+let nth args i =
+  match List.nth_opt args i with
+  | Some v -> v
+  | None -> raise (Session.Ode_error (Printf.sprintf "missing method argument #%d" i))
+
+let nth_float args i = Value.to_float (nth args i)
+let nth_str args i = Value.to_str (nth args i)

@@ -1,0 +1,55 @@
+(** Small combinators that make class definitions read like the paper's
+    O++ class declarations. See {!Credit_card} for the canonical use. *)
+
+module Value := Ode_objstore.Value
+module Ctx := Ode_trigger.Trigger_def
+
+(* Field defaults. *)
+val int : int -> Value.t
+val float : float -> Value.t
+val str : string -> Value.t
+val bool : bool -> Value.t
+val null : Value.t
+val list : Value.t list -> Value.t
+
+(* Event declarations, as in [event after Buy, after PayBill, BigBuy;]. *)
+val after : string -> Ode_event.Intern.basic
+val before : string -> Ode_event.Intern.basic
+val user_event : string -> Ode_event.Intern.basic
+val before_tcomplete : Ode_event.Intern.basic
+val before_tabort : Ode_event.Intern.basic
+val after_tcommit : Ode_event.Intern.basic
+
+val trigger :
+  ?params:string list ->
+  ?perpetual:bool ->
+  ?coupling:Ode_trigger.Coupling.t ->
+  string ->
+  event:string ->
+  action:Session.action_impl ->
+  Session.trigger_spec
+(** Defaults: no parameters, once-only, immediate coupling — the paper's
+    defaults. *)
+
+(* Accessors for trigger masks/actions (which receive a {!Ctx.ctx} for the
+   anchor object). *)
+val obj_get : Session.t -> Ctx.ctx -> string -> Value.t
+val obj_set : Session.t -> Ctx.ctx -> string -> Value.t -> unit
+val obj_float : Session.t -> Ctx.ctx -> string -> float
+val obj_invoke : Session.t -> Ctx.ctx -> string -> Value.t list -> Value.t
+val arg : Ctx.ctx -> int -> Value.t
+(** [arg ctx i] is the i-th activation argument. *)
+
+val event_arg : Ctx.ctx -> int -> Value.t
+(** [event_arg ctx i] is the i-th parameter of the member-function call
+    (or explicit posting) that produced the event — §8's "attributes of
+    events". Raises {!Session.Ode_error} when absent. *)
+
+val event_arg_opt : Ctx.ctx -> int -> Value.t option
+
+(* Accessors inside method bodies. *)
+val self_float : Session.method_ctx -> string -> float
+val self_int : Session.method_ctx -> string -> int
+val nth : Value.t list -> int -> Value.t
+val nth_float : Value.t list -> int -> float
+val nth_str : Value.t list -> int -> string

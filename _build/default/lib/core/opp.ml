@@ -1,0 +1,472 @@
+module Value = Ode_objstore.Value
+module Coupling = Ode_trigger.Coupling
+
+type bindings = {
+  methods : (string * Session.method_impl) list;
+  masks : (string * Session.mask_impl) list;
+  actions : (string * Session.action_impl) list;
+  constraints : (string * Session.mask_impl) list;
+}
+
+let no_bindings = { methods = []; masks = []; actions = []; constraints = [] }
+
+exception Syntax_error of { line : int; message : string }
+
+let syntax_error line fmt =
+  Format.kasprintf (fun message -> raise (Syntax_error { line; message })) fmt
+
+let field_default = function
+  | "int" -> Value.Int 0
+  | "float" -> Value.Float 0.0
+  | "string" -> Value.Str ""
+  | "bool" -> Value.Bool false
+  | "oid" -> Value.Null
+  | "list" -> Value.List []
+  | _ -> raise Not_found
+
+(* ------------------------------------------------------------------ *)
+(* Comment stripping (preserving line structure for error messages). *)
+
+let strip_comments source =
+  let buf = Buffer.create (String.length source) in
+  let n = String.length source in
+  let rec go i state =
+    if i >= n then begin
+      match state with
+      | `Block _ -> syntax_error (line_of n) "unterminated /* comment"
+      | `Code | `Line | `Str -> ()
+    end
+    else begin
+      let c = source.[i] in
+      match state with
+      | `Code ->
+          if c = '/' && i + 1 < n && source.[i + 1] = '/' then go (i + 2) `Line
+          else if c = '/' && i + 1 < n && source.[i + 1] = '*' then begin
+            Buffer.add_char buf ' ';
+            go (i + 2) (`Block i)
+          end
+          else begin
+            Buffer.add_char buf c;
+            if c = '"' then go (i + 1) `Str else go (i + 1) `Code
+          end
+      | `Line ->
+          if c = '\n' then begin
+            Buffer.add_char buf '\n';
+            go (i + 1) `Code
+          end
+          else go (i + 1) `Line
+      | `Block start ->
+          if c = '*' && i + 1 < n && source.[i + 1] = '/' then go (i + 2) `Code
+          else begin
+            if c = '\n' then Buffer.add_char buf '\n';
+            go (i + 1) (`Block start)
+          end
+      | `Str ->
+          Buffer.add_char buf c;
+          if c = '"' then go (i + 1) `Code
+          else if c = '\\' && i + 1 < n then begin
+            Buffer.add_char buf source.[i + 1];
+            go (i + 2) `Str
+          end
+          else go (i + 1) `Str
+    end
+  and line_of i =
+    let count = ref 1 in
+    String.iteri (fun j c -> if j < i && c = '\n' then incr count) source;
+    !count
+  in
+  go 0 `Code;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* A tiny cursor over the comment-stripped text. *)
+
+type cursor = { text : string; mutable pos : int }
+
+let line_at cur pos =
+  let count = ref 1 in
+  String.iteri (fun j c -> if j < pos && c = '\n' then incr count) cur.text;
+  !count
+
+let cur_line cur = line_at cur cur.pos
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+
+let skip_ws cur =
+  while cur.pos < String.length cur.text && is_space cur.text.[cur.pos] do
+    cur.pos <- cur.pos + 1
+  done
+
+let at_end cur =
+  skip_ws cur;
+  cur.pos >= String.length cur.text
+
+let peek_char cur =
+  skip_ws cur;
+  if cur.pos < String.length cur.text then Some cur.text.[cur.pos] else None
+
+let expect_char cur c what =
+  skip_ws cur;
+  if cur.pos < String.length cur.text && cur.text.[cur.pos] = c then cur.pos <- cur.pos + 1
+  else syntax_error (cur_line cur) "expected %s" what
+
+let ident cur =
+  skip_ws cur;
+  let start = cur.pos in
+  if start >= String.length cur.text || not (is_ident_start cur.text.[start]) then
+    syntax_error (cur_line cur) "expected an identifier";
+  while cur.pos < String.length cur.text && is_ident cur.text.[cur.pos] do
+    cur.pos <- cur.pos + 1
+  done;
+  String.sub cur.text start (cur.pos - start)
+
+let try_keyword cur kw =
+  skip_ws cur;
+  let n = String.length kw in
+  if
+    cur.pos + n <= String.length cur.text
+    && String.sub cur.text cur.pos n = kw
+    && (cur.pos + n = String.length cur.text || not (is_ident cur.text.[cur.pos + n]))
+  then begin
+    cur.pos <- cur.pos + n;
+    true
+  end
+  else false
+
+(* Raw text up to (not including) the next top-level occurrence of [stop]
+   (a string like "==>" or ";"), respecting string literals and
+   parentheses for ';'. *)
+let until cur stop =
+  skip_ws cur;
+  let n = String.length cur.text in
+  let sn = String.length stop in
+  let start = cur.pos in
+  let rec go i in_str depth =
+    if i >= n then syntax_error (line_at cur start) "expected %S" stop
+    else if in_str then
+      if cur.text.[i] = '"' then go (i + 1) false depth
+      else if cur.text.[i] = '\\' then go (i + 2) true depth
+      else go (i + 1) true depth
+    else if cur.text.[i] = '"' then go (i + 1) true depth
+    else if depth = 0 && i + sn <= n && String.sub cur.text i sn = stop then i
+    else if cur.text.[i] = '(' then go (i + 1) false (depth + 1)
+    else if cur.text.[i] = ')' then go (i + 1) false (depth - 1)
+    else go (i + 1) false depth
+  in
+  let stop_at = go start false 0 in
+  let raw = String.trim (String.sub cur.text start (stop_at - start)) in
+  cur.pos <- stop_at + sn;
+  raw
+
+(* ------------------------------------------------------------------ *)
+(* Literals. *)
+
+let parse_literal cur =
+  skip_ws cur;
+  let line = cur_line cur in
+  match peek_char cur with
+  | Some '"' ->
+      cur.pos <- cur.pos + 1;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if cur.pos >= String.length cur.text then syntax_error line "unterminated string"
+        else begin
+          let c = cur.text.[cur.pos] in
+          cur.pos <- cur.pos + 1;
+          if c = '"' then Buffer.contents buf
+          else if c = '\\' && cur.pos < String.length cur.text then begin
+            let e = cur.text.[cur.pos] in
+            cur.pos <- cur.pos + 1;
+            Buffer.add_char buf (match e with 'n' -> '\n' | 't' -> '\t' | other -> other);
+            go ()
+          end
+          else begin
+            Buffer.add_char buf c;
+            go ()
+          end
+        end
+      in
+      Value.Str (go ())
+  | Some '[' ->
+      cur.pos <- cur.pos + 1;
+      expect_char cur ']' "']' (only empty list literals are supported)";
+      Value.List []
+  | Some c when c = '-' || (c >= '0' && c <= '9') ->
+      let start = cur.pos in
+      if c = '-' then cur.pos <- cur.pos + 1;
+      let is_num ch = (ch >= '0' && ch <= '9') || ch = '.' || ch = 'e' || ch = 'E' || ch = '+' || ch = '-' in
+      while cur.pos < String.length cur.text && is_num cur.text.[cur.pos] do
+        cur.pos <- cur.pos + 1
+      done;
+      let token = String.sub cur.text start (cur.pos - start) in
+      if String.contains token '.' || String.contains token 'e' || String.contains token 'E' then begin
+        match float_of_string_opt token with
+        | Some f -> Value.Float f
+        | None -> syntax_error line "bad float literal %s" token
+      end
+      else begin
+        match int_of_string_opt token with
+        | Some i -> Value.Int i
+        | None -> syntax_error line "bad int literal %s" token
+      end
+  | Some _ ->
+      let word = ident cur in
+      (match word with
+      | "true" -> Value.Bool true
+      | "false" -> Value.Bool false
+      | "null" -> Value.Null
+      | other -> syntax_error line "bad literal %s" other)
+  | None -> syntax_error line "expected a literal"
+
+(* ------------------------------------------------------------------ *)
+(* Event declarations: "after Buy", "before Ship", "before tcomplete",
+   "BigBuy". *)
+
+let parse_event_decl line text =
+  let words =
+    String.split_on_char ' ' (String.trim text)
+    |> List.concat_map (String.split_on_char '\n')
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "after"; "tcommit" ] -> Ode_event.Intern.After_tcommit
+  | [ "before"; "tcomplete" ] -> Ode_event.Intern.Before_tcomplete
+  | [ "before"; "tabort" ] -> Ode_event.Intern.Before_tabort
+  | [ "after"; name ] -> Ode_event.Intern.After name
+  | [ "before"; name ] -> Ode_event.Intern.Before name
+  | [ name ] -> Ode_event.Intern.User name
+  | _ -> syntax_error line "bad event declaration %S" (String.trim text)
+
+(* ------------------------------------------------------------------ *)
+(* Binding resolution. *)
+
+let resolve ~stub ~on_missing what table ~cls name =
+  match List.assoc_opt (cls ^ "." ^ name) table with
+  | Some impl -> impl
+  | None -> begin
+      match List.assoc_opt name table with
+      | Some impl -> impl
+      | None -> begin
+          match on_missing with
+          | `Stub -> stub
+          | `Error ->
+              raise
+                (Session.Ode_error
+                   (Printf.sprintf "no %s binding for %s (class %s)" what name cls))
+        end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Trigger modifiers. *)
+
+let split_modifiers line raw =
+  (* Leading words of the expression text that are modifiers. *)
+  let is_mod w =
+    w = "perpetual" || Coupling.of_string w <> None
+  in
+  let rec go acc text =
+    let text = String.trim text in
+    let word_end =
+      let rec find i =
+        if i < String.length text && (is_ident text.[i] || text.[i] = '!') then find (i + 1) else i
+      in
+      find 0
+    in
+    if word_end = 0 then (List.rev acc, text)
+    else begin
+      let word = String.sub text 0 word_end in
+      if is_mod word then
+        go (word :: acc) (String.sub text word_end (String.length text - word_end))
+      else (List.rev acc, text)
+    end
+  in
+  let mods, expr = go [] raw in
+  let perpetual = List.mem "perpetual" mods in
+  let couplings = List.filter_map Coupling.of_string mods in
+  let coupling =
+    match couplings with
+    | [] -> Coupling.Immediate
+    | [ one ] -> one
+    | _ -> syntax_error line "multiple coupling modes"
+  in
+  (perpetual, coupling, expr)
+
+(* ------------------------------------------------------------------ *)
+(* Class bodies. *)
+
+type decl = {
+  mutable d_fields : (string * Value.t) list;
+  mutable d_methods : string list;
+  mutable d_masks : string list;
+  mutable d_events : Ode_event.Intern.basic list;
+  mutable d_triggers : (string * string list * bool * Coupling.t * string * string) list;
+      (* name, params, perpetual, coupling, expr text, action name *)
+  mutable d_constraints : string list;
+}
+
+let parse_class_body cur =
+  let decl =
+    {
+      d_fields = [];
+      d_methods = [];
+      d_masks = [];
+      d_events = [];
+      d_triggers = [];
+      d_constraints = [];
+    }
+  in
+  let rec statements () =
+    skip_ws cur;
+    match peek_char cur with
+    | Some '}' ->
+        cur.pos <- cur.pos + 1;
+        (* optional trailing ';' *)
+        skip_ws cur;
+        if peek_char cur = Some ';' then cur.pos <- cur.pos + 1
+    | None -> syntax_error (cur_line cur) "unterminated class body"
+    | Some _ ->
+        let line = cur_line cur in
+        let word = ident cur in
+        (match word with
+        | "method" ->
+            let name = ident cur in
+            expect_char cur ';' "';'";
+            decl.d_methods <- decl.d_methods @ [ name ]
+        | "mask" ->
+            let name = ident cur in
+            expect_char cur ';' "';'";
+            decl.d_masks <- decl.d_masks @ [ name ]
+        | "constraint" ->
+            let name = ident cur in
+            expect_char cur ';' "';'";
+            decl.d_constraints <- decl.d_constraints @ [ name ]
+        | "event" ->
+            let raw = until cur ";" in
+            let parts = String.split_on_char ',' raw in
+            decl.d_events <- decl.d_events @ List.map (parse_event_decl line) parts
+        | "trigger" ->
+            let name = ident cur in
+            expect_char cur '(' "'('";
+            let params =
+              let raw = until cur ")" in
+              String.split_on_char ',' raw
+              |> List.map String.trim
+              |> List.filter (fun p -> p <> "")
+              (* accept "float amount" or bare "amount" *)
+              |> List.map (fun p ->
+                     match List.filter (fun w -> w <> "") (String.split_on_char ' ' p) with
+                     | [ pname ] | [ _; pname ] -> pname
+                     | _ -> syntax_error line "bad parameter %S" p)
+            in
+            expect_char cur ':' "':'";
+            let raw = until cur "==>" in
+            let perpetual, coupling, expr = split_modifiers line raw in
+            let action = String.trim (until cur ";") in
+            if expr = "" then syntax_error line "trigger %s has an empty event expression" name;
+            if action = "" then syntax_error line "trigger %s has an empty action" name;
+            decl.d_triggers <- decl.d_triggers @ [ (name, params, perpetual, coupling, expr, action) ]
+        | type_name ->
+            (* field: TYPE NAME [= LITERAL]; *)
+            let default =
+              match field_default type_name with
+              | default -> default
+              | exception Not_found ->
+                  syntax_error line "unknown declaration or field type %S" type_name
+            in
+            let fname = ident cur in
+            skip_ws cur;
+            let value =
+              if peek_char cur = Some '=' then begin
+                cur.pos <- cur.pos + 1;
+                parse_literal cur
+              end
+              else default
+            in
+            expect_char cur ';' "';'";
+            decl.d_fields <- decl.d_fields @ [ (fname, value) ]);
+        statements ()
+  in
+  statements ();
+  decl
+
+(* ------------------------------------------------------------------ *)
+
+let define_one env ~on_missing ~bindings ~name ~parents decl =
+  let cls = name in
+  let stub_method : Session.method_impl = fun _ctx _args -> Value.Null in
+  let stub_mask : Session.mask_impl = fun _env _ctx -> false in
+  let stub_constraint : Session.mask_impl = fun _env _ctx -> true in
+  let stub_action : Session.action_impl = fun _env _ctx -> () in
+  let methods =
+    List.map
+      (fun m -> (m, resolve ~stub:stub_method ~on_missing "method" bindings.methods ~cls m))
+      decl.d_methods
+  in
+  let masks =
+    List.map
+      (fun m -> (m, resolve ~stub:stub_mask ~on_missing "mask" bindings.masks ~cls m))
+      decl.d_masks
+  in
+  let constraints =
+    List.map
+      (fun c ->
+        (c, resolve ~stub:stub_constraint ~on_missing "constraint" bindings.constraints ~cls c))
+      decl.d_constraints
+  in
+  let triggers =
+    List.map
+      (fun (tname, params, perpetual, coupling, expr, action_name) ->
+        let action =
+          if action_name = "tabort" then fun _env _ctx -> Session.tabort ()
+          else resolve ~stub:stub_action ~on_missing "action" bindings.actions ~cls action_name
+        in
+        {
+          Session.tr_name = tname;
+          tr_params = params;
+          tr_event = expr;
+          tr_perpetual = perpetual;
+          tr_coupling = coupling;
+          tr_action = action;
+        })
+      decl.d_triggers
+  in
+  Session.define_class env ~name ~parents ~fields:decl.d_fields ~methods
+    ~events:decl.d_events ~masks ~triggers ~constraints ()
+
+let load ?(on_missing = `Error) env ~bindings source =
+  let cur = { text = strip_comments source; pos = 0 } in
+  let defined = ref [] in
+  while not (at_end cur) do
+    let line = cur_line cur in
+    (* optional "persistent" keyword *)
+    ignore (try_keyword cur "persistent");
+    if not (try_keyword cur "class") then syntax_error line "expected 'class'";
+    let name = ident cur in
+    let parents =
+      if peek_char cur = Some ':' then begin
+        cur.pos <- cur.pos + 1;
+        let raw = until cur "{" in
+        String.split_on_char ',' raw
+        |> List.map (fun p ->
+               (* accept "public Base" or "Base" *)
+               match
+                 List.filter (fun w -> w <> "")
+                   (String.split_on_char ' ' (String.trim p))
+               with
+               | [ parent ] -> parent
+               | [ "public"; parent ] | [ "private"; parent ] -> parent
+               | _ -> syntax_error line "bad parent specification %S" p)
+      end
+      else begin
+        expect_char cur '{' "'{'";
+        []
+      end
+    in
+    let decl = parse_class_body cur in
+    define_one env ~on_missing ~bindings ~name ~parents decl;
+    defined := name :: !defined
+  done;
+  List.rev !defined

@@ -1,0 +1,75 @@
+(** An O++-flavoured declaration front end.
+
+    The paper defines databases in O++, "an upward-compatible extension of
+    C++" whose class definitions carry event declarations and triggers
+    (§2, §4). This module parses the declaration subset of that surface
+    syntax — everything except C++ function bodies, which are bound by
+    name to OCaml implementations — and installs the classes through
+    {!Session.define_class}:
+
+    {v
+      persistent class CredCard : Person {
+        float credLim = 0.0;
+        float currBal;
+        list  black_marks = [];
+
+        method Buy;
+        method PayBill;
+        method RaiseLimit;
+        method BlackMark;
+
+        mask OverLimit;
+        mask MoreCred;
+
+        event after Buy, after PayBill, BigBuy;
+
+        trigger DenyCredit() : perpetual after Buy & OverLimit ==> deny;
+        trigger AutoRaiseLimit(amount) :
+          relative((after Buy & MoreCred()), after PayBill) ==> raise_limit;
+
+        constraint NonNegativeLimit;
+      };
+    v}
+
+    Coupling modes are written before the event expression:
+    [trigger T() : perpetual end after Buy ==> act;] — one of [immediate]
+    (default), [end], [dependent], [!dependent], [phoenix].
+
+    [//] and [/* ... */] comments are supported. The [persistent] keyword
+    is accepted and ignored (all Opp classes are persistent-capable; the
+    volatile/persistent distinction is made per object, as in O++). *)
+
+type bindings = {
+  methods : (string * Session.method_impl) list;
+  masks : (string * Session.mask_impl) list;
+  actions : (string * Session.action_impl) list;
+  constraints : (string * Session.mask_impl) list;
+}
+(** Name-to-implementation bindings. Names are looked up first as
+    ["Class.name"], then as ["name"], so one binding table can serve many
+    classes. A trigger's [==> name] resolves in [actions]; a declared
+    [mask]/[constraint] in the respective table; [tabort] is predefined as
+    an action. *)
+
+val no_bindings : bindings
+
+exception Syntax_error of { line : int; message : string }
+
+val load :
+  ?on_missing:[ `Error | `Stub ] -> Session.t -> bindings:bindings -> string -> string list
+(** Parse the source text and define every class in it, in order. Returns
+    the class names defined. Raises {!Syntax_error} on malformed input and
+    {!Session.Ode_error} for semantic errors (unknown parents, unbound
+    implementation names, bad trigger expressions...).
+
+    [on_missing] (default [`Error]) controls unbound implementation names:
+    [`Stub] installs no-op stand-ins (methods return [Null], masks and
+    constraints return [false] resp. [true], actions do nothing) — useful
+    for checking a schema's syntax and compiling its FSMs without the
+    application code, as [odectl opp] does. *)
+
+val field_default : string -> Ode_objstore.Value.t
+(** The default value of each field type keyword ([int] → [Int 0],
+    [float] → [Float 0.], [string] → [Str ""], [bool] → [Bool false],
+    [oid] → [Null], [list] → [List []]). Raises [Not_found] for unknown
+    type names. *)

@@ -1,0 +1,793 @@
+module Txn = Ode_storage.Txn
+module Store = Ode_storage.Store
+module Lock_manager = Ode_storage.Lock_manager
+module Disk_store = Ode_storage.Disk_store
+module Mem_store = Ode_storage.Mem_store
+module Recovery = Ode_storage.Recovery
+module Wal = Ode_storage.Wal
+module Oid = Ode_objstore.Oid
+module Value = Ode_objstore.Value
+module Objrec = Ode_objstore.Objrec
+module Database = Ode_objstore.Database
+module Intern = Ode_event.Intern
+module Ast = Ode_event.Ast
+module Parser = Ode_event.Parser
+module Compile = Ode_event.Compile
+module Minimize = Ode_event.Minimize
+module Fsm = Ode_event.Fsm
+module Coupling = Ode_trigger.Coupling
+module Trigger_def = Ode_trigger.Trigger_def
+module Trigger_state = Ode_trigger.Trigger_state
+module Runtime = Ode_trigger.Runtime
+
+exception Aborted
+
+exception Ode_error of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Ode_error msg)) fmt
+
+type store_kind = [ `Disk | `Mem ]
+
+type backend =
+  | Disk_backend of Disk_store.t * Disk_store.t
+  | Mem_backend of Mem_store.t * Mem_store.t
+
+type monitor = {
+  m_fsm : Ode_event.Fsm.t;
+  m_masks : (int * (vobj -> bool)) list;
+  m_action : vobj -> unit;
+  m_once : bool;
+  mutable m_state : int;
+  mutable m_active : bool;
+}
+
+and vobj = {
+  v_cls : string;
+  mutable v_fields : (string * Value.t) list;
+  mutable v_monitors : monitor list;  (* newest first *)
+}
+
+type obj_handle = Persistent of Oid.t | Volatile of vobj
+
+type t = {
+  kind : store_kind;
+  backend : backend;
+  mgr : Txn.mgr;
+  obj_store : Store.t;
+  trig_store : Store.t;
+  db : Database.t;
+  rt : Runtime.t;
+  intern : Intern.t;
+  classes : (string, class_entry) Hashtbl.t;
+  posting_plans : (string * string, int list * int list) Hashtbl.t;
+      (* (dynamic class, method) -> before ids, after ids *)
+}
+
+and method_ctx = {
+  env : t;
+  txn : Txn.t option;
+  self : obj_handle;
+  get : string -> Value.t;
+  set : string -> Value.t -> unit;
+  invoke_self : string -> Value.t list -> Value.t;
+  post_self : string -> unit;
+}
+
+and method_impl = method_ctx -> Value.t list -> Value.t
+
+and class_entry = {
+  c_name : string;
+  c_parents : string list;
+  c_own_fields : (string * Value.t) list;
+  c_all_fields : (string * Value.t) list;
+  c_methods : (string * method_impl) list;
+  c_event_decls : Intern.basic list;
+  c_constraints : string list;  (* own constraint-trigger names *)
+}
+
+type mask_impl = t -> Trigger_def.ctx -> bool
+type action_impl = t -> Trigger_def.ctx -> unit
+
+type trigger_spec = {
+  tr_name : string;
+  tr_params : string list;
+  tr_event : string;
+  tr_perpetual : bool;
+  tr_coupling : Coupling.t;
+  tr_action : action_impl;
+}
+
+let store_kind t = t.kind
+let runtime t = t.rt
+let database t = t.db
+let mgr t = t.mgr
+let intern t = t.intern
+
+(* ------------------------------------------------------------------ *)
+(* Construction. *)
+
+let assemble ~kind ~backend ~mgr ~obj_store ~trig_store ~db =
+  let intern = Intern.create () in
+  {
+    kind;
+    backend;
+    mgr;
+    obj_store;
+    trig_store;
+    db;
+    rt = Runtime.create ~mgr ~intern ~store:trig_store;
+    intern;
+    classes = Hashtbl.create 32;
+    posting_plans = Hashtbl.create 64;
+  }
+
+let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin () =
+  let mgr = Txn.create_mgr () in
+  let backend, obj_store, trig_store =
+    match store with
+    | `Disk ->
+        let objects = Disk_store.create ?page_size ?pool_capacity ?io_spin ~mgr ~name:"objects" () in
+        let triggers = Disk_store.create ?page_size ?pool_capacity ?io_spin ~mgr ~name:"triggers" () in
+        (Disk_backend (objects, triggers), Disk_store.ops objects, Disk_store.ops triggers)
+    | `Mem ->
+        let objects = Mem_store.create ~mgr ~name:"objects" () in
+        let triggers = Mem_store.create ~mgr ~name:"triggers" () in
+        (Mem_backend (objects, triggers), Mem_store.ops objects, Mem_store.ops triggers)
+  in
+  let db = Database.create ~mgr ~store:obj_store ~name:"main" in
+  assemble ~kind:store ~backend ~mgr ~obj_store ~trig_store ~db
+
+(* ------------------------------------------------------------------ *)
+(* Class definition: the work the O++ compiler does per class. *)
+
+let class_entry t cls =
+  match Hashtbl.find_opt t.classes cls with
+  | Some entry -> entry
+  | None -> fail "unknown class %s" cls
+
+(* Depth-first, left-to-right linearisation with duplicates removed: the
+   method/event resolution order. *)
+let ancestors t cls =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec visit cls =
+    if not (Hashtbl.mem seen cls) then begin
+      Hashtbl.replace seen cls ();
+      order := cls :: !order;
+      List.iter visit (class_entry t cls).c_parents
+    end
+  in
+  visit cls;
+  List.rev !order
+
+let merge_fields ~cls lists =
+  let result = ref [] in
+  let add (name, default) =
+    match List.assoc_opt name !result with
+    | None -> result := !result @ [ (name, default) ]
+    | Some existing ->
+        if not (Value.equal existing default) then
+          fail "class %s inherits conflicting defaults for field %s" cls name
+  in
+  List.iter (List.iter add) lists;
+  !result
+
+let is_txn_event = function
+  | Intern.Before_tcomplete | Intern.Before_tabort | Intern.After_tcommit -> true
+  | Intern.Before _ | Intern.After _ | Intern.User _ -> false
+
+(* Find the ancestor class that declared [basic] and return the interned
+   id; events are interned under their declaring class so that base-class
+   triggers see base-class event ids. *)
+let declared_event_id t ~cls basic =
+  let rec go = function
+    | [] -> None
+    | ancestor :: rest ->
+        let entry = class_entry t ancestor in
+        if List.exists (Intern.basic_equal basic) entry.c_event_decls then
+          Some (Intern.id t.intern ~cls:ancestor basic)
+        else go rest
+  in
+  go (ancestors t cls)
+
+let define_class t ~name ?(parents = []) ?(fields = []) ?(methods = []) ?(events = [])
+    ?(masks = []) ?(triggers = []) ?(constraints = []) () =
+  if Hashtbl.mem t.classes name then fail "class %s is already defined" name;
+  List.iter
+    (fun parent -> if not (Hashtbl.mem t.classes parent) then fail "unknown parent class %s" parent)
+    parents;
+  let inherited_fields = List.map (fun p -> (class_entry t p).c_all_fields) parents in
+  let all_fields = merge_fields ~cls:name (inherited_fields @ [ fields ]) in
+  (* Constraints (§8: "intra-object constraints as a special case of
+     triggers") desugar to perpetual immediate triggers on [any] whose mask
+     is the invariant's negation and whose action is [tabort]; they are
+     auto-activated by [pnew]. *)
+  let constraint_masks =
+    List.map (fun (cname, pred) -> (cname, fun env ctx -> not (pred env ctx))) constraints
+  in
+  let constraint_triggers =
+    List.map
+      (fun (cname, _) ->
+        {
+          tr_name = cname;
+          tr_params = [];
+          tr_event = "any & " ^ cname;
+          tr_perpetual = true;
+          tr_coupling = Coupling.Immediate;
+          tr_action = (fun _env _ctx -> raise Runtime.Tabort);
+        })
+      constraints
+  in
+  let masks = masks @ constraint_masks in
+  let triggers = triggers @ constraint_triggers in
+  let check_distinct what names =
+    if List.length (List.sort_uniq String.compare names) <> List.length names then
+      fail "class %s declares duplicate %s" name what
+  in
+  check_distinct "mask names" (List.map fst masks);
+  check_distinct "trigger names" (List.map (fun spec -> spec.tr_name) triggers);
+  check_distinct "method names" (List.map fst methods);
+  check_distinct "field names" (List.map fst fields);
+  check_distinct "event declarations" (List.map Intern.basic_to_string events);
+  let entry =
+    {
+      c_name = name;
+      c_parents = parents;
+      c_own_fields = fields;
+      c_all_fields = all_fields;
+      c_methods = methods;
+      c_event_decls = events;
+      c_constraints = List.map fst constraints;
+    }
+  in
+  Hashtbl.replace t.classes name entry;
+  (* Intern own declared events under this class (the eventRep array). *)
+  let own_ids = List.map (fun basic -> Intern.id t.intern ~cls:name basic) events in
+  let parent_descriptors =
+    List.map (fun p -> Trigger_def.Registry.find_exn (Runtime.registry t.rt) p) parents
+  in
+  let alphabet =
+    List.sort_uniq Int.compare
+      (own_ids @ List.concat_map (fun d -> d.Trigger_def.d_alphabet) parent_descriptors)
+  in
+  let txn_events =
+    let own =
+      List.filter_map
+        (fun basic ->
+          if is_txn_event basic then Some (basic, Intern.id t.intern ~cls:name basic) else None)
+        events
+    in
+    let inherited = List.concat_map (fun d -> d.Trigger_def.d_txn_events) parent_descriptors in
+    own @ inherited
+  in
+  (* Mask environment: ids are positional within this class definition. *)
+  let mask_table =
+    List.mapi
+      (fun i (mask_name, impl) -> ({ Ast.mask_id = i; mask_name }, impl))
+      masks
+  in
+  let parser_env =
+    {
+      Parser.resolve_event =
+        (fun ?cls basic ->
+          match cls with
+          | None -> declared_event_id t ~cls:name basic
+          | Some qualifier ->
+              if Hashtbl.mem t.classes qualifier then declared_event_id t ~cls:qualifier basic
+              else None);
+      resolve_mask =
+        (fun mask_name ->
+          List.find_map
+            (fun (mask, _) ->
+              if String.equal mask.Ast.mask_name mask_name then Some mask else None)
+            mask_table);
+    }
+  in
+  let compile_trigger index spec =
+    let anchored, expr =
+      match Parser.parse parser_env spec.tr_event with
+      | Ok result -> result
+      | Error e ->
+          fail "class %s, trigger %s: %a" name spec.tr_name Parser.pp_error e
+    in
+    (* Cross-class references (§8 inter-object triggers) may bring event
+       ids from other classes' alphabets; the machine's alphabet is the
+       union (and so is what [any] expands to for such triggers). *)
+    let trigger_alphabet = List.sort_uniq Int.compare (alphabet @ Ast.events expr) in
+    let fsm =
+      try
+        Compile.compile ~alphabet:trigger_alphabet ~anchored expr
+        |> Minimize.simplify |> Minimize.prune_mask_states
+      with Compile.Unsupported msg ->
+        fail "class %s, trigger %s: %s" name spec.tr_name msg
+    in
+    let used_masks = Ast.masks expr in
+    let mask_fns =
+      List.map
+        (fun (mask : Ast.mask) ->
+          let _, impl =
+            List.find (fun (m, _) -> m.Ast.mask_id = mask.Ast.mask_id) mask_table
+          in
+          (mask.Ast.mask_id, fun ctx -> impl t ctx))
+        used_masks
+    in
+    {
+      Trigger_def.t_name = spec.tr_name;
+      t_index = index;
+      t_fsm = fsm;
+      t_masks = mask_fns;
+      t_action = (fun ctx -> spec.tr_action t ctx);
+      t_perpetual = spec.tr_perpetual;
+      t_coupling = spec.tr_coupling;
+      t_params = spec.tr_params;
+      t_expr = expr;
+      t_anchored = anchored;
+    }
+  in
+  let infos = Array.of_list (List.mapi compile_trigger triggers) in
+  Runtime.register_class t.rt
+    {
+      Trigger_def.d_cls = name;
+      d_parents = parents;
+      d_alphabet = alphabet;
+      d_txn_events = txn_events;
+      d_triggers = infos;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Method resolution and event posting plans (§5.3). *)
+
+let resolve_method t ~cls mname =
+  let rec go = function
+    | [] -> fail "class %s has no method %s" cls mname
+    | ancestor :: rest -> begin
+        match List.assoc_opt mname (class_entry t ancestor).c_methods with
+        | Some impl -> impl
+        | None -> go rest
+      end
+  in
+  go (ancestors t cls)
+
+(* before/after event ids to post around an invocation of [mname] on a
+   dynamic instance of [cls]: every ancestor that declared interest
+   contributes its own id. *)
+let posting_plan t ~cls mname =
+  match Hashtbl.find_opt t.posting_plans (cls, mname) with
+  | Some plan -> plan
+  | None ->
+      let collect mk =
+        List.filter_map
+          (fun ancestor ->
+            let entry = class_entry t ancestor in
+            if List.exists (Intern.basic_equal (mk mname)) entry.c_event_decls then
+              Some (Intern.id t.intern ~cls:ancestor (mk mname))
+            else None)
+          (ancestors t cls)
+        |> List.sort_uniq Int.compare
+      in
+      let plan = (collect (fun m -> Intern.Before m), collect (fun m -> Intern.After m)) in
+      Hashtbl.replace t.posting_plans (cls, mname) plan;
+      plan
+
+(* ------------------------------------------------------------------ *)
+(* Persistent object operations. *)
+
+let class_of t txn oid = Database.class_of t.db txn oid
+
+let note_access t txn oid =
+  let cls = class_of t txn oid in
+  Runtime.note_access t.rt txn ~obj:oid ~cls
+
+let pnew t txn ~cls ?(init = []) () =
+  let entry = class_entry t cls in
+  let fields =
+    List.map
+      (fun (name, default) ->
+        match List.assoc_opt name init with Some v -> (name, v) | None -> (name, default))
+      entry.c_all_fields
+  in
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name fields) then fail "class %s has no field %s" cls name)
+    init;
+  let oid = Database.pnew t.db txn (Objrec.make ~cls ~fields) in
+  Runtime.note_access t.rt txn ~obj:oid ~cls;
+  (* Auto-activate constraint triggers declared by the class and its
+     bases. *)
+  List.iter
+    (fun ancestor ->
+      List.iter
+        (fun cname ->
+          ignore
+            (Runtime.activate t.rt txn ~defining_cls:ancestor ~trigger:cname ~obj:oid
+               ~obj_cls:cls ~args:[]))
+        (class_entry t ancestor).c_constraints)
+    (ancestors t cls);
+  oid
+
+let pdelete t txn oid =
+  (* Dropping an object deactivates the triggers anchored at it; dangling
+     TriggerStates would otherwise crash later postings and commits. *)
+  Runtime.on_object_deleted t.rt txn oid;
+  Database.pdelete t.db txn oid
+
+let exists t txn oid = Database.exists t.db txn oid
+
+let get_field t txn oid field =
+  note_access t txn oid;
+  Database.get_field t.db txn oid field
+
+let set_field t txn oid field v =
+  note_access t txn oid;
+  Database.set_field t.db txn oid field v
+
+let post_event ?(args = []) t txn oid ename =
+  let cls = class_of t txn oid in
+  match declared_event_id t ~cls (Intern.User ename) with
+  | Some id -> Runtime.post ~payload:args t.rt txn ~obj:oid ~event:id
+  | None -> fail "class %s does not declare user event %s" cls ename
+
+let rec invoke t txn oid mname args =
+  let cls = class_of t txn oid in
+  Runtime.note_access t.rt txn ~obj:oid ~cls;
+  let impl = resolve_method t ~cls mname in
+  let before_ids, after_ids = posting_plan t ~cls mname in
+  let ctx = persistent_ctx t txn oid in
+  (* §8 "attributes of events": the invocation's arguments travel with the
+     before/after events, so masks can inspect them. *)
+  List.iter (fun event -> Runtime.post ~payload:args t.rt txn ~obj:oid ~event) before_ids;
+  let result = impl ctx args in
+  List.iter (fun event -> Runtime.post ~payload:args t.rt txn ~obj:oid ~event) after_ids;
+  result
+
+and persistent_ctx t txn oid =
+  {
+    env = t;
+    txn = Some txn;
+    self = Persistent oid;
+    get = (fun field -> Database.get_field t.db txn oid field);
+    set = (fun field v -> Database.set_field t.db txn oid field v);
+    invoke_self = (fun mname args -> invoke t txn oid mname args);
+    post_self = (fun ename -> post_event t txn oid ename);
+  }
+
+let cluster t ~cls = Database.cluster t.db ~cls
+
+let iter_cluster t txn ~cls f = Database.iter_cluster t.db txn ~cls (fun oid _ -> f oid)
+
+let create_index t txn ~name ~cls ~field =
+  ignore (class_entry t cls);
+  Database.create_index t.db txn ~name ~cls ~field
+
+let index_lookup t ~name key = Database.index_lookup t.db ~name key
+
+let index_range t ~name ?lo ?hi () = Database.index_range t.db ~name ?lo ?hi ()
+
+(* ------------------------------------------------------------------ *)
+(* Triggers. *)
+
+let defining_class_of_trigger t ~cls trigger =
+  let registry = Runtime.registry t.rt in
+  let rec go = function
+    | [] -> fail "class %s has no trigger %s" cls trigger
+    | ancestor :: rest -> begin
+        match Trigger_def.Registry.find_trigger registry ~cls:ancestor ~name:trigger with
+        | Some _ -> ancestor
+        | None -> go rest
+      end
+  in
+  go (ancestors t cls)
+
+let activate ?anchors t txn oid ~trigger ~args =
+  let cls = class_of t txn oid in
+  let defining_cls = defining_class_of_trigger t ~cls trigger in
+  Runtime.activate ?anchors t.rt txn ~defining_cls ~trigger ~obj:oid ~obj_cls:cls ~args
+
+let activate_local t txn oid ~trigger ~args =
+  let cls = class_of t txn oid in
+  let defining_cls = defining_class_of_trigger t ~cls trigger in
+  Runtime.activate_local t.rt txn ~defining_cls ~trigger ~obj:oid ~obj_cls:cls ~args
+
+let broadcast_event t txn ename =
+  let classes = Hashtbl.fold (fun cls _ acc -> cls :: acc) t.classes [] in
+  List.iter
+    (fun cls ->
+      match declared_event_id t ~cls (Intern.User ename) with
+      | None -> ()
+      | Some id ->
+          List.iter
+            (fun oid -> Runtime.post t.rt txn ~obj:oid ~event:id)
+            (Database.cluster t.db ~cls))
+    (List.sort String.compare classes)
+
+let deactivate t txn id = Runtime.deactivate t.rt txn id
+
+let active_triggers t txn oid = Runtime.active_on t.rt txn oid
+
+let trigger_fsm t ~cls ~trigger =
+  match Trigger_def.Registry.find_trigger (Runtime.registry t.rt) ~cls ~name:trigger with
+  | Some info -> info.Trigger_def.t_fsm
+  | None -> fail "class %s has no trigger %s" cls trigger
+
+(* ------------------------------------------------------------------ *)
+(* Transactions. *)
+
+let begin_txn t = Txn.begin_txn t.mgr
+
+let commit t txn = Runtime.commit_with_triggers t.rt txn
+
+let abort t txn = Runtime.abort_with_triggers t.rt txn
+
+let tabort () = raise Runtime.Tabort
+
+let with_txn t f =
+  let txn = begin_txn t in
+  match f txn with
+  | result -> begin
+      match commit t txn with
+      | () -> result
+      | exception Runtime.Tabort ->
+          if Txn.is_active txn then abort t txn;
+          raise Aborted
+    end
+  | exception Runtime.Tabort ->
+      abort t txn;
+      raise Aborted
+  | exception other ->
+      (* A non-tabort failure: roll back without before-tabort posting and
+         discard even the !dependent work (crash-like), then re-raise. *)
+      if Txn.is_active txn then Txn.abort txn;
+      Runtime.forget t.rt txn;
+      raise other
+
+let attempt t f = match with_txn t f with result -> Some result | exception Aborted -> None
+
+(* ------------------------------------------------------------------ *)
+(* Volatile objects (design goals 3-4). *)
+
+module Volatile = struct
+  let vnew t ~cls ?(init = []) () =
+    let entry = class_entry t cls in
+    let fields =
+      List.map
+        (fun (name, default) ->
+          match List.assoc_opt name init with Some v -> (name, v) | None -> (name, default))
+        entry.c_all_fields
+    in
+    { v_cls = cls; v_fields = fields; v_monitors = [] }
+
+  let get v field =
+    match List.assoc_opt field v.v_fields with
+    | Some value -> value
+    | None -> fail "class %s has no field %s" v.v_cls field
+
+  let set v field value =
+    if not (List.mem_assoc field v.v_fields) then fail "class %s has no field %s" v.v_cls field;
+    v.v_fields <-
+      List.map (fun (n, old) -> if String.equal n field then (n, value) else (n, old)) v.v_fields
+
+  let class_of v = v.v_cls
+
+  (* Advance the volatile object's monitors on an event (monitored
+     classes, §8). Same shape as the runtime's PostEvent, minus
+     transactions, persistence and locks: advance all, then fire. *)
+  let post_monitors v event =
+    if v.v_monitors <> [] then begin
+      let module Fsm = Ode_event.Fsm in
+      let module Sym = Ode_event.Sym in
+      let ready = ref [] in
+      let advance m =
+        if m.m_active && m.m_state >= 0 then begin
+          let cascade state =
+            let rec go state seen =
+              match Fsm.pending_masks m.m_fsm state with
+              | [] -> state
+              | mask :: _ ->
+                  if List.mem state seen then state
+                  else begin
+                    let pred =
+                      match List.assoc_opt mask m.m_masks with
+                      | Some pred -> pred
+                      | None -> fun _ -> false
+                    in
+                    let sym = if pred v then Sym.MTrue mask else Sym.MFalse mask in
+                    match Fsm.step m.m_fsm state sym with
+                    | Fsm.Goto next -> go next (state :: seen)
+                    | Fsm.Dead -> -1
+                    | Fsm.Stay -> state
+                  end
+            in
+            go state []
+          in
+          match Fsm.step m.m_fsm m.m_state (Sym.Ev event) with
+          | Fsm.Stay -> ()
+          | Fsm.Dead -> m.m_state <- -1
+          | Fsm.Goto next ->
+              let final = cascade next in
+              m.m_state <- final;
+              if final >= 0 && Fsm.is_accept m.m_fsm final then ready := m :: !ready
+        end
+      in
+      List.iter advance (List.rev v.v_monitors);
+      List.iter
+        (fun m ->
+          m.m_action v;
+          if m.m_once then m.m_active <- false)
+        (List.rev !ready)
+    end
+
+  let rec invoke t v mname args =
+    let impl = resolve_method t ~cls:v.v_cls mname in
+    let ctx =
+      {
+        env = t;
+        txn = None;
+        self = Volatile v;
+        get = get v;
+        set = set v;
+        invoke_self = (fun m a -> invoke t v m a);
+        post_self = (fun ename -> post_user_event t v ename);
+      }
+    in
+    if v.v_monitors = [] then impl ctx args
+    else begin
+      let before_ids, after_ids = posting_plan t ~cls:v.v_cls mname in
+      List.iter (post_monitors v) before_ids;
+      let result = impl ctx args in
+      List.iter (post_monitors v) after_ids;
+      result
+    end
+
+  and post_user_event t v ename =
+    if v.v_monitors <> [] then begin
+      match declared_event_id t ~cls:v.v_cls (Intern.User ename) with
+      | Some id -> post_monitors v id
+      | None -> fail "class %s does not declare user event %s" v.v_cls ename
+    end
+
+  let attach t v ~event ?(masks = []) ~action ?(perpetual = true) () =
+    let entry = class_entry t v.v_cls in
+    ignore entry;
+    let descriptor =
+      Trigger_def.Registry.find_exn (Runtime.registry t.rt) v.v_cls
+    in
+    let mask_table = List.mapi (fun i (name, pred) -> ({ Ast.mask_id = i; mask_name = name }, pred)) masks in
+    let parser_env =
+      {
+        Parser.resolve_event =
+          (fun ?cls basic ->
+            match cls with
+            | None -> declared_event_id t ~cls:v.v_cls basic
+            | Some qualifier ->
+                if Hashtbl.mem t.classes qualifier then declared_event_id t ~cls:qualifier basic
+                else None);
+        resolve_mask =
+          (fun name ->
+            List.find_map
+              (fun (mask, _) ->
+                if String.equal mask.Ast.mask_name name then Some mask else None)
+              mask_table);
+      }
+    in
+    ignore descriptor;
+    let anchored, expr =
+      match Parser.parse parser_env event with
+      | Ok result -> result
+      | Error e -> fail "monitored trigger on %s: %a" v.v_cls Parser.pp_error e
+    in
+    let alphabet =
+      List.sort_uniq Int.compare
+        ((Trigger_def.Registry.find_exn (Runtime.registry t.rt) v.v_cls).Trigger_def.d_alphabet
+        @ Ast.events expr)
+    in
+    let fsm =
+      try
+        Compile.compile ~alphabet ~anchored expr
+        |> Minimize.simplify |> Minimize.prune_mask_states
+      with Compile.Unsupported msg -> fail "monitored trigger on %s: %s" v.v_cls msg
+    in
+    let monitor =
+      {
+        m_fsm = fsm;
+        m_masks = List.map (fun (mask, pred) -> (mask.Ast.mask_id, pred)) mask_table;
+        m_action = action;
+        m_once = not perpetual;
+        m_state = fsm.Ode_event.Fsm.start;
+        m_active = true;
+      }
+    in
+    v.v_monitors <- monitor :: v.v_monitors
+
+  let copy_to_persistent t txn v = pnew t txn ~cls:v.v_cls ~init:v.v_fields ()
+
+  let copy_from_persistent t txn oid =
+    let record = Database.get t.db txn oid in
+    { v_cls = record.Objrec.cls; v_fields = record.Objrec.fields; v_monitors = [] }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Durability. *)
+
+type crash_image = { ci_kind : store_kind; ci_obj_wal : bytes; ci_trig_wal : bytes }
+
+let checkpoint t =
+  t.obj_store.Store.checkpoint ();
+  t.trig_store.Store.checkpoint ()
+
+let crash t =
+  let ci_obj_wal = Wal.durable_bytes t.obj_store.Store.wal in
+  let ci_trig_wal = Wal.durable_bytes t.trig_store.Store.wal in
+  (match t.backend with
+  | Disk_backend (objects, triggers) ->
+      Disk_store.crash objects;
+      Disk_store.crash triggers
+  | Mem_backend (objects, triggers) ->
+      Mem_store.crash objects;
+      Mem_store.crash triggers);
+  { ci_kind = t.kind; ci_obj_wal; ci_trig_wal }
+
+let recover image =
+  let mgr = Txn.create_mgr () in
+  let backend, obj_store, trig_store =
+    match image.ci_kind with
+    | `Disk ->
+        let objects = Recovery.recover_disk ~mgr ~name:"objects" ~wal_bytes:image.ci_obj_wal () in
+        let triggers =
+          Recovery.recover_disk ~mgr ~name:"triggers" ~wal_bytes:image.ci_trig_wal ()
+        in
+        (Disk_backend (objects, triggers), Disk_store.ops objects, Disk_store.ops triggers)
+    | `Mem ->
+        let objects = Recovery.recover_mem ~mgr ~name:"objects" ~wal_bytes:image.ci_obj_wal () in
+        let triggers = Recovery.recover_mem ~mgr ~name:"triggers" ~wal_bytes:image.ci_trig_wal () in
+        (Mem_backend (objects, triggers), Mem_store.ops objects, Mem_store.ops triggers)
+  in
+  let db = Database.open_existing ~mgr ~store:obj_store ~name:"main" in
+  let t = assemble ~kind:image.ci_kind ~backend ~mgr ~obj_store ~trig_store ~db in
+  let txn = Txn.begin_txn ~system:true mgr in
+  Runtime.rebuild_index t.rt txn;
+  Txn.commit txn;
+  t
+
+let drain_phoenix t = Runtime.drain_phoenix t.rt
+
+(* ------------------------------------------------------------------ *)
+(* Counters. *)
+
+let counters t =
+  let prefix name pairs = List.map (fun (k, v) -> (name ^ "." ^ k, v)) pairs in
+  let locks = Lock_manager.stats (Txn.lock_mgr t.mgr) in
+  let rt = Runtime.stats t.rt in
+  let txns = Txn.stats t.mgr in
+  prefix "objects" (t.obj_store.Store.counters ())
+  @ prefix "triggers" (t.trig_store.Store.counters ())
+  @ [
+      ("locks.s_granted", locks.Lock_manager.s_granted);
+      ("locks.x_granted", locks.Lock_manager.x_granted);
+      ("locks.upgrades", locks.Lock_manager.upgrades);
+      ("locks.blocks", locks.Lock_manager.blocks);
+      ("locks.deadlocks", locks.Lock_manager.deadlocks);
+      ("txn.begun", txns.Txn.begun);
+      ("txn.committed", txns.Txn.committed);
+      ("txn.aborted", txns.Txn.aborted);
+      ("txn.system", txns.Txn.system_begun);
+      ("rt.posts", rt.Runtime.posts);
+      ("rt.index_probes", rt.Runtime.index_probes);
+      ("rt.fsm_moves", rt.Runtime.fsm_moves);
+      ("rt.mask_evals", rt.Runtime.mask_evals);
+      ("rt.state_writes", rt.Runtime.state_writes);
+      ("rt.fires_immediate", rt.Runtime.fires_immediate);
+      ("rt.fires_end", rt.Runtime.fires_end);
+      ("rt.fires_dependent", rt.Runtime.fires_dependent);
+      ("rt.fires_independent", rt.Runtime.fires_independent);
+      ("rt.fires_phoenix", rt.Runtime.fires_phoenix);
+      ("rt.activations", rt.Runtime.activations);
+      ("rt.deactivations", rt.Runtime.deactivations);
+      ("rt.local_activations", rt.Runtime.local_activations);
+      ("intern.events", Ode_event.Intern.count t.intern);
+      ("intern.lookups", Ode_event.Intern.lookups t.intern);
+    ]
+
+let reset_counters t =
+  Lock_manager.reset_stats (Txn.lock_mgr t.mgr);
+  Runtime.reset_stats t.rt;
+  Txn.reset_stats t.mgr

@@ -1,0 +1,275 @@
+(** The integrated active database: O++ semantics as a runtime API.
+
+    A {!t} bundles a transaction manager, an object store and database, a
+    trigger-state store and the trigger runtime — the pieces §5 integrates.
+    Classes are defined at run time ({!define_class}); defining a class
+    plays the role of the O++ compiler: it interns the declared events
+    (§5.2), compiles each trigger's event expression to an FSM stored in
+    the class's descriptor (§5.1.3 — recompiled on every run, exactly as
+    the paper chose to), and installs the wrapper-function behaviour that
+    posts member-function events around invocations through persistent
+    handles (§5.3).
+
+    Design goals 3–4 are visible in the API: {!invoke} (persistent handle)
+    posts events; {!Volatile} objects never touch the trigger machinery at
+    all. *)
+
+module Txn := Ode_storage.Txn
+module Oid := Ode_objstore.Oid
+module Value := Ode_objstore.Value
+
+type t
+
+exception Aborted
+(** Raised by {!with_txn} when the body (typically a trigger action)
+    executed [tabort]. *)
+
+exception Ode_error of string
+
+type store_kind = [ `Disk | `Mem ]
+
+(* ------------------------------------------------------------------ *)
+
+type obj_handle = Persistent of Oid.t | Volatile of vobj
+
+and vobj
+(** A volatile object: class-shaped fields in program memory, outside any
+    database, transaction or trigger scope (§2). *)
+
+type method_ctx = {
+  env : t;
+  txn : Txn.t option;  (** [None] during volatile invocation *)
+  self : obj_handle;
+  get : string -> Value.t;
+  set : string -> Value.t -> unit;
+  invoke_self : string -> Value.t list -> Value.t;
+      (** virtual re-dispatch on [self] (posts events when persistent) *)
+  post_self : string -> unit;
+      (** post a user-defined event on [self]; no-op when volatile *)
+}
+
+type method_impl = method_ctx -> Value.t list -> Value.t
+
+type mask_impl = t -> Ode_trigger.Trigger_def.ctx -> bool
+type action_impl = t -> Ode_trigger.Trigger_def.ctx -> unit
+
+type trigger_spec = {
+  tr_name : string;
+  tr_params : string list;
+  tr_event : string;  (** event expression in the {!Ode_event.Parser} syntax *)
+  tr_perpetual : bool;
+  tr_coupling : Ode_trigger.Coupling.t;
+  tr_action : action_impl;
+}
+
+(* ------------------------------------------------------------------ *)
+
+val create :
+  ?store:store_kind -> ?page_size:int -> ?pool_capacity:int -> ?io_spin:int -> unit -> t
+(** Fresh empty database environment. [store] defaults to [`Mem]
+    (MM-Ode); [`Disk] uses the paged EOS-like store, whose page size
+    (default 4096) and buffer-pool frame count (default 64) can be tuned
+    for the I/O experiments. The sizing arguments are ignored for
+    [`Mem]. *)
+
+val store_kind : t -> store_kind
+
+val define_class :
+  t ->
+  name:string ->
+  ?parents:string list ->
+  ?fields:(string * Value.t) list ->
+  ?methods:(string * method_impl) list ->
+  ?events:Ode_event.Intern.basic list ->
+  ?masks:(string * mask_impl) list ->
+  ?triggers:trigger_spec list ->
+  ?constraints:(string * mask_impl) list ->
+  unit ->
+  unit
+(** Register a class. [fields] are own fields with default values (added
+    to inherited ones); [events] is the class's event declaration — only
+    declared events are ever posted (§4); [masks] names the predicates the
+    trigger expressions may reference with [&].
+
+    [constraints] implements §8's "intra-object constraints as a special
+    case of triggers": each [(name, invariant)] pair becomes a perpetual
+    immediate trigger on [any & not-invariant] whose action is [tabort],
+    auto-activated on every new instance by {!pnew} — a transaction that
+    leaves the invariant false after any declared event is vetoed. The
+    invariant is only checked at declared events (a class with no events
+    has unchecked constraints).
+
+    Raises {!Ode_error} on unknown parents, duplicate definitions,
+    duplicate mask/constraint names, or trigger expressions that fail to
+    parse. *)
+
+(* -------------------- transactions -------------------- *)
+
+val begin_txn : t -> Txn.t
+val commit : t -> Txn.t -> unit
+(** Full commit processing: end-coupled actions, [before tcomplete]
+    posting, the actual commit, then detached system transactions and the
+    phoenix drain (§5.5). *)
+
+val abort : t -> Txn.t -> unit
+(** Explicit abort: posts [before tabort], rolls back (including trigger
+    FSM states), then runs surviving !dependent actions. *)
+
+val with_txn : t -> (Txn.t -> 'a) -> 'a
+(** Run the body in a fresh transaction and {!commit}. If the body (or a
+    trigger it fires) raises [Tabort], the transaction is aborted via
+    {!abort} and {!Aborted} is raised; other exceptions abort (without
+    [before tabort] posting, as in a crash-like abort) and re-raise. *)
+
+val attempt : t -> (Txn.t -> 'a) -> 'a option
+(** Like {!with_txn} but returns [None] instead of raising {!Aborted} —
+    convenient when a trigger like DenyCredit vetoes the transaction. *)
+
+val tabort : unit -> 'a
+(** The O++ [tabort] statement: abort the enclosing transaction. Allowed
+    anywhere, notably inside trigger actions (§6). *)
+
+(* -------------------- persistent objects -------------------- *)
+
+val pnew : t -> Txn.t -> cls:string -> ?init:(string * Value.t) list -> unit -> Oid.t
+val pdelete : t -> Txn.t -> Oid.t -> unit
+val exists : t -> Txn.t -> Oid.t -> bool
+val class_of : t -> Txn.t -> Oid.t -> string
+val get_field : t -> Txn.t -> Oid.t -> string -> Value.t
+val set_field : t -> Txn.t -> Oid.t -> string -> Value.t -> unit
+
+val invoke : t -> Txn.t -> Oid.t -> string -> Value.t list -> Value.t
+(** Member-function invocation through a persistent pointer: resolves the
+    method through the inheritance order, posts declared [before]/[after]
+    events around the call (§5.3), and notes the object on the
+    transaction-event list. *)
+
+val post_event : ?args:Value.t list -> t -> Txn.t -> Oid.t -> string -> unit
+(** Post a user-defined event (must be declared). [args] is an optional
+    event payload, visible to masks and actions as
+    {!Ode_trigger.Trigger_def.ctx.ev_args} (§8 "attributes of
+    events"). *)
+
+val cluster : t -> cls:string -> Oid.t list
+(** Oids currently in the class's own cluster. *)
+
+val iter_cluster : t -> Txn.t -> cls:string -> (Oid.t -> unit) -> unit
+
+(* -------------------- field indexes -------------------- *)
+
+val create_index : t -> Txn.t -> name:string -> cls:string -> field:string -> unit
+(** Ordered secondary index (B+-tree) over one field of the class's
+    cluster; maintained transactionally from then on. Volatile: re-create
+    after {!recover}. *)
+
+val index_lookup : t -> name:string -> Value.t -> Oid.t list
+val index_range :
+  t -> name:string -> ?lo:Value.t -> ?hi:Value.t -> unit -> (Value.t * Oid.t list) list
+
+(* -------------------- triggers -------------------- *)
+
+val activate :
+  ?anchors:Oid.t list ->
+  t ->
+  Txn.t ->
+  Oid.t ->
+  trigger:string ->
+  args:Value.t list ->
+  Ode_trigger.Trigger_state.id
+(** [credcard->AutoRaiseLimit(1000.0)]: finds the trigger in the object's
+    class or a base class and creates a persistent activation.
+
+    [anchors] (§8 inter-object extension) lists additional objects whose
+    events are routed to this activation; pair it with qualified event
+    references in the trigger's expression ([Gold.Stable]). *)
+
+val activate_local : t -> Txn.t -> Oid.t -> trigger:string -> args:Value.t list -> unit
+(** §8 "local rules": a transaction-scoped activation — in-memory only, no
+    locks, discarded when the transaction finishes (either way). *)
+
+val broadcast_event : t -> Txn.t -> string -> unit
+(** Post the named user event to every object whose class declares it —
+    the substrate for §8's timed triggers: an application clock calls
+    [broadcast_event env txn "tick"] and triggers mention [tick] in their
+    event expressions. *)
+
+val deactivate : t -> Txn.t -> Ode_trigger.Trigger_state.id -> unit
+
+val active_triggers :
+  t -> Txn.t -> Oid.t -> (Ode_trigger.Trigger_state.id * Ode_trigger.Trigger_state.t) list
+
+val trigger_fsm : t -> cls:string -> trigger:string -> Ode_event.Fsm.t
+(** The compiled (simplified, pruned) machine, e.g. Figure 1 for
+    AutoRaiseLimit. *)
+
+(* -------------------- volatile objects -------------------- *)
+
+module Volatile : sig
+  val vnew : t -> cls:string -> ?init:(string * Value.t) list -> unit -> vobj
+  val get : vobj -> string -> Value.t
+  val set : vobj -> string -> Value.t -> unit
+  val invoke : t -> vobj -> string -> Value.t list -> Value.t
+  (** Same dispatch as persistent invocation but with zero trigger
+      machinery — no posting, no transaction, no locks (design goals
+      3–4). *)
+
+  val class_of : vobj -> string
+
+  val copy_to_persistent : t -> Txn.t -> vobj -> Oid.t
+  (** [*ppers = *pers]: materialise the volatile object's state as a new
+      persistent object. *)
+
+  val copy_from_persistent : t -> Txn.t -> Oid.t -> vobj
+
+  val attach :
+    t ->
+    vobj ->
+    event:string ->
+    ?masks:(string * (vobj -> bool)) list ->
+    action:(vobj -> unit) ->
+    ?perpetual:bool ->
+    unit ->
+    unit
+  (** §8 "monitored classes": attach a composite-event trigger to a
+      volatile object. The event expression compiles against the class's
+      declared alphabet exactly as persistent triggers do, but the
+      machine's state lives in program memory: no persistence, no
+      transactions, no locks — and volatile objects without monitors
+      still pay nothing (design goal 3 extended to the volatile world).
+      [masks] resolve the expression's [&] names; [perpetual] defaults to
+      true. *)
+end
+
+(* -------------------- durability -------------------- *)
+
+type crash_image
+
+val checkpoint : t -> unit
+(** Checkpoint both stores (call between transactions). *)
+
+val crash : t -> crash_image
+(** Simulate a crash: volatile state (buffer pool, caches, indexes) is
+    lost; only the durable WAL prefixes survive, captured in the image. The
+    environment is unusable afterwards. *)
+
+val recover : crash_image -> t
+(** Rebuild an environment from a crash image: recover both stores, reopen
+    the database (rescanning clusters) and rebuild the trigger index.
+    Classes must be re-defined by the application before use — FSMs are
+    recompiled each run, per §5.1.3. *)
+
+val drain_phoenix : t -> unit
+(** Re-run any phoenix actions that survived a crash; call after classes
+    are re-defined. *)
+
+(* -------------------- introspection -------------------- *)
+
+val runtime : t -> Ode_trigger.Runtime.t
+val database : t -> Ode_objstore.Database.t
+val mgr : t -> Txn.mgr
+val intern : t -> Ode_event.Intern.t
+val counters : t -> (string * int) list
+(** Merged counters: object store, trigger store, lock manager, trigger
+    runtime. *)
+
+val reset_counters : t -> unit

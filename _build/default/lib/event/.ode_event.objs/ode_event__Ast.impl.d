@@ -1,0 +1,1 @@
+lib/event/ast.ml: Format Int List Printf

@@ -1,0 +1,1 @@
+lib/event/ast.mli: Format

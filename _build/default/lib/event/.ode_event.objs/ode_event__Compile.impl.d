@@ -1,0 +1,1 @@
+lib/event/compile.ml: Array Ast Fsm Hashtbl List Map Nfa Option Printf Queue Sym

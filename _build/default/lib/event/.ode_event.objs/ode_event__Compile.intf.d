@@ -1,0 +1,1 @@
+lib/event/compile.mli: Ast Fsm Nfa

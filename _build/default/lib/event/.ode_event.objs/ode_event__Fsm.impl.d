@@ -1,0 +1,1 @@
+lib/event/fsm.ml: Array Buffer Format Int List Printf Set Sym

@@ -1,0 +1,1 @@
+lib/event/fsm.mli: Format Set Sym

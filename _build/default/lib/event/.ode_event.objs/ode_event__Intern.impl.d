@@ -1,0 +1,1 @@
+lib/event/intern.ml: Format Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/event/minimize.ml: Array Fsm Hashtbl Int List Sym

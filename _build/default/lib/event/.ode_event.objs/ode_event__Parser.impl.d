@@ -1,0 +1,1 @@
+lib/event/parser.ml: Array Ast Format Intern List Result String

@@ -1,0 +1,1 @@
+lib/event/parser.mli: Ast Format Intern

@@ -1,0 +1,1 @@
+lib/event/sym.ml: Format Hashtbl Int Map Printf Set

@@ -1,0 +1,1 @@
+lib/event/sym.mli: Format Map Set

@@ -1,0 +1,95 @@
+type mask = { mask_id : int; mask_name : string }
+
+type t =
+  | Empty
+  | Basic of int
+  | Any
+  | Seq of t * t
+  | Or of t * t
+  | And of t * t
+  | Not of t
+  | Star of t
+  | Plus of t
+  | Opt of t
+  | Masked of t * mask
+  | Relative of t list
+
+let rec equal a b =
+  match (a, b) with
+  | Empty, Empty | Any, Any -> true
+  | Basic a, Basic b -> Int.equal a b
+  | Seq (a1, a2), Seq (b1, b2) | Or (a1, a2), Or (b1, b2) | And (a1, a2), And (b1, b2) ->
+      equal a1 b1 && equal a2 b2
+  | Not a, Not b | Star a, Star b | Plus a, Plus b | Opt a, Opt b -> equal a b
+  | Masked (a, ma), Masked (b, mb) -> equal a b && Int.equal ma.mask_id mb.mask_id
+  | Relative a, Relative b -> List.length a = List.length b && List.for_all2 equal a b
+  | ( ( Empty | Basic _ | Any | Seq _ | Or _ | And _ | Not _ | Star _ | Plus _ | Opt _ | Masked _
+      | Relative _ ),
+      _ ) ->
+      false
+
+let rec fold f acc expr =
+  let acc = f acc expr in
+  match expr with
+  | Empty | Basic _ | Any -> acc
+  | Seq (a, b) | Or (a, b) | And (a, b) -> fold f (fold f acc a) b
+  | Not a | Star a | Plus a | Opt a | Masked (a, _) -> fold f acc a
+  | Relative parts -> List.fold_left (fold f) acc parts
+
+let has_mask expr = fold (fun acc e -> acc || match e with Masked _ -> true | _ -> false) false expr
+
+let events expr =
+  let ids = fold (fun acc e -> match e with Basic i -> i :: acc | _ -> acc) [] expr in
+  List.sort_uniq Int.compare ids
+
+let masks expr =
+  let all = fold (fun acc e -> match e with Masked (_, m) -> m :: acc | _ -> acc) [] expr in
+  let sorted = List.sort (fun a b -> Int.compare a.mask_id b.mask_id) all in
+  let rec dedup = function
+    | a :: (b :: _ as rest) when Int.equal a.mask_id b.mask_id -> dedup rest
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+let size expr = fold (fun acc _ -> acc + 1) 0 expr
+
+(* Precedence, loosest to tightest: Seq < Or < And < Masked < prefix
+   (Star/Plus/Opt/Not) < atoms. Parenthesise a child whose level is looser
+   than its context. *)
+let pp ?(event_name = fun i -> Printf.sprintf "e%d" i) () fmt expr =
+  let level = function
+    | Seq _ -> 1
+    | Or _ -> 2
+    | And _ -> 3
+    | Masked _ -> 4
+    | Not _ | Star _ | Plus _ | Opt _ -> 5
+    | Empty | Basic _ | Any | Relative _ -> 6
+  in
+  let rec go ctx fmt expr =
+    let lvl = level expr in
+    let needs_parens = lvl < ctx in
+    if needs_parens then Format.pp_print_char fmt '(';
+    (match expr with
+    | Empty -> Format.pp_print_string fmt "empty"
+    | Basic i -> Format.pp_print_string fmt (event_name i)
+    | Any -> Format.pp_print_string fmt "any"
+    (* Binary operators associate to the right in the grammar, so a
+       left-nested same-operator child needs parentheses to round-trip. *)
+    | Seq (a, b) -> Format.fprintf fmt "%a, %a" (go 2) a (go 1) b
+    | Or (a, b) -> Format.fprintf fmt "%a || %a" (go 3) a (go 2) b
+    | And (a, b) -> Format.fprintf fmt "%a && %a" (go 4) a (go 3) b
+    | Masked (a, m) -> Format.fprintf fmt "%a & %s" (go 4) a m.mask_name
+    | Not a -> Format.fprintf fmt "!%a" (go 5) a
+    | Star a -> Format.fprintf fmt "*%a" (go 5) a
+    | Plus a -> Format.fprintf fmt "+%a" (go 5) a
+    | Opt a -> Format.fprintf fmt "?%a" (go 5) a
+    | Relative parts ->
+        Format.fprintf fmt "relative(%a)"
+          (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") (go 2))
+          parts);
+    if needs_parens then Format.pp_print_char fmt ')'
+  in
+  go 0 fmt expr
+
+let to_string ?event_name expr = Format.asprintf "%a" (pp ?event_name ()) expr

@@ -1,0 +1,42 @@
+(** Composite event expressions — the Ode event language (§5.1).
+
+    Operators from the paper: sequence ([,]), union ([||]), repetition
+    ([*]), [relative], masks ([&]), [any], and the [^] anchor (carried
+    beside the expression, not in it). [+], [?], [!] (complement) and [&&]
+    (intersection) are Compose-family extensions; complement and
+    intersection are only defined over mask-free subexpressions. *)
+
+type mask = { mask_id : int; mask_name : string }
+
+type t =
+  | Empty  (** epsilon *)
+  | Basic of int  (** interned event id *)
+  | Any  (** union of the class's declared alphabet *)
+  | Seq of t * t
+  | Or of t * t
+  | And of t * t  (** extension: intersection (mask-free operands) *)
+  | Not of t  (** extension: complement (mask-free operand) *)
+  | Star of t
+  | Plus of t
+  | Opt of t
+  | Masked of t * mask  (** [e & p] *)
+  | Relative of t list
+      (** [relative(e1,...,en)] = [e1, ( *any ), e2, ..., ( *any ), en] *)
+
+val equal : t -> t -> bool
+
+val has_mask : t -> bool
+
+val events : t -> int list
+(** Distinct interned event ids mentioned (sorted); excludes [Any]'s
+    expansion. *)
+
+val masks : t -> mask list
+(** Distinct masks mentioned, by id order. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val pp : ?event_name:(int -> string) -> unit -> Format.formatter -> t -> unit
+
+val to_string : ?event_name:(int -> string) -> t -> string

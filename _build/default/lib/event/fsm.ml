@@ -1,0 +1,144 @@
+module IntSet = Set.Make (Int)
+
+type step_result = Stay | Goto of int | Dead
+
+type state = {
+  statenum : int;
+  accept : bool;
+  pending : int list;
+  trans : (Sym.t * int) array;
+}
+
+type t = { states : state array; start : int; alphabet : IntSet.t; mask_ids : IntSet.t }
+
+let make ~states ~start ~alphabet ~mask_ids =
+  let n = Array.length states in
+  if n = 0 then invalid_arg "Fsm.make: no states";
+  if start < 0 || start >= n then invalid_arg "Fsm.make: start out of range";
+  Array.iteri
+    (fun i st ->
+      if st.statenum <> i then invalid_arg "Fsm.make: statenum mismatch";
+      Array.iteri
+        (fun j (sym, target) ->
+          if target < 0 || target >= n then invalid_arg "Fsm.make: transition target out of range";
+          if j > 0 && Sym.compare (fst st.trans.(j - 1)) sym >= 0 then
+            invalid_arg "Fsm.make: transitions not strictly sorted")
+        st.trans)
+    states;
+  { states; start; alphabet; mask_ids }
+
+let num_states t = Array.length t.states
+
+let num_transitions t = Array.fold_left (fun acc st -> acc + Array.length st.trans) 0 t.states
+
+let state t i = t.states.(i)
+
+let is_accept t i = t.states.(i).accept
+
+let pending_masks t i = t.states.(i).pending
+
+let lookup trans sym =
+  let rec go lo hi =
+    if lo >= hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let s, target = trans.(mid) in
+      let c = Sym.compare sym s in
+      if c = 0 then Some target else if c < 0 then go lo mid else go (mid + 1) hi
+    end
+  in
+  go 0 (Array.length trans)
+
+let step t i sym =
+  let st = t.states.(i) in
+  match lookup st.trans sym with
+  | Some target -> Goto target
+  | None -> begin
+      match sym with
+      | Sym.Ev e -> if IntSet.mem e t.alphabet then Dead else Stay
+      | Sym.MTrue m | Sym.MFalse m -> if List.mem m st.pending then Dead else Stay
+    end
+
+let approx_bytes t =
+  (* One word statenum + accept + pending list + trans array header per
+     state; three words per transition (boxed pair of sym and target). *)
+  let per_state st = 40 + (8 * List.length st.pending) + (24 * Array.length st.trans) in
+  Array.fold_left (fun acc st -> acc + per_state st) 0 t.states
+
+(* ---------------- behavioural equivalence ---------------- *)
+
+let equivalent a b =
+  if not (IntSet.equal a.alphabet b.alphabet) then false
+  else begin
+    let module PairSet = Set.Make (struct
+      type t = int * int
+
+      let compare = compare
+    end) in
+    let exception Distinct in
+    let visited = ref PairSet.empty in
+    let rec visit sa sb =
+      if not (PairSet.mem (sa, sb) !visited) then begin
+        visited := PairSet.add (sa, sb) !visited;
+        let sta = a.states.(sa) and stb = b.states.(sb) in
+        if sta.accept <> stb.accept then raise Distinct;
+        if not (List.equal Int.equal sta.pending stb.pending) then raise Distinct;
+        let probe sym =
+          match (step a sa sym, step b sb sym) with
+          | Goto ta, Goto tb -> visit ta tb
+          | Dead, Dead | Stay, Stay -> ()
+          | (Goto _ | Dead | Stay), _ -> raise Distinct
+        in
+        IntSet.iter (fun e -> probe (Sym.Ev e)) a.alphabet;
+        List.iter
+          (fun m ->
+            probe (Sym.MTrue m);
+            probe (Sym.MFalse m))
+          sta.pending
+      end
+    in
+    match visit a.start b.start with () -> true | exception Distinct -> false
+  end
+
+(* ---------------- printing ---------------- *)
+
+let pp ?event_name () fmt t =
+  let pp_sym = Sym.pp ?event_name () in
+  Format.fprintf fmt "@[<v>FSM: %d states, start %d@," (num_states t) t.start;
+  Array.iter
+    (fun st ->
+      let mask_note = if st.pending = [] then "" else "*" in
+      let accept_note = if st.accept then " (accept)" else "" in
+      Format.fprintf fmt "state %d%s%s:@," st.statenum mask_note accept_note;
+      (match st.pending with
+      | [] -> ()
+      | masks ->
+          Format.fprintf fmt "  evaluates masks: %a@,"
+            (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") (fun fmt m ->
+                 Format.fprintf fmt "m%d" m))
+            masks);
+      Array.iter (fun (sym, target) -> Format.fprintf fmt "  %a -> %d@," pp_sym sym target) st.trans)
+    t.states;
+  Format.fprintf fmt "@]"
+
+let to_dot ?event_name t =
+  let pp_sym = Sym.pp ?event_name () in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph fsm {\n  rankdir=LR;\n  node [shape=circle];\n";
+  Buffer.add_string buf (Printf.sprintf "  init [shape=point];\n  init -> %d;\n" t.start);
+  Array.iter
+    (fun st ->
+      let shape = if st.accept then "doublecircle" else "circle" in
+      let label =
+        if st.pending = [] then string_of_int st.statenum else Printf.sprintf "%d*" st.statenum
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [shape=%s,label=\"%s\"];\n" st.statenum shape label);
+      Array.iter
+        (fun (sym, target) ->
+          Buffer.add_string buf
+            (Format.asprintf "  %d -> %d [label=\"%a\"];\n" st.statenum target pp_sym sym))
+        st.trans)
+    t.states;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

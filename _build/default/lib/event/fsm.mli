@@ -1,0 +1,63 @@
+(** Run-time trigger finite state machines (§5.4.3).
+
+    The representation mirrors the paper's: an array of states, each with
+    a state number, an accept flag, the mask(s) to evaluate in that state
+    (a state with a non-empty pending list is a "mask state", drawn with
+    [*] in Figure 1), and a {e sparse} array of transitions — the §6 lesson
+    that dense two-dimensional transition arrays waste space and break down
+    under multiple inheritance. Transitions are sorted by symbol and probed
+    with binary search.
+
+    [step] distinguishes three outcomes: [Goto s'] for a listed transition,
+    [Stay] for an event outside the machine's alphabet ("Any event which
+    does not appear in a state's Transition list is ignored", §5.4.3 — this
+    is how base-class triggers ignore derived-class events), and [Dead] for
+    an alphabet event with no transition, which can only happen in anchored
+    ([^]) machines where nothing may be ignored. *)
+
+module IntSet : Set.S with type elt = int
+
+type step_result = Stay | Goto of int | Dead
+
+type state = {
+  statenum : int;
+  accept : bool;
+  pending : int list;  (** mask ids to evaluate on entry, ascending *)
+  trans : (Sym.t * int) array;  (** sorted by {!Sym.compare} *)
+}
+
+type t = {
+  states : state array;
+  start : int;
+  alphabet : IntSet.t;  (** interned event ids the machine reacts to *)
+  mask_ids : IntSet.t;
+}
+
+val make : states:state array -> start:int -> alphabet:IntSet.t -> mask_ids:IntSet.t -> t
+(** Validates state numbering, transition sorting and target ranges;
+    raises [Invalid_argument] on malformed input. *)
+
+val num_states : t -> int
+val num_transitions : t -> int
+val state : t -> int -> state
+val is_accept : t -> int -> bool
+val pending_masks : t -> int -> int list
+
+val step : t -> int -> Sym.t -> step_result
+
+val approx_bytes : t -> int
+(** Rough memory footprint of the sparse representation, for the
+    sparse-vs-dense comparison (T3). *)
+
+val equivalent : t -> t -> bool
+(** Behavioural equivalence by product construction: same alphabet, and
+    from the start pair every reachable pair agrees on acceptance, pending
+    masks, and successor behaviour (including [Dead]/[Stay]). Used to
+    validate minimisation. *)
+
+val pp : ?event_name:(int -> string) -> unit -> Format.formatter -> t -> unit
+(** Figure-1-style textual transition table. *)
+
+val to_dot : ?event_name:(int -> string) -> t -> string
+(** Graphviz rendering (mask states drawn with a [*], accept states with a
+    double circle). *)

@@ -1,0 +1,63 @@
+type basic =
+  | Before of string
+  | After of string
+  | User of string
+  | Before_tcomplete
+  | Before_tabort
+  | After_tcommit
+
+let basic_equal a b =
+  match (a, b) with
+  | Before a, Before b | After a, After b | User a, User b -> String.equal a b
+  | Before_tcomplete, Before_tcomplete | Before_tabort, Before_tabort | After_tcommit, After_tcommit
+    ->
+      true
+  | (Before _ | After _ | User _ | Before_tcomplete | Before_tabort | After_tcommit), _ -> false
+
+let pp_basic fmt = function
+  | Before name -> Format.fprintf fmt "before %s" name
+  | After name -> Format.fprintf fmt "after %s" name
+  | User name -> Format.pp_print_string fmt name
+  | Before_tcomplete -> Format.pp_print_string fmt "before tcomplete"
+  | Before_tabort -> Format.pp_print_string fmt "before tabort"
+  | After_tcommit -> Format.pp_print_string fmt "after tcommit"
+
+let basic_to_string b = Format.asprintf "%a" pp_basic b
+
+type key = string * basic
+
+type t = {
+  forward : (key, int) Hashtbl.t;
+  reverse : (int, key) Hashtbl.t;
+  mutable next : int;
+  mutable lookups : int;
+}
+
+let create () = { forward = Hashtbl.create 64; reverse = Hashtbl.create 64; next = 0; lookups = 0 }
+
+let id t ~cls basic =
+  t.lookups <- t.lookups + 1;
+  let key = (cls, basic) in
+  match Hashtbl.find_opt t.forward key with
+  | Some id -> id
+  | None ->
+      let id = t.next in
+      t.next <- id + 1;
+      Hashtbl.replace t.forward key id;
+      Hashtbl.replace t.reverse id key;
+      id
+
+let find t ~cls basic =
+  t.lookups <- t.lookups + 1;
+  Hashtbl.find_opt t.forward (cls, basic)
+
+let describe t id = Hashtbl.find_opt t.reverse id
+
+let name_of_id t id =
+  match describe t id with
+  | Some (cls, basic) -> Printf.sprintf "%s:%s" cls (basic_to_string basic)
+  | None -> Printf.sprintf "e%d" id
+
+let count t = t.next
+
+let lookups t = t.lookups

@@ -1,0 +1,130 @@
+module IntSet = Fsm.IntSet
+
+let minimize (fsm : Fsm.t) =
+  let n = Fsm.num_states fsm in
+  let block = Array.make n 0 in
+  (* Initial partition: (accept, pending) signature. *)
+  let initial = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (st : Fsm.state) ->
+      let key = (st.Fsm.accept, st.Fsm.pending) in
+      let id =
+        match Hashtbl.find_opt initial key with
+        | Some id -> id
+        | None ->
+            let id = Hashtbl.length initial in
+            Hashtbl.replace initial key id;
+            id
+      in
+      block.(i) <- id)
+    fsm.Fsm.states;
+  let alphabet_events = IntSet.elements fsm.Fsm.alphabet in
+  let successor_class i sym =
+    match Fsm.step fsm i sym with
+    | Fsm.Goto target -> block.(target)
+    | Fsm.Dead -> -1
+    | Fsm.Stay -> -2
+  in
+  (* Refine until stable: signature = current block + successor block per
+     probe symbol. Probe symbols for a state: every alphabet event, plus
+     True/False of its own pending masks (identical within a block). *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let signatures = Hashtbl.create n in
+    let next_block = Array.make n 0 in
+    Array.iteri
+      (fun i (st : Fsm.state) ->
+        let event_part = List.map (fun e -> successor_class i (Sym.Ev e)) alphabet_events in
+        let mask_part =
+          List.concat_map
+            (fun m -> [ successor_class i (Sym.MTrue m); successor_class i (Sym.MFalse m) ])
+            st.Fsm.pending
+        in
+        let signature = (block.(i), event_part, mask_part) in
+        let id =
+          match Hashtbl.find_opt signatures signature with
+          | Some id -> id
+          | None ->
+              let id = Hashtbl.length signatures in
+              Hashtbl.replace signatures signature id;
+              id
+        in
+        next_block.(i) <- id)
+      fsm.Fsm.states;
+    if not (Array.for_all2 Int.equal block next_block) then begin
+      Array.blit next_block 0 block 0 n;
+      changed := true
+    end
+  done;
+  let nblocks = 1 + Array.fold_left max (-1) block in
+  (* Renumber blocks in order of first appearance from the start state's
+     breadth-first traversal for deterministic output; simpler: first
+     appearance by original state index, then fix start. *)
+  let representative = Array.make nblocks (-1) in
+  Array.iteri (fun i b -> if representative.(b) < 0 then representative.(b) <- i) block;
+  let states =
+    Array.init nblocks (fun b ->
+        let rep = fsm.Fsm.states.(representative.(b)) in
+        let trans =
+          Array.map (fun (sym, target) -> (sym, block.(target))) rep.Fsm.trans
+        in
+        (* Distinct symbols stay distinct, so sorting is preserved; targets
+           changed only. *)
+        { Fsm.statenum = b; accept = rep.Fsm.accept; pending = rep.Fsm.pending; trans })
+  in
+  Fsm.make ~states ~start:block.(fsm.Fsm.start) ~alphabet:fsm.Fsm.alphabet
+    ~mask_ids:fsm.Fsm.mask_ids
+
+let recomputed_mask_ids states =
+  Array.fold_left
+    (fun acc (st : Fsm.state) -> List.fold_left (fun acc m -> IntSet.add m acc) acc st.Fsm.pending)
+    IntSet.empty states
+
+let drop_irrelevant_masks (fsm : Fsm.t) =
+  let rebuild (st : Fsm.state) =
+    let irrelevant m =
+      match (Fsm.step fsm st.Fsm.statenum (Sym.MTrue m), Fsm.step fsm st.Fsm.statenum (Sym.MFalse m)) with
+      | Fsm.Goto tt, Fsm.Goto tf -> tt = tf
+      | (Fsm.Goto _ | Fsm.Stay | Fsm.Dead), _ -> false
+    in
+    let dropped = List.filter irrelevant st.Fsm.pending in
+    if dropped = [] then st
+    else begin
+      let keep (sym, _) =
+        match sym with
+        | Sym.MTrue m | Sym.MFalse m -> not (List.mem m dropped)
+        | Sym.Ev _ -> true
+      in
+      {
+        st with
+        Fsm.pending = List.filter (fun m -> not (List.mem m dropped)) st.Fsm.pending;
+        trans = Array.of_list (List.filter keep (Array.to_list st.Fsm.trans));
+      }
+    end
+  in
+  let states = Array.map rebuild fsm.Fsm.states in
+  Fsm.make ~states ~start:fsm.Fsm.start ~alphabet:fsm.Fsm.alphabet
+    ~mask_ids:(recomputed_mask_ids states)
+
+let simplify fsm =
+  let measure t = (Fsm.num_states t, Fsm.num_transitions t) in
+  let rec go fsm budget =
+    if budget = 0 then fsm
+    else begin
+      let next = drop_irrelevant_masks (minimize fsm) in
+      if measure next = measure fsm then next else go next (budget - 1)
+    end
+  in
+  go fsm 100
+
+let prune_mask_states (fsm : Fsm.t) =
+  let rebuild (st : Fsm.state) =
+    if st.Fsm.pending = [] then st
+    else begin
+      let keep (sym, _) = match sym with Sym.Ev _ -> false | Sym.MTrue _ | Sym.MFalse _ -> true in
+      { st with Fsm.trans = Array.of_list (List.filter keep (Array.to_list st.Fsm.trans)) }
+    end
+  in
+  let states = Array.map rebuild fsm.Fsm.states in
+  Fsm.make ~states ~start:fsm.Fsm.start ~alphabet:fsm.Fsm.alphabet ~mask_ids:fsm.Fsm.mask_ids

@@ -1,0 +1,34 @@
+(** DFA minimisation (Moore partition refinement), mask-aware.
+
+    The initial partition separates states by (accept flag, pending-mask
+    set): a mask state is behaviourally different from a non-mask state
+    even when their event transitions agree, because the runtime evaluates
+    its predicates on entry. Refinement then splits blocks whose members
+    disagree on the successor block of any alphabet event or of a pending
+    mask's [True]/[False] pseudo-event (a missing transition — [Dead] — is
+    its own successor class).
+
+    Minimisation preserves {!Fsm.equivalent}; tests assert this on random
+    expressions. It is an optimisation pass: the paper compiles FSMs on
+    every program start, so smaller machines cut both memory and
+    compile-time, which the F1/T3 benches report. *)
+
+val minimize : Fsm.t -> Fsm.t
+
+val drop_irrelevant_masks : Fsm.t -> Fsm.t
+(** One pass: in any state where a pending mask's [True] and [False]
+    successors are the same state, stop evaluating that mask there (mask
+    predicates are pure reads in this model, so skipping an evaluation whose
+    outcome cannot matter preserves behaviour — it also avoids the read
+    locks the evaluation would take). *)
+
+val simplify : Fsm.t -> Fsm.t
+(** Fixpoint of {!minimize} and {!drop_irrelevant_masks}. On the paper's
+    AutoRaiseLimit expression this yields exactly the four-state machine of
+    Figure 1. *)
+
+val prune_mask_states : Fsm.t -> Fsm.t
+(** Remove real-event transitions from mask states: per §5.1.2 a mask state
+    evaluates its predicate immediately "rather than wait for external
+    events", so such transitions are unreachable at run time. Applied last
+    (after {!simplify}); the result is what trigger descriptors store. *)

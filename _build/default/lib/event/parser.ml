@@ -1,0 +1,278 @@
+type env = {
+  resolve_event : ?cls:string -> Intern.basic -> int option;
+  resolve_mask : string -> Ast.mask option;
+}
+
+type error = { position : int; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "parse error at %d: %s" e.position e.message
+
+(* ---------------- lexer ---------------- *)
+
+type token =
+  | IDENT of string
+  | AFTER
+  | BEFORE
+  | RELATIVE
+  | ANY
+  | EMPTY
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | OROR
+  | ANDAND
+  | AMP
+  | STAR
+  | PLUS
+  | QUESTION
+  | BANG
+  | CARET
+  | DOT
+  | EOF
+
+exception Error of error
+
+let fail position fmt = Format.kasprintf (fun message -> raise (Error { position; message })) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit pos tok = tokens := (pos, tok) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    let c = input.[start] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      let word = String.sub input start (!i - start) in
+      let tok =
+        match word with
+        | "after" -> AFTER
+        | "before" -> BEFORE
+        | "relative" -> RELATIVE
+        | "any" -> ANY
+        | "empty" -> EMPTY
+        | _ -> IDENT word
+      in
+      emit start tok
+    end
+    else begin
+      let two = if start + 1 < n then String.sub input start 2 else "" in
+      match two with
+      | "||" ->
+          emit start OROR;
+          i := start + 2
+      | "&&" ->
+          emit start ANDAND;
+          i := start + 2
+      | _ ->
+          (match c with
+          | '(' -> emit start LPAREN
+          | ')' -> emit start RPAREN
+          | ',' -> emit start COMMA
+          | '&' -> emit start AMP
+          | '*' -> emit start STAR
+          | '+' -> emit start PLUS
+          | '?' -> emit start QUESTION
+          | '!' -> emit start BANG
+          | '^' -> emit start CARET
+          | '.' -> emit start DOT
+          | _ -> fail start "unexpected character %C" c);
+          incr i
+    end
+  done;
+  emit n EOF;
+  Array.of_list (List.rev !tokens)
+
+(* ---------------- parser ---------------- *)
+
+type state = { env : env; tokens : (int * token) array; mutable cursor : int }
+
+let peek st = st.tokens.(st.cursor)
+
+let advance st = st.cursor <- st.cursor + 1
+
+let expect st tok what =
+  let pos, current = peek st in
+  if current = tok then advance st else fail pos "expected %s" what
+
+let resolve_basic ?cls st pos basic =
+  match st.env.resolve_event ?cls basic with
+  | Some id -> Ast.Basic id
+  | None -> begin
+      match cls with
+      | None ->
+          fail pos "event %s is not declared for this class" (Intern.basic_to_string basic)
+      | Some cls ->
+          fail pos "event %s is not declared for class %s" (Intern.basic_to_string basic) cls
+    end
+
+let qualified_event ?cls st pos (kind : [ `After | `Before ]) =
+  match peek st with
+  | _, IDENT name ->
+      advance st;
+      let basic =
+        match (kind, name) with
+        | `Before, "tcomplete" -> Intern.Before_tcomplete
+        | `Before, "tabort" -> Intern.Before_tabort
+        | `After, "tcommit" -> Intern.After_tcommit
+        | `Before, _ -> Intern.Before name
+        | `After, _ -> Intern.After name
+      in
+      resolve_basic ?cls st pos basic
+  | pos, _ -> fail pos "expected a member-function name"
+
+(* Accepts an optional, empty C++-style argument list after a mask name:
+   "MoreCred()" as in the paper. *)
+let skip_empty_args st =
+  match peek st with
+  | _, LPAREN -> begin
+      match st.tokens.(st.cursor + 1) with
+      | _, RPAREN ->
+          advance st;
+          advance st
+      | _ -> ()
+    end
+  | _ -> ()
+
+let rec parse_seq st =
+  let first = parse_or st in
+  match peek st with
+  | _, COMMA ->
+      advance st;
+      Ast.Seq (first, parse_seq st)
+  | _ -> first
+
+and parse_or st =
+  let first = parse_and st in
+  match peek st with
+  | _, OROR ->
+      advance st;
+      Ast.Or (first, parse_or st)
+  | _ -> first
+
+and parse_and st =
+  let first = parse_mask st in
+  match peek st with
+  | _, ANDAND ->
+      advance st;
+      Ast.And (first, parse_and st)
+  | _ -> first
+
+and parse_mask st =
+  let expr = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | _, AMP -> begin
+        advance st;
+        match peek st with
+        | pos, IDENT name ->
+            advance st;
+            skip_empty_args st;
+            (match st.env.resolve_mask name with
+            | Some mask -> expr := Ast.Masked (!expr, mask)
+            | None -> fail pos "mask %s is not declared for this class" name)
+        | pos, _ -> fail pos "expected a mask name after '&'"
+      end
+    | _ -> continue_ := false
+  done;
+  !expr
+
+and parse_unary st =
+  match peek st with
+  | _, STAR ->
+      advance st;
+      Ast.Star (parse_unary st)
+  | _, PLUS ->
+      advance st;
+      Ast.Plus (parse_unary st)
+  | _, QUESTION ->
+      advance st;
+      Ast.Opt (parse_unary st)
+  | _, BANG ->
+      advance st;
+      Ast.Not (parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | _, LPAREN ->
+      advance st;
+      let expr = parse_seq st in
+      expect st RPAREN "')'";
+      expr
+  | _, RELATIVE ->
+      advance st;
+      expect st LPAREN "'(' after relative";
+      let parts = ref [ parse_or st ] in
+      while snd (peek st) = COMMA do
+        advance st;
+        parts := parse_or st :: !parts
+      done;
+      expect st RPAREN "')'";
+      Ast.Relative (List.rev !parts)
+  | _, ANY ->
+      advance st;
+      Ast.Any
+  | _, EMPTY ->
+      advance st;
+      Ast.Empty
+  | pos, AFTER ->
+      advance st;
+      qualified_event st pos `After
+  | pos, BEFORE ->
+      advance st;
+      qualified_event st pos `Before
+  | pos, IDENT name -> begin
+      advance st;
+      (* [Cls.event] qualifies a cross-class event reference. *)
+      match peek st with
+      | _, DOT -> begin
+          advance st;
+          match peek st with
+          | qpos, AFTER ->
+              advance st;
+              qualified_event ~cls:name st qpos `After
+          | qpos, BEFORE ->
+              advance st;
+              qualified_event ~cls:name st qpos `Before
+          | qpos, IDENT user ->
+              advance st;
+              resolve_basic ~cls:name st qpos (Intern.User user)
+          | qpos, _ -> fail qpos "expected an event after '%s.'" name
+        end
+      | _ -> resolve_basic st pos (Intern.User name)
+    end
+  | pos, (RPAREN | COMMA | OROR | ANDAND | AMP | STAR | PLUS | QUESTION | BANG | CARET | DOT | EOF)
+    ->
+      fail pos "expected an event expression"
+
+let parse env input =
+  match
+    let tokens = tokenize input in
+    let st = { env; tokens; cursor = 0 } in
+    let anchored =
+      match peek st with
+      | _, CARET ->
+          advance st;
+          true
+      | _ -> false
+    in
+    let expr = parse_seq st in
+    (match peek st with pos, EOF -> ignore pos | pos, _ -> fail pos "trailing input");
+    (anchored, expr)
+  with
+  | result -> Ok result
+  | exception Error e -> Result.Error e
+
+let parse_exn env input =
+  match parse env input with
+  | Ok result -> result
+  | Result.Error e -> invalid_arg (Format.asprintf "%a (in %S)" pp_error e input)

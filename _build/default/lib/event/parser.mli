@@ -1,0 +1,47 @@
+(** Parser for the textual event language.
+
+    O++ declares trigger events inline in class definitions; the
+    reproduction's runtime DSL takes them as strings in the same concrete
+    syntax, e.g.:
+
+    {v
+      after Buy & OverLimit
+      relative((after Buy & MoreCred), after PayBill)
+      ^ (after Buy, after Buy), before tcomplete
+      *BigBuy || !(after Buy && after PayBill)
+    v}
+
+    Grammar (loosest to tightest): [,] sequence, [||] union, [&&]
+    intersection, [& mask], prefix [* + ? !], atoms
+    ([(e)], [relative(...)], [any], [empty], events). A leading [^] anchors
+    the expression (suppresses the implicit [( *any ),] prefix, §5.1.1).
+    Member-function events are written [after F] / [before F]; transaction
+    events [before tcomplete], [before tabort], [after tcommit]; any other
+    identifier is a user-defined event. A mask name may carry an empty
+    argument list ([MoreCred()]), as in the paper.
+
+    Extension (§8 inter-object triggers): an event may be qualified with a
+    class name — [Gold.Stable], [Gold.after Tick] — to reference another
+    class's declared events; such triggers are activated with extra anchor
+    objects. *)
+
+type env = {
+  resolve_event : ?cls:string -> Intern.basic -> int option;
+      (** Map a basic event to its interned id; [None] rejects the event as
+          undeclared for the class ("Only these events will be posted").
+          [cls] carries the qualifier of a cross-class event reference
+          ([Gold.Stable], [Gold.after Tick] — the §8 inter-object
+          extension); unqualified events resolve against the class being
+          defined. *)
+  resolve_mask : string -> Ast.mask option;
+}
+
+type error = { position : int; message : string }
+
+val parse : env -> string -> (bool * Ast.t, error) result
+(** [parse env input] returns [(anchored, expr)]. *)
+
+val parse_exn : env -> string -> bool * Ast.t
+(** Raises [Invalid_argument] with a formatted message on error. *)
+
+val pp_error : Format.formatter -> error -> unit

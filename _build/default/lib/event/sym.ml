@@ -1,0 +1,27 @@
+type t = Ev of int | MTrue of int | MFalse of int
+
+let rank = function Ev _ -> 0 | MTrue _ -> 1 | MFalse _ -> 2
+
+let payload = function Ev i | MTrue i | MFalse i -> i
+
+let compare a b =
+  let c = Int.compare (rank a) (rank b) in
+  if c <> 0 then c else Int.compare (payload a) (payload b)
+
+let equal a b = compare a b = 0
+
+let hash t = Hashtbl.hash t
+
+let pp ?(event_name = fun i -> Printf.sprintf "e%d" i) () fmt = function
+  | Ev i -> Format.pp_print_string fmt (event_name i)
+  | MTrue i -> Format.fprintf fmt "True(m%d)" i
+  | MFalse i -> Format.fprintf fmt "False(m%d)" i
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

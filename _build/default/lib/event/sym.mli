@@ -1,0 +1,20 @@
+(** Alphabet symbols of trigger finite state machines.
+
+    Real events are interned integers ({!Intern}); masks contribute the
+    [True]/[False] pseudo-events of §5.1.2 ("mask states which evaluate
+    predicates to produce the pseudo-events True and False and make
+    transitions on these events"), tagged by mask id so one machine can
+    carry several masks. *)
+
+type t =
+  | Ev of int  (** interned basic event *)
+  | MTrue of int  (** mask [id] evaluated to true *)
+  | MFalse of int  (** mask [id] evaluated to false *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : ?event_name:(int -> string) -> unit -> Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/objstore/btree.ml: Array Format Int List Option

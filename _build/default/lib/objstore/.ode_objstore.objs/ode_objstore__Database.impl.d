@@ -1,0 +1,1 @@
+lib/objstore/database.ml: Btree Hashtbl List Objrec Ode_storage Oid Option Printf String Value

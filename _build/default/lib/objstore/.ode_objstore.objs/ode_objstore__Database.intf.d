@@ -1,0 +1,1 @@
+lib/objstore/database.mli: Objrec Ode_storage Oid Value

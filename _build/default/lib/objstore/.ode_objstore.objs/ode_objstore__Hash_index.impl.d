@@ -1,0 +1,1 @@
+lib/objstore/hash_index.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/objstore/objrec.ml: Format List Ode_util String Value

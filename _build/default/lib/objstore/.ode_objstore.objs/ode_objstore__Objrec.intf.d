@@ -1,0 +1,1 @@
+lib/objstore/objrec.mli: Format Value

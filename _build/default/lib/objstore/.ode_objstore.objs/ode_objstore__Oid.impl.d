@@ -1,0 +1,1 @@
+lib/objstore/oid.ml: Format Hashtbl Int Map Ode_storage Set

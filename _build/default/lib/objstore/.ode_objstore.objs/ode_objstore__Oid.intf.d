@@ -1,0 +1,1 @@
+lib/objstore/oid.mli: Format Hashtbl Map Ode_storage Set

@@ -1,0 +1,1 @@
+lib/objstore/value.ml: Bool Float Format Int List Ode_util Oid Printf String

@@ -1,0 +1,1 @@
+lib/objstore/value.mli: Format Ode_util Oid

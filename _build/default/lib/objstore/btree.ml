@@ -1,0 +1,379 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(* Small dynamic-array helpers shared by both node kinds. *)
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+let array_split a i = (Array.sub a 0 i, Array.sub a i (Array.length a - i))
+
+module Make (Key : ORDERED) = struct
+  type 'v leaf = {
+    mutable keys : Key.t array;
+    mutable vals : 'v array;
+    mutable next : 'v leaf option;
+  }
+
+  type 'v node = Leaf of 'v leaf | Internal of 'v internal
+
+  and 'v internal = {
+    mutable seps : Key.t array;  (* seps.(i) = least key of subtree children.(i+1) *)
+    mutable children : 'v node array;
+  }
+
+  type 'v t = { min_degree : int; mutable root : 'v node; mutable size : int }
+
+  let create ?(min_degree = 8) () =
+    if min_degree < 2 then invalid_arg "Btree.create: min_degree must be >= 2";
+    { min_degree; root = Leaf { keys = [||]; vals = [||]; next = None }; size = 0 }
+
+  let length t = t.size
+  let is_empty t = t.size = 0
+
+  let rec node_height = function
+    | Leaf _ -> 1
+    | Internal node -> 1 + node_height node.children.(0)
+
+  let height t = node_height t.root
+
+  (* Index of the child of [node] that covers [key]: the number of
+     separators <= key. *)
+  let child_index node key =
+    let n = Array.length node.seps in
+    let rec go i = if i >= n then i else if Key.compare key node.seps.(i) >= 0 then go (i + 1) else i in
+    go 0
+
+  (* Position of [key] in a sorted key array: [Found i] or [Insert_at i]. *)
+  let search keys key =
+    let n = Array.length keys in
+    let rec go lo hi =
+      if lo >= hi then Error lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        let c = Key.compare key keys.(mid) in
+        if c = 0 then Ok mid else if c < 0 then go lo mid else go (mid + 1) hi
+      end
+    in
+    go 0 n
+
+  let rec find_node node key =
+    match node with
+    | Leaf leaf -> begin
+        match search leaf.keys key with Ok i -> Some leaf.vals.(i) | Error _ -> None
+      end
+    | Internal internal -> find_node internal.children.(child_index internal key) key
+
+  let find t key = find_node t.root key
+  let mem t key = Option.is_some (find t key)
+
+  (* ---------------- insert ---------------- *)
+
+  type 'v split = No_split | Split of Key.t * 'v node
+  (* [Split (sep, right)]: caller must install [right] after the current
+     child with separator [sep] (least key of [right]). *)
+
+  let max_leaf_keys t = (2 * t.min_degree) - 1
+  let max_children t = 2 * t.min_degree
+
+  let split_leaf leaf =
+    let mid = Array.length leaf.keys / 2 in
+    let left_keys, right_keys = array_split leaf.keys mid in
+    let left_vals, right_vals = array_split leaf.vals mid in
+    let right = { keys = right_keys; vals = right_vals; next = leaf.next } in
+    leaf.keys <- left_keys;
+    leaf.vals <- left_vals;
+    leaf.next <- Some right;
+    Split (right_keys.(0), Leaf right)
+
+  let split_internal internal =
+    let nchildren = Array.length internal.children in
+    let mid = nchildren / 2 in
+    (* children [0..mid-1] stay; [mid..] move right; separator seps.(mid-1)
+       is promoted. *)
+    let left_children, right_children = array_split internal.children mid in
+    let promoted = internal.seps.(mid - 1) in
+    let left_seps = Array.sub internal.seps 0 (mid - 1) in
+    let right_seps = Array.sub internal.seps mid (Array.length internal.seps - mid) in
+    internal.children <- left_children;
+    internal.seps <- left_seps;
+    Split (promoted, Internal { seps = right_seps; children = right_children })
+
+  let rec insert_node t node key value =
+    match node with
+    | Leaf leaf -> begin
+        match search leaf.keys key with
+        | Ok i ->
+            leaf.vals.(i) <- value;
+            No_split
+        | Error i ->
+            leaf.keys <- array_insert leaf.keys i key;
+            leaf.vals <- array_insert leaf.vals i value;
+            t.size <- t.size + 1;
+            if Array.length leaf.keys > max_leaf_keys t then split_leaf leaf else No_split
+      end
+    | Internal internal -> begin
+        let i = child_index internal key in
+        match insert_node t internal.children.(i) key value with
+        | No_split -> No_split
+        | Split (sep, right) ->
+            internal.seps <- array_insert internal.seps i sep;
+            internal.children <- array_insert internal.children (i + 1) right;
+            if Array.length internal.children > max_children t then split_internal internal
+            else No_split
+      end
+
+  let insert t key value =
+    match insert_node t t.root key value with
+    | No_split -> ()
+    | Split (sep, right) ->
+        t.root <- Internal { seps = [| sep |]; children = [| t.root; right |] }
+
+  (* ---------------- delete ---------------- *)
+
+  let min_leaf_keys t = t.min_degree - 1
+  let min_children t = t.min_degree
+
+  let node_underflows t = function
+    | Leaf leaf -> Array.length leaf.keys < min_leaf_keys t
+    | Internal internal -> Array.length internal.children < min_children t
+
+  (* Rebalance child [i] of [parent], which has just underflowed, by
+     borrowing from or merging with an adjacent sibling. *)
+  let rebalance t parent i =
+    let borrow_from_left li ri =
+      match (parent.children.(li), parent.children.(ri)) with
+      | Leaf left, Leaf right ->
+          let n = Array.length left.keys in
+          let k = left.keys.(n - 1) and v = left.vals.(n - 1) in
+          left.keys <- array_remove left.keys (n - 1);
+          left.vals <- array_remove left.vals (n - 1);
+          right.keys <- array_insert right.keys 0 k;
+          right.vals <- array_insert right.vals 0 v;
+          parent.seps.(li) <- k
+      | Internal left, Internal right ->
+          let nc = Array.length left.children in
+          let moved_child = left.children.(nc - 1) in
+          let moved_sep = left.seps.(nc - 2) in
+          left.children <- array_remove left.children (nc - 1);
+          left.seps <- array_remove left.seps (nc - 2);
+          right.children <- array_insert right.children 0 moved_child;
+          right.seps <- array_insert right.seps 0 parent.seps.(li);
+          parent.seps.(li) <- moved_sep
+      | Leaf _, Internal _ | Internal _, Leaf _ -> failwith "btree: sibling kind mismatch"
+    in
+    let borrow_from_right li ri =
+      match (parent.children.(li), parent.children.(ri)) with
+      | Leaf left, Leaf right ->
+          let k = right.keys.(0) and v = right.vals.(0) in
+          right.keys <- array_remove right.keys 0;
+          right.vals <- array_remove right.vals 0;
+          left.keys <- array_insert left.keys (Array.length left.keys) k;
+          left.vals <- array_insert left.vals (Array.length left.vals) v;
+          parent.seps.(li) <- right.keys.(0)
+      | Internal left, Internal right ->
+          let moved_child = right.children.(0) in
+          let moved_sep = right.seps.(0) in
+          right.children <- array_remove right.children 0;
+          right.seps <- array_remove right.seps 0;
+          left.children <- array_insert left.children (Array.length left.children) moved_child;
+          left.seps <- array_insert left.seps (Array.length left.seps) parent.seps.(li);
+          parent.seps.(li) <- moved_sep
+      | Leaf _, Internal _ | Internal _, Leaf _ -> failwith "btree: sibling kind mismatch"
+    in
+    (* Merge children (li, li+1) into child li; drop separator li. *)
+    let merge li =
+      let ri = li + 1 in
+      (match (parent.children.(li), parent.children.(ri)) with
+      | Leaf left, Leaf right ->
+          left.keys <- Array.append left.keys right.keys;
+          left.vals <- Array.append left.vals right.vals;
+          left.next <- right.next
+      | Internal left, Internal right ->
+          left.seps <- Array.concat [ left.seps; [| parent.seps.(li) |]; right.seps ];
+          left.children <- Array.append left.children right.children
+      | Leaf _, Internal _ | Internal _, Leaf _ -> failwith "btree: sibling kind mismatch");
+      parent.seps <- array_remove parent.seps li;
+      parent.children <- array_remove parent.children ri
+    in
+    let can_lend = function
+      | Leaf leaf -> Array.length leaf.keys > min_leaf_keys t
+      | Internal internal -> Array.length internal.children > min_children t
+    in
+    let nchildren = Array.length parent.children in
+    if i > 0 && can_lend parent.children.(i - 1) then borrow_from_left (i - 1) i
+    else if i < nchildren - 1 && can_lend parent.children.(i + 1) then borrow_from_right i (i + 1)
+    else if i > 0 then merge (i - 1)
+    else merge i
+
+  let rec remove_node t node key =
+    match node with
+    | Leaf leaf -> begin
+        match search leaf.keys key with
+        | Error _ -> false
+        | Ok i ->
+            leaf.keys <- array_remove leaf.keys i;
+            leaf.vals <- array_remove leaf.vals i;
+            t.size <- t.size - 1;
+            true
+      end
+    | Internal internal ->
+        let i = child_index internal key in
+        let removed = remove_node t internal.children.(i) key in
+        (* Separators are routing values, not copies of subtree minima:
+           removing a subtree's least key leaves its separator valid
+           (max(left) < sep <= min(right) still holds). *)
+        if removed && node_underflows t internal.children.(i) then rebalance t internal i;
+        removed
+
+  let remove t key =
+    let removed = remove_node t t.root key in
+    (match t.root with
+    | Internal internal when Array.length internal.children = 1 -> t.root <- internal.children.(0)
+    | Internal _ | Leaf _ -> ());
+    removed
+
+  (* ---------------- iteration ---------------- *)
+
+  let rec leftmost_leaf = function
+    | Leaf leaf -> leaf
+    | Internal internal -> leftmost_leaf internal.children.(0)
+
+  let iter t f =
+    let rec go = function
+      | None -> ()
+      | Some leaf ->
+          Array.iteri (fun i key -> f key leaf.vals.(i)) leaf.keys;
+          go leaf.next
+    in
+    go (Some (leftmost_leaf t.root))
+
+  let rec leaf_covering node key =
+    match node with
+    | Leaf leaf -> leaf
+    | Internal internal -> leaf_covering internal.children.(child_index internal key) key
+
+  let range t ?lo ?hi f =
+    let start = match lo with None -> leftmost_leaf t.root | Some key -> leaf_covering t.root key in
+    let above_lo key = match lo with None -> true | Some lo -> Key.compare key lo >= 0 in
+    let below_hi key = match hi with None -> true | Some hi -> Key.compare key hi <= 0 in
+    let exception Done in
+    let visit leaf =
+      Array.iteri
+        (fun i key ->
+          if not (below_hi key) then raise Done;
+          if above_lo key then f key leaf.vals.(i))
+        leaf.keys
+    in
+    let rec go = function
+      | None -> ()
+      | Some leaf ->
+          visit leaf;
+          go leaf.next
+    in
+    try go (Some start) with Done -> ()
+
+  let to_list t =
+    let acc = ref [] in
+    iter t (fun k v -> acc := (k, v) :: !acc);
+    List.rev !acc
+
+  let min_binding t =
+    let rec first = function
+      | None -> None
+      | Some leaf -> if Array.length leaf.keys > 0 then Some (leaf.keys.(0), leaf.vals.(0)) else first leaf.next
+    in
+    first (Some (leftmost_leaf t.root))
+
+  let max_binding t =
+    let rec rightmost = function
+      | Leaf leaf ->
+          let n = Array.length leaf.keys in
+          if n = 0 then None else Some (leaf.keys.(n - 1), leaf.vals.(n - 1))
+      | Internal internal -> rightmost internal.children.(Array.length internal.children - 1)
+    in
+    rightmost t.root
+
+  (* ---------------- invariant checking ---------------- *)
+
+  let check_invariants t =
+    let fail fmt = Format.kasprintf failwith fmt in
+    let check_sorted keys what =
+      Array.iteri
+        (fun i key -> if i > 0 && Key.compare keys.(i - 1) key >= 0 then fail "%s keys out of order" what)
+        keys
+    in
+    (* Returns (depth, min key, max key, count); min/max are [None] only for
+       an empty root leaf. Occupancy bounds are enforced for non-root nodes;
+       routing correctness requires, for each internal node, that child
+       [i]'s keys all lie in [seps.(i-1), seps.(i)) (with the open ends
+       unbounded). *)
+    let rec go node ~is_root ~lo ~hi =
+      let check_bounds what key =
+        (match lo with
+        | Some lo when Key.compare key lo < 0 -> fail "%s key %a below separator bound %a" what Key.pp key Key.pp lo
+        | Some _ | None -> ());
+        match hi with
+        | Some hi when Key.compare key hi >= 0 -> fail "%s key %a at/above separator bound %a" what Key.pp key Key.pp hi
+        | Some _ | None -> ()
+      in
+      match node with
+      | Leaf leaf ->
+          check_sorted leaf.keys "leaf";
+          Array.iter (check_bounds "leaf") leaf.keys;
+          let n = Array.length leaf.keys in
+          if Array.length leaf.vals <> n then fail "leaf keys/vals length mismatch";
+          if (not is_root) && n < min_leaf_keys t then fail "leaf underflow (%d)" n;
+          if n > max_leaf_keys t then fail "leaf overflow (%d)" n;
+          let min_key = if n > 0 then Some leaf.keys.(0) else None in
+          let max_key = if n > 0 then Some leaf.keys.(n - 1) else None in
+          (1, min_key, max_key, n)
+      | Internal internal ->
+          let nchildren = Array.length internal.children in
+          if Array.length internal.seps <> nchildren - 1 then fail "separator count mismatch";
+          if (not is_root) && nchildren < min_children t then fail "internal underflow";
+          if nchildren > max_children t then fail "internal overflow";
+          if is_root && nchildren < 2 then fail "internal root with < 2 children";
+          check_sorted internal.seps "internal";
+          Array.iter (check_bounds "separator") internal.seps;
+          let depths = ref [] in
+          let total = ref 0 in
+          let min0 = ref None in
+          let maxn = ref None in
+          Array.iteri
+            (fun i child ->
+              let child_lo = if i = 0 then lo else Some internal.seps.(i - 1) in
+              let child_hi = if i = nchildren - 1 then hi else Some internal.seps.(i) in
+              let depth, cmin, cmax, count = go child ~is_root:false ~lo:child_lo ~hi:child_hi in
+              if cmin = None then fail "empty non-root subtree";
+              if i = 0 then min0 := cmin;
+              if i = nchildren - 1 then maxn := cmax;
+              depths := depth :: !depths;
+              total := !total + count)
+            internal.children;
+          (match !depths with
+          | [] -> fail "internal node with no children"
+          | d :: rest -> if not (List.for_all (Int.equal d) rest) then fail "leaves at unequal depth");
+          (1 + List.hd !depths, !min0, !maxn, !total)
+    in
+    let _, _, _, count = go t.root ~is_root:true ~lo:None ~hi:None in
+    if count <> t.size then fail "size mismatch: counted %d, recorded %d" count t.size;
+    (* The leaf chain must enumerate exactly the tree contents in order. *)
+    let chain = ref 0 in
+    let last = ref None in
+    iter t (fun key _ ->
+        incr chain;
+        (match !last with
+        | Some prev when Key.compare prev key >= 0 -> fail "leaf chain out of order"
+        | Some _ | None -> ());
+        last := Some key);
+    if !chain <> t.size then fail "leaf chain length %d <> size %d" !chain t.size
+end

@@ -1,0 +1,57 @@
+(** In-memory B+-tree.
+
+    Ode's disk release kept B-trees in the storage manager while MM-Ode had
+    none ("full Ode functionality except for B-trees which do not exist in
+    Dali", §5.6). The reproduction provides this index for ordered cluster
+    scans and as substrate completeness; it is a textbook B+-tree (data only
+    in leaves, leaves chained for range scans) with full delete
+    (borrow/merge) support.
+
+    Not transactional: like cluster caches, indexes are volatile and
+    rebuilt on open; the record store remains the durability authority. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (Key : ORDERED) : sig
+  type 'v t
+
+  val create : ?min_degree:int -> unit -> 'v t
+  (** [min_degree] (the classic [t] parameter, default 8) controls fanout:
+      non-root leaves hold between [t-1] and [2t-1] entries. Raises
+      [Invalid_argument] if below 2. *)
+
+  val length : 'v t -> int
+  val is_empty : 'v t -> bool
+  val height : 'v t -> int
+
+  val find : 'v t -> Key.t -> 'v option
+  val mem : 'v t -> Key.t -> bool
+
+  val insert : 'v t -> Key.t -> 'v -> unit
+  (** Replaces the value if the key is already present. *)
+
+  val remove : 'v t -> Key.t -> bool
+  (** [true] if the key was present. *)
+
+  val min_binding : 'v t -> (Key.t * 'v) option
+  val max_binding : 'v t -> (Key.t * 'v) option
+
+  val iter : 'v t -> (Key.t -> 'v -> unit) -> unit
+  (** Ascending key order. *)
+
+  val range : 'v t -> ?lo:Key.t -> ?hi:Key.t -> (Key.t -> 'v -> unit) -> unit
+  (** Ascending iteration over keys in [\[lo, hi\]] (both inclusive;
+      unbounded when omitted), using the leaf chain. *)
+
+  val to_list : 'v t -> (Key.t * 'v) list
+
+  val check_invariants : 'v t -> unit
+  (** Validates occupancy bounds, key ordering, separator correctness,
+      uniform leaf depth and the leaf chain; raises [Failure] with a
+      description on violation. Test hook. *)
+end

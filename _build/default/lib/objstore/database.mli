@@ -1,0 +1,82 @@
+(** A database of persistent objects over one record store.
+
+    Provides the O++ persistent-object primitives: [pnew]/[pdelete],
+    dereference (read), field update, and iteration over {e clusters} (the
+    per-class extents O++ programs iterate with [for ... in]). Cluster
+    membership is cached in memory and kept transactionally consistent: a
+    database registers as a transaction participant and undoes membership
+    changes of aborted transactions; [open_existing] rebuilds the cache by
+    scanning the store. *)
+
+type t
+
+exception No_such_object of Oid.t
+
+val create : mgr:Ode_storage.Txn.mgr -> store:Ode_storage.Store.t -> name:string -> t
+
+val open_existing :
+  mgr:Ode_storage.Txn.mgr -> store:Ode_storage.Store.t -> name:string -> t
+(** Rebuild cluster membership from the store's current contents (used
+    after recovery). Runs one internal system transaction. *)
+
+val name : t -> string
+val store : t -> Ode_storage.Store.t
+val mgr : t -> Ode_storage.Txn.mgr
+
+val pnew : t -> Ode_storage.Txn.t -> Objrec.t -> Oid.t
+(** Allocate a persistent object; returns its oid. *)
+
+val pdelete : t -> Ode_storage.Txn.t -> Oid.t -> unit
+(** Raises {!No_such_object} if absent. *)
+
+val get : t -> Ode_storage.Txn.t -> Oid.t -> Objrec.t
+(** Dereference (shared lock). Raises {!No_such_object}. *)
+
+val get_opt : t -> Ode_storage.Txn.t -> Oid.t -> Objrec.t option
+
+val put : t -> Ode_storage.Txn.t -> Oid.t -> Objrec.t -> unit
+(** Replace the object (exclusive lock). The class may not change. *)
+
+val get_field : t -> Ode_storage.Txn.t -> Oid.t -> string -> Value.t
+val set_field : t -> Ode_storage.Txn.t -> Oid.t -> string -> Value.t -> unit
+
+val class_of : t -> Ode_storage.Txn.t -> Oid.t -> string
+(** Dynamic class name of the object. *)
+
+val exists : t -> Ode_storage.Txn.t -> Oid.t -> bool
+
+val cluster : t -> cls:string -> Oid.t list
+(** Current members of the class's cluster, sorted by oid. Objects of
+    derived classes belong to their own cluster only; use the schema layer
+    to fold over a class and its descendants. *)
+
+val iter_cluster : t -> Ode_storage.Txn.t -> cls:string -> (Oid.t -> Objrec.t -> unit) -> unit
+
+val object_count : t -> int
+
+(** {2 Field indexes}
+
+    Ordered secondary indexes over one field of one class's cluster,
+    backed by the in-memory B+-tree ({!Btree}) — the disk-Ode release kept
+    B-trees in its storage manager (§5.6). Like cluster membership, index
+    contents are a volatile cache kept transactionally consistent (updates
+    journal per transaction and reverse on abort) and must be re-created
+    after recovery. Index reads take no locks; read the objects themselves
+    for serializable access. *)
+
+val create_index : t -> Ode_storage.Txn.t -> name:string -> cls:string -> field:string -> unit
+(** Build an index over the current cluster contents (reads the objects
+    under shared locks) and maintain it henceforth. Raises
+    [Invalid_argument] if the name is taken. *)
+
+val drop_index : t -> name:string -> unit
+
+val index_lookup : t -> name:string -> Value.t -> Oid.t list
+(** Oids whose indexed field currently equals the key, sorted. Raises
+    [Not_found] for an unknown index. *)
+
+val index_range :
+  t -> name:string -> ?lo:Value.t -> ?hi:Value.t -> unit -> (Value.t * Oid.t list) list
+(** Ascending by key, bounds inclusive. *)
+
+val index_names : t -> string list

@@ -1,0 +1,60 @@
+module type HASHED = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Make (Key : HASHED) = struct
+  module Tbl = Hashtbl.Make (Key)
+
+  type 'v t = { tbl : 'v list ref Tbl.t; mutable total : int }
+  (* Buckets are stored newest-first and reversed on read, keeping [add]
+     O(1) while presenting insertion order. *)
+
+  let create ?(initial_size = 64) () = { tbl = Tbl.create initial_size; total = 0 }
+
+  let add t key v =
+    (match Tbl.find_opt t.tbl key with
+    | Some bucket -> bucket := v :: !bucket
+    | None -> Tbl.replace t.tbl key (ref [ v ]));
+    t.total <- t.total + 1
+
+  let find_all t key =
+    match Tbl.find_opt t.tbl key with None -> [] | Some bucket -> List.rev !bucket
+
+  let remove t key pred =
+    match Tbl.find_opt t.tbl key with
+    | None -> false
+    | Some bucket ->
+        (* First match in insertion order = last match in stored order that
+           has no earlier-inserted match; scan the insertion-order view. *)
+        let rec split_at_first acc = function
+          | [] -> None
+          | v :: rest -> if pred v then Some (List.rev_append acc rest) else split_at_first (v :: acc) rest
+        in
+        (match split_at_first [] (List.rev !bucket) with
+        | None -> false
+        | Some remaining_in_order ->
+            t.total <- t.total - 1;
+            if remaining_in_order = [] then Tbl.remove t.tbl key
+            else bucket := List.rev remaining_in_order;
+            true)
+
+  let remove_key t key =
+    match Tbl.find_opt t.tbl key with
+    | None -> ()
+    | Some bucket ->
+        t.total <- t.total - List.length !bucket;
+        Tbl.remove t.tbl key
+
+  let mem t key = Tbl.mem t.tbl key
+  let key_count t = Tbl.length t.tbl
+  let total_count t = t.total
+
+  let iter t f = Tbl.iter (fun key bucket -> List.iter (f key) (List.rev !bucket)) t.tbl
+
+  let clear t =
+    Tbl.reset t.tbl;
+    t.total <- 0
+end

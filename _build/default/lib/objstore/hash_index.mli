@@ -1,0 +1,36 @@
+(** Hash-based multimap index.
+
+    The paper keeps "a hash table to map the object to the set of active
+    triggers associated with it" (§5.1.3); this is that structure,
+    generalised. Values under one key keep insertion order (the trigger
+    runtime fires ready triggers in activation order). *)
+
+module type HASHED = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Make (Key : HASHED) : sig
+  type 'v t
+
+  val create : ?initial_size:int -> unit -> 'v t
+  val add : 'v t -> Key.t -> 'v -> unit
+  (** Appends [v] to the key's bucket (duplicates allowed). *)
+
+  val remove : 'v t -> Key.t -> ('v -> bool) -> bool
+  (** Remove the first value satisfying the predicate; [true] if one was
+      removed. Drops the key when its bucket empties. *)
+
+  val remove_key : 'v t -> Key.t -> unit
+
+  val find_all : 'v t -> Key.t -> 'v list
+  (** Values in insertion order; [] for an absent key. *)
+
+  val mem : 'v t -> Key.t -> bool
+  val key_count : 'v t -> int
+  val total_count : 'v t -> int
+  val iter : 'v t -> (Key.t -> 'v -> unit) -> unit
+  val clear : 'v t -> unit
+end

@@ -1,0 +1,28 @@
+(** Persistent object records: the stored shape of an O++ object.
+
+    A record carries the object's dynamic class name and its field map.
+    Crucially for the paper's design goal 5, it carries {e no} trigger
+    state: adding or removing triggers from a class never changes the
+    storage layout of its objects. *)
+
+type t = { cls : string; fields : (string * Value.t) list }
+
+val make : cls:string -> fields:(string * Value.t) list -> t
+(** Field names must be distinct; raises [Invalid_argument] otherwise. *)
+
+val get : t -> string -> Value.t
+(** Raises [Not_found] for an unknown field. *)
+
+val get_opt : t -> string -> Value.t option
+
+val set : t -> string -> Value.t -> t
+(** Functional field update; raises [Not_found] for an unknown field (the
+    schema is fixed at creation). *)
+
+val field_names : t -> string list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val encode : t -> bytes
+val decode : bytes -> t

@@ -1,0 +1,23 @@
+module Rid = Ode_storage.Rid
+
+type t = int
+
+let of_rid rid = Rid.to_int rid
+let to_rid t = Rid.of_int t
+let of_int i = i
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp fmt t = Format.fprintf fmt "o%d" t
+let to_string t = Format.asprintf "%a" pp t
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

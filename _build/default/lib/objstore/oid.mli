@@ -1,0 +1,22 @@
+(** Persistent object identifiers ("pointers to persistent objects", §2).
+
+    An [Oid.t] is the stable identity of a persistent object within one
+    database. In this reproduction an oid is exactly the logical record id
+    of the object's record, so it stays valid when the record physically
+    moves — the property O++ persistent pointers require. *)
+
+type t
+
+val of_rid : Ode_storage.Rid.t -> t
+val to_rid : t -> Ode_storage.Rid.t
+val of_int : int -> t
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

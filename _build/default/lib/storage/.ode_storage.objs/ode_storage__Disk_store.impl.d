@@ -1,0 +1,1 @@
+lib/storage/disk_store.ml: Buffer_pool Bytes Format Hashtbl List Lock_manager Ode_util Page Pager Rid Store Txn Wal

@@ -1,0 +1,1 @@
+lib/storage/disk_store.mli: Buffer_pool Pager Rid Store Txn

@@ -1,0 +1,1 @@
+lib/storage/lock_manager.ml: Format Hashtbl List Rid

@@ -1,0 +1,1 @@
+lib/storage/mem_store.ml: Format Hashtbl List Lock_manager Rid Store Txn Wal

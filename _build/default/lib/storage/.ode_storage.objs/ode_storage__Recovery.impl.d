@@ -1,0 +1,1 @@
+lib/storage/recovery.ml: Disk_store Hashtbl List Mem_store Rid Store Wal

@@ -1,0 +1,1 @@
+lib/storage/recovery.mli: Disk_store Mem_store Rid Txn Wal

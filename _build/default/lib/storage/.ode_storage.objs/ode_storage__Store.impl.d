@@ -1,0 +1,1 @@
+lib/storage/store.ml: Lock_manager Rid Txn Wal

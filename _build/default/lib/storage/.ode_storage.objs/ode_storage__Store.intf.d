@@ -1,0 +1,1 @@
+lib/storage/store.mli: Lock_manager Rid Txn Wal

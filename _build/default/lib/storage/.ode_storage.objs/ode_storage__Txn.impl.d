@@ -1,0 +1,1 @@
+lib/storage/txn.ml: Format Hashtbl List Lock_manager Printf

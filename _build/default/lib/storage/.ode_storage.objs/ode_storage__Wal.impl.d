@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Buffer Format List Ode_util Printf Rid

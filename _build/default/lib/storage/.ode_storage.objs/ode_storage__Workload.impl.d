@@ -1,0 +1,1 @@
+lib/storage/workload.ml: Array Format List Lock_manager Ode_util Printf Store Txn

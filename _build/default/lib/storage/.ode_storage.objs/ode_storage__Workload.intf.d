@@ -1,0 +1,1 @@
+lib/storage/workload.mli: Format Ode_util Txn

@@ -1,0 +1,81 @@
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+type frame = { page : Page.t; mutable dirty : bool; mutable last_used : int }
+
+type t = {
+  pager : Pager.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable clock : int;
+  stats : stats;
+}
+
+let create pager ~capacity =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  {
+    pager;
+    capacity;
+    frames = Hashtbl.create 64;
+    clock = 0;
+    stats = { hits = 0; misses = 0; evictions = 0; writebacks = 0 };
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let writeback t id frame =
+  if frame.dirty then begin
+    Pager.write t.pager id frame.page;
+    frame.dirty <- false;
+    t.stats.writebacks <- t.stats.writebacks + 1
+  end
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun id frame ->
+      match !victim with
+      | None -> victim := Some (id, frame)
+      | Some (_, best) -> if frame.last_used < best.last_used then victim := Some (id, frame))
+    t.frames;
+  match !victim with
+  | None -> ()
+  | Some (id, frame) ->
+      writeback t id frame;
+      Hashtbl.remove t.frames id;
+      t.stats.evictions <- t.stats.evictions + 1
+
+let with_page t id ~dirty f =
+  let frame =
+    match Hashtbl.find_opt t.frames id with
+    | Some frame ->
+        t.stats.hits <- t.stats.hits + 1;
+        frame
+    | None ->
+        t.stats.misses <- t.stats.misses + 1;
+        if Hashtbl.length t.frames >= t.capacity then evict_lru t;
+        let frame = { page = Pager.read t.pager id; dirty = false; last_used = 0 } in
+        Hashtbl.replace t.frames id frame;
+        frame
+  in
+  frame.last_used <- tick t;
+  if dirty then frame.dirty <- true;
+  f frame.page
+
+let flush_all t = Hashtbl.iter (fun id frame -> writeback t id frame) t.frames
+
+let drop_all t = Hashtbl.reset t.frames
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.hits <- 0;
+  t.stats.misses <- 0;
+  t.stats.evictions <- 0;
+  t.stats.writebacks <- 0

@@ -1,0 +1,305 @@
+module Binc = Ode_util.Binc
+
+type loc = { page : int; slot : int }
+
+type t = {
+  name : string;
+  mgr : Txn.mgr;
+  pager : Pager.t;
+  pool : Buffer_pool.t;
+  wal : Wal.t;
+  dir : loc Rid.Tbl.t;
+  mutable heap_pages : int list;  (* newest first *)
+  mutable active_page : int option;  (* current fill target *)
+  roomy_pages : (int, unit) Hashtbl.t;  (* pages with reclaimed space *)
+  undo : (int, Wal.op list) Hashtbl.t;  (* txn -> ops, newest first *)
+  mutable next_rid : int;
+  mutable crashed : bool;
+  mutable inserts : int;
+  mutable reads : int;
+  mutable updates : int;
+  mutable deletes : int;
+  mutable relocations : int;
+}
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Store.Store_error msg)) fmt
+
+let check_usable t = if t.crashed then fail "store %s has crashed" t.name
+
+let encode_record rid payload =
+  let w = Binc.writer () in
+  Binc.write_uvarint w (Rid.to_int rid);
+  Binc.write_bytes w payload;
+  Binc.contents w
+
+let decode_record bytes =
+  let r = Binc.reader bytes in
+  let rid = Rid.of_int (Binc.read_uvarint r) in
+  let payload = Binc.read_bytes r in
+  (rid, payload)
+
+let lock_key t rid = Lock_manager.Record (t.name, rid)
+
+(* ------------------------------------------------------------------ *)
+(* Physical layer: place/read/remove records on pages, no locking or
+   logging. Also used by undo and recovery. *)
+
+let place_on_page t page_id data =
+  Buffer_pool.with_page t.pool page_id ~dirty:true (fun page -> Page.insert page data)
+
+let try_pages t data =
+  let try_page page_id =
+    match place_on_page t page_id data with
+    | Some slot -> Some { page = page_id; slot }
+    | None ->
+        Hashtbl.remove t.roomy_pages page_id;
+        None
+  in
+  let from_active =
+    match t.active_page with Some page_id -> try_page page_id | None -> None
+  in
+  match from_active with
+  | Some loc -> Some loc
+  | None ->
+      let roomy = Hashtbl.fold (fun page_id () acc -> page_id :: acc) t.roomy_pages [] in
+      let roomy = List.sort compare roomy in
+      List.fold_left
+        (fun found page_id -> match found with Some _ -> found | None -> try_page page_id)
+        None roomy
+
+let phys_insert t rid payload =
+  let data = encode_record rid payload in
+  let page_capacity = Pager.page_size t.pager - 64 in
+  if Bytes.length data > page_capacity then
+    fail "record %a too large (%d bytes > page capacity %d)" Rid.pp rid (Bytes.length data)
+      page_capacity;
+  let loc =
+    match try_pages t data with
+    | Some loc -> loc
+    | None ->
+        let page_id = Pager.alloc t.pager in
+        t.heap_pages <- page_id :: t.heap_pages;
+        t.active_page <- Some page_id;
+        (match place_on_page t page_id data with
+        | Some slot -> { page = page_id; slot }
+        | None -> fail "record does not fit on a fresh page")
+  in
+  Rid.Tbl.replace t.dir rid loc;
+  loc
+
+let phys_read t rid =
+  match Rid.Tbl.find_opt t.dir rid with
+  | None -> None
+  | Some loc ->
+      Buffer_pool.with_page t.pool loc.page ~dirty:false (fun page ->
+          match Page.read page loc.slot with
+          | None -> fail "directory points at dead slot for %a" Rid.pp rid
+          | Some data ->
+              let stored_rid, payload = decode_record data in
+              if not (Rid.equal stored_rid rid) then
+                fail "directory/page disagree on rid (%a vs %a)" Rid.pp rid Rid.pp stored_rid;
+              Some payload)
+
+let phys_delete t rid =
+  match Rid.Tbl.find_opt t.dir rid with
+  | None -> ()
+  | Some loc ->
+      Buffer_pool.with_page t.pool loc.page ~dirty:true (fun page -> Page.delete page loc.slot);
+      Hashtbl.replace t.roomy_pages loc.page ();
+      Rid.Tbl.remove t.dir rid
+
+let phys_update t rid payload =
+  match Rid.Tbl.find_opt t.dir rid with
+  | None -> fail "update of unknown record %a" Rid.pp rid
+  | Some loc ->
+      let data = encode_record rid payload in
+      let in_place =
+        Buffer_pool.with_page t.pool loc.page ~dirty:true (fun page ->
+            Page.update page loc.slot data)
+      in
+      if not in_place then begin
+        t.relocations <- t.relocations + 1;
+        phys_delete t rid;
+        ignore (phys_insert t rid payload)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Transactional layer. *)
+
+let log_op t (txn : Txn.t) op =
+  if not (Hashtbl.mem t.undo txn.id) then begin
+    Hashtbl.replace t.undo txn.id [];
+    Wal.append t.wal (Wal.Begin txn.id)
+  end;
+  Wal.append t.wal (Wal.Op (txn.id, op));
+  Hashtbl.replace t.undo txn.id (op :: Hashtbl.find t.undo txn.id)
+
+(* Rids must be unique across the store's lifetime (not reused after
+   delete), so they are drawn from a monotone counter per store. *)
+let fresh_rid t =
+  let rid = Rid.of_int t.next_rid in
+  t.next_rid <- t.next_rid + 1;
+  rid
+
+let insert_impl t (txn : Txn.t) payload =
+  check_usable t;
+  let rid = fresh_rid t in
+  Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
+  ignore (phys_insert t rid payload);
+  log_op t txn (Wal.Insert (rid, payload));
+  t.inserts <- t.inserts + 1;
+  rid
+
+let read_impl t (txn : Txn.t) rid =
+  check_usable t;
+  Store.lock_or_raise txn (lock_key t rid) Lock_manager.S;
+  t.reads <- t.reads + 1;
+  phys_read t rid
+
+let update_impl t (txn : Txn.t) rid payload =
+  check_usable t;
+  Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
+  match phys_read t rid with
+  | None -> fail "update of unknown record %a" Rid.pp rid
+  | Some before ->
+      phys_update t rid payload;
+      log_op t txn (Wal.Update (rid, before, payload));
+      t.updates <- t.updates + 1
+
+let delete_impl t (txn : Txn.t) rid =
+  check_usable t;
+  Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
+  match phys_read t rid with
+  | None -> fail "delete of unknown record %a" Rid.pp rid
+  | Some before ->
+      phys_delete t rid;
+      log_op t txn (Wal.Delete (rid, before));
+      t.deletes <- t.deletes + 1
+
+let iter_impl t (txn : Txn.t) f =
+  check_usable t;
+  let rids = Rid.Tbl.fold (fun rid _ acc -> rid :: acc) t.dir [] in
+  let rids = List.sort Rid.compare rids in
+  let visit rid =
+    Store.lock_or_raise txn (lock_key t rid) Lock_manager.S;
+    match phys_read t rid with None -> () | Some payload -> f rid payload
+  in
+  List.iter visit rids
+
+let apply_undo t op =
+  match op with
+  | Wal.Insert (rid, _) -> phys_delete t rid
+  | Wal.Update (rid, before, _) -> phys_update t rid before
+  | Wal.Delete (rid, before) -> ignore (phys_insert t rid before)
+
+let on_commit t (txn : Txn.t) =
+  if Hashtbl.mem t.undo txn.id then begin
+    Wal.append t.wal (Wal.Commit txn.id);
+    Wal.flush t.wal;
+    Hashtbl.remove t.undo txn.id
+  end
+
+let on_abort t (txn : Txn.t) =
+  if not t.crashed then begin
+    match Hashtbl.find_opt t.undo txn.id with
+    | None -> ()
+    | Some ops ->
+        List.iter (apply_undo t) ops;
+        Wal.append t.wal (Wal.Abort txn.id);
+        Hashtbl.remove t.undo txn.id
+  end
+
+let checkpoint_impl t () =
+  check_usable t;
+  if Hashtbl.length t.undo > 0 then fail "checkpoint with in-flight transactions";
+  let entries = Rid.Tbl.fold (fun rid _ acc -> rid :: acc) t.dir [] in
+  let entries = List.sort Rid.compare entries in
+  let state =
+    List.map
+      (fun rid ->
+        match phys_read t rid with
+        | Some payload -> (rid, payload)
+        | None -> fail "checkpoint: dangling directory entry %a" Rid.pp rid)
+      entries
+  in
+  Wal.append t.wal (Wal.Checkpoint state);
+  Wal.flush t.wal
+
+let counters_impl t () =
+  let pager = Pager.stats t.pager in
+  let pool = Buffer_pool.stats t.pool in
+  [
+    ("inserts", t.inserts);
+    ("reads", t.reads);
+    ("updates", t.updates);
+    ("deletes", t.deletes);
+    ("relocations", t.relocations);
+    ("page_reads", pager.Pager.reads);
+    ("page_writes", pager.Pager.writes);
+    ("pages", Pager.page_count t.pager);
+    ("pool_hits", pool.Buffer_pool.hits);
+    ("pool_misses", pool.Buffer_pool.misses);
+    ("pool_evictions", pool.Buffer_pool.evictions);
+    ("pool_writebacks", pool.Buffer_pool.writebacks);
+    ("wal_flushes", Wal.flush_count t.wal);
+    ("wal_bytes", Wal.durable_size t.wal);
+  ]
+
+let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ~mgr ~name () =
+  let pager = Pager.create ?io_spin ~page_size () in
+  let t =
+    {
+      name;
+      mgr;
+      pager;
+      pool = Buffer_pool.create pager ~capacity:pool_capacity;
+      wal = Wal.create ();
+      dir = Rid.Tbl.create 256;
+      heap_pages = [];
+      active_page = None;
+      roomy_pages = Hashtbl.create 16;
+      undo = Hashtbl.create 8;
+      next_rid = 0;
+      crashed = false;
+      inserts = 0;
+      reads = 0;
+      updates = 0;
+      deletes = 0;
+      relocations = 0;
+    }
+  in
+  Txn.register_participant mgr
+    { Txn.p_name = name; on_commit = on_commit t; on_abort = on_abort t };
+  t
+
+let ops t =
+  {
+    Store.name = t.name;
+    insert = insert_impl t;
+    read = read_impl t;
+    update = update_impl t;
+    delete = delete_impl t;
+    iter = iter_impl t;
+    record_count = (fun () -> Rid.Tbl.length t.dir);
+    checkpoint = checkpoint_impl t;
+    counters = counters_impl t;
+    wal = t.wal;
+  }
+
+let load_bulk t entries =
+  if Rid.Tbl.length t.dir > 0 then fail "load_bulk into non-empty store %s" t.name;
+  List.iter
+    (fun (rid, payload) ->
+      ignore (phys_insert t rid payload);
+      t.next_rid <- max t.next_rid (Rid.to_int rid + 1))
+    entries
+
+let flush_pages t = Buffer_pool.flush_all t.pool
+
+let crash t =
+  Buffer_pool.drop_all t.pool;
+  t.crashed <- true
+
+let page_count t = Pager.page_count t.pager
+let pager_stats t = Pager.stats t.pager
+let pool_stats t = Buffer_pool.stats t.pool

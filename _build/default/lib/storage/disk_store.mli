@@ -1,0 +1,44 @@
+(** EOS-like disk-based record store: slotted pages behind an LRU buffer
+    pool, logical WAL, per-transaction undo, strict 2PL record locking.
+
+    A record is addressed by a logical {!Rid.t}; the store keeps a directory
+    from rid to (page, slot) so an update that no longer fits in place can
+    relocate the record without changing its identity (the paper's persistent
+    pointers must stay valid). Durability is through the WAL: commit forces
+    the log; a crash discards the buffer pool and pages, and
+    {!Recovery.recover_disk} rebuilds the store from the last checkpoint plus
+    committed log suffix. *)
+
+type t
+
+val create :
+  ?page_size:int ->
+  ?pool_capacity:int ->
+  ?io_spin:int ->
+  mgr:Txn.mgr ->
+  name:string ->
+  unit ->
+  t
+(** Creates an empty store and registers it as a commit/abort participant
+    with [mgr]. [page_size] defaults to 4096, [pool_capacity] (frames) to
+    64; [io_spin] simulates per-page-I/O device latency (see
+    {!Pager.create}). *)
+
+val ops : t -> Store.t
+(** The uniform interface used by everything above the storage layer. *)
+
+val load_bulk : t -> (Rid.t * bytes) list -> unit
+(** Physically install records, bypassing transactions, locking and
+    logging. Recovery-only; raises [Store_error] if the store is not
+    empty. *)
+
+val flush_pages : t -> unit
+(** Write back all dirty frames (clean shutdown). *)
+
+val crash : t -> unit
+(** Simulate a crash: drop all buffered frames and refuse further use. The
+    WAL's durable prefix survives; retrieve it with [(ops t).wal]. *)
+
+val page_count : t -> int
+val pager_stats : t -> Pager.stats
+val pool_stats : t -> Buffer_pool.stats

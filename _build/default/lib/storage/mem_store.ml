@@ -1,0 +1,160 @@
+type t = {
+  name : string;
+  mgr : Txn.mgr;
+  wal : Wal.t;
+  records : bytes Rid.Tbl.t;
+  undo : (int, Wal.op list) Hashtbl.t;
+  mutable next_rid : int;
+  mutable crashed : bool;
+  mutable inserts : int;
+  mutable reads : int;
+  mutable updates : int;
+  mutable deletes : int;
+}
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Store.Store_error msg)) fmt
+
+let check_usable t = if t.crashed then fail "store %s has crashed" t.name
+
+let lock_key t rid = Lock_manager.Record (t.name, rid)
+
+let log_op t (txn : Txn.t) op =
+  if not (Hashtbl.mem t.undo txn.id) then begin
+    Hashtbl.replace t.undo txn.id [];
+    Wal.append t.wal (Wal.Begin txn.id)
+  end;
+  Wal.append t.wal (Wal.Op (txn.id, op));
+  Hashtbl.replace t.undo txn.id (op :: Hashtbl.find t.undo txn.id)
+
+let insert_impl t (txn : Txn.t) payload =
+  check_usable t;
+  let rid = Rid.of_int t.next_rid in
+  t.next_rid <- t.next_rid + 1;
+  Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
+  Rid.Tbl.replace t.records rid payload;
+  log_op t txn (Wal.Insert (rid, payload));
+  t.inserts <- t.inserts + 1;
+  rid
+
+let read_impl t (txn : Txn.t) rid =
+  check_usable t;
+  Store.lock_or_raise txn (lock_key t rid) Lock_manager.S;
+  t.reads <- t.reads + 1;
+  Rid.Tbl.find_opt t.records rid
+
+let update_impl t (txn : Txn.t) rid payload =
+  check_usable t;
+  Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
+  match Rid.Tbl.find_opt t.records rid with
+  | None -> fail "update of unknown record %a" Rid.pp rid
+  | Some before ->
+      Rid.Tbl.replace t.records rid payload;
+      log_op t txn (Wal.Update (rid, before, payload));
+      t.updates <- t.updates + 1
+
+let delete_impl t (txn : Txn.t) rid =
+  check_usable t;
+  Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
+  match Rid.Tbl.find_opt t.records rid with
+  | None -> fail "delete of unknown record %a" Rid.pp rid
+  | Some before ->
+      Rid.Tbl.remove t.records rid;
+      log_op t txn (Wal.Delete (rid, before));
+      t.deletes <- t.deletes + 1
+
+let iter_impl t (txn : Txn.t) f =
+  check_usable t;
+  let rids = Rid.Tbl.fold (fun rid _ acc -> rid :: acc) t.records [] in
+  let rids = List.sort Rid.compare rids in
+  let visit rid =
+    Store.lock_or_raise txn (lock_key t rid) Lock_manager.S;
+    match Rid.Tbl.find_opt t.records rid with None -> () | Some payload -> f rid payload
+  in
+  List.iter visit rids
+
+let apply_undo t op =
+  match op with
+  | Wal.Insert (rid, _) -> Rid.Tbl.remove t.records rid
+  | Wal.Update (rid, before, _) -> Rid.Tbl.replace t.records rid before
+  | Wal.Delete (rid, before) -> Rid.Tbl.replace t.records rid before
+
+let on_commit t (txn : Txn.t) =
+  if Hashtbl.mem t.undo txn.id then begin
+    Wal.append t.wal (Wal.Commit txn.id);
+    Wal.flush t.wal;
+    Hashtbl.remove t.undo txn.id
+  end
+
+let on_abort t (txn : Txn.t) =
+  if not t.crashed then begin
+    match Hashtbl.find_opt t.undo txn.id with
+    | None -> ()
+    | Some undo_ops ->
+        List.iter (apply_undo t) undo_ops;
+        Wal.append t.wal (Wal.Abort txn.id);
+        Hashtbl.remove t.undo txn.id
+  end
+
+let checkpoint_impl t () =
+  check_usable t;
+  if Hashtbl.length t.undo > 0 then fail "checkpoint with in-flight transactions";
+  let entries = Rid.Tbl.fold (fun rid payload acc -> (rid, payload) :: acc) t.records [] in
+  let entries = List.sort (fun (a, _) (b, _) -> Rid.compare a b) entries in
+  Wal.append t.wal (Wal.Checkpoint entries);
+  Wal.flush t.wal
+
+let counters_impl t () =
+  [
+    ("inserts", t.inserts);
+    ("reads", t.reads);
+    ("updates", t.updates);
+    ("deletes", t.deletes);
+    ("wal_flushes", Wal.flush_count t.wal);
+    ("wal_bytes", Wal.durable_size t.wal);
+  ]
+
+let create ~mgr ~name () =
+  let t =
+    {
+      name;
+      mgr;
+      wal = Wal.create ();
+      records = Rid.Tbl.create 256;
+      undo = Hashtbl.create 8;
+      next_rid = 0;
+      crashed = false;
+      inserts = 0;
+      reads = 0;
+      updates = 0;
+      deletes = 0;
+    }
+  in
+  Txn.register_participant mgr
+    { Txn.p_name = name; on_commit = on_commit t; on_abort = on_abort t };
+  t
+
+let ops t =
+  {
+    Store.name = t.name;
+    insert = insert_impl t;
+    read = read_impl t;
+    update = update_impl t;
+    delete = delete_impl t;
+    iter = iter_impl t;
+    record_count = (fun () -> Rid.Tbl.length t.records);
+    checkpoint = checkpoint_impl t;
+    counters = counters_impl t;
+    wal = t.wal;
+  }
+
+let load_bulk t entries =
+  if Rid.Tbl.length t.records > 0 then fail "load_bulk into non-empty store %s" t.name;
+  List.iter
+    (fun (rid, payload) ->
+      Rid.Tbl.replace t.records rid payload;
+      t.next_rid <- max t.next_rid (Rid.to_int rid + 1))
+    entries
+
+let crash t =
+  Rid.Tbl.reset t.records;
+  t.crashed <- true

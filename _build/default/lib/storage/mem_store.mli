@@ -1,0 +1,21 @@
+(** Dali-like main-memory record store.
+
+    Records live in a hash table; there is no pager or buffer pool, so the
+    read path is a single probe — the point of MM-Ode. Durability and
+    transaction semantics are identical to the disk store: the same WAL
+    format, the same per-transaction undo, the same strict 2PL record
+    locking, so the two backends are interchangeable behind {!Store.t}
+    (experiment T7 measures the difference). *)
+
+type t
+
+val create : mgr:Txn.mgr -> name:string -> unit -> t
+
+val ops : t -> Store.t
+
+val load_bulk : t -> (Rid.t * bytes) list -> unit
+(** Physically install records (recovery only; store must be empty). *)
+
+val crash : t -> unit
+(** Simulate a crash: in-memory contents are lost; only the WAL's durable
+    prefix survives. *)

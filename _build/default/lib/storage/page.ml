@@ -1,0 +1,153 @@
+type t = { buf : bytes }
+
+let header_size = 4
+let slot_size = 4
+let dead_off = 0xffff
+
+let size t = Bytes.length t.buf
+
+let get16 t off = Char.code (Bytes.get t.buf off) lor (Char.code (Bytes.get t.buf (off + 1)) lsl 8)
+
+let set16 t off v =
+  Bytes.set t.buf off (Char.chr (v land 0xff));
+  Bytes.set t.buf (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let nslots t = get16 t 0
+let set_nslots t v = set16 t 0 v
+let free_off t = get16 t 2
+let set_free_off t v = set16 t 2 v
+
+let slot_pos t i = Bytes.length t.buf - ((i + 1) * slot_size)
+let slot_off t i = get16 t (slot_pos t i)
+let slot_len t i = get16 t (slot_pos t i + 2)
+
+let set_slot t i ~off ~len =
+  set16 t (slot_pos t i) off;
+  set16 t (slot_pos t i + 2) len
+
+let create ~size =
+  if size < 64 || size > 65528 then invalid_arg "Page.create: size out of range";
+  let t = { buf = Bytes.make size '\000' } in
+  set_nslots t 0;
+  set_free_off t header_size;
+  t
+
+let slot_table_start t = Bytes.length t.buf - (nslots t * slot_size)
+
+let free_space t =
+  let gap = slot_table_start t - free_off t in
+  max 0 (gap - slot_size)
+
+let live_slots t =
+  let n = nslots t in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if slot_off t i <> dead_off then incr count
+  done;
+  !count
+
+let read t i =
+  if i < 0 || i >= nslots t then None
+  else begin
+    let off = slot_off t i in
+    if off = dead_off then None else Some (Bytes.sub t.buf off (slot_len t i))
+  end
+
+(* Rewrite the record heap contiguously from the header up, preserving slot
+   indexes. *)
+let compact t =
+  let n = nslots t in
+  let records = Array.init n (fun i -> read t i) in
+  let cursor = ref header_size in
+  Array.iteri
+    (fun i record ->
+      match record with
+      | None -> ()
+      | Some data ->
+          Bytes.blit data 0 t.buf !cursor (Bytes.length data);
+          set_slot t i ~off:!cursor ~len:(Bytes.length data);
+          cursor := !cursor + Bytes.length data)
+    records;
+  set_free_off t !cursor
+
+let live_bytes t =
+  let total = ref 0 in
+  for i = 0 to nslots t - 1 do
+    if slot_off t i <> dead_off then total := !total + slot_len t i
+  done;
+  !total
+
+(* Best available contiguous room for [extra_slots] additional slot
+   entries, assuming a compaction. *)
+let room_after_compaction t ~extra_slots =
+  Bytes.length t.buf - header_size - live_bytes t - ((nslots t + extra_slots) * slot_size)
+
+let find_dead_slot t =
+  let n = nslots t in
+  let rec go i = if i >= n then None else if slot_off t i = dead_off then Some i else go (i + 1) in
+  go 0
+
+let insert t data =
+  let len = Bytes.length data in
+  let reuse = find_dead_slot t in
+  let extra_slots = match reuse with Some _ -> 0 | None -> 1 in
+  if room_after_compaction t ~extra_slots < len then None
+  else begin
+    if slot_table_start t - free_off t - (extra_slots * slot_size) < len then compact t;
+    let off = free_off t in
+    Bytes.blit data 0 t.buf off len;
+    set_free_off t (off + len);
+    let slot =
+      match reuse with
+      | Some i -> i
+      | None ->
+          let i = nslots t in
+          set_nslots t (i + 1);
+          i
+    in
+    set_slot t slot ~off ~len;
+    Some slot
+  end
+
+let delete t i =
+  if i >= 0 && i < nslots t && slot_off t i <> dead_off then set_slot t i ~off:dead_off ~len:0
+
+let update t i data =
+  match read t i with
+  | None -> false
+  | Some _ ->
+      let len = Bytes.length data in
+      if len <= slot_len t i then begin
+        let off = slot_off t i in
+        Bytes.blit data 0 t.buf off len;
+        set_slot t i ~off ~len;
+        true
+      end
+      else begin
+        let old_off = slot_off t i and old_len = slot_len t i in
+        set_slot t i ~off:dead_off ~len:0;
+        if room_after_compaction t ~extra_slots:0 < len then begin
+          (* Roll back the tombstone; caller will relocate the record. *)
+          set_slot t i ~off:old_off ~len:old_len;
+          false
+        end
+        else begin
+          if slot_table_start t - free_off t < len then compact t;
+          let off = free_off t in
+          Bytes.blit data 0 t.buf off len;
+          set_free_off t (off + len);
+          set_slot t i ~off ~len;
+          true
+        end
+      end
+
+let iter t f =
+  for i = 0 to nslots t - 1 do
+    match read t i with None -> () | Some data -> f i data
+  done
+
+let to_bytes t = Bytes.copy t.buf
+
+let of_bytes buf =
+  if Bytes.length buf < 64 then invalid_arg "Page.of_bytes: too small";
+  { buf = Bytes.copy buf }

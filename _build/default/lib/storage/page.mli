@@ -1,0 +1,43 @@
+(** Slotted page, the unit of storage in the EOS-like disk store.
+
+    Layout (all 16-bit big-endian):
+    {v
+      [nslots][free_off]  ... record heap grows up ...  [slotN]..[slot1]
+    v}
+    Each slot is a pair [off,len]; a deleted slot has [off = 0xffff]. Slot
+    indexes are stable for the lifetime of the record on this page, so a
+    (page, slot) pair identifies a record version until it moves. Inserting
+    compacts the heap in place when fragmentation blocks an otherwise
+    fitting record. *)
+
+type t
+
+val size : t -> int
+
+val create : size:int -> t
+(** [size] must be at least 64 bytes and at most 65528. *)
+
+val insert : t -> bytes -> int option
+(** [insert page record] returns the slot index, or [None] if the record
+    does not fit even after compaction. *)
+
+val read : t -> int -> bytes option
+(** [read page slot] is [None] for out-of-range or deleted slots. *)
+
+val update : t -> int -> bytes -> bool
+(** In-place (or in-page, via compaction) update; [false] if the new value
+    cannot fit on this page, in which case the page is unchanged. *)
+
+val delete : t -> int -> unit
+(** Frees the slot; idempotent. *)
+
+val free_space : t -> int
+(** Usable bytes for one more insert (accounts for the new slot entry). *)
+
+val live_slots : t -> int
+
+val iter : t -> (int -> bytes -> unit) -> unit
+(** Iterates live slots in index order. *)
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> t

@@ -1,0 +1,67 @@
+type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
+
+type t = {
+  page_size : int;
+  io_spin : int;
+  mutable pages : bytes array;
+  mutable used : int;
+  stats : stats;
+}
+
+let create ?(io_spin = 0) ~page_size () =
+  {
+    page_size;
+    io_spin;
+    pages = Array.make 8 Bytes.empty;
+    used = 0;
+    stats = { reads = 0; writes = 0; allocs = 0 };
+  }
+
+(* Simulated device latency. *)
+let spin t =
+  let acc = ref 0 in
+  for i = 1 to t.io_spin do
+    acc := !acc + i
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let page_size t = t.page_size
+
+let grow t =
+  let cap = Array.length t.pages in
+  if t.used >= cap then begin
+    let pages = Array.make (cap * 2) Bytes.empty in
+    Array.blit t.pages 0 pages 0 cap;
+    t.pages <- pages
+  end
+
+let alloc t =
+  grow t;
+  let id = t.used in
+  t.pages.(id) <- Page.to_bytes (Page.create ~size:t.page_size);
+  t.used <- t.used + 1;
+  t.stats.allocs <- t.stats.allocs + 1;
+  id
+
+let page_count t = t.used
+
+let check t id = if id < 0 || id >= t.used then invalid_arg "Pager: unknown page id"
+
+let read t id =
+  check t id;
+  t.stats.reads <- t.stats.reads + 1;
+  spin t;
+  Page.of_bytes t.pages.(id)
+
+let write t id page =
+  check t id;
+  t.stats.writes <- t.stats.writes + 1;
+  spin t;
+  t.pages.(id) <- Page.to_bytes page
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.reads <- 0;
+  t.stats.writes <- 0;
+  t.stats.allocs <- 0

@@ -1,0 +1,47 @@
+let committed_txns records =
+  let committed = Hashtbl.create 32 in
+  List.iter
+    (fun record -> match record with Wal.Commit txn -> Hashtbl.replace committed txn () | _ -> ())
+    records;
+  committed
+
+(* Records after (and including) the latest checkpoint's base state. *)
+let split_at_checkpoint records =
+  let rec go base suffix_rev = function
+    | [] -> (base, List.rev suffix_rev)
+    | Wal.Checkpoint entries :: rest -> go entries [] rest
+    | record :: rest -> go base (record :: suffix_rev) rest
+  in
+  go [] [] records
+
+let committed_state records =
+  let committed = committed_txns records in
+  let base, suffix = split_at_checkpoint records in
+  let state = Rid.Tbl.create 256 in
+  List.iter (fun (rid, payload) -> Rid.Tbl.replace state rid payload) base;
+  let apply = function
+    | Wal.Op (txn, op) when Hashtbl.mem committed txn -> begin
+        match op with
+        | Wal.Insert (rid, payload) | Wal.Update (rid, _, payload) ->
+            Rid.Tbl.replace state rid payload
+        | Wal.Delete (rid, _) -> Rid.Tbl.remove state rid
+      end
+    | Wal.Op _ | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ()
+  in
+  List.iter apply suffix;
+  let entries = Rid.Tbl.fold (fun rid payload acc -> (rid, payload) :: acc) state [] in
+  List.sort (fun (a, _) (b, _) -> Rid.compare a b) entries
+
+let recover_disk ?page_size ?pool_capacity ?io_spin ~mgr ~name ~wal_bytes () =
+  let state = committed_state (Wal.decode_records wal_bytes) in
+  let store = Disk_store.create ?page_size ?pool_capacity ?io_spin ~mgr ~name () in
+  Disk_store.load_bulk store state;
+  (Disk_store.ops store).Store.checkpoint ();
+  store
+
+let recover_mem ~mgr ~name ~wal_bytes () =
+  let state = committed_state (Wal.decode_records wal_bytes) in
+  let store = Mem_store.create ~mgr ~name () in
+  Mem_store.load_bulk store state;
+  (Mem_store.ops store).Store.checkpoint ();
+  store

@@ -1,0 +1,34 @@
+(** Crash recovery: rebuild a store from the durable prefix of its WAL.
+
+    Scheme: two-pass redo-only logical recovery. Pass one scans the log for
+    commit records; pass two replays, starting from the most recent
+    checkpoint, every operation belonging to a committed transaction, in log
+    order. Operations of uncommitted transactions are simply never applied
+    (uncommitted data never reaches the durable state), so no undo pass is
+    needed — the style used by main-memory managers like Dali, which MM-Ode
+    runs on.
+
+    The paper leans on this machinery twice: aborted transactions must roll
+    back trigger state ("Event roll-back is handled using standard
+    transaction roll-back of the triggers' states", §5.5), and phoenix
+    transactions (§6) must survive crashes, which they do here by being
+    recorded as committed records drained post-recovery. *)
+
+val committed_state : Wal.record list -> (Rid.t * bytes) list
+(** The record map implied by a log: latest checkpoint plus committed
+    suffix, sorted by rid. *)
+
+val recover_disk :
+  ?page_size:int ->
+  ?pool_capacity:int ->
+  ?io_spin:int ->
+  mgr:Txn.mgr ->
+  name:string ->
+  wal_bytes:bytes ->
+  unit ->
+  Disk_store.t
+(** Build a fresh disk store holding exactly the committed state of the
+    given durable log bytes. The new store's own WAL begins with a
+    checkpoint of the recovered state. *)
+
+val recover_mem : mgr:Txn.mgr -> name:string -> wal_bytes:bytes -> unit -> Mem_store.t

@@ -1,0 +1,19 @@
+type t = int
+
+let of_int i = i
+let to_int i = i
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp fmt t = Format.fprintf fmt "r%d" t
+let to_string t = Format.asprintf "%a" pp t
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,21 @@
+(** Logical record identifiers.
+
+    A [Rid.t] is the stable, logical name of a record in a store; the
+    physical placement (page/slot in the disk store) is an implementation
+    detail behind the store's directory, so records can move without
+    invalidating persistent references — the property Ode needs for
+    persistent [TriggerState] pointers. *)
+
+type t
+
+val of_int : int -> t
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,22 @@
+exception Would_block of { txn : int; key : Lock_manager.key; holders : int list }
+
+type t = {
+  name : string;
+  insert : Txn.t -> bytes -> Rid.t;
+  read : Txn.t -> Rid.t -> bytes option;
+  update : Txn.t -> Rid.t -> bytes -> unit;
+  delete : Txn.t -> Rid.t -> unit;
+  iter : Txn.t -> (Rid.t -> bytes -> unit) -> unit;
+  record_count : unit -> int;
+  checkpoint : unit -> unit;
+  counters : unit -> (string * int) list;
+  wal : Wal.t;
+}
+
+exception Store_error of string
+
+let lock_or_raise (txn : Txn.t) key mode =
+  Txn.check_active txn;
+  match Lock_manager.acquire (Txn.lock_mgr txn.mgr) ~txn:txn.id key mode with
+  | Lock_manager.Granted -> ()
+  | Lock_manager.Blocked holders -> raise (Would_block { txn = txn.id; key; holders })

@@ -1,0 +1,39 @@
+(** Uniform record-store interface.
+
+    Disk-based Ode (on EOS) and MM-Ode (on Dali) share one object manager;
+    we mirror that by giving both store implementations this single
+    record-of-functions interface, so the object store, trigger runtime and
+    benchmarks are written once and run against either backend.
+
+    All operations run under a transaction and follow strict 2PL: [read]
+    takes a shared lock on the record, [insert]/[update]/[delete] take
+    exclusive locks held until commit/abort. An operation that cannot get
+    its lock raises {!Would_block} (caught by the {!Workload} scheduler) or
+    {!Lock_manager.Deadlock}. *)
+
+exception Would_block of { txn : int; key : Lock_manager.key; holders : int list }
+
+type t = {
+  name : string;
+  insert : Txn.t -> bytes -> Rid.t;
+  read : Txn.t -> Rid.t -> bytes option;
+  update : Txn.t -> Rid.t -> bytes -> unit;
+  delete : Txn.t -> Rid.t -> unit;
+  iter : Txn.t -> (Rid.t -> bytes -> unit) -> unit;
+      (** Iterate every live record under shared locks. *)
+  record_count : unit -> int;
+  checkpoint : unit -> unit;
+      (** Write a full-state checkpoint to the WAL. Only call at transaction
+          quiescence. *)
+  counters : unit -> (string * int) list;
+      (** Backend-specific counters (page I/O, pool hits, WAL flushes, ...)
+          for the benchmark harness. *)
+  wal : Wal.t;
+}
+
+val lock_or_raise : Txn.t -> Lock_manager.key -> Lock_manager.mode -> unit
+(** Shared helper for implementations: acquire or raise {!Would_block}. *)
+
+exception Store_error of string
+(** Misuse: updating/deleting a non-existent record, oversized record,
+    etc. *)

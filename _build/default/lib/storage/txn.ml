@@ -1,0 +1,109 @@
+type state = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  system : bool;
+  mgr : mgr;
+  mutable state : state;
+  mutable deps : int list;
+}
+
+and participant = { p_name : string; on_commit : t -> unit; on_abort : t -> unit }
+
+and mgr = {
+  lock_mgr : Lock_manager.t;
+  mutable next_id : int;
+  mutable participants : participant list;  (* in registration order *)
+  states : (int, state) Hashtbl.t;
+  stats : mgr_stats;
+}
+
+and mgr_stats = {
+  mutable begun : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable system_begun : int;
+}
+
+exception Invalid_state of string
+
+exception Dependency_failed of { txn : int; on : int }
+
+let create_mgr ?lock_mgr () =
+  let lock_mgr = match lock_mgr with Some l -> l | None -> Lock_manager.create () in
+  {
+    lock_mgr;
+    next_id = 1;
+    participants = [];
+    states = Hashtbl.create 64;
+    stats = { begun = 0; committed = 0; aborted = 0; system_begun = 0 };
+  }
+
+let lock_mgr mgr = mgr.lock_mgr
+
+let register_participant mgr p = mgr.participants <- mgr.participants @ [ p ]
+
+let begin_txn ?(system = false) mgr =
+  let id = mgr.next_id in
+  mgr.next_id <- id + 1;
+  mgr.stats.begun <- mgr.stats.begun + 1;
+  if system then mgr.stats.system_begun <- mgr.stats.system_begun + 1;
+  let t = { id; system; mgr; state = Active; deps = [] } in
+  Hashtbl.replace mgr.states id Active;
+  t
+
+let is_active t = t.state = Active
+
+let check_active t =
+  if t.state <> Active then
+    raise (Invalid_state (Printf.sprintf "transaction %d is not active" t.id))
+
+let finish t state =
+  t.state <- state;
+  Hashtbl.replace t.mgr.states t.id state;
+  Lock_manager.release_all t.mgr.lock_mgr ~txn:t.id
+
+let abort t =
+  check_active t;
+  List.iter (fun p -> p.on_abort t) (List.rev t.mgr.participants);
+  finish t Aborted;
+  t.mgr.stats.aborted <- t.mgr.stats.aborted + 1
+
+let state_of mgr id = Hashtbl.find_opt mgr.states id
+
+let commit t =
+  check_active t;
+  let check_dep on =
+    match state_of t.mgr on with
+    | Some Committed -> ()
+    | Some Aborted | None ->
+        abort t;
+        raise (Dependency_failed { txn = t.id; on })
+    | Some Active ->
+        raise
+          (Invalid_state
+             (Printf.sprintf "transaction %d commit-depends on still-active %d" t.id on))
+  in
+  List.iter check_dep t.deps;
+  List.iter (fun p -> p.on_commit t) t.mgr.participants;
+  finish t Committed;
+  t.mgr.stats.committed <- t.mgr.stats.committed + 1
+
+let add_dependency_id t ~on =
+  check_active t;
+  if not (List.mem on t.deps) then t.deps <- on :: t.deps
+
+let add_dependency t ~(on : t) = add_dependency_id t ~on:on.id
+
+let stats mgr = mgr.stats
+
+let reset_stats mgr =
+  mgr.stats.begun <- 0;
+  mgr.stats.committed <- 0;
+  mgr.stats.aborted <- 0;
+  mgr.stats.system_begun <- 0
+
+let pp fmt t =
+  Format.fprintf fmt "t%d%s(%s)" t.id
+    (if t.system then "[sys]" else "")
+    (match t.state with Active -> "active" | Committed -> "committed" | Aborted -> "aborted")

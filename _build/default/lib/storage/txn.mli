@@ -1,0 +1,75 @@
+(** Transactions and the transaction manager.
+
+    Stores register as {e participants}; at commit/abort the manager drives
+    each participant's callback (log forcing for commit, undo application
+    for abort) and then releases the transaction's locks — strict two-phase
+    locking.
+
+    Commit dependencies implement the paper's [dependent] coupling mode
+    (§4.2, §5.5): a system transaction carrying a [dependent] trigger action
+    may commit only if the event-detecting transaction committed; if that
+    transaction aborted, commit raises and the system transaction is
+    aborted instead. [!dependent] actions simply run in a transaction with
+    no dependency. System transactions ("a transaction not explicitly
+    requested by the user, but required for trigger processing", §5.5) are
+    ordinary transactions flagged for accounting. *)
+
+type state = Active | Committed | Aborted
+
+type t = private {
+  id : int;
+  system : bool;
+  mgr : mgr;
+  mutable state : state;
+  mutable deps : int list;  (** transaction ids this commit depends on *)
+}
+
+and participant = {
+  p_name : string;
+  on_commit : t -> unit;
+  on_abort : t -> unit;
+}
+
+and mgr
+
+type mgr_stats = {
+  mutable begun : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable system_begun : int;
+}
+
+exception Invalid_state of string
+(** Raised when committing/aborting a non-active transaction, or operating
+    under a finished one. *)
+
+exception Dependency_failed of { txn : int; on : int }
+(** Raised by [commit] when a commit dependency aborted; the dependent
+    transaction is aborted before raising. *)
+
+val create_mgr : ?lock_mgr:Lock_manager.t -> unit -> mgr
+val lock_mgr : mgr -> Lock_manager.t
+
+val register_participant : mgr -> participant -> unit
+
+val begin_txn : ?system:bool -> mgr -> t
+
+val commit : t -> unit
+val abort : t -> unit
+
+val add_dependency : t -> on:t -> unit
+(** [add_dependency t ~on] makes [t]'s commit conditional on [on] having
+    committed. *)
+
+val add_dependency_id : t -> on:int -> unit
+
+val state_of : mgr -> int -> state option
+(** Final or current state of a transaction id, if known. *)
+
+val is_active : t -> bool
+val check_active : t -> unit
+
+val stats : mgr -> mgr_stats
+val reset_stats : mgr -> unit
+
+val pp : Format.formatter -> t -> unit

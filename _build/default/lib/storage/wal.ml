@@ -1,0 +1,133 @@
+module Binc = Ode_util.Binc
+
+type op =
+  | Insert of Rid.t * bytes
+  | Update of Rid.t * bytes * bytes
+  | Delete of Rid.t * bytes
+
+type record =
+  | Begin of int
+  | Op of int * op
+  | Commit of int
+  | Abort of int
+  | Checkpoint of (Rid.t * bytes) list
+
+type t = {
+  durable : Buffer.t;
+  mutable tail : record list;  (* reversed *)
+  mutable flushes : int;
+}
+
+let create () = { durable = Buffer.create 4096; tail = []; flushes = 0 }
+
+let append t r = t.tail <- r :: t.tail
+
+let encode_op w = function
+  | Insert (rid, after) ->
+      Binc.write_uvarint w 0;
+      Binc.write_uvarint w (Rid.to_int rid);
+      Binc.write_bytes w after
+  | Update (rid, before, after) ->
+      Binc.write_uvarint w 1;
+      Binc.write_uvarint w (Rid.to_int rid);
+      Binc.write_bytes w before;
+      Binc.write_bytes w after
+  | Delete (rid, before) ->
+      Binc.write_uvarint w 2;
+      Binc.write_uvarint w (Rid.to_int rid);
+      Binc.write_bytes w before
+
+let encode_record w = function
+  | Begin txn ->
+      Binc.write_uvarint w 0;
+      Binc.write_uvarint w txn
+  | Op (txn, op) ->
+      Binc.write_uvarint w 1;
+      Binc.write_uvarint w txn;
+      encode_op w op
+  | Commit txn ->
+      Binc.write_uvarint w 2;
+      Binc.write_uvarint w txn
+  | Abort txn ->
+      Binc.write_uvarint w 3;
+      Binc.write_uvarint w txn
+  | Checkpoint entries ->
+      Binc.write_uvarint w 4;
+      let entry (rid, bytes) =
+        Binc.write_uvarint w (Rid.to_int rid);
+        Binc.write_bytes w bytes
+      in
+      Binc.write_list w entry entries
+
+let decode_op r =
+  match Binc.read_uvarint r with
+  | 0 ->
+      let rid = Rid.of_int (Binc.read_uvarint r) in
+      Insert (rid, Binc.read_bytes r)
+  | 1 ->
+      let rid = Rid.of_int (Binc.read_uvarint r) in
+      let before = Binc.read_bytes r in
+      let after = Binc.read_bytes r in
+      Update (rid, before, after)
+  | 2 ->
+      let rid = Rid.of_int (Binc.read_uvarint r) in
+      Delete (rid, Binc.read_bytes r)
+  | n -> raise (Binc.Corrupt (Printf.sprintf "bad op tag %d" n))
+
+let decode_record r =
+  match Binc.read_uvarint r with
+  | 0 -> Begin (Binc.read_uvarint r)
+  | 1 ->
+      let txn = Binc.read_uvarint r in
+      Op (txn, decode_op r)
+  | 2 -> Commit (Binc.read_uvarint r)
+  | 3 -> Abort (Binc.read_uvarint r)
+  | 4 ->
+      let entry () =
+        let rid = Rid.of_int (Binc.read_uvarint r) in
+        let bytes = Binc.read_bytes r in
+        (rid, bytes)
+      in
+      Checkpoint (Binc.read_list r entry)
+  | n -> raise (Binc.Corrupt (Printf.sprintf "bad record tag %d" n))
+
+let decode_records bytes =
+  let r = Binc.reader bytes in
+  let rec go acc =
+    if Binc.at_end r then List.rev acc
+    else begin
+      match decode_record r with
+      | rec_ -> go (rec_ :: acc)
+      | exception Binc.Corrupt _ -> List.rev acc
+    end
+  in
+  go []
+
+let flush t =
+  let pending = List.rev t.tail in
+  if pending <> [] then begin
+    let w = Ode_util.Binc.writer () in
+    List.iter (encode_record w) pending;
+    Buffer.add_bytes t.durable (Binc.contents w);
+    t.tail <- []
+  end;
+  t.flushes <- t.flushes + 1
+
+let durable_bytes t = Buffer.to_bytes t.durable
+
+let durable_records t = decode_records (durable_bytes t)
+
+let all_records t = durable_records t @ List.rev t.tail
+
+let flush_count t = t.flushes
+
+let durable_size t = Buffer.length t.durable
+
+let pp_record fmt = function
+  | Begin txn -> Format.fprintf fmt "BEGIN t%d" txn
+  | Op (txn, Insert (rid, _)) -> Format.fprintf fmt "t%d INSERT %a" txn Rid.pp rid
+  | Op (txn, Update (rid, _, _)) -> Format.fprintf fmt "t%d UPDATE %a" txn Rid.pp rid
+  | Op (txn, Delete (rid, _)) -> Format.fprintf fmt "t%d DELETE %a" txn Rid.pp rid
+  | Commit txn -> Format.fprintf fmt "COMMIT t%d" txn
+  | Abort txn -> Format.fprintf fmt "ABORT t%d" txn
+  | Checkpoint entries -> Format.fprintf fmt "CHECKPOINT (%d records)" (List.length entries)

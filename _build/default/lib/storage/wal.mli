@@ -1,0 +1,58 @@
+(** Write-ahead log.
+
+    The log is the durability authority for both stores: a record is durable
+    iff it sits in the flushed prefix of the log. Log records describe
+    logical operations (insert/update/delete with before-images), plus
+    transaction begin/commit/abort markers and full-state checkpoints.
+    Recovery ({!Recovery}) rebuilds the committed record map from the last
+    checkpoint plus the committed suffix — a two-pass redo-only scheme in the
+    style of main-memory managers such as Dali.
+
+    The log body is a real byte sequence produced with {!Ode_util.Binc}; a
+    simulated crash simply truncates the log to its flushed length, so the
+    decoder is exercised by every recovery test. *)
+
+type op =
+  | Insert of Rid.t * bytes
+  | Update of Rid.t * bytes * bytes  (** rid, before-image, after-image *)
+  | Delete of Rid.t * bytes  (** rid, before-image *)
+
+type record =
+  | Begin of int
+  | Op of int * op  (** owning transaction id, operation *)
+  | Commit of int
+  | Abort of int
+  | Checkpoint of (Rid.t * bytes) list
+      (** full committed state at a quiescent point *)
+
+type t
+
+val create : unit -> t
+
+val append : t -> record -> unit
+(** Buffer a record; it is not durable until {!flush}. *)
+
+val flush : t -> unit
+(** Force the buffered tail to the durable prefix (simulates fsync). *)
+
+val durable_bytes : t -> bytes
+(** The flushed prefix, as raw bytes — what a crash would preserve. *)
+
+val durable_records : t -> record list
+(** Decode of {!durable_bytes}. *)
+
+val all_records : t -> record list
+(** Durable and still-buffered records, in append order. *)
+
+val flush_count : t -> int
+(** Number of {!flush} calls so far (fsync count for the benchmarks). *)
+
+val durable_size : t -> int
+(** Size in bytes of the durable prefix. *)
+
+val encode_record : Ode_util.Binc.writer -> record -> unit
+val decode_records : bytes -> record list
+(** Decodes as many complete records as the byte prefix contains; a
+    truncated trailing record is ignored (torn-write semantics). *)
+
+val pp_record : Format.formatter -> record -> unit

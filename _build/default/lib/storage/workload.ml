@@ -1,0 +1,94 @@
+type step = Txn.t -> unit
+
+type script = { label : string; steps : step list }
+
+type report = {
+  committed : int;
+  aborted : int;
+  deadlock_restarts : int;
+  block_events : int;
+  turns : int;
+}
+
+exception Stalled of string
+
+type runner = {
+  script : script;
+  mutable remaining : step list;
+  mutable txn : Txn.t option;
+  mutable done_ : bool;
+  mutable restarts : int;
+}
+
+let run ?(schedule = `Round_robin) ?(max_turns = 1_000_000) ?(max_restarts = 100) mgr scripts =
+  let runners =
+    Array.of_list
+      (List.map (fun s -> { script = s; remaining = s.steps; txn = None; done_ = false; restarts = 0 }) scripts)
+  in
+  let committed = ref 0 in
+  let aborted = ref 0 in
+  let restarts = ref 0 in
+  let blocks = ref 0 in
+  let turns = ref 0 in
+  let unfinished () = Array.exists (fun r -> not r.done_) runners in
+  let order = Array.init (Array.length runners) (fun i -> i) in
+  let progressed_in_pass = ref false in
+  (* Execute one scheduling turn for a runner; sets [progressed_in_pass]
+     unless the runner stayed blocked. *)
+  let turn r =
+    if not r.done_ then begin
+      incr turns;
+      if !turns > max_turns then raise (Stalled "max_turns exceeded");
+      let txn =
+        match r.txn with
+        | Some txn -> txn
+        | None ->
+            let txn = Txn.begin_txn mgr in
+            r.txn <- Some txn;
+            txn
+      in
+      match r.remaining with
+      | [] ->
+          (match Txn.commit txn with
+          | () -> incr committed
+          | exception Txn.Dependency_failed _ -> incr aborted);
+          r.txn <- None;
+          r.done_ <- true;
+          progressed_in_pass := true
+      | step :: rest -> begin
+          match step txn with
+          | () ->
+              r.remaining <- rest;
+              progressed_in_pass := true
+          | exception Store.Would_block _ -> incr blocks
+          | exception Lock_manager.Deadlock _ ->
+              Txn.abort txn;
+              incr restarts;
+              r.restarts <- r.restarts + 1;
+              if r.restarts > max_restarts then
+                raise (Stalled (Printf.sprintf "script %s exceeded max restarts" r.script.label));
+              r.txn <- None;
+              r.remaining <- r.script.steps;
+              progressed_in_pass := true
+        end
+    end
+  in
+  while unfinished () do
+    (match schedule with
+    | `Round_robin -> ()
+    | `Shuffled prng -> Ode_util.Prng.shuffle prng order);
+    progressed_in_pass := false;
+    Array.iter (fun i -> turn runners.(i)) order;
+    if (not !progressed_in_pass) && unfinished () then raise (Stalled "no progress in a full pass")
+  done;
+  {
+    committed = !committed;
+    aborted = !aborted;
+    deadlock_restarts = !restarts;
+    block_events = !blocks;
+    turns = !turns;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "committed=%d aborted=%d deadlock_restarts=%d blocks=%d turns=%d" r.committed
+    r.aborted r.deadlock_restarts r.block_events r.turns

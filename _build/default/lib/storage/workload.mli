@@ -1,0 +1,49 @@
+(** Deterministic concurrent-workload scheduler.
+
+    Real Ode runs concurrent client programs against the storage manager;
+    the reproduction simulates that concurrency deterministically so the
+    lock-amplification and deadlock experiments (T6) are exactly
+    reproducible. A workload is a set of {e scripts}; each script runs in
+    its own transaction and is a list of steps. The scheduler interleaves
+    one step at a time across scripts (round-robin, or shuffled by an
+    explicit PRNG):
+
+    - a step that raises {!Store.Would_block} is retried on a later turn
+      (the transaction keeps its locks and its pending wait);
+    - a step that raises {!Lock_manager.Deadlock} has its transaction
+      aborted and the whole script restarted from the beginning in a fresh
+      transaction;
+    - when a script's steps are exhausted its transaction commits.
+
+    Because a blocked step is re-executed in full on retry, a step should
+    contain at most one lock-acquiring operation, or be idempotent up to
+    its first new lock; locks already granted are held, so re-executed
+    prefixes hit granted locks and cannot re-block. *)
+
+type step = Txn.t -> unit
+
+type script = { label : string; steps : step list }
+
+type report = {
+  committed : int;
+  aborted : int;
+  deadlock_restarts : int;
+  block_events : int;  (** number of turns a script spent blocked *)
+  turns : int;
+}
+
+exception Stalled of string
+(** No unfinished script could make progress in a full pass — indicates a
+    lock leak (should be impossible; deadlocks abort a victim). *)
+
+val run :
+  ?schedule:[ `Round_robin | `Shuffled of Ode_util.Prng.t ] ->
+  ?max_turns:int ->
+  ?max_restarts:int ->
+  Txn.mgr ->
+  script list ->
+  report
+(** [max_restarts] (default 100) bounds per-script deadlock restarts;
+    exceeding it raises [Stalled]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/trigger/coupling.mli: Format

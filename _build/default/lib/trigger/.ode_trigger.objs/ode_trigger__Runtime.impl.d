@@ -1,0 +1,1 @@
+lib/trigger/runtime.ml: Coupling Format Fun Hashtbl List Logs Ode_event Ode_objstore Ode_storage Trigger_def Trigger_state

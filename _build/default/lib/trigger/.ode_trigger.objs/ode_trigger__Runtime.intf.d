@@ -1,0 +1,1 @@
+lib/trigger/runtime.mli: Ode_event Ode_objstore Ode_storage Trigger_def Trigger_state

@@ -1,0 +1,1 @@
+lib/trigger/trigger_def.ml: Array Coupling Hashtbl List Ode_event Ode_objstore Ode_storage Printf String Trigger_state

@@ -1,0 +1,1 @@
+lib/trigger/trigger_def.mli: Coupling Ode_event Ode_objstore Ode_storage Trigger_state

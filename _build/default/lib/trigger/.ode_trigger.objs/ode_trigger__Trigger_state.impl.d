@@ -1,0 +1,1 @@
+lib/trigger/trigger_state.ml: Format List Ode_objstore Ode_storage Ode_util Printf String

@@ -1,0 +1,1 @@
+lib/trigger/trigger_state.mli: Format Ode_objstore Ode_storage

@@ -1,0 +1,20 @@
+type t = Immediate | End | Dependent | Independent | Phoenix
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Immediate -> "immediate"
+  | End -> "end"
+  | Dependent -> "dependent"
+  | Independent -> "!dependent"
+  | Phoenix -> "phoenix"
+
+let of_string = function
+  | "immediate" -> Some Immediate
+  | "end" -> Some End
+  | "dependent" -> Some Dependent
+  | "!dependent" | "independent" -> Some Independent
+  | "phoenix" -> Some Phoenix
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,26 @@
+(** ECA coupling modes (§4.2).
+
+    - [Immediate]: the action runs as soon as the composite event is
+      detected, inside the detecting transaction (conceptually a nested
+      transaction; fired sequentially as in §5.4.5).
+    - [End] (deferred): the action runs in the detecting transaction, right
+      before it attempts to commit (before [before tcomplete] posting).
+    - [Dependent]: the action runs in a separate system transaction that
+      carries a commit dependency on the detecting transaction — it can
+      only commit if the detecting transaction did.
+    - [Independent] (the paper's [!dependent]): a separate system
+      transaction with no dependency; it runs even if the detecting
+      transaction aborts.
+    - [Phoenix]: extension implementing §6's discussion of [after tcommit]:
+      the action is recorded durably in the detecting transaction and run
+      after commit by a drain that retries until it has completed, even
+      across crashes. *)
+
+type t = Immediate | End | Dependent | Independent | Phoenix
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_string : string -> t option
+(** Accepts the paper's spellings: "immediate", "end", "dependent",
+    "!dependent", "phoenix". *)

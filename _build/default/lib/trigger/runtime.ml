@@ -1,0 +1,727 @@
+module Txn = Ode_storage.Txn
+module Store = Ode_storage.Store
+module Rid = Ode_storage.Rid
+module Oid = Ode_objstore.Oid
+module Value = Ode_objstore.Value
+module Intern = Ode_event.Intern
+module Fsm = Ode_event.Fsm
+module Sym = Ode_event.Sym
+
+let src = Logs.Src.create "ode.trigger" ~doc:"Ode trigger runtime"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+exception Tabort
+
+exception Trigger_error of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Trigger_error msg)) fmt
+
+type stats = {
+  mutable posts : int;
+  mutable index_probes : int;
+  mutable fsm_moves : int;
+  mutable mask_evals : int;
+  mutable state_writes : int;
+  mutable fires_immediate : int;
+  mutable fires_end : int;
+  mutable fires_dependent : int;
+  mutable fires_independent : int;
+  mutable fires_phoenix : int;
+  mutable activations : int;
+  mutable deactivations : int;
+  mutable local_activations : int;
+}
+
+module Obj_index = Ode_objstore.Hash_index.Make (struct
+  type t = Oid.t
+
+  let equal = Oid.equal
+  let hash = Oid.hash
+end)
+
+(* A local (transaction-scoped) trigger activation: §8's "local rules" —
+   no persistent storage, no locks, deallocated at end of transaction. *)
+type local_act = {
+  la_info : Trigger_def.info;
+  la_obj : Oid.t;
+  la_args : Value.t list;
+  la_cls : string;
+  mutable la_state : int;
+  mutable la_active : bool;
+}
+
+type fire = {
+  f_id : Trigger_state.id;
+  f_info : Trigger_def.info;
+  f_obj : Oid.t;
+  f_args : Value.t list;
+  f_ev_args : Value.t list;  (* payload of the completing event *)
+  f_cls : string;  (* defining class *)
+  f_local : local_act option;  (* Some for transaction-scoped activations *)
+}
+
+type index_change = Idx_add of Oid.t * Rid.t | Idx_remove of Oid.t * Rid.t
+
+type txn_local = {
+  mutable end_list : fire list;  (* reversed *)
+  mutable dep_list : fire list;
+  mutable indep_list : fire list;
+  mutable touched : (Oid.t * string) list;
+  mutable index_journal : index_change list;
+  mutable local_acts : local_act list;  (* reversed activation order *)
+}
+
+type t = {
+  registry : Trigger_def.Registry.t;
+  intern : Intern.t;
+  store : Store.t;
+  mgr : Txn.mgr;
+  index : Rid.t Obj_index.t;
+  locals : (int, txn_local) Hashtbl.t;
+  mutable fire_depth : int;
+  mutable draining : bool;
+  mutable phoenix_hint : int;
+      (* over-approximation of queued phoenix entries; lets after-commit
+         processing skip the drain scan entirely in the common case *)
+  stats : stats;
+}
+
+let registry t = t.registry
+let intern t = t.intern
+let mgr t = t.mgr
+
+let fresh_stats () =
+  {
+    posts = 0;
+    index_probes = 0;
+    fsm_moves = 0;
+    mask_evals = 0;
+    state_writes = 0;
+    fires_immediate = 0;
+    fires_end = 0;
+    fires_dependent = 0;
+    fires_independent = 0;
+    fires_phoenix = 0;
+    activations = 0;
+    deactivations = 0;
+    local_activations = 0;
+  }
+
+let local t (txn : Txn.t) =
+  match Hashtbl.find_opt t.locals txn.Txn.id with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          end_list = [];
+          dep_list = [];
+          indep_list = [];
+          touched = [];
+          index_journal = [];
+          local_acts = [];
+        }
+      in
+      Hashtbl.replace t.locals txn.Txn.id l;
+      l
+
+let local_opt t (txn : Txn.t) = Hashtbl.find_opt t.locals txn.Txn.id
+
+(* The in-memory activation index must follow transaction outcomes: journal
+   every change and reverse the journal on abort. *)
+let apply_index t = function
+  | Idx_add (obj, rid) -> Obj_index.add t.index obj rid
+  | Idx_remove (obj, rid) -> ignore (Obj_index.remove t.index obj (Rid.equal rid))
+
+let reverse_index = function
+  | Idx_add (obj, rid) -> Idx_remove (obj, rid)
+  | Idx_remove (obj, rid) -> Idx_add (obj, rid)
+
+let journal_index t txn change =
+  apply_index t change;
+  let l = local t txn in
+  l.index_journal <- change :: l.index_journal
+
+(* Participant hook run inside [Txn.abort]: reverse the index journal and
+   discard work that dies with the transaction. The !dependent list is
+   deliberately kept — §5.5 runs it after roll-back; [after_abort] consumes
+   it. *)
+let on_txn_abort t (txn : Txn.t) =
+  match local_opt t txn with
+  | None -> ()
+  | Some l ->
+      List.iter (fun change -> apply_index t (reverse_index change)) l.index_journal;
+      l.index_journal <- [];
+      l.end_list <- [];
+      l.dep_list <- [];
+      l.touched <- []
+
+let create ~mgr ~intern ~store =
+  let t =
+    {
+      registry = Trigger_def.Registry.create ();
+      intern;
+      store;
+      mgr;
+      index = Obj_index.create ();
+      locals = Hashtbl.create 8;
+      fire_depth = 0;
+      draining = false;
+      phoenix_hint = 0;
+      stats = fresh_stats ();
+    }
+  in
+  Txn.register_participant mgr
+    {
+      Txn.p_name = "trigger-runtime";
+      on_commit = (fun _txn -> ());
+      on_abort = on_txn_abort t;
+    };
+  t
+
+let register_class t descriptor = Trigger_def.Registry.register t.registry descriptor
+
+let rebuild_index t txn =
+  Obj_index.clear t.index;
+  t.phoenix_hint <- 0;
+  t.store.Store.iter txn (fun rid payload ->
+      match Trigger_state.decode payload with
+      | Trigger_state.State st ->
+          Obj_index.add t.index st.Trigger_state.trigobj rid;
+          List.iter (fun anchor -> Obj_index.add t.index anchor rid) st.Trigger_state.anchors
+      | Trigger_state.Phoenix _ -> t.phoenix_hint <- t.phoenix_hint + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Mask cascade: evaluate pending masks until the machine quiesces
+   (§5.4.5 step b). Returns the final state, or [dead_state]. *)
+
+let cascade t txn ~(info : Trigger_def.info) ~ctx start_state =
+  let fsm = info.Trigger_def.t_fsm in
+  let visited = Hashtbl.create 8 in
+  ignore txn;
+  let rec go state =
+    match Fsm.pending_masks fsm state with
+    | [] -> state
+    | m :: _ ->
+        if Hashtbl.mem visited state then state
+        else begin
+          Hashtbl.replace visited state ();
+          let mask_fn =
+            match List.assoc_opt m info.Trigger_def.t_masks with
+            | Some fn -> fn
+            | None -> fail "trigger %s: no function for mask m%d" info.Trigger_def.t_name m
+          in
+          t.stats.mask_evals <- t.stats.mask_evals + 1;
+          let value = mask_fn ctx in
+          let sym = if value then Sym.MTrue m else Sym.MFalse m in
+          match Fsm.step fsm state sym with
+          | Fsm.Goto next ->
+              t.stats.fsm_moves <- t.stats.fsm_moves + 1;
+              go next
+          | Fsm.Dead -> Trigger_state.dead_state
+          | Fsm.Stay -> state
+        end
+  in
+  go start_state
+
+(* ------------------------------------------------------------------ *)
+(* Activation / deactivation (§5.4.1). *)
+
+let read_state t txn id =
+  match t.store.Store.read txn id with
+  | None -> None
+  | Some payload -> begin
+      match Trigger_state.decode payload with
+      | Trigger_state.State st -> Some st
+      | Trigger_state.Phoenix _ -> None
+    end
+
+let write_state t txn id st =
+  t.store.Store.update txn id (Trigger_state.encode st);
+  t.stats.state_writes <- t.stats.state_writes + 1
+
+let lookup_trigger t ~defining_cls ~trigger ~obj_cls ~args =
+  let info =
+    match Trigger_def.Registry.find_trigger t.registry ~cls:defining_cls ~name:trigger with
+    | Some info -> info
+    | None -> fail "class %s has no trigger %s" defining_cls trigger
+  in
+  if not (Trigger_def.Registry.is_subclass t.registry ~sub:obj_cls ~super:defining_cls) then
+    fail "cannot activate %s::%s on an object of class %s" defining_cls trigger obj_cls;
+  if List.length args <> List.length info.Trigger_def.t_params then
+    fail "trigger %s::%s expects %d argument(s), got %d" defining_cls trigger
+      (List.length info.Trigger_def.t_params)
+      (List.length args);
+  info
+
+let activate ?(anchors = []) t txn ~defining_cls ~trigger ~obj ~obj_cls ~args =
+  let info = lookup_trigger t ~defining_cls ~trigger ~obj_cls ~args in
+  let start = info.Trigger_def.t_fsm.Fsm.start in
+  let st =
+    {
+      Trigger_state.triggernum = info.Trigger_def.t_index;
+      trigobj = obj;
+      trigobjtype = defining_cls;
+      statenum = start;
+      args;
+      anchors;
+    }
+  in
+  let id = t.store.Store.insert txn (Trigger_state.encode st) in
+  journal_index t txn (Idx_add (obj, id));
+  List.iter (fun anchor -> journal_index t txn (Idx_add (anchor, id))) anchors;
+  t.stats.activations <- t.stats.activations + 1;
+  Log.debug (fun m ->
+      m "activate %s::%s on %a (t%d)" defining_cls trigger Oid.pp obj txn.Txn.id);
+  (* A machine whose start state is already a mask state evaluates
+     immediately. *)
+  let ctx = { Trigger_def.txn; obj; args; ev_args = []; trigger_id = id } in
+  let settled = cascade t txn ~info ~ctx start in
+  if settled <> start then write_state t txn id (Trigger_state.with_statenum st settled);
+  id
+
+(* §8 "local rules": a transaction-scoped activation held only in program
+   memory — no store record, no index entry, no locks; it evaporates when
+   the transaction finishes, whatever the outcome. *)
+let activate_local t txn ~defining_cls ~trigger ~obj ~obj_cls ~args =
+  let info = lookup_trigger t ~defining_cls ~trigger ~obj_cls ~args in
+  let start = info.Trigger_def.t_fsm.Fsm.start in
+  let act =
+    {
+      la_info = info;
+      la_obj = obj;
+      la_args = args;
+      la_cls = defining_cls;
+      la_state = start;
+      la_active = true;
+    }
+  in
+  let ctx = { Trigger_def.txn; obj; args; ev_args = []; trigger_id = Rid.of_int (-1) } in
+  act.la_state <- cascade t txn ~info ~ctx start;
+  let l = local t txn in
+  l.local_acts <- act :: l.local_acts;
+  t.stats.local_activations <- t.stats.local_activations + 1
+
+let deactivate t txn id =
+  match read_state t txn id with
+  | None -> ()
+  | Some st ->
+      t.store.Store.delete txn id;
+      journal_index t txn (Idx_remove (st.Trigger_state.trigobj, id));
+      List.iter
+        (fun anchor -> journal_index t txn (Idx_remove (anchor, id)))
+        st.Trigger_state.anchors;
+      t.stats.deactivations <- t.stats.deactivations + 1;
+      Log.debug (fun m -> m "deactivate trigger #%d on %a" st.Trigger_state.triggernum Oid.pp st.Trigger_state.trigobj)
+
+let on_object_deleted t txn obj =
+  let ids = Obj_index.find_all t.index obj in
+  List.iter
+    (fun id ->
+      match read_state t txn id with
+      | None -> ()
+      | Some st ->
+          if Oid.equal st.Trigger_state.trigobj obj then deactivate t txn id
+          else
+            (* [obj] was a secondary anchor: keep the trigger, drop the
+               routing entry. *)
+            journal_index t txn (Idx_remove (obj, id)))
+    ids
+
+let active_on t txn obj =
+  let ids = Obj_index.find_all t.index obj in
+  List.filter_map
+    (fun id -> match read_state t txn id with Some st -> Some (id, st) | None -> None)
+    ids
+
+(* ------------------------------------------------------------------ *)
+(* Firing. *)
+
+let enqueue_phoenix t txn fire =
+  let entry =
+    {
+      Trigger_state.ph_cls = fire.f_cls;
+      ph_triggernum = fire.f_info.Trigger_def.t_index;
+      ph_obj = fire.f_obj;
+      ph_args = fire.f_args;
+      ph_ev_args = fire.f_ev_args;
+    }
+  in
+  ignore (t.store.Store.insert txn (Trigger_state.encode_phoenix entry));
+  t.phoenix_hint <- t.phoenix_hint + 1
+
+let run_action t txn fire =
+  Log.debug (fun m ->
+      m "fire %s::%s on %a (%a, t%d)" fire.f_cls fire.f_info.Trigger_def.t_name Oid.pp fire.f_obj
+        Coupling.pp fire.f_info.Trigger_def.t_coupling txn.Txn.id);
+  let ctx =
+    {
+      Trigger_def.txn;
+      obj = fire.f_obj;
+      args = fire.f_args;
+      ev_args = fire.f_ev_args;
+      trigger_id = fire.f_id;
+    }
+  in
+  if t.fire_depth > 64 then fail "trigger cascade deeper than 64";
+  t.fire_depth <- t.fire_depth + 1;
+  Fun.protect
+    ~finally:(fun () -> t.fire_depth <- t.fire_depth - 1)
+    (fun () -> fire.f_info.Trigger_def.t_action ctx)
+
+let route_fire t txn fire =
+  let info = fire.f_info in
+  (* Once-only triggers are deactivated when they fire (§5.4.5 step c); for
+     detached modes this happens at detection time, in the detecting
+     transaction, so a second detection cannot double-fire. *)
+  let deactivate_if_once_only () =
+    if not info.Trigger_def.t_perpetual then begin
+      match fire.f_local with
+      | Some act -> act.la_active <- false
+      | None -> deactivate t txn fire.f_id
+    end
+  in
+  match info.Trigger_def.t_coupling with
+  | Coupling.Immediate ->
+      t.stats.fires_immediate <- t.stats.fires_immediate + 1;
+      run_action t txn fire;
+      deactivate_if_once_only ()
+  | Coupling.End ->
+      t.stats.fires_end <- t.stats.fires_end + 1;
+      let l = local t txn in
+      l.end_list <- fire :: l.end_list;
+      deactivate_if_once_only ()
+  | Coupling.Dependent ->
+      t.stats.fires_dependent <- t.stats.fires_dependent + 1;
+      let l = local t txn in
+      l.dep_list <- fire :: l.dep_list;
+      deactivate_if_once_only ()
+  | Coupling.Independent ->
+      t.stats.fires_independent <- t.stats.fires_independent + 1;
+      let l = local t txn in
+      l.indep_list <- fire :: l.indep_list;
+      deactivate_if_once_only ()
+  | Coupling.Phoenix ->
+      t.stats.fires_phoenix <- t.stats.fires_phoenix + 1;
+      enqueue_phoenix t txn fire;
+      deactivate_if_once_only ()
+
+(* Advance this transaction's local activations anchored at [obj]; ready
+   local triggers are appended to [ready] in activation order. *)
+let advance_locals t txn ~obj ~event ~payload ready =
+  match local_opt t txn with
+  | None -> ()
+  | Some l ->
+      let advance act =
+        if
+          act.la_active
+          && Oid.equal act.la_obj obj
+          && act.la_state <> Trigger_state.dead_state
+        then begin
+          let info = act.la_info in
+          let fsm = info.Trigger_def.t_fsm in
+          let ctx =
+            {
+              Trigger_def.txn;
+              obj;
+              args = act.la_args;
+              ev_args = payload;
+              trigger_id = Rid.of_int (-1);
+            }
+          in
+          let moved, final =
+            match Fsm.step fsm act.la_state (Sym.Ev event) with
+            | Fsm.Stay -> (false, act.la_state)
+            | Fsm.Dead -> (true, Trigger_state.dead_state)
+            | Fsm.Goto next ->
+                t.stats.fsm_moves <- t.stats.fsm_moves + 1;
+                (true, cascade t txn ~info ~ctx next)
+          in
+          act.la_state <- final;
+          if moved && final <> Trigger_state.dead_state && Fsm.is_accept fsm final then
+            ready :=
+              {
+                f_id = Rid.of_int (-1);
+                f_info = info;
+                f_obj = obj;
+                f_args = act.la_args;
+                f_ev_args = payload;
+                f_cls = act.la_cls;
+                f_local = Some act;
+              }
+              :: !ready
+        end
+      in
+      List.iter advance (List.rev l.local_acts)
+
+(* ------------------------------------------------------------------ *)
+(* PostEvent (§5.4.5). *)
+
+let post ?(payload = []) t txn ~obj ~event =
+  Log.debug (fun m ->
+      m "post %s to %a (t%d)" (Intern.name_of_id t.intern event) Oid.pp obj txn.Txn.id);
+  t.stats.posts <- t.stats.posts + 1;
+  t.stats.index_probes <- t.stats.index_probes + 1;
+  let ids = Obj_index.find_all t.index obj in
+  if ids <> [] then begin
+    let ready = ref [] in
+    let advance id =
+      match read_state t txn id with
+      | None -> ()
+      | Some st ->
+          if st.Trigger_state.statenum <> Trigger_state.dead_state then begin
+            let info =
+              Trigger_def.Registry.trigger_info t.registry ~cls:st.Trigger_state.trigobjtype
+                ~index:st.Trigger_state.triggernum
+            in
+            let fsm = info.Trigger_def.t_fsm in
+            (* Masks and actions always see the trigger's primary anchor,
+               even when the posted-to object is a secondary anchor of an
+               inter-object trigger. *)
+            let primary = st.Trigger_state.trigobj in
+            let ctx =
+              {
+                Trigger_def.txn;
+                obj = primary;
+                args = st.Trigger_state.args;
+                ev_args = payload;
+                trigger_id = id;
+              }
+            in
+            (* [moved] guards the accept check: an event the machine
+               ignores (Stay) must not re-fire a trigger parked in an
+               accept state (âa check is made to see if an accept state
+               has been reachedâ happens after a transition, Â§5.4.5). *)
+            let moved, final =
+              match Fsm.step fsm st.Trigger_state.statenum (Sym.Ev event) with
+              | Fsm.Stay -> (false, st.Trigger_state.statenum)
+              | Fsm.Dead -> (true, Trigger_state.dead_state)
+              | Fsm.Goto next ->
+                  t.stats.fsm_moves <- t.stats.fsm_moves + 1;
+                  (true, cascade t txn ~info ~ctx next)
+            in
+            if final <> st.Trigger_state.statenum then
+              write_state t txn id (Trigger_state.with_statenum st final);
+            if moved && final <> Trigger_state.dead_state && Fsm.is_accept fsm final then
+              ready :=
+                {
+                  f_id = id;
+                  f_info = info;
+                  f_obj = primary;
+                  f_args = st.Trigger_state.args;
+                  f_ev_args = payload;
+                  f_cls = st.Trigger_state.trigobjtype;
+                  f_local = None;
+                }
+                :: !ready
+          end
+    in
+    (* Advance every active trigger before firing any (§5.4.5): an action
+       must not affect another trigger's mask evaluation for this event. *)
+    List.iter advance ids;
+    advance_locals t txn ~obj ~event ~payload ready;
+    List.iter (route_fire t txn) (List.rev !ready)
+  end
+  else begin
+    let ready = ref [] in
+    advance_locals t txn ~obj ~event ~payload ready;
+    List.iter (route_fire t txn) (List.rev !ready)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Transaction events and coupling-mode processing (§5.5). *)
+
+let note_access t txn ~obj ~cls =
+  match Trigger_def.Registry.find t.registry cls with
+  | None -> ()
+  | Some d ->
+      if d.Trigger_def.d_txn_events <> [] then begin
+        let l = local t txn in
+        if not (List.exists (fun (o, _) -> Oid.equal o obj) l.touched) then
+          l.touched <- (obj, cls) :: l.touched
+      end
+
+let post_txn_event t txn basic =
+  match local_opt t txn with
+  | None -> ()
+  | Some l ->
+      let entries = List.rev l.touched in
+      List.iter
+        (fun (obj, cls) ->
+          match Trigger_def.Registry.find t.registry cls with
+          | None -> ()
+          | Some d ->
+              List.iter
+                (fun (declared, event_id) ->
+                  if Intern.basic_equal declared basic then post t txn ~obj ~event:event_id)
+                d.Trigger_def.d_txn_events)
+        entries
+
+let drain_end_list t txn =
+  let budget = ref 1000 in
+  let rec go () =
+    match local_opt t txn with
+    | None -> ()
+    | Some l ->
+        let fires = List.rev l.end_list in
+        l.end_list <- [];
+        if fires <> [] then begin
+          decr budget;
+          if !budget < 0 then fail "end-coupled trigger loop did not quiesce";
+          List.iter (run_action t txn) fires;
+          go ()
+        end
+  in
+  go ()
+
+let before_commit t txn =
+  drain_end_list t txn;
+  post_txn_event t txn Intern.Before_tcomplete;
+  drain_end_list t txn
+
+let before_abort t txn = post_txn_event t txn Intern.Before_tabort
+
+(* Run one detached action in its own system transaction, with full trigger
+   orchestration, so detached actions can themselves fire triggers. *)
+let rec run_detached t ~dependency fire =
+  let txn = Txn.begin_txn ~system:true t.mgr in
+  (match dependency with Some on -> Txn.add_dependency_id txn ~on | None -> ());
+  match
+    run_action t txn fire;
+    before_commit t txn;
+    Txn.commit txn
+  with
+  | () -> after_commit t txn
+  | exception Tabort -> if Txn.is_active txn then abort_with_triggers t txn else after_abort t txn
+  | exception Txn.Dependency_failed _ -> after_abort t txn
+
+and after_commit t (txn : Txn.t) =
+  (* Detached work queued by [txn] itself (it committed). *)
+  let l = local_opt t txn in
+  Hashtbl.remove t.locals txn.Txn.id;
+  (match l with
+  | None -> ()
+  | Some l ->
+      List.iter (run_detached t ~dependency:(Some txn.Txn.id)) (List.rev l.dep_list);
+      List.iter (run_detached t ~dependency:None) (List.rev l.indep_list));
+  drain_phoenix t
+
+and after_abort t (txn : Txn.t) =
+  (* End and dependent work died with the transaction (cleared by the abort
+     participant); independent work survives (§5.5: the abort routine
+     checks the !dependent list after finishing roll-back). *)
+  match local_opt t txn with
+  | None -> ()
+  | Some l ->
+      let indep = List.rev l.indep_list in
+      Hashtbl.remove t.locals txn.Txn.id;
+      List.iter (run_detached t ~dependency:None) indep
+
+and abort_with_triggers t txn =
+  before_abort t txn;
+  Txn.abort txn;
+  after_abort t txn
+
+and drain_phoenix t =
+  (* The hint is an over-approximation (an aborted enqueue leaves it high);
+     a scan that finds nothing resets it. *)
+  if t.phoenix_hint > 0 && not t.draining then begin
+    t.draining <- true;
+    Fun.protect
+      ~finally:(fun () -> t.draining <- false)
+      (fun () ->
+        let rounds = ref 0 in
+        let continue_ = ref true in
+        let previous = ref [] in
+        while !continue_ do
+          incr rounds;
+          if !rounds > 100 then fail "phoenix queue did not quiesce";
+          (* Collect pending entries in one read-only system transaction,
+             then run each in its own transaction that deletes the entry and
+             performs the action atomically — restart-safe: a crash before
+             that commit leaves the entry queued. *)
+          let scan = Txn.begin_txn ~system:true t.mgr in
+          let entries = ref [] in
+          t.store.Store.iter scan (fun rid payload ->
+              match Trigger_state.decode payload with
+              | Trigger_state.Phoenix entry -> entries := (rid, entry) :: !entries
+              | Trigger_state.State _ -> ());
+          Txn.commit scan;
+          t.phoenix_hint <- List.length !entries;
+          let rids = List.map fst !entries in
+          if !entries = [] || rids = !previous then
+            (* Empty, or no progress (an action keeps aborting): leave the
+               remainder queued for the next drain — phoenix semantics
+               retry forever, across restarts. *)
+            continue_ := false
+          else begin
+            previous := rids;
+            List.iter (run_phoenix_entry t) (List.rev !entries)
+          end
+        done)
+  end
+
+and run_phoenix_entry t (rid, entry) =
+  let info =
+    Trigger_def.Registry.trigger_info t.registry ~cls:entry.Trigger_state.ph_cls
+      ~index:entry.Trigger_state.ph_triggernum
+  in
+  let fire =
+    {
+      f_id = rid;
+      f_info = info;
+      f_obj = entry.Trigger_state.ph_obj;
+      f_args = entry.Trigger_state.ph_args;
+      f_ev_args = entry.Trigger_state.ph_ev_args;
+      f_cls = entry.Trigger_state.ph_cls;
+      f_local = None;
+    }
+  in
+  let txn = Txn.begin_txn ~system:true t.mgr in
+  let still_queued = t.store.Store.read txn rid <> None in
+  match
+    if still_queued then begin
+      t.store.Store.delete txn rid;
+      run_action t txn fire;
+      before_commit t txn
+    end;
+    Txn.commit txn
+  with
+  | () -> after_commit t txn
+  | exception Tabort -> if Txn.is_active txn then abort_with_triggers t txn else after_abort t txn
+
+let forget t (txn : Txn.t) = Hashtbl.remove t.locals txn.Txn.id
+
+let commit_with_triggers t txn =
+  before_commit t txn;
+  Txn.commit txn;
+  after_commit t txn
+
+let phoenix_backlog t =
+  let txn = Txn.begin_txn ~system:true t.mgr in
+  let count = ref 0 in
+  t.store.Store.iter txn (fun _ payload ->
+      match Trigger_state.decode payload with
+      | Trigger_state.Phoenix _ -> incr count
+      | Trigger_state.State _ -> ());
+  Txn.commit txn;
+  Hashtbl.remove t.locals txn.Txn.id;
+  !count
+
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.posts <- 0;
+  s.index_probes <- 0;
+  s.fsm_moves <- 0;
+  s.mask_evals <- 0;
+  s.state_writes <- 0;
+  s.fires_immediate <- 0;
+  s.fires_end <- 0;
+  s.fires_dependent <- 0;
+  s.fires_independent <- 0;
+  s.fires_phoenix <- 0;
+  s.activations <- 0;
+  s.deactivations <- 0;
+  s.local_activations <- 0

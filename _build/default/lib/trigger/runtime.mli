@@ -1,0 +1,160 @@
+(** The trigger runtime: event posting, trigger firing, coupling modes and
+    transaction hooks (§5.4–§5.5).
+
+    One runtime serves one transaction manager. Trigger activations are
+    persistent {!Trigger_state} records in a dedicated store (design goal 5:
+    object layout never changes), indexed in memory by anchor object; the
+    index is journalled per transaction and rolled back on abort, and can be
+    rebuilt from the store after recovery.
+
+    [post] implements §5.4.5's PostEvent: look up the object's active
+    triggers, advance every machine on the event (cascading mask
+    pseudo-events to quiescence), and only then fire the accepting triggers
+    — "no triggers are fired until all triggers have had the basic event
+    posted", so one action cannot perturb another trigger's mask. Once-only
+    triggers are deactivated after firing; [perpetual] triggers keep
+    running from the accept state.
+
+    Transactions must be finished through {!commit_with_triggers} /
+    {!abort_with_triggers} (or the individual hook functions in the same
+    order) so that end-coupled actions, [before tcomplete]/[before tabort]
+    posting, and detached system transactions happen per §5.5. *)
+
+exception Tabort
+(** Raised by a trigger action (or application code) to abort the current
+    transaction — the paper's [tabort] statement, which had to be allowed
+    outside static transaction blocks precisely for trigger actions (§6). *)
+
+exception Trigger_error of string
+
+type stats = {
+  mutable posts : int;
+  mutable index_probes : int;
+  mutable fsm_moves : int;
+  mutable mask_evals : int;
+  mutable state_writes : int;
+  mutable fires_immediate : int;
+  mutable fires_end : int;
+  mutable fires_dependent : int;
+  mutable fires_independent : int;
+  mutable fires_phoenix : int;
+  mutable activations : int;
+  mutable deactivations : int;
+  mutable local_activations : int;
+}
+
+type t
+
+val create :
+  mgr:Ode_storage.Txn.mgr -> intern:Ode_event.Intern.t -> store:Ode_storage.Store.t -> t
+
+val registry : t -> Trigger_def.Registry.t
+val intern : t -> Ode_event.Intern.t
+val mgr : t -> Ode_storage.Txn.mgr
+
+val register_class : t -> Trigger_def.descriptor -> unit
+
+val rebuild_index : t -> Ode_storage.Txn.t -> unit
+(** Re-derive the object→activation index by scanning the trigger store
+    (after {!Ode_storage.Recovery}). *)
+
+val activate :
+  ?anchors:Ode_objstore.Oid.t list ->
+  t ->
+  Ode_storage.Txn.t ->
+  defining_cls:string ->
+  trigger:string ->
+  obj:Ode_objstore.Oid.t ->
+  obj_cls:string ->
+  args:Ode_objstore.Value.t list ->
+  Trigger_state.id
+(** Create and index a TriggerState in its FSM start state (§5.4.1),
+    running any start-state mask cascade. Checks that [obj_cls] is
+    [defining_cls] or a subclass, that the trigger exists, and the argument
+    arity.
+
+    [anchors] implements the §8 inter-object extension: events posted to
+    any of those additional objects are also routed to this activation, so
+    a trigger can watch several objects (e.g. a stock and the gold price).
+    The mask/action context still names the primary [obj]. *)
+
+val activate_local :
+  t ->
+  Ode_storage.Txn.t ->
+  defining_cls:string ->
+  trigger:string ->
+  obj:Ode_objstore.Oid.t ->
+  obj_cls:string ->
+  args:Ode_objstore.Value.t list ->
+  unit
+(** §8 "local rules": a transaction-scoped activation kept only in program
+    memory — no persistent TriggerState, no index entry, and no locks ever
+    taken for its FSM advancement. It is deallocated when the transaction
+    finishes (commit or abort); useful for transaction-internal
+    constraints. *)
+
+val deactivate : t -> Ode_storage.Txn.t -> Trigger_state.id -> unit
+(** Remove the TriggerState and its index entry; idempotent on
+    already-deactivated ids. *)
+
+val active_on :
+  t -> Ode_storage.Txn.t -> Ode_objstore.Oid.t -> (Trigger_state.id * Trigger_state.t) list
+(** Activation order. *)
+
+val post :
+  ?payload:Ode_objstore.Value.t list ->
+  t ->
+  Ode_storage.Txn.t ->
+  obj:Ode_objstore.Oid.t ->
+  event:int ->
+  unit
+(** PostEvent. [event] is an interned event id; [payload] carries the §8
+    "attributes of events" extension — typically the member-function
+    invocation's arguments — and reaches masks and actions through
+    {!Trigger_def.ctx.ev_args}. *)
+
+val note_access : t -> Ode_storage.Txn.t -> obj:Ode_objstore.Oid.t -> cls:string -> unit
+(** Record the object on the transaction-event object list if its class
+    declared interest in transaction events (§5.5, first access wins). *)
+
+val before_commit : t -> Ode_storage.Txn.t -> unit
+(** Drain end-coupled actions, post [before tcomplete] to listed objects,
+    drain again. *)
+
+val after_commit : t -> Ode_storage.Txn.t -> unit
+(** Run dependent and independent actions in system transactions and drain
+    the phoenix queue. *)
+
+val before_abort : t -> Ode_storage.Txn.t -> unit
+(** Post [before tabort] to listed objects (explicit aborts only). *)
+
+val after_abort : t -> Ode_storage.Txn.t -> unit
+(** Discard end/dependent work; run independent actions in system
+    transactions (§5.5: the abort routine checks the !dependent list after
+    roll-back). *)
+
+val commit_with_triggers : t -> Ode_storage.Txn.t -> unit
+val abort_with_triggers : t -> Ode_storage.Txn.t -> unit
+
+val on_object_deleted : t -> Ode_storage.Txn.t -> Ode_objstore.Oid.t -> unit
+(** Called when a persistent object is deleted: deactivates every trigger
+    anchored primarily at it, and unlinks it as a secondary anchor of
+    inter-object triggers (which stay active on their primary object but
+    no longer receive this object's events — it can produce none
+    anyway). Transactional: rolls back with the deleting transaction. *)
+
+val forget : t -> Ode_storage.Txn.t -> unit
+(** Drop all transaction-local state (queued detached work, local rules,
+    the index journal is already reversed by the abort participant)
+    without running anything. For crash-like aborts where even the
+    !dependent work should be discarded. *)
+
+val drain_phoenix : t -> unit
+(** Execute and remove every queued phoenix action, each in its own system
+    transaction. Safe to call any time outside an active user transaction;
+    called automatically after commit. *)
+
+val phoenix_backlog : t -> int
+
+val stats : t -> stats
+val reset_stats : t -> unit

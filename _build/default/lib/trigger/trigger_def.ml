@@ -1,0 +1,78 @@
+type ctx = {
+  txn : Ode_storage.Txn.t;
+  obj : Ode_objstore.Oid.t;
+  args : Ode_objstore.Value.t list;
+  ev_args : Ode_objstore.Value.t list;
+  trigger_id : Trigger_state.id;
+}
+
+type mask_fn = ctx -> bool
+type action_fn = ctx -> unit
+
+type info = {
+  t_name : string;
+  t_index : int;
+  t_fsm : Ode_event.Fsm.t;
+  t_masks : (int * mask_fn) list;
+  t_action : action_fn;
+  t_perpetual : bool;
+  t_coupling : Coupling.t;
+  t_params : string list;
+  t_expr : Ode_event.Ast.t;
+  t_anchored : bool;
+}
+
+type descriptor = {
+  d_cls : string;
+  d_parents : string list;
+  d_alphabet : int list;
+  d_txn_events : (Ode_event.Intern.basic * int) list;
+  d_triggers : info array;
+}
+
+exception Unknown_class of string
+
+module Registry = struct
+  type t = (string, descriptor) Hashtbl.t
+
+  let create () = Hashtbl.create 32
+
+  let register t descriptor =
+    if Hashtbl.mem t descriptor.d_cls then
+      invalid_arg ("Trigger_def.Registry.register: duplicate class " ^ descriptor.d_cls);
+    Hashtbl.replace t descriptor.d_cls descriptor
+
+  let find t cls = Hashtbl.find_opt t cls
+
+  let find_exn t cls =
+    match find t cls with Some d -> d | None -> raise (Unknown_class cls)
+
+  let trigger_info t ~cls ~index =
+    let d = find_exn t cls in
+    if index < 0 || index >= Array.length d.d_triggers then
+      invalid_arg (Printf.sprintf "trigger_info: %s has no trigger #%d" cls index);
+    d.d_triggers.(index)
+
+  let find_trigger t ~cls ~name =
+    let d = find_exn t cls in
+    Array.find_opt (fun info -> String.equal info.t_name name) d.d_triggers
+
+  let ancestors t cls =
+    let seen = Hashtbl.create 8 in
+    let order = ref [] in
+    let rec visit cls =
+      if not (Hashtbl.mem seen cls) then begin
+        Hashtbl.replace seen cls ();
+        order := cls :: !order;
+        match find t cls with
+        | None -> ()
+        | Some d -> List.iter visit d.d_parents
+      end
+    in
+    visit cls;
+    List.rev !order
+
+  let is_subclass t ~sub ~super = List.mem super (ancestors t sub)
+
+  let classes t = Hashtbl.fold (fun cls _ acc -> cls :: acc) t [] |> List.sort String.compare
+end

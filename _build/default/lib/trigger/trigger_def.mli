@@ -1,0 +1,81 @@
+(** Compiled per-class trigger machinery — the contents of the
+    compiler-generated type descriptor (§5.4.4).
+
+    A {!descriptor} is the reproduction's [type_CredCard]: the class's
+    declared event alphabet, its direct bases, and one {!info} per trigger
+    holding the shared FSM, the mask functions, the action function, the
+    perpetual flag and the coupling mode. FSMs are compiled at class
+    registration on every program run, matching the paper's choice to
+    recompile rather than persist them (§5.1.3). The {!Registry} plays the
+    role of [FindMetatype]: it resolves a [trigobjtype] name from a
+    persistent {!Trigger_state.t} back to the machinery. *)
+
+type ctx = {
+  txn : Ode_storage.Txn.t;
+  obj : Ode_objstore.Oid.t;  (** the anchor object *)
+  args : Ode_objstore.Value.t list;  (** activation-time trigger arguments *)
+  ev_args : Ode_objstore.Value.t list;
+      (** §8 "attributes of events" extension: the parameters of the
+          member-function invocation (or explicit posting) that produced
+          the event being processed — for masks, the event that entered
+          the mask state; for actions, the event that completed the
+          match. Empty when the event carried no payload (e.g. the
+          activation-time cascade or transaction events). *)
+  trigger_id : Trigger_state.id;
+}
+(** Evaluation context passed to mask and action functions (the paper
+    passes [trigstate]). *)
+
+type mask_fn = ctx -> bool
+type action_fn = ctx -> unit
+
+type info = {
+  t_name : string;
+  t_index : int;  (** triggernum: position in the descriptor's array *)
+  t_fsm : Ode_event.Fsm.t;
+  t_masks : (int * mask_fn) list;  (** mask id -> predicate *)
+  t_action : action_fn;
+  t_perpetual : bool;
+  t_coupling : Coupling.t;
+  t_params : string list;  (** parameter names, arity-checked at activation *)
+  t_expr : Ode_event.Ast.t;  (** source expression, for printing *)
+  t_anchored : bool;
+}
+
+type descriptor = {
+  d_cls : string;
+  d_parents : string list;  (** direct base classes, in declaration order *)
+  d_alphabet : int list;  (** declared event ids (own + inherited) *)
+  d_txn_events : (Ode_event.Intern.basic * int) list;
+      (** declared transaction events and their ids, for access-list
+          posting *)
+  d_triggers : info array;
+}
+
+exception Unknown_class of string
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+  val register : t -> descriptor -> unit
+  (** Raises [Invalid_argument] on duplicate class names. *)
+
+  val find : t -> string -> descriptor option
+  val find_exn : t -> string -> descriptor
+  (** Raises {!Unknown_class}. *)
+
+  val trigger_info : t -> cls:string -> index:int -> info
+  (** The paper's TriggerInfo lookup: descriptor of [cls], entry
+      [index]. *)
+
+  val find_trigger : t -> cls:string -> name:string -> info option
+  val is_subclass : t -> sub:string -> super:string -> bool
+  (** Reflexive-transitive over [d_parents]. *)
+
+  val ancestors : t -> string -> string list
+  (** [cls] followed by its bases in depth-first, left-to-right order,
+      duplicates removed (the method/event resolution order). *)
+
+  val classes : t -> string list
+end

@@ -1,0 +1,1 @@
+lib/util/binc.ml: Buffer Bytes Char Int64 List Printf String Sys

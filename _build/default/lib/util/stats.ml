@@ -1,0 +1,53 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p <= 0.0 then sorted.(0)
+  else if p >= 1.0 then sorted.(n - 1)
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    end
+  end
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let m = mean xs in
+  let var = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  let stddev = if n > 1 then sqrt (var /. float_of_int (n - 1)) else 0.0 in
+  {
+    n;
+    mean = m;
+    stddev;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = percentile sorted 0.5;
+    p90 = percentile sorted 0.9;
+    p99 = percentile sorted 0.99;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"
+    s.n s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max

@@ -1,0 +1,23 @@
+(** Small descriptive-statistics helpers used by the benchmark harness. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] with [p] in [\[0,1\]]; the array must be sorted
+    ascending. Linear interpolation between ranks. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val mean : float array -> float

@@ -1,0 +1,49 @@
+type align = Left | Right
+
+type t = { columns : (string * align) array; mutable rows : string list list }
+
+let create ~columns = { columns = Array.of_list columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> Array.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- row :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let spaces = String.make (width - n) ' ' in
+    match align with Left -> s ^ spaces | Right -> spaces ^ s
+  end
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.columns in
+  let widths = Array.make ncols 0 in
+  Array.iteri (fun i (h, _) -> widths.(i) <- String.length h) t.columns;
+  let note_row row = List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row in
+  List.iter note_row rows;
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let _, align = t.columns.(i) in
+        Buffer.add_string buf (pad align widths.(i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row (Array.to_list (Array.map fst t.columns));
+  let rule = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+  emit_row rule;
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f f = Printf.sprintf "%.3f" f
+
+let cell_i i = string_of_int i

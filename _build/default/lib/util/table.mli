@@ -1,0 +1,26 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The harness prints paper-style result tables; this module handles column
+    alignment so every experiment section shares one look. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts a table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; the row must have exactly as many cells as there are
+    columns (raises [Invalid_argument] otherwise). *)
+
+val render : t -> string
+(** Render with a header rule and aligned columns. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a trailing newline. *)
+
+val cell_f : float -> string
+(** Format a float cell with three decimals. *)
+
+val cell_i : int -> string

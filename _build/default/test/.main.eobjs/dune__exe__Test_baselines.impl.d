@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Fun List Ode_baselines Ode_event Ode_util

@@ -1,0 +1,1 @@
+test/test_binc.ml: Alcotest Bytes Float Int64 List Ode_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Format Int List Map Ode_objstore Ode_util QCheck QCheck_alcotest

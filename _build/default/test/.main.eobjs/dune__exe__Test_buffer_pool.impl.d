@@ -1,0 +1,1 @@
+test/test_buffer_pool.ml: Alcotest Array Bytes List Ode_storage Option

@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest List Ode_event Ode_util

@@ -1,0 +1,1 @@
+test/test_coupling.ml: Alcotest List Ode Ode_objstore Ode_storage Ode_trigger

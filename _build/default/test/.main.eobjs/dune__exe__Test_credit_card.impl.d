@@ -1,0 +1,1 @@
+test/test_credit_card.ml: Alcotest List Ode Ode_objstore Ode_storage Ode_trigger

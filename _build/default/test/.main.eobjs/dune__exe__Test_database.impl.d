@@ -1,0 +1,1 @@
+test/test_database.ml: Alcotest List Ode Ode_objstore Ode_storage

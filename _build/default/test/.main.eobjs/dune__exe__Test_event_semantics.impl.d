@@ -1,0 +1,1 @@
+test/test_event_semantics.ml: Alcotest List Ode Printf String

@@ -1,0 +1,1 @@
+test/test_figure1.ml: Alcotest Array List Ode_event

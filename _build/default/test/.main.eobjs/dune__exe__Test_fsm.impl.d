@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Array Astring_contains Char Format List Ode_event Ode_util Printf String

@@ -1,0 +1,1 @@
+test/test_hash_index.ml: Alcotest Hashtbl Int List Ode_objstore String

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest List Ode Ode_objstore Ode_util

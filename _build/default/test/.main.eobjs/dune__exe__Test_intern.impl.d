@@ -1,0 +1,1 @@
+test/test_intern.ml: Alcotest List Ode_event

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest List Ode_storage Option String

@@ -1,0 +1,1 @@
+test/test_opp.ml: Alcotest List Ode Ode_event Ode_objstore

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Hashtbl List Ode_event

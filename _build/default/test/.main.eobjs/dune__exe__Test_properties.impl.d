@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bytes Format Gen Hashtbl Int List Ode Ode_event Ode_objstore Ode_storage Ode_trigger Ode_util Option Printf QCheck QCheck_alcotest String

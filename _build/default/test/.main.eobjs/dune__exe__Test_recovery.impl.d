@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Bytes Char Hashtbl List Ode_storage Ode_util

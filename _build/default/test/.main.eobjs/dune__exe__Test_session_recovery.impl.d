@@ -1,0 +1,1 @@
+test/test_session_recovery.ml: Alcotest List Ode Ode_event Ode_objstore Ode_storage Ode_trigger

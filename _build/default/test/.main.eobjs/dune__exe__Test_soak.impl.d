@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array Astring_contains Buffer Format Fun List Logs Ode Ode_event Ode_trigger Ode_util Option Printf Sys

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Bytes Char Hashtbl List Ode_storage Ode_util Option

@@ -1,0 +1,1 @@
+test/test_trigger_details.ml: Alcotest List Ode Ode_objstore Ode_trigger

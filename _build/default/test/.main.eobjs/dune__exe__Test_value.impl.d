@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Ode_objstore QCheck QCheck_alcotest

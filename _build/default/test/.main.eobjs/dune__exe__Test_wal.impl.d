@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Bytes Char List Ode_storage Ode_util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bytes List Ode_storage Ode_util Option Printf

@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "ode"
+    [
+      ("util", Test_util.suite);
+      ("binc", Test_binc.suite);
+      ("value", Test_value.suite);
+      ("page", Test_page.suite);
+      ("buffer_pool", Test_buffer_pool.suite);
+      ("wal", Test_wal.suite);
+      ("btree", Test_btree.suite);
+      ("hash_index", Test_hash_index.suite);
+      ("lock", Test_lock.suite);
+      ("store", Test_store.suite);
+      ("recovery", Test_recovery.suite);
+      ("workload", Test_workload.suite);
+      ("intern", Test_intern.suite);
+      ("parser", Test_parser.suite);
+      ("compile", Test_compile.suite);
+      ("fsm", Test_fsm.suite);
+      ("figure1", Test_figure1.suite);
+      ("event_semantics", Test_event_semantics.suite);
+      ("credit_card", Test_credit_card.suite);
+      ("coupling", Test_coupling.suite);
+      ("trigger_details", Test_trigger_details.suite);
+      ("session_recovery", Test_session_recovery.suite);
+      ("extensions", Test_extensions.suite);
+      ("soak", Test_soak.suite);
+      ("properties", Test_properties.suite);
+      ("baselines", Test_baselines.suite);
+      ("database", Test_database.suite);
+      ("index", Test_index.suite);
+      ("opp", Test_opp.suite);
+    ]

@@ -1,0 +1,187 @@
+(* Baseline implementations cross-validated against the FSM detector:
+   the naive history-rescanner, the dense transition matrix, the Sentinel
+   string-triple representation, and the event-graph detector. *)
+
+module Ast = Ode_event.Ast
+module Compile = Ode_event.Compile
+module Fsm = Ode_event.Fsm
+module Sym = Ode_event.Sym
+module Prng = Ode_util.Prng
+module Naive = Ode_baselines.Naive_detector
+module Dense = Ode_baselines.Dense_fsm
+module Sentinel = Ode_baselines.Sentinel_repr
+module Event_graph = Ode_baselines.Event_graph
+
+let alphabet = [ 0; 1; 2 ]
+
+let rec random_expr prng depth =
+  if depth = 0 then Ast.Basic (Prng.int prng 3)
+  else begin
+    let sub () = random_expr prng (depth - 1) in
+    match Prng.int prng 7 with
+    | 0 | 1 -> Ast.Seq (sub (), sub ())
+    | 2 | 3 -> Ast.Or (sub (), sub ())
+    | 4 -> Ast.Star (sub ())
+    | 5 -> Ast.Relative [ sub (); sub () ]
+    | _ -> Ast.Basic (Prng.int prng 3)
+  end
+
+let fsm_run fsm stream =
+  let state = ref fsm.Fsm.start in
+  List.map
+    (fun e ->
+      (match Fsm.step fsm !state (Sym.Ev e) with
+      | Fsm.Goto s -> state := s
+      | Fsm.Stay -> ()
+      | Fsm.Dead -> Alcotest.fail "unanchored machine died");
+      Fsm.is_accept fsm !state)
+    stream
+
+let naive_agrees_with_fsm () =
+  let prng = Prng.create ~seed:201L in
+  for trial = 1 to 150 do
+    let expr = random_expr prng 3 in
+    let fsm = Compile.compile ~alphabet expr in
+    let naive = Naive.create ~alphabet expr in
+    let stream = List.init (Prng.int_in prng 1 25) (fun _ -> Prng.int prng 3) in
+    let fsm_results = fsm_run fsm stream in
+    let naive_results = List.map (Naive.post naive) stream in
+    if fsm_results <> naive_results then
+      Alcotest.failf "trial %d: naive detector diverged on %s" trial (Ast.to_string expr)
+  done
+
+let naive_rejects_masks () =
+  let masked = Ast.Masked (Ast.Basic 0, { Ast.mask_id = 0; mask_name = "m" }) in
+  match Naive.create ~alphabet masked with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ()
+
+let dense_agrees_with_sparse () =
+  let prng = Prng.create ~seed:202L in
+  for trial = 1 to 100 do
+    let expr = random_expr prng 3 in
+    let fsm = Compile.compile ~alphabet expr in
+    (* A wider global alphabet than the machine's own: foreign events are
+       Stay in both representations. *)
+    let dense = Dense.of_fsm fsm ~width:8 in
+    if not (Dense.agrees_with dense fsm ~events:[ 0; 1; 2; 3; 4; 5; 6; 7 ]) then
+      Alcotest.failf "trial %d: dense/sparse disagree on %s" trial (Ast.to_string expr)
+  done
+
+let dense_is_bigger () =
+  (* The §6 point: with a wide global alphabet the dense matrix dwarfs the
+     sparse lists. *)
+  let expr = Ast.Seq (Ast.Basic 0, Ast.Basic 1) in
+  let fsm = Compile.compile ~alphabet expr in
+  let dense = Dense.of_fsm fsm ~width:512 in
+  Alcotest.(check bool) "dense >> sparse" true (Dense.bytes dense > 10 * Fsm.approx_bytes fsm)
+
+let sentinel_representation () =
+  let reg = Sentinel.create () in
+  let buy = Sentinel.of_basic ~cls:"CredCard" (Ode_event.Intern.After "Buy") in
+  let pay = Sentinel.of_basic ~cls:"CredCard" (Ode_event.Intern.After "PayBill") in
+  Sentinel.subscribe reg buy 1;
+  Sentinel.subscribe reg buy 2;
+  Sentinel.subscribe reg pay 3;
+  Alcotest.(check (list int)) "subscribers in order" [ 1; 2 ] (Sentinel.post reg buy);
+  Alcotest.(check (list int)) "other event" [ 3 ] (Sentinel.post reg pay);
+  Alcotest.(check (list int)) "unknown triple" []
+    (Sentinel.post reg (Sentinel.of_basic ~cls:"Other" (Ode_event.Intern.After "Buy")));
+  Alcotest.(check int) "posts counted" 3 (Sentinel.posts reg);
+  (* Same (class, event) renders to an equal triple. *)
+  Alcotest.(check bool) "triple equality" true
+    (Sentinel.triple_equal buy (Sentinel.of_basic ~cls:"CredCard" (Ode_event.Intern.After "Buy")))
+
+(* Event-graph expressions restricted to the fragment where graph
+   detection-time semantics and regex subsequence semantics coincide (see
+   Event_graph.equivalent_regex): Seq right operands and And operands are
+   single-event expressions over pairwise-distinct primitives. *)
+let random_graph_expr prng =
+  let next = ref 0 in
+  let fresh () =
+    let e = !next in
+    incr next;
+    Event_graph.Prim e
+  in
+  (* single-event expressions: Prim or unions of Prims *)
+  let rec simple depth =
+    if depth = 0 || !next >= 5 then fresh ()
+    else if Prng.bool prng then Event_graph.Or (simple (depth - 1), simple (depth - 1))
+    else fresh ()
+  in
+  let rec go depth =
+    if depth = 0 || !next >= 5 then simple 1
+    else begin
+      match Prng.int prng 4 with
+      | 0 -> Event_graph.Or (go (depth - 1), go (depth - 1))
+      | 1 -> Event_graph.And (simple 1, simple 1)
+      | 2 -> Event_graph.Seq (go (depth - 1), simple 1)
+      | _ -> simple 1
+    end
+  in
+  let expr = go 3 in
+  (expr, !next)
+
+let event_graph_agrees_with_regex () =
+  let prng = Prng.create ~seed:203L in
+  for trial = 1 to 150 do
+    let expr, nprims = random_graph_expr prng in
+    let nprims = max nprims 1 in
+    let graph = Event_graph.create expr in
+    let regex = Event_graph.equivalent_regex expr in
+    let alpha = List.init nprims Fun.id in
+    let fsm = Compile.compile ~alphabet:alpha regex in
+    let stream = List.init (Prng.int_in prng 1 20) (fun _ -> Prng.int prng nprims) in
+    let graph_results = List.map (Event_graph.post graph) stream in
+    let fsm_results = fsm_run fsm stream in
+    if graph_results <> fsm_results then
+      Alcotest.failf "trial %d: event graph diverged from %s" trial (Ast.to_string regex)
+  done
+
+let event_graph_interleaving_divergence () =
+  (* Outside the exact fragment the two models genuinely differ: And of
+     two Seqs whose spans interleave fires in the graph (detection-time
+     semantics) but matches no ordered regex subsequence. *)
+  let expr =
+    Event_graph.And
+      (Event_graph.Seq (Event_graph.Prim 0, Event_graph.Prim 1),
+       Event_graph.Seq (Event_graph.Prim 2, Event_graph.Prim 3))
+  in
+  let graph = Event_graph.create expr in
+  let fsm = Compile.compile ~alphabet:[ 0; 1; 2; 3 ] (Event_graph.equivalent_regex expr) in
+  let stream = [ 0; 2; 1; 3 ] in
+  let graph_fired = List.exists Fun.id (List.map (Event_graph.post graph) stream) in
+  let fsm_fired = List.exists Fun.id (fsm_run fsm stream) in
+  Alcotest.(check bool) "graph fires on interleaved spans" true graph_fired;
+  Alcotest.(check bool) "regex does not" false fsm_fired
+
+let event_graph_seq_semantics () =
+  let graph = Event_graph.create (Event_graph.Seq (Event_graph.Prim 0, Event_graph.Prim 1)) in
+  Alcotest.(check bool) "b alone" false (Event_graph.post graph 1);
+  Alcotest.(check bool) "a" false (Event_graph.post graph 0);
+  Alcotest.(check bool) "then b fires" true (Event_graph.post graph 1);
+  (* Recent context: a's occurrence persists; another b fires again. *)
+  Alcotest.(check bool) "recent context refires" true (Event_graph.post graph 1);
+  Event_graph.reset graph;
+  Alcotest.(check bool) "reset clears" false (Event_graph.post graph 1)
+
+let event_graph_and_semantics () =
+  let graph = Event_graph.create (Event_graph.And (Event_graph.Prim 0, Event_graph.Prim 1)) in
+  Alcotest.(check bool) "a alone" false (Event_graph.post graph 0);
+  Alcotest.(check bool) "b completes in either order" true (Event_graph.post graph 1);
+  Alcotest.(check int) "node count" 3 (Event_graph.node_count graph)
+
+let suite =
+  [
+    Alcotest.test_case "naive rescan = FSM (150 random exprs)" `Quick naive_agrees_with_fsm;
+    Alcotest.test_case "naive rejects masks" `Quick naive_rejects_masks;
+    Alcotest.test_case "dense = sparse (100 random exprs)" `Quick dense_agrees_with_sparse;
+    Alcotest.test_case "dense matrix much bigger" `Quick dense_is_bigger;
+    Alcotest.test_case "sentinel triples" `Quick sentinel_representation;
+    Alcotest.test_case "event graph = relative-regex (150 exprs)" `Quick
+      event_graph_agrees_with_regex;
+    Alcotest.test_case "event graph diverges on interleaved spans" `Quick
+      event_graph_interleaving_divergence;
+    Alcotest.test_case "event graph Seq semantics" `Quick event_graph_seq_semantics;
+    Alcotest.test_case "event graph And semantics" `Quick event_graph_and_semantics;
+  ]

@@ -1,0 +1,127 @@
+(* B+-tree: randomized differential test against Map, invariant checks at
+   every step, range scans, and degenerate small-degree trees. *)
+
+module Prng = Ode_util.Prng
+
+module Int_btree = Ode_objstore.Btree.Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end)
+
+module IntMap = Map.Make (Int)
+
+let sequential_inserts () =
+  let tree = Int_btree.create ~min_degree:4 () in
+  for i = 1 to 1000 do
+    Int_btree.insert tree i (i * 10)
+  done;
+  Int_btree.check_invariants tree;
+  Alcotest.(check int) "length" 1000 (Int_btree.length tree);
+  Alcotest.(check (option (pair int int))) "min" (Some (1, 10)) (Int_btree.min_binding tree);
+  Alcotest.(check (option (pair int int))) "max" (Some (1000, 10000)) (Int_btree.max_binding tree);
+  Alcotest.(check (option int)) "find mid" (Some 5000) (Int_btree.find tree 500);
+  Alcotest.(check (option int)) "find absent" None (Int_btree.find tree 1001);
+  Alcotest.(check bool) "height logarithmic" true (Int_btree.height tree <= 6)
+
+let insert_replaces () =
+  let tree = Int_btree.create () in
+  Int_btree.insert tree 1 "a";
+  Int_btree.insert tree 1 "b";
+  Alcotest.(check int) "no duplicate" 1 (Int_btree.length tree);
+  Alcotest.(check (option string)) "replaced" (Some "b") (Int_btree.find tree 1)
+
+let delete_everything () =
+  let tree = Int_btree.create ~min_degree:2 () in
+  let n = 500 in
+  for i = 1 to n do
+    Int_btree.insert tree i i
+  done;
+  (* Remove in an interleaved order to stress borrows and merges. *)
+  let order = Array.init n (fun i -> i + 1) in
+  let prng = Prng.create ~seed:3L in
+  Prng.shuffle prng order;
+  Array.iteri
+    (fun step key ->
+      Alcotest.(check bool) "removed" true (Int_btree.remove tree key);
+      if step mod 16 = 0 then Int_btree.check_invariants tree)
+    order;
+  Int_btree.check_invariants tree;
+  Alcotest.(check int) "empty" 0 (Int_btree.length tree);
+  Alcotest.(check bool) "remove absent" false (Int_btree.remove tree 1)
+
+let differential degree seed () =
+  let tree = Int_btree.create ~min_degree:degree () in
+  let model = ref IntMap.empty in
+  let prng = Prng.create ~seed in
+  for step = 1 to 3000 do
+    let key = Prng.int prng 400 in
+    (match Prng.int prng 3 with
+    | 0 ->
+        Int_btree.insert tree key step;
+        model := IntMap.add key step !model
+    | 1 ->
+        let removed = Int_btree.remove tree key in
+        let expected = IntMap.mem key !model in
+        if removed <> expected then Alcotest.failf "step %d: remove disagreement" step;
+        model := IntMap.remove key !model
+    | _ ->
+        let found = Int_btree.find tree key in
+        let expected = IntMap.find_opt key !model in
+        if found <> expected then Alcotest.failf "step %d: find disagreement on %d" step key);
+    if step mod 100 = 0 then begin
+      Int_btree.check_invariants tree;
+      if Int_btree.to_list tree <> IntMap.bindings !model then
+        Alcotest.failf "step %d: contents diverged" step
+    end
+  done;
+  Int_btree.check_invariants tree;
+  Alcotest.(check (list (pair int int))) "final contents" (IntMap.bindings !model)
+    (Int_btree.to_list tree)
+
+let range_scans () =
+  let tree = Int_btree.create ~min_degree:3 () in
+  List.iter (fun i -> Int_btree.insert tree i (string_of_int i)) [ 1; 3; 5; 7; 9; 11; 13 ];
+  let collect ?lo ?hi () =
+    let acc = ref [] in
+    Int_btree.range tree ?lo ?hi (fun k _ -> acc := k :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "full" [ 1; 3; 5; 7; 9; 11; 13 ] (collect ());
+  Alcotest.(check (list int)) "inclusive bounds" [ 3; 5; 7 ] (collect ~lo:3 ~hi:7 ());
+  Alcotest.(check (list int)) "bounds between keys" [ 5; 7 ] (collect ~lo:4 ~hi:8 ());
+  Alcotest.(check (list int)) "lo only" [ 9; 11; 13 ] (collect ~lo:9 ());
+  Alcotest.(check (list int)) "hi only" [ 1; 3 ] (collect ~hi:4 ());
+  Alcotest.(check (list int)) "empty range" [] (collect ~lo:100 ())
+
+let qcheck_range =
+  (* range(lo,hi) equals the model filtered to [lo,hi]. *)
+  let gen = QCheck.(triple (small_list (pair small_int small_int)) small_int small_int) in
+  QCheck.Test.make ~name:"range agrees with filtered model" ~count:300 gen
+    (fun (bindings, lo, hi) ->
+      let tree = Int_btree.create ~min_degree:2 () in
+      let model =
+        List.fold_left
+          (fun model (k, v) ->
+            Int_btree.insert tree k v;
+            IntMap.add k v model)
+          IntMap.empty bindings
+      in
+      let lo, hi = (min lo hi, max lo hi) in
+      let scanned = ref [] in
+      Int_btree.range tree ~lo ~hi (fun k v -> scanned := (k, v) :: !scanned);
+      let expected = IntMap.bindings (IntMap.filter (fun k _ -> k >= lo && k <= hi) model) in
+      List.rev !scanned = expected)
+
+let suite =
+  [
+    Alcotest.test_case "sequential inserts" `Quick sequential_inserts;
+    Alcotest.test_case "insert replaces" `Quick insert_replaces;
+    Alcotest.test_case "delete everything (borrow/merge)" `Quick delete_everything;
+    Alcotest.test_case "differential vs Map (t=2)" `Quick (differential 2 11L);
+    Alcotest.test_case "differential vs Map (t=4)" `Quick (differential 4 12L);
+    Alcotest.test_case "differential vs Map (t=16)" `Quick (differential 16 13L);
+    Alcotest.test_case "range scans" `Quick range_scans;
+    QCheck_alcotest.to_alcotest qcheck_range;
+  ]

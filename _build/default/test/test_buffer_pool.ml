@@ -1,0 +1,86 @@
+(* Buffer pool: hits/misses, LRU eviction with writeback, drop_all. *)
+
+module Pager = Ode_storage.Pager
+module Page = Ode_storage.Page
+module Buffer_pool = Ode_storage.Buffer_pool
+
+let setup ~capacity ~pages =
+  let pager = Pager.create ~page_size:256 () in
+  let ids = List.init pages (fun _ -> Pager.alloc pager) in
+  Pager.reset_stats pager;
+  let pool = Buffer_pool.create pager ~capacity in
+  (pager, pool, Array.of_list ids)
+
+let hits_and_misses () =
+  let _pager, pool, ids = setup ~capacity:4 ~pages:3 in
+  Buffer_pool.with_page pool ids.(0) ~dirty:false (fun _ -> ());
+  Buffer_pool.with_page pool ids.(0) ~dirty:false (fun _ -> ());
+  Buffer_pool.with_page pool ids.(1) ~dirty:false (fun _ -> ());
+  let stats = Buffer_pool.stats pool in
+  Alcotest.(check int) "hits" 1 stats.Buffer_pool.hits;
+  Alcotest.(check int) "misses" 2 stats.Buffer_pool.misses
+
+let lru_eviction_writes_back () =
+  let pager, pool, ids = setup ~capacity:2 ~pages:3 in
+  (* Dirty page 0, touch page 1, then fault page 2: page 0 is LRU and must
+     be written back on eviction. *)
+  Buffer_pool.with_page pool ids.(0) ~dirty:true (fun page ->
+      ignore (Page.insert page (Bytes.of_string "dirty")));
+  Buffer_pool.with_page pool ids.(1) ~dirty:false (fun _ -> ());
+  Buffer_pool.with_page pool ids.(2) ~dirty:false (fun _ -> ());
+  let stats = Buffer_pool.stats pool in
+  Alcotest.(check int) "one eviction" 1 stats.Buffer_pool.evictions;
+  Alcotest.(check int) "one writeback" 1 stats.Buffer_pool.writebacks;
+  Alcotest.(check int) "physical write happened" 1 (Pager.stats pager).Pager.writes;
+  (* Re-faulting page 0 sees the written-back record. *)
+  Buffer_pool.with_page pool ids.(0) ~dirty:false (fun page ->
+      Alcotest.(check (option string)) "contents survived eviction" (Some "dirty")
+        (Option.map Bytes.to_string (Page.read page 0)))
+
+let lru_prefers_cold_pages () =
+  let _pager, pool, ids = setup ~capacity:2 ~pages:3 in
+  Buffer_pool.with_page pool ids.(0) ~dirty:false (fun _ -> ());
+  Buffer_pool.with_page pool ids.(1) ~dirty:false (fun _ -> ());
+  (* Touch 0 again: 1 becomes LRU. *)
+  Buffer_pool.with_page pool ids.(0) ~dirty:false (fun _ -> ());
+  Buffer_pool.with_page pool ids.(2) ~dirty:false (fun _ -> ());
+  (* 0 should still be cached (hit), 1 evicted. *)
+  let before = (Buffer_pool.stats pool).Buffer_pool.hits in
+  Buffer_pool.with_page pool ids.(0) ~dirty:false (fun _ -> ());
+  Alcotest.(check int) "page 0 still resident" (before + 1) (Buffer_pool.stats pool).Buffer_pool.hits
+
+let drop_all_discards () =
+  let pager, pool, ids = setup ~capacity:2 ~pages:1 in
+  Buffer_pool.with_page pool ids.(0) ~dirty:true (fun page ->
+      ignore (Page.insert page (Bytes.of_string "lost")));
+  Buffer_pool.drop_all pool;
+  Alcotest.(check int) "nothing written back" 0 (Pager.stats pager).Pager.writes;
+  (* The page on "disk" is still empty. *)
+  Buffer_pool.with_page pool ids.(0) ~dirty:false (fun page ->
+      Alcotest.(check int) "crash discarded the dirty frame" 0 (Page.live_slots page))
+
+let flush_all_keeps_frames () =
+  let pager, pool, ids = setup ~capacity:2 ~pages:1 in
+  Buffer_pool.with_page pool ids.(0) ~dirty:true (fun page ->
+      ignore (Page.insert page (Bytes.of_string "kept")));
+  Buffer_pool.flush_all pool;
+  Alcotest.(check int) "written back" 1 (Pager.stats pager).Pager.writes;
+  let before = (Buffer_pool.stats pool).Buffer_pool.hits in
+  Buffer_pool.with_page pool ids.(0) ~dirty:false (fun _ -> ());
+  Alcotest.(check int) "frame still cached" (before + 1) (Buffer_pool.stats pool).Buffer_pool.hits
+
+let zero_capacity_rejected () =
+  let pager = Pager.create ~page_size:256 () in
+  match Buffer_pool.create pager ~capacity:0 with
+  | _ -> Alcotest.fail "zero capacity accepted"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "hits and misses" `Quick hits_and_misses;
+    Alcotest.test_case "LRU eviction writes back" `Quick lru_eviction_writes_back;
+    Alcotest.test_case "LRU prefers cold pages" `Quick lru_prefers_cold_pages;
+    Alcotest.test_case "drop_all discards dirty frames" `Quick drop_all_discards;
+    Alcotest.test_case "flush_all keeps frames" `Quick flush_all_keeps_frames;
+    Alcotest.test_case "zero capacity rejected" `Quick zero_capacity_rejected;
+  ]

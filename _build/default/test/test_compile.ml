@@ -1,0 +1,236 @@
+(* Event-expression compiler: the deterministic machine must agree with a
+   direct NFA simulation of the expression on every prefix of random
+   streams; minimisation and the simplify pipeline must preserve
+   behaviour; complement and intersection obey their boolean laws. *)
+
+module Ast = Ode_event.Ast
+module Nfa = Ode_event.Nfa
+module Compile = Ode_event.Compile
+module Minimize = Ode_event.Minimize
+module Fsm = Ode_event.Fsm
+module Sym = Ode_event.Sym
+module Prng = Ode_util.Prng
+
+let alphabet = [ 0; 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Reference: direct NFA subset simulation (mask-free). *)
+
+let reference_accepts nfa stream =
+  let start = Nfa.closure nfa (Nfa.IntSet.singleton nfa.Nfa.start) in
+  let step set e = Nfa.closure nfa (Nfa.move_event nfa set e) in
+  let rec go set acc = function
+    | [] -> List.rev acc
+    | e :: rest ->
+        let set = step set e in
+        go set (Nfa.IntSet.mem nfa.Nfa.accept set :: acc) rest
+  in
+  go start [] stream
+
+let fsm_accepts fsm stream =
+  let rec go state acc = function
+    | [] -> List.rev acc
+    | e :: rest -> begin
+        match state with
+        | None -> go None (false :: acc) rest  (* dead *)
+        | Some s -> begin
+            match Fsm.step fsm s (Sym.Ev e) with
+            | Fsm.Goto s' -> go (Some s') (Fsm.is_accept fsm s' :: acc) rest
+            | Fsm.Stay -> go (Some s) (Fsm.is_accept fsm s :: acc) rest
+            | Fsm.Dead -> go None (false :: acc) rest
+          end
+      end
+  in
+  go (Some fsm.Fsm.start) [] stream
+
+(* Random mask-free expressions. *)
+let rec random_expr prng depth =
+  let leaf () =
+    match Prng.int prng 5 with
+    | 0 | 1 | 2 -> Ast.Basic (Prng.int prng 3)
+    | 3 -> Ast.Any
+    | _ -> Ast.Empty
+  in
+  if depth = 0 then leaf ()
+  else begin
+    let sub () = random_expr prng (depth - 1) in
+    match Prng.int prng 10 with
+    | 0 | 1 -> Ast.Seq (sub (), sub ())
+    | 2 | 3 -> Ast.Or (sub (), sub ())
+    | 4 -> Ast.Star (sub ())
+    | 5 -> Ast.Plus (sub ())
+    | 6 -> Ast.Opt (sub ())
+    | 7 -> Ast.Relative [ sub (); sub () ]
+    | 8 -> Ast.And (sub (), sub ())
+    | _ -> Ast.Not (sub ())
+  end
+
+let random_stream prng len = List.init len (fun _ -> Prng.int prng 3)
+
+let dfa_matches_nfa_reference () =
+  let prng = Prng.create ~seed:101L in
+  for trial = 1 to 300 do
+    let expr = random_expr prng 3 in
+    let anchored = Prng.bool prng in
+    let wrapped = if anchored then expr else Ast.Seq (Ast.Star Ast.Any, expr) in
+    let nfa = Compile.thompson ~alphabet wrapped in
+    let fsm = Compile.compile ~alphabet ~anchored expr in
+    let stream = random_stream prng (Prng.int_in prng 0 25) in
+    let expected = reference_accepts nfa stream in
+    let actual = fsm_accepts fsm stream in
+    if expected <> actual then
+      Alcotest.failf "trial %d: DFA diverges from NFA on %s (anchored=%b)" trial
+        (Ast.to_string expr) anchored
+  done
+
+let minimize_preserves_behaviour () =
+  let prng = Prng.create ~seed:102L in
+  for trial = 1 to 200 do
+    let expr = random_expr prng 3 in
+    let fsm = Compile.compile ~alphabet expr in
+    let minimized = Minimize.minimize fsm in
+    if Fsm.num_states minimized > Fsm.num_states fsm then
+      Alcotest.failf "trial %d: minimize grew the machine" trial;
+    if not (Fsm.equivalent fsm minimized) then
+      Alcotest.failf "trial %d: minimize changed behaviour of %s" trial (Ast.to_string expr)
+  done
+
+let minimize_idempotent () =
+  let prng = Prng.create ~seed:103L in
+  for _trial = 1 to 100 do
+    let expr = random_expr prng 3 in
+    let once = Minimize.minimize (Compile.compile ~alphabet expr) in
+    let twice = Minimize.minimize once in
+    Alcotest.(check int) "idempotent size" (Fsm.num_states once) (Fsm.num_states twice)
+  done
+
+let complement_law () =
+  let prng = Prng.create ~seed:104L in
+  for trial = 1 to 150 do
+    let expr = random_expr prng 2 in
+    (* Anchored: L(!e) over full streams is the complement of L(e). *)
+    let direct = Compile.compile ~alphabet ~anchored:true expr in
+    let complement = Compile.compile ~alphabet ~anchored:true (Ast.Not expr) in
+    let stream = random_stream prng (Prng.int_in prng 0 15) in
+    let last_accept fsm =
+      let accepts = fsm_accepts fsm stream in
+      if stream = [] then Fsm.is_accept fsm fsm.Fsm.start
+      else List.nth accepts (List.length accepts - 1)
+    in
+    (* NB [fsm_accepts] reports false past a Dead state, which is exactly
+       "not in the language". *)
+    if last_accept direct = last_accept complement then
+      Alcotest.failf "trial %d: !e not a complement for %s" trial (Ast.to_string expr)
+  done
+
+let intersection_law () =
+  let prng = Prng.create ~seed:105L in
+  for trial = 1 to 150 do
+    let x = random_expr prng 2 in
+    let y = random_expr prng 2 in
+    let fx = Compile.compile ~alphabet ~anchored:true x in
+    let fy = Compile.compile ~alphabet ~anchored:true y in
+    let fboth = Compile.compile ~alphabet ~anchored:true (Ast.And (x, y)) in
+    let stream = random_stream prng (Prng.int_in prng 0 12) in
+    let accepted fsm =
+      if stream = [] then Fsm.is_accept fsm fsm.Fsm.start
+      else begin
+        let accepts = fsm_accepts fsm stream in
+        List.nth accepts (List.length accepts - 1)
+      end
+    in
+    if accepted fboth <> (accepted fx && accepted fy) then
+      Alcotest.failf "trial %d: && law fails for %s / %s" trial (Ast.to_string x)
+        (Ast.to_string y)
+  done
+
+let masked_not_supported () =
+  let masked = Ast.Masked (Ast.Basic 0, { Ast.mask_id = 0; mask_name = "m" }) in
+  (match Compile.thompson ~alphabet (Ast.Not masked) with
+  | _ -> Alcotest.fail "expected Unsupported"
+  | exception Compile.Unsupported _ -> ());
+  match Compile.thompson ~alphabet (Ast.And (masked, Ast.Basic 1)) with
+  | _ -> Alcotest.fail "expected Unsupported"
+  | exception Compile.Unsupported _ -> ()
+
+let event_outside_alphabet_rejected () =
+  match Compile.thompson ~alphabet:[ 0 ] (Ast.Basic 7) with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ()
+
+let unanchored_never_dies () =
+  let prng = Prng.create ~seed:106L in
+  for _trial = 1 to 100 do
+    let expr = random_expr prng 3 in
+    let fsm = Compile.compile ~alphabet expr in
+    let state = ref fsm.Fsm.start in
+    List.iter
+      (fun e ->
+        match Fsm.step fsm !state (Sym.Ev e) with
+        | Fsm.Goto s -> state := s
+        | Fsm.Stay -> ()
+        | Fsm.Dead -> Alcotest.failf "unanchored machine died on %s" (Ast.to_string expr))
+      (random_stream prng 20)
+  done
+
+let deterministic_compilation () =
+  (* Same expression, same machine — compile-every-run (§5.1.3) relies on
+     this. *)
+  let expr =
+    Ast.Relative
+      [ Ast.Masked (Ast.Basic 2, { Ast.mask_id = 0; mask_name = "m" }); Ast.Basic 1 ]
+  in
+  let one = Compile.compile ~alphabet expr |> Minimize.simplify in
+  let two = Compile.compile ~alphabet expr |> Minimize.simplify in
+  Alcotest.(check int) "same size" (Fsm.num_states one) (Fsm.num_states two);
+  Alcotest.(check bool) "structurally interchangeable" true (Fsm.equivalent one two)
+
+let simplify_preserves_mask_behaviour () =
+  (* A scripted oracle for the masked machine: run raw vs simplified under
+     the same sequence of mask outcomes and events. *)
+  let m = { Ast.mask_id = 0; mask_name = "m" } in
+  let expr = Ast.Relative [ Ast.Masked (Ast.Basic 2, m); Ast.Basic 1 ] in
+  let raw = Compile.compile ~alphabet expr in
+  let simplified = Minimize.simplify raw in
+  let run fsm script =
+    (* script: list of (event, mask outcome to use if asked) *)
+    let state = ref fsm.Fsm.start in
+    let fired = ref [] in
+    List.iter
+      (fun (e, outcome) ->
+        (match Fsm.step fsm !state (Sym.Ev e) with
+        | Fsm.Goto s -> state := s
+        | Fsm.Stay -> ()
+        | Fsm.Dead -> Alcotest.fail "died");
+        let guard = ref 0 in
+        while Fsm.pending_masks fsm !state <> [] && !guard < 10 do
+          incr guard;
+          let mask = List.hd (Fsm.pending_masks fsm !state) in
+          let sym = if outcome then Sym.MTrue mask else Sym.MFalse mask in
+          match Fsm.step fsm !state sym with
+          | Fsm.Goto s -> state := s
+          | Fsm.Stay | Fsm.Dead -> Alcotest.fail "mask step failed"
+        done;
+        fired := Fsm.is_accept fsm !state :: !fired)
+      script;
+    List.rev !fired
+  in
+  let prng = Prng.create ~seed:107L in
+  for _ = 1 to 200 do
+    let script = List.init 12 (fun _ -> (Prng.int prng 3, Prng.bool prng)) in
+    if run raw script <> run simplified script then Alcotest.fail "simplify changed mask behaviour"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "DFA = NFA reference (300 random exprs)" `Quick dfa_matches_nfa_reference;
+    Alcotest.test_case "minimize preserves behaviour" `Quick minimize_preserves_behaviour;
+    Alcotest.test_case "minimize idempotent" `Quick minimize_idempotent;
+    Alcotest.test_case "complement law" `Quick complement_law;
+    Alcotest.test_case "intersection law" `Quick intersection_law;
+    Alcotest.test_case "masked !/&& rejected" `Quick masked_not_supported;
+    Alcotest.test_case "foreign events rejected" `Quick event_outside_alphabet_rejected;
+    Alcotest.test_case "unanchored machines never die" `Quick unanchored_never_dies;
+    Alcotest.test_case "compilation is deterministic" `Quick deterministic_compilation;
+    Alcotest.test_case "simplify preserves masked behaviour" `Quick simplify_preserves_mask_behaviour;
+  ]

@@ -1,0 +1,83 @@
+(* Table-driven event-language semantics at the session level: for each
+   (expression, event stream) pair, the number of trigger firings must
+   match. Events are posted one per transaction; E/F/G are the class's
+   user events. *)
+
+module Session = Ode.Session
+module Dsl = Ode.Dsl
+
+type case = {
+  label : string;
+  expr : string;
+  stream : string;  (* one char per event: 'E' 'F' 'G' *)
+  fires : int;
+}
+
+(* Remember: unless anchored with ^, expressions match subsequences ending
+   at the current event (implicit ( *any ) prefix), and perpetual triggers
+   re-fire on every accepting event. *)
+let cases =
+  [
+    { label = "basic"; expr = "E"; stream = "EFE"; fires = 2 };
+    { label = "basic no match"; expr = "G"; stream = "EEFF"; fires = 0 };
+    { label = "sequence adjacency"; expr = "E, F"; stream = "EF"; fires = 1 };
+    { label = "sequence broken"; expr = "E, F"; stream = "EGF"; fires = 0 };
+    { label = "sequence repeats"; expr = "E, F"; stream = "EFEF"; fires = 2 };
+    { label = "union"; expr = "E || F"; stream = "EFG"; fires = 2 };
+    { label = "relative ignores gaps"; expr = "relative(E, F)"; stream = "EGGF"; fires = 1 };
+    { label = "relative re-fires"; expr = "relative(E, F)"; stream = "EFF"; fires = 2 };
+    { label = "relative needs order"; expr = "relative(E, F)"; stream = "FE"; fires = 0 };
+    { label = "relative three-part"; expr = "relative(E, F, G)"; stream = "EGFGG"; fires = 2 };
+    { label = "star zero width arms"; expr = "*F, E"; stream = "E"; fires = 1 };
+    { label = "star consumes"; expr = "E, *F, G"; stream = "EFFFG"; fires = 1 };
+    { label = "plus needs one"; expr = "E, +F, G"; stream = "EG"; fires = 0 };
+    { label = "plus satisfied"; expr = "E, +F, G"; stream = "EFG"; fires = 1 };
+    { label = "opt present"; expr = "E, ?F, G"; stream = "EFG"; fires = 1 };
+    { label = "opt absent"; expr = "E, ?F, G"; stream = "EG"; fires = 1 };
+    { label = "any matches all"; expr = "any, any"; stream = "EF"; fires = 1 };
+    (* 'any, any' over n>=2 events: fires at every event from the 2nd. *)
+    { label = "any window slides"; expr = "any, any"; stream = "EFG"; fires = 2 };
+    { label = "intersection"; expr = "(E, F) && (any, F)"; stream = "EF"; fires = 1 };
+    { label = "intersection empty"; expr = "(E, F) && (G, F)"; stream = "EFGF"; fires = 0 };
+    (* !E as a single-event complement: any single event that is not E...
+       NB unanchored semantics: a subsequence matching !E ends at every
+       event whose 1-suffix is F or G, and also longer suffixes, so count
+       events where SOME suffix matches. !E matches epsilon too (the empty
+       string is not E), so it accepts at every posting including the
+       first E (the empty suffix matches). *)
+    { label = "complement is subtle"; expr = "!E"; stream = "E"; fires = 1 };
+    { label = "anchored pair"; expr = "^ E, F"; stream = "EF"; fires = 1 };
+    { label = "anchored wrong start dies"; expr = "^ E, F"; stream = "FEF"; fires = 0 };
+    { label = "anchored once only"; expr = "^ E, F"; stream = "EFEF"; fires = 1 };
+    (* With the implicit prefix, the epsilon suffix matches at every
+       posted event. *)
+    { label = "empty matches everywhere"; expr = "empty"; stream = "EEE"; fires = 3 };
+    { label = "nested groups"; expr = "(E || F), (F || G)"; stream = "EG"; fires = 1 };
+    { label = "three in a row"; expr = "E, E, E"; stream = "EEEE"; fires = 2 };
+  ]
+
+let run_case kind { label; expr; stream; fires } () =
+  let env = Session.create ~store:kind () in
+  let count = ref 0 in
+  Session.define_class env ~name:"C"
+    ~fields:[ ("x", Dsl.int 0) ]
+    ~events:[ Dsl.user_event "E"; Dsl.user_event "F"; Dsl.user_event "G" ]
+    ~triggers:
+      [ Dsl.trigger "T" ~perpetual:true ~event:expr ~action:(fun _ _ -> incr count) ]
+    ();
+  let obj = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"C" ()) in
+  Session.with_txn env (fun txn -> ignore (Session.activate env txn obj ~trigger:"T" ~args:[]));
+  String.iter
+    (fun c ->
+      Session.with_txn env (fun txn -> Session.post_event env txn obj (String.make 1 c)))
+    stream;
+  Alcotest.(check int) (Printf.sprintf "%s: %s over %s" label expr stream) fires !count
+
+let suite =
+  List.concat_map
+    (fun case ->
+      [
+        Alcotest.test_case (case.label ^ " (mem)") `Quick (run_case `Mem case);
+        Alcotest.test_case (case.label ^ " (disk)") `Quick (run_case `Disk case);
+      ])
+    cases

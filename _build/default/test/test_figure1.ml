@@ -1,0 +1,89 @@
+(* Experiment F1: the compiled FSM for the paper's AutoRaiseLimit trigger
+   event expression must be exactly the machine of Figure 1:
+
+     relative((after Buy & MoreCred()), after PayBill)
+
+   Four states; state 0 scans, state 1 is the mask state (True -> 2,
+   False -> 0), state 2 waits for any future PayBill, state 3 accepts. *)
+
+module Ast = Ode_event.Ast
+module Compile = Ode_event.Compile
+module Minimize = Ode_event.Minimize
+module Fsm = Ode_event.Fsm
+module Sym = Ode_event.Sym
+
+(* Paper numbering: BigBuy = 0, after PayBill = 1, after Buy = 2. *)
+let big_buy = 0
+let after_pay_bill = 1
+let after_buy = 2
+let alphabet = [ big_buy; after_pay_bill; after_buy ]
+let more_cred = { Ast.mask_id = 0; mask_name = "MoreCred" }
+
+let auto_raise_limit_expr =
+  Ast.Relative [ Ast.Masked (Ast.Basic after_buy, more_cred); Ast.Basic after_pay_bill ]
+
+let compiled () =
+  Compile.compile ~alphabet auto_raise_limit_expr
+  |> Minimize.simplify |> Minimize.prune_mask_states
+
+let goto fsm state sym =
+  match Fsm.step fsm state sym with
+  | Fsm.Goto target -> target
+  | Fsm.Stay -> Alcotest.failf "expected transition, got Stay (state %d)" state
+  | Fsm.Dead -> Alcotest.failf "expected transition, got Dead (state %d)" state
+
+let check_state_count () =
+  let fsm = compiled () in
+  Alcotest.(check int) "four states as in Figure 1" 4 (Fsm.num_states fsm)
+
+(* Relabel our machine by walking Figure 1's paths so the comparison does
+   not depend on state numbering. *)
+let figure1_states fsm =
+  let s0 = fsm.Fsm.start in
+  let s1 = goto fsm s0 (Sym.Ev after_buy) in
+  let s2 = goto fsm s1 (Sym.MTrue more_cred.Ast.mask_id) in
+  let s3 = goto fsm s2 (Sym.Ev after_pay_bill) in
+  (s0, s1, s2, s3)
+
+let check_figure1_transitions () =
+  let fsm = compiled () in
+  let s0, s1, s2, s3 = figure1_states fsm in
+  let distinct = List.sort_uniq compare [ s0; s1; s2; s3 ] in
+  Alcotest.(check int) "states are distinct" 4 (List.length distinct);
+  (* State 0: scanning. *)
+  Alcotest.(check int) "0 --BigBuy--> 0" s0 (goto fsm s0 (Sym.Ev big_buy));
+  Alcotest.(check int) "0 --PayBill--> 0" s0 (goto fsm s0 (Sym.Ev after_pay_bill));
+  Alcotest.(check int) "0 --Buy--> 1" s1 (goto fsm s0 (Sym.Ev after_buy));
+  (* State 1: the mask state. *)
+  Alcotest.(check (list int)) "state 1 evaluates MoreCred" [ more_cred.Ast.mask_id ]
+    (Fsm.pending_masks fsm s1);
+  Alcotest.(check int) "1 --True--> 2" s2 (goto fsm s1 (Sym.MTrue 0));
+  Alcotest.(check int) "1 --False--> 0" s0 (goto fsm s1 (Sym.MFalse 0));
+  (* Mask states wait on no external events (pruned). *)
+  Array.iter
+    (fun (sym, _) ->
+      match sym with
+      | Sym.Ev _ -> Alcotest.fail "mask state has a real-event transition"
+      | Sym.MTrue _ | Sym.MFalse _ -> ())
+    (Fsm.state fsm s1).Fsm.trans;
+  (* State 2: relative -- any future PayBill accepts. *)
+  Alcotest.(check int) "2 --BigBuy--> 2" s2 (goto fsm s2 (Sym.Ev big_buy));
+  Alcotest.(check int) "2 --Buy--> 2" s2 (goto fsm s2 (Sym.Ev after_buy));
+  Alcotest.(check int) "2 --PayBill--> 3" s3 (goto fsm s2 (Sym.Ev after_pay_bill));
+  (* Acceptance. *)
+  Alcotest.(check bool) "only state 3 accepts" true
+    (Fsm.is_accept fsm s3 && not (Fsm.is_accept fsm s0) && not (Fsm.is_accept fsm s1)
+    && not (Fsm.is_accept fsm s2))
+
+let check_no_masks_state_count () =
+  (* Without the mask the machine collapses to 3 states: scan, wait, accept. *)
+  let expr = Ast.Relative [ Ast.Basic after_buy; Ast.Basic after_pay_bill ] in
+  let fsm = Compile.compile ~alphabet expr |> Minimize.simplify in
+  Alcotest.(check int) "three states without the mask" 3 (Fsm.num_states fsm)
+
+let suite =
+  [
+    Alcotest.test_case "state count" `Quick check_state_count;
+    Alcotest.test_case "transitions match Figure 1" `Quick check_figure1_transitions;
+    Alcotest.test_case "unmasked relative has 3 states" `Quick check_no_masks_state_count;
+  ]

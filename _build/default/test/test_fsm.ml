@@ -1,0 +1,164 @@
+(* Fsm runtime representation: validation, step semantics, equivalence,
+   printers, and a printer/parser round-trip property for the AST. *)
+
+module Ast = Ode_event.Ast
+module Parser = Ode_event.Parser
+module Compile = Ode_event.Compile
+module Fsm = Ode_event.Fsm
+module Sym = Ode_event.Sym
+module Intern = Ode_event.Intern
+module Prng = Ode_util.Prng
+
+let state ?(accept = false) ?(pending = []) statenum trans =
+  { Fsm.statenum; accept; pending; trans = Array.of_list trans }
+
+let tiny () =
+  (* 0 --e0--> 1(accept); alphabet {0,1}. *)
+  Fsm.make
+    ~states:[| state 0 [ (Sym.Ev 0, 1) ]; state ~accept:true 1 [] |]
+    ~start:0
+    ~alphabet:(Fsm.IntSet.of_list [ 0; 1 ])
+    ~mask_ids:Fsm.IntSet.empty
+
+let validation () =
+  (* statenum mismatch *)
+  (match
+     Fsm.make
+       ~states:[| state 1 [] |]
+       ~start:0 ~alphabet:Fsm.IntSet.empty ~mask_ids:Fsm.IntSet.empty
+   with
+  | _ -> Alcotest.fail "statenum mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  (* out-of-range target *)
+  (match
+     Fsm.make
+       ~states:[| state 0 [ (Sym.Ev 0, 5) ] |]
+       ~start:0 ~alphabet:Fsm.IntSet.empty ~mask_ids:Fsm.IntSet.empty
+   with
+  | _ -> Alcotest.fail "bad target accepted"
+  | exception Invalid_argument _ -> ());
+  (* unsorted transitions *)
+  (match
+     Fsm.make
+       ~states:[| state 0 [ (Sym.Ev 1, 0); (Sym.Ev 0, 0) ] |]
+       ~start:0 ~alphabet:Fsm.IntSet.empty ~mask_ids:Fsm.IntSet.empty
+   with
+  | _ -> Alcotest.fail "unsorted transitions accepted"
+  | exception Invalid_argument _ -> ());
+  (* bad start *)
+  match
+    Fsm.make ~states:[| state 0 [] |] ~start:3 ~alphabet:Fsm.IntSet.empty
+      ~mask_ids:Fsm.IntSet.empty
+  with
+  | _ -> Alcotest.fail "bad start accepted"
+  | exception Invalid_argument _ -> ()
+
+let step_semantics () =
+  let fsm = tiny () in
+  (match Fsm.step fsm 0 (Sym.Ev 0) with
+  | Fsm.Goto 1 -> ()
+  | _ -> Alcotest.fail "expected Goto 1");
+  (* In-alphabet event without a transition: Dead. *)
+  (match Fsm.step fsm 0 (Sym.Ev 1) with
+  | Fsm.Dead -> ()
+  | _ -> Alcotest.fail "expected Dead");
+  (* Out-of-alphabet event: Stay (ignored, §5.4.3). *)
+  (match Fsm.step fsm 0 (Sym.Ev 99) with
+  | Fsm.Stay -> ()
+  | _ -> Alcotest.fail "expected Stay");
+  (* Pseudo-event for a mask that is not pending here: Stay. *)
+  match Fsm.step fsm 0 (Sym.MTrue 0) with
+  | Fsm.Stay -> ()
+  | _ -> Alcotest.fail "expected Stay on non-pending mask"
+
+let equivalence () =
+  let a = Compile.compile ~alphabet:[ 0; 1 ] (Ast.Seq (Ast.Basic 0, Ast.Basic 1)) in
+  let b = Compile.compile ~alphabet:[ 0; 1 ] (Ast.Seq (Ast.Basic 0, Ast.Basic 1)) in
+  let c = Compile.compile ~alphabet:[ 0; 1 ] (Ast.Seq (Ast.Basic 1, Ast.Basic 0)) in
+  Alcotest.(check bool) "same expr equivalent" true (Fsm.equivalent a b);
+  Alcotest.(check bool) "different exprs differ" false (Fsm.equivalent a c);
+  let d = Compile.compile ~alphabet:[ 0; 1; 2 ] (Ast.Seq (Ast.Basic 0, Ast.Basic 1)) in
+  Alcotest.(check bool) "different alphabets differ" false (Fsm.equivalent a d)
+
+let printers () =
+  let fsm =
+    Compile.compile ~alphabet:[ 0; 1 ]
+      (Ast.Masked (Ast.Basic 0, { Ast.mask_id = 0; mask_name = "m" }))
+  in
+  let text = Format.asprintf "%a" (Fsm.pp ()) fsm in
+  Alcotest.(check bool) "pp mentions mask state" true
+    (Astring_contains.contains text "evaluates masks");
+  let dot = Fsm.to_dot fsm in
+  Alcotest.(check bool) "dot is a digraph" true (String.length dot > 20 && String.sub dot 0 7 = "digraph");
+  Alcotest.(check bool) "dot has doublecircle accept" true
+    (Astring_contains.contains dot "doublecircle")
+
+(* Printer/parser round-trip: parse (to_string e) = e for random
+   expressions (event names e0..e2, masks m0/m1 resolve positionally). *)
+let roundtrip_env =
+  let masks = [ ("m0", { Ast.mask_id = 0; mask_name = "m0" }); ("m1", { Ast.mask_id = 1; mask_name = "m1" }) ] in
+  {
+    Parser.resolve_event =
+      (fun ?cls basic ->
+        match (cls, basic) with
+        | None, Intern.User name
+          when String.length name = 2 && name.[0] = 'e' && name.[1] >= '0' && name.[1] <= '2' ->
+            Some (Char.code name.[1] - Char.code '0')
+        | _ -> None);
+    resolve_mask = (fun name -> List.assoc_opt name masks);
+  }
+
+let rec random_expr prng depth =
+  let mask i = { Ast.mask_id = i; mask_name = Printf.sprintf "m%d" i } in
+  if depth = 0 then
+    match Prng.int prng 3 with
+    | 0 -> Ast.Basic (Prng.int prng 3)
+    | 1 -> Ast.Any
+    | _ -> Ast.Empty
+  else begin
+    let sub () = random_expr prng (depth - 1) in
+    match Prng.int prng 11 with
+    | 0 | 1 -> Ast.Seq (sub (), sub ())
+    | 2 | 3 -> Ast.Or (sub (), sub ())
+    | 4 -> Ast.And (sub (), sub ())
+    | 5 -> Ast.Not (sub ())
+    | 6 -> Ast.Star (sub ())
+    | 7 -> Ast.Plus (sub ())
+    | 8 -> Ast.Opt (sub ())
+    | 9 -> Ast.Masked (sub (), mask (Prng.int prng 2))
+    | _ -> Ast.Relative [ sub (); sub () ]
+  end
+
+let printer_parser_roundtrip () =
+  let prng = Prng.create ~seed:303L in
+  for trial = 1 to 500 do
+    let expr = random_expr prng 4 in
+    let source = Ast.to_string ~event_name:(Printf.sprintf "e%d") expr in
+    match Parser.parse roundtrip_env source with
+    | Error e ->
+        Alcotest.failf "trial %d: %s failed to re-parse: %s" trial source
+          (Format.asprintf "%a" Parser.pp_error e)
+    | Ok (anchored, reparsed) ->
+        Alcotest.(check bool) "not anchored" false anchored;
+        if not (Ast.equal expr reparsed) then
+          Alcotest.failf "trial %d: %s reparsed as %s" trial source (Ast.to_string reparsed)
+  done
+
+let ast_accessors () =
+  let m = { Ast.mask_id = 3; mask_name = "m" } in
+  let expr = Ast.Seq (Ast.Masked (Ast.Basic 5, m), Ast.Or (Ast.Basic 2, Ast.Basic 5)) in
+  Alcotest.(check (list int)) "events sorted distinct" [ 2; 5 ] (Ast.events expr);
+  Alcotest.(check bool) "has_mask" true (Ast.has_mask expr);
+  Alcotest.(check int) "one distinct mask" 1 (List.length (Ast.masks expr));
+  Alcotest.(check int) "size" 6 (Ast.size expr);
+  Alcotest.(check bool) "no mask" false (Ast.has_mask (Ast.Basic 1))
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick validation;
+    Alcotest.test_case "step semantics" `Quick step_semantics;
+    Alcotest.test_case "equivalence checker" `Quick equivalence;
+    Alcotest.test_case "printers" `Quick printers;
+    Alcotest.test_case "printer/parser roundtrip (500 exprs)" `Quick printer_parser_roundtrip;
+    Alcotest.test_case "ast accessors" `Quick ast_accessors;
+  ]

@@ -1,0 +1,64 @@
+(* Hash multimap index (the object -> active-triggers structure). *)
+
+module Index = Ode_objstore.Hash_index.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+let insertion_order () =
+  let index = Index.create () in
+  Index.add index 1 "a";
+  Index.add index 1 "b";
+  Index.add index 1 "c";
+  Index.add index 2 "x";
+  Alcotest.(check (list string)) "order preserved" [ "a"; "b"; "c" ] (Index.find_all index 1);
+  Alcotest.(check (list string)) "other key" [ "x" ] (Index.find_all index 2);
+  Alcotest.(check (list string)) "absent key" [] (Index.find_all index 3);
+  Alcotest.(check int) "key count" 2 (Index.key_count index);
+  Alcotest.(check int) "total" 4 (Index.total_count index)
+
+let removal () =
+  let index = Index.create () in
+  Index.add index 1 "a";
+  Index.add index 1 "b";
+  Index.add index 1 "a";
+  (* Removes the FIRST match in insertion order. *)
+  Alcotest.(check bool) "removed" true (Index.remove index 1 (String.equal "a"));
+  Alcotest.(check (list string)) "first a gone" [ "b"; "a" ] (Index.find_all index 1);
+  Alcotest.(check bool) "no match" false (Index.remove index 1 (String.equal "zzz"));
+  Alcotest.(check bool) "removed b" true (Index.remove index 1 (String.equal "b"));
+  Alcotest.(check bool) "removed last a" true (Index.remove index 1 (String.equal "a"));
+  Alcotest.(check (list string)) "bucket empty" [] (Index.find_all index 1);
+  Alcotest.(check int) "key dropped" 0 (Index.key_count index);
+  Alcotest.(check int) "total zero" 0 (Index.total_count index)
+
+let remove_key_and_clear () =
+  let index = Index.create () in
+  Index.add index 1 "a";
+  Index.add index 1 "b";
+  Index.add index 2 "c";
+  Index.remove_key index 1;
+  Alcotest.(check int) "total after remove_key" 1 (Index.total_count index);
+  Index.clear index;
+  Alcotest.(check int) "total after clear" 0 (Index.total_count index);
+  Alcotest.(check int) "keys after clear" 0 (Index.key_count index)
+
+let iteration () =
+  let index = Index.create () in
+  Index.add index 1 10;
+  Index.add index 2 20;
+  Index.add index 1 11;
+  let seen = ref [] in
+  Index.iter index (fun k v -> seen := (k, v) :: !seen);
+  let sorted = List.sort compare !seen in
+  Alcotest.(check (list (pair int int))) "all visited" [ (1, 10); (1, 11); (2, 20) ] sorted
+
+let suite =
+  [
+    Alcotest.test_case "insertion order" `Quick insertion_order;
+    Alcotest.test_case "removal semantics" `Quick removal;
+    Alcotest.test_case "remove_key and clear" `Quick remove_key_and_clear;
+    Alcotest.test_case "iteration" `Quick iteration;
+  ]

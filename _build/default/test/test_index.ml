@@ -1,0 +1,171 @@
+(* Field indexes: creation over existing data, transactional maintenance
+   (including abort rollback), range queries, and a randomized
+   differential check against a scan. *)
+
+module Session = Ode.Session
+module Dsl = Ode.Dsl
+module Value = Ode_objstore.Value
+module Oid = Ode_objstore.Oid
+module Prng = Ode_util.Prng
+
+let setup () =
+  let env = Session.create () in
+  Session.define_class env ~name:"Item"
+    ~fields:[ ("sku", Dsl.str ""); ("qty", Dsl.int 0) ]
+    ();
+  env
+
+let new_item env txn sku qty =
+  Session.pnew env txn ~cls:"Item" ~init:[ ("sku", Dsl.str sku); ("qty", Dsl.int qty) ] ()
+
+let build_over_existing () =
+  let env = setup () in
+  let a, b =
+    Session.with_txn env (fun txn -> (new_item env txn "a" 5, new_item env txn "b" 9))
+  in
+  Session.with_txn env (fun txn ->
+      Session.create_index env txn ~name:"by_qty" ~cls:"Item" ~field:"qty");
+  Alcotest.(check (list int)) "existing rows indexed" [ Oid.to_int a ]
+    (List.map Oid.to_int (Session.index_lookup env ~name:"by_qty" (Value.Int 5)));
+  Alcotest.(check (list int)) "other key" [ Oid.to_int b ]
+    (List.map Oid.to_int (Session.index_lookup env ~name:"by_qty" (Value.Int 9)));
+  Alcotest.(check (list int)) "absent key" []
+    (List.map Oid.to_int (Session.index_lookup env ~name:"by_qty" (Value.Int 7)))
+
+let maintenance_and_rollback () =
+  let env = setup () in
+  Session.with_txn env (fun txn ->
+      Session.create_index env txn ~name:"by_qty" ~cls:"Item" ~field:"qty");
+  let a = Session.with_txn env (fun txn -> new_item env txn "a" 1) in
+  (* Update moves the entry. *)
+  Session.with_txn env (fun txn -> Session.set_field env txn a "qty" (Value.Int 2));
+  Alcotest.(check (list int)) "old key empty" []
+    (List.map Oid.to_int (Session.index_lookup env ~name:"by_qty" (Value.Int 1)));
+  Alcotest.(check (list int)) "new key found" [ Oid.to_int a ]
+    (List.map Oid.to_int (Session.index_lookup env ~name:"by_qty" (Value.Int 2)));
+  (* Aborted update rolls the index back. *)
+  (match
+     Session.attempt env (fun txn ->
+         Session.set_field env txn a "qty" (Value.Int 99);
+         Session.tabort ())
+   with
+  | None -> ()
+  | Some () -> Alcotest.fail "expected abort");
+  Alcotest.(check (list int)) "rollback restored old key" [ Oid.to_int a ]
+    (List.map Oid.to_int (Session.index_lookup env ~name:"by_qty" (Value.Int 2)));
+  Alcotest.(check (list int)) "rollback removed new key" []
+    (List.map Oid.to_int (Session.index_lookup env ~name:"by_qty" (Value.Int 99)));
+  (* Delete removes the entry. *)
+  Session.with_txn env (fun txn -> Session.pdelete env txn a);
+  Alcotest.(check (list int)) "deleted" []
+    (List.map Oid.to_int (Session.index_lookup env ~name:"by_qty" (Value.Int 2)))
+
+let range_queries () =
+  let env = setup () in
+  Session.with_txn env (fun txn ->
+      Session.create_index env txn ~name:"by_qty" ~cls:"Item" ~field:"qty");
+  Session.with_txn env (fun txn ->
+      List.iter (fun q -> ignore (new_item env txn (string_of_int q) q)) [ 5; 1; 9; 3; 5 ]);
+  let keys =
+    Session.index_range env ~name:"by_qty" ~lo:(Value.Int 2) ~hi:(Value.Int 6) ()
+    |> List.map (fun (k, oids) -> (Value.to_int k, List.length oids))
+  in
+  Alcotest.(check (list (pair int int))) "range with duplicate keys" [ (3, 1); (5, 2) ] keys;
+  let all = Session.index_range env ~name:"by_qty" () |> List.map (fun (k, _) -> Value.to_int k) in
+  Alcotest.(check (list int)) "full ascending" [ 1; 3; 5; 9 ] all
+
+let duplicate_name_rejected () =
+  let env = setup () in
+  Session.with_txn env (fun txn ->
+      Session.create_index env txn ~name:"ix" ~cls:"Item" ~field:"qty";
+      match Session.create_index env txn ~name:"ix" ~cls:"Item" ~field:"sku" with
+      | () -> Alcotest.fail "duplicate accepted"
+      | exception Invalid_argument _ -> ())
+
+let string_keys () =
+  let env = setup () in
+  Session.with_txn env (fun txn ->
+      Session.create_index env txn ~name:"by_sku" ~cls:"Item" ~field:"sku");
+  Session.with_txn env (fun txn ->
+      List.iter (fun sku -> ignore (new_item env txn sku 0)) [ "beta"; "alpha"; "gamma" ]);
+  let skus =
+    Session.index_range env ~name:"by_sku" () |> List.map (fun (k, _) -> Value.to_str k)
+  in
+  Alcotest.(check (list string)) "lexicographic order" [ "alpha"; "beta"; "gamma" ] skus
+
+let differential () =
+  let env = setup () in
+  Session.with_txn env (fun txn ->
+      Session.create_index env txn ~name:"by_qty" ~cls:"Item" ~field:"qty");
+  let prng = Prng.create ~seed:404L in
+  let live = ref [] in
+  for _round = 1 to 60 do
+    let outcome =
+      Session.attempt env (fun txn ->
+          let staged = ref !live in
+          for _ = 1 to Prng.int_in prng 1 5 do
+            match (Prng.int prng 3, !staged) with
+            | 0, _ | _, [] ->
+                let qty = Prng.int prng 10 in
+                let oid = new_item env txn "x" qty in
+                staged := (oid, qty) :: !staged
+            | 1, _ ->
+                let oid, _ = Prng.pick_list prng !staged in
+                let qty = Prng.int prng 10 in
+                Session.set_field env txn oid "qty" (Value.Int qty);
+                staged := List.map (fun (o, q) -> if Oid.equal o oid then (o, qty) else (o, q)) !staged
+            | _, _ ->
+                let oid, _ = Prng.pick_list prng !staged in
+                Session.pdelete env txn oid;
+                staged := List.filter (fun (o, _) -> not (Oid.equal o oid)) !staged
+          done;
+          if Prng.chance prng 0.3 then Session.tabort ();
+          !staged)
+    in
+    (match outcome with Some staged -> live := staged | None -> ());
+    (* Index must agree with the model for every key. *)
+    for qty = 0 to 9 do
+      let expected =
+        List.filter_map (fun (o, q) -> if q = qty then Some (Oid.to_int o) else None) !live
+        |> List.sort compare
+      in
+      let actual =
+        List.map Oid.to_int (Session.index_lookup env ~name:"by_qty" (Value.Int qty))
+      in
+      if expected <> actual then Alcotest.failf "index diverged on key %d" qty
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "build over existing data" `Quick build_over_existing;
+    Alcotest.test_case "maintenance and rollback" `Quick maintenance_and_rollback;
+    Alcotest.test_case "range queries" `Quick range_queries;
+    Alcotest.test_case "duplicate name rejected" `Quick duplicate_name_rejected;
+    Alcotest.test_case "string keys" `Quick string_keys;
+    Alcotest.test_case "randomized differential" `Quick differential;
+  ]
+
+let recreate_after_recovery () =
+  (* Indexes are volatile; after a crash they are re-created over the
+     recovered cluster and must agree with the surviving data. *)
+  let env = Session.create ~store:`Disk () in
+  Session.define_class env ~name:"Item"
+    ~fields:[ ("sku", Dsl.str ""); ("qty", Dsl.int 0) ]
+    ();
+  Session.with_txn env (fun txn ->
+      Session.create_index env txn ~name:"by_qty" ~cls:"Item" ~field:"qty");
+  let a = Session.with_txn env (fun txn -> new_item env txn "a" 4) in
+  ignore (Session.with_txn env (fun txn -> new_item env txn "b" 6));
+  let env = Session.recover (Session.crash env) in
+  Session.define_class env ~name:"Item"
+    ~fields:[ ("sku", Dsl.str ""); ("qty", Dsl.int 0) ]
+    ();
+  Session.with_txn env (fun txn ->
+      Session.create_index env txn ~name:"by_qty" ~cls:"Item" ~field:"qty");
+  Alcotest.(check (list int)) "recovered data indexed" [ Oid.to_int a ]
+    (List.map Oid.to_int (Session.index_lookup env ~name:"by_qty" (Value.Int 4)));
+  Alcotest.(check int) "range over recovered data" 2
+    (List.length (Session.index_range env ~name:"by_qty" ()))
+
+let suite = suite @ [ Alcotest.test_case "re-create after recovery" `Quick recreate_after_recovery ]

@@ -1,0 +1,240 @@
+(* The O++-flavoured declaration front end: the paper's §4 CredCard class
+   written in (near-)paper syntax, parsed, installed and driven; plus
+   syntax/semantic error handling. *)
+
+module Session = Ode.Session
+module Opp = Ode.Opp
+module Dsl = Ode.Dsl
+module Value = Ode_objstore.Value
+
+let cred_card_source =
+  {|
+  // The paper's section-4 example, declaration subset.
+  persistent class Person {
+    string name = "";
+  };
+
+  persistent class CredCard : public Person {
+    float credLim = 0.0;
+    float currBal;           /* defaults to 0.0 */
+    list  black_marks = [];
+    int   purchases;
+
+    method Buy;
+    method PayBill;
+    method RaiseLimit;
+    method BlackMark;
+
+    mask OverLimit;
+    mask MoreCred;
+
+    event after Buy, after PayBill, BigBuy;
+
+    trigger DenyCredit() : perpetual after Buy & OverLimit ==> deny;
+    trigger AutoRaiseLimit(float amount) :
+      relative((after Buy & MoreCred()), after PayBill) ==> raise_limit;
+  };
+|}
+
+let bindings =
+  let buy ctx args =
+    ctx.Session.set "currBal" (Value.Float (Dsl.self_float ctx "currBal" +. Dsl.nth_float args 1));
+    ctx.Session.set "purchases" (Value.Int (Dsl.self_int ctx "purchases" + 1));
+    Value.Null
+  in
+  let pay_bill ctx args =
+    ctx.Session.set "currBal" (Value.Float (Dsl.self_float ctx "currBal" -. Dsl.nth_float args 0));
+    Value.Null
+  in
+  let raise_limit ctx args =
+    ctx.Session.set "credLim" (Value.Float (Dsl.self_float ctx "credLim" +. Dsl.nth_float args 0));
+    Value.Null
+  in
+  let black_mark ctx args =
+    let marks = Value.to_list (ctx.Session.get "black_marks") in
+    ctx.Session.set "black_marks" (Value.List (marks @ [ Dsl.nth args 0 ]));
+    Value.Null
+  in
+  {
+    Opp.methods =
+      [ ("Buy", buy); ("PayBill", pay_bill); ("RaiseLimit", raise_limit); ("BlackMark", black_mark) ];
+    masks =
+      [
+        ("OverLimit", fun env ctx -> Dsl.obj_float env ctx "currBal" > Dsl.obj_float env ctx "credLim");
+        ("MoreCred", fun env ctx -> Dsl.obj_float env ctx "currBal" > 0.8 *. Dsl.obj_float env ctx "credLim");
+      ];
+    actions =
+      [
+        ( "deny",
+          fun env ctx ->
+            ignore (Dsl.obj_invoke env ctx "BlackMark" [ Dsl.str "Over Limit" ]);
+            Session.tabort () );
+        ("raise_limit", fun env ctx -> ignore (Dsl.obj_invoke env ctx "RaiseLimit" [ Dsl.arg ctx 0 ]));
+      ];
+    constraints = [];
+  }
+
+let end_to_end kind () =
+  let env = Session.create ~store:kind () in
+  let defined = Opp.load env ~bindings cred_card_source in
+  Alcotest.(check (list string)) "classes defined in order" [ "Person"; "CredCard" ] defined;
+  let card =
+    Session.with_txn env (fun txn ->
+        let card =
+          Session.pnew env txn ~cls:"CredCard"
+            ~init:[ ("credLim", Dsl.float 1000.0); ("name", Dsl.str "Robert") ]
+            ()
+        in
+        ignore (Session.activate env txn card ~trigger:"DenyCredit" ~args:[]);
+        ignore (Session.activate env txn card ~trigger:"AutoRaiseLimit" ~args:[ Value.Float 500.0 ]);
+        card)
+  in
+  (* Inherited field from Person via ": public Person". *)
+  Session.with_txn env (fun txn ->
+      Alcotest.(check string) "inherited field" "Robert"
+        (Value.to_str (Session.get_field env txn card "name")));
+  (* DenyCredit vetoes an over-limit purchase. *)
+  let buy amount =
+    Session.attempt env (fun txn ->
+        ignore (Session.invoke env txn card "Buy" [ Value.Null; Value.Float amount ]))
+  in
+  Alcotest.(check bool) "normal buy ok" true (buy 850.0 <> None);
+  Alcotest.(check bool) "over-limit vetoed" true (buy 400.0 = None);
+  (* AutoRaiseLimit: utilisation is 85% > 80%, a PayBill completes it. *)
+  Session.with_txn env (fun txn ->
+      ignore (Session.invoke env txn card "PayBill" [ Value.Float 100.0 ]));
+  Session.with_txn env (fun txn ->
+      Alcotest.(check (float 1e-9)) "limit raised" 1500.0
+        (Value.to_float (Session.get_field env txn card "credLim")))
+
+let figure1_from_opp () =
+  (* The FSM compiled from the textual declaration is Figure 1. *)
+  let env = Session.create () in
+  ignore (Opp.load env ~bindings cred_card_source);
+  let fsm = Session.trigger_fsm env ~cls:"CredCard" ~trigger:"AutoRaiseLimit" in
+  Alcotest.(check int) "four states" 4 (Ode_event.Fsm.num_states fsm)
+
+let coupling_and_constraint_syntax () =
+  let env = Session.create () in
+  let fired = ref [] in
+  let bindings =
+    {
+      Opp.no_bindings with
+      Opp.actions = [ ("log", fun _env _ctx -> fired := "log" :: !fired) ];
+      constraints = [ ("Positive", fun env ctx -> Dsl.obj_float env ctx "v" >= 0.0) ];
+      methods =
+        [
+          ( "Set",
+            fun ctx args ->
+              ctx.Session.set "v" (Dsl.nth args 0);
+              Value.Null );
+        ];
+    }
+  in
+  ignore
+    (Opp.load env ~bindings
+       {|
+        class Gauge {
+          float v = 1.0;
+          method Set;
+          event after Set;
+          trigger Watch() : perpetual end after Set ==> log;
+          constraint Positive;
+        };
+      |});
+  let gauge = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"Gauge" ()) in
+  Session.with_txn env (fun txn ->
+      ignore (Session.activate env txn gauge ~trigger:"Watch" ~args:[]));
+  Session.with_txn env (fun txn ->
+      ignore (Session.invoke env txn gauge "Set" [ Value.Float 5.0 ]));
+  Alcotest.(check (list string)) "end-coupled action ran at commit" [ "log" ] !fired;
+  (match
+     Session.attempt env (fun txn ->
+         ignore (Session.invoke env txn gauge "Set" [ Value.Float (-3.0) ]))
+   with
+  | None -> ()
+  | Some () -> Alcotest.fail "constraint did not veto");
+  Session.with_txn env (fun txn ->
+      Alcotest.(check (float 1e-9)) "value protected" 5.0
+        (Value.to_float (Session.get_field env txn gauge "v")))
+
+let tabort_is_predefined () =
+  let env = Session.create () in
+  ignore
+    (Opp.load env ~bindings:Opp.no_bindings
+       {| class C { int x; event Boom; trigger Kill() : perpetual Boom ==> tabort; }; |});
+  let obj = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"C" ()) in
+  Session.with_txn env (fun txn -> ignore (Session.activate env txn obj ~trigger:"Kill" ~args:[]));
+  match Session.attempt env (fun txn -> Session.post_event env txn obj "Boom") with
+  | None -> ()
+  | Some () -> Alcotest.fail "tabort action did not abort"
+
+let syntax_errors () =
+  let env = Session.create () in
+  let check_syntax source =
+    match Opp.load env ~bindings:Opp.no_bindings source with
+    | _ -> Alcotest.failf "accepted: %s" source
+    | exception Opp.Syntax_error _ -> ()
+  in
+  check_syntax "clazz C { };";
+  check_syntax "class C { int };";
+  check_syntax "class C { unknown_type x; };";
+  check_syntax "class C { int x; ";
+  check_syntax "class C { trigger T() : ==> act; };";
+  check_syntax "class C { event Boom; trigger T() : Boom ==> ; };";
+  check_syntax "class C { string s = \"unterminated; };";
+  check_syntax "class C { /* unterminated };";
+  (* Semantic errors surface as Ode_error. *)
+  (match Opp.load env ~bindings:Opp.no_bindings "class C { method NoImpl; };" with
+  | _ -> Alcotest.fail "unbound method accepted"
+  | exception Session.Ode_error _ -> ());
+  match
+    Opp.load env ~bindings:Opp.no_bindings
+      "class D { event Boom; trigger T() : Boom ==> missing_action; };"
+  with
+  | _ -> Alcotest.fail "unbound action accepted"
+  | exception Session.Ode_error _ -> ()
+
+let comments_and_literals () =
+  let env = Session.create () in
+  ignore
+    (Opp.load env ~bindings:Opp.no_bindings
+       {|
+        // leading comment
+        class Lits {
+          int    a = -42;        /* negative */
+          float  b = 2.5e2;
+          string c = "he said \"hi\"\n";
+          bool   d = true;
+          oid    e;
+          list   f = [];
+        };
+      |});
+  let obj = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"Lits" ()) in
+  Session.with_txn env (fun txn ->
+      let get f = Session.get_field env txn obj f in
+      Alcotest.(check int) "int" (-42) (Value.to_int (get "a"));
+      Alcotest.(check (float 1e-9)) "float" 250.0 (Value.to_float (get "b"));
+      Alcotest.(check string) "string escapes" "he said \"hi\"\n" (Value.to_str (get "c"));
+      Alcotest.(check bool) "bool" true (Value.to_bool (get "d"));
+      Alcotest.(check bool) "oid default null" true (get "e" = Value.Null);
+      Alcotest.(check bool) "empty list" true (get "f" = Value.List []))
+
+let both_kinds name f =
+  [
+    Alcotest.test_case (name ^ " (mem)") `Quick (f `Mem);
+    Alcotest.test_case (name ^ " (disk)") `Quick (f `Disk);
+  ]
+
+let suite =
+  List.concat
+    [
+      both_kinds "paper's CredCard from O++ text" end_to_end;
+      [
+        Alcotest.test_case "Figure 1 from O++ text" `Quick figure1_from_opp;
+        Alcotest.test_case "coupling + constraint syntax" `Quick coupling_and_constraint_syntax;
+        Alcotest.test_case "tabort predefined" `Quick tabort_is_predefined;
+        Alcotest.test_case "syntax and binding errors" `Quick syntax_errors;
+        Alcotest.test_case "comments and literals" `Quick comments_and_literals;
+      ];
+    ]

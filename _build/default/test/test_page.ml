@@ -1,0 +1,137 @@
+(* Slotted pages: insert/read/update/delete, compaction, slot reuse, and a
+   randomized model check against a plain association list. *)
+
+module Page = Ode_storage.Page
+module Prng = Ode_util.Prng
+
+let bytes_of = Bytes.of_string
+
+let basic_ops () =
+  let page = Page.create ~size:256 in
+  let s0 = Option.get (Page.insert page (bytes_of "alpha")) in
+  let s1 = Option.get (Page.insert page (bytes_of "beta")) in
+  Alcotest.(check (option string)) "read s0" (Some "alpha")
+    (Option.map Bytes.to_string (Page.read page s0));
+  Alcotest.(check (option string)) "read s1" (Some "beta")
+    (Option.map Bytes.to_string (Page.read page s1));
+  Alcotest.(check int) "live slots" 2 (Page.live_slots page);
+  Page.delete page s0;
+  Alcotest.(check (option string)) "deleted reads None" None
+    (Option.map Bytes.to_string (Page.read page s0));
+  Alcotest.(check int) "one live slot" 1 (Page.live_slots page);
+  (* Deleted slot gets reused. *)
+  let s2 = Option.get (Page.insert page (bytes_of "gamma")) in
+  Alcotest.(check int) "slot reused" s0 s2
+
+let update_in_place_and_grow () =
+  let page = Page.create ~size:256 in
+  let s = Option.get (Page.insert page (bytes_of "short")) in
+  Alcotest.(check bool) "shrink in place" true (Page.update page s (bytes_of "sh"));
+  Alcotest.(check (option string)) "shrunk" (Some "sh")
+    (Option.map Bytes.to_string (Page.read page s));
+  Alcotest.(check bool) "grow within page" true
+    (Page.update page s (bytes_of "a much longer record body"));
+  Alcotest.(check (option string)) "grown" (Some "a much longer record body")
+    (Option.map Bytes.to_string (Page.read page s))
+
+let update_too_big_leaves_unchanged () =
+  let page = Page.create ~size:128 in
+  let s = Option.get (Page.insert page (bytes_of "abc")) in
+  let huge = Bytes.make 500 'x' in
+  Alcotest.(check bool) "rejected" false (Page.update page s huge);
+  Alcotest.(check (option string)) "unchanged" (Some "abc")
+    (Option.map Bytes.to_string (Page.read page s))
+
+let fill_then_compact () =
+  let page = Page.create ~size:256 in
+  (* Fill with records, delete every other one, then insert something that
+     only fits after compaction. *)
+  let slots = ref [] in
+  (try
+     while true do
+       match Page.insert page (bytes_of "0123456789") with
+       | Some s -> slots := s :: !slots
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  let n = List.length !slots in
+  Alcotest.(check bool) "filled several" true (n >= 10);
+  List.iteri (fun i s -> if i mod 2 = 0 then Page.delete page s) (List.rev !slots);
+  (* Freed space is fragmented; a record a bit larger than one slot only
+     fits if compaction works. *)
+  (match Page.insert page (bytes_of "xxxxxxxxxxxxxxx") with
+  | Some _ -> ()
+  | None -> Alcotest.fail "compaction failed to make room");
+  Alcotest.(check bool) "still readable" true (Page.read page (List.hd !slots) <> None)
+
+let serialization_roundtrip () =
+  let page = Page.create ~size:256 in
+  let s0 = Option.get (Page.insert page (bytes_of "one")) in
+  let s1 = Option.get (Page.insert page (bytes_of "two")) in
+  Page.delete page s0;
+  let reloaded = Page.of_bytes (Page.to_bytes page) in
+  Alcotest.(check (option string)) "survives serialization" (Some "two")
+    (Option.map Bytes.to_string (Page.read reloaded s1));
+  Alcotest.(check (option string)) "tombstone survives" None
+    (Option.map Bytes.to_string (Page.read reloaded s0))
+
+(* Randomized model check: a page with a reference assoc list of
+   slot -> contents. *)
+let model_check () =
+  let prng = Prng.create ~seed:0xBEEFL in
+  let page = Page.create ~size:512 in
+  let model = Hashtbl.create 32 in
+  for step = 1 to 2000 do
+    let record () =
+      let len = Prng.int prng 40 in
+      Bytes.init len (fun _ -> Char.chr (97 + Prng.int prng 26))
+    in
+    (match Prng.int prng 4 with
+    | 0 -> begin
+        let data = record () in
+        match Page.insert page data with
+        | Some slot -> Hashtbl.replace model slot data
+        | None -> ()
+      end
+    | 1 -> begin
+        let slots = Hashtbl.fold (fun s _ acc -> s :: acc) model [] in
+        match slots with
+        | [] -> ()
+        | _ ->
+            let slot = Prng.pick_list prng slots in
+            Page.delete page slot;
+            Hashtbl.remove model slot
+      end
+    | 2 -> begin
+        let slots = Hashtbl.fold (fun s _ acc -> s :: acc) model [] in
+        match slots with
+        | [] -> ()
+        | _ ->
+            let slot = Prng.pick_list prng slots in
+            let data = record () in
+            if Page.update page slot data then Hashtbl.replace model slot data
+      end
+    | _ ->
+        (* Verify every model entry. *)
+        Hashtbl.iter
+          (fun slot expected ->
+            match Page.read page slot with
+            | Some actual ->
+                if not (Bytes.equal actual expected) then
+                  Alcotest.failf "step %d: slot %d mismatch" step slot
+            | None -> Alcotest.failf "step %d: slot %d lost" step slot)
+          model);
+    if Page.live_slots page <> Hashtbl.length model then
+      Alcotest.failf "step %d: live_slots %d <> model %d" step (Page.live_slots page)
+        (Hashtbl.length model)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "basic insert/read/delete/reuse" `Quick basic_ops;
+    Alcotest.test_case "update in place and grow" `Quick update_in_place_and_grow;
+    Alcotest.test_case "oversized update rejected" `Quick update_too_big_leaves_unchanged;
+    Alcotest.test_case "fill, fragment, compact" `Quick fill_then_compact;
+    Alcotest.test_case "serialization roundtrip" `Quick serialization_roundtrip;
+    Alcotest.test_case "randomized model check" `Quick model_check;
+  ]

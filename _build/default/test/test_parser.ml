@@ -1,0 +1,143 @@
+(* Event-language parser: the paper's expressions, precedence, anchoring,
+   and error reporting. *)
+
+module Ast = Ode_event.Ast
+module Parser = Ode_event.Parser
+module Intern = Ode_event.Intern
+
+(* A fixed environment: events a/b/c (user), after Buy / after PayBill /
+   before Ship, transaction events, masks M1/M2. *)
+let ids = Hashtbl.create 16
+
+let reg = Intern.create ()
+
+let () =
+  List.iter
+    (fun basic -> Hashtbl.replace ids (Intern.basic_to_string basic) (Intern.id reg ~cls:"T" basic))
+    [
+      Intern.User "a";
+      Intern.User "b";
+      Intern.User "c";
+      Intern.After "Buy";
+      Intern.After "PayBill";
+      Intern.Before "Ship";
+      Intern.Before_tcomplete;
+      Intern.Before_tabort;
+      Intern.After_tcommit;
+    ]
+
+let env =
+  {
+    Parser.resolve_event =
+      (fun ?cls basic ->
+        match cls with
+        | Some "Q" | None -> Hashtbl.find_opt ids (Intern.basic_to_string basic)
+        | Some _ -> None);
+    resolve_mask =
+      (fun name ->
+        match name with
+        | "M1" -> Some { Ast.mask_id = 0; mask_name = "M1" }
+        | "M2" -> Some { Ast.mask_id = 1; mask_name = "M2" }
+        | _ -> None);
+  }
+
+let ev name = Ast.Basic (Hashtbl.find ids name)
+let m1 = { Ast.mask_id = 0; mask_name = "M1" }
+let m2 = { Ast.mask_id = 1; mask_name = "M2" }
+
+let check_parse input expected_anchored expected =
+  match Parser.parse env input with
+  | Ok (anchored, ast) ->
+      Alcotest.(check bool) (input ^ ": anchored") expected_anchored anchored;
+      if not (Ast.equal expected ast) then
+        Alcotest.failf "%s: parsed %s, expected %s" input (Ast.to_string ast)
+          (Ast.to_string expected)
+  | Error e -> Alcotest.failf "%s: %a" input Parser.pp_error e
+
+let check_error input =
+  match Parser.parse env input with
+  | Ok (_, ast) -> Alcotest.failf "%s: expected error, got %s" input (Ast.to_string ast)
+  | Error _ -> ()
+
+let basics () =
+  check_parse "a" false (ev "a");
+  check_parse "after Buy" false (ev "after Buy");
+  check_parse "before Ship" false (ev "before Ship");
+  check_parse "before tcomplete" false (ev "before tcomplete");
+  check_parse "before tabort" false (ev "before tabort");
+  check_parse "after tcommit" false (ev "after tcommit");
+  check_parse "any" false Ast.Any;
+  check_parse "empty" false Ast.Empty;
+  check_parse "^a" true (ev "a")
+
+let operators () =
+  check_parse "a, b" false (Ast.Seq (ev "a", ev "b"));
+  check_parse "a || b" false (Ast.Or (ev "a", ev "b"));
+  check_parse "a && b" false (Ast.And (ev "a", ev "b"));
+  check_parse "*a" false (Ast.Star (ev "a"));
+  check_parse "+a" false (Ast.Plus (ev "a"));
+  check_parse "?a" false (Ast.Opt (ev "a"));
+  check_parse "!a" false (Ast.Not (ev "a"));
+  check_parse "a & M1" false (Ast.Masked (ev "a", m1));
+  check_parse "a & M1 & M2" false (Ast.Masked (Ast.Masked (ev "a", m1), m2));
+  check_parse "a & M1()" false (Ast.Masked (ev "a", m1))
+
+let precedence () =
+  (* ',' loosest, then '||', then '&&', then '&', then prefixes. *)
+  check_parse "a, b || c" false (Ast.Seq (ev "a", Ast.Or (ev "b", ev "c")));
+  check_parse "a || b && c" false (Ast.Or (ev "a", Ast.And (ev "b", ev "c")));
+  check_parse "a && b & M1" false (Ast.And (ev "a", Ast.Masked (ev "b", m1)));
+  check_parse "*a || b" false (Ast.Or (Ast.Star (ev "a"), ev "b"));
+  check_parse "*(a || b)" false (Ast.Star (Ast.Or (ev "a", ev "b")));
+  check_parse "(a, b) & M1" false (Ast.Masked (Ast.Seq (ev "a", ev "b"), m1));
+  check_parse "!a && b" false (Ast.And (Ast.Not (ev "a"), ev "b"));
+  check_parse "!(a && b)" false (Ast.Not (Ast.And (ev "a", ev "b")))
+
+let relative_forms () =
+  check_parse "relative(a, b)" false (Ast.Relative [ ev "a"; ev "b" ]);
+  check_parse "relative(a, b, c)" false (Ast.Relative [ ev "a"; ev "b"; ev "c" ]);
+  check_parse "relative(a || b, c)" false (Ast.Relative [ Ast.Or (ev "a", ev "b"); ev "c" ]);
+  (* The paper's AutoRaiseLimit shape. *)
+  check_parse "relative((after Buy & M1()), after PayBill)" false
+    (Ast.Relative [ Ast.Masked (ev "after Buy", m1); ev "after PayBill" ])
+
+let whitespace_and_nesting () =
+  check_parse "  a ,\n\tb  " false (Ast.Seq (ev "a", ev "b"));
+  check_parse "((((a))))" false (ev "a");
+  check_parse "^ (a, b), before tcomplete" true
+    (Ast.Seq (Ast.Seq (ev "a", ev "b"), ev "before tcomplete"))
+
+let errors () =
+  check_error "";
+  check_error "a,";
+  check_error "a b";
+  check_error "(a";
+  check_error "a)";
+  check_error "& M1";
+  check_error "a & NoSuchMask";
+  check_error "undeclared_event";
+  check_error "after NoSuchMethod";
+  check_error "relative(a)b";
+  check_error "a ^";
+  check_error "a @@ b";
+  check_error "relative()";
+  check_error "after";
+  (* tcomplete is a before-event; after tcomplete is not a thing. *)
+  check_error "after tcomplete"
+
+let error_positions () =
+  match Parser.parse env "a, zzz" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e ->
+      Alcotest.(check int) "position points at the bad token" 3 e.Parser.position
+
+let suite =
+  [
+    Alcotest.test_case "basic events" `Quick basics;
+    Alcotest.test_case "operators" `Quick operators;
+    Alcotest.test_case "precedence" `Quick precedence;
+    Alcotest.test_case "relative" `Quick relative_forms;
+    Alcotest.test_case "whitespace and nesting" `Quick whitespace_and_nesting;
+    Alcotest.test_case "errors rejected" `Quick errors;
+    Alcotest.test_case "error positions" `Quick error_positions;
+  ]

@@ -1,0 +1,214 @@
+(* Cross-cutting qcheck property suites: lock-manager invariants, intern
+   uniqueness, coupling codec, stats laws, B+-tree structural properties,
+   and parser robustness on arbitrary input. *)
+
+module Lm = Ode_storage.Lock_manager
+module Rid = Ode_storage.Rid
+module Intern = Ode_event.Intern
+module Coupling = Ode_trigger.Coupling
+module Stats = Ode_util.Stats
+module Parser = Ode_event.Parser
+module Ast = Ode_event.Ast
+
+module Int_btree = Ode_objstore.Btree.Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Lock manager invariant: after any sequence of acquire/release_all, at
+   most one transaction holds X on a key, and S holders never coexist
+   with a distinct X holder. *)
+
+let lock_ops_gen =
+  let open QCheck.Gen in
+  let op =
+    oneof
+      [
+        map3 (fun txn key mode -> `Acquire (txn, key, if mode then Lm.X else Lm.S))
+          (int_range 1 5) (int_range 0 3) bool;
+        map (fun txn -> `Release txn) (int_range 1 5);
+      ]
+  in
+  list_size (int_bound 60) op
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | `Acquire (t, k, m) ->
+             Printf.sprintf "acq t%d k%d %s" t k (match m with Lm.X -> "X" | Lm.S -> "S")
+         | `Release t -> Printf.sprintf "rel t%d" t)
+       ops)
+
+let lock_invariants =
+  QCheck.Test.make ~name:"lock manager invariants" ~count:300
+    (QCheck.make ~print:print_ops lock_ops_gen) (fun ops ->
+      let lm = Lm.create () in
+      let keys = List.init 4 (fun i -> Lm.Record ("s", Rid.of_int i)) in
+      List.iter
+        (fun op ->
+          match op with
+          | `Acquire (txn, k, mode) -> begin
+              match Lm.acquire lm ~txn (List.nth keys k) mode with
+              | Lm.Granted | Lm.Blocked _ -> ()
+              | exception Lm.Deadlock _ -> ()
+            end
+          | `Release txn -> Lm.release_all lm ~txn)
+        ops;
+      (* Check pairwise compatibility on every key. *)
+      List.for_all
+        (fun key ->
+          let holders = List.filter_map (fun txn -> Option.map (fun m -> (txn, m)) (Lm.holds lm ~txn key)) [ 1; 2; 3; 4; 5 ] in
+          let xs = List.filter (fun (_, m) -> m = Lm.X) holders in
+          match xs with
+          | [] -> true
+          | [ _ ] -> List.length holders = 1
+          | _ -> false)
+        keys)
+
+(* ------------------------------------------------------------------ *)
+
+let intern_injective =
+  (* Distinct (class, event) pairs get distinct ids; equal pairs get equal
+     ids — across any interleaving. *)
+  let pair_gen = QCheck.Gen.(pair (int_range 0 5) (int_range 0 5)) in
+  QCheck.Test.make ~name:"intern injective" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_bound 50) pair_gen))
+    (fun pairs ->
+      let reg = Intern.create () in
+      let assigned = Hashtbl.create 32 in
+      List.for_all
+        (fun (c, e) ->
+          let cls = Printf.sprintf "C%d" c in
+          let basic = Intern.User (Printf.sprintf "E%d" e) in
+          let id = Intern.id reg ~cls basic in
+          match Hashtbl.find_opt assigned (c, e) with
+          | Some expected -> id = expected
+          | None ->
+              let fresh = Hashtbl.fold (fun _ v acc -> acc && v <> id) assigned true in
+              Hashtbl.replace assigned (c, e) id;
+              fresh)
+        pairs)
+
+let coupling_roundtrip () =
+  List.iter
+    (fun coupling ->
+      Alcotest.(check bool)
+        (Coupling.to_string coupling)
+        true
+        (Coupling.of_string (Coupling.to_string coupling) = Some coupling))
+    [ Coupling.Immediate; Coupling.End; Coupling.Dependent; Coupling.Independent; Coupling.Phoenix ];
+  Alcotest.(check bool) "unknown" true (Coupling.of_string "nonsense" = None);
+  Alcotest.(check bool) "independent alias" true
+    (Coupling.of_string "independent" = Some Coupling.Independent)
+
+let stats_bounds =
+  QCheck.Test.make ~name:"summary bounds" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let s = Stats.summarize arr in
+      s.Stats.min <= s.Stats.p50
+      && s.Stats.p50 <= s.Stats.p90
+      && s.Stats.p90 <= s.Stats.p99
+      && s.Stats.p99 <= s.Stats.max
+      && s.Stats.min <= s.Stats.mean
+      && s.Stats.mean <= s.Stats.max)
+
+let btree_structural =
+  (* After any insert/remove sequence, invariants hold and iteration is
+     sorted and duplicate-free. *)
+  let op_gen = QCheck.Gen.(pair bool (int_bound 100)) in
+  QCheck.Test.make ~name:"btree structural invariants" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_bound 200) op_gen))
+    (fun ops ->
+      let tree = Int_btree.create ~min_degree:2 () in
+      List.iter
+        (fun (is_insert, key) ->
+          if is_insert then Int_btree.insert tree key key else ignore (Int_btree.remove tree key))
+        ops;
+      Int_btree.check_invariants tree;
+      let keys = List.map fst (Int_btree.to_list tree) in
+      keys = List.sort_uniq Int.compare keys)
+
+(* Parser robustness: arbitrary strings never raise, they return Ok or
+   Error. *)
+let parser_never_crashes =
+  let env =
+    {
+      Parser.resolve_event = (fun ?cls:_ _ -> Some 0);
+      resolve_mask = (fun _ -> Some { Ast.mask_id = 0; mask_name = "m" });
+    }
+  in
+  QCheck.Test.make ~name:"parser total on arbitrary input" ~count:1000
+    QCheck.(string_gen_of_size (Gen.int_bound 30) Gen.printable)
+    (fun input ->
+      match Parser.parse env input with Ok _ | Error _ -> true)
+
+let parser_fuzz_tokens =
+  (* Strings assembled from the language's own tokens: much denser
+     coverage of parser states; still must be total. *)
+  let tokens =
+    [| "a"; "after "; "before "; "relative"; "any"; "empty"; "("; ")"; ","; "||"; "&&"; "&";
+       "*"; "+"; "?"; "!"; "^"; "."; " "; "m"; "tcomplete"; "tabort" |]
+  in
+  let gen =
+    QCheck.Gen.(
+      map (fun picks -> String.concat "" picks)
+        (list_size (int_bound 15) (oneofa tokens)))
+  in
+  QCheck.Test.make ~name:"parser total on token soup" ~count:1000 (QCheck.make gen)
+    (fun input ->
+      let env =
+        {
+          Parser.resolve_event = (fun ?cls:_ _ -> Some 0);
+          resolve_mask = (fun _ -> Some { Ast.mask_id = 0; mask_name = "m" });
+        }
+      in
+      match Parser.parse env input with Ok _ | Error _ -> true)
+
+let binc_decode_total =
+  (* Random bytes: Value.decode either succeeds or raises Corrupt — never
+     anything else, never hangs. *)
+  QCheck.Test.make ~name:"value decode total on random bytes" ~count:1000
+    QCheck.(string_gen_of_size (Gen.int_bound 40) (Gen.char_range '\000' '\255'))
+    (fun s ->
+      match Ode_objstore.Value.decode (Bytes.of_string s) with
+      | _ -> true
+      | exception Ode_util.Binc.Corrupt _ -> true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest lock_invariants;
+    QCheck_alcotest.to_alcotest intern_injective;
+    Alcotest.test_case "coupling string roundtrip" `Quick coupling_roundtrip;
+    QCheck_alcotest.to_alcotest stats_bounds;
+    QCheck_alcotest.to_alcotest btree_structural;
+    QCheck_alcotest.to_alcotest parser_never_crashes;
+    QCheck_alcotest.to_alcotest parser_fuzz_tokens;
+    QCheck_alcotest.to_alcotest binc_decode_total;
+  ]
+
+(* Opp front-end robustness: token soup must yield Syntax_error/Ode_error
+   or parse, never crash. *)
+let opp_fuzz =
+  let tokens =
+    [| "class"; "persistent"; "C"; "D"; "{"; "}"; ";"; ":"; "public"; ","; "int"; "float";
+       "x"; "= 3"; "= \"s\""; "method"; "mask"; "event"; "after"; "before"; "trigger";
+       "constraint"; "T"; "("; ")"; "==>"; "tabort"; "perpetual"; "end"; "//c\n"; "/*c*/"; " " |]
+  in
+  let gen =
+    QCheck.Gen.(map (String.concat " ") (list_size (int_bound 25) (oneofa tokens)))
+  in
+  QCheck.Test.make ~name:"opp loader total on token soup" ~count:500 (QCheck.make gen)
+    (fun source ->
+      let env = Ode.Session.create () in
+      match Ode.Opp.load ~on_missing:`Stub env ~bindings:Ode.Opp.no_bindings source with
+      | _ -> true
+      | exception Ode.Opp.Syntax_error _ -> true
+      | exception Ode.Session.Ode_error _ -> true)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest opp_fuzz ]

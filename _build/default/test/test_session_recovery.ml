@@ -1,0 +1,190 @@
+(* Crash recovery at the integrated level: objects, clusters, trigger
+   activations, mid-composite FSM state, and the phoenix queue all survive
+   a crash; classes are re-defined on restart (FSMs recompile, §5.1.3). *)
+
+module Session = Ode.Session
+module Credit_card = Ode.Credit_card
+module Dsl = Ode.Dsl
+module Value = Ode_objstore.Value
+module Coupling = Ode_trigger.Coupling
+module Runtime = Ode_trigger.Runtime
+
+let objects_and_triggers_survive kind () =
+  let env = Session.create ~store:kind () in
+  Credit_card.define_all env;
+  let card, merchant =
+    Session.with_txn env (fun txn ->
+        let customer = Credit_card.new_customer env txn ~name:"R" in
+        let merchant = Credit_card.new_merchant env txn ~name:"M" in
+        let card = Credit_card.new_card env txn ~customer ~limit:1000.0 () in
+        ignore (Session.activate env txn card ~trigger:"DenyCredit" ~args:[]);
+        (card, merchant))
+  in
+  Session.with_txn env (fun txn -> Credit_card.buy env txn card ~merchant ~amount:300.0);
+  Session.checkpoint env;
+  Session.with_txn env (fun txn -> Credit_card.buy env txn card ~merchant ~amount:100.0);
+  (* Crash; recover; re-define classes. *)
+  let env = Session.recover (Session.crash env) in
+  Credit_card.define_all env;
+  Session.with_txn env (fun txn ->
+      Alcotest.(check (float 1e-9)) "balance recovered" 400.0 (Credit_card.balance env txn card);
+      Alcotest.(check int) "activation recovered" 1
+        (List.length (Session.active_triggers env txn card)));
+  (* The recovered trigger still enforces the limit. *)
+  let outcome =
+    Session.attempt env (fun txn -> Credit_card.buy env txn card ~merchant ~amount:900.0)
+  in
+  Alcotest.(check bool) "recovered trigger still fires" true (outcome = None);
+  (* Clusters were rebuilt by the rescan. *)
+  Alcotest.(check int) "CredCard cluster" 1 (List.length (Session.cluster env ~cls:"CredCard"));
+  Alcotest.(check int) "Merchant cluster" 1 (List.length (Session.cluster env ~cls:"Merchant"))
+
+let mid_composite_state_survives kind () =
+  (* Arm AutoRaiseLimit past its masked Buy, crash, then PayBill in the
+     recovered database: the persistent statenum must carry the partial
+     match across the crash. *)
+  let env = Session.create ~store:kind () in
+  Credit_card.define_all env;
+  let card, merchant =
+    Session.with_txn env (fun txn ->
+        let customer = Credit_card.new_customer env txn ~name:"R" in
+        let merchant = Credit_card.new_merchant env txn ~name:"M" in
+        let card = Credit_card.new_card env txn ~customer ~limit:1000.0 () in
+        ignore (Session.activate env txn card ~trigger:"AutoRaiseLimit" ~args:[ Value.Float 500.0 ]);
+        (card, merchant))
+  in
+  Session.with_txn env (fun txn -> Credit_card.buy env txn card ~merchant ~amount:900.0);
+  let env = Session.recover (Session.crash env) in
+  Credit_card.define_all env;
+  Session.with_txn env (fun txn -> Credit_card.pay_bill env txn card ~amount:100.0);
+  Session.with_txn env (fun txn ->
+      Alcotest.(check (float 1e-9)) "composite completed across the crash" 1500.0
+        (Credit_card.limit env txn card))
+
+let unflushed_work_is_lost kind () =
+  let env = Session.create ~store:kind () in
+  Credit_card.define_all env;
+  let card =
+    Session.with_txn env (fun txn ->
+        let customer = Credit_card.new_customer env txn ~name:"R" in
+        Credit_card.new_card env txn ~customer ~limit:100.0 ())
+  in
+  (* Mutate inside a transaction that never commits, then crash. *)
+  let txn = Session.begin_txn env in
+  Session.set_field env txn card "currBal" (Value.Float 55.0);
+  let env = Session.recover (Session.crash env) in
+  Credit_card.define_all env;
+  Session.with_txn env (fun txn2 ->
+      Alcotest.(check (float 1e-9)) "uncommitted write lost" 0.0
+        (Credit_card.balance env txn2 card))
+
+let phoenix_survives_crash kind () =
+  (* Build a runtime directly so a committed phoenix entry exists without
+     having been drained (a crash in the window between commit and drain),
+     then recover and drain. *)
+  let module Txn = Ode_storage.Txn in
+  let module Store = Ode_storage.Store in
+  let module Trigger_state = Ode_trigger.Trigger_state in
+  let mgr = Txn.create_mgr () in
+  let store =
+    match kind with
+    | `Disk -> Ode_storage.Disk_store.ops (Ode_storage.Disk_store.create ~mgr ~name:"trig" ())
+    | `Mem -> Ode_storage.Mem_store.ops (Ode_storage.Mem_store.create ~mgr ~name:"trig" ())
+  in
+  let intern = Ode_event.Intern.create () in
+  let fired = ref 0 in
+  let descriptor =
+    let event = Ode_event.Intern.id intern ~cls:"C" (Ode_event.Intern.User "e") in
+    let fsm = Ode_event.Compile.compile ~alphabet:[ event ] (Ode_event.Ast.Basic event) in
+    {
+      Ode_trigger.Trigger_def.d_cls = "C";
+      d_parents = [];
+      d_alphabet = [ event ];
+      d_txn_events = [];
+      d_triggers =
+        [|
+          {
+            Ode_trigger.Trigger_def.t_name = "T";
+            t_index = 0;
+            t_fsm = fsm;
+            t_masks = [];
+            t_action = (fun _ctx -> incr fired);
+            t_perpetual = true;
+            t_coupling = Coupling.Phoenix;
+            t_params = [];
+            t_expr = Ode_event.Ast.Basic event;
+            t_anchored = false;
+          };
+        |];
+    }
+  in
+  let rt = Runtime.create ~mgr ~intern ~store in
+  Runtime.register_class rt descriptor;
+  (* Enqueue a phoenix entry in a committed transaction WITHOUT the
+     after-commit drain (plain Txn.commit, as if we crashed first). *)
+  let txn = Txn.begin_txn mgr in
+  let entry =
+    Trigger_state.encode_phoenix
+      { Trigger_state.ph_cls = "C"; ph_triggernum = 0; ph_obj = Ode_objstore.Oid.of_int 1; ph_args = []; ph_ev_args = [] }
+  in
+  ignore (store.Store.insert txn entry);
+  Txn.commit txn;
+  Alcotest.(check int) "backlog before crash" 1 (Runtime.phoenix_backlog rt);
+  (* Crash and recover the store. *)
+  let wal_bytes = Ode_storage.Wal.durable_bytes store.Store.wal in
+  (match kind with `Disk -> () | `Mem -> ());
+  let mgr2 = Txn.create_mgr () in
+  let store2 =
+    match kind with
+    | `Disk ->
+        Ode_storage.Disk_store.ops
+          (Ode_storage.Recovery.recover_disk ~mgr:mgr2 ~name:"trig" ~wal_bytes ())
+    | `Mem ->
+        Ode_storage.Mem_store.ops
+          (Ode_storage.Recovery.recover_mem ~mgr:mgr2 ~name:"trig" ~wal_bytes ())
+  in
+  let intern2 = Ode_event.Intern.create () in
+  (* Re-intern in the same order so ids line up, as a restarted program
+     re-running the same class definitions would. *)
+  ignore (Ode_event.Intern.id intern2 ~cls:"C" (Ode_event.Intern.User "e"));
+  let rt2 = Runtime.create ~mgr:mgr2 ~intern:intern2 ~store:store2 in
+  Runtime.register_class rt2 descriptor;
+  let txn = Txn.begin_txn ~system:true mgr2 in
+  Runtime.rebuild_index rt2 txn;
+  Txn.commit txn;
+  Alcotest.(check int) "backlog recovered" 1 (Runtime.phoenix_backlog rt2);
+  Runtime.drain_phoenix rt2;
+  Alcotest.(check int) "phoenix action finally ran" 1 !fired;
+  Alcotest.(check int) "backlog empty" 0 (Runtime.phoenix_backlog rt2)
+
+let recover_twice kind () =
+  let env = Session.create ~store:kind () in
+  Credit_card.define_all env;
+  let card =
+    Session.with_txn env (fun txn ->
+        let customer = Credit_card.new_customer env txn ~name:"R" in
+        Credit_card.new_card env txn ~customer ~limit:10.0 ())
+  in
+  let env = Session.recover (Session.crash env) in
+  Credit_card.define_all env;
+  let env = Session.recover (Session.crash env) in
+  Credit_card.define_all env;
+  Session.with_txn env (fun txn ->
+      Alcotest.(check (float 1e-9)) "still there after two crashes" 10.0
+        (Credit_card.limit env txn card))
+
+let both_kinds name f =
+  [
+    Alcotest.test_case (name ^ " (mem)") `Quick (f `Mem);
+    Alcotest.test_case (name ^ " (disk)") `Quick (f `Disk);
+  ]
+
+let suite =
+  List.concat
+    [
+      both_kinds "objects, clusters, activations survive" objects_and_triggers_survive;
+      both_kinds "mid-composite FSM state survives" mid_composite_state_survives;
+      both_kinds "unflushed work lost" unflushed_work_is_lost;
+      both_kinds "phoenix queue survives crash" phoenix_survives_crash;
+      both_kinds "double crash" recover_twice;
+    ]

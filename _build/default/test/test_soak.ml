@@ -1,0 +1,326 @@
+(* Soak test: a long randomized end-to-end workload checked against an
+   independent oracle.
+
+   Several triggers (random mask-free expressions, immediate or end
+   coupling, once-only or perpetual) are activated on a pool of objects;
+   random user events are posted across many transactions, a fraction of
+   which abort. The oracle predicts the exact number of fires per
+   activation by simulating the *NFA* (a different code path from the
+   runtime's compiled DFA) with transaction snapshot/rollback:
+
+   - immediate actions observably run even in transactions that later
+     abort (their database effects roll back, the run itself happened);
+   - end actions run only at commit;
+   - FSM state rolls back on abort (trigger states are transactional);
+   - once-only triggers deactivate at their first fire. *)
+
+module Session = Ode.Session
+module Dsl = Ode.Dsl
+module Ast = Ode_event.Ast
+module Nfa = Ode_event.Nfa
+module Compile = Ode_event.Compile
+module Coupling = Ode_trigger.Coupling
+module Prng = Ode_util.Prng
+
+let nevents = 3 (* user events E0 E1 E2 *)
+
+let event_name i = Printf.sprintf "E%d" i
+
+(* Random mask-free expression over the user events. *)
+let rec random_expr prng depth =
+  if depth = 0 then Ast.Basic (Prng.int prng nevents)
+  else begin
+    let sub () = random_expr prng (depth - 1) in
+    match Prng.int prng 6 with
+    | 0 | 1 -> Ast.Seq (sub (), sub ())
+    | 2 -> Ast.Or (sub (), sub ())
+    | 3 -> Ast.Relative [ sub (); sub () ]
+    | 4 -> Ast.Star (sub ())
+    | _ -> Ast.Basic (Prng.int prng nevents)
+  end
+
+(* Express the AST in concrete syntax so the whole parser+compiler path is
+   exercised. *)
+let expr_to_source expr = Ast.to_string ~event_name expr
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: NFA subset simulation with txn snapshots. *)
+
+type oracle_act = {
+  o_nfa : Nfa.t;
+  o_obj : int;  (* object number *)
+  o_coupling : Coupling.t;
+  o_perpetual : bool;
+  mutable o_set : Nfa.IntSet.t;
+  mutable o_active : bool;
+  mutable o_fires : int;
+  (* txn-scoped snapshot *)
+  mutable o_saved_set : Nfa.IntSet.t;
+  mutable o_saved_active : bool;
+  mutable o_pending_end : int;
+}
+
+let oracle_begin acts =
+  List.iter
+    (fun a ->
+      a.o_saved_set <- a.o_set;
+      a.o_saved_active <- a.o_active;
+      a.o_pending_end <- 0)
+    acts
+
+let oracle_post acts ~obj ~event =
+  List.iter
+    (fun a ->
+      if a.o_active && a.o_obj = obj then begin
+        a.o_set <- Nfa.closure a.o_nfa (Nfa.move_event a.o_nfa a.o_set event);
+        if Nfa.IntSet.mem a.o_nfa.Nfa.accept a.o_set then begin
+          match a.o_coupling with
+          | Coupling.Immediate ->
+              a.o_fires <- a.o_fires + 1;
+              if not a.o_perpetual then a.o_active <- false
+          | Coupling.End ->
+              a.o_pending_end <- a.o_pending_end + 1;
+              if not a.o_perpetual then a.o_active <- false
+          | Coupling.Dependent | Coupling.Independent | Coupling.Phoenix -> assert false
+        end
+      end)
+    acts
+
+let oracle_commit acts =
+  List.iter
+    (fun a ->
+      a.o_fires <- a.o_fires + a.o_pending_end;
+      a.o_pending_end <- 0)
+    acts
+
+let oracle_abort acts =
+  List.iter
+    (fun a ->
+      a.o_set <- a.o_saved_set;
+      a.o_active <- a.o_saved_active;
+      a.o_pending_end <- 0)
+    acts
+
+(* ------------------------------------------------------------------ *)
+
+let soak ?(crashes = false) kind seed () =
+  let prng = Prng.create ~seed in
+  let env = ref (Session.create ~store:kind ()) in
+  let env_get () = !env in
+  let ntriggers = 6 in
+  let fires = Array.make ntriggers 0 in
+  let specs =
+    List.init ntriggers (fun i ->
+        let expr = random_expr prng 3 in
+        let coupling = if Prng.bool prng then Coupling.Immediate else Coupling.End in
+        let perpetual = Prng.bool prng in
+        let action _env _ctx = fires.(i) <- fires.(i) + 1 in
+        ( expr,
+          Dsl.trigger (Printf.sprintf "T%d" i) ~perpetual ~coupling
+            ~event:(expr_to_source expr) ~action,
+          coupling,
+          perpetual ))
+  in
+  Session.define_class (env_get ()) ~name:"S"
+    ~fields:[ ("x", Dsl.int 0) ]
+    ~events:(List.init nevents (fun i -> Dsl.user_event (event_name i)))
+    ~triggers:(List.map (fun (_, spec, _, _) -> spec) specs)
+    ();
+  let nobjects = 3 in
+  let objects =
+    Session.with_txn (env_get ()) (fun txn ->
+        Array.init nobjects (fun _ -> Session.pnew (env_get ()) txn ~cls:"S" ()))
+  in
+  (* Interned ids of the user events, recovered via a probe posting. *)
+  let alphabet = List.init nevents Fun.id in
+  (* Activate each trigger on 1-2 random objects, building oracle acts. *)
+  let acts = ref [] in
+  Session.with_txn (env_get ()) (fun txn ->
+      List.iteri
+        (fun i (expr, _, coupling, perpetual) ->
+          let n = 1 + Prng.int prng 2 in
+          for _ = 1 to n do
+            let obj = Prng.int prng nobjects in
+            ignore
+              (Session.activate (env_get ()) txn objects.(obj)
+                 ~trigger:(Printf.sprintf "T%d" i)
+                 ~args:[]);
+            let wrapped = Ast.Seq (Ast.Star Ast.Any, expr) in
+            let nfa = Compile.thompson ~alphabet wrapped in
+            acts :=
+              {
+                o_nfa = nfa;
+                o_obj = obj;
+                o_coupling = coupling;
+                o_perpetual = perpetual;
+                o_set = Nfa.closure nfa (Nfa.IntSet.singleton nfa.Nfa.start);
+                o_active = true;
+                o_fires = 0;
+                o_saved_set = Nfa.IntSet.empty;
+                o_saved_active = true;
+                o_pending_end = 0;
+              }
+              :: !acts
+          done)
+        specs);
+  let acts = List.rev !acts in
+  (* The oracle identifies events by their interned ids; check the
+     assumption that E<i> interned to id i (fresh environment, first
+     class, declaration order). *)
+  List.iteri
+    (fun i _ ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "intern id of E%d" i)
+        (Some i)
+        (Ode_event.Intern.find (Session.intern (env_get ())) ~cls:"S"
+           (Ode_event.Intern.User (event_name i))))
+    alphabet;
+  (* Drive random transactions. *)
+  let define_all e =
+    (* identical re-definition on restart: same intern order, same FSMs *)
+    Session.define_class e ~name:"S"
+      ~fields:[ ("x", Dsl.int 0) ]
+      ~events:(List.init nevents (fun i -> Dsl.user_event (event_name i)))
+      ~triggers:(List.map (fun (_, spec, _, _) -> spec) specs)
+      ()
+  in
+  ignore define_all;
+  for round = 1 to 120 do
+    (* Occasionally crash and recover between transactions: committed
+       trigger state must carry over so the oracle stays in lockstep. *)
+    if crashes && round mod 37 = 0 then begin
+      let image = Session.crash (env_get ()) in
+      let fresh = Session.recover image in
+      env := fresh;
+      define_all fresh
+    end;
+    let txn = Session.begin_txn (env_get ()) in
+    oracle_begin acts;
+    let nops = 1 + Prng.int prng 6 in
+    for _ = 1 to nops do
+      let obj = Prng.int prng nobjects in
+      let event = Prng.int prng nevents in
+      Session.post_event (env_get ()) txn objects.(obj) (event_name event);
+      oracle_post acts ~obj ~event
+    done;
+    if Prng.chance prng 0.25 then begin
+      Session.abort (env_get ()) txn;
+      oracle_abort acts
+    end
+    else begin
+      Session.commit (env_get ()) txn;
+      oracle_commit acts
+    end
+  done;
+  let oracle_total = List.fold_left (fun acc a -> acc + a.o_fires) 0 acts in
+  let actual_total = Array.fold_left ( + ) 0 fires in
+  if Sys.getenv_opt "ODE_SOAK_DEBUG" <> None then
+    Printf.printf "soak seed: oracle=%d actual=%d\n%!" oracle_total actual_total;
+  Alcotest.(check bool) "workload actually fired triggers" true (oracle_total > 0);
+  Alcotest.(check int) "total fires match the oracle" oracle_total actual_total
+
+let suite =
+  [
+    Alcotest.test_case "soak vs oracle (mem, seed 1)" `Quick (soak `Mem 1001L);
+    Alcotest.test_case "soak vs oracle (mem, seed 2)" `Quick (soak `Mem 1002L);
+    Alcotest.test_case "soak vs oracle (mem, seed 3)" `Quick (soak `Mem 1003L);
+    Alcotest.test_case "soak vs oracle (disk)" `Quick (soak `Disk 1004L);
+    Alcotest.test_case "soak with crashes (mem)" `Quick (soak ~crashes:true `Mem 1005L);
+    Alcotest.test_case "soak with crashes (disk)" `Quick (soak ~crashes:true `Disk 1006L);
+  ]
+
+(* Bit-for-bit determinism: the same seed yields identical fire counts —
+   the property every experiment table relies on. *)
+let deterministic () =
+  let run_once () =
+    let env = Ode.Session.create ~store:`Mem () in
+    let fired = ref 0 in
+    Ode.Session.define_class env ~name:"S"
+      ~fields:[ ("x", Ode.Dsl.int 0) ]
+      ~events:[ Ode.Dsl.user_event "E"; Ode.Dsl.user_event "F" ]
+      ~triggers:
+        [
+          Ode.Dsl.trigger "T" ~perpetual:true ~event:"relative(E, F)"
+            ~action:(fun _ _ -> incr fired);
+        ]
+      ();
+    let obj = Ode.Session.with_txn env (fun txn -> Ode.Session.pnew env txn ~cls:"S" ()) in
+    Ode.Session.with_txn env (fun txn ->
+        ignore (Ode.Session.activate env txn obj ~trigger:"T" ~args:[]));
+    let prng = Prng.create ~seed:777L in
+    for _ = 1 to 200 do
+      let name = if Prng.bool prng then "E" else "F" in
+      match
+        Ode.Session.attempt env (fun txn ->
+            Ode.Session.post_event env txn obj name;
+            if Prng.chance prng 0.2 then Ode.Session.tabort ())
+      with
+      | Some () | None -> ()
+    done;
+    (!fired, Ode.Session.counters env)
+  in
+  let f1, c1 = run_once () in
+  let f2, c2 = run_once () in
+  Alcotest.(check int) "fire counts identical across runs" f1 f2;
+  Alcotest.(check bool) "fired a meaningful number of times" true (f1 > 10);
+  Alcotest.(check bool) "all counters identical" true (c1 = c2)
+
+let counters_smoke () =
+  let env = Ode.Session.create ~store:`Disk () in
+  Ode.Credit_card.define_all env;
+  let card =
+    Ode.Session.with_txn env (fun txn ->
+        let customer = Ode.Credit_card.new_customer env txn ~name:"c" in
+        let card = Ode.Credit_card.new_card env txn ~customer ~limit:100.0 () in
+        ignore (Ode.Session.activate env txn card ~trigger:"DenyCredit" ~args:[]);
+        card)
+  in
+  ignore card;
+  let counters = Ode.Session.counters env in
+  let get key = Option.value (List.assoc_opt key counters) ~default:(-1) in
+  Alcotest.(check bool) "objects inserted" true (get "objects.inserts" >= 2);
+  Alcotest.(check bool) "trigger activation recorded" true (get "rt.activations" = 1);
+  Alcotest.(check bool) "txns committed" true (get "txn.committed" >= 1);
+  Alcotest.(check bool) "wal flushed" true (get "objects.wal_flushes" >= 1);
+  Ode.Session.reset_counters env;
+  Alcotest.(check int) "reset" 0
+    (Option.value (List.assoc_opt "rt.activations" (Ode.Session.counters env)) ~default:(-1))
+
+let logging_smoke () =
+  (* The trigger runtime logs through Logs; with a reporter installed the
+     debug lines appear. *)
+  let captured = Buffer.create 256 in
+  let reporter =
+    {
+      Logs.report =
+        (fun _src _level ~over k msgf ->
+          msgf (fun ?header:_ ?tags:_ fmt ->
+              Format.kasprintf
+                (fun line ->
+                  Buffer.add_string captured line;
+                  Buffer.add_char captured '\n';
+                  over ();
+                  k ())
+                fmt));
+    }
+  in
+  Logs.set_reporter reporter;
+  Logs.set_level (Some Logs.Debug);
+  let env = Ode.Session.create () in
+  Ode.Credit_card.define_all env;
+  Ode.Session.with_txn env (fun txn ->
+      let customer = Ode.Credit_card.new_customer env txn ~name:"c" in
+      let card = Ode.Credit_card.new_card env txn ~customer ~limit:10.0 () in
+      ignore (Ode.Session.activate env txn card ~trigger:"DenyCredit" ~args:[]));
+  Logs.set_level None;
+  Logs.set_reporter Logs.nop_reporter;
+  Alcotest.(check bool) "activation logged" true
+    (Astring_contains.contains (Buffer.contents captured) "activate CredCard::DenyCredit")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "determinism across runs" `Quick deterministic;
+      Alcotest.test_case "session counters" `Quick counters_smoke;
+      Alcotest.test_case "runtime logging" `Quick logging_smoke;
+    ]

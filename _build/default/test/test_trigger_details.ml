@@ -1,0 +1,339 @@
+(* Finer-grained trigger runtime semantics: before-events veto the call,
+   activation arguments flow to masks and actions, firing follows
+   activation order, and §5.4.5's advance-all-before-firing guarantee. *)
+
+module Session = Ode.Session
+module Dsl = Ode.Dsl
+module Value = Ode_objstore.Value
+module Ctx = Ode_trigger.Trigger_def
+
+let before_event_vetoes_call kind () =
+  (* A trigger on "before Withdraw & WouldOverdraw" aborts before the
+     method body ever runs: the wrapper posts before-events first
+     (§5.3). *)
+  let env = Session.create ~store:kind () in
+  let body_ran = ref 0 in
+  let withdraw ctx args =
+    incr body_ran;
+    ctx.Session.set "balance"
+      (Value.Float (Dsl.self_float ctx "balance" -. Dsl.nth_float args 0));
+    Value.Null
+  in
+  Session.define_class env ~name:"Account"
+    ~fields:[ ("balance", Dsl.float 100.0); ("intent", Dsl.float 0.0) ]
+    ~methods:[ ("Withdraw", withdraw) ]
+    ~events:[ Dsl.before "Withdraw" ]
+    ~masks:
+      [
+        (* The paper's future-work "attributes of events" would let the
+           mask see the call's arguments; here the application records the
+           intent on the object first. *)
+        ( "WouldOverdraw",
+          fun env ctx -> Dsl.obj_float env ctx "intent" > Dsl.obj_float env ctx "balance" );
+      ]
+    ~triggers:
+      [
+        Dsl.trigger "Veto" ~perpetual:true ~event:"before Withdraw & WouldOverdraw"
+          ~action:(fun _env _ctx -> Session.tabort ());
+      ]
+    ();
+  let account = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"Account" ()) in
+  Session.with_txn env (fun txn ->
+      ignore (Session.activate env txn account ~trigger:"Veto" ~args:[]));
+  let try_withdraw amount =
+    Session.attempt env (fun txn ->
+        Session.set_field env txn account "intent" (Value.Float amount);
+        ignore (Session.invoke env txn account "Withdraw" [ Value.Float amount ]))
+  in
+  Alcotest.(check bool) "legal withdraw passes" true (try_withdraw 40.0 <> None);
+  Alcotest.(check int) "body ran once" 1 !body_ran;
+  Alcotest.(check bool) "overdraft vetoed" true (try_withdraw 100.0 = None);
+  Alcotest.(check int) "body never ran for the vetoed call" 1 !body_ran;
+  Session.with_txn env (fun txn ->
+      Alcotest.(check (float 1e-9)) "balance" 60.0
+        (Value.to_float (Session.get_field env txn account "balance")))
+
+let args_reach_masks_and_actions kind () =
+  let env = Session.create ~store:kind () in
+  let seen_by_mask = ref [] in
+  let seen_by_action = ref [] in
+  Session.define_class env ~name:"C"
+    ~fields:[ ("x", Dsl.int 0) ]
+    ~events:[ Dsl.user_event "E" ]
+    ~masks:
+      [
+        ( "Remember",
+          fun _env ctx ->
+            seen_by_mask := ctx.Ctx.args :: !seen_by_mask;
+            true );
+      ]
+    ~triggers:
+      [
+        Dsl.trigger "T" ~params:[ "threshold"; "label" ] ~event:"E & Remember"
+          ~action:(fun _env ctx -> seen_by_action := ctx.Ctx.args :: !seen_by_action);
+      ]
+    ();
+  let obj = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"C" ()) in
+  let args = [ Value.Float 9.5; Value.Str "hi" ] in
+  Session.with_txn env (fun txn -> ignore (Session.activate env txn obj ~trigger:"T" ~args));
+  Session.with_txn env (fun txn -> Session.post_event env txn obj "E");
+  let check_args what = function
+    | [ got ] ->
+        Alcotest.(check bool) what true (List.for_all2 Value.equal args got)
+    | other -> Alcotest.failf "%s: expected exactly one call, got %d" what (List.length other)
+  in
+  check_args "mask saw activation args" !seen_by_mask;
+  check_args "action saw activation args" !seen_by_action
+
+let firing_order_is_activation_order kind () =
+  let env = Session.create ~store:kind () in
+  let order = ref [] in
+  let record label _env _ctx = order := label :: !order in
+  Session.define_class env ~name:"C"
+    ~fields:[ ("x", Dsl.int 0) ]
+    ~events:[ Dsl.user_event "E" ]
+    ~triggers:
+      [
+        Dsl.trigger "First" ~perpetual:true ~event:"E" ~action:(record "first");
+        Dsl.trigger "Second" ~perpetual:true ~event:"E" ~action:(record "second");
+      ]
+    ();
+  let obj = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"C" ()) in
+  (* Activate in reverse declaration order: activation order must win. *)
+  Session.with_txn env (fun txn ->
+      ignore (Session.activate env txn obj ~trigger:"Second" ~args:[]);
+      ignore (Session.activate env txn obj ~trigger:"First" ~args:[]));
+  Session.with_txn env (fun txn -> Session.post_event env txn obj "E");
+  Alcotest.(check (list string)) "activation order" [ "second"; "first" ] (List.rev !order)
+
+let advance_all_before_firing kind () =
+  (* §5.4.5: "no triggers are fired until all triggers have had the basic
+     event posted. This is to prevent the action of one trigger from
+     affecting the mask of another trigger." Sabot's action flips the flag
+     that Guarded's mask reads; Guarded must still see the pre-action
+     value for the same event. *)
+  let env = Session.create ~store:kind () in
+  let fired = ref [] in
+  Session.define_class env ~name:"C"
+    ~fields:[ ("flag", Dsl.bool true) ]
+    ~events:[ Dsl.user_event "E" ]
+    ~masks:[ ("FlagSet", fun env ctx -> Value.to_bool (Dsl.obj_get env ctx "flag")) ]
+    ~triggers:
+      [
+        Dsl.trigger "Sabot" ~perpetual:true ~event:"E"
+          ~action:(fun env ctx ->
+            fired := "sabot" :: !fired;
+            Dsl.obj_set env ctx "flag" (Value.Bool false));
+        Dsl.trigger "Guarded" ~perpetual:true ~event:"E & FlagSet"
+          ~action:(fun _env _ctx -> fired := "guarded" :: !fired);
+      ]
+    ();
+  let obj = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"C" ()) in
+  Session.with_txn env (fun txn ->
+      ignore (Session.activate env txn obj ~trigger:"Sabot" ~args:[]);
+      ignore (Session.activate env txn obj ~trigger:"Guarded" ~args:[]));
+  Session.with_txn env (fun txn -> Session.post_event env txn obj "E");
+  Alcotest.(check (list string)) "both fired despite the sabotage" [ "sabot"; "guarded" ]
+    (List.rev !fired);
+  (* On the next event the flag really is false: only Sabot fires. *)
+  Session.with_txn env (fun txn -> Session.post_event env txn obj "E");
+  Alcotest.(check (list string)) "mask sees the committed flag next time"
+    [ "sabot"; "guarded"; "sabot" ] (List.rev !fired)
+
+let accept_state_does_not_refire_on_ignored_events kind () =
+  (* A trigger parked in an accept state must not re-fire on an event its
+     machine ignores (derived-class events, §5.4.3). *)
+  let env = Session.create ~store:kind () in
+  let fired = ref 0 in
+  Session.define_class env ~name:"B"
+    ~fields:[ ("x", Dsl.int 0) ]
+    ~events:[ Dsl.user_event "E" ]
+    ~triggers:
+      [ Dsl.trigger "T" ~perpetual:true ~event:"E" ~action:(fun _ _ -> incr fired) ]
+    ();
+  Session.define_class env ~name:"D" ~parents:[ "B" ] ~events:[ Dsl.user_event "F" ] ();
+  let obj = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"D" ()) in
+  Session.with_txn env (fun txn -> ignore (Session.activate env txn obj ~trigger:"T" ~args:[]));
+  Session.with_txn env (fun txn -> Session.post_event env txn obj "E");
+  Alcotest.(check int) "fired on E" 1 !fired;
+  Session.with_txn env (fun txn -> Session.post_event env txn obj "F");
+  Session.with_txn env (fun txn -> Session.post_event env txn obj "F");
+  Alcotest.(check int) "ignored derived event does not re-fire" 1 !fired;
+  Session.with_txn env (fun txn -> Session.post_event env txn obj "E");
+  Alcotest.(check int) "real event fires again" 2 !fired
+
+let trigger_actions_can_post_events kind () =
+  (* A cascading chain: T1 on E posts F; T2 on F bumps a counter. Also
+     guards the cascade-depth limiter. *)
+  let env = Session.create ~store:kind () in
+  let hits = ref 0 in
+  Session.define_class env ~name:"C"
+    ~fields:[ ("x", Dsl.int 0) ]
+    ~events:[ Dsl.user_event "E"; Dsl.user_event "F" ]
+    ~triggers:
+      [
+        Dsl.trigger "Chain" ~perpetual:true ~event:"E"
+          ~action:(fun env ctx -> Session.post_event env ctx.Ctx.txn ctx.Ctx.obj "F");
+        Dsl.trigger "Sink" ~perpetual:true ~event:"F" ~action:(fun _ _ -> incr hits);
+      ]
+    ();
+  let obj = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"C" ()) in
+  Session.with_txn env (fun txn ->
+      ignore (Session.activate env txn obj ~trigger:"Chain" ~args:[]);
+      ignore (Session.activate env txn obj ~trigger:"Sink" ~args:[]));
+  Session.with_txn env (fun txn -> Session.post_event env txn obj "E");
+  Alcotest.(check int) "chained fire" 1 !hits
+
+let runaway_cascade_detected kind () =
+  (* E posts E: the fire-depth limiter must stop it with an error rather
+     than loop forever. *)
+  let env = Session.create ~store:kind () in
+  Session.define_class env ~name:"C"
+    ~fields:[ ("x", Dsl.int 0) ]
+    ~events:[ Dsl.user_event "E" ]
+    ~triggers:
+      [
+        Dsl.trigger "Loop" ~perpetual:true ~event:"E"
+          ~action:(fun env ctx -> Session.post_event env ctx.Ctx.txn ctx.Ctx.obj "E");
+      ]
+    ();
+  let obj = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"C" ()) in
+  Session.with_txn env (fun txn -> ignore (Session.activate env txn obj ~trigger:"Loop" ~args:[]));
+  match Session.with_txn env (fun txn -> Session.post_event env txn obj "E") with
+  | () -> Alcotest.fail "runaway cascade not detected"
+  | exception Ode_trigger.Runtime.Trigger_error _ -> ()
+
+let both_kinds name f =
+  [
+    Alcotest.test_case (name ^ " (mem)") `Quick (f `Mem);
+    Alcotest.test_case (name ^ " (disk)") `Quick (f `Disk);
+  ]
+
+let suite =
+  List.concat
+    [
+      both_kinds "before-event triggers veto the call" before_event_vetoes_call;
+      both_kinds "activation args reach masks and actions" args_reach_masks_and_actions;
+      both_kinds "firing order = activation order" firing_order_is_activation_order;
+      both_kinds "advance all before firing (§5.4.5)" advance_all_before_firing;
+      both_kinds "no re-fire on ignored events" accept_state_does_not_refire_on_ignored_events;
+      both_kinds "actions can post events" trigger_actions_can_post_events;
+      both_kinds "runaway cascades detected" runaway_cascade_detected;
+    ]
+
+let event_attributes kind () =
+  (* §8 "attributes of events": masks see the invocation's parameters.
+     BigPurchase vetoes any single Buy over 500 by looking at the call's
+     amount argument — no staging field needed. *)
+  let env = Session.create ~store:kind () in
+  let buy ctx args =
+    ctx.Session.set "balance"
+      (Value.Float (Dsl.self_float ctx "balance" +. Dsl.nth_float args 1));
+    Value.Null
+  in
+  Session.define_class env ~name:"Card"
+    ~fields:[ ("balance", Dsl.float 0.0) ]
+    ~methods:[ ("Buy", buy) ]
+    ~events:[ Dsl.before "Buy"; Dsl.after "Buy" ]
+    ~masks:
+      [ ("BigAmount", fun _env ctx -> Value.to_float (Dsl.event_arg ctx 1) > 500.0) ]
+    ~triggers:
+      [
+        Dsl.trigger "VetoBig" ~perpetual:true ~event:"before Buy & BigAmount"
+          ~action:(fun _env _ctx -> Session.tabort ());
+      ]
+    ();
+  let card = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"Card" ()) in
+  Session.with_txn env (fun txn ->
+      ignore (Session.activate env txn card ~trigger:"VetoBig" ~args:[]));
+  Session.with_txn env (fun txn ->
+      ignore (Session.invoke env txn card "Buy" [ Value.Null; Value.Float 200.0 ]));
+  (match
+     Session.attempt env (fun txn ->
+         ignore (Session.invoke env txn card "Buy" [ Value.Null; Value.Float 900.0 ]))
+   with
+  | None -> ()
+  | Some () -> Alcotest.fail "big purchase not vetoed");
+  Session.with_txn env (fun txn ->
+      Alcotest.(check (float 1e-9)) "only the small buy applied" 200.0
+        (Value.to_float (Session.get_field env txn card "balance")))
+
+let event_attributes_in_actions kind () =
+  (* The action receives the completing event's payload too, including
+     payloads of explicitly posted user events. *)
+  let env = Session.create ~store:kind () in
+  let seen = ref [] in
+  Session.define_class env ~name:"Feed"
+    ~fields:[ ("x", Dsl.int 0) ]
+    ~events:[ Dsl.user_event "Reading" ]
+    ~triggers:
+      [
+        Dsl.trigger "Capture" ~perpetual:true ~event:"Reading"
+          ~action:(fun _env ctx -> seen := Dsl.event_arg ctx 0 :: !seen);
+      ]
+    ();
+  let feed = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"Feed" ()) in
+  Session.with_txn env (fun txn ->
+      ignore (Session.activate env txn feed ~trigger:"Capture" ~args:[]));
+  Session.with_txn env (fun txn ->
+      Session.post_event env txn feed "Reading" ~args:[ Value.Float 17.5 ]);
+  Session.with_txn env (fun txn ->
+      Session.post_event env txn feed "Reading" ~args:[ Value.Float 18.25 ]);
+  Alcotest.(check (list (float 1e-9))) "payloads captured in order" [ 17.5; 18.25 ]
+    (List.rev_map Value.to_float !seen |> List.rev |> List.rev)
+
+let suite =
+  suite
+  @ List.concat
+      [
+        both_kinds "event attributes in masks" event_attributes;
+        both_kinds "event attributes in actions" event_attributes_in_actions;
+      ]
+
+let pdelete_deactivates kind () =
+  let env = Session.create ~store:kind () in
+  let fired = ref 0 in
+  Session.define_class env ~name:"C"
+    ~fields:[ ("x", Dsl.int 0) ]
+    ~events:[ Dsl.user_event "E"; Dsl.before_tcomplete ]
+    ~masks:[ ("ReadsSelf", fun env ctx -> Value.to_int (Dsl.obj_get env ctx "x") >= 0) ]
+    ~triggers:
+      [
+        Dsl.trigger "T" ~perpetual:true ~event:"E & ReadsSelf"
+          ~action:(fun _ _ -> incr fired);
+      ]
+    ();
+  let obj = Session.with_txn env (fun txn -> Session.pnew env txn ~cls:"C" ()) in
+  Session.with_txn env (fun txn -> ignore (Session.activate env txn obj ~trigger:"T" ~args:[]));
+  (* Access the object (lands on the tcomplete list), then delete it in
+     the same transaction: commit processing must not trip over the dead
+     object or its old trigger state. *)
+  Session.with_txn env (fun txn ->
+      ignore (Session.get_field env txn obj "x");
+      Session.pdelete env txn obj);
+  Session.with_txn env (fun txn ->
+      Alcotest.(check int) "no active triggers remain" 0
+        (List.length (Session.active_triggers env txn obj)));
+  (* And an aborted delete keeps the activation. *)
+  let env2 = Session.create ~store:kind () in
+  Session.define_class env2 ~name:"C"
+    ~fields:[ ("x", Dsl.int 0) ]
+    ~events:[ Dsl.user_event "E" ]
+    ~triggers:
+      [ Dsl.trigger "T" ~perpetual:true ~event:"E" ~action:(fun _ _ -> incr fired) ]
+    ();
+  let obj2 = Session.with_txn env2 (fun txn -> Session.pnew env2 txn ~cls:"C" ()) in
+  Session.with_txn env2 (fun txn -> ignore (Session.activate env2 txn obj2 ~trigger:"T" ~args:[]));
+  (match
+     Session.attempt env2 (fun txn ->
+         Session.pdelete env2 txn obj2;
+         Session.tabort ())
+   with
+  | None -> ()
+  | Some () -> Alcotest.fail "expected abort");
+  fired := 0;
+  Session.with_txn env2 (fun txn -> Session.post_event env2 txn obj2 "E");
+  Alcotest.(check int) "activation restored by rollback" 1 !fired
+
+let suite =
+  suite @ both_kinds "pdelete deactivates the object's triggers" pdelete_deactivates

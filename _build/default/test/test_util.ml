@@ -1,0 +1,81 @@
+(* Utility substrate: PRNG determinism, statistics, table rendering. *)
+
+module Prng = Ode_util.Prng
+module Stats = Ode_util.Stats
+module Table = Ode_util.Table
+
+let prng_deterministic () =
+  let a = Prng.create ~seed:42L in
+  let b = Prng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let prng_bounds () =
+  let prng = Prng.create ~seed:1L in
+  for _ = 1 to 1000 do
+    let v = Prng.int prng 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of bounds: %d" v;
+    let f = Prng.float prng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f;
+    let r = Prng.int_in prng 5 7 in
+    if r < 5 || r > 7 then Alcotest.failf "int_in out of bounds: %d" r
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int prng 0))
+
+let prng_split_independent () =
+  let parent = Prng.create ~seed:9L in
+  let child = Prng.split parent in
+  let child_vals = List.init 5 (fun _ -> Prng.next_int64 child) in
+  let parent_vals = List.init 5 (fun _ -> Prng.next_int64 parent) in
+  Alcotest.(check bool) "different streams" true (child_vals <> parent_vals)
+
+let prng_shuffle_permutes () =
+  let prng = Prng.create ~seed:5L in
+  let arr = Array.init 50 Fun.id in
+  let original = Array.copy arr in
+  Prng.shuffle prng arr;
+  Alcotest.(check bool) "same multiset" true
+    (List.sort compare (Array.to_list arr) = List.sort compare (Array.to_list original));
+  Alcotest.(check bool) "actually permuted" true (arr <> original)
+
+let stats_summary () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let s = Stats.summarize xs in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Stats.max;
+  Alcotest.(check (float 1e-9)) "p50" 3.0 s.Stats.p50;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) s.Stats.stddev;
+  Alcotest.(check int) "n" 5 s.Stats.n
+
+let stats_percentile () =
+  let sorted = [| 10.0; 20.0; 30.0; 40.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile sorted 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 40.0 (Stats.percentile sorted 1.0);
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 25.0 (Stats.percentile sorted 0.5)
+
+let table_rendering () =
+  let table = Table.create ~columns:[ ("name", Table.Left); ("n", Table.Right) ] in
+  Table.add_row table [ "alpha"; "1" ];
+  Table.add_row table [ "b"; "22" ];
+  let rendered = Table.render table in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check string) "header" "name    n" (List.nth lines 0);
+  Alcotest.(check string) "rule" "-----  --" (List.nth lines 1);
+  Alcotest.(check string) "row 1" "alpha   1" (List.nth lines 2);
+  Alcotest.(check string) "row 2" "b      22" (List.nth lines 3);
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong number of cells")
+    (fun () -> Table.add_row table [ "only-one" ])
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick prng_bounds;
+    Alcotest.test_case "prng split independence" `Quick prng_split_independent;
+    Alcotest.test_case "prng shuffle permutes" `Quick prng_shuffle_permutes;
+    Alcotest.test_case "stats summary" `Quick stats_summary;
+    Alcotest.test_case "stats percentile" `Quick stats_percentile;
+    Alcotest.test_case "table rendering" `Quick table_rendering;
+  ]

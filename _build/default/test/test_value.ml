@@ -1,0 +1,102 @@
+(* Dynamic values: codec round-trip (property), ordering laws, accessors,
+   and object records. *)
+
+module Value = Ode_objstore.Value
+module Objrec = Ode_objstore.Objrec
+module Oid = Ode_objstore.Oid
+
+let value_gen =
+  let open QCheck.Gen in
+  sized (fun size ->
+      fix
+        (fun self size ->
+          let leaf =
+            oneof
+              [
+                return Value.Null;
+                map (fun b -> Value.Bool b) bool;
+                map (fun i -> Value.Int i) int;
+                map (fun f -> Value.Float f) float;
+                map (fun s -> Value.Str s) (string_size (int_bound 12));
+                map (fun i -> Value.Oid (Oid.of_int i)) (int_bound 1_000_000);
+              ]
+          in
+          if size <= 1 then leaf
+          else
+            oneof
+              [ leaf; map (fun vs -> Value.List vs) (list_size (int_bound 4) (self (size / 2))) ])
+        size)
+
+let arbitrary_value = QCheck.make ~print:Value.to_string value_gen
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"value codec roundtrips" ~count:1000 arbitrary_value (fun v ->
+      Value.equal v (Value.decode (Value.encode v)))
+
+let qcheck_compare_refl =
+  QCheck.Test.make ~name:"compare v v = 0" ~count:500 arbitrary_value (fun v ->
+      Value.compare v v = 0)
+
+let qcheck_compare_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:500
+    (QCheck.pair arbitrary_value arbitrary_value) (fun (a, b) ->
+      Value.compare a b = -Value.compare b a)
+
+let qcheck_equal_consistent =
+  QCheck.Test.make ~name:"equal iff compare = 0" ~count:500
+    (QCheck.pair arbitrary_value arbitrary_value) (fun (a, b) ->
+      Value.equal a b = (Value.compare a b = 0))
+
+let accessors () =
+  Alcotest.(check int) "to_int" 5 (Value.to_int (Value.Int 5));
+  Alcotest.(check (float 0.0)) "to_float widens ints" 5.0 (Value.to_float (Value.Int 5));
+  Alcotest.(check string) "to_str" "x" (Value.to_str (Value.Str "x"));
+  Alcotest.(check bool) "to_bool" true (Value.to_bool (Value.Bool true));
+  (match Value.to_int (Value.Str "no") with
+  | _ -> Alcotest.fail "expected Type_error"
+  | exception Value.Type_error _ -> ());
+  match Value.to_list Value.Null with
+  | _ -> Alcotest.fail "expected Type_error"
+  | exception Value.Type_error _ -> ()
+
+let objrec_roundtrip () =
+  let record =
+    Objrec.make ~cls:"CredCard"
+      ~fields:
+        [
+          ("credLim", Value.Float 1000.0);
+          ("currBal", Value.Float 12.5);
+          ("issuedTo", Value.Oid (Oid.of_int 7));
+          ("marks", Value.List [ Value.Str "late" ]);
+        ]
+  in
+  let decoded = Objrec.decode (Objrec.encode record) in
+  Alcotest.(check bool) "roundtrip" true (Objrec.equal record decoded)
+
+let objrec_operations () =
+  let record = Objrec.make ~cls:"C" ~fields:[ ("a", Value.Int 1); ("b", Value.Int 2) ] in
+  Alcotest.(check int) "get" 1 (Value.to_int (Objrec.get record "a"));
+  let updated = Objrec.set record "a" (Value.Int 9) in
+  Alcotest.(check int) "set" 9 (Value.to_int (Objrec.get updated "a"));
+  Alcotest.(check int) "set preserves others" 2 (Value.to_int (Objrec.get updated "b"));
+  Alcotest.(check int) "original unchanged" 1 (Value.to_int (Objrec.get record "a"));
+  (match Objrec.get record "zzz" with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ());
+  (match Objrec.set record "zzz" Value.Null with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ());
+  match Objrec.make ~cls:"C" ~fields:[ ("a", Value.Null); ("a", Value.Null) ] with
+  | _ -> Alcotest.fail "expected duplicate-field rejection"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_compare_refl;
+    QCheck_alcotest.to_alcotest qcheck_compare_antisym;
+    QCheck_alcotest.to_alcotest qcheck_equal_consistent;
+    Alcotest.test_case "accessors" `Quick accessors;
+    Alcotest.test_case "objrec codec roundtrip" `Quick objrec_roundtrip;
+    Alcotest.test_case "objrec field operations" `Quick objrec_operations;
+  ]
