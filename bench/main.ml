@@ -21,6 +21,7 @@ let experiments =
     ("t8", Exp_t8.run);
     ("a1", Exp_a1.run);
     ("a2", Exp_a2.run);
+    ("r1", Exp_r1.run);
   ]
 
 let () =

@@ -153,6 +153,99 @@ let opp_cmd =
     Term.(ret (const run $ path $ show))
 
 (* ------------------------------------------------------------------ *)
+(* odectl faults *)
+
+let faults_cmd =
+  let run plan_text sweep stride seed txns =
+    let config = { Ode.Crashlab.default_config with seed; txns } in
+    let module Crashlab = Ode.Crashlab in
+    let module Faults = Ode_storage.Faults in
+    if sweep then begin
+      let result =
+        Crashlab.sweep ~config ~stride
+          ~on_progress:(fun ~done_ ~total ->
+            if done_ mod 50 = 0 || done_ = total then
+              Printf.eprintf "\r%d/%d plans checked%!" done_ total)
+          ()
+      in
+      Printf.eprintf "\n%!";
+      Printf.printf "addressable I/O points : %d\n" result.Crashlab.sw_points;
+      Printf.printf "plans checked          : %d\n" result.Crashlab.sw_checked;
+      Printf.printf "invariant violations   : %d\n" (List.length result.Crashlab.sw_violations);
+      List.iter
+        (fun (plan, violation) ->
+          Printf.printf "  [--fault-plan %S] %s\n" plan violation)
+        result.Crashlab.sw_violations;
+      if result.Crashlab.sw_violations = [] then `Ok () else `Error (false, "violations found")
+    end
+    else begin
+      match plan_text with
+      | "" -> `Error (true, "either --fault-plan PLAN or --sweep is required")
+      | text -> begin
+          match Faults.plan_of_string text with
+          | Error msg -> `Error (false, Printf.sprintf "bad fault plan: %s" msg)
+          | Ok plan ->
+              let base = Crashlab.run ~config ~plan:[] () in
+              let result = Crashlab.run ~config ~plan () in
+              (match result.Crashlab.outcome with
+              | Crashlab.Completed ->
+                  Printf.printf "outcome   : completed (%d I/O points)\n" result.Crashlab.points
+              | Crashlab.Crashed { point; site } ->
+                  Printf.printf "outcome   : crashed at point %d (site %s)\n" point
+                    (Faults.site_to_string site));
+              Printf.printf "txns      : %d committed, %d failed/denied\n"
+                result.Crashlab.committed result.Crashlab.failed;
+              let action_str = function
+                | Faults.Fail -> "fail"
+                | Faults.Crash -> "crash"
+                | Faults.Torn f -> Printf.sprintf "torn(%g)" f
+              in
+              List.iter
+                (fun (point, site, act) ->
+                  Printf.printf "fired     : point %d, site %s, action %s\n" point
+                    (Faults.site_to_string site) (action_str act))
+                result.Crashlab.fired;
+              let violations = Crashlab.verify ~ledger:base.Crashlab.snapshots result in
+              (match violations with
+              | [] ->
+                  Printf.printf "recovery  : all invariants hold\n";
+                  `Ok ()
+              | vs ->
+                  List.iter (fun v -> Printf.printf "VIOLATION : %s\n" v) vs;
+                  `Error (false, "recovery invariants violated"))
+        end
+    end
+  in
+  let plan =
+    Arg.(value & opt string "" & info [ "fault-plan" ] ~docv:"PLAN"
+           ~doc:"Deterministic fault plan, e.g. 'crash\\@137' or \
+                 'torn(0.3)\\@wal_flush:2; fail\\@lock_acquire:7'. Replays the \
+                 credit-card workload under the plan, recovers, and checks every \
+                 invariant.")
+  in
+  let sweep =
+    Arg.(value & flag & info [ "sweep" ]
+           ~doc:"Exhaustive mode: crash at every addressable I/O point (plus torn \
+                 WAL flush / page write variants) and verify recovery after each.")
+  in
+  let stride =
+    Arg.(value & opt int 1 & info [ "stride" ] ~docv:"N"
+           ~doc:"With --sweep, only crash at every N-th point.")
+  in
+  let seed =
+    Arg.(value & opt int Ode.Crashlab.default_config.Ode.Crashlab.seed
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Workload PRNG seed.")
+  in
+  let txns =
+    Arg.(value & opt int Ode.Crashlab.default_config.Ode.Crashlab.txns
+         & info [ "txns" ] ~docv:"N" ~doc:"Scripted workload transactions.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Replay a deterministic fault plan (or sweep all crash points) and verify recovery")
+    Term.(ret (const run $ plan $ sweep $ stride $ seed $ txns))
+
+(* ------------------------------------------------------------------ *)
 (* odectl demo *)
 
 let demo_cmd =
@@ -195,4 +288,4 @@ let demo_cmd =
 let () =
   let doc = "Ode active-database reproduction tools" in
   let info = Cmd.info "odectl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ fsm_cmd; figure1_cmd; opp_cmd; demo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ fsm_cmd; figure1_cmd; opp_cmd; demo_cmd; faults_cmd ]))

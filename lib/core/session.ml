@@ -5,6 +5,7 @@ module Disk_store = Ode_storage.Disk_store
 module Mem_store = Ode_storage.Mem_store
 module Recovery = Ode_storage.Recovery
 module Wal = Ode_storage.Wal
+module Faults = Ode_storage.Faults
 module Oid = Ode_objstore.Oid
 module Value = Ode_objstore.Value
 module Objrec = Ode_objstore.Objrec
@@ -52,6 +53,7 @@ type obj_handle = Persistent of Oid.t | Volatile of vobj
 type t = {
   kind : store_kind;
   backend : backend;
+  faults : Faults.t;
   mgr : Txn.mgr;
   obj_store : Store.t;
   trig_store : Store.t;
@@ -98,6 +100,7 @@ type trigger_spec = {
 }
 
 let store_kind t = t.kind
+let faults t = t.faults
 let runtime t = t.rt
 let database t = t.db
 let mgr t = t.mgr
@@ -106,11 +109,12 @@ let intern t = t.intern
 (* ------------------------------------------------------------------ *)
 (* Construction. *)
 
-let assemble ~kind ~backend ~mgr ~obj_store ~trig_store ~db =
+let assemble ~kind ~backend ~faults ~mgr ~obj_store ~trig_store ~db =
   let intern = Intern.create () in
   {
     kind;
     backend;
+    faults;
     mgr;
     obj_store;
     trig_store;
@@ -121,13 +125,21 @@ let assemble ~kind ~backend ~mgr ~obj_store ~trig_store ~db =
     posting_plans = Hashtbl.create 64;
   }
 
-let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin () =
+let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?faults () =
   let mgr = Txn.create_mgr () in
+  (* One plane shared by both stores: every page write, WAL flush, eviction
+     and lock acquisition across the whole environment gets a single global
+     I/O-point number, so a fault plan addresses any of them. *)
+  let faults = match faults with Some f -> f | None -> Faults.create () in
   let backend, obj_store, trig_store =
     match store with
     | `Disk ->
-        let objects = Disk_store.create ?page_size ?pool_capacity ?io_spin ~mgr ~name:"objects" () in
-        let triggers = Disk_store.create ?page_size ?pool_capacity ?io_spin ~mgr ~name:"triggers" () in
+        let objects =
+          Disk_store.create ?page_size ?pool_capacity ?io_spin ~faults ~mgr ~name:"objects" ()
+        in
+        let triggers =
+          Disk_store.create ?page_size ?pool_capacity ?io_spin ~faults ~mgr ~name:"triggers" ()
+        in
         (Disk_backend (objects, triggers), Disk_store.ops objects, Disk_store.ops triggers)
     | `Mem ->
         let objects = Mem_store.create ~mgr ~name:"objects" () in
@@ -135,7 +147,7 @@ let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin () =
         (Mem_backend (objects, triggers), Mem_store.ops objects, Mem_store.ops triggers)
   in
   let db = Database.create ~mgr ~store:obj_store ~name:"main" in
-  assemble ~kind:store ~backend ~mgr ~obj_store ~trig_store ~db
+  assemble ~kind:store ~backend ~faults ~mgr ~obj_store ~trig_store ~db
 
 (* ------------------------------------------------------------------ *)
 (* Class definition: the work the O++ compiler does per class. *)
@@ -529,6 +541,16 @@ let with_txn t f =
       | exception Runtime.Tabort ->
           if Txn.is_active txn then abort t txn;
           raise Aborted
+      | exception other ->
+          (* A non-tabort failure during commit processing (e.g. an
+             injected I/O fault while firing commit-coupled triggers):
+             roll back whatever has not committed and release the
+             transaction's locks. Secondary failures during the
+             emergency rollback are swallowed — the original fault is
+             what the caller needs to see. *)
+          (if Txn.is_active txn then try Txn.abort txn with _ -> ());
+          Runtime.forget t.rt txn;
+          raise other
     end
   | exception Runtime.Tabort ->
       abort t txn;
@@ -726,14 +748,17 @@ let crash t =
       Mem_store.crash triggers);
   { ci_kind = t.kind; ci_obj_wal; ci_trig_wal }
 
-let recover image =
+let recover ?faults image =
   let mgr = Txn.create_mgr () in
+  let faults = match faults with Some f -> f | None -> Faults.create () in
   let backend, obj_store, trig_store =
     match image.ci_kind with
     | `Disk ->
-        let objects = Recovery.recover_disk ~mgr ~name:"objects" ~wal_bytes:image.ci_obj_wal () in
+        let objects =
+          Recovery.recover_disk ~faults ~mgr ~name:"objects" ~wal_bytes:image.ci_obj_wal ()
+        in
         let triggers =
-          Recovery.recover_disk ~mgr ~name:"triggers" ~wal_bytes:image.ci_trig_wal ()
+          Recovery.recover_disk ~faults ~mgr ~name:"triggers" ~wal_bytes:image.ci_trig_wal ()
         in
         (Disk_backend (objects, triggers), Disk_store.ops objects, Disk_store.ops triggers)
     | `Mem ->
@@ -742,11 +767,16 @@ let recover image =
         (Mem_backend (objects, triggers), Mem_store.ops objects, Mem_store.ops triggers)
   in
   let db = Database.open_existing ~mgr ~store:obj_store ~name:"main" in
-  let t = assemble ~kind:image.ci_kind ~backend ~mgr ~obj_store ~trig_store ~db in
+  let t = assemble ~kind:image.ci_kind ~backend ~faults ~mgr ~obj_store ~trig_store ~db in
   let txn = Txn.begin_txn ~system:true mgr in
-  Runtime.rebuild_index t.rt txn;
+  (* A crash can land between the objects store's commit flush and the
+     triggers store's (commit is per-participant, not atomic across
+     stores): prune trigger activations whose object did not survive. *)
+  Runtime.rebuild_index ~object_exists:(fun oid -> Database.exists db txn oid) t.rt txn;
   Txn.commit txn;
   t
+
+let image_wals image = (image.ci_obj_wal, image.ci_trig_wal)
 
 let drain_phoenix t = Runtime.drain_phoenix t.rt
 

@@ -65,14 +65,28 @@ type trigger_spec = {
 (* ------------------------------------------------------------------ *)
 
 val create :
-  ?store:store_kind -> ?page_size:int -> ?pool_capacity:int -> ?io_spin:int -> unit -> t
+  ?store:store_kind ->
+  ?page_size:int ->
+  ?pool_capacity:int ->
+  ?io_spin:int ->
+  ?faults:Ode_storage.Faults.t ->
+  unit ->
+  t
 (** Fresh empty database environment. [store] defaults to [`Mem]
     (MM-Ode); [`Disk] uses the paged EOS-like store, whose page size
     (default 4096) and buffer-pool frame count (default 64) can be tuned
     for the I/O experiments. The sizing arguments are ignored for
-    [`Mem]. *)
+    [`Mem].
+
+    [faults] is a fault-injection plane ({!Ode_storage.Faults}) shared by
+    {e both} disk stores, giving the whole environment one global
+    I/O-point numbering; ignored for [`Mem] (which performs no simulated
+    I/O). Default: a fresh inert plane. *)
 
 val store_kind : t -> store_kind
+
+val faults : t -> Ode_storage.Faults.t
+(** The environment's fault plane (inert unless a plan was armed). *)
 
 val define_class :
   t ->
@@ -252,11 +266,19 @@ val crash : t -> crash_image
     lost; only the durable WAL prefixes survive, captured in the image. The
     environment is unusable afterwards. *)
 
-val recover : crash_image -> t
+val recover : ?faults:Ode_storage.Faults.t -> crash_image -> t
 (** Rebuild an environment from a crash image: recover both stores, reopen
-    the database (rescanning clusters) and rebuild the trigger index.
-    Classes must be re-defined by the application before use — FSMs are
-    recompiled each run, per §5.1.3. *)
+    the database (rescanning clusters), rebuild the trigger index, and
+    garbage-collect trigger activations whose anchoring object did not
+    survive (a crash between the two stores' commit flushes can orphan
+    either side). Classes must be re-defined by the application before use
+    — FSMs are recompiled each run, per §5.1.3. [faults] arms a fault
+    plane on the recovered environment (default: inert). *)
+
+val image_wals : crash_image -> bytes * bytes
+(** The [(objects, triggers)] durable WAL prefixes captured by the crash —
+    what the fault-injection harness feeds to record-level recovery
+    oracles. *)
 
 val drain_phoenix : t -> unit
 (** Re-run any phoenix actions that survived a crash; call after classes

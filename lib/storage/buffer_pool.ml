@@ -10,16 +10,19 @@ type frame = { page : Page.t; mutable dirty : bool; mutable last_used : int }
 type t = {
   pager : Pager.t;
   capacity : int;
+  faults : Faults.t;
   frames : (int, frame) Hashtbl.t;
   mutable clock : int;
   stats : stats;
 }
 
-let create pager ~capacity =
+let create ?faults pager ~capacity =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  let faults = match faults with Some f -> f | None -> Faults.create () in
   {
     pager;
     capacity;
+    faults;
     frames = Hashtbl.create 64;
     clock = 0;
     stats = { hits = 0; misses = 0; evictions = 0; writebacks = 0 };
@@ -47,6 +50,9 @@ let evict_lru t =
   match !victim with
   | None -> ()
   | Some (id, frame) ->
+      (match Faults.check t.faults Faults.Pool_evict with
+      | `Proceed -> ()
+      | `Torn _ -> Faults.torn_crash t.faults Faults.Pool_evict);
       writeback t id frame;
       Hashtbl.remove t.frames id;
       t.stats.evictions <- t.stats.evictions + 1

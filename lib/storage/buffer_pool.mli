@@ -13,8 +13,11 @@ type stats = {
   mutable writebacks : int;
 }
 
-val create : Pager.t -> capacity:int -> t
-(** [capacity] is the number of frames; must be positive. *)
+val create : ?faults:Faults.t -> Pager.t -> capacity:int -> t
+(** [capacity] is the number of frames; must be positive. [faults] is the
+    fault-injection plane consulted before each eviction (the dirty
+    writeback itself additionally reports to the pager's [Page_write]
+    point); default: a fresh inert plane. *)
 
 val with_page : t -> int -> dirty:bool -> (Page.t -> 'a) -> 'a
 (** Run a function against the in-memory frame for the page, faulting it in

@@ -5,6 +5,7 @@ type loc = { page : int; slot : int }
 type t = {
   name : string;
   mgr : Txn.mgr;
+  faults : Faults.t;
   pager : Pager.t;
   pool : Buffer_pool.t;
   wal : Wal.t;
@@ -39,6 +40,16 @@ let decode_record bytes =
   (rid, payload)
 
 let lock_key t rid = Lock_manager.Record (t.name, rid)
+
+(* Record-lock acquisition is an addressable I/O point: a [Fail] here
+   models a lock-acquisition timeout (raised before any state changes, so
+   the enclosing transaction can abort cleanly). *)
+let lock_or_timeout t txn rid mode =
+  (match Faults.check t.faults Faults.Lock_acquire with
+  | `Proceed -> ()
+  | `Torn _ ->
+      raise (Faults.Injected_fault { point = Faults.point t.faults; site = Faults.Lock_acquire }));
+  Store.lock_or_raise txn (lock_key t rid) mode
 
 (* ------------------------------------------------------------------ *)
 (* Physical layer: place/read/remove records on pages, no locking or
@@ -144,7 +155,7 @@ let fresh_rid t =
 let insert_impl t (txn : Txn.t) payload =
   check_usable t;
   let rid = fresh_rid t in
-  Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
+  lock_or_timeout t txn rid Lock_manager.X;
   ignore (phys_insert t rid payload);
   log_op t txn (Wal.Insert (rid, payload));
   t.inserts <- t.inserts + 1;
@@ -152,13 +163,13 @@ let insert_impl t (txn : Txn.t) payload =
 
 let read_impl t (txn : Txn.t) rid =
   check_usable t;
-  Store.lock_or_raise txn (lock_key t rid) Lock_manager.S;
+  lock_or_timeout t txn rid Lock_manager.S;
   t.reads <- t.reads + 1;
   phys_read t rid
 
 let update_impl t (txn : Txn.t) rid payload =
   check_usable t;
-  Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
+  lock_or_timeout t txn rid Lock_manager.X;
   match phys_read t rid with
   | None -> fail "update of unknown record %a" Rid.pp rid
   | Some before ->
@@ -168,7 +179,7 @@ let update_impl t (txn : Txn.t) rid payload =
 
 let delete_impl t (txn : Txn.t) rid =
   check_usable t;
-  Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
+  lock_or_timeout t txn rid Lock_manager.X;
   match phys_read t rid with
   | None -> fail "delete of unknown record %a" Rid.pp rid
   | Some before ->
@@ -181,7 +192,7 @@ let iter_impl t (txn : Txn.t) f =
   let rids = Rid.Tbl.fold (fun rid _ acc -> rid :: acc) t.dir [] in
   let rids = List.sort Rid.compare rids in
   let visit rid =
-    Store.lock_or_raise txn (lock_key t rid) Lock_manager.S;
+    lock_or_timeout t txn rid Lock_manager.S;
     match phys_read t rid with None -> () | Some payload -> f rid payload
   in
   List.iter visit rids
@@ -195,7 +206,12 @@ let apply_undo t op =
 let on_commit t (txn : Txn.t) =
   if Hashtbl.mem t.undo txn.id then begin
     Wal.append t.wal (Wal.Commit txn.id);
-    Wal.flush t.wal;
+    (* A transient flush failure must not unwind the commit: another
+       participant may already have made its part durable. The Commit
+       record stays buffered in the WAL tail and becomes durable with
+       the next successful flush (delayed durability). A crash during
+       the flush still propagates. *)
+    (try Wal.flush t.wal with Faults.Injected_fault _ -> ());
     Hashtbl.remove t.undo txn.id
   end
 
@@ -212,6 +228,11 @@ let on_abort t (txn : Txn.t) =
 let checkpoint_impl t () =
   check_usable t;
   if Hashtbl.length t.undo > 0 then fail "checkpoint with in-flight transactions";
+  (* A checkpoint writes dirty pages back to the device before logging
+     the state, like a real fuzzy-checkpoint flush. Recovery never reads
+     data pages (it replays the WAL), but this keeps the device image
+     current and makes page writes addressable I/O points. *)
+  Buffer_pool.flush_all t.pool;
   let entries = Rid.Tbl.fold (fun rid _ acc -> rid :: acc) t.dir [] in
   let entries = List.sort Rid.compare entries in
   let state =
@@ -245,15 +266,17 @@ let counters_impl t () =
     ("wal_bytes", Wal.durable_size t.wal);
   ]
 
-let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ~mgr ~name () =
-  let pager = Pager.create ?io_spin ~page_size () in
+let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?faults ~mgr ~name () =
+  let faults = match faults with Some f -> f | None -> Faults.create () in
+  let pager = Pager.create ?io_spin ~faults ~page_size () in
   let t =
     {
       name;
       mgr;
+      faults;
       pager;
-      pool = Buffer_pool.create pager ~capacity:pool_capacity;
-      wal = Wal.create ();
+      pool = Buffer_pool.create ~faults pager ~capacity:pool_capacity;
+      wal = Wal.create ~faults ();
       dir = Rid.Tbl.create 256;
       heap_pages = [];
       active_page = None;
@@ -303,3 +326,4 @@ let crash t =
 let page_count t = Pager.page_count t.pager
 let pager_stats t = Pager.stats t.pager
 let pool_stats t = Buffer_pool.stats t.pool
+let faults t = t.faults

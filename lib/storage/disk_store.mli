@@ -15,6 +15,7 @@ val create :
   ?page_size:int ->
   ?pool_capacity:int ->
   ?io_spin:int ->
+  ?faults:Faults.t ->
   mgr:Txn.mgr ->
   name:string ->
   unit ->
@@ -22,7 +23,9 @@ val create :
 (** Creates an empty store and registers it as a commit/abort participant
     with [mgr]. [page_size] defaults to 4096, [pool_capacity] (frames) to
     64; [io_spin] simulates per-page-I/O device latency (see
-    {!Pager.create}). *)
+    {!Pager.create}). [faults] is the fault-injection plane shared by the
+    store's pager, buffer pool, WAL and lock points; pass the same plane
+    to several stores to give them one global I/O-point numbering. *)
 
 val ops : t -> Store.t
 (** The uniform interface used by everything above the storage layer. *)
@@ -42,3 +45,4 @@ val crash : t -> unit
 val page_count : t -> int
 val pager_stats : t -> Pager.stats
 val pool_stats : t -> Buffer_pool.stats
+val faults : t -> Faults.t

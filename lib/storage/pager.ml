@@ -3,19 +3,24 @@ type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
 type t = {
   page_size : int;
   io_spin : int;
+  faults : Faults.t;
   mutable pages : bytes array;
   mutable used : int;
   stats : stats;
 }
 
-let create ?(io_spin = 0) ~page_size () =
+let create ?(io_spin = 0) ?faults ~page_size () =
+  let faults = match faults with Some f -> f | None -> Faults.create () in
   {
     page_size;
     io_spin;
+    faults;
     pages = Array.make 8 Bytes.empty;
     used = 0;
     stats = { reads = 0; writes = 0; allocs = 0 };
   }
+
+let faults t = t.faults
 
 (* Simulated device latency. *)
 let spin t =
@@ -36,6 +41,9 @@ let grow t =
   end
 
 let alloc t =
+  (match Faults.check t.faults Faults.Page_alloc with
+  | `Proceed -> ()
+  | `Torn _ -> Faults.torn_crash t.faults Faults.Page_alloc);
   grow t;
   let id = t.used in
   t.pages.(id) <- Page.to_bytes (Page.create ~size:t.page_size);
@@ -49,15 +57,33 @@ let check t id = if id < 0 || id >= t.used then invalid_arg "Pager: unknown page
 
 let read t id =
   check t id;
+  (match Faults.check t.faults Faults.Page_read with
+  | `Proceed -> ()
+  | `Torn _ ->
+      (* A read cannot be torn; treat as a failed I/O. *)
+      raise (Faults.Injected_fault { point = Faults.point t.faults; site = Faults.Page_read }));
   t.stats.reads <- t.stats.reads + 1;
   spin t;
   Page.of_bytes t.pages.(id)
 
 let write t id page =
   check t id;
+  let verdict = Faults.check t.faults Faults.Page_write in
   t.stats.writes <- t.stats.writes + 1;
   spin t;
-  t.pages.(id) <- Page.to_bytes page
+  match verdict with
+  | `Proceed -> t.pages.(id) <- Page.to_bytes page
+  | `Torn f ->
+      (* Partial sector write: the first [f] of the new image lands, the
+         rest of the page keeps its previous contents — then the crash. *)
+      let fresh = Page.to_bytes page in
+      let keep = int_of_float (f *. float_of_int (Bytes.length fresh)) in
+      let keep = max 0 (min (Bytes.length fresh) keep) in
+      let old = t.pages.(id) in
+      let merged = Bytes.copy old in
+      Bytes.blit fresh 0 merged 0 keep;
+      t.pages.(id) <- merged;
+      Faults.torn_crash t.faults Faults.Page_write
 
 let stats t = t.stats
 

@@ -11,10 +11,14 @@ type t
 
 type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
 
-val create : ?io_spin:int -> page_size:int -> unit -> t
+val create : ?io_spin:int -> ?faults:Faults.t -> page_size:int -> unit -> t
 (** [io_spin] simulates device latency: each physical read/write busy-loops
     that many iterations (default 0). Used by the disk-vs-main-memory
-    benchmark to give page I/O a realistic relative cost. *)
+    benchmark to give page I/O a realistic relative cost. [faults] is the
+    fault-injection plane consulted before every physical read, write and
+    allocation (default: a fresh inert plane). *)
+
+val faults : t -> Faults.t
 
 val page_size : t -> int
 

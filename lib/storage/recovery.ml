@@ -1,7 +1,15 @@
+(* Last marker wins: a Commit that reached the log buffer but whose flush
+   failed is followed by an Abort once the store rolls the transaction
+   back, and both may become durable on a later flush. Replaying such a
+   transaction as committed would diverge from the pre-crash store. *)
 let committed_txns records =
   let committed = Hashtbl.create 32 in
   List.iter
-    (fun record -> match record with Wal.Commit txn -> Hashtbl.replace committed txn () | _ -> ())
+    (fun record ->
+      match record with
+      | Wal.Commit txn -> Hashtbl.replace committed txn ()
+      | Wal.Abort txn -> Hashtbl.remove committed txn
+      | _ -> ())
     records;
   committed
 
@@ -32,9 +40,9 @@ let committed_state records =
   let entries = Rid.Tbl.fold (fun rid payload acc -> (rid, payload) :: acc) state [] in
   List.sort (fun (a, _) (b, _) -> Rid.compare a b) entries
 
-let recover_disk ?page_size ?pool_capacity ?io_spin ~mgr ~name ~wal_bytes () =
+let recover_disk ?page_size ?pool_capacity ?io_spin ?faults ~mgr ~name ~wal_bytes () =
   let state = committed_state (Wal.decode_records wal_bytes) in
-  let store = Disk_store.create ?page_size ?pool_capacity ?io_spin ~mgr ~name () in
+  let store = Disk_store.create ?page_size ?pool_capacity ?io_spin ?faults ~mgr ~name () in
   Disk_store.load_bulk store state;
   (Disk_store.ops store).Store.checkpoint ();
   store

@@ -22,6 +22,7 @@ val recover_disk :
   ?page_size:int ->
   ?pool_capacity:int ->
   ?io_spin:int ->
+  ?faults:Faults.t ->
   mgr:Txn.mgr ->
   name:string ->
   wal_bytes:bytes ->

@@ -14,11 +14,14 @@ type record =
 
 type t = {
   durable : Buffer.t;
+  faults : Faults.t;
   mutable tail : record list;  (* reversed *)
   mutable flushes : int;
 }
 
-let create () = { durable = Buffer.create 4096; tail = []; flushes = 0 }
+let create ?faults () =
+  let faults = match faults with Some f -> f | None -> Faults.create () in
+  { durable = Buffer.create 4096; faults; tail = []; flushes = 0 }
 
 let append t r = t.tail <- r :: t.tail
 
@@ -108,7 +111,16 @@ let flush t =
   if pending <> [] then begin
     let w = Ode_util.Binc.writer () in
     List.iter (encode_record w) pending;
-    Buffer.add_bytes t.durable (Binc.contents w);
+    let bytes = Binc.contents w in
+    (match Faults.check t.faults Faults.Wal_flush with
+    | `Proceed -> Buffer.add_bytes t.durable bytes
+    | `Torn f ->
+        (* fsync died mid-write: a byte prefix of this flush — typically
+           ending mid-record — reaches the durable log, then the crash. *)
+        let keep = int_of_float (f *. float_of_int (Bytes.length bytes)) in
+        let keep = max 0 (min (Bytes.length bytes) keep) in
+        Buffer.add_subbytes t.durable bytes 0 keep;
+        Faults.torn_crash t.faults Faults.Wal_flush);
     t.tail <- []
   end;
   t.flushes <- t.flushes + 1

@@ -27,7 +27,11 @@ type record =
 
 type t
 
-val create : unit -> t
+val create : ?faults:Faults.t -> unit -> t
+(** [faults] is the fault-injection plane consulted on every non-empty
+    {!flush} (default: a fresh inert plane). A [Fail] there models a
+    failed fsync (the tail stays buffered); a [Torn] appends only a byte
+    prefix of the flush — usually ending mid-record — and then crashes. *)
 
 val append : t -> record -> unit
 (** Buffer a record; it is not durable until {!flush}. *)

@@ -181,15 +181,30 @@ let create ~mgr ~intern ~store =
 
 let register_class t descriptor = Trigger_def.Registry.register t.registry descriptor
 
-let rebuild_index t txn =
+let rebuild_index ?object_exists t txn =
   Obj_index.clear t.index;
   t.phoenix_hint <- 0;
+  (* A crash between the two stores' commit flushes can leave a
+     TriggerState row whose anchoring object never became durable (or
+     vice versa). When the caller supplies [object_exists], such dangling
+     rows are garbage-collected here instead of indexed, so post-recovery
+     trigger state is always consistent with the surviving objects. *)
+  let dangling = ref [] in
   t.store.Store.iter txn (fun rid payload ->
       match Trigger_state.decode payload with
       | Trigger_state.State st ->
-          Obj_index.add t.index st.Trigger_state.trigobj rid;
-          List.iter (fun anchor -> Obj_index.add t.index anchor rid) st.Trigger_state.anchors
-      | Trigger_state.Phoenix _ -> t.phoenix_hint <- t.phoenix_hint + 1)
+          let alive =
+            match object_exists with
+            | None -> true
+            | Some exists -> exists st.Trigger_state.trigobj
+          in
+          if alive then begin
+            Obj_index.add t.index st.Trigger_state.trigobj rid;
+            List.iter (fun anchor -> Obj_index.add t.index anchor rid) st.Trigger_state.anchors
+          end
+          else dangling := rid :: !dangling
+      | Trigger_state.Phoenix _ -> t.phoenix_hint <- t.phoenix_hint + 1);
+  List.iter (fun rid -> t.store.Store.delete txn rid) !dangling
 
 (* ------------------------------------------------------------------ *)
 (* Mask cascade: evaluate pending masks until the machine quiesces

@@ -54,9 +54,13 @@ val mgr : t -> Ode_storage.Txn.mgr
 
 val register_class : t -> Trigger_def.descriptor -> unit
 
-val rebuild_index : t -> Ode_storage.Txn.t -> unit
+val rebuild_index : ?object_exists:(Ode_objstore.Oid.t -> bool) -> t -> Ode_storage.Txn.t -> unit
 (** Re-derive the object→activation index by scanning the trigger store
-    (after {!Ode_storage.Recovery}). *)
+    (after {!Ode_storage.Recovery}). When [object_exists] is given,
+    activation rows anchored at an object it rejects are deleted rather
+    than indexed — recovery-time GC for rows orphaned by a crash that
+    landed between the object store's and trigger store's commit
+    flushes. *)
 
 val activate :
   ?anchors:Ode_objstore.Oid.t list ->

@@ -23,6 +23,8 @@ let () =
       ("coupling", Test_coupling.suite);
       ("trigger_details", Test_trigger_details.suite);
       ("session_recovery", Test_session_recovery.suite);
+      ("crashpoints", Test_crashpoints.suite);
+      ("differential", Test_differential.suite);
       ("extensions", Test_extensions.suite);
       ("soak", Test_soak.suite);
       ("properties", Test_properties.suite);

@@ -1,0 +1,25 @@
+(* Shared seed plumbing for the randomized suites.
+
+   Every randomized test derives its PRNG seed from one base seed, taken
+   from the ODE_TEST_SEED environment variable when set (so a failure can
+   be replayed exactly), and otherwise from the per-suite default. When a
+   seeded test fails, the seed is printed along with the replay recipe. *)
+
+let base ~default =
+  match Sys.getenv_opt "ODE_TEST_SEED" with
+  | None | Some "" -> default
+  | Some text -> (
+      match int_of_string_opt text with
+      | Some seed -> seed
+      | None ->
+          Printf.ksprintf failwith "ODE_TEST_SEED=%S is not an integer" text)
+
+(* Run [f seed]; on any failure, report the seed and how to replay it
+   before re-raising. *)
+let with_seed ?(default = 0x5EED0DE) name f =
+  let seed = base ~default in
+  try f seed
+  with e ->
+    Printf.eprintf "\n[%s] failed with seed %d — replay with ODE_TEST_SEED=%d\n%!" name seed
+      seed;
+    raise e

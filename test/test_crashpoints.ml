@@ -1,0 +1,104 @@
+(* Exhaustive crash-point recovery exploration (see Crashlab).
+
+   The credit-card trigger workload is run once fault-free to learn the
+   I/O-point address space, then re-run with an injected crash at every
+   single I/O point (plus torn-write variants of every WAL flush and a
+   stride of page writes). After each crash the database is recovered and
+   every invariant is checked: committed effects durable, aborted and
+   in-flight effects absent, recover_disk/recover_mem/committed_state in
+   agreement, TriggerState rows consistent with surviving objects, and
+   the recovered database still enforcing exactly the triggers it
+   recovered. Every failure is reported with the odectl-replayable fault
+   plan that produced it. *)
+
+module Crashlab = Ode.Crashlab
+module Session = Ode.Session
+module Faults = Ode_storage.Faults
+
+(* A smaller workload than Crashlab's default keeps the quadratic sweep
+   (every crash point re-runs the workload) fast while still covering far
+   more than 100 distinct I/O points. *)
+let config seed = { Crashlab.default_config with txns = 12; seed }
+
+let plan_of_string text =
+  match Faults.plan_of_string text with
+  | Ok plan -> plan
+  | Error msg -> Alcotest.failf "bad plan %S: %s" text msg
+
+let fault_free_run () =
+  Seeds.with_seed "crashpoints.fault-free" (fun seed ->
+      let run = Crashlab.run ~config:(config seed) ~plan:[] () in
+      Alcotest.(check bool) "completed" true (run.Crashlab.outcome = Crashlab.Completed);
+      Alcotest.(check bool)
+        (Printf.sprintf "workload exposes >= 100 I/O points (got %d)" run.Crashlab.points)
+        true
+        (run.Crashlab.points >= 100);
+      Alcotest.(check bool) "most transactions commit" true (run.Crashlab.committed >= 8);
+      Alcotest.(check bool) "denied purchases happened" true (run.Crashlab.failed >= 1);
+      (* Every site is represented, so the sweep exercises them all. *)
+      List.iter
+        (fun (site, count) ->
+          if count = 0 then Alcotest.failf "site %s never reported" (Faults.site_to_string site))
+        run.Crashlab.site_counts;
+      (* The fault-free image passes every invariant too. *)
+      Alcotest.(check (list string)) "clean run verifies" [] (Crashlab.verify run))
+
+let deterministic_replay () =
+  Seeds.with_seed "crashpoints.determinism" (fun seed ->
+      let config = config seed in
+      let plan = plan_of_string "crash@137" in
+      let a = Crashlab.run ~config ~plan () in
+      let b = Crashlab.run ~config ~plan () in
+      (match (a.Crashlab.outcome, b.Crashlab.outcome) with
+      | Crashlab.Crashed { point = pa; site = sa }, Crashlab.Crashed { point = pb; site = sb } ->
+          Alcotest.(check int) "same crash point" pa pb;
+          Alcotest.(check string) "same crash site" (Faults.site_to_string sa)
+            (Faults.site_to_string sb);
+          Alcotest.(check int) "crash at the addressed point" 137 pa
+      | _ -> Alcotest.fail "crash@137 did not crash both runs");
+      Alcotest.(check bool) "identical fired log" true (a.Crashlab.fired = b.Crashlab.fired);
+      let ao, at = Session.image_wals a.Crashlab.image in
+      let bo, bt = Session.image_wals b.Crashlab.image in
+      Alcotest.(check bool) "identical durable objects WAL" true (Bytes.equal ao bo);
+      Alcotest.(check bool) "identical durable triggers WAL" true (Bytes.equal at bt);
+      (* Round-trip the plan through its string syntax. *)
+      let again = plan_of_string (Faults.plan_to_string plan) in
+      Alcotest.(check string) "plan round-trips" (Faults.plan_to_string plan)
+        (Faults.plan_to_string again))
+
+let exhaustive_sweep () =
+  Seeds.with_seed "crashpoints.sweep" (fun seed ->
+      let sweep = Crashlab.sweep ~config:(config seed) () in
+      Alcotest.(check bool)
+        (Printf.sprintf "sweep domain >= 100 crash points (got %d)" sweep.Crashlab.sw_points)
+        true
+        (sweep.Crashlab.sw_points >= 100);
+      Alcotest.(check bool) "sweep covered the whole domain" true
+        (sweep.Crashlab.sw_checked >= sweep.Crashlab.sw_points);
+      match sweep.Crashlab.sw_violations with
+      | [] -> ()
+      | (plan, violation) :: rest ->
+          Alcotest.failf
+            "%d invariant violation(s); first: [--fault-plan %S] %s" (List.length rest + 1)
+            plan violation)
+
+let transient_faults_survivable () =
+  Seeds.with_seed "crashpoints.transient" (fun seed ->
+      (* A lock-acquisition timeout is transient: the hit transaction
+         aborts, the environment keeps running, and the final image still
+         satisfies every invariant. *)
+      let config = config seed in
+      let plan = plan_of_string "fail@lock_acquire:40; fail@wal_flush:3" in
+      let run = Crashlab.run ~config ~plan () in
+      Alcotest.(check bool) "run completes despite transient faults" true
+        (run.Crashlab.outcome = Crashlab.Completed);
+      Alcotest.(check bool) "both faults fired" true (List.length run.Crashlab.fired = 2);
+      Alcotest.(check (list string)) "invariants hold" [] (Crashlab.verify run))
+
+let suite =
+  [
+    Alcotest.test_case "fault-free workload and point space" `Quick fault_free_run;
+    Alcotest.test_case "crash replay is deterministic" `Quick deterministic_replay;
+    Alcotest.test_case "transient faults are survivable" `Quick transient_faults_survivable;
+    Alcotest.test_case "exhaustive crash + torn sweep" `Slow exhaustive_sweep;
+  ]

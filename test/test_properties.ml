@@ -17,6 +17,13 @@ module Int_btree = Ode_objstore.Btree.Make (struct
   let pp = Format.pp_print_int
 end)
 
+(* All qcheck suites draw from one deterministic generator state seeded
+   via ODE_TEST_SEED (see Seeds), so a failure replays exactly. *)
+let to_alcotest test =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| Seeds.base ~default:0x9C4EC4 |])
+    test
+
 (* ------------------------------------------------------------------ *)
 (* Lock manager invariant: after any sequence of acquire/release_all, at
    most one transaction holds X on a key, and S holders never coexist
@@ -182,14 +189,14 @@ let binc_decode_total =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest lock_invariants;
-    QCheck_alcotest.to_alcotest intern_injective;
+    to_alcotest lock_invariants;
+    to_alcotest intern_injective;
     Alcotest.test_case "coupling string roundtrip" `Quick coupling_roundtrip;
-    QCheck_alcotest.to_alcotest stats_bounds;
-    QCheck_alcotest.to_alcotest btree_structural;
-    QCheck_alcotest.to_alcotest parser_never_crashes;
-    QCheck_alcotest.to_alcotest parser_fuzz_tokens;
-    QCheck_alcotest.to_alcotest binc_decode_total;
+    to_alcotest stats_bounds;
+    to_alcotest btree_structural;
+    to_alcotest parser_never_crashes;
+    to_alcotest parser_fuzz_tokens;
+    to_alcotest binc_decode_total;
   ]
 
 (* Opp front-end robustness: token soup must yield Syntax_error/Ode_error
@@ -211,4 +218,4 @@ let opp_fuzz =
       | exception Ode.Opp.Syntax_error _ -> true
       | exception Ode.Session.Ode_error _ -> true)
 
-let suite = suite @ [ QCheck_alcotest.to_alcotest opp_fuzz ]
+let suite = suite @ [ to_alcotest opp_fuzz ]

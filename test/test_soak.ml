@@ -103,8 +103,9 @@ let oracle_abort acts =
 
 (* ------------------------------------------------------------------ *)
 
-let soak ?(crashes = false) kind seed () =
-  let prng = Prng.create ~seed in
+let soak ?(crashes = false) kind default_seed () =
+  Seeds.with_seed ~default:(Int64.to_int default_seed) "soak" @@ fun seed ->
+  let prng = Prng.create ~seed:(Int64.of_int seed) in
   let env = ref (Session.create ~store:kind ()) in
   let env_get () = !env in
   let ntriggers = 6 in

@@ -63,30 +63,58 @@ let torn_write () =
       records
   done
 
+let random_record prng =
+  let random_bytes () = Bytes.init (Prng.int prng 30) (fun _ -> Char.chr (Prng.int prng 256)) in
+  match Prng.int prng 7 with
+  | 0 -> Wal.Begin (Prng.int prng 100)
+  | 1 -> Wal.Op (Prng.int prng 100, Wal.Insert (Rid.of_int (Prng.int prng 1000), random_bytes ()))
+  | 2 ->
+      Wal.Op
+        (Prng.int prng 100, Wal.Update (Rid.of_int (Prng.int prng 1000), random_bytes (), random_bytes ()))
+  | 3 -> Wal.Op (Prng.int prng 100, Wal.Delete (Rid.of_int (Prng.int prng 1000), random_bytes ()))
+  | 4 -> Wal.Commit (Prng.int prng 100)
+  | 5 -> Wal.Abort (Prng.int prng 100)
+  | _ ->
+      Wal.Checkpoint
+        (List.init (Prng.int prng 4) (fun i -> (Rid.of_int (100 + i), random_bytes ())))
+
 let random_roundtrip () =
-  let prng = Prng.create ~seed:7L in
-  for _trial = 1 to 50 do
-    let random_bytes () =
-      Bytes.init (Prng.int prng 30) (fun _ -> Char.chr (Prng.int prng 256))
-    in
-    let random_record () =
-      match Prng.int prng 6 with
-      | 0 -> Wal.Begin (Prng.int prng 100)
-      | 1 -> Wal.Op (Prng.int prng 100, Wal.Insert (Rid.of_int (Prng.int prng 1000), random_bytes ()))
-      | 2 ->
-          Wal.Op
-            (Prng.int prng 100, Wal.Update (Rid.of_int (Prng.int prng 1000), random_bytes (), random_bytes ()))
-      | 3 -> Wal.Op (Prng.int prng 100, Wal.Delete (Rid.of_int (Prng.int prng 1000), random_bytes ()))
-      | 4 -> Wal.Commit (Prng.int prng 100)
-      | _ -> Wal.Abort (Prng.int prng 100)
-    in
-    let records = List.init (Prng.int prng 20) (fun _ -> random_record ()) in
-    let wal = Wal.create () in
-    List.iter (Wal.append wal) records;
-    Wal.flush wal;
-    if not (List.for_all2 record_equal records (Wal.durable_records wal)) then
-      Alcotest.fail "random roundtrip mismatch"
-  done
+  Seeds.with_seed ~default:7 "wal.random-roundtrip" (fun seed ->
+      let prng = Prng.create ~seed:(Int64.of_int seed) in
+      for _trial = 1 to 50 do
+        let records = List.init (Prng.int prng 20) (fun _ -> random_record prng) in
+        let wal = Wal.create () in
+        List.iter (Wal.append wal) records;
+        Wal.flush wal;
+        if not (List.for_all2 record_equal records (Wal.durable_records wal)) then
+          Alcotest.fail "random roundtrip mismatch"
+      done)
+
+let random_truncation () =
+  (* Graceful rejection: a randomized log truncated at EVERY byte offset
+     decodes to a clean record prefix — never raises, never invents a
+     record, never reorders the surviving ones. *)
+  Seeds.with_seed ~default:8 "wal.random-truncation" (fun seed ->
+      let prng = Prng.create ~seed:(Int64.of_int seed) in
+      for _trial = 1 to 12 do
+        let records = List.init (1 + Prng.int prng 10) (fun _ -> random_record prng) in
+        let wal = Wal.create () in
+        List.iter (Wal.append wal) records;
+        Wal.flush wal;
+        let full = Wal.durable_bytes wal in
+        for cut = 0 to Bytes.length full do
+          let decoded = Wal.decode_records (Bytes.sub full 0 cut) in
+          if List.length decoded > List.length records then
+            Alcotest.failf "cut %d: decoded more records than were written" cut;
+          List.iteri
+            (fun i record ->
+              if not (record_equal (List.nth records i) record) then
+                Alcotest.failf "cut %d: surviving record %d differs" cut i)
+            decoded;
+          if cut = Bytes.length full && List.length decoded <> List.length records then
+            Alcotest.fail "whole log must decode completely"
+        done
+      done)
 
 let suite =
   [
@@ -94,4 +122,5 @@ let suite =
     Alcotest.test_case "flush is the durability boundary" `Quick durability_boundary;
     Alcotest.test_case "torn writes decode to a clean prefix" `Quick torn_write;
     Alcotest.test_case "random record roundtrips" `Quick random_roundtrip;
+    Alcotest.test_case "random logs reject every truncation" `Quick random_truncation;
   ]
