@@ -4,8 +4,14 @@
        expression over an ad-hoc alphabet and print the machine (or dot)
    odectl figure1                                    print the paper's
        Figure 1 machine from the credit-card schema
+   odectl lint schema.opp                            static trigger/rule
+       analysis with severity-gated exit status
    odectl demo                                       a compact run of the
-       credit-card example *)
+       credit-card example
+
+   Exit codes: 0 success, 1 command failure (including lint gating),
+   2 command-line usage errors (unknown flags or subcommands), 125
+   uncaught exceptions. *)
 
 open Cmdliner
 module Ast = Ode_event.Ast
@@ -21,6 +27,13 @@ module Value = Ode_objstore.Value
 let split_commas s =
   String.split_on_char ',' s |> List.map String.trim |> List.filter (fun s -> s <> "")
 
+(* Command failure (exit 1) and usage error (exit 2). Run functions return
+   their exit code instead of going through [Term.ret]: cmdliner 1.3
+   classifies [ret `Error] and unknown options identically, so routing our
+   own failures around it is what keeps the two exit codes distinct. *)
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("odectl: " ^ msg); 1) fmt
+let usage_die fmt = Printf.ksprintf (fun msg -> prerr_endline ("odectl: " ^ msg); 2) fmt
+
 (* ------------------------------------------------------------------ *)
 (* odectl fsm *)
 
@@ -28,7 +41,7 @@ let fsm_cmd =
   let run events masks expr_text dot raw =
     let reg = Intern.create () in
     let event_names = split_commas events in
-    if event_names = [] then `Error (false, "at least one event is required (-E)")
+    if event_names = [] then usage_die "at least one event is required (-E)"
     else begin
       let table =
         List.map (fun name -> (name, Intern.id reg ~cls:"cli" (Intern.User name))) event_names
@@ -49,14 +62,15 @@ let fsm_cmd =
         }
       in
       match Parser.parse env expr_text with
-      | Error e -> `Error (false, Format.asprintf "%a" Parser.pp_error e)
+      | Error e -> die "%s" (Format.asprintf "%a" Parser.pp_error e)
       | Ok (anchored, ast) -> begin
           let alphabet = List.map snd table in
           match
             let fsm = Compile.compile ~alphabet ~anchored ast in
-            if raw then fsm else Minimize.simplify fsm |> Minimize.prune_mask_states
+            if raw then fsm
+            else Minimize.simplify fsm |> Minimize.prune_mask_states |> Minimize.trim
           with
-          | exception Compile.Unsupported msg -> `Error (false, msg)
+          | exception Compile.Unsupported msg -> die "%s" msg
           | fsm ->
               let event_name id = Intern.name_of_id reg id in
               if dot then print_string (Fsm.to_dot ~event_name fsm)
@@ -66,7 +80,7 @@ let fsm_cmd =
                   (Ast.to_string ~event_name ast);
                 Format.printf "%a@." (Fsm.pp ~event_name ()) fsm
               end;
-              `Ok ()
+              0
         end
     end
   in
@@ -88,7 +102,7 @@ let fsm_cmd =
   in
   Cmd.v
     (Cmd.info "fsm" ~doc:"Compile an event expression to its trigger FSM")
-    Term.(ret (const run $ events $ masks $ expr $ dot $ raw))
+    Term.(const run $ events $ masks $ expr $ dot $ raw)
 
 (* ------------------------------------------------------------------ *)
 (* odectl figure1 *)
@@ -105,7 +119,7 @@ let figure1_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz.") in
   Cmd.v
     (Cmd.info "figure1" ~doc:"Print the paper's Figure 1 (AutoRaiseLimit FSM)")
-    Term.(const run $ dot)
+    Term.(const (fun dot -> run dot; 0) $ dot)
 
 (* ------------------------------------------------------------------ *)
 (* odectl opp *)
@@ -113,13 +127,13 @@ let figure1_cmd =
 let opp_cmd =
   let run path show_fsms =
     match In_channel.with_open_text path In_channel.input_all with
-    | exception Sys_error msg -> `Error (false, msg)
+    | exception Sys_error msg -> die "%s" msg
     | source -> begin
         let env = Session.create () in
         match Ode.Opp.load ~on_missing:`Stub env ~bindings:Ode.Opp.no_bindings source with
         | exception Ode.Opp.Syntax_error { line; message } ->
-            `Error (false, Printf.sprintf "%s:%d: %s" path line message)
-        | exception Session.Ode_error msg -> `Error (false, msg)
+            die "%s:%d: %s" path line message
+        | exception Session.Ode_error msg -> die "%s" msg
         | classes ->
             let event_name id = Intern.name_of_id (Session.intern env) id in
             List.iter
@@ -140,7 +154,7 @@ let opp_cmd =
                         info.Ode_trigger.Trigger_def.t_fsm)
                   descriptor.Ode_trigger.Trigger_def.d_triggers)
               classes;
-            `Ok ()
+            0
       end
   in
   let path =
@@ -150,7 +164,109 @@ let opp_cmd =
   let show = Arg.(value & flag & info [ "fsms" ] ~doc:"Print each trigger's compiled machine.") in
   Cmd.v
     (Cmd.info "opp" ~doc:"Check an O++-style schema and compile its trigger FSMs")
-    Term.(ret (const run $ path $ show))
+    Term.(const run $ path $ show)
+
+(* ------------------------------------------------------------------ *)
+(* odectl lint *)
+
+let lint_cmd =
+  let module Diagnostic = Ode_analysis.Diagnostic in
+  let module Analyze = Ode_analysis.Analyze in
+  let run json max_sev_text budget paths =
+    match Diagnostic.severity_of_string max_sev_text with
+    | None -> usage_die "bad --max-severity %S (expected info, warning or error)" max_sev_text
+    | Some max_sev -> begin
+        let config = { Analyze.default_config with Analyze.state_budget = budget } in
+        let lint_one path =
+          match In_channel.with_open_text path In_channel.input_all with
+          | exception Sys_error msg -> Error msg
+          | source -> begin
+              let env = Session.create () in
+              match
+                Ode.Opp.load ~on_missing:`Stub ~allow_lint_errors:true env
+                  ~bindings:Ode.Opp.no_bindings source
+              with
+              | exception Ode.Opp.Syntax_error { line; message } ->
+                  Error (Printf.sprintf "%s:%d: %s" path line message)
+              | exception Session.Ode_error msg -> Error (Printf.sprintf "%s: %s" path msg)
+              | _classes -> Ok (path, Diagnostic.sort (Session.lint ~config env))
+            end
+        in
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | path :: rest -> begin
+              match lint_one path with
+              | Ok result -> collect (result :: acc) rest
+              | Error msg -> Error msg
+            end
+        in
+        match collect [] paths with
+        | Error msg -> die "%s" msg
+        | Ok results ->
+            let all = List.concat_map snd results in
+            (if json then begin
+               match results with
+               | [ (file, diags) ] -> print_string (Diagnostic.report_json ~file diags)
+               | _ ->
+                   (* Same report shape as {!Diagnostic.report_json}, with a
+                      per-diagnostic file field. *)
+                   let buf = Buffer.create 1024 in
+                   Buffer.add_string buf "{\"version\":1,\"diagnostics\":[";
+                   let first = ref true in
+                   List.iter
+                     (fun (file, diags) ->
+                       List.iter
+                         (fun d ->
+                           if not !first then Buffer.add_string buf ",";
+                           first := false;
+                           Buffer.add_string buf "\n  ";
+                           Buffer.add_string buf (Diagnostic.to_json ~file d))
+                         diags)
+                     results;
+                   if not !first then Buffer.add_string buf "\n";
+                   let errors, warnings, infos = Diagnostic.counts all in
+                   Buffer.add_string buf
+                     (Printf.sprintf "],\"counts\":{\"error\":%d,\"warning\":%d,\"info\":%d}}\n"
+                        errors warnings infos);
+                   print_string (Buffer.contents buf)
+             end
+             else
+               List.iter
+                 (fun (file, diags) -> Format.printf "%a" (Diagnostic.pp_report ~file) diags)
+                 results);
+            let gated =
+              List.exists
+                (fun d ->
+                  Diagnostic.severity_rank d.Diagnostic.d_severity
+                  > Diagnostic.severity_rank max_sev)
+                all
+            in
+            if gated then 1 else 0
+      end
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+  in
+  let max_sev =
+    Arg.(value & opt string "warning"
+         & info [ "max-severity" ] ~docv:"SEV"
+             ~doc:"Highest severity allowed to pass (info, warning or error): exit 1 when any \
+                   diagnostic is strictly more severe. Default warning (errors fail the lint).")
+  in
+  let budget =
+    Arg.(value & opt int Ode_analysis.Analyze.default_config.Ode_analysis.Analyze.state_budget
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"State budget for the determinization blow-up pass.")
+  in
+  let paths =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE"
+           ~doc:"O++-style schema files (see examples/schemas/).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze the triggers of O++-style schemas (emptiness, vacuity, \
+             subsumption, termination, state blow-up)")
+    Term.(const run $ json $ max_sev $ budget $ paths)
 
 (* ------------------------------------------------------------------ *)
 (* odectl faults *)
@@ -176,14 +292,14 @@ let faults_cmd =
         (fun (plan, violation) ->
           Printf.printf "  [--fault-plan %S] %s\n" plan violation)
         result.Crashlab.sw_violations;
-      if result.Crashlab.sw_violations = [] then `Ok () else `Error (false, "violations found")
+      if result.Crashlab.sw_violations = [] then 0 else die "violations found"
     end
     else begin
       match plan_text with
-      | "" -> `Error (true, "either --fault-plan PLAN or --sweep is required")
+      | "" -> usage_die "either --fault-plan PLAN or --sweep is required"
       | text -> begin
           match Faults.plan_of_string text with
-          | Error msg -> `Error (false, Printf.sprintf "bad fault plan: %s" msg)
+          | Error msg -> usage_die "bad fault plan: %s" msg
           | Ok plan ->
               let base = Crashlab.run ~config ~plan:[] () in
               let result = Crashlab.run ~config ~plan () in
@@ -209,10 +325,10 @@ let faults_cmd =
               (match violations with
               | [] ->
                   Printf.printf "recovery  : all invariants hold\n";
-                  `Ok ()
+                  0
               | vs ->
                   List.iter (fun v -> Printf.printf "VIOLATION : %s\n" v) vs;
-                  `Error (false, "recovery invariants violated"))
+                  die "recovery invariants violated")
         end
     end
   in
@@ -243,7 +359,7 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Replay a deterministic fault plan (or sweep all crash points) and verify recovery")
-    Term.(ret (const run $ plan $ sweep $ stride $ seed $ txns))
+    Term.(const run $ plan $ sweep $ stride $ seed $ txns)
 
 (* ------------------------------------------------------------------ *)
 (* odectl demo *)
@@ -283,9 +399,24 @@ let demo_cmd =
   let store =
     Arg.(value & opt string "mem" & info [ "store" ] ~docv:"KIND" ~doc:"'mem' or 'disk'.")
   in
-  Cmd.v (Cmd.info "demo" ~doc:"Compact credit-card demo") Term.(const run $ store)
+  Cmd.v (Cmd.info "demo" ~doc:"Compact credit-card demo")
+    Term.(const (fun store -> run store; 0) $ store)
 
 let () =
   let doc = "Ode active-database reproduction tools" in
   let info = Cmd.info "odectl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ fsm_cmd; figure1_cmd; opp_cmd; demo_cmd; faults_cmd ]))
+  let group =
+    Cmd.group info [ fsm_cmd; figure1_cmd; opp_cmd; lint_cmd; demo_cmd; faults_cmd ]
+  in
+  (* Strict command-line handling: cmdliner's default eval maps parse
+     errors to exit 124. Here every run function returns its own exit code
+     (1 for command failures, 2 for usage errors it detects itself), so
+     the only [Error] cases left are cmdliner's own command-line errors —
+     unknown flags or subcommands, bad option values — which exit 2 with
+     usage on stderr; uncaught exceptions exit 125. *)
+  exit
+    (match Cmd.eval_value group with
+    | Ok (`Ok code) -> code
+    | Ok (`Version | `Help) -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 125)

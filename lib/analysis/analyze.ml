@@ -1,0 +1,406 @@
+module Ast = Ode_event.Ast
+module Fsm = Ode_event.Fsm
+module Compile = Ode_event.Compile
+module Minimize = Ode_event.Minimize
+module Coupling = Ode_trigger.Coupling
+module Trigger_def = Ode_trigger.Trigger_def
+module IntSet = Fsm.IntSet
+
+type rule = {
+  r_cls : string;
+  r_name : string;
+  r_source : string;
+  r_expr : Ast.t;
+  r_anchored : bool;
+  r_fsm : Fsm.t;
+  r_coupling : Coupling.t;
+  r_posts : int list;
+}
+
+let rule_of_info ~cls (info : Trigger_def.info) =
+  {
+    r_cls = cls;
+    r_name = info.Trigger_def.t_name;
+    r_source = info.Trigger_def.t_source;
+    r_expr = info.Trigger_def.t_expr;
+    r_anchored = info.Trigger_def.t_anchored;
+    r_fsm = info.Trigger_def.t_fsm;
+    r_coupling = info.Trigger_def.t_coupling;
+    r_posts = info.Trigger_def.t_posts;
+  }
+
+let rules_of_registry registry =
+  Trigger_def.Registry.classes registry
+  |> List.sort String.compare
+  |> List.concat_map (fun cls ->
+         let descriptor = Trigger_def.Registry.find_exn registry cls in
+         Array.to_list descriptor.Trigger_def.d_triggers |> List.map (rule_of_info ~cls))
+
+type config = {
+  state_budget : int;
+  emptiness : bool;
+  vacuity : bool;
+  subsumption : bool;
+  termination : bool;
+  blowup : bool;
+}
+
+let default_config =
+  { state_budget = 256; emptiness = true; vacuity = true; subsumption = true; termination = true;
+    blowup = true }
+
+let define_time_config =
+  { default_config with vacuity = false; subsumption = false; blowup = false }
+
+(* ---------------- AST surgery for the vacuity pass ---------------- *)
+
+(* The empty language, expressible without a dedicated constructor: the
+   complement of everything. Mask-free, so it is a legal [Not] operand. *)
+let empty_ast = Ast.Not (Ast.Star Ast.Any)
+
+let rec masked_occurrences = function
+  | Ast.Empty | Ast.Basic _ | Ast.Any -> 0
+  | Ast.Seq (a, b) | Ast.Or (a, b) | Ast.And (a, b) ->
+      masked_occurrences a + masked_occurrences b
+  | Ast.Not a | Ast.Star a | Ast.Plus a | Ast.Opt a -> masked_occurrences a
+  | Ast.Masked (a, _) -> 1 + masked_occurrences a
+  | Ast.Relative parts -> List.fold_left (fun acc p -> acc + masked_occurrences p) 0 parts
+
+(* Replace the [n]-th [Masked] node (prefix order) with [f operand mask]. *)
+let replace_nth_masked expr n f =
+  let k = ref (-1) in
+  let rec go e =
+    match e with
+    | Ast.Empty | Ast.Basic _ | Ast.Any -> e
+    | Ast.Seq (a, b) ->
+        let a = go a in
+        Ast.Seq (a, go b)
+    | Ast.Or (a, b) ->
+        let a = go a in
+        Ast.Or (a, go b)
+    | Ast.And (a, b) ->
+        let a = go a in
+        Ast.And (a, go b)
+    | Ast.Not a -> Ast.Not (go a)
+    | Ast.Star a -> Ast.Star (go a)
+    | Ast.Plus a -> Ast.Plus (go a)
+    | Ast.Opt a -> Ast.Opt (go a)
+    | Ast.Masked (a, m) ->
+        incr k;
+        if !k = n then f a m else Ast.Masked (go a, m)
+    | Ast.Relative parts -> Ast.Relative (List.map go parts)
+  in
+  go expr
+
+let nth_masked expr n =
+  let k = ref (-1) in
+  let found = ref None in
+  let rec go e =
+    if !found = None then begin
+      match e with
+      | Ast.Empty | Ast.Basic _ | Ast.Any -> ()
+      | Ast.Seq (a, b) | Ast.Or (a, b) | Ast.And (a, b) ->
+          go a;
+          go b
+      | Ast.Not a | Ast.Star a | Ast.Plus a | Ast.Opt a -> go a
+      | Ast.Masked (a, m) ->
+          incr k;
+          if !k = n then found := Some (a, m) else go a
+      | Ast.Relative parts -> List.iter go parts
+    end
+  in
+  go expr;
+  !found
+
+(* ---------------- Tarjan SCC ---------------- *)
+
+let sccs edges n =
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strong w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      edges.(v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strong v
+  done;
+  List.rev !out
+
+(* ---------------- the passes ---------------- *)
+
+let analyze ?(config = default_config) ?(event_name = fun e -> Printf.sprintf "e%d" e)
+    ?(before_twin = fun _ -> None) rules =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let rules_arr = Array.of_list rules in
+  let n = Array.length rules_arr in
+  let dead = Array.map (fun r -> Lang.empty r.r_fsm) rules_arr in
+  let qualified r = r.r_cls ^ "." ^ r.r_name in
+  let alphabet_of r = IntSet.elements r.r_fsm.Fsm.alphabet in
+  let recompile r expr =
+    match Compile.compile ~alphabet:(alphabet_of r) ~anchored:r.r_anchored expr with
+    | fsm -> Some fsm
+    | exception (Compile.Unsupported _ | Invalid_argument _) -> None
+  in
+
+  (* Emptiness. *)
+  if config.emptiness then
+    Array.iteri
+      (fun i r ->
+        if dead.(i) then
+          add
+            (Diagnostic.make ~severity:Diagnostic.Error ~code:"dead-trigger" ~pass:"emptiness"
+               ~cls:r.r_cls ~trigger:r.r_name ~source:r.r_source
+               "event expression can never fire: no event sequence reaches an accepting state \
+                under any mask valuation"))
+      rules_arr;
+
+  (* Blow-up budget + prunable-state accounting (both need the raw
+     determinized machine, so they share one recompile). *)
+  if config.blowup then
+    Array.iter
+      (fun r ->
+        match recompile r r.r_expr with
+        | None -> ()
+        | Some raw ->
+            let nraw = Fsm.num_states raw in
+            if nraw > config.state_budget then
+              add
+                (Diagnostic.make ~severity:Diagnostic.Warning ~code:"state-blowup" ~pass:"blowup"
+                   ~cls:r.r_cls ~trigger:r.r_name ~source:r.r_source
+                   (Printf.sprintf
+                      "determinization produced %d states (budget %d); every activation pays for \
+                       this machine"
+                      nraw config.state_budget));
+            let live =
+              IntSet.add raw.Fsm.start
+                (IntSet.inter (Minimize.reachable raw) (Minimize.coaccessible raw))
+            in
+            let prunable = nraw - IntSet.cardinal live in
+            if prunable > 0 then
+              add
+                (Diagnostic.make ~severity:Diagnostic.Info ~code:"prunable-states" ~pass:"emptiness"
+                   ~cls:r.r_cls ~trigger:r.r_name ~source:r.r_source
+                   (Printf.sprintf
+                      "%d of %d raw subset-construction states are unreachable or cannot reach an \
+                       accept (trimmed from the registered machine)"
+                      prunable nraw)))
+      rules_arr;
+
+  (* Vacuity. *)
+  if config.vacuity then
+    Array.iteri
+      (fun i r ->
+        if not dead.(i) then begin
+          let base = recompile r r.r_expr in
+          (* Masks: does the masked subexpression ever lie on a completed
+             match, and does the mask's outcome ever matter? *)
+          (match base with
+          | None -> ()
+          | Some base ->
+              for occurrence = 0 to masked_occurrences r.r_expr - 1 do
+                match nth_masked r.r_expr occurrence with
+                | None -> ()
+                | Some (operand, mask) ->
+                    let excerpt =
+                      Ast.to_string ~event_name (Ast.Masked (operand, mask))
+                    in
+                    let variant f = recompile r (replace_nth_masked r.r_expr occurrence f) in
+                    let same variant_fsm =
+                      match variant_fsm with
+                      | Some v -> Lang.equal_lang base v
+                      | None -> false
+                    in
+                    if same (variant (fun _ _ -> empty_ast)) then
+                      add
+                        (Diagnostic.make ~severity:Diagnostic.Warning ~code:"vacuous-mask"
+                           ~pass:"vacuity" ~cls:r.r_cls ~trigger:r.r_name ~source:r.r_source
+                           ~excerpt
+                           (Printf.sprintf
+                              "masked subexpression never lies on a completed match; mask %s is \
+                               evaluated only on paths that cannot fire"
+                              mask.Ast.mask_name))
+                    else if same (variant (fun operand _ -> operand)) then
+                      add
+                        (Diagnostic.make ~severity:Diagnostic.Warning ~code:"irrelevant-mask"
+                           ~pass:"vacuity" ~cls:r.r_cls ~trigger:r.r_name ~source:r.r_source
+                           ~excerpt
+                           (Printf.sprintf
+                              "mask %s has no effect: dropping it leaves the fired language \
+                               unchanged"
+                              mask.Ast.mask_name))
+              done);
+          (* Anchored posting order: before f always precedes after f
+             (§5.3 wrapper order), so an anchored machine whose only
+             viable openers are after-events it rejects as before-events
+             can never begin a match. *)
+          if r.r_anchored then begin
+            let openers = Lang.start_live_events r.r_fsm in
+            let blocked e =
+              match before_twin e with
+              | Some b when b <> e -> Lang.start_rejects r.r_fsm b
+              | Some _ | None -> false
+            in
+            if (not (IntSet.is_empty openers)) && IntSet.for_all blocked openers then
+              add
+                (Diagnostic.make ~severity:Diagnostic.Warning ~code:"anchor-order" ~pass:"vacuity"
+                   ~cls:r.r_cls ~trigger:r.r_name ~source:r.r_source
+                   (Printf.sprintf
+                      "anchored expression can never begin: every viable opening event (%s) is an \
+                       'after' whose declared 'before' twin is posted first and kills the machine"
+                      (String.concat ", " (List.map event_name (IntSet.elements openers)))))
+          end;
+          (* Repetition operands that cannot match any event sequence. *)
+          let sub_vacuous sub =
+            match Compile.compile ~alphabet:(alphabet_of r) ~anchored:true sub with
+            | fsm -> Lang.empty fsm
+            | exception (Compile.Unsupported _ | Invalid_argument _) -> false
+          in
+          let flag_repeat node =
+            add
+              (Diagnostic.make ~severity:Diagnostic.Warning ~code:"vacuous-repeat" ~pass:"vacuity"
+                 ~cls:r.r_cls ~trigger:r.r_name ~source:r.r_source
+                 ~excerpt:(Ast.to_string ~event_name node)
+                 "repetition operand can never match any event sequence; the repetition \
+                  contributes nothing to the match")
+          in
+          let rec walk e =
+            match e with
+            | Ast.Empty | Ast.Basic _ | Ast.Any -> ()
+            | Ast.Seq (a, b) | Ast.Or (a, b) | Ast.And (a, b) ->
+                walk a;
+                walk b
+            | Ast.Not a | Ast.Masked (a, _) -> walk a
+            | Ast.Star a | Ast.Plus a | Ast.Opt a ->
+                if sub_vacuous a then flag_repeat e else walk a
+            | Ast.Relative parts ->
+                List.iter (fun p -> if sub_vacuous p then flag_repeat p else walk p) parts
+          in
+          walk r.r_expr
+        end)
+      rules_arr;
+
+  (* Subsumption within each class. *)
+  if config.subsumption then begin
+    let by_cls = Hashtbl.create 8 in
+    Array.iteri
+      (fun i r ->
+        let existing = try Hashtbl.find by_cls r.r_cls with Not_found -> [] in
+        Hashtbl.replace by_cls r.r_cls (i :: existing))
+      rules_arr;
+    let classes = Hashtbl.fold (fun cls _ acc -> cls :: acc) by_cls [] |> List.sort String.compare in
+    List.iter
+      (fun cls ->
+        let idxs = List.rev (Hashtbl.find by_cls cls) in
+        let rec pairs = function
+          | [] -> ()
+          | i :: rest ->
+              List.iter
+                (fun j ->
+                  if (not dead.(i)) && not dead.(j) then begin
+                    let a = rules_arr.(i) and b = rules_arr.(j) in
+                    let ij = Lang.included a.r_fsm b.r_fsm in
+                    let ji = Lang.included b.r_fsm a.r_fsm in
+                    let shadow x y =
+                      add
+                        (Diagnostic.make ~severity:Diagnostic.Warning ~code:"shadowed-trigger"
+                           ~pass:"subsumption" ~cls:x.r_cls ~trigger:x.r_name ~source:x.r_source
+                           ~related:[ qualified y ]
+                           (Printf.sprintf
+                              "every event sequence that fires this trigger also fires %s"
+                              (qualified y)))
+                    in
+                    if ij && ji then
+                      add
+                        (Diagnostic.make ~severity:Diagnostic.Warning ~code:"equivalent-triggers"
+                           ~pass:"subsumption" ~cls:a.r_cls ~trigger:a.r_name ~source:a.r_source
+                           ~related:[ qualified b ]
+                           (Printf.sprintf "fires on exactly the same event sequences as %s"
+                              (qualified b)))
+                    else if ij then shadow a b
+                    else if ji then shadow b a
+                  end)
+                rest;
+              pairs rest
+        in
+        pairs idxs)
+      classes
+  end;
+
+  (* Termination: the rule triggering graph. *)
+  if config.termination then begin
+    (* Edge u -> v iff u's action can post an event that completes a
+       firing of v. Firing events, not live ones: an unanchored machine is
+       kept live by every event (the implicit any-prefix), but a cascade
+       only recurses through events that actually fire the next rule. *)
+    let fires = Array.map (fun r -> Lang.firing_events r.r_fsm) rules_arr in
+    let edges =
+      Array.init n (fun u ->
+          if dead.(u) || rules_arr.(u).r_posts = [] then []
+          else
+            List.filter
+              (fun v -> List.exists (fun e -> IntSet.mem e fires.(v)) rules_arr.(u).r_posts)
+              (List.init n Fun.id))
+    in
+    List.iter
+      (fun component ->
+        let cyclic =
+          match component with
+          | [ v ] -> List.mem v edges.(v)
+          | _ :: _ :: _ -> true
+          | [] -> false
+        in
+        if cyclic then begin
+          let members = List.sort Int.compare component in
+          let names = List.map (fun v -> qualified rules_arr.(v)) members in
+          let all_immediate =
+            List.for_all (fun v -> rules_arr.(v).r_coupling = Coupling.Immediate) members
+          in
+          let head = rules_arr.(List.hd members) in
+          let severity = if all_immediate then Diagnostic.Error else Diagnostic.Warning in
+          let message =
+            if all_immediate then
+              Printf.sprintf
+                "immediate-coupling trigger cycle (%s): each firing can re-post events the others \
+                 match within the same transaction; the runtime aborts such cascades at depth 64"
+                (String.concat " -> " (names @ [ List.hd names ]))
+            else
+              Printf.sprintf
+                "trigger cycle (%s): deferred couplings spread the cascade across transactions, \
+                 but it may still never terminate"
+                (String.concat " -> " (names @ [ List.hd names ]))
+          in
+          add
+            (Diagnostic.make ~severity ~code:"trigger-cycle" ~pass:"termination" ~cls:head.r_cls
+               ~trigger:head.r_name ~source:head.r_source ~related:names message)
+        end)
+      (sccs edges n)
+  end;
+
+  Diagnostic.sort !diags

@@ -1,0 +1,83 @@
+(** Static analysis of compiled trigger sets — five passes over the
+    {!Ode_event.Fsm} representations, reporting {!Diagnostic.t}s.
+
+    {b Emptiness} (code [dead-trigger], Error): the trigger's fired
+    language is empty ({!Lang.empty} on the registered machine); plus an
+    Info ([prunable-states]) counting raw subset-construction states that
+    are unreachable or non-coaccessible (what {!Ode_event.Minimize.trim}
+    prunes).
+
+    {b Vacuity} (Warnings): [vacuous-mask] — a masked subexpression never
+    lies on a completed match (replacing it by the empty language leaves
+    the fired language unchanged); [irrelevant-mask] — the mask's outcome
+    never matters (replacing [e & p] by [e] leaves it unchanged);
+    [anchor-order] — an anchored machine whose only viable opening events
+    are [after f] postings whose paired [before f] the machine rejects
+    from its start, so the method-wrapper posting order ([before] precedes
+    [after], §5.3) kills every activation before it can begin;
+    [vacuous-repeat] — a [*]/[+]/[?]/[relative] operand that cannot match
+    any event sequence.
+
+    {b Subsumption} ([shadowed-trigger] / [equivalent-triggers],
+    Warnings): pairwise fired-language inclusion between triggers of the
+    same class, under a shared mask valuation (mask ids are positional per
+    class, so id equality means predicate equality).
+
+    {b Termination} ([trigger-cycle]): the rule triggering graph has an
+    edge A→B when A's declared postings ([posts] clauses / [tr_posts])
+    intersect B's live events; a strongly connected component is an Error
+    when every member couples [immediate] (the cascade recurses inside one
+    transaction — the runtime aborts at depth 64) and a Warning otherwise
+    (deferred couplings spread the cascade across transactions).
+
+    {b Blow-up} ([state-blowup], Warning): the raw determinized machine
+    exceeds [state_budget] states. *)
+
+module Fsm := Ode_event.Fsm
+module Ast := Ode_event.Ast
+
+type rule = {
+  r_cls : string;
+  r_name : string;
+  r_source : string;  (** event-expression source text, for spans *)
+  r_expr : Ast.t;
+  r_anchored : bool;
+  r_fsm : Fsm.t;  (** the registered (simplified, trimmed, pruned) machine *)
+  r_coupling : Ode_trigger.Coupling.t;
+  r_posts : int list;  (** event ids the action declares it may post *)
+}
+
+val rule_of_info : cls:string -> Ode_trigger.Trigger_def.info -> rule
+
+val rules_of_registry : Ode_trigger.Trigger_def.Registry.t -> rule list
+(** Every trigger of every registered class, ordered by class name then
+    trigger index (deterministic). *)
+
+type config = {
+  state_budget : int;  (** determinization budget for the blow-up pass *)
+  emptiness : bool;
+  vacuity : bool;
+  subsumption : bool;
+  termination : bool;
+  blowup : bool;  (** also controls the [prunable-states] Info *)
+}
+
+val default_config : config
+(** All passes on; [state_budget = 256]. *)
+
+val define_time_config : config
+(** Only the error-capable passes (emptiness, termination) — what
+    {!Session.define_class} runs to gate registration; cheap enough for
+    every definition. *)
+
+val analyze :
+  ?config:config ->
+  ?event_name:(int -> string) ->
+  ?before_twin:(int -> int option) ->
+  rule list ->
+  Diagnostic.t list
+(** Run the configured passes over the rule set. [event_name] renders
+    event ids in messages; [before_twin e] maps an [after f] event id to
+    the interned id of its declared [before f] twin (if any) for the
+    anchored posting-order check — {!Session} supplies both. Diagnostics
+    are returned {!Diagnostic.sort}ed. *)

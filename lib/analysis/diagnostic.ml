@@ -1,0 +1,153 @@
+type severity = Info | Warning | Error
+
+let severity_to_string = function Info -> "info" | Warning -> "warning" | Error -> "error"
+
+let severity_of_string = function
+  | "info" -> Some Info
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+type span = {
+  sp_class : string;
+  sp_trigger : string option;
+  sp_source : string;
+  sp_excerpt : string option;
+}
+
+type t = {
+  d_severity : severity;
+  d_code : string;
+  d_pass : string;
+  d_span : span;
+  d_message : string;
+  d_related : string list;
+}
+
+let make ~severity ~code ~pass ~cls ?trigger ?(source = "") ?excerpt ?(related = []) message =
+  {
+    d_severity = severity;
+    d_code = code;
+    d_pass = pass;
+    d_span = { sp_class = cls; sp_trigger = trigger; sp_source = source; sp_excerpt = excerpt };
+    d_message = message;
+    d_related = related;
+  }
+
+let compare a b =
+  let c = Int.compare (severity_rank b.d_severity) (severity_rank a.d_severity) in
+  if c <> 0 then c
+  else begin
+    let c = String.compare a.d_span.sp_class b.d_span.sp_class in
+    if c <> 0 then c
+    else begin
+      let c = Option.compare String.compare a.d_span.sp_trigger b.d_span.sp_trigger in
+      if c <> 0 then c
+      else begin
+        let c = String.compare a.d_code b.d_code in
+        if c <> 0 then c else String.compare a.d_message b.d_message
+      end
+    end
+  end
+
+let sort diagnostics = List.sort compare diagnostics
+
+let counts diagnostics =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.d_severity with Error -> (e + 1, w, i) | Warning -> (e, w + 1, i) | Info -> (e, w, i + 1))
+    (0, 0, 0) diagnostics
+
+let max_severity diagnostics =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | None -> Some d.d_severity
+      | Some s -> if severity_rank d.d_severity > severity_rank s then Some d.d_severity else acc)
+    None diagnostics
+
+(* ---------------- JSON ---------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let to_json ?file d =
+  let fields =
+    (match file with Some f -> [ ("file", json_str f) ] | None -> [])
+    @ [
+        ("severity", json_str (severity_to_string d.d_severity));
+        ("code", json_str d.d_code);
+        ("pass", json_str d.d_pass);
+        ("class", json_str d.d_span.sp_class);
+        ( "trigger",
+          match d.d_span.sp_trigger with Some t -> json_str t | None -> "null" );
+        ("source", json_str d.d_span.sp_source);
+        ("excerpt", match d.d_span.sp_excerpt with Some e -> json_str e | None -> "null");
+        ("message", json_str d.d_message);
+        ("related", "[" ^ String.concat "," (List.map json_str d.d_related) ^ "]");
+      ]
+  in
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields) ^ "}"
+
+let report_json ?file diagnostics =
+  let diagnostics = sort diagnostics in
+  let errors, warnings, infos = counts diagnostics in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"version\":1,\"diagnostics\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n  ";
+      Buffer.add_string buf (to_json ?file d))
+    diagnostics;
+  if diagnostics <> [] then Buffer.add_string buf "\n";
+  Buffer.add_string buf
+    (Printf.sprintf "],\"counts\":{\"error\":%d,\"warning\":%d,\"info\":%d}}\n" errors warnings
+       infos);
+  Buffer.contents buf
+
+(* ---------------- human rendering ---------------- *)
+
+let pp ?file fmt d =
+  let where =
+    match d.d_span.sp_trigger with
+    | Some t -> d.d_span.sp_class ^ "." ^ t
+    | None -> d.d_span.sp_class
+  in
+  Format.fprintf fmt "@[<v>%s%s[%s] %s: %s"
+    (match file with Some f -> f ^ ": " | None -> "")
+    (severity_to_string d.d_severity)
+    d.d_code where d.d_message;
+  if d.d_span.sp_source <> "" then Format.fprintf fmt "@,    on: %s" d.d_span.sp_source;
+  (match d.d_span.sp_excerpt with
+  | Some e -> Format.fprintf fmt "@,    at: %s" e
+  | None -> ());
+  if d.d_related <> [] then
+    Format.fprintf fmt "@,    with: %s" (String.concat ", " d.d_related);
+  Format.fprintf fmt "@]"
+
+let pp_report ?file fmt diagnostics =
+  let diagnostics = sort diagnostics in
+  List.iter (fun d -> Format.fprintf fmt "%a@." (pp ?file) d) diagnostics;
+  let errors, warnings, infos = counts diagnostics in
+  Format.fprintf fmt "%d error%s, %d warning%s, %d info@." errors
+    (if errors = 1 then "" else "s")
+    warnings
+    (if warnings = 1 then "" else "s")
+    infos

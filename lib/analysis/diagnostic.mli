@@ -1,0 +1,78 @@
+(** Structured analyzer diagnostics.
+
+    Every finding of {!Analyze} is a {!t}: a severity, a stable
+    machine-readable code (one per finding kind, e.g. ["dead-trigger"]),
+    the pass that produced it, a source span locating the trigger (class,
+    trigger name, the event-expression source text and optionally the
+    offending subexpression), a human message, and the other
+    ["Class.Trigger"] names involved (for subsumption pairs and
+    termination cycles).
+
+    The JSON encoder is hand-rolled (the repo carries no JSON dependency)
+    and the rendering is deterministic: [sort] orders diagnostics by
+    descending severity, then class, trigger, code and message, so golden
+    tests and CI output are stable. *)
+
+type severity = Info | Warning | Error
+
+val severity_to_string : severity -> string
+(** ["info"], ["warning"], ["error"]. *)
+
+val severity_of_string : string -> severity option
+
+val severity_rank : severity -> int
+(** [Info] < [Warning] < [Error]; for [--max-severity] gating. *)
+
+type span = {
+  sp_class : string;
+  sp_trigger : string option;  (** [None] for class-level findings *)
+  sp_source : string;  (** the trigger's event-expression source text *)
+  sp_excerpt : string option;  (** offending subexpression, pretty-printed *)
+}
+
+type t = {
+  d_severity : severity;
+  d_code : string;  (** stable finding kind, e.g. ["dead-trigger"] *)
+  d_pass : string;  (** producing pass, e.g. ["emptiness"] *)
+  d_span : span;
+  d_message : string;
+  d_related : string list;  (** other ["Class.Trigger"] names involved *)
+}
+
+val make :
+  severity:severity ->
+  code:string ->
+  pass:string ->
+  cls:string ->
+  ?trigger:string ->
+  ?source:string ->
+  ?excerpt:string ->
+  ?related:string list ->
+  string ->
+  t
+(** [make ... message]. *)
+
+val compare : t -> t -> int
+val sort : t list -> t list
+
+val counts : t list -> int * int * int
+(** [(errors, warnings, infos)]. *)
+
+val max_severity : t list -> severity option
+
+val json_escape : string -> string
+(** JSON string-body escaping (quotes not included). *)
+
+val to_json : ?file:string -> t -> string
+(** One diagnostic as a single-line JSON object. *)
+
+val report_json : ?file:string -> t list -> string
+(** A full report: [{"version":1,"diagnostics":[...],"counts":{...}}],
+    diagnostics pre-sorted with {!sort}. *)
+
+val pp : ?file:string -> Format.formatter -> t -> unit
+(** Human rendering: ["error[dead-trigger] Cls.Trig: message"] plus
+    indented source/excerpt/related lines. *)
+
+val pp_report : ?file:string -> Format.formatter -> t list -> unit
+(** All diagnostics ({!sort}ed) followed by a one-line summary. *)

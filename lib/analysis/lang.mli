@@ -1,0 +1,78 @@
+(** Language-level operations on compiled trigger machines.
+
+    These mirror the runtime's firing semantics ({!Ode_trigger.Runtime}),
+    not classical DFA acceptance: an activation starts in [start], settles
+    pending masks immediately (the activation-time cascade), and {e fires}
+    when a posted event moves the machine ([Goto]) into a configuration
+    that settles on an accepting state. [Stay] (event outside the
+    alphabet) never fires, and [Dead] is permanent.
+
+    Mask predicates are uninterpreted: within one posting position (one
+    event plus its cascade) a mask id has a single boolean value, so the
+    exploration branches on each mask at most once per position and keeps
+    the partial valuation consistent across the cascade — and, for the
+    product constructions, consistent {e across both machines}, which is
+    what makes pairwise inclusion sound for triggers sharing a class's
+    positional mask-id space. Across positions the valuation is free (the
+    database may change between events). Cascades replicate the runtime's
+    revisit guard: a cycle quiesces at the first repeated state.
+
+    All judgements are exact for mask-free machines and for machines whose
+    cascade chains never consult a mask twice (the common case); the
+    revisit guard makes the remaining corner match the runtime rather
+    than any textbook language. *)
+
+module Fsm := Ode_event.Fsm
+
+val can_fire : Fsm.t -> bool
+(** Is the machine's fired language non-empty — can {e any} event stream
+    and mask valuation make an activation fire at least once? *)
+
+val empty : Fsm.t -> bool
+(** [not (can_fire fsm)]: the trigger is dead. *)
+
+val witness : Fsm.t -> int list option
+(** A shortest event-id sequence whose posting fires the machine under
+    {e some} mask valuation ([None] iff {!empty}). For mask-free machines
+    replaying the witness through {!Fsm.step} ends on an accepting state —
+    the differential property test's contract. *)
+
+val fires_not_covered : Fsm.t -> Fsm.t -> (int list * int) option
+(** [fires_not_covered a b] searches for a stream after which [a] fires
+    and [b] does not (under a shared, consistent mask valuation). Returns
+    the event prefix and the firing event, or [None] when every firing of
+    [a] is covered by [b]. *)
+
+val included : Fsm.t -> Fsm.t -> bool
+(** [included a b]: every stream+valuation that fires [a] also fires [b]
+    at the same posting ([fires_not_covered a b = None]). *)
+
+val equal_lang : Fsm.t -> Fsm.t -> bool
+(** Inclusion both ways. *)
+
+val live_events : Fsm.t -> Fsm.IntSet.t
+(** Events carried by some transition from a (graph-)reachable state into
+    a (graph-)coaccessible state — the events that can still contribute to
+    a firing. Over-approximate in the same way as {!Ode_event.Minimize}'s
+    reachability (mask-valuation consistency is ignored). *)
+
+val firing_events : Fsm.t -> Fsm.IntSet.t
+(** Events that can {e complete} a firing: label a [Goto] from some
+    (graph-)reachable state into a configuration that settles on an
+    accepting state. Strictly smaller than {!live_events} in general — for
+    an unanchored machine every alphabet event is live (the implicit
+    [( *any ),] prefix loops on everything) but only the accepting events
+    fire. The termination pass builds its rule triggering graph from
+    these: an unbounded immediate cascade needs each firing to be
+    completed by an event posted by an earlier firing, so only firing
+    events can close a cycle. *)
+
+val start_live_events : Fsm.t -> Fsm.IntSet.t
+(** Events that can viably {e open} a match: from some settled start
+    configuration, a [Goto] into a coaccessible state. Used by the
+    anchored posting-order check. *)
+
+val start_rejects : Fsm.t -> int -> bool
+(** [start_rejects fsm e]: from every settled start configuration, event
+    [e] is [Dead] (in the alphabet, no transition) — an anchored machine
+    activated before [e] cannot survive it. *)

@@ -17,8 +17,8 @@ let before_tcomplete = Intern.Before_tcomplete
 let before_tabort = Intern.Before_tabort
 let after_tcommit = Intern.After_tcommit
 
-let trigger ?(params = []) ?(perpetual = false) ?(coupling = Coupling.Immediate) name ~event
-    ~action =
+let trigger ?(params = []) ?(perpetual = false) ?(coupling = Coupling.Immediate) ?(posts = [])
+    name ~event ~action =
   {
     Session.tr_name = name;
     tr_params = params;
@@ -26,6 +26,7 @@ let trigger ?(params = []) ?(perpetual = false) ?(coupling = Coupling.Immediate)
     tr_perpetual = perpetual;
     tr_coupling = coupling;
     tr_action = action;
+    tr_posts = posts;
   }
 
 let obj_get env (ctx : Ctx.ctx) field = Session.get_field env ctx.Ctx.txn ctx.Ctx.obj field

@@ -24,12 +24,14 @@ val trigger :
   ?params:string list ->
   ?perpetual:bool ->
   ?coupling:Ode_trigger.Coupling.t ->
+  ?posts:string list ->
   string ->
   event:string ->
   action:Session.action_impl ->
   Session.trigger_spec
 (** Defaults: no parameters, once-only, immediate coupling — the paper's
-    defaults. *)
+    defaults. [posts] declares the events the action may post (for the
+    static analyzer's termination pass); default none. *)
 
 (* Accessors for trigger masks/actions (which receive a {!Ctx.ctx} for the
    anchor object). *)

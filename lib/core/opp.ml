@@ -294,6 +294,34 @@ let split_modifiers line raw =
   in
   (perpetual, coupling, expr)
 
+(* The action part of a trigger is "NAME [posts DECL, DECL...]": an action
+   binding name, optionally followed by the events the action may post
+   (event-declaration syntax, fed to the static analyzer's termination
+   pass). *)
+let split_posts raw =
+  let raw = String.trim raw in
+  let n = String.length raw in
+  let rec find i =
+    if i + 5 > n then None
+    else if
+      String.sub raw i 5 = "posts"
+      && i > 0
+      && (not (is_ident raw.[i - 1]))
+      && (i + 5 = n || not (is_ident raw.[i + 5]))
+    then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> (raw, [])
+  | Some i ->
+      let action = String.trim (String.sub raw 0 i) in
+      let posts =
+        String.split_on_char ',' (String.sub raw (i + 5) (n - i - 5))
+        |> List.map String.trim
+        |> List.filter (fun p -> p <> "")
+      in
+      (action, posts)
+
 (* ------------------------------------------------------------------ *)
 (* Class bodies. *)
 
@@ -302,8 +330,8 @@ type decl = {
   mutable d_methods : string list;
   mutable d_masks : string list;
   mutable d_events : Ode_event.Intern.basic list;
-  mutable d_triggers : (string * string list * bool * Coupling.t * string * string) list;
-      (* name, params, perpetual, coupling, expr text, action name *)
+  mutable d_triggers : (string * string list * bool * Coupling.t * string * string * string list) list;
+      (* name, params, perpetual, coupling, expr text, action name, posts *)
   mutable d_constraints : string list;
 }
 
@@ -364,10 +392,11 @@ let parse_class_body cur =
             expect_char cur ':' "':'";
             let raw = until cur "==>" in
             let perpetual, coupling, expr = split_modifiers line raw in
-            let action = String.trim (until cur ";") in
+            let action, posts = split_posts (until cur ";") in
             if expr = "" then syntax_error line "trigger %s has an empty event expression" name;
             if action = "" then syntax_error line "trigger %s has an empty action" name;
-            decl.d_triggers <- decl.d_triggers @ [ (name, params, perpetual, coupling, expr, action) ]
+            decl.d_triggers <-
+              decl.d_triggers @ [ (name, params, perpetual, coupling, expr, action, posts) ]
         | type_name ->
             (* field: TYPE NAME [= LITERAL]; *)
             let default =
@@ -394,7 +423,7 @@ let parse_class_body cur =
 
 (* ------------------------------------------------------------------ *)
 
-let define_one env ~on_missing ~bindings ~name ~parents decl =
+let define_one env ~on_missing ~allow_lint_errors ~bindings ~name ~parents decl =
   let cls = name in
   let stub_method : Session.method_impl = fun _ctx _args -> Value.Null in
   let stub_mask : Session.mask_impl = fun _env _ctx -> false in
@@ -418,7 +447,7 @@ let define_one env ~on_missing ~bindings ~name ~parents decl =
   in
   let triggers =
     List.map
-      (fun (tname, params, perpetual, coupling, expr, action_name) ->
+      (fun (tname, params, perpetual, coupling, expr, action_name, posts) ->
         let action =
           if action_name = "tabort" then fun _env _ctx -> Session.tabort ()
           else resolve ~stub:stub_action ~on_missing "action" bindings.actions ~cls action_name
@@ -430,13 +459,14 @@ let define_one env ~on_missing ~bindings ~name ~parents decl =
           tr_perpetual = perpetual;
           tr_coupling = coupling;
           tr_action = action;
+          tr_posts = posts;
         })
       decl.d_triggers
   in
   Session.define_class env ~name ~parents ~fields:decl.d_fields ~methods
-    ~events:decl.d_events ~masks ~triggers ~constraints ()
+    ~events:decl.d_events ~masks ~triggers ~constraints ~allow_lint_errors ()
 
-let load ?(on_missing = `Error) env ~bindings source =
+let load ?(on_missing = `Error) ?(allow_lint_errors = false) env ~bindings source =
   let cur = { text = strip_comments source; pos = 0 } in
   let defined = ref [] in
   while not (at_end cur) do
@@ -466,7 +496,7 @@ let load ?(on_missing = `Error) env ~bindings source =
       end
     in
     let decl = parse_class_body cur in
-    define_one env ~on_missing ~bindings ~name ~parents decl;
+    define_one env ~on_missing ~allow_lint_errors ~bindings ~name ~parents decl;
     defined := name :: !defined
   done;
   List.rev !defined

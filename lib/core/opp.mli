@@ -56,17 +56,27 @@ val no_bindings : bindings
 exception Syntax_error of { line : int; message : string }
 
 val load :
-  ?on_missing:[ `Error | `Stub ] -> Session.t -> bindings:bindings -> string -> string list
+  ?on_missing:[ `Error | `Stub ] ->
+  ?allow_lint_errors:bool ->
+  Session.t ->
+  bindings:bindings ->
+  string ->
+  string list
 (** Parse the source text and define every class in it, in order. Returns
     the class names defined. Raises {!Syntax_error} on malformed input and
     {!Session.Ode_error} for semantic errors (unknown parents, unbound
     implementation names, bad trigger expressions...).
 
+    A trigger's action may carry a [posts] clause naming the events the
+    action can post ([==> raise_limit posts after RaiseLimit;]) — purely
+    declarative input to {!Ode_analysis}'s termination pass.
+
     [on_missing] (default [`Error]) controls unbound implementation names:
     [`Stub] installs no-op stand-ins (methods return [Null], masks and
     constraints return [false] resp. [true], actions do nothing) — useful
     for checking a schema's syntax and compiling its FSMs without the
-    application code, as [odectl opp] does. *)
+    application code, as [odectl opp] does. [allow_lint_errors] (default
+    false) is passed to {!Session.define_class}. *)
 
 val field_default : string -> Ode_objstore.Value.t
 (** The default value of each field type keyword ([int] → [Int 0],

@@ -17,6 +17,8 @@ module Compile = Ode_event.Compile
 module Minimize = Ode_event.Minimize
 module Fsm = Ode_event.Fsm
 module Coupling = Ode_trigger.Coupling
+module Analyze = Ode_analysis.Analyze
+module Diagnostic = Ode_analysis.Diagnostic
 module Trigger_def = Ode_trigger.Trigger_def
 module Trigger_state = Ode_trigger.Trigger_state
 module Runtime = Ode_trigger.Runtime
@@ -97,6 +99,7 @@ type trigger_spec = {
   tr_perpetual : bool;
   tr_coupling : Coupling.t;
   tr_action : action_impl;
+  tr_posts : string list;
 }
 
 let store_kind t = t.kind
@@ -202,8 +205,17 @@ let declared_event_id t ~cls basic =
   in
   go (ancestors t cls)
 
+(* The declared [before f] twin of an [after f] event, if any ancestor of
+   the interning class declares it: input to the analyzer's anchor-order
+   heuristic (a posting plan emits [before f] strictly before [after f]). *)
+let before_twin t event =
+  match Intern.describe t.intern event with
+  | Some (cls, Intern.After m) when Hashtbl.mem t.classes cls ->
+      declared_event_id t ~cls (Intern.Before m)
+  | _ -> None
+
 let define_class t ~name ?(parents = []) ?(fields = []) ?(methods = []) ?(events = [])
-    ?(masks = []) ?(triggers = []) ?(constraints = []) () =
+    ?(masks = []) ?(triggers = []) ?(constraints = []) ?(allow_lint_errors = false) () =
   if Hashtbl.mem t.classes name then fail "class %s is already defined" name;
   List.iter
     (fun parent -> if not (Hashtbl.mem t.classes parent) then fail "unknown parent class %s" parent)
@@ -227,6 +239,7 @@ let define_class t ~name ?(parents = []) ?(fields = []) ?(methods = []) ?(events
           tr_perpetual = true;
           tr_coupling = Coupling.Immediate;
           tr_action = (fun _env _ctx -> raise Runtime.Tabort);
+          tr_posts = [];
         })
       constraints
   in
@@ -309,10 +322,45 @@ let define_class t ~name ?(parents = []) ?(fields = []) ?(methods = []) ?(events
     let fsm =
       try
         Compile.compile ~alphabet:trigger_alphabet ~anchored expr
-        |> Minimize.simplify |> Minimize.prune_mask_states
+        |> Minimize.simplify |> Minimize.prune_mask_states |> Minimize.trim
       with Compile.Unsupported msg ->
         fail "class %s, trigger %s: %s" name spec.tr_name msg
     in
+    (* Resolve the [posts] clause: each entry is an event-declaration
+       string ("after RaiseLimit", "BigBuy", optionally "Cls."-qualified)
+       that must resolve against the declared alphabet, exactly like an
+       event atom in a trigger expression. *)
+    let resolve_post raw =
+      let raw = String.trim raw in
+      let qualifier, text =
+        match String.index_opt raw '.' with
+        | Some i ->
+            ( Some (String.trim (String.sub raw 0 i)),
+              String.sub raw (i + 1) (String.length raw - i - 1) )
+        | None -> (None, raw)
+      in
+      let basic =
+        match Intern.basic_of_string text with
+        | Some basic -> basic
+        | None ->
+            fail "class %s, trigger %s: malformed posts declaration %S" name spec.tr_name raw
+      in
+      let cls =
+        match qualifier with
+        | None -> name
+        | Some q ->
+            if Hashtbl.mem t.classes q then q
+            else
+              fail "class %s, trigger %s: posts declaration %S names unknown class %s" name
+                spec.tr_name raw q
+      in
+      match declared_event_id t ~cls basic with
+      | Some id -> id
+      | None ->
+          fail "class %s, trigger %s: posts declaration %S does not match a declared event"
+            name spec.tr_name raw
+    in
+    let posts = List.sort_uniq Int.compare (List.map resolve_post spec.tr_posts) in
     let used_masks = Ast.masks expr in
     let mask_fns =
       List.map
@@ -334,9 +382,47 @@ let define_class t ~name ?(parents = []) ?(fields = []) ?(methods = []) ?(events
       t_params = spec.tr_params;
       t_expr = expr;
       t_anchored = anchored;
+      t_source = spec.tr_event;
+      t_posts = posts;
     }
   in
   let infos = Array.of_list (List.mapi compile_trigger triggers) in
+  (* Define-time lint (the cheap passes: emptiness, termination): reject a
+     class that introduces an error-level diagnostic — a dead trigger, or
+     an immediate-coupling posting cycle — unless the caller opted out.
+     The full analysis (vacuity, subsumption, blow-up) is available on
+     demand via [lint]. *)
+  (if not allow_lint_errors then begin
+     let new_rules = List.map (Analyze.rule_of_info ~cls:name) (Array.to_list infos) in
+     let registry_rules = Analyze.rules_of_registry (Runtime.registry t.rt) in
+     (* Termination needs the whole rule graph, but only when some rule
+        declares posts; emptiness of already-registered rules was checked
+        when their classes were defined. *)
+     let any_posts = List.exists (fun r -> r.Analyze.r_posts <> []) (registry_rules @ new_rules) in
+     let rules = if any_posts then registry_rules @ new_rules else new_rules in
+     let diags =
+       Analyze.analyze
+         ~config:{ Analyze.define_time_config with termination = any_posts }
+         ~event_name:(Intern.name_of_id t.intern) ~before_twin:(before_twin t) rules
+     in
+     let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+     let mentions d =
+       String.equal d.Diagnostic.d_span.Diagnostic.sp_class name
+       || List.exists (has_prefix (name ^ ".")) d.Diagnostic.d_related
+     in
+     match
+       List.filter (fun d -> d.Diagnostic.d_severity = Diagnostic.Error && mentions d) diags
+     with
+     | [] -> ()
+     | errors ->
+         Hashtbl.remove t.classes name;
+         let msg =
+           Format.asprintf "class %s rejected by trigger analysis:@\n%a" name
+             (Format.pp_print_list (Diagnostic.pp ?file:None))
+             errors
+         in
+         raise (Ode_error msg)
+   end);
   Runtime.register_class t.rt
     {
       Trigger_def.d_cls = name;
@@ -345,6 +431,13 @@ let define_class t ~name ?(parents = []) ?(fields = []) ?(methods = []) ?(events
       d_txn_events = txn_events;
       d_triggers = infos;
     }
+
+(* Full analysis of every registered trigger (all five passes), for
+   [odectl lint] and tests. *)
+let lint ?config t =
+  let rules = Analyze.rules_of_registry (Runtime.registry t.rt) in
+  Analyze.analyze ?config ~event_name:(Intern.name_of_id t.intern) ~before_twin:(before_twin t)
+    rules
 
 (* ------------------------------------------------------------------ *)
 (* Method resolution and event posting plans (§5.3). *)
@@ -705,7 +798,7 @@ module Volatile = struct
     let fsm =
       try
         Compile.compile ~alphabet ~anchored expr
-        |> Minimize.simplify |> Minimize.prune_mask_states
+        |> Minimize.simplify |> Minimize.prune_mask_states |> Minimize.trim
       with Compile.Unsupported msg -> fail "monitored trigger on %s: %s" v.v_cls msg
     in
     let monitor =

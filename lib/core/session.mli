@@ -60,6 +60,12 @@ type trigger_spec = {
   tr_perpetual : bool;
   tr_coupling : Ode_trigger.Coupling.t;
   tr_action : action_impl;
+  tr_posts : string list;
+      (** events the action may post, as event-declaration strings
+          ("after RaiseLimit", "BigBuy", optionally "Cls."-qualified) —
+          the [posts] clause. Purely declarative: resolved against the
+          declared alphabet at class definition and fed to the static
+          analyzer's rule triggering graph; the runtime never reads it. *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -98,6 +104,7 @@ val define_class :
   ?masks:(string * mask_impl) list ->
   ?triggers:trigger_spec list ->
   ?constraints:(string * mask_impl) list ->
+  ?allow_lint_errors:bool ->
   unit ->
   unit
 (** Register a class. [fields] are own fields with default values (added
@@ -113,9 +120,21 @@ val define_class :
     invariant is only checked at declared events (a class with no events
     has unchecked constraints).
 
+    Unless [allow_lint_errors] is true (default false), the new class's
+    compiled triggers are vetted by the define-time subset of the static
+    analyzer ({!Ode_analysis}): a trigger whose event expression can never
+    fire (empty language), or a [posts]-declared immediate-coupling cycle
+    through the new class, rejects the definition with {!Ode_error}.
+
     Raises {!Ode_error} on unknown parents, duplicate definitions,
-    duplicate mask/constraint names, or trigger expressions that fail to
-    parse. *)
+    duplicate mask/constraint names, unresolvable [posts] declarations, or
+    trigger expressions that fail to parse. *)
+
+val lint : ?config:Ode_analysis.Analyze.config -> t -> Ode_analysis.Diagnostic.t list
+(** Run the full static analysis (all five passes — emptiness, vacuity,
+    subsumption, termination, blow-up budget) over every registered
+    trigger, sorted most-severe first. [config] defaults to
+    {!Ode_analysis.Analyze.default_config}. *)
 
 (* -------------------- transactions -------------------- *)
 

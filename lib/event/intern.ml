@@ -24,6 +24,21 @@ let pp_basic fmt = function
 
 let basic_to_string b = Format.asprintf "%a" pp_basic b
 
+let basic_of_string text =
+  let words =
+    String.split_on_char ' ' (String.trim text)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "after"; "tcommit" ] -> Some After_tcommit
+  | [ "before"; "tcomplete" ] -> Some Before_tcomplete
+  | [ "before"; "tabort" ] -> Some Before_tabort
+  | [ "after"; name ] -> Some (After name)
+  | [ "before"; name ] -> Some (Before name)
+  | [ name ] -> Some (User name)
+  | _ -> None
+
 type key = string * basic
 
 type t = {

@@ -45,3 +45,8 @@ val lookups : t -> int
 val basic_equal : basic -> basic -> bool
 val pp_basic : Format.formatter -> basic -> unit
 val basic_to_string : basic -> string
+
+val basic_of_string : string -> basic option
+(** Inverse of {!basic_to_string}: parses ["after Buy"], ["before Ship"],
+    ["before tcomplete"], ["after tcommit"], ["BigBuy"]. [None] on
+    malformed input. *)

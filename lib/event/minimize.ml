@@ -118,6 +118,77 @@ let simplify fsm =
   in
   go fsm 100
 
+(* ---------------- reachability / trimming ---------------- *)
+
+let reachable (fsm : Fsm.t) =
+  let n = Fsm.num_states fsm in
+  let seen = Array.make n false in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      Array.iter (fun (_, target) -> go target) (Fsm.state fsm i).Fsm.trans
+    end
+  in
+  go fsm.Fsm.start;
+  let acc = ref IntSet.empty in
+  Array.iteri (fun i s -> if s then acc := IntSet.add i !acc) seen;
+  !acc
+
+let coaccessible (fsm : Fsm.t) =
+  let n = Fsm.num_states fsm in
+  let preds = Array.make n [] in
+  Array.iter
+    (fun (st : Fsm.state) ->
+      Array.iter (fun (_, target) -> preds.(target) <- st.Fsm.statenum :: preds.(target)) st.Fsm.trans)
+    fsm.Fsm.states;
+  let seen = Array.make n false in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go preds.(i)
+    end
+  in
+  Array.iter (fun (st : Fsm.state) -> if st.Fsm.accept then go st.Fsm.statenum) fsm.Fsm.states;
+  let acc = ref IntSet.empty in
+  Array.iteri (fun i s -> if s then acc := IntSet.add i !acc) seen;
+  !acc
+
+let trim (fsm : Fsm.t) =
+  let live = IntSet.inter (reachable fsm) (coaccessible fsm) in
+  (* The start state must survive even when the language is empty (an FSM
+     needs at least one state, and activations begin there). *)
+  let keep = IntSet.add fsm.Fsm.start live in
+  if IntSet.cardinal keep = Fsm.num_states fsm then fsm
+  else begin
+    let order = Array.of_list (IntSet.elements keep) in
+    let renumber = Hashtbl.create 16 in
+    Array.iteri (fun i old -> Hashtbl.replace renumber old i) order;
+    let states =
+      Array.mapi
+        (fun i old ->
+          let st = Fsm.state fsm old in
+          (* Dropping transitions into pruned states turns those steps into
+             [Dead]; the pruned targets could never reach an accept, so the
+             activation was already doomed — the runtime just learns it
+             sooner. Filtering preserves the sort order. *)
+          let trans =
+            Array.to_list st.Fsm.trans
+            |> List.filter_map (fun (sym, target) ->
+                   match Hashtbl.find_opt renumber target with
+                   | Some target -> Some (sym, target)
+                   | None -> None)
+            |> Array.of_list
+          in
+          (* Pending masks are kept even when both branch transitions were
+             pruned: the runtime cascade then reports [Dead], matching the
+             doomed path the original machine would have wandered into. *)
+          { Fsm.statenum = i; accept = st.Fsm.accept; pending = st.Fsm.pending; trans })
+        order
+    in
+    Fsm.make ~states ~start:(Hashtbl.find renumber fsm.Fsm.start) ~alphabet:fsm.Fsm.alphabet
+      ~mask_ids:(recomputed_mask_ids states)
+  end
+
 let prune_mask_states (fsm : Fsm.t) =
   let rebuild (st : Fsm.state) =
     if st.Fsm.pending = [] then st

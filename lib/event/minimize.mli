@@ -27,6 +27,25 @@ val simplify : Fsm.t -> Fsm.t
     AutoRaiseLimit expression this yields exactly the four-state machine of
     Figure 1. *)
 
+val reachable : Fsm.t -> Fsm.IntSet.t
+(** States reachable from the start state over any transition (events and
+    mask pseudo-events alike — a graph over-approximation that ignores
+    mask-valuation consistency, the safe direction for pruning). *)
+
+val coaccessible : Fsm.t -> Fsm.IntSet.t
+(** States from which some accepting state is reachable (accepting states
+    included), same over-approximation as {!reachable}. *)
+
+val trim : Fsm.t -> Fsm.t
+(** Drop states that are unreachable or non-coaccessible (mask expansion
+    and the embedded complete DFAs of [!]/[&&] leave both kinds behind)
+    and renumber. The start state always survives, so an empty-language
+    expression trims to its start state alone. Transitions into pruned
+    states disappear, turning those steps into [Dead]: behaviour-preserving
+    for the runtime, which only distinguishes firing — a pruned target
+    could never have reached an accept, so the activation merely learns of
+    its death sooner. Not {!Fsm.equivalent} to the input for that reason. *)
+
 val prune_mask_states : Fsm.t -> Fsm.t
 (** Remove real-event transitions from mask states: per §5.1.2 a mask state
     evaluates its predicate immediately "rather than wait for external

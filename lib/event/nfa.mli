@@ -51,3 +51,12 @@ val non_waiting : t -> IntSet.t -> int -> IntSet.t
 
 val pending_masks : t -> IntSet.t -> int list
 (** Mask ids some position in the set is waiting on, ascending. *)
+
+val reachable : t -> IntSet.t
+(** States reachable from [start] over epsilon and labelled edges — a
+    graph over-approximation (it ignores guard consistency), which is the
+    safe direction for pruning. *)
+
+val coreachable : t -> IntSet.t
+(** States from which [accept] is reachable over epsilon and labelled
+    edges (same over-approximation as {!reachable}). *)

@@ -20,6 +20,8 @@ type info = {
   t_params : string list;
   t_expr : Ode_event.Ast.t;
   t_anchored : bool;
+  t_source : string;
+  t_posts : int list;
 }
 
 type descriptor = {

@@ -40,6 +40,11 @@ type info = {
   t_params : string list;  (** parameter names, arity-checked at activation *)
   t_expr : Ode_event.Ast.t;  (** source expression, for printing *)
   t_anchored : bool;
+  t_source : string;  (** the event expression's source text, for diagnostics *)
+  t_posts : int list;
+      (** interned event ids the action declares it may post (the [posts]
+          clause) — input to {!Ode_analysis}'s rule triggering graph; the
+          runtime itself never reads it *)
 }
 
 type descriptor = {

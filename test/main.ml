@@ -32,4 +32,5 @@ let () =
       ("database", Test_database.suite);
       ("index", Test_index.suite);
       ("opp", Test_opp.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -1,0 +1,276 @@
+(* Static trigger analyzer (Ode_analysis): pass detection and golden JSON
+   on the lint fixture, define-time gating, posts resolution, and a seeded
+   differential property test pitting the analyzer's emptiness verdict
+   against the compiled FSM and the naive history-rescan detector. *)
+
+module Ast = Ode_event.Ast
+module Sym = Ode_event.Sym
+module Fsm = Ode_event.Fsm
+module Compile = Ode_event.Compile
+module Minimize = Ode_event.Minimize
+module Coupling = Ode_trigger.Coupling
+module Lang = Ode_analysis.Lang
+module Analyze = Ode_analysis.Analyze
+module Diagnostic = Ode_analysis.Diagnostic
+module Naive_detector = Ode_baselines.Naive_detector
+module Session = Ode.Session
+module Opp = Ode.Opp
+module Dsl = Ode.Dsl
+
+(* Relative to the test runner's cwd (_build/default/test); declared as a
+   dune dep so the fixture is materialised. *)
+let fixture_path = "../examples/schemas/lint_fixture.opp"
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let lint_fixture () =
+  let source = In_channel.with_open_text fixture_path In_channel.input_all in
+  let env = Session.create () in
+  ignore (Opp.load ~on_missing:`Stub ~allow_lint_errors:true env ~bindings:Opp.no_bindings source);
+  (env, Session.lint env)
+
+(* ------------------------------------------------------------------ *)
+(* The fixture trips every diagnostic class, with the right severities. *)
+
+let test_fixture_classes () =
+  let _env, diags = lint_fixture () in
+  let find code =
+    match List.find_opt (fun d -> String.equal d.Diagnostic.d_code code) diags with
+    | Some d -> d
+    | None -> Alcotest.failf "fixture produced no %s diagnostic" code
+  in
+  let expect code severity cls =
+    let d = find code in
+    Alcotest.(check string)
+      (code ^ " severity")
+      (Diagnostic.severity_to_string severity)
+      (Diagnostic.severity_to_string d.Diagnostic.d_severity);
+    Alcotest.(check string) (code ^ " class") cls d.Diagnostic.d_span.Diagnostic.sp_class
+  in
+  expect "dead-trigger" Diagnostic.Error "Unhealthy";
+  expect "vacuous-mask" Diagnostic.Warning "Unhealthy";
+  expect "shadowed-trigger" Diagnostic.Warning "Shadowed";
+  expect "trigger-cycle" Diagnostic.Error "Cyclic";
+  expect "state-blowup" Diagnostic.Warning "Blowup";
+  (* The shadowing warning lands on the included trigger and names the
+     shadowing one. *)
+  let shadow = find "shadowed-trigger" in
+  Alcotest.(check (option string))
+    "shadowed trigger" (Some "Narrow") shadow.Diagnostic.d_span.Diagnostic.sp_trigger;
+  Alcotest.(check (list string))
+    "shadowing trigger" [ "Shadowed.Wide" ] shadow.Diagnostic.d_related
+
+(* ------------------------------------------------------------------ *)
+(* Golden JSON: byte-for-byte what `odectl lint --json FILE` prints. *)
+
+let golden_json =
+  {|{"version":1,"diagnostics":[
+  {"file":"FILE","severity":"error","code":"trigger-cycle","pass":"termination","class":"Cyclic","trigger":"OnPing","source":"Ping","excerpt":null,"message":"immediate-coupling trigger cycle (Cyclic.OnPing -> Cyclic.OnPong -> Cyclic.OnPing): each firing can re-post events the others match within the same transaction; the runtime aborts such cascades at depth 64","related":["Cyclic.OnPing","Cyclic.OnPong"]},
+  {"file":"FILE","severity":"error","code":"dead-trigger","pass":"emptiness","class":"Unhealthy","trigger":"Dead","source":"(E, F) && (G, F)","excerpt":null,"message":"event expression can never fire: no event sequence reaches an accepting state under any mask valuation","related":[]},
+  {"file":"FILE","severity":"warning","code":"state-blowup","pass":"blowup","class":"Blowup","trigger":"Needle","source":"E, any, any, any, any, any, any, any, any","excerpt":null,"message":"determinization produced 513 states (budget 256); every activation pays for this machine","related":[]},
+  {"file":"FILE","severity":"warning","code":"shadowed-trigger","pass":"subsumption","class":"Shadowed","trigger":"Narrow","source":"E, F","excerpt":null,"message":"every event sequence that fires this trigger also fires Shadowed.Wide","related":["Shadowed.Wide"]},
+  {"file":"FILE","severity":"warning","code":"vacuous-mask","pass":"vacuity","class":"Unhealthy","trigger":"Vacuous","source":"F || ((E && G) & M)","excerpt":"(Unhealthy:E && Unhealthy:G) & M","message":"masked subexpression never lies on a completed match; mask M is evaluated only on paths that cannot fire","related":[]},
+  {"file":"FILE","severity":"info","code":"prunable-states","pass":"emptiness","class":"Unhealthy","trigger":"Dead","source":"(E, F) && (G, F)","excerpt":null,"message":"7 of 8 raw subset-construction states are unreachable or cannot reach an accept (trimmed from the registered machine)","related":[]}
+],"counts":{"error":2,"warning":3,"info":1}}
+|}
+
+let test_golden_json () =
+  let _env, diags = lint_fixture () in
+  let got = Diagnostic.report_json ~file:"FILE" diags in
+  Alcotest.(check string) "lint --json golden" golden_json got
+
+(* ------------------------------------------------------------------ *)
+(* Define-time gating. *)
+
+let dead_trigger_spec count =
+  Dsl.trigger "T" ~perpetual:true ~event:"(E, F) && (G, F)" ~action:(fun _ _ -> incr count)
+
+let test_define_gate () =
+  let env = Session.create () in
+  let count = ref 0 in
+  let define ?allow_lint_errors () =
+    Session.define_class env ~name:"C"
+      ~events:[ Dsl.user_event "E"; Dsl.user_event "F"; Dsl.user_event "G" ]
+      ~triggers:[ dead_trigger_spec count ]
+      ?allow_lint_errors ()
+  in
+  (match define () with
+  | () -> Alcotest.fail "dead trigger accepted at define time"
+  | exception Session.Ode_error msg ->
+      if not (contains ~needle:"dead-trigger" msg) then
+        Alcotest.failf "unexpected rejection message: %s" msg);
+  (* The rejected definition was rolled back: the same name can be
+     redefined, and the opt-out accepts it. *)
+  define ~allow_lint_errors:true ();
+  Alcotest.(check bool) "registered after opt-out" true
+    (Ode_trigger.Trigger_def.Registry.find (Ode_trigger.Runtime.registry (Session.runtime env)) "C"
+    <> None)
+
+let test_termination_gate () =
+  let env = Session.create () in
+  let cyclic coupling =
+    [
+      Dsl.trigger "A" ~perpetual:true ~coupling ~event:"Ping" ~posts:[ "Pong" ]
+        ~action:(fun _ _ -> ());
+      Dsl.trigger "B" ~perpetual:true ~coupling ~event:"Pong" ~posts:[ "Ping" ]
+        ~action:(fun _ _ -> ());
+    ]
+  in
+  let events = [ Dsl.user_event "Ping"; Dsl.user_event "Pong" ] in
+  (match Session.define_class env ~name:"Cy" ~events ~triggers:(cyclic Coupling.Immediate) () with
+  | () -> Alcotest.fail "immediate posting cycle accepted at define time"
+  | exception Session.Ode_error msg ->
+      if not (contains ~needle:"trigger-cycle" msg) then
+        Alcotest.failf "unexpected rejection message: %s" msg);
+  (* A deferred-coupling cycle spreads across transactions: only a
+     warning, so definition succeeds and lint reports it. *)
+  Session.define_class env ~name:"Cy" ~events ~triggers:(cyclic Coupling.End) ();
+  let diags = Session.lint env in
+  match List.find_opt (fun d -> String.equal d.Diagnostic.d_code "trigger-cycle") diags with
+  | None -> Alcotest.fail "deferred cycle not reported by lint"
+  | Some d ->
+      Alcotest.(check string) "deferred cycle severity" "warning"
+        (Diagnostic.severity_to_string d.Diagnostic.d_severity)
+
+let test_posts_resolution () =
+  let env = Session.create () in
+  match
+    Session.define_class env ~name:"P"
+      ~events:[ Dsl.user_event "E" ]
+      ~triggers:
+        [ Dsl.trigger "T" ~event:"E" ~posts:[ "NotDeclared" ] ~action:(fun _ _ -> ()) ]
+      ()
+  with
+  | () -> Alcotest.fail "undeclared posts event accepted"
+  | exception Session.Ode_error msg ->
+      if not (contains ~needle:"posts" msg) then
+        Alcotest.failf "unexpected posts error: %s" msg
+
+(* The Opp surface syntax carries the posts clause through. *)
+let test_opp_posts () =
+  let env = Session.create () in
+  ignore
+    (Opp.load ~on_missing:`Stub env ~bindings:Opp.no_bindings
+       {| class Chain {
+            event Tick, Tock;
+            trigger Fwd() : perpetual Tick ==> step posts Tock;
+          }; |});
+  let info =
+    match
+      Ode_trigger.Trigger_def.Registry.find_trigger
+        (Ode_trigger.Runtime.registry (Session.runtime env))
+        ~cls:"Chain" ~name:"Fwd"
+    with
+    | Some info -> info
+    | None -> Alcotest.fail "trigger not registered"
+  in
+  Alcotest.(check int) "one posts event" 1 (List.length info.Ode_trigger.Trigger_def.t_posts);
+  Alcotest.(check string) "posts source recorded" "Tick" info.Ode_trigger.Trigger_def.t_source
+
+(* ------------------------------------------------------------------ *)
+(* Differential property test: analyzer emptiness verdict vs the FSM vs
+   the naive history-rescan detector, over >= 500 random mask-free
+   expressions (unanchored, matching the naive detector's semantics). *)
+
+let rec gen_expr rng depth =
+  let leaf () =
+    match Random.State.int rng 4 with 0 -> Ast.Any | _ -> Ast.Basic (Random.State.int rng 3)
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Random.State.int rng 10 with
+    | 0 | 1 -> Ast.Seq (gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    | 2 -> Ast.Or (gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    | 3 -> Ast.And (gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    | 4 -> Ast.Not (gen_expr rng (depth - 1))
+    | 5 -> Ast.Star (gen_expr rng (depth - 1))
+    | 6 -> Ast.Plus (gen_expr rng (depth - 1))
+    | 7 -> Ast.Opt (gen_expr rng (depth - 1))
+    | 8 -> Ast.Relative [ gen_expr rng (depth - 1); gen_expr rng (depth - 1) ]
+    | _ -> leaf ()
+
+(* Replay a mask-free stream: fired iff the last event moved the machine
+   into an accepting state (the runtime's firing rule). *)
+let fires_on fsm events =
+  let rec go state fired = function
+    | [] -> fired
+    | e :: rest -> begin
+        match Fsm.step fsm state (Sym.Ev e) with
+        | Fsm.Goto next -> go next (Fsm.is_accept fsm next) rest
+        | Fsm.Stay -> go state false rest
+        | Fsm.Dead -> false
+      end
+  in
+  go fsm.Fsm.start false events
+
+let test_differential () =
+  Seeds.with_seed "analysis differential" (fun seed ->
+      let rng = Random.State.make [| seed; 0xA11CE |] in
+      let alphabet = [ 0; 1; 2 ] in
+      let total = 500 in
+      let empties = ref 0 in
+      for i = 1 to total do
+        let expr = gen_expr rng 3 in
+        let fsm =
+          Compile.compile ~alphabet expr
+          |> Minimize.simplify |> Minimize.prune_mask_states |> Minimize.trim
+        in
+        let label () = Printf.sprintf "#%d %s" i (Ast.to_string expr) in
+        match Lang.witness fsm with
+        | Some events ->
+            (* Non-empty verdict comes with a witness: the machine must
+               fire on it... *)
+            if not (fires_on fsm events) then
+              Alcotest.failf "%s: witness rejected by the machine" (label ());
+            (* ...and so must the naive rescanner, at the last event. *)
+            let naive = Naive_detector.create ~alphabet expr in
+            let fired = List.fold_left (fun _ e -> Naive_detector.post naive e) false events in
+            if not fired then
+              Alcotest.failf "%s: witness rejected by the naive detector" (label ())
+        | None ->
+            (* Empty verdict: the naive rescanner must never fire. *)
+            incr empties;
+            let naive = Naive_detector.create ~alphabet expr in
+            for _ = 1 to 64 do
+              let e = Random.State.int rng 3 in
+              if Naive_detector.post naive e then
+                Alcotest.failf "%s: judged empty but the naive detector fired" (label ())
+            done
+      done;
+      if !empties = 0 || !empties = total then
+        Alcotest.failf "degenerate sample: %d/%d empty" !empties total)
+
+(* ------------------------------------------------------------------ *)
+(* Language-inclusion spot checks (the subsumption pass's engine). *)
+
+let compile_simple ?(anchored = false) expr =
+  Compile.compile ~alphabet:[ 0; 1; 2 ] ~anchored expr
+  |> Minimize.simplify |> Minimize.prune_mask_states |> Minimize.trim
+
+let test_inclusion () =
+  let seq = Ast.Seq (Ast.Basic 0, Ast.Basic 1) in
+  let narrow = compile_simple seq in
+  let wide = compile_simple (Ast.Basic 1) in
+  Alcotest.(check bool) "E,F <= F" true (Lang.included narrow wide);
+  Alcotest.(check bool) "F </= E,F" false (Lang.included wide narrow);
+  let same = compile_simple (Ast.Or (seq, seq)) in
+  Alcotest.(check bool) "or-duplicate equal" true (Lang.equal_lang narrow same);
+  let dead = compile_simple (Ast.And (seq, Ast.Seq (Ast.Basic 2, Ast.Basic 1))) in
+  Alcotest.(check bool) "dead included everywhere" true (Lang.included dead narrow);
+  Alcotest.(check bool) "dead is empty" true (Lang.empty dead)
+
+let suite =
+  [
+    Alcotest.test_case "fixture trips all five diagnostic classes" `Quick test_fixture_classes;
+    Alcotest.test_case "lint --json golden report" `Quick test_golden_json;
+    Alcotest.test_case "define-time gate rejects dead triggers" `Quick test_define_gate;
+    Alcotest.test_case "define-time gate rejects immediate cycles" `Quick test_termination_gate;
+    Alcotest.test_case "unresolvable posts rejected" `Quick test_posts_resolution;
+    Alcotest.test_case "opp posts clause" `Quick test_opp_posts;
+    Alcotest.test_case "language inclusion spot checks" `Quick test_inclusion;
+    Alcotest.test_case "differential: analyzer vs fsm vs naive (500 exprs)" `Quick
+      test_differential;
+  ]

@@ -221,9 +221,57 @@ let simplify_preserves_mask_behaviour () =
     if run raw script <> run simplified script then Alcotest.fail "simplify changed mask behaviour"
   done
 
+(* After the full session pipeline (simplify, prune_mask_states, trim),
+   every surviving non-start state is both reachable from the start and
+   able to reach an accept — trim's invariant.  And trimming must not
+   change observable behaviour: on random streams the trimmed machine
+   fires exactly where the untrimmed one does (Goto into accept), because
+   the only change is that doomed activations die earlier. *)
+let trim_invariant () =
+  let prng = Prng.create ~seed:311L in
+  let fires fsm stream =
+    let rec go state acc = function
+      | [] -> List.rev acc
+      | e :: rest -> begin
+          match state with
+          | None -> go None (false :: acc) rest
+          | Some s -> begin
+              match Fsm.step fsm s (Sym.Ev e) with
+              | Fsm.Goto s' -> go (Some s') (Fsm.is_accept fsm s' :: acc) rest
+              | Fsm.Stay -> go (Some s) (false :: acc) rest
+              | Fsm.Dead -> go None (false :: acc) rest
+            end
+        end
+    in
+    go (Some fsm.Fsm.start) [] stream
+  in
+  for anchored_case = 0 to 1 do
+    let anchored = anchored_case = 1 in
+    for _ = 1 to 150 do
+      let expr = random_expr prng 3 in
+      let full = Compile.compile ~alphabet ~anchored expr |> Minimize.simplify in
+      let trimmed = full |> Minimize.prune_mask_states |> Minimize.trim in
+      let live =
+        Fsm.IntSet.inter (Minimize.reachable trimmed) (Minimize.coaccessible trimmed)
+      in
+      Array.iteri
+        (fun i _ ->
+          if i <> trimmed.Fsm.start && not (Fsm.IntSet.mem i live) then
+            Alcotest.failf "trim left dead state %d (of %d) in %s" i
+              (Fsm.num_states trimmed) (Ast.to_string expr))
+        trimmed.Fsm.states;
+      for _ = 1 to 20 do
+        let stream = List.init 10 (fun _ -> Prng.int prng 3) in
+        if fires full stream <> fires trimmed stream then
+          Alcotest.failf "trim changed firing behaviour of %s" (Ast.to_string expr)
+      done
+    done
+  done
+
 let suite =
   [
     Alcotest.test_case "DFA = NFA reference (300 random exprs)" `Quick dfa_matches_nfa_reference;
+    Alcotest.test_case "trim invariant + behaviour (300 random exprs)" `Quick trim_invariant;
     Alcotest.test_case "minimize preserves behaviour" `Quick minimize_preserves_behaviour;
     Alcotest.test_case "minimize idempotent" `Quick minimize_idempotent;
     Alcotest.test_case "complement law" `Quick complement_law;

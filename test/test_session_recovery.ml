@@ -114,6 +114,8 @@ let phoenix_survives_crash kind () =
             t_params = [];
             t_expr = Ode_event.Ast.Basic event;
             t_anchored = false;
+            t_source = "e";
+            t_posts = [];
           };
         |];
     }
