@@ -6,21 +6,14 @@ module Table = Ode_util.Table
 
 let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
 
-(* Run a list of tests, returning (name, ns per run) in input order. *)
-let run_tests ?(quota = 0.25) tests =
-  let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ~kde:None ()
-  in
-  let grouped = Test.make_grouped ~name:"g" ~fmt:"%s/%s" tests in
-  let raw = Benchmark.all cfg instances grouped in
-  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let strip name =
-    match String.index_opt name '/' with
-    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
-    | None -> name
-  in
-  (* Key the analysis results by their stripped test name. *)
+let strip name =
+  match String.index_opt name '/' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+(* Key one instance's analysis results by their stripped test name. *)
+let estimates_by_name raw instance =
+  let analyzed = Analyze.all ols instance raw in
   let by_name = Hashtbl.create 16 in
   Hashtbl.iter
     (fun key ols_result ->
@@ -31,14 +24,113 @@ let run_tests ?(quota = 0.25) tests =
       in
       Hashtbl.replace by_name (strip key) est)
     analyzed;
+  fun name -> Option.value (Hashtbl.find_opt by_name name) ~default:nan
+
+let run_raw ?(quota = 0.25) ~instances tests =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ~kde:None ()
+  in
+  let grouped = Test.make_grouped ~name:"g" ~fmt:"%s/%s" tests in
+  Benchmark.all cfg instances grouped
+
+(* Run a list of tests, returning (name, ns per run) in input order. *)
+let run_tests ?quota tests =
+  let raw = run_raw ?quota ~instances:[ Toolkit.Instance.monotonic_clock ] tests in
+  let ns_of = estimates_by_name raw Toolkit.Instance.monotonic_clock in
+  List.concat_map
+    (fun test -> List.map (fun name -> let name = strip name in (name, ns_of name)) (Test.names test))
+    tests
+
+(* Like [run_tests] but also estimates minor-heap words allocated per run:
+   (name, ns per run, minor words per run). *)
+let run_tests_alloc ?quota tests =
+  let instances = [ Toolkit.Instance.monotonic_clock; Toolkit.Instance.minor_allocated ] in
+  let raw = run_raw ?quota ~instances tests in
+  let ns_of = estimates_by_name raw Toolkit.Instance.monotonic_clock in
+  let words_of = estimates_by_name raw Toolkit.Instance.minor_allocated in
   List.concat_map
     (fun test ->
       List.map
         (fun name ->
           let name = strip name in
-          (name, Option.value (Hashtbl.find_opt by_name name) ~default:nan))
+          (name, ns_of name, words_of name))
         (Test.names test))
     tests
+
+(* ---------------- machine-readable recording (--json) ---------------- *)
+
+(* [bench/main.exe --json] collects every [record] call made by the
+   experiments that ran and writes them to BENCH_P1.json, so the perf
+   trajectory is trackable across PRs. Scalar JSON only; hand-rolled like
+   [Ode_analysis.Diagnostic]'s writer. *)
+
+type jval = S of string | I of int | F of float | B of bool
+
+type jrecord = {
+  jr_experiment : string;
+  jr_name : string;
+  jr_params : (string * jval) list;
+  jr_ns : float;
+  jr_minor_words : float;
+}
+
+let smoke = ref false
+let json_out : string option ref = ref None
+let json_records : jrecord list ref = ref []
+let json_summary : (string * jval) list ref = ref []
+
+let record ~experiment ~name ~params ?(ns = nan) ?(minor_words = nan) () =
+  if !json_out <> None then
+    json_records :=
+      { jr_experiment = experiment; jr_name = name; jr_params = params; jr_ns = ns;
+        jr_minor_words = minor_words }
+      :: !json_records
+
+let summarize key v = if !json_out <> None then json_summary := (key, v) :: !json_summary
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jval_to_string = function
+  | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | I i -> string_of_int i
+  | B b -> if b then "true" else "false"
+  | F f -> if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
+
+let write_json () =
+  match !json_out with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 4096 in
+      let fields pairs = String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k (jval_to_string v)) pairs) in
+      Buffer.add_string buf "{\n  \"results\": [\n";
+      List.iteri
+        (fun i r ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf
+            (Printf.sprintf "    {\"experiment\": %s, \"name\": %s, \"params\": {%s}, \"ns_per_op\": %s, \"minor_words_per_op\": %s}"
+               (jval_to_string (S r.jr_experiment))
+               (jval_to_string (S r.jr_name))
+               (fields r.jr_params)
+               (jval_to_string (F r.jr_ns))
+               (jval_to_string (F r.jr_minor_words))))
+        (List.rev !json_records);
+      Buffer.add_string buf "\n  ],\n";
+      Buffer.add_string buf (Printf.sprintf "  \"summary\": {%s}\n}\n" (fields (List.rev !json_summary)));
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\nwrote %s (%d result rows)\n" path (List.length !json_records)
 
 let ns_cell ns = if Float.is_nan ns then "n/a" else Printf.sprintf "%.0f" ns
 

@@ -2,10 +2,15 @@
 
    One section per experiment from EXPERIMENTS.md: F1 reproduces the
    paper's Figure 1; T1..T8 quantify the paper's design claims (the paper
-   has no measurement tables, so each claim becomes a table here). Run a
-   subset with e.g.:
+   has no measurement tables, so each claim becomes a table here);
+   P1 measures the layered posting engine against its unoptimised
+   reference configuration. Run a subset with e.g.:
 
      dune exec bench/main.exe -- t1 t4
+
+   Flags: --json writes machine-readable results for the experiments that
+   support recording to BENCH_P1.json; --smoke shrinks quotas and axes for
+   a fast CI sanity run.
 *)
 
 let experiments =
@@ -22,13 +27,24 @@ let experiments =
     ("a1", Exp_a1.run);
     ("a2", Exp_a2.run);
     ("r1", Exp_r1.run);
+    ("p1", Exp_p1.run);
   ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, names = List.partition (fun a -> String.length a >= 2 && String.sub a 0 2 = "--") args in
+  List.iter
+    (function
+      | "--json" -> Bench_common.json_out := Some "BENCH_P1.json"
+      | "--smoke" -> Bench_common.smoke := true
+      | flag ->
+          Printf.eprintf "unknown flag %s (have: --json, --smoke)\n" flag;
+          exit 1)
+    flags;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> List.map String.lowercase_ascii names
-    | _ -> List.map fst experiments
+    match names with
+    | [] -> List.map fst experiments
+    | names -> List.map String.lowercase_ascii names
   in
   print_endline "Ode active database reproduction - benchmark harness";
   print_endline "(paper: Lieuwen, Gehani & Arlein, ICDE 1996; see EXPERIMENTS.md)";
@@ -40,4 +56,5 @@ let () =
           Printf.eprintf "unknown experiment %S (have: %s)\n" name
             (String.concat ", " (List.map fst experiments));
           exit 1)
-    requested
+    requested;
+  Bench_common.write_json ()

@@ -402,11 +402,68 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Compact credit-card demo")
     Term.(const (fun store -> run store; 0) $ store)
 
+(* ------------------------------------------------------------------ *)
+(* odectl stats *)
+
+let stats_cmd =
+  let run store engine rounds =
+    let kind = match store with "disk" -> `Disk | _ -> `Mem in
+    match
+      match engine with
+      | "reference" -> Some Ode_trigger.Runtime.reference_config
+      | "full" -> Some Ode_trigger.Runtime.default_config
+      | _ -> None
+    with
+    | None -> die "unknown engine %S (expected 'full' or 'reference')" engine
+    | Some engine_cfg ->
+    let env = Session.create ~store:kind ~engine:engine_cfg () in
+    Credit_card.define_all env;
+    let card, merchant =
+      Session.with_txn env (fun txn ->
+          let customer = Credit_card.new_customer env txn ~name:"stats" in
+          let merchant = Credit_card.new_merchant env txn ~name:"store" in
+          let card = Credit_card.new_card env txn ~customer ~limit:1_000_000.0 () in
+          ignore (Session.activate env txn card ~trigger:"DenyCredit" ~args:[]);
+          ignore
+            (Session.activate env txn card ~trigger:"AutoRaiseLimit" ~args:[ Value.Float 500.0 ]);
+          (card, merchant))
+    in
+    Session.reset_counters env;
+    for _ = 1 to rounds do
+      Session.with_txn env (fun txn ->
+          for _ = 1 to 8 do
+            Credit_card.buy env txn card ~merchant ~amount:10.0
+          done;
+          Credit_card.pay_bill env txn card ~amount:80.0)
+    done;
+    Printf.printf "posting-engine counters (%s engine, %d rounds, %s store)\n" engine rounds store;
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-24s %d\n" k v)
+      (List.filter (fun (k, _) -> String.length k > 3 && String.sub k 0 3 = "rt.") (Session.counters env));
+    0
+  in
+  let store =
+    Arg.(value & opt string "mem" & info [ "store" ] ~docv:"KIND" ~doc:"'mem' or 'disk'.")
+  in
+  let engine =
+    Arg.(value & opt string "full" & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"'full' (filter + write-back cache + dense dispatch) or 'reference' \
+                 (every layer off — the unoptimised posting path).")
+  in
+  let rounds =
+    Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Workload transactions (8 buys + 1 payment each).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a posting workload and print the trigger runtime's per-layer counters")
+    Term.(const run $ store $ engine $ rounds)
+
 let () =
   let doc = "Ode active-database reproduction tools" in
   let info = Cmd.info "odectl" ~version:"1.0.0" ~doc in
   let group =
-    Cmd.group info [ fsm_cmd; figure1_cmd; opp_cmd; lint_cmd; demo_cmd; faults_cmd ]
+    Cmd.group info [ fsm_cmd; figure1_cmd; opp_cmd; lint_cmd; demo_cmd; faults_cmd; stats_cmd ]
   in
   (* Strict command-line handling: cmdliner's default eval maps parse
      errors to exit 124. Here every run function returns its own exit code

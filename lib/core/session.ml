@@ -112,7 +112,7 @@ let intern t = t.intern
 (* ------------------------------------------------------------------ *)
 (* Construction. *)
 
-let assemble ~kind ~backend ~faults ~mgr ~obj_store ~trig_store ~db =
+let assemble ?engine ~kind ~backend ~faults ~mgr ~obj_store ~trig_store ~db () =
   let intern = Intern.create () in
   {
     kind;
@@ -122,13 +122,13 @@ let assemble ~kind ~backend ~faults ~mgr ~obj_store ~trig_store ~db =
     obj_store;
     trig_store;
     db;
-    rt = Runtime.create ~mgr ~intern ~store:trig_store;
+    rt = Runtime.create ?config:engine ~mgr ~intern ~store:trig_store ();
     intern;
     classes = Hashtbl.create 32;
     posting_plans = Hashtbl.create 64;
   }
 
-let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?faults () =
+let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?faults ?engine () =
   let mgr = Txn.create_mgr () in
   (* One plane shared by both stores: every page write, WAL flush, eviction
      and lock acquisition across the whole environment gets a single global
@@ -150,7 +150,7 @@ let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?faults () =
         (Mem_backend (objects, triggers), Mem_store.ops objects, Mem_store.ops triggers)
   in
   let db = Database.create ~mgr ~store:obj_store ~name:"main" in
-  assemble ~kind:store ~backend ~faults ~mgr ~obj_store ~trig_store ~db
+  assemble ?engine ~kind:store ~backend ~faults ~mgr ~obj_store ~trig_store ~db ()
 
 (* ------------------------------------------------------------------ *)
 (* Class definition: the work the O++ compiler does per class. *)
@@ -841,7 +841,7 @@ let crash t =
       Mem_store.crash triggers);
   { ci_kind = t.kind; ci_obj_wal; ci_trig_wal }
 
-let recover ?faults image =
+let recover ?faults ?engine image =
   let mgr = Txn.create_mgr () in
   let faults = match faults with Some f -> f | None -> Faults.create () in
   let backend, obj_store, trig_store =
@@ -860,7 +860,7 @@ let recover ?faults image =
         (Mem_backend (objects, triggers), Mem_store.ops objects, Mem_store.ops triggers)
   in
   let db = Database.open_existing ~mgr ~store:obj_store ~name:"main" in
-  let t = assemble ~kind:image.ci_kind ~backend ~faults ~mgr ~obj_store ~trig_store ~db in
+  let t = assemble ?engine ~kind:image.ci_kind ~backend ~faults ~mgr ~obj_store ~trig_store ~db () in
   let txn = Txn.begin_txn ~system:true mgr in
   (* A crash can land between the objects store's commit flush and the
      triggers store's (commit is per-participant, not atomic across
@@ -895,9 +895,14 @@ let counters t =
       ("txn.system", txns.Txn.system_begun);
       ("rt.posts", rt.Runtime.posts);
       ("rt.index_probes", rt.Runtime.index_probes);
+      ("rt.index_skips", rt.Runtime.index_skips);
       ("rt.fsm_moves", rt.Runtime.fsm_moves);
       ("rt.mask_evals", rt.Runtime.mask_evals);
       ("rt.state_writes", rt.Runtime.state_writes);
+      ("rt.cache_hits", rt.Runtime.cache_hits);
+      ("rt.cache_misses", rt.Runtime.cache_misses);
+      ("rt.cache_flushes", rt.Runtime.cache_flushes);
+      ("rt.dense_dispatches", rt.Runtime.dense_dispatches);
       ("rt.fires_immediate", rt.Runtime.fires_immediate);
       ("rt.fires_end", rt.Runtime.fires_end);
       ("rt.fires_dependent", rt.Runtime.fires_dependent);

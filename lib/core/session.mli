@@ -76,6 +76,7 @@ val create :
   ?pool_capacity:int ->
   ?io_spin:int ->
   ?faults:Ode_storage.Faults.t ->
+  ?engine:Ode_trigger.Runtime.config ->
   unit ->
   t
 (** Fresh empty database environment. [store] defaults to [`Mem]
@@ -87,7 +88,13 @@ val create :
     [faults] is a fault-injection plane ({!Ode_storage.Faults}) shared by
     {e both} disk stores, giving the whole environment one global
     I/O-point numbering; ignored for [`Mem] (which performs no simulated
-    I/O). Default: a fresh inert plane. *)
+    I/O). Default: a fresh inert plane.
+
+    [engine] selects the trigger runtime's posting-engine layers
+    ({!Ode_trigger.Runtime.config}); default
+    {!Ode_trigger.Runtime.default_config}. Use
+    {!Ode_trigger.Runtime.reference_config} for the unoptimised
+    differential-reference engine. *)
 
 val store_kind : t -> store_kind
 
@@ -285,7 +292,7 @@ val crash : t -> crash_image
     lost; only the durable WAL prefixes survive, captured in the image. The
     environment is unusable afterwards. *)
 
-val recover : ?faults:Ode_storage.Faults.t -> crash_image -> t
+val recover : ?faults:Ode_storage.Faults.t -> ?engine:Ode_trigger.Runtime.config -> crash_image -> t
 (** Rebuild an environment from a crash image: recover both stores, reopen
     the database (rescanning clusters), rebuild the trigger index, and
     garbage-collect trigger activations whose anchoring object did not

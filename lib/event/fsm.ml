@@ -9,7 +9,19 @@ type state = {
   trans : (Sym.t * int) array;
 }
 
-type t = { states : state array; start : int; alphabet : IntSet.t; mask_ids : IntSet.t }
+type dispatch =
+  | Unbuilt
+  | Sparse_only
+  | Dense of { slot_of : int array; cells : int array; nslots : int }
+
+type t = {
+  states : state array;
+  start : int;
+  alphabet : IntSet.t;
+  mask_ids : IntSet.t;
+  mutable dispatch : dispatch;
+  mutable live : Bytes.t option array;
+}
 
 let make ~states ~start ~alphabet ~mask_ids =
   let n = Array.length states in
@@ -25,7 +37,7 @@ let make ~states ~start ~alphabet ~mask_ids =
             invalid_arg "Fsm.make: transitions not strictly sorted")
         st.trans)
     states;
-  { states; start; alphabet; mask_ids }
+  { states; start; alphabet; mask_ids; dispatch = Unbuilt; live = Array.make n None }
 
 let num_states t = Array.length t.states
 
@@ -58,6 +70,115 @@ let step t i sym =
       | Sym.Ev e -> if IntSet.mem e t.alphabet then Dead else Stay
       | Sym.MTrue m | Sym.MFalse m -> if List.mem m st.pending then Dead else Stay
     end
+
+(* ---------------- per-state live-event bitsets ---------------- *)
+
+(* Width in event-id space of the machine's alphabet: bits for ids >= this
+   are never set, and such events are trivially [Stay]. *)
+let universe t = match IntSet.max_elt_opt t.alphabet with None -> 0 | Some m -> m + 1
+
+(* An event is {e live} in a state iff posting it there is observable:
+   it moves the machine somewhere else, kills it, or re-enters the same
+   state in a way the runtime can see (the state evaluates masks on entry,
+   or is an accept state so re-entry re-fires the action). A [Goto] back
+   into a maskless non-accept state is indistinguishable from [Stay] at
+   the posting level, so it is deliberately not live. *)
+let event_live_uncached t state e =
+  match step t state (Sym.Ev e) with
+  | Stay -> false
+  | Dead -> true
+  | Goto target ->
+      target <> state || t.states.(state).pending <> [] || t.states.(state).accept
+
+let live_set t state =
+  match t.live.(state) with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make ((universe t + 7) / 8) '\000' in
+      IntSet.iter
+        (fun e ->
+          if event_live_uncached t state e then
+            Bytes.unsafe_set b (e lsr 3)
+              (Char.unsafe_chr (Char.code (Bytes.unsafe_get b (e lsr 3)) lor (1 lsl (e land 7)))))
+        t.alphabet;
+      t.live.(state) <- Some b;
+      b
+
+let event_live t ~state ~event =
+  if state < 0 || state >= Array.length t.states then false
+  else begin
+    let b = live_set t state in
+    let byte = event lsr 3 in
+    event >= 0
+    && byte < Bytes.length b
+    && Char.code (Bytes.unsafe_get b byte) land (1 lsl (event land 7)) <> 0
+  end
+
+let live_events t state =
+  IntSet.filter (fun e -> event_live t ~state ~event:e) t.alphabet
+
+(* ---------------- hybrid dense dispatch ---------------- *)
+
+(* Cell encoding mirrors [Ode_baselines.Dense_fsm]: >= 0 is a Goto target,
+   -1 is Dead. Alphabet events always resolve to one of those two ([step]
+   only answers [Stay] for out-of-alphabet events, which the slot map
+   rejects before the row probe), so no Stay cell is needed. Rows are
+   |machine alphabet| slots wide — global event ids are compacted to local
+   slots first, which is what keeps the table small under a large global
+   intern space (the §6 objection to dense tables). *)
+let cell_dead = -1
+
+let default_max_cells = 4096
+
+let dense_dispatch ?(max_cells = default_max_cells) t =
+  (match t.dispatch with
+  | Dense _ | Sparse_only -> ()
+  | Unbuilt ->
+      let nslots = IntSet.cardinal t.alphabet in
+      let n = Array.length t.states in
+      if nslots = 0 || n * nslots > max_cells then t.dispatch <- Sparse_only
+      else begin
+        let slot_of = Array.make (universe t) (-1) in
+        let next = ref 0 in
+        IntSet.iter
+          (fun e ->
+            slot_of.(e) <- !next;
+            incr next)
+          t.alphabet;
+        let cells = Array.make (n * nslots) cell_dead in
+        Array.iteri
+          (fun s _ ->
+            IntSet.iter
+              (fun e ->
+                let cell =
+                  match step t s (Sym.Ev e) with
+                  | Goto target -> target
+                  | Dead -> cell_dead
+                  | Stay -> assert false
+                in
+                cells.((s * nslots) + slot_of.(e)) <- cell)
+              t.alphabet)
+          t.states;
+        t.dispatch <- Dense { slot_of; cells; nslots }
+      end);
+  match t.dispatch with Dense _ -> true | Unbuilt | Sparse_only -> false
+
+let dense_active t = match t.dispatch with Dense _ -> true | Unbuilt | Sparse_only -> false
+
+let step_event t state e =
+  match t.dispatch with
+  | Dense { slot_of; cells; nslots } ->
+      if e < 0 || e >= Array.length slot_of then Stay
+      else begin
+        let slot = Array.unsafe_get slot_of e in
+        if slot < 0 then Stay
+        else begin
+          match Array.unsafe_get cells ((state * nslots) + slot) with
+          | -1 -> Dead
+          | target -> Goto target
+        end
+      end
+  | Unbuilt | Sparse_only -> step t state (Sym.Ev e)
 
 let approx_bytes t =
   (* One word statenum + accept + pending list + trans array header per

@@ -26,11 +26,22 @@ type state = {
   trans : (Sym.t * int) array;  (** sorted by {!Sym.compare} *)
 }
 
+type dispatch =
+  | Unbuilt
+  | Sparse_only
+  | Dense of { slot_of : int array; cells : int array; nslots : int }
+      (** Per-machine compaction: [slot_of] maps a global interned event id
+          to a local alphabet slot (-1 if outside the alphabet), [cells] is
+          the row-major [num_states * nslots] transition table (>= 0 Goto
+          target, -1 Dead). *)
+
 type t = {
   states : state array;
   start : int;
   alphabet : IntSet.t;  (** interned event ids the machine reacts to *)
   mask_ids : IntSet.t;
+  mutable dispatch : dispatch;  (** lazily built by {!dense_dispatch} *)
+  mutable live : Bytes.t option array;  (** lazily built by {!event_live} *)
 }
 
 val make : states:state array -> start:int -> alphabet:IntSet.t -> mask_ids:IntSet.t -> t
@@ -44,6 +55,33 @@ val is_accept : t -> int -> bool
 val pending_masks : t -> int -> int list
 
 val step : t -> int -> Sym.t -> step_result
+
+val event_live : t -> state:int -> event:int -> bool
+(** [event_live t ~state ~event] is [false] exactly when posting [event]
+    to a machine sitting in [state] is a guaranteed no-op: the step is
+    [Stay], or a self-[Goto] into a maskless non-accept state (no mask
+    re-evaluation, no re-fire — indistinguishable from [Stay] at the
+    posting level). [Dead] moves, real moves, accept re-entries and
+    mask-state re-entries are all live. Answers come from a lazily built
+    per-state bitset over the alphabet's event-id range, so the hot-path
+    cost is one byte load and a mask. Out-of-range states answer [false]. *)
+
+val live_events : t -> int -> IntSet.t
+(** All live events of a state ({!event_live} as a set, for tests). *)
+
+val dense_dispatch : ?max_cells:int -> t -> bool
+(** Decide (once) the machine's dispatch representation: build the compact
+    dense table if [num_states * |alphabet|] fits within [max_cells]
+    (default 4096), else mark the machine sparse-only. Returns whether the
+    dense table is active. Idempotent; the first call's threshold wins. *)
+
+val dense_active : t -> bool
+(** Whether {!dense_dispatch} built a dense table for this machine. *)
+
+val step_event : t -> int -> int -> step_result
+(** [step_event t state event] = [step t state (Sym.Ev event)], routed
+    through the dense table when one is active: slot lookup + one array
+    load instead of a binary search. *)
 
 val approx_bytes : t -> int
 (** Rough memory footprint of the sparse representation, for the

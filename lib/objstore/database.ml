@@ -99,7 +99,12 @@ let create ~mgr ~store ~name =
     }
   in
   Txn.register_participant mgr
-    { Txn.p_name = "db:" ^ name; on_commit = on_commit t; on_abort = on_abort t };
+    {
+      Txn.p_name = "db:" ^ name;
+      p_prepare = (fun _ -> ());
+      on_commit = on_commit t;
+      on_abort = on_abort t;
+    };
   t
 
 let open_existing ~mgr ~store ~name =

@@ -292,7 +292,7 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?faults ~mgr ~name
     }
   in
   Txn.register_participant mgr
-    { Txn.p_name = name; on_commit = on_commit t; on_abort = on_abort t };
+    { Txn.p_name = name; p_prepare = (fun _ -> ()); on_commit = on_commit t; on_abort = on_abort t };
   t
 
 let ops t =

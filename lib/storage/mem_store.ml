@@ -130,7 +130,7 @@ let create ~mgr ~name () =
     }
   in
   Txn.register_participant mgr
-    { Txn.p_name = name; on_commit = on_commit t; on_abort = on_abort t };
+    { Txn.p_name = name; p_prepare = (fun _ -> ()); on_commit = on_commit t; on_abort = on_abort t };
   t
 
 let ops t =

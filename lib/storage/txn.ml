@@ -8,7 +8,12 @@ type t = {
   mutable deps : int list;
 }
 
-and participant = { p_name : string; on_commit : t -> unit; on_abort : t -> unit }
+and participant = {
+  p_name : string;
+  p_prepare : t -> unit;
+  on_commit : t -> unit;
+  on_abort : t -> unit;
+}
 
 and mgr = {
   lock_mgr : Lock_manager.t;
@@ -85,6 +90,10 @@ let commit t =
              (Printf.sprintf "transaction %d commit-depends on still-active %d" t.id on))
   in
   List.iter check_dep t.deps;
+  (* Prepare phase: every participant stages its pending work (e.g. the
+     trigger runtime flushing its write-back cache into the store) before
+     any participant's [on_commit] makes the transaction durable. *)
+  List.iter (fun p -> p.p_prepare t) t.mgr.participants;
   List.iter (fun p -> p.on_commit t) t.mgr.participants;
   finish t Committed;
   t.mgr.stats.committed <- t.mgr.stats.committed + 1

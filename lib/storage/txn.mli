@@ -26,6 +26,10 @@ type t = private {
 
 and participant = {
   p_name : string;
+  p_prepare : t -> unit;
+      (** Runs for every participant before any [on_commit]: stage deferred
+          writes while the transaction is still active so the commit phase
+          (WAL forcing) covers them. Must not raise on the happy path. *)
   on_commit : t -> unit;
   on_abort : t -> unit;
 }

@@ -20,9 +20,14 @@ let fail fmt = Format.kasprintf (fun msg -> raise (Trigger_error msg)) fmt
 type stats = {
   mutable posts : int;
   mutable index_probes : int;
+  mutable index_skips : int;
   mutable fsm_moves : int;
   mutable mask_evals : int;
   mutable state_writes : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_flushes : int;
+  mutable dense_dispatches : int;
   mutable fires_immediate : int;
   mutable fires_end : int;
   mutable fires_dependent : int;
@@ -33,12 +38,42 @@ type stats = {
   mutable local_activations : int;
 }
 
+type config = {
+  filter : bool;
+  cache : bool;
+  dense : bool;
+  dense_max_cells : int;
+}
+
+let default_config = { filter = true; cache = true; dense = true; dense_max_cells = 4096 }
+
+let reference_config = { filter = false; cache = false; dense = false; dense_max_cells = 0 }
+
 module Obj_index = Ode_objstore.Hash_index.Make (struct
   type t = Oid.t
 
   let equal = Oid.equal
   let hash = Oid.hash
 end)
+
+(* One activation in the in-memory index. The entry is shared between the
+   primary anchor's bucket and every secondary anchor's bucket, and carries
+   a transactionally maintained mirror of the persistent statenum so [post]
+   can consult the machine's live-event bitset without touching the store.
+   [e_owner] is the id of the transaction with uncommitted changes to this
+   activation (-1 = none): the mirror is only trusted by its owner or when
+   unowned, so another transaction never filters on dirty state it is not
+   allowed to read — it falls through to the store read and blocks there,
+   exactly like the unfiltered path. *)
+type entry = {
+  e_rid : Rid.t;
+  e_cls : string;
+  e_index : int;  (* triggernum within [e_cls] *)
+  mutable e_state : int;
+  mutable e_owner : int;
+  mutable e_info : Trigger_def.info option;  (* resolved lazily: at
+      recovery-time [rebuild_index] the registry is still empty *)
+}
 
 (* A local (transaction-scoped) trigger activation: §8's "local rules" —
    no persistent storage, no locks, deallocated at end of transaction. *)
@@ -61,15 +96,26 @@ type fire = {
   f_local : local_act option;  (* Some for transaction-scoped activations *)
 }
 
-type index_change = Idx_add of Oid.t * Rid.t | Idx_remove of Oid.t * Rid.t
+type index_change =
+  | Idx_add of Oid.t * entry
+  | Idx_remove of Oid.t * entry
+  | Idx_move of entry * int  (* pre-move mirror state, for abort reversal *)
+
+(* Write-back cache slot: the decoded state as this transaction last saw
+   (or wrote) it. Dirty slots are encoded and flushed to the store once,
+   in the commit prepare phase. *)
+type centry = { mutable c_st : Trigger_state.t; mutable c_dirty : bool }
 
 type txn_local = {
   mutable end_list : fire list;  (* reversed *)
   mutable dep_list : fire list;
   mutable indep_list : fire list;
   mutable touched : (Oid.t * string) list;
+  touched_tbl : unit Oid.Tbl.t;  (* membership mirror of [touched] *)
   mutable index_journal : index_change list;
   mutable local_acts : local_act list;  (* reversed activation order *)
+  cache : centry Rid.Tbl.t;
+  mutable dirty : Rid.t list;  (* reversed first-dirtied order *)
 }
 
 type t = {
@@ -77,7 +123,8 @@ type t = {
   intern : Intern.t;
   store : Store.t;
   mgr : Txn.mgr;
-  index : Rid.t Obj_index.t;
+  config : config;
+  index : entry Obj_index.t;
   locals : (int, txn_local) Hashtbl.t;
   mutable fire_depth : int;
   mutable draining : bool;
@@ -95,9 +142,14 @@ let fresh_stats () =
   {
     posts = 0;
     index_probes = 0;
+    index_skips = 0;
     fsm_moves = 0;
     mask_evals = 0;
     state_writes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_flushes = 0;
+    dense_dispatches = 0;
     fires_immediate = 0;
     fires_end = 0;
     fires_dependent = 0;
@@ -118,8 +170,11 @@ let local t (txn : Txn.t) =
           dep_list = [];
           indep_list = [];
           touched = [];
+          touched_tbl = Oid.Tbl.create 16;
           index_journal = [];
           local_acts = [];
+          cache = Rid.Tbl.create 16;
+          dirty = [];
         }
       in
       Hashtbl.replace t.locals txn.Txn.id l;
@@ -128,41 +183,87 @@ let local t (txn : Txn.t) =
 let local_opt t (txn : Txn.t) = Hashtbl.find_opt t.locals txn.Txn.id
 
 (* The in-memory activation index must follow transaction outcomes: journal
-   every change and reverse the journal on abort. *)
-let apply_index t = function
-  | Idx_add (obj, rid) -> Obj_index.add t.index obj rid
-  | Idx_remove (obj, rid) -> ignore (Obj_index.remove t.index obj (Rid.equal rid))
+   every change and reverse the journal on abort. [Idx_move] records are
+   pure undo information — the mirror mutation happened at step time. *)
+let same_entry e e' = e == e'
 
-let reverse_index = function
-  | Idx_add (obj, rid) -> Idx_remove (obj, rid)
-  | Idx_remove (obj, rid) -> Idx_add (obj, rid)
+let apply_index t = function
+  | Idx_add (obj, e) -> Obj_index.add t.index obj e
+  | Idx_remove (obj, e) -> ignore (Obj_index.remove t.index obj (same_entry e))
+  | Idx_move _ -> ()
+
+let reverse_index t = function
+  | Idx_add (obj, e) -> ignore (Obj_index.remove t.index obj (same_entry e))
+  | Idx_remove (obj, e) -> Obj_index.add t.index obj e
+  | Idx_move (e, old_state) ->
+      e.e_state <- old_state;
+      e.e_owner <- -1
 
 let journal_index t txn change =
   apply_index t change;
   let l = local t txn in
   l.index_journal <- change :: l.index_journal
 
-(* Participant hook run inside [Txn.abort]: reverse the index journal and
-   discard work that dies with the transaction. The !dependent list is
-   deliberately kept — §5.5 runs it after roll-back; [after_abort] consumes
-   it. *)
+(* Participant hook run inside [Txn.abort]: reverse the index journal,
+   drop the write-back cache, and discard work that dies with the
+   transaction. The !dependent list is deliberately kept — §5.5 runs it
+   after roll-back; [after_abort] consumes it. *)
 let on_txn_abort t (txn : Txn.t) =
   match local_opt t txn with
   | None -> ()
   | Some l ->
-      List.iter (fun change -> apply_index t (reverse_index change)) l.index_journal;
+      (* Journal is most-recent-first, so a multiply-moved entry's mirror
+         lands back on its pre-transaction state. *)
+      List.iter (fun change -> reverse_index t change) l.index_journal;
       l.index_journal <- [];
+      Rid.Tbl.reset l.cache;
+      l.dirty <- [];
       l.end_list <- [];
       l.dep_list <- [];
-      l.touched <- []
+      l.touched <- [];
+      Oid.Tbl.reset l.touched_tbl
 
-let create ~mgr ~intern ~store =
+(* Commit prepare phase: encode and write every dirty cached state while
+   the transaction is still active, before any participant's [on_commit]
+   forces the WAL — so deferred trigger-state writes are exactly as
+   durable as eager ones. Deterministic flush order (first-dirtied first);
+   deactivated rids were evicted from the cache and are skipped. *)
+let flush_cache t (txn : Txn.t) =
+  match local_opt t txn with
+  | None -> ()
+  | Some l ->
+      List.iter
+        (fun rid ->
+          match Rid.Tbl.find_opt l.cache rid with
+          | Some ce when ce.c_dirty ->
+              t.store.Store.update txn rid (Trigger_state.encode ce.c_st);
+              ce.c_dirty <- false;
+              t.stats.cache_flushes <- t.stats.cache_flushes + 1
+          | Some _ | None -> ())
+        (List.rev l.dirty);
+      l.dirty <- []
+
+(* Commit: the mirrors this transaction wrote become the committed truth;
+   release entry ownership so other transactions may filter on them. *)
+let on_txn_commit t (txn : Txn.t) =
+  match local_opt t txn with
+  | None -> ()
+  | Some l ->
+      List.iter
+        (function
+          | Idx_add (_, e) | Idx_move (e, _) -> e.e_owner <- -1
+          | Idx_remove _ -> ())
+        l.index_journal;
+      l.index_journal <- []
+
+let create ?(config = default_config) ~mgr ~intern ~store () =
   let t =
     {
       registry = Trigger_def.Registry.create ();
       intern;
       store;
       mgr;
+      config;
       index = Obj_index.create ();
       locals = Hashtbl.create 8;
       fire_depth = 0;
@@ -174,10 +275,13 @@ let create ~mgr ~intern ~store =
   Txn.register_participant mgr
     {
       Txn.p_name = "trigger-runtime";
-      on_commit = (fun _txn -> ());
+      p_prepare = flush_cache t;
+      on_commit = on_txn_commit t;
       on_abort = on_txn_abort t;
     };
   t
+
+let config t = t.config
 
 let register_class t descriptor = Trigger_def.Registry.register t.registry descriptor
 
@@ -199,8 +303,18 @@ let rebuild_index ?object_exists t txn =
             | Some exists -> exists st.Trigger_state.trigobj
           in
           if alive then begin
-            Obj_index.add t.index st.Trigger_state.trigobj rid;
-            List.iter (fun anchor -> Obj_index.add t.index anchor rid) st.Trigger_state.anchors
+            let entry =
+              {
+                e_rid = rid;
+                e_cls = st.Trigger_state.trigobjtype;
+                e_index = st.Trigger_state.triggernum;
+                e_state = st.Trigger_state.statenum;
+                e_owner = -1;
+                e_info = None;
+              }
+            in
+            Obj_index.add t.index st.Trigger_state.trigobj entry;
+            List.iter (fun anchor -> Obj_index.add t.index anchor entry) st.Trigger_state.anchors
           end
           else dangling := rid :: !dangling
       | Trigger_state.Phoenix _ -> t.phoenix_hint <- t.phoenix_hint + 1);
@@ -251,9 +365,73 @@ let read_state t txn id =
       | Trigger_state.Phoenix _ -> None
     end
 
+(* Resolve (and memoize) an index entry's trigger definition; built lazily
+   because recovery indexes rows before classes are re-registered. The
+   first resolution also decides the machine's dispatch representation. *)
+let info_of t entry =
+  match entry.e_info with
+  | Some info -> info
+  | None ->
+      let info = Trigger_def.Registry.trigger_info t.registry ~cls:entry.e_cls ~index:entry.e_index in
+      if t.config.dense then
+        ignore (Fsm.dense_dispatch ~max_cells:t.config.dense_max_cells info.Trigger_def.t_fsm);
+      entry.e_info <- Some info;
+      info
+
+(* All reads of persistent trigger state go through here: with the cache
+   enabled, the first read per (txn, rid) decodes and caches; repeated
+   posts in the same transaction then skip both the store read and the
+   decode. Reads see this transaction's own deferred writes. *)
+let cached_read t txn id =
+  if not t.config.cache then read_state t txn id
+  else begin
+    let l = local t txn in
+    match Rid.Tbl.find_opt l.cache id with
+    | Some ce ->
+        t.stats.cache_hits <- t.stats.cache_hits + 1;
+        Some ce.c_st
+    | None -> begin
+        match read_state t txn id with
+        | None -> None
+        | Some st ->
+            t.stats.cache_misses <- t.stats.cache_misses + 1;
+            Rid.Tbl.replace l.cache id { c_st = st; c_dirty = false };
+            Some st
+      end
+  end
+
+(* All writes of persistent trigger state go through here. With the cache
+   enabled the write is deferred to the commit prepare phase, but the
+   exclusive record lock is taken {e now}, so lock acquisition order —
+   and therefore [Would_block]/[Deadlock] behaviour — is identical to the
+   eager path. *)
 let write_state t txn id st =
-  t.store.Store.update txn id (Trigger_state.encode st);
-  t.stats.state_writes <- t.stats.state_writes + 1
+  t.stats.state_writes <- t.stats.state_writes + 1;
+  if not t.config.cache then t.store.Store.update txn id (Trigger_state.encode st)
+  else begin
+    Store.lock_or_raise txn (Ode_storage.Lock_manager.Record (t.store.Store.name, id)) Ode_storage.Lock_manager.X;
+    let l = local t txn in
+    match Rid.Tbl.find_opt l.cache id with
+    | Some ce ->
+        ce.c_st <- st;
+        if not ce.c_dirty then begin
+          ce.c_dirty <- true;
+          l.dirty <- id :: l.dirty
+        end
+    | None ->
+        Rid.Tbl.replace l.cache id { c_st = st; c_dirty = true };
+        l.dirty <- id :: l.dirty
+  end
+
+(* Evict a rid from the write-back cache (deactivation deletes the store
+   record eagerly; a later flush of a stale slot would be an update of a
+   missing record). *)
+let evict_cached t txn id =
+  if t.config.cache then begin
+    match local_opt t txn with
+    | None -> ()
+    | Some l -> Rid.Tbl.remove l.cache id
+  end
 
 let lookup_trigger t ~defining_cls ~trigger ~obj_cls ~args =
   let info =
@@ -283,8 +461,6 @@ let activate ?(anchors = []) t txn ~defining_cls ~trigger ~obj ~obj_cls ~args =
     }
   in
   let id = t.store.Store.insert txn (Trigger_state.encode st) in
-  journal_index t txn (Idx_add (obj, id));
-  List.iter (fun anchor -> journal_index t txn (Idx_add (anchor, id))) anchors;
   t.stats.activations <- t.stats.activations + 1;
   Log.debug (fun m ->
       m "activate %s::%s on %a (t%d)" defining_cls trigger Oid.pp obj txn.Txn.id);
@@ -293,6 +469,20 @@ let activate ?(anchors = []) t txn ~defining_cls ~trigger ~obj ~obj_cls ~args =
   let ctx = { Trigger_def.txn; obj; args; ev_args = []; trigger_id = id } in
   let settled = cascade t txn ~info ~ctx start in
   if settled <> start then write_state t txn id (Trigger_state.with_statenum st settled);
+  if t.config.dense then
+    ignore (Fsm.dense_dispatch ~max_cells:t.config.dense_max_cells info.Trigger_def.t_fsm);
+  let entry =
+    {
+      e_rid = id;
+      e_cls = defining_cls;
+      e_index = info.Trigger_def.t_index;
+      e_state = settled;
+      e_owner = txn.Txn.id;  (* uncommitted activation: only we may filter *)
+      e_info = Some info;
+    }
+  in
+  journal_index t txn (Idx_add (obj, entry));
+  List.iter (fun anchor -> journal_index t txn (Idx_add (anchor, entry))) anchors;
   id
 
 (* §8 "local rules": a transaction-scoped activation held only in program
@@ -300,6 +490,8 @@ let activate ?(anchors = []) t txn ~defining_cls ~trigger ~obj ~obj_cls ~args =
    the transaction finishes, whatever the outcome. *)
 let activate_local t txn ~defining_cls ~trigger ~obj ~obj_cls ~args =
   let info = lookup_trigger t ~defining_cls ~trigger ~obj_cls ~args in
+  if t.config.dense then
+    ignore (Fsm.dense_dispatch ~max_cells:t.config.dense_max_cells info.Trigger_def.t_fsm);
   let start = info.Trigger_def.t_fsm.Fsm.start in
   let act =
     {
@@ -317,37 +509,47 @@ let activate_local t txn ~defining_cls ~trigger ~obj ~obj_cls ~args =
   l.local_acts <- act :: l.local_acts;
   t.stats.local_activations <- t.stats.local_activations + 1
 
+let find_entry t ~obj ~rid =
+  List.find_opt (fun e -> Rid.equal e.e_rid rid) (Obj_index.find_all t.index obj)
+
 let deactivate t txn id =
-  match read_state t txn id with
+  match cached_read t txn id with
   | None -> ()
   | Some st ->
+      evict_cached t txn id;
       t.store.Store.delete txn id;
-      journal_index t txn (Idx_remove (st.Trigger_state.trigobj, id));
-      List.iter
-        (fun anchor -> journal_index t txn (Idx_remove (anchor, id)))
-        st.Trigger_state.anchors;
+      (match find_entry t ~obj:st.Trigger_state.trigobj ~rid:id with
+      | None -> ()
+      | Some entry ->
+          journal_index t txn (Idx_remove (st.Trigger_state.trigobj, entry));
+          List.iter
+            (fun anchor -> journal_index t txn (Idx_remove (anchor, entry)))
+            st.Trigger_state.anchors);
       t.stats.deactivations <- t.stats.deactivations + 1;
       Log.debug (fun m -> m "deactivate trigger #%d on %a" st.Trigger_state.triggernum Oid.pp st.Trigger_state.trigobj)
 
 let on_object_deleted t txn obj =
-  let ids = Obj_index.find_all t.index obj in
+  let entries = Obj_index.find_all t.index obj in
   List.iter
-    (fun id ->
-      match read_state t txn id with
+    (fun entry ->
+      match cached_read t txn entry.e_rid with
       | None -> ()
       | Some st ->
-          if Oid.equal st.Trigger_state.trigobj obj then deactivate t txn id
+          if Oid.equal st.Trigger_state.trigobj obj then deactivate t txn entry.e_rid
           else
             (* [obj] was a secondary anchor: keep the trigger, drop the
                routing entry. *)
-            journal_index t txn (Idx_remove (obj, id)))
-    ids
+            journal_index t txn (Idx_remove (obj, entry)))
+    entries
 
 let active_on t txn obj =
-  let ids = Obj_index.find_all t.index obj in
+  let entries = Obj_index.find_all t.index obj in
   List.filter_map
-    (fun id -> match read_state t txn id with Some st -> Some (id, st) | None -> None)
-    ids
+    (fun entry ->
+      match cached_read t txn entry.e_rid with
+      | Some st -> Some (entry.e_rid, st)
+      | None -> None)
+    entries
 
 (* ------------------------------------------------------------------ *)
 (* Firing. *)
@@ -421,6 +623,16 @@ let route_fire t txn fire =
       enqueue_phoenix t txn fire;
       deactivate_if_once_only ()
 
+(* Advance one machine on a real event, through the compact dense table
+   when the machine has one (O(1) slot + row probe instead of a binary
+   search over the sparse transition list). *)
+let step_machine t fsm state event =
+  if t.config.dense && Fsm.dense_active fsm then begin
+    t.stats.dense_dispatches <- t.stats.dense_dispatches + 1;
+    Fsm.step_event fsm state event
+  end
+  else Fsm.step fsm state (Sym.Ev event)
+
 (* Advance this transaction's local activations anchored at [obj]; ready
    local triggers are appended to [ready] in activation order. *)
 let advance_locals t txn ~obj ~event ~payload ready =
@@ -445,7 +657,7 @@ let advance_locals t txn ~obj ~event ~payload ready =
             }
           in
           let moved, final =
-            match Fsm.step fsm act.la_state (Sym.Ev event) with
+            match step_machine t fsm act.la_state event with
             | Fsm.Stay -> (false, act.la_state)
             | Fsm.Dead -> (true, Trigger_state.dead_state)
             | Fsm.Goto next ->
@@ -477,18 +689,31 @@ let post ?(payload = []) t txn ~obj ~event =
       m "post %s to %a (t%d)" (Intern.name_of_id t.intern event) Oid.pp obj txn.Txn.id);
   t.stats.posts <- t.stats.posts + 1;
   t.stats.index_probes <- t.stats.index_probes + 1;
-  let ids = Obj_index.find_all t.index obj in
-  if ids <> [] then begin
+  let entries = Obj_index.find_all t.index obj in
+  if entries <> [] then begin
     let ready = ref [] in
-    let advance id =
-      match read_state t txn id with
+    let advance entry =
+      (* Fast path: the entry's state mirror plus the machine's per-state
+         live-event bitset prove the post is a no-op — no store read, no
+         decode, no lock. The mirror is only consulted when this
+         transaction owns the entry or nobody does; an entry owned by
+         another in-flight transaction takes the slow path and blocks on
+         the record lock exactly as the unfiltered engine would. *)
+      let skip =
+        t.config.filter
+        && (entry.e_owner = -1 || entry.e_owner = txn.Txn.id)
+        && (entry.e_state = Trigger_state.dead_state
+           ||
+           let info = info_of t entry in
+           not (Fsm.event_live info.Trigger_def.t_fsm ~state:entry.e_state ~event))
+      in
+      if skip then t.stats.index_skips <- t.stats.index_skips + 1
+      else
+      match cached_read t txn entry.e_rid with
       | None -> ()
       | Some st ->
           if st.Trigger_state.statenum <> Trigger_state.dead_state then begin
-            let info =
-              Trigger_def.Registry.trigger_info t.registry ~cls:st.Trigger_state.trigobjtype
-                ~index:st.Trigger_state.triggernum
-            in
+            let info = info_of t entry in
             let fsm = info.Trigger_def.t_fsm in
             (* Masks and actions always see the trigger's primary anchor,
                even when the posted-to object is a secondary anchor of an
@@ -500,27 +725,37 @@ let post ?(payload = []) t txn ~obj ~event =
                 obj = primary;
                 args = st.Trigger_state.args;
                 ev_args = payload;
-                trigger_id = id;
+                trigger_id = entry.e_rid;
               }
             in
             (* [moved] guards the accept check: an event the machine
                ignores (Stay) must not re-fire a trigger parked in an
-               accept state (âa check is made to see if an accept state
-               has been reachedâ happens after a transition, Â§5.4.5). *)
+               accept state ("a check is made to see if an accept state
+               has been reached" happens after a transition, §5.4.5). *)
             let moved, final =
-              match Fsm.step fsm st.Trigger_state.statenum (Sym.Ev event) with
+              match step_machine t fsm st.Trigger_state.statenum event with
               | Fsm.Stay -> (false, st.Trigger_state.statenum)
               | Fsm.Dead -> (true, Trigger_state.dead_state)
               | Fsm.Goto next ->
                   t.stats.fsm_moves <- t.stats.fsm_moves + 1;
                   (true, cascade t txn ~info ~ctx next)
             in
-            if final <> st.Trigger_state.statenum then
-              write_state t txn id (Trigger_state.with_statenum st final);
+            if final <> st.Trigger_state.statenum then begin
+              write_state t txn entry.e_rid (Trigger_state.with_statenum st final);
+              (* Mirror the move so filtering decisions see the new state;
+                 journal the old mirror for abort reversal and mark this
+                 transaction as owner until it resolves. If we already own
+                 the entry an undo record from this transaction exists and
+                 reversal restores the oldest state, so one suffices. *)
+              if entry.e_owner <> txn.Txn.id then
+                journal_index t txn (Idx_move (entry, entry.e_state));
+              entry.e_state <- final;
+              entry.e_owner <- txn.Txn.id
+            end;
             if moved && final <> Trigger_state.dead_state && Fsm.is_accept fsm final then
               ready :=
                 {
-                  f_id = id;
+                  f_id = entry.e_rid;
                   f_info = info;
                   f_obj = primary;
                   f_args = st.Trigger_state.args;
@@ -533,7 +768,7 @@ let post ?(payload = []) t txn ~obj ~event =
     in
     (* Advance every active trigger before firing any (§5.4.5): an action
        must not affect another trigger's mask evaluation for this event. *)
-    List.iter advance ids;
+    List.iter advance entries;
     advance_locals t txn ~obj ~event ~payload ready;
     List.iter (route_fire t txn) (List.rev !ready)
   end
@@ -552,8 +787,12 @@ let note_access t txn ~obj ~cls =
   | Some d ->
       if d.Trigger_def.d_txn_events <> [] then begin
         let l = local t txn in
-        if not (List.exists (fun (o, _) -> Oid.equal o obj) l.touched) then
+        (* First access wins (§5.5); the hashtable mirror keeps this O(1)
+           for transactions that touch many objects. *)
+        if not (Oid.Tbl.mem l.touched_tbl obj) then begin
+          Oid.Tbl.replace l.touched_tbl obj ();
           l.touched <- (obj, cls) :: l.touched
+        end
       end
 
 let post_txn_event t txn basic =
@@ -729,9 +968,14 @@ let reset_stats t =
   let s = t.stats in
   s.posts <- 0;
   s.index_probes <- 0;
+  s.index_skips <- 0;
   s.fsm_moves <- 0;
   s.mask_evals <- 0;
   s.state_writes <- 0;
+  s.cache_hits <- 0;
+  s.cache_misses <- 0;
+  s.cache_flushes <- 0;
+  s.dense_dispatches <- 0;
   s.fires_immediate <- 0;
   s.fires_end <- 0;
   s.fires_dependent <- 0;

@@ -30,9 +30,18 @@ exception Trigger_error of string
 type stats = {
   mutable posts : int;
   mutable index_probes : int;
+  mutable index_skips : int;
+      (** posts proven irrelevant per-activation by the live-event bitset:
+          no store read, no decode, no lock *)
   mutable fsm_moves : int;
   mutable mask_evals : int;
-  mutable state_writes : int;
+  mutable state_writes : int;  (** logical trigger-state writes *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_flushes : int;
+      (** dirty cached states actually written at commit-prepare; at most
+          one per (transaction, activation) however many times it moved *)
+  mutable dense_dispatches : int;  (** event steps served by a dense table *)
   mutable fires_immediate : int;
   mutable fires_end : int;
   mutable fires_dependent : int;
@@ -43,10 +52,41 @@ type stats = {
   mutable local_activations : int;
 }
 
+type config = {
+  filter : bool;  (** skip store access for events proven irrelevant to an
+      activation's current FSM state (live-event bitsets in the index) *)
+  cache : bool;  (** transaction-scoped write-back cache of decoded
+      {!Trigger_state.t}: reads decode once per transaction, writes are
+      encoded and flushed once at commit-prepare, discarded on abort *)
+  dense : bool;  (** hybrid dense dispatch: O(1) compact transition tables
+      for small machines, sparse binary search above [dense_max_cells] *)
+  dense_max_cells : int;
+}
+(** Posting-engine layer switches. The layers are pure optimisations:
+    observable trigger behaviour is identical under any combination (the
+    differential tests drive {!default_config} against
+    {!reference_config}), except that filtered posts skip the shared
+    record locks the reference path would take on irrelevant
+    activations. *)
+
+val default_config : config
+(** All layers on, [dense_max_cells = 4096]. *)
+
+val reference_config : config
+(** The pre-optimisation engine: every candidate activation is read from
+    the store, decoded, stepped sparsely and written back eagerly. *)
+
 type t
 
 val create :
-  mgr:Ode_storage.Txn.mgr -> intern:Ode_event.Intern.t -> store:Ode_storage.Store.t -> t
+  ?config:config ->
+  mgr:Ode_storage.Txn.mgr ->
+  intern:Ode_event.Intern.t ->
+  store:Ode_storage.Store.t ->
+  unit ->
+  t
+
+val config : t -> config
 
 val registry : t -> Trigger_def.Registry.t
 val intern : t -> Ode_event.Intern.t

@@ -25,6 +25,7 @@ let () =
       ("session_recovery", Test_session_recovery.suite);
       ("crashpoints", Test_crashpoints.suite);
       ("differential", Test_differential.suite);
+      ("posting_engine", Test_posting_engine.suite);
       ("extensions", Test_extensions.suite);
       ("soak", Test_soak.suite);
       ("properties", Test_properties.suite);

@@ -120,7 +120,7 @@ let phoenix_survives_crash kind () =
         |];
     }
   in
-  let rt = Runtime.create ~mgr ~intern ~store in
+  let rt = Runtime.create ~mgr ~intern ~store () in
   Runtime.register_class rt descriptor;
   (* Enqueue a phoenix entry in a committed transaction WITHOUT the
      after-commit drain (plain Txn.commit, as if we crashed first). *)
@@ -149,7 +149,7 @@ let phoenix_survives_crash kind () =
   (* Re-intern in the same order so ids line up, as a restarted program
      re-running the same class definitions would. *)
   ignore (Ode_event.Intern.id intern2 ~cls:"C" (Ode_event.Intern.User "e"));
-  let rt2 = Runtime.create ~mgr:mgr2 ~intern:intern2 ~store:store2 in
+  let rt2 = Runtime.create ~mgr:mgr2 ~intern:intern2 ~store:store2 () in
   Runtime.register_class rt2 descriptor;
   let txn = Txn.begin_txn ~system:true mgr2 in
   Runtime.rebuild_index rt2 txn;
