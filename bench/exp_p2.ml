@@ -1,0 +1,237 @@
+(* P2 — Group-commit durability pipeline: batched WAL flushes.
+
+   Measures committed-transaction throughput and log forces per commit
+   across the commit pipeline's modes (Commit_pipeline.mode):
+
+     immediate   flush per commit (the seed behaviour; reference point)
+     group:B     batch up to B commits per force, deterministic
+                 logical-tick deadline
+     async:L     ack before flush, at most L unflushed commits
+
+   Two workloads:
+
+     credcard    the paper's credit-card schema on the disk backend —
+                 single-operation transactions (buy / pay_bill), the
+                 commit-bound regime group commit targets
+     fan-in      a synthetic one-post transaction on the MM backend with
+                 8 activations watching the event — MM-Ode still forces
+                 a log, so batching matters there too
+
+   The log force itself is given a simulated device latency (flush_spin,
+   the WAL-side analogue of Pager's io_spin); without it a flush in this
+   simulation is a Buffer.add and batching would measure nothing real.
+
+   Acceptance (ISSUE 4): on the credit-card macro, group:16 shows >= 5x
+   fewer WAL flushes and >= 2x commit throughput vs immediate. *)
+
+module Session = Ode.Session
+module Credit_card = Ode.Credit_card
+module Commit_pipeline = Ode_storage.Commit_pipeline
+module Intern = Ode_event.Intern
+module Value = Ode_objstore.Value
+module Table = Ode_util.Table
+
+let mode_of name =
+  match Commit_pipeline.mode_of_string name with
+  | Ok mode -> mode
+  | Error msg -> invalid_arg ("exp_p2: " ^ msg)
+
+let counter counters name = try List.assoc name counters with Not_found -> 0
+
+(* Log forces across both stores (objects + triggers). *)
+let total_flushes counters =
+  counter counters "objects.wal_flushes" + counter counters "triggers.wal_flushes"
+
+type row = {
+  r_workload : string;
+  r_mode : string;
+  r_txns : int;
+  r_ns_per_txn : float;  (* wall clock / committed txns, sync included *)
+  r_flushes : int;  (* workload-attributable log forces, both stores *)
+  r_avg_batch : int;
+  r_ack_lag : int;
+}
+
+(* The credit-card macro: [txns] single-operation transactions against one
+   card (7 buys then a bill payment, keeping the balance bounded), then a
+   final [sync] so deferred commits are charged to the run they belong
+   to. *)
+let run_credcard ~flush_spin ~txns mode_name =
+  let env =
+    Session.create ~store:`Disk ~flush_spin ~durability:(mode_of mode_name) ()
+  in
+  Credit_card.define_all env;
+  let card, merchant =
+    Session.with_txn env (fun txn ->
+        let customer = Credit_card.new_customer env txn ~name:"p2" in
+        let merchant = Credit_card.new_merchant env txn ~name:"store" in
+        let card = Credit_card.new_card env txn ~customer ~limit:1_000_000.0 () in
+        ignore (Session.activate env txn card ~trigger:"DenyCredit" ~args:[]);
+        (card, merchant))
+  in
+  Session.sync env;
+  let before = total_flushes (Session.counters env) in
+  let (), ns =
+    Bench_common.wall (fun () ->
+        for i = 1 to txns do
+          Session.with_txn env (fun txn ->
+              if i mod 8 = 0 then Credit_card.pay_bill env txn card ~amount:70.0
+              else Credit_card.buy env txn card ~merchant ~amount:10.0)
+        done;
+        Session.sync env)
+  in
+  let counters = Session.counters env in
+  {
+    r_workload = "credcard";
+    r_mode = mode_name;
+    r_txns = txns;
+    r_ns_per_txn = ns /. float_of_int txns;
+    r_flushes = total_flushes counters - before;
+    r_avg_batch = counter counters "objects.avg_batch_size";
+    r_ack_lag = counter counters "objects.ack_lag_ticks";
+  }
+
+(* Synthetic fan-in on the MM backend: one declared event, [fan_in]
+   perpetual no-op activations watching it, one post per transaction. *)
+let run_fanin ~flush_spin ~txns ~fan_in mode_name =
+  let env =
+    Session.create ~store:`Mem ~flush_spin ~durability:(mode_of mode_name) ()
+  in
+  Session.define_class env ~name:"Hot" ~events:[ Intern.User "Tick" ]
+    ~fields:[ ("n", Value.Int 0) ]
+    ~triggers:
+      [
+        {
+          Session.tr_name = "watch";
+          tr_params = [];
+          tr_event = "Tick";
+          tr_perpetual = true;
+          tr_coupling = Ode_trigger.Coupling.Immediate;
+          tr_action = (fun _ _ -> ());
+          tr_posts = [];
+        };
+      ]
+    ();
+  let obj =
+    Session.with_txn env (fun txn ->
+        let obj = Session.pnew env txn ~cls:"Hot" () in
+        for _ = 1 to fan_in do
+          ignore (Session.activate env txn obj ~trigger:"watch" ~args:[])
+        done;
+        obj)
+  in
+  Session.sync env;
+  let before = total_flushes (Session.counters env) in
+  (* Each transaction both posts (advancing [fan_in] machines) and writes a
+     field: the object-store commit is what the pipeline batches — a
+     post-only transaction whose machines return to their start state
+     writes nothing and forces nothing. *)
+  let (), ns =
+    Bench_common.wall (fun () ->
+        for i = 1 to txns do
+          Session.with_txn env (fun txn ->
+              Session.set_field env txn obj "n" (Value.Int i);
+              Session.post_event env txn obj "Tick")
+        done;
+        Session.sync env)
+  in
+  let counters = Session.counters env in
+  {
+    r_workload = "fan-in";
+    r_mode = mode_name;
+    r_txns = txns;
+    r_ns_per_txn = ns /. float_of_int txns;
+    r_flushes = total_flushes counters - before;
+    r_avg_batch = counter counters "objects.avg_batch_size";
+    r_ack_lag = counter counters "objects.ack_lag_ticks";
+  }
+
+let record row =
+  Bench_common.record ~experiment:"p2"
+    ~name:(Printf.sprintf "%s %s" row.r_workload row.r_mode)
+    ~params:
+      [
+        ("workload", Bench_common.S row.r_workload);
+        ("mode", Bench_common.S row.r_mode);
+        ("txns", Bench_common.I row.r_txns);
+        ("wal_flushes", Bench_common.I row.r_flushes);
+        ("avg_batch_size", Bench_common.I row.r_avg_batch);
+        ("ack_lag_ticks", Bench_common.I row.r_ack_lag);
+      ]
+    ~ns:row.r_ns_per_txn ()
+
+let print_rows rows =
+  let base =
+    match List.find_opt (fun r -> r.r_mode = "immediate") rows with
+    | Some r -> r
+    | None -> List.hd rows
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("mode", Table.Left);
+          ("ns/txn", Table.Right);
+          ("txns/flush", Table.Right);
+          ("wal flushes", Table.Right);
+          ("flush reduction", Table.Right);
+          ("throughput gain", Table.Right);
+          ("ack lag ticks", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.r_mode;
+          Bench_common.ns_cell r.r_ns_per_txn;
+          (if r.r_flushes = 0 then "n/a"
+           else Printf.sprintf "%.1f" (float_of_int r.r_txns /. float_of_int r.r_flushes));
+          string_of_int r.r_flushes;
+          (if r.r_flushes = 0 then "n/a"
+           else Printf.sprintf "%.2fx" (float_of_int base.r_flushes /. float_of_int r.r_flushes));
+          Bench_common.ratio_cell r.r_ns_per_txn base.r_ns_per_txn;
+          string_of_int r.r_ack_lag;
+        ])
+    rows;
+  Table.print table
+
+let run () =
+  Bench_common.section "P2" "group-commit durability pipeline: batched WAL flushes";
+  let smoke = !Bench_common.smoke in
+  (* Device latency per log force: large enough that a force visibly
+     dominates a single-operation transaction, as a real fsync would. *)
+  let flush_spin = if smoke then 5_000 else 50_000 in
+  let txns = if smoke then 64 else 512 in
+  let modes =
+    if smoke then [ "immediate"; "group:4"; "group:16"; "async:16" ]
+    else [ "immediate"; "group:4"; "group:16"; "group:64"; "async:16" ]
+  in
+
+  Bench_common.note
+    "\nCredit-card macro (disk store, %d single-op txns, flush_spin=%d):\n" txns flush_spin;
+  let cred = List.map (fun mode -> run_credcard ~flush_spin ~txns mode) modes in
+  List.iter record cred;
+  print_rows cred;
+
+  let fan_in = 8 in
+  Bench_common.note
+    "\nSynthetic fan-in (mem store, %d one-post txns, %d activations, flush_spin=%d):\n" txns
+    fan_in flush_spin;
+  let fanin = List.map (fun mode -> run_fanin ~flush_spin ~txns ~fan_in mode) modes in
+  List.iter record fanin;
+  print_rows fanin;
+
+  (* Acceptance: group:16 vs immediate on the credit-card macro. *)
+  let find mode = List.find_opt (fun r -> r.r_mode = mode) cred in
+  match (find "immediate", find "group:16") with
+  | Some imm, Some grp when grp.r_flushes > 0 ->
+      let flush_reduction = float_of_int imm.r_flushes /. float_of_int grp.r_flushes in
+      let throughput_gain = imm.r_ns_per_txn /. grp.r_ns_per_txn in
+      Bench_common.note
+        "\ngroup:16 vs immediate (credcard): %.1fx fewer flushes (acceptance: >= 5x), %.2fx \
+         throughput (acceptance: >= 2x)\n"
+        flush_reduction throughput_gain;
+      Bench_common.summarize "p2_flush_reduction_group16" (Bench_common.F flush_reduction);
+      Bench_common.summarize "p2_throughput_gain_group16" (Bench_common.F throughput_gain)
+  | _ -> Bench_common.note "\nacceptance rows missing (mode list changed?)\n"

@@ -9,8 +9,9 @@
      dune exec bench/main.exe -- t1 t4
 
    Flags: --json writes machine-readable results for the experiments that
-   support recording to BENCH_P1.json; --smoke shrinks quotas and axes for
-   a fast CI sanity run.
+   support recording (to BENCH_<NAME>.json when exactly one experiment is
+   requested, BENCH_P1.json otherwise); --smoke shrinks quotas and axes
+   for a fast CI sanity run.
 *)
 
 let experiments =
@@ -28,24 +29,33 @@ let experiments =
     ("a2", Exp_a2.run);
     ("r1", Exp_r1.run);
     ("p1", Exp_p1.run);
+    ("p2", Exp_p2.run);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let flags, names = List.partition (fun a -> String.length a >= 2 && String.sub a 0 2 = "--") args in
-  List.iter
-    (function
-      | "--json" -> Bench_common.json_out := Some "BENCH_P1.json"
-      | "--smoke" -> Bench_common.smoke := true
-      | flag ->
-          Printf.eprintf "unknown flag %s (have: --json, --smoke)\n" flag;
-          exit 1)
-    flags;
   let requested =
     match names with
     | [] -> List.map fst experiments
     | names -> List.map String.lowercase_ascii names
   in
+  (* With exactly one experiment requested, --json writes to that
+     experiment's own file (BENCH_P2.json, ...); the historical
+     BENCH_P1.json name is kept for multi-experiment runs. *)
+  let json_path =
+    match requested with
+    | [ name ] -> "BENCH_" ^ String.uppercase_ascii name ^ ".json"
+    | _ -> "BENCH_P1.json"
+  in
+  List.iter
+    (function
+      | "--json" -> Bench_common.json_out := Some json_path
+      | "--smoke" -> Bench_common.smoke := true
+      | flag ->
+          Printf.eprintf "unknown flag %s (have: --json, --smoke)\n" flag;
+          exit 1)
+    flags;
   print_endline "Ode active database reproduction - benchmark harness";
   print_endline "(paper: Lieuwen, Gehani & Arlein, ICDE 1996; see EXPERIMENTS.md)";
   List.iter

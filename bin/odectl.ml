@@ -406,7 +406,7 @@ let demo_cmd =
 (* odectl stats *)
 
 let stats_cmd =
-  let run store engine rounds =
+  let run store engine durability rounds =
     let kind = match store with "disk" -> `Disk | _ -> `Mem in
     match
       match engine with
@@ -415,8 +415,11 @@ let stats_cmd =
       | _ -> None
     with
     | None -> die "unknown engine %S (expected 'full' or 'reference')" engine
-    | Some engine_cfg ->
-    let env = Session.create ~store:kind ~engine:engine_cfg () in
+    | Some engine_cfg -> begin
+    match Ode_storage.Commit_pipeline.mode_of_string durability with
+    | Error msg -> die "bad --durability: %s" msg
+    | Ok mode ->
+    let env = Session.create ~store:kind ~engine:engine_cfg ~durability:mode () in
     Credit_card.define_all env;
     let card, merchant =
       Session.with_txn env (fun txn ->
@@ -436,11 +439,32 @@ let stats_cmd =
           done;
           Credit_card.pay_bill env txn card ~amount:80.0)
     done;
+    Session.sync env;
     Printf.printf "posting-engine counters (%s engine, %d rounds, %s store)\n" engine rounds store;
+    let counters = Session.counters env in
+    let has_prefix p k = String.length k > String.length p && String.sub k 0 (String.length p) = p in
     List.iter
       (fun (k, v) -> Printf.printf "  %-24s %d\n" k v)
-      (List.filter (fun (k, _) -> String.length k > 3 && String.sub k 0 3 = "rt.") (Session.counters env));
+      (List.filter (fun (k, _) -> has_prefix "rt." k) counters);
+    Printf.printf "durability counters (%s pipeline)\n"
+      (Ode_storage.Commit_pipeline.mode_to_string mode);
+    let durability_keys =
+      [
+        "wal_flushes"; "wal_bytes"; "batched_commits"; "batch_flushes";
+        "flushed_commits"; "avg_batch_size"; "max_batch_size"; "ack_lag_ticks"; "pending_acks";
+      ]
+    in
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-24s %d\n" k v)
+      (List.filter
+         (fun (k, _) ->
+           List.exists
+             (fun suffix ->
+               String.equal k ("objects." ^ suffix) || String.equal k ("triggers." ^ suffix))
+             durability_keys)
+         counters);
     0
+    end
   in
   let store =
     Arg.(value & opt string "mem" & info [ "store" ] ~docv:"KIND" ~doc:"'mem' or 'disk'.")
@@ -450,6 +474,12 @@ let stats_cmd =
            ~doc:"'full' (filter + write-back cache + dense dispatch) or 'reference' \
                  (every layer off — the unoptimised posting path).")
   in
+  let durability =
+    Arg.(value & opt string "immediate" & info [ "durability" ] ~docv:"MODE"
+           ~doc:"Commit pipeline mode: 'immediate' (flush per commit), 'group[:BATCH[:DELAY]]' \
+                 (batched log forces, deterministic tick deadline), or 'async[:LAG]' \
+                 (ack before flush, bounded unflushed window).")
+  in
   let rounds =
     Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"N"
            ~doc:"Workload transactions (8 buys + 1 payment each).")
@@ -457,7 +487,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a posting workload and print the trigger runtime's per-layer counters")
-    Term.(const run $ store $ engine $ rounds)
+    Term.(const run $ store $ engine $ durability $ rounds)
 
 let () =
   let doc = "Ode active-database reproduction tools" in

@@ -13,10 +13,24 @@ module Objrec = Ode_objstore.Objrec
 module Database = Ode_objstore.Database
 module Trigger_state = Ode_trigger.Trigger_state
 module Prng = Ode_util.Prng
+module Commit_pipeline = Ode_storage.Commit_pipeline
 
-type config = { seed : int; txns : int; page_size : int; pool_capacity : int }
+type config = {
+  seed : int;
+  txns : int;
+  page_size : int;
+  pool_capacity : int;
+  durability : Commit_pipeline.mode;
+}
 
-let default_config = { seed = 0x0DE; txns = 24; page_size = 256; pool_capacity = 1 }
+let default_config =
+  {
+    seed = 0x0DE;
+    txns = 24;
+    page_size = 256;
+    pool_capacity = 1;
+    durability = Commit_pipeline.Immediate;
+  }
 
 type snapshot = {
   obj_w : int;
@@ -234,7 +248,7 @@ let run ?(config = default_config) ~plan () =
   let faults = Faults.create ~plan () in
   let env =
     Session.create ~store:`Disk ~page_size:config.page_size
-      ~pool_capacity:config.pool_capacity ~faults ()
+      ~pool_capacity:config.pool_capacity ~durability:config.durability ~faults ()
   in
   Credit_card.define_all env;
   let rng = Prng.create ~seed:(Int64.of_int config.seed) in

@@ -35,12 +35,20 @@ type config = {
   txns : int;  (** scripted workload transactions after setup *)
   page_size : int;
   pool_capacity : int;
+  durability : Ode_storage.Commit_pipeline.mode;
+      (** commit pipeline mode for both stores. With a non-[Immediate]
+          mode the "durable WAL size is a commit clock" assumption behind
+          {!verify}'s exact-state ledger matching no longer holds (several
+          commits become durable at once); use {!run} for such configs and
+          check batch-atomic durability directly (see
+          [test_crashpoints.ml]'s group-commit sweep). *)
 }
 
 val default_config : config
 (** seed 0x0DE, 24 transactions, 256-byte pages, a single pool frame — small pages
     and a tiny pool maximise distinct I/O points per transaction and
-    force buffer-pool evictions on a workload of only a few pages. *)
+    force buffer-pool evictions on a workload of only a few pages;
+    [Immediate] durability (flush per commit). *)
 
 type snapshot = {
   obj_w : int;  (** objects-store durable WAL bytes when probed *)

@@ -6,6 +6,7 @@ module Mem_store = Ode_storage.Mem_store
 module Recovery = Ode_storage.Recovery
 module Wal = Ode_storage.Wal
 module Faults = Ode_storage.Faults
+module Commit_pipeline = Ode_storage.Commit_pipeline
 module Oid = Ode_objstore.Oid
 module Value = Ode_objstore.Value
 module Objrec = Ode_objstore.Objrec
@@ -128,7 +129,8 @@ let assemble ?engine ~kind ~backend ~faults ~mgr ~obj_store ~trig_store ~db () =
     posting_plans = Hashtbl.create 64;
   }
 
-let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?faults ?engine () =
+let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?flush_spin ?durability ?faults
+    ?engine () =
   let mgr = Txn.create_mgr () in
   (* One plane shared by both stores: every page write, WAL flush, eviction
      and lock acquisition across the whole environment gets a single global
@@ -138,19 +140,30 @@ let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?faults ?engine ()
     match store with
     | `Disk ->
         let objects =
-          Disk_store.create ?page_size ?pool_capacity ?io_spin ~faults ~mgr ~name:"objects" ()
+          Disk_store.create ?page_size ?pool_capacity ?io_spin ?flush_spin ?durability ~faults
+            ~mgr ~name:"objects" ()
         in
         let triggers =
-          Disk_store.create ?page_size ?pool_capacity ?io_spin ~faults ~mgr ~name:"triggers" ()
+          Disk_store.create ?page_size ?pool_capacity ?io_spin ?flush_spin ?durability ~faults
+            ~mgr ~name:"triggers" ()
         in
         (Disk_backend (objects, triggers), Disk_store.ops objects, Disk_store.ops triggers)
     | `Mem ->
-        let objects = Mem_store.create ~mgr ~name:"objects" () in
-        let triggers = Mem_store.create ~mgr ~name:"triggers" () in
+        let objects = Mem_store.create ?flush_spin ?durability ~mgr ~name:"objects" () in
+        let triggers = Mem_store.create ?flush_spin ?durability ~mgr ~name:"triggers" () in
         (Mem_backend (objects, triggers), Mem_store.ops objects, Mem_store.ops triggers)
   in
   let db = Database.create ~mgr ~store:obj_store ~name:"main" in
   assemble ?engine ~kind:store ~backend ~faults ~mgr ~obj_store ~trig_store ~db ()
+
+let durability t = Commit_pipeline.mode t.obj_store.Store.pipeline
+
+(* Drain both stores' group-commit pipelines: force any queued batches and
+   resolve every deferred durability ack. Each pipeline is independent, so
+   the order does not matter; objects first matches creation order. *)
+let sync t =
+  Commit_pipeline.flush t.obj_store.Store.pipeline;
+  Commit_pipeline.flush t.trig_store.Store.pipeline
 
 (* ------------------------------------------------------------------ *)
 (* Class definition: the work the O++ compiler does per class. *)
@@ -841,22 +854,30 @@ let crash t =
       Mem_store.crash triggers);
   { ci_kind = t.kind; ci_obj_wal; ci_trig_wal }
 
-let recover ?faults ?engine image =
+let recover ?flush_spin ?durability ?faults ?engine image =
   let mgr = Txn.create_mgr () in
   let faults = match faults with Some f -> f | None -> Faults.create () in
   let backend, obj_store, trig_store =
     match image.ci_kind with
     | `Disk ->
         let objects =
-          Recovery.recover_disk ~faults ~mgr ~name:"objects" ~wal_bytes:image.ci_obj_wal ()
+          Recovery.recover_disk ?flush_spin ?durability ~faults ~mgr ~name:"objects"
+            ~wal_bytes:image.ci_obj_wal ()
         in
         let triggers =
-          Recovery.recover_disk ~faults ~mgr ~name:"triggers" ~wal_bytes:image.ci_trig_wal ()
+          Recovery.recover_disk ?flush_spin ?durability ~faults ~mgr ~name:"triggers"
+            ~wal_bytes:image.ci_trig_wal ()
         in
         (Disk_backend (objects, triggers), Disk_store.ops objects, Disk_store.ops triggers)
     | `Mem ->
-        let objects = Recovery.recover_mem ~mgr ~name:"objects" ~wal_bytes:image.ci_obj_wal () in
-        let triggers = Recovery.recover_mem ~mgr ~name:"triggers" ~wal_bytes:image.ci_trig_wal () in
+        let objects =
+          Recovery.recover_mem ?flush_spin ?durability ~mgr ~name:"objects"
+            ~wal_bytes:image.ci_obj_wal ()
+        in
+        let triggers =
+          Recovery.recover_mem ?flush_spin ?durability ~mgr ~name:"triggers"
+            ~wal_bytes:image.ci_trig_wal ()
+        in
         (Mem_backend (objects, triggers), Mem_store.ops objects, Mem_store.ops triggers)
   in
   let db = Database.open_existing ~mgr ~store:obj_store ~name:"main" in

@@ -75,6 +75,8 @@ val create :
   ?page_size:int ->
   ?pool_capacity:int ->
   ?io_spin:int ->
+  ?flush_spin:int ->
+  ?durability:Ode_storage.Commit_pipeline.mode ->
   ?faults:Ode_storage.Faults.t ->
   ?engine:Ode_trigger.Runtime.config ->
   unit ->
@@ -84,6 +86,13 @@ val create :
     (default 4096) and buffer-pool frame count (default 64) can be tuned
     for the I/O experiments. The sizing arguments are ignored for
     [`Mem].
+
+    [durability] selects the commit pipeline mode shared by both stores
+    ({!Ode_storage.Commit_pipeline.mode}): [Immediate] (default) forces
+    the log on every commit; [Group] and [Async] batch log forces and
+    defer durability acks (see {!sync}). [flush_spin] simulates per
+    log-force latency (see {!Ode_storage.Wal.create}); unlike [io_spin]
+    it applies to both store kinds — MM-Ode still forces a log.
 
     [faults] is a fault-injection plane ({!Ode_storage.Faults}) shared by
     {e both} disk stores, giving the whole environment one global
@@ -100,6 +109,17 @@ val store_kind : t -> store_kind
 
 val faults : t -> Ode_storage.Faults.t
 (** The environment's fault plane (inert unless a plan was armed). *)
+
+val durability : t -> Ode_storage.Commit_pipeline.mode
+(** The commit pipeline mode the environment was created with. *)
+
+val sync : t -> unit
+(** Force both stores' commit pipelines: any queued group-commit batches
+    are materialised and flushed, and every deferred durability ack is
+    resolved. A no-op under [Immediate] durability (nothing is ever
+    queued). Call before {!crash} when a test needs deferred commits to
+    be durable, or at the end of a batch workload. Propagates injected
+    WAL-flush faults like an ordinary commit-time flush would. *)
 
 val define_class :
   t ->
@@ -292,7 +312,13 @@ val crash : t -> crash_image
     lost; only the durable WAL prefixes survive, captured in the image. The
     environment is unusable afterwards. *)
 
-val recover : ?faults:Ode_storage.Faults.t -> ?engine:Ode_trigger.Runtime.config -> crash_image -> t
+val recover :
+  ?flush_spin:int ->
+  ?durability:Ode_storage.Commit_pipeline.mode ->
+  ?faults:Ode_storage.Faults.t ->
+  ?engine:Ode_trigger.Runtime.config ->
+  crash_image ->
+  t
 (** Rebuild an environment from a crash image: recover both stores, reopen
     the database (rescanning clusters), rebuild the trigger index, and
     garbage-collect trigger activations whose anchoring object did not

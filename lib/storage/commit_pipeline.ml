@@ -1,0 +1,159 @@
+type mode =
+  | Immediate
+  | Group of { max_batch : int; max_delay_ticks : int }
+  | Async of { max_lag : int }
+
+type t = {
+  wal : Wal.t;
+  mode : mode;
+  mutable tick : int;  (* logical clock: one tick per pipeline operation *)
+  mutable queued : (Txn.t * int) list;  (* newest first; no commit marker yet *)
+  mutable awaiting : (Txn.t * int) list;  (* marker in the WAL tail, flush pending *)
+  mutable batched_commits : int;
+  mutable batch_flushes : int;
+  mutable flushed_commits : int;
+  mutable max_batch_size : int;
+  mutable ack_lag_ticks : int;
+}
+
+let create ?(mode = Immediate) wal =
+  {
+    wal;
+    mode;
+    tick = 0;
+    queued = [];
+    awaiting = [];
+    batched_commits = 0;
+    batch_flushes = 0;
+    flushed_commits = 0;
+    max_batch_size = 0;
+    ack_lag_ticks = 0;
+  }
+
+let mode t = t.mode
+
+let pending t = List.length t.queued + List.length t.awaiting
+
+(* Append the queued batch's single Commit_group marker. One record per
+   batch keeps torn-flush semantics all-or-nothing: the decoder only keeps
+   complete records of a durable prefix, so the batch can never be split. *)
+let materialize t =
+  match t.queued with
+  | [] -> ()
+  | queued ->
+      let ids = List.rev_map (fun ((txn : Txn.t), _) -> txn.id) queued in
+      Wal.append t.wal (Wal.Commit_group ids);
+      t.awaiting <- queued @ t.awaiting;
+      t.queued <- []
+
+(* Everything materialized reached the durable prefix: resolve the acks. *)
+let resolve_awaiting t =
+  match t.awaiting with
+  | [] -> ()
+  | acked ->
+      let n = List.length acked in
+      t.batch_flushes <- t.batch_flushes + 1;
+      t.flushed_commits <- t.flushed_commits + n;
+      if n > t.max_batch_size then t.max_batch_size <- n;
+      List.iter
+        (fun (txn, enqueued_at) ->
+          t.ack_lag_ticks <- t.ack_lag_ticks + (t.tick - enqueued_at);
+          Txn.resolve_ack txn)
+        acked;
+      t.awaiting <- []
+
+let flush t =
+  materialize t;
+  Wal.flush t.wal;
+  resolve_awaiting t
+
+(* A transient flush failure must not unwind the commit: another
+   participant may already have made its part durable. The batch stays
+   buffered in the WAL tail with its acks deferred and becomes durable
+   with the next successful flush (delayed durability). A crash during
+   the flush still propagates. *)
+let attempt_flush t = try flush t with Faults.Injected_fault _ -> ()
+
+let deadline_due t max_delay_ticks =
+  match List.rev t.queued with
+  | [] -> false
+  | (_, oldest) :: _ -> t.tick - oldest >= max_delay_ticks
+
+let tick t =
+  t.tick <- t.tick + 1;
+  match t.mode with
+  | Group { max_delay_ticks; _ } when deadline_due t max_delay_ticks -> attempt_flush t
+  | Immediate | Group _ | Async _ -> ()
+
+let on_commit t (txn : Txn.t) =
+  t.tick <- t.tick + 1;
+  Txn.defer_ack txn;
+  match t.mode with
+  | Immediate ->
+      Wal.append t.wal (Wal.Commit txn.id);
+      t.awaiting <- (txn, t.tick) :: t.awaiting;
+      attempt_flush t
+  | Group { max_batch; max_delay_ticks } ->
+      t.batched_commits <- t.batched_commits + 1;
+      t.queued <- (txn, t.tick) :: t.queued;
+      if List.length t.queued >= max_batch || deadline_due t max_delay_ticks then
+        attempt_flush t
+  | Async { max_lag } ->
+      t.batched_commits <- t.batched_commits + 1;
+      t.queued <- (txn, t.tick) :: t.queued;
+      if pending t > max_lag then attempt_flush t
+
+let counters t =
+  let avg =
+    if t.batch_flushes = 0 then 0
+    else (t.flushed_commits + (t.batch_flushes / 2)) / t.batch_flushes
+  in
+  [
+    ("batched_commits", t.batched_commits);
+    ("batch_flushes", t.batch_flushes);
+    ("flushed_commits", t.flushed_commits);
+    ("avg_batch_size", avg);
+    ("max_batch_size", t.max_batch_size);
+    ("ack_lag_ticks", t.ack_lag_ticks);
+    ("pending_acks", pending t);
+  ]
+
+(* ---- mode syntax (odectl / bench) ---- *)
+
+let default_group = Group { max_batch = 16; max_delay_ticks = 64 }
+let default_async = Async { max_lag = 32 }
+
+let mode_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let parts = String.split_on_char ':' s in
+  let int_arg what v =
+    match int_of_string_opt v with
+    | Some n when n > 0 -> Ok n
+    | Some _ | None -> Error (Printf.sprintf "bad %s %S (want a positive integer)" what v)
+  in
+  match parts with
+  | [ "immediate" ] -> Ok Immediate
+  | [ "group" ] -> Ok default_group
+  | [ "group"; b ] -> (
+      match int_arg "batch size" b with
+      | Ok max_batch -> Ok (Group { max_batch; max_delay_ticks = 64 })
+      | Error e -> Error e)
+  | [ "group"; b; d ] -> (
+      match (int_arg "batch size" b, int_arg "delay" d) with
+      | Ok max_batch, Ok max_delay_ticks -> Ok (Group { max_batch; max_delay_ticks })
+      | Error e, _ | _, Error e -> Error e)
+  | [ "async" ] -> Ok default_async
+  | [ "async"; l ] -> (
+      match int_arg "lag window" l with
+      | Ok max_lag -> Ok (Async { max_lag })
+      | Error e -> Error e)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown durability mode %S (want immediate, group[:B[:D]] or async[:L])" s)
+
+let mode_to_string = function
+  | Immediate -> "immediate"
+  | Group { max_batch; max_delay_ticks } ->
+      Printf.sprintf "group:%d:%d" max_batch max_delay_ticks
+  | Async { max_lag } -> Printf.sprintf "async:%d" max_lag

@@ -1,0 +1,93 @@
+(** Group-commit durability pipeline: batches WAL forces across
+    transactions.
+
+    Sits between {!Txn} commit processing and {!Wal.flush}. Each store owns
+    one pipeline wrapping its WAL; the store's [on_commit] participant
+    callback routes through {!on_commit} instead of forcing the log itself.
+    The commit-time log force is the throughput bottleneck of a
+    main-memory active database once detection is fast (the paper's
+    EOS/Dali substrate), and — like the paper's deferred coupling mode
+    batching trigger actions up to [tcomplete] — durability
+    acknowledgements can be batched across transactions without weakening
+    the recovery contract: durability is still "the flushed WAL prefix".
+
+    {2 Modes}
+
+    - [Immediate]: flush per commit, the seed behaviour and the reference
+      mode. The commit record is a per-transaction {!Wal.Commit}, so the
+      log byte format is unchanged.
+    - [Group { max_batch; max_delay_ticks }]: commits enqueue with their
+      ack deferred; one flush acks the whole batch when it reaches
+      [max_batch] commits or the oldest enqueued commit is
+      [max_delay_ticks] logical ticks old. No wall clock: ticks advance on
+      pipeline operations (one per commit/abort routed through the
+      pipeline), so runs are deterministic and replayable.
+    - [Async { max_lag }]: delayed durability — the commit is acked to the
+      application immediately (ack-before-flush) and the log is only
+      forced once more than [max_lag] commits are unflushed. No latency
+      bound, only a bounded unflushed-commit window.
+
+    {2 Batch atomicity}
+
+    In [Group]/[Async] modes the batch's commit markers are written as a
+    single {!Wal.Commit_group} record appended immediately before the
+    flush. The WAL decoder keeps only complete records of a durable byte
+    prefix, so a torn flush keeps or drops the batch as a unit — a batch's
+    transactions are all recovered or all lost, never split. A transient
+    flush failure ([Faults.Fail] at [Wal_flush]) leaves the batch buffered
+    with its acks still deferred; the next successful flush resolves them
+    (delayed durability, as the seed already did per commit). *)
+
+type mode =
+  | Immediate
+  | Group of { max_batch : int; max_delay_ticks : int }
+  | Async of { max_lag : int }
+
+type t
+
+val create : ?mode:mode -> Wal.t -> t
+(** A pipeline over [wal]. [mode] defaults to [Immediate]. *)
+
+val mode : t -> mode
+
+val on_commit : t -> Txn.t -> unit
+(** Route one committed transaction's log force. Appends the commit
+    marker (per-txn [Commit] under [Immediate], batched [Commit_group]
+    otherwise), defers the transaction's durability ack
+    ({!Txn.defer_ack}), and flushes per the mode's policy. A transient
+    injected flush failure is swallowed (the ack stays deferred); an
+    injected crash propagates. *)
+
+val tick : t -> unit
+(** Advance logical time without a commit (the stores call this on abort).
+    Under [Group] this can trip the [max_delay_ticks] deadline and flush a
+    waiting batch. *)
+
+val flush : t -> unit
+(** Drain: materialize any queued batch, force the WAL and resolve every
+    deferred ack. Exceptions from the flush (injected faults/crashes)
+    propagate; the batch stays buffered for a later retry. Used by
+    checkpoints and by [Session.sync]. *)
+
+val materialize : t -> unit
+(** Append the queued batch's [Commit_group] record to the WAL tail
+    without forcing, so a caller can order further records (e.g. a
+    checkpoint) after the batch within one flush. *)
+
+val pending : t -> int
+(** Commits whose durability ack is still deferred (queued + awaiting
+    flush). *)
+
+val counters : t -> (string * int) list
+(** [batched_commits] (commits whose ack was deferred past [on_commit]),
+    [batch_flushes] (WAL forces that resolved at least one ack),
+    [flushed_commits], [avg_batch_size] (rounded), [max_batch_size],
+    [ack_lag_ticks] (summed resolve−enqueue tick lag), [pending_acks]. *)
+
+val mode_of_string : string -> (mode, string) result
+(** ["immediate"], ["group"], ["group:B"], ["group:B:D"] (batch size [B],
+    deadline [D] ticks; defaults 16 and 64), ["async"], ["async:L"] (lag
+    window [L]; default 32). *)
+
+val mode_to_string : mode -> string
+(** Inverse of {!mode_of_string}. *)

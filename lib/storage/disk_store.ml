@@ -9,7 +9,9 @@ type t = {
   pager : Pager.t;
   pool : Buffer_pool.t;
   wal : Wal.t;
+  pipeline : Commit_pipeline.t;
   dir : loc Rid.Tbl.t;
+  mutable sorted_rids : Rid.t list option;  (* cache for scans; None = dirty *)
   mutable heap_pages : int list;  (* newest first *)
   mutable active_page : int option;  (* current fill target *)
   roomy_pages : (int, unit) Hashtbl.t;  (* pages with reclaimed space *)
@@ -95,6 +97,7 @@ let phys_insert t rid payload =
         | Some slot -> { page = page_id; slot }
         | None -> fail "record does not fit on a fresh page")
   in
+  if not (Rid.Tbl.mem t.dir rid) then t.sorted_rids <- None;
   Rid.Tbl.replace t.dir rid loc;
   loc
 
@@ -117,7 +120,8 @@ let phys_delete t rid =
   | Some loc ->
       Buffer_pool.with_page t.pool loc.page ~dirty:true (fun page -> Page.delete page loc.slot);
       Hashtbl.replace t.roomy_pages loc.page ();
-      Rid.Tbl.remove t.dir rid
+      Rid.Tbl.remove t.dir rid;
+      t.sorted_rids <- None
 
 let phys_update t rid payload =
   match Rid.Tbl.find_opt t.dir rid with
@@ -187,10 +191,21 @@ let delete_impl t (txn : Txn.t) rid =
       log_op t txn (Wal.Delete (rid, before));
       t.deletes <- t.deletes + 1
 
+(* Sorted scan order, rebuilt only after an insert/delete dirtied it:
+   Crashlab probes and checkpoints scan after every transaction, so
+   re-sorting the whole directory per scan was quadratic. *)
+let sorted_rids t =
+  match t.sorted_rids with
+  | Some rids -> rids
+  | None ->
+      let rids = Rid.Tbl.fold (fun rid _ acc -> rid :: acc) t.dir [] in
+      let rids = List.sort Rid.compare rids in
+      t.sorted_rids <- Some rids;
+      rids
+
 let iter_impl t (txn : Txn.t) f =
   check_usable t;
-  let rids = Rid.Tbl.fold (fun rid _ acc -> rid :: acc) t.dir [] in
-  let rids = List.sort Rid.compare rids in
+  let rids = sorted_rids t in
   let visit rid =
     lock_or_timeout t txn rid Lock_manager.S;
     match phys_read t rid with None -> () | Some payload -> f rid payload
@@ -203,15 +218,13 @@ let apply_undo t op =
   | Wal.Update (rid, before, _) -> phys_update t rid before
   | Wal.Delete (rid, before) -> ignore (phys_insert t rid before)
 
+(* The commit-time log force routes through the pipeline: Immediate mode
+   reproduces the seed behaviour (per-txn Commit record, flush per commit,
+   transient flush failure swallowed as delayed durability), Group/Async
+   modes batch the force across transactions. *)
 let on_commit t (txn : Txn.t) =
   if Hashtbl.mem t.undo txn.id then begin
-    Wal.append t.wal (Wal.Commit txn.id);
-    (* A transient flush failure must not unwind the commit: another
-       participant may already have made its part durable. The Commit
-       record stays buffered in the WAL tail and becomes durable with
-       the next successful flush (delayed durability). A crash during
-       the flush still propagates. *)
-    (try Wal.flush t.wal with Faults.Injected_fault _ -> ());
+    Commit_pipeline.on_commit t.pipeline txn;
     Hashtbl.remove t.undo txn.id
   end
 
@@ -222,7 +235,10 @@ let on_abort t (txn : Txn.t) =
     | Some ops ->
         List.iter (apply_undo t) ops;
         Wal.append t.wal (Wal.Abort txn.id);
-        Hashtbl.remove t.undo txn.id
+        Hashtbl.remove t.undo txn.id;
+        (* Logical time also advances on aborts, so a Group batch deadline
+           cannot be starved by a run of aborting transactions. *)
+        Commit_pipeline.tick t.pipeline
   end
 
 let checkpoint_impl t () =
@@ -233,18 +249,20 @@ let checkpoint_impl t () =
      data pages (it replays the WAL), but this keeps the device image
      current and makes page writes addressable I/O points. *)
   Buffer_pool.flush_all t.pool;
-  let entries = Rid.Tbl.fold (fun rid _ acc -> rid :: acc) t.dir [] in
-  let entries = List.sort Rid.compare entries in
   let state =
     List.map
       (fun rid ->
         match phys_read t rid with
         | Some payload -> (rid, payload)
         | None -> fail "checkpoint: dangling directory entry %a" Rid.pp rid)
-      entries
+      (sorted_rids t)
   in
+  (* Any queued group batch materializes ahead of the checkpoint record so
+     the batch's commit marker precedes the state it is folded into; the
+     pipeline flush then forces both and resolves the deferred acks. *)
+  Commit_pipeline.materialize t.pipeline;
   Wal.append t.wal (Wal.Checkpoint state);
-  Wal.flush t.wal
+  Commit_pipeline.flush t.pipeline
 
 let counters_impl t () =
   let pager = Pager.stats t.pager in
@@ -265,10 +283,13 @@ let counters_impl t () =
     ("wal_flushes", Wal.flush_count t.wal);
     ("wal_bytes", Wal.durable_size t.wal);
   ]
+  @ Commit_pipeline.counters t.pipeline
 
-let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?faults ~mgr ~name () =
+let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?flush_spin ?durability ?faults
+    ~mgr ~name () =
   let faults = match faults with Some f -> f | None -> Faults.create () in
   let pager = Pager.create ?io_spin ~faults ~page_size () in
+  let wal = Wal.create ~faults ?flush_spin () in
   let t =
     {
       name;
@@ -276,8 +297,10 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?faults ~mgr ~name
       faults;
       pager;
       pool = Buffer_pool.create ~faults pager ~capacity:pool_capacity;
-      wal = Wal.create ~faults ();
+      wal;
+      pipeline = Commit_pipeline.create ?mode:durability wal;
       dir = Rid.Tbl.create 256;
+      sorted_rids = None;
       heap_pages = [];
       active_page = None;
       roomy_pages = Hashtbl.create 16;
@@ -307,6 +330,7 @@ let ops t =
     checkpoint = checkpoint_impl t;
     counters = counters_impl t;
     wal = t.wal;
+    pipeline = t.pipeline;
   }
 
 let load_bulk t entries =

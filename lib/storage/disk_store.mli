@@ -15,6 +15,8 @@ val create :
   ?page_size:int ->
   ?pool_capacity:int ->
   ?io_spin:int ->
+  ?flush_spin:int ->
+  ?durability:Commit_pipeline.mode ->
   ?faults:Faults.t ->
   mgr:Txn.mgr ->
   name:string ->
@@ -23,7 +25,10 @@ val create :
 (** Creates an empty store and registers it as a commit/abort participant
     with [mgr]. [page_size] defaults to 4096, [pool_capacity] (frames) to
     64; [io_spin] simulates per-page-I/O device latency (see
-    {!Pager.create}). [faults] is the fault-injection plane shared by the
+    {!Pager.create}) and [flush_spin] per-log-force latency (see
+    {!Wal.create}). [durability] selects the commit pipeline's mode
+    ({!Commit_pipeline.mode}, default [Immediate] — flush per commit).
+    [faults] is the fault-injection plane shared by the
     store's pager, buffer pool, WAL and lock points; pass the same plane
     to several stores to give them one global I/O-point numbering. *)
 

@@ -2,7 +2,9 @@ type t = {
   name : string;
   mgr : Txn.mgr;
   wal : Wal.t;
+  pipeline : Commit_pipeline.t;
   records : bytes Rid.Tbl.t;
+  mutable sorted_rids : Rid.t list option;  (* cache for scans; None = dirty *)
   undo : (int, Wal.op list) Hashtbl.t;
   mutable next_rid : int;
   mutable crashed : bool;
@@ -32,6 +34,7 @@ let insert_impl t (txn : Txn.t) payload =
   t.next_rid <- t.next_rid + 1;
   Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
   Rid.Tbl.replace t.records rid payload;
+  t.sorted_rids <- None;
   log_op t txn (Wal.Insert (rid, payload));
   t.inserts <- t.inserts + 1;
   rid
@@ -59,13 +62,24 @@ let delete_impl t (txn : Txn.t) rid =
   | None -> fail "delete of unknown record %a" Rid.pp rid
   | Some before ->
       Rid.Tbl.remove t.records rid;
+      t.sorted_rids <- None;
       log_op t txn (Wal.Delete (rid, before));
       t.deletes <- t.deletes + 1
 
+(* Sorted scan order, rebuilt only after an insert/delete/undo dirtied it
+   (same pattern as [Disk_store.sorted_rids]). *)
+let sorted_rids t =
+  match t.sorted_rids with
+  | Some rids -> rids
+  | None ->
+      let rids = Rid.Tbl.fold (fun rid _ acc -> rid :: acc) t.records [] in
+      let rids = List.sort Rid.compare rids in
+      t.sorted_rids <- Some rids;
+      rids
+
 let iter_impl t (txn : Txn.t) f =
   check_usable t;
-  let rids = Rid.Tbl.fold (fun rid _ acc -> rid :: acc) t.records [] in
-  let rids = List.sort Rid.compare rids in
+  let rids = sorted_rids t in
   let visit rid =
     Store.lock_or_raise txn (lock_key t rid) Lock_manager.S;
     match Rid.Tbl.find_opt t.records rid with None -> () | Some payload -> f rid payload
@@ -73,15 +87,19 @@ let iter_impl t (txn : Txn.t) f =
   List.iter visit rids
 
 let apply_undo t op =
+  (match op with
+  | Wal.Insert _ | Wal.Delete _ -> t.sorted_rids <- None
+  | Wal.Update _ -> ());
   match op with
   | Wal.Insert (rid, _) -> Rid.Tbl.remove t.records rid
   | Wal.Update (rid, before, _) -> Rid.Tbl.replace t.records rid before
   | Wal.Delete (rid, before) -> Rid.Tbl.replace t.records rid before
 
+(* Commit-time log force routes through the pipeline; see
+   [Disk_store.on_commit]. *)
 let on_commit t (txn : Txn.t) =
   if Hashtbl.mem t.undo txn.id then begin
-    Wal.append t.wal (Wal.Commit txn.id);
-    Wal.flush t.wal;
+    Commit_pipeline.on_commit t.pipeline txn;
     Hashtbl.remove t.undo txn.id
   end
 
@@ -92,16 +110,24 @@ let on_abort t (txn : Txn.t) =
     | Some undo_ops ->
         List.iter (apply_undo t) undo_ops;
         Wal.append t.wal (Wal.Abort txn.id);
-        Hashtbl.remove t.undo txn.id
+        Hashtbl.remove t.undo txn.id;
+        Commit_pipeline.tick t.pipeline
   end
 
 let checkpoint_impl t () =
   check_usable t;
   if Hashtbl.length t.undo > 0 then fail "checkpoint with in-flight transactions";
-  let entries = Rid.Tbl.fold (fun rid payload acc -> (rid, payload) :: acc) t.records [] in
-  let entries = List.sort (fun (a, _) (b, _) -> Rid.compare a b) entries in
+  let entries =
+    List.map
+      (fun rid ->
+        match Rid.Tbl.find_opt t.records rid with
+        | Some payload -> (rid, payload)
+        | None -> fail "checkpoint: dangling rid %a" Rid.pp rid)
+      (sorted_rids t)
+  in
+  Commit_pipeline.materialize t.pipeline;
   Wal.append t.wal (Wal.Checkpoint entries);
-  Wal.flush t.wal
+  Commit_pipeline.flush t.pipeline
 
 let counters_impl t () =
   [
@@ -112,14 +138,18 @@ let counters_impl t () =
     ("wal_flushes", Wal.flush_count t.wal);
     ("wal_bytes", Wal.durable_size t.wal);
   ]
+  @ Commit_pipeline.counters t.pipeline
 
-let create ~mgr ~name () =
+let create ?flush_spin ?durability ~mgr ~name () =
+  let wal = Wal.create ?flush_spin () in
   let t =
     {
       name;
       mgr;
-      wal = Wal.create ();
+      wal;
+      pipeline = Commit_pipeline.create ?mode:durability wal;
       records = Rid.Tbl.create 256;
+      sorted_rids = None;
       undo = Hashtbl.create 8;
       next_rid = 0;
       crashed = false;
@@ -145,6 +175,7 @@ let ops t =
     checkpoint = checkpoint_impl t;
     counters = counters_impl t;
     wal = t.wal;
+    pipeline = t.pipeline;
   }
 
 let load_bulk t entries =
@@ -153,8 +184,10 @@ let load_bulk t entries =
     (fun (rid, payload) ->
       Rid.Tbl.replace t.records rid payload;
       t.next_rid <- max t.next_rid (Rid.to_int rid + 1))
-    entries
+    entries;
+  t.sorted_rids <- None
 
 let crash t =
   Rid.Tbl.reset t.records;
+  t.sorted_rids <- None;
   t.crashed <- true

@@ -9,7 +9,11 @@
 
 type t
 
-val create : mgr:Txn.mgr -> name:string -> unit -> t
+val create :
+  ?flush_spin:int -> ?durability:Commit_pipeline.mode -> mgr:Txn.mgr -> name:string -> unit -> t
+(** [flush_spin] simulates log-force latency (see {!Wal.create});
+    [durability] selects the commit pipeline's mode
+    ({!Commit_pipeline.mode}, default [Immediate]). *)
 
 val ops : t -> Store.t
 

@@ -8,6 +8,7 @@ let committed_txns records =
     (fun record ->
       match record with
       | Wal.Commit txn -> Hashtbl.replace committed txn ()
+      | Wal.Commit_group txns -> List.iter (fun txn -> Hashtbl.replace committed txn ()) txns
       | Wal.Abort txn -> Hashtbl.remove committed txn
       | _ -> ())
     records;
@@ -34,22 +35,27 @@ let committed_state records =
             Rid.Tbl.replace state rid payload
         | Wal.Delete (rid, _) -> Rid.Tbl.remove state rid
       end
-    | Wal.Op _ | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ()
+    | Wal.Op _ | Wal.Begin _ | Wal.Commit _ | Wal.Commit_group _ | Wal.Abort _
+    | Wal.Checkpoint _ -> ()
   in
   List.iter apply suffix;
   let entries = Rid.Tbl.fold (fun rid payload acc -> (rid, payload) :: acc) state [] in
   List.sort (fun (a, _) (b, _) -> Rid.compare a b) entries
 
-let recover_disk ?page_size ?pool_capacity ?io_spin ?faults ~mgr ~name ~wal_bytes () =
+let recover_disk ?page_size ?pool_capacity ?io_spin ?flush_spin ?durability ?faults ~mgr ~name
+    ~wal_bytes () =
   let state = committed_state (Wal.decode_records wal_bytes) in
-  let store = Disk_store.create ?page_size ?pool_capacity ?io_spin ?faults ~mgr ~name () in
+  let store =
+    Disk_store.create ?page_size ?pool_capacity ?io_spin ?flush_spin ?durability ?faults ~mgr
+      ~name ()
+  in
   Disk_store.load_bulk store state;
   (Disk_store.ops store).Store.checkpoint ();
   store
 
-let recover_mem ~mgr ~name ~wal_bytes () =
+let recover_mem ?flush_spin ?durability ~mgr ~name ~wal_bytes () =
   let state = committed_state (Wal.decode_records wal_bytes) in
-  let store = Mem_store.create ~mgr ~name () in
+  let store = Mem_store.create ?flush_spin ?durability ~mgr ~name () in
   Mem_store.load_bulk store state;
   (Mem_store.ops store).Store.checkpoint ();
   store

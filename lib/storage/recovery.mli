@@ -1,7 +1,8 @@
 (** Crash recovery: rebuild a store from the durable prefix of its WAL.
 
     Scheme: two-pass redo-only logical recovery. Pass one scans the log for
-    commit records; pass two replays, starting from the most recent
+    commit records (per-transaction [Commit] markers and group-commit
+    [Commit_group] batches alike); pass two replays, starting from the most recent
     checkpoint, every operation belonging to a committed transaction, in log
     order. Operations of uncommitted transactions are simply never applied
     (uncommitted data never reaches the durable state), so no undo pass is
@@ -22,6 +23,8 @@ val recover_disk :
   ?page_size:int ->
   ?pool_capacity:int ->
   ?io_spin:int ->
+  ?flush_spin:int ->
+  ?durability:Commit_pipeline.mode ->
   ?faults:Faults.t ->
   mgr:Txn.mgr ->
   name:string ->
@@ -30,6 +33,14 @@ val recover_disk :
   Disk_store.t
 (** Build a fresh disk store holding exactly the committed state of the
     given durable log bytes. The new store's own WAL begins with a
-    checkpoint of the recovered state. *)
+    checkpoint of the recovered state. [durability] configures the
+    recovered store's commit pipeline (default [Immediate]). *)
 
-val recover_mem : mgr:Txn.mgr -> name:string -> wal_bytes:bytes -> unit -> Mem_store.t
+val recover_mem :
+  ?flush_spin:int ->
+  ?durability:Commit_pipeline.mode ->
+  mgr:Txn.mgr ->
+  name:string ->
+  wal_bytes:bytes ->
+  unit ->
+  Mem_store.t

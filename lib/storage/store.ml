@@ -11,6 +11,7 @@ type t = {
   checkpoint : unit -> unit;
   counters : unit -> (string * int) list;
   wal : Wal.t;
+  pipeline : Commit_pipeline.t;
 }
 
 exception Store_error of string

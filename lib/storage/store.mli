@@ -29,6 +29,9 @@ type t = {
       (** Backend-specific counters (page I/O, pool hits, WAL flushes, ...)
           for the benchmark harness. *)
   wal : Wal.t;
+  pipeline : Commit_pipeline.t;
+      (** The store's group-commit durability pipeline; commit-time log
+          forces route through it ({!Commit_pipeline}). *)
 }
 
 val lock_or_raise : Txn.t -> Lock_manager.key -> Lock_manager.mode -> unit

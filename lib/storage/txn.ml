@@ -6,6 +6,7 @@ type t = {
   mgr : mgr;
   mutable state : state;
   mutable deps : int list;
+  mutable unacked : int;
 }
 
 and participant = {
@@ -53,7 +54,7 @@ let begin_txn ?(system = false) mgr =
   mgr.next_id <- id + 1;
   mgr.stats.begun <- mgr.stats.begun + 1;
   if system then mgr.stats.system_begun <- mgr.stats.system_begun + 1;
-  let t = { id; system; mgr; state = Active; deps = [] } in
+  let t = { id; system; mgr; state = Active; deps = []; unacked = 0 } in
   Hashtbl.replace mgr.states id Active;
   t
 
@@ -97,6 +98,18 @@ let commit t =
   List.iter (fun p -> p.on_commit t) t.mgr.participants;
   finish t Committed;
   t.mgr.stats.committed <- t.mgr.stats.committed + 1
+
+(* Durability-ack accounting, driven by the commit pipeline
+   ({!Commit_pipeline}): each participating store defers the transaction's
+   ack at [on_commit] and resolves it when the WAL force covering its
+   commit record succeeds. A committed transaction is durably acked once
+   every deferral has been resolved. *)
+
+let defer_ack t = t.unacked <- t.unacked + 1
+
+let resolve_ack t = if t.unacked > 0 then t.unacked <- t.unacked - 1
+
+let durably_acked t = t.state = Committed && t.unacked = 0
 
 let add_dependency_id t ~on =
   check_active t;

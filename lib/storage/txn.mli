@@ -22,6 +22,7 @@ type t = private {
   mgr : mgr;
   mutable state : state;
   mutable deps : int list;  (** transaction ids this commit depends on *)
+  mutable unacked : int;  (** durability acks still deferred (see {!durably_acked}) *)
 }
 
 and participant = {
@@ -72,6 +73,22 @@ val state_of : mgr -> int -> state option
 
 val is_active : t -> bool
 val check_active : t -> unit
+
+(* -------------------- durability acks -------------------- *)
+
+val defer_ack : t -> unit
+(** Called by a store's commit pipeline when the transaction's commit
+    record is buffered but not yet forced: the durability ack is deferred
+    (group / delayed-durability modes). *)
+
+val resolve_ack : t -> unit
+(** One deferred ack became durable (its covering WAL flush succeeded). *)
+
+val durably_acked : t -> bool
+(** The transaction committed {e and} every participating store's commit
+    record reached the durable WAL prefix. Under [Immediate] durability
+    this is true as soon as [commit] returns (barring an injected flush
+    failure); under [Group]/[Async] it flips when the batch flush lands. *)
 
 val stats : mgr -> mgr_stats
 val reset_stats : mgr -> unit

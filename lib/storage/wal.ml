@@ -11,17 +11,35 @@ type record =
   | Commit of int
   | Abort of int
   | Checkpoint of (Rid.t * bytes) list
+  | Commit_group of int list
 
 type t = {
   durable : Buffer.t;
   faults : Faults.t;
+  flush_spin : int;
   mutable tail : record list;  (* reversed *)
   mutable flushes : int;
+  (* Decoded-durable-prefix cache: Crashlab probes call [durable_records]
+     and [durable_bytes] once per I/O point, so re-copying and re-decoding
+     the whole log each call is quadratic in log length. Flushes only ever
+     append complete records, so the decode can resume where it left off. *)
+  mutable decoded_rev : record list;  (* durable records decoded so far, newest first *)
+  mutable decoded_upto : int;  (* durable bytes consumed by [decoded_rev] *)
+  mutable bytes_cache : bytes option;  (* copy of the durable buffer, while current *)
 }
 
-let create ?faults () =
+let create ?faults ?(flush_spin = 0) () =
   let faults = match faults with Some f -> f | None -> Faults.create () in
-  { durable = Buffer.create 4096; faults; tail = []; flushes = 0 }
+  {
+    durable = Buffer.create 4096;
+    faults;
+    flush_spin;
+    tail = [];
+    flushes = 0;
+    decoded_rev = [];
+    decoded_upto = 0;
+    bytes_cache = None;
+  }
 
 let append t r = t.tail <- r :: t.tail
 
@@ -61,6 +79,9 @@ let encode_record w = function
         Binc.write_bytes w bytes
       in
       Binc.write_list w entry entries
+  | Commit_group txns ->
+      Binc.write_uvarint w 5;
+      Binc.write_list w (Binc.write_uvarint w) txns
 
 let decode_op r =
   match Binc.read_uvarint r with
@@ -92,6 +113,7 @@ let decode_record r =
         (rid, bytes)
       in
       Checkpoint (Binc.read_list r entry)
+  | 5 -> Commit_group (Binc.read_list r (fun () -> Binc.read_uvarint r))
   | n -> raise (Binc.Corrupt (Printf.sprintf "bad record tag %d" n))
 
 let decode_records bytes =
@@ -106,6 +128,14 @@ let decode_records bytes =
   in
   go []
 
+(* Simulated fsync latency, same shape as [Pager.spin]. *)
+let spin t =
+  let acc = ref 0 in
+  for i = 1 to t.flush_spin do
+    acc := !acc + i
+  done;
+  ignore (Sys.opaque_identity !acc)
+
 let flush t =
   let pending = List.rev t.tail in
   if pending <> [] then begin
@@ -113,21 +143,51 @@ let flush t =
     List.iter (encode_record w) pending;
     let bytes = Binc.contents w in
     (match Faults.check t.faults Faults.Wal_flush with
-    | `Proceed -> Buffer.add_bytes t.durable bytes
+    | `Proceed ->
+        spin t;
+        Buffer.add_bytes t.durable bytes;
+        t.bytes_cache <- None
     | `Torn f ->
         (* fsync died mid-write: a byte prefix of this flush — typically
            ending mid-record — reaches the durable log, then the crash. *)
         let keep = int_of_float (f *. float_of_int (Bytes.length bytes)) in
         let keep = max 0 (min (Bytes.length bytes) keep) in
         Buffer.add_subbytes t.durable bytes 0 keep;
+        t.bytes_cache <- None;
         Faults.torn_crash t.faults Faults.Wal_flush);
     t.tail <- []
   end;
   t.flushes <- t.flushes + 1
 
-let durable_bytes t = Buffer.to_bytes t.durable
+let durable_bytes t =
+  match t.bytes_cache with
+  | Some bytes when Bytes.length bytes = Buffer.length t.durable -> bytes
+  | _ ->
+      let bytes = Buffer.to_bytes t.durable in
+      t.bytes_cache <- Some bytes;
+      bytes
 
-let durable_records t = decode_records (durable_bytes t)
+let durable_records t =
+  let len = Buffer.length t.durable in
+  if t.decoded_upto < len then begin
+    (* Resume the decode on the newly flushed suffix only. A torn flush can
+       leave a truncated trailing record; it is never followed by more bytes
+       (the plane is crashed), so stopping at [Corrupt] is permanent. *)
+    let bytes = durable_bytes t in
+    let r = Binc.reader ~pos:t.decoded_upto bytes in
+    let rec go () =
+      if not (Binc.at_end r) then begin
+        match decode_record r with
+        | rec_ ->
+            t.decoded_rev <- rec_ :: t.decoded_rev;
+            t.decoded_upto <- Binc.pos r;
+            go ()
+        | exception Binc.Corrupt _ -> ()
+      end
+    in
+    go ()
+  end;
+  List.rev t.decoded_rev
 
 let all_records t = durable_records t @ List.rev t.tail
 
@@ -143,3 +203,5 @@ let pp_record fmt = function
   | Commit txn -> Format.fprintf fmt "COMMIT t%d" txn
   | Abort txn -> Format.fprintf fmt "ABORT t%d" txn
   | Checkpoint entries -> Format.fprintf fmt "CHECKPOINT (%d records)" (List.length entries)
+  | Commit_group txns ->
+      Format.fprintf fmt "COMMIT-GROUP [%s]" (String.concat ";" (List.map string_of_int txns))

@@ -24,14 +24,24 @@ type record =
   | Abort of int
   | Checkpoint of (Rid.t * bytes) list
       (** full committed state at a quiescent point *)
+  | Commit_group of int list
+      (** group commit ({!Commit_pipeline}): one record commits a whole
+          batch of transactions. Because the decoder only keeps complete
+          records of a durable byte prefix, a torn flush drops or keeps the
+          batch as a unit — batch atomicity is structural, not a recovery
+          special case. *)
 
 type t
 
-val create : ?faults:Faults.t -> unit -> t
+val create : ?faults:Faults.t -> ?flush_spin:int -> unit -> t
 (** [faults] is the fault-injection plane consulted on every non-empty
     {!flush} (default: a fresh inert plane). A [Fail] there models a
     failed fsync (the tail stays buffered); a [Torn] appends only a byte
-    prefix of the flush — usually ending mid-record — and then crashes. *)
+    prefix of the flush — usually ending mid-record — and then crashes.
+    [flush_spin] simulates log-force latency: each successful non-empty
+    flush busy-loops that many iterations (default 0), the WAL's analogue
+    of {!Pager.create}'s [io_spin] — how the benchmarks give fsync a
+    realistic cost. *)
 
 val append : t -> record -> unit
 (** Buffer a record; it is not durable until {!flush}. *)
@@ -40,10 +50,13 @@ val flush : t -> unit
 (** Force the buffered tail to the durable prefix (simulates fsync). *)
 
 val durable_bytes : t -> bytes
-(** The flushed prefix, as raw bytes — what a crash would preserve. *)
+(** The flushed prefix, as raw bytes — what a crash would preserve. The
+    returned value is cached and shared between calls until the next flush;
+    callers must treat it as immutable. *)
 
 val durable_records : t -> record list
-(** Decode of {!durable_bytes}. *)
+(** Decode of {!durable_bytes}. Incrementally cached: only bytes flushed
+    since the previous call are decoded. *)
 
 val all_records : t -> record list
 (** Durable and still-buffered records, in append order. *)

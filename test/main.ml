@@ -23,6 +23,7 @@ let () =
       ("coupling", Test_coupling.suite);
       ("trigger_details", Test_trigger_details.suite);
       ("session_recovery", Test_session_recovery.suite);
+      ("durability", Test_durability.suite);
       ("crashpoints", Test_crashpoints.suite);
       ("differential", Test_differential.suite);
       ("posting_engine", Test_posting_engine.suite);

@@ -95,9 +95,114 @@ let transient_faults_survivable () =
       Alcotest.(check bool) "both faults fired" true (List.length run.Crashlab.fired = 2);
       Alcotest.(check (list string)) "invariants hold" [] (Crashlab.verify run))
 
+(* --------------------------------------------------------------------- *)
+(* Group-commit crash sweep.
+
+   Under Group/Async durability several commits become durable per log
+   force, so Crashlab.verify's "durable WAL size is a commit clock"
+   ledger matching does not apply. The invariant that does: a batch is
+   atomic. The durable WAL after any crash must be a byte prefix of the
+   fault-free run's (execution is deterministic up to the crash), and the
+   set of committed transaction ids it implies must equal the committed
+   set at some record boundary of that baseline log — a Commit_group is
+   either entirely durable or entirely absent, never split. Recovery from
+   every such image must also succeed and agree with the
+   committed_state oracle (Session.recover runs it internally). *)
+
+module Wal = Ode_storage.Wal
+module Commit_pipeline = Ode_storage.Commit_pipeline
+module Credit_card = Ode.Credit_card
+
+let committed_ids records =
+  let committed = Hashtbl.create 32 in
+  List.iter
+    (function
+      | Wal.Commit txn -> Hashtbl.replace committed txn ()
+      | Wal.Commit_group txns -> List.iter (fun txn -> Hashtbl.replace committed txn ()) txns
+      | Wal.Abort txn -> Hashtbl.remove committed txn
+      | _ -> ())
+    records;
+  Hashtbl.fold (fun txn () acc -> txn :: acc) committed [] |> List.sort compare
+
+(* Committed-id set at every record boundary of [records]: the only sets a
+   crash may expose. *)
+let boundary_sets records =
+  let rec go prefix_rev rest acc =
+    let acc = committed_ids (List.rev prefix_rev) :: acc in
+    match rest with [] -> acc | record :: rest -> go (record :: prefix_rev) rest acc
+  in
+  List.sort_uniq compare (go [] records [])
+
+let is_bytes_prefix prefix whole =
+  Bytes.length prefix <= Bytes.length whole
+  && Bytes.equal prefix (Bytes.sub whole 0 (Bytes.length prefix))
+
+let group_commit_sweep durability () =
+  Seeds.with_seed "crashpoints.group-sweep" (fun seed ->
+      let config = { (config seed) with Crashlab.durability } in
+      let base = Crashlab.run ~config ~plan:[] () in
+      Alcotest.(check bool) "baseline completes" true
+        (base.Crashlab.outcome = Crashlab.Completed);
+      let base_obj, base_trig = Session.image_wals base.Crashlab.image in
+      let obj_sets = boundary_sets (Wal.decode_records base_obj) in
+      let trig_sets = boundary_sets (Wal.decode_records base_trig) in
+      let wal_flushes =
+        try List.assoc Faults.Wal_flush base.Crashlab.site_counts with Not_found -> 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "baseline batches commits (%d flushes for %d commits)" wal_flushes
+           base.Crashlab.committed)
+        true
+        (wal_flushes < base.Crashlab.committed);
+      let check_image plan_text image =
+        let obj_wal, trig_wal = Session.image_wals image in
+        (* Both a crash and a torn flush (fsync died mid-write, then the
+           system died — Wal.flush ends it with torn_crash) leave a byte
+           prefix of the deterministic baseline log. *)
+        if not (is_bytes_prefix obj_wal base_obj) then
+          Alcotest.failf "[%s] durable objects WAL is not a baseline prefix" plan_text;
+        if not (is_bytes_prefix trig_wal base_trig) then
+          Alcotest.failf "[%s] durable triggers WAL is not a baseline prefix" plan_text;
+        let check_batch_atomic what sets wal_bytes =
+          let ids = committed_ids (Wal.decode_records wal_bytes) in
+          if not (List.mem ids sets) then
+            Alcotest.failf
+              "[%s] %s committed set {%s} splits a commit batch (not at any record boundary \
+               of the baseline log)"
+              plan_text what
+              (String.concat ";" (List.map string_of_int ids))
+        in
+        check_batch_atomic "objects" obj_sets obj_wal;
+        check_batch_atomic "triggers" trig_sets trig_wal;
+        match Session.recover image with
+        | exception e ->
+            Alcotest.failf "[%s] Session.recover raised %s" plan_text (Printexc.to_string e)
+        | env -> Credit_card.define_all env
+      in
+      (* Crash at, and tear, every WAL flush the baseline performs. *)
+      for k = 1 to wal_flushes do
+        List.iter
+          (fun plan_text ->
+            let plan = plan_of_string plan_text in
+            let result = Crashlab.run ~config ~plan () in
+            (match result.Crashlab.outcome with
+            | Crashlab.Completed -> Alcotest.failf "[%s] planned fault never fired" plan_text
+            | Crashlab.Crashed _ -> ());
+            check_image plan_text result.Crashlab.image)
+          [
+            Printf.sprintf "crash@wal_flush:%d" k;
+            Printf.sprintf "torn(0.5)@wal_flush:%d" k;
+            Printf.sprintf "torn(0.9)@wal_flush:%d" k;
+          ]
+      done)
+
 let suite =
   [
     Alcotest.test_case "fault-free workload and point space" `Quick fault_free_run;
+    Alcotest.test_case "group-commit crash sweep (group:4)" `Quick
+      (group_commit_sweep (Commit_pipeline.Group { max_batch = 4; max_delay_ticks = 64 }));
+    Alcotest.test_case "group-commit crash sweep (async:3)" `Quick
+      (group_commit_sweep (Commit_pipeline.Async { max_lag = 3 }));
     Alcotest.test_case "crash replay is deterministic" `Quick deterministic_replay;
     Alcotest.test_case "transient faults are survivable" `Quick transient_faults_survivable;
     Alcotest.test_case "exhaustive crash + torn sweep" `Slow exhaustive_sweep;

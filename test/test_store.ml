@@ -199,6 +199,51 @@ let differential kind seed () =
     then Alcotest.fail "store contents diverged from committed model"
   done
 
+(* The sorted-scan cache behind [iter]: repeated scans between mutations
+   reuse the cached rid order, and every insert/delete (including rolled
+   back ones, which physically mutate and then undo) invalidates it. *)
+let iter_cache_invalidation kind () =
+  let mgr, store = make_store kind in
+  let scan txn =
+    let seen = ref [] in
+    store.Store.iter txn (fun rid payload -> seen := (Rid.to_int rid, Bytes.to_string payload) :: !seen);
+    List.rev !seen
+  in
+  let txn = Txn.begin_txn mgr in
+  let r0 = store.Store.insert txn (b "a") in
+  let r1 = store.Store.insert txn (b "b") in
+  let first = scan txn in
+  Alcotest.(check (list (pair int string)))
+    "repeated scan stable"
+    first (scan txn);
+  let r2 = store.Store.insert txn (b "c") in
+  Alcotest.(check (list (pair int string)))
+    "insert visible after cached scan"
+    [ (Rid.to_int r0, "a"); (Rid.to_int r1, "b"); (Rid.to_int r2, "c") ]
+    (scan txn);
+  store.Store.delete txn r1;
+  Alcotest.(check (list (pair int string)))
+    "delete visible after cached scan"
+    [ (Rid.to_int r0, "a"); (Rid.to_int r2, "c") ]
+    (scan txn);
+  store.Store.update txn r0 (b "a2");
+  Alcotest.(check (list (pair int string)))
+    "update visible (same rids)"
+    [ (Rid.to_int r0, "a2"); (Rid.to_int r2, "c") ]
+    (scan txn);
+  Txn.commit txn;
+  (* Rolled-back mutations must leave the scan unchanged. *)
+  let txn = Txn.begin_txn mgr in
+  ignore (store.Store.insert txn (b "doomed"));
+  store.Store.delete txn r2;
+  Txn.abort txn;
+  let txn = Txn.begin_txn mgr in
+  Alcotest.(check (list (pair int string)))
+    "scan after rollback matches committed state"
+    [ (Rid.to_int r0, "a2"); (Rid.to_int r2, "c") ]
+    (scan txn);
+  Txn.commit txn
+
 let wal_flush_on_commit kind () =
   let mgr, store = make_store kind in
   let flushes_before = Ode_storage.Wal.flush_count store.Store.wal in
@@ -222,6 +267,7 @@ let suite =
       [ Alcotest.test_case "oversized disk record" `Quick oversized_disk_record ];
       [ Alcotest.test_case "relocation on growth" `Quick relocation_on_growth ];
       both "iter order" iter_order;
+      both "iter cache invalidation" iter_cache_invalidation;
       both "rids not reused" rids_not_reused;
       [
         Alcotest.test_case "differential (mem)" `Quick (differential `Mem 21L);

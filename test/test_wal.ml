@@ -17,6 +17,10 @@ let sample_records =
     Wal.Op (2, Wal.Insert (Rid.of_int 1, b ""));
     Wal.Abort 2;
     Wal.Checkpoint [ (Rid.of_int 3, b "ckpt"); (Rid.of_int 9, b "") ];
+    Wal.Begin 3;
+    Wal.Op (3, Wal.Insert (Rid.of_int 2, b "grouped"));
+    Wal.Commit_group [ 3; 4; 5 ];
+    Wal.Commit_group [];
   ]
 
 let record_equal a b =
@@ -65,7 +69,7 @@ let torn_write () =
 
 let random_record prng =
   let random_bytes () = Bytes.init (Prng.int prng 30) (fun _ -> Char.chr (Prng.int prng 256)) in
-  match Prng.int prng 7 with
+  match Prng.int prng 8 with
   | 0 -> Wal.Begin (Prng.int prng 100)
   | 1 -> Wal.Op (Prng.int prng 100, Wal.Insert (Rid.of_int (Prng.int prng 1000), random_bytes ()))
   | 2 ->
@@ -74,6 +78,7 @@ let random_record prng =
   | 3 -> Wal.Op (Prng.int prng 100, Wal.Delete (Rid.of_int (Prng.int prng 1000), random_bytes ()))
   | 4 -> Wal.Commit (Prng.int prng 100)
   | 5 -> Wal.Abort (Prng.int prng 100)
+  | 6 -> Wal.Commit_group (List.init (Prng.int prng 6) (fun _ -> Prng.int prng 100))
   | _ ->
       Wal.Checkpoint
         (List.init (Prng.int prng 4) (fun i -> (Rid.of_int (100 + i), random_bytes ())))
@@ -116,9 +121,41 @@ let random_truncation () =
         done
       done)
 
+(* The decoded-prefix cache: durable_records resumes decoding where the
+   previous call stopped instead of re-decoding the whole durable prefix.
+   Interleave appends, flushes and reads and check the cached view always
+   equals a from-scratch decode of the durable bytes. *)
+let incremental_decode_cache () =
+  Seeds.with_seed ~default:9 "wal.incremental-cache" (fun seed ->
+      let prng = Prng.create ~seed:(Int64.of_int seed) in
+      let wal = Wal.create () in
+      let written = ref [] in
+      for _round = 1 to 20 do
+        let batch = List.init (Prng.int prng 5) (fun _ -> random_record prng) in
+        List.iter
+          (fun record ->
+            Wal.append wal record;
+            written := record :: !written)
+          batch;
+        (* Read before the flush too: the cache must not leak the tail. *)
+        let durable_now = Wal.durable_records wal in
+        Wal.flush wal;
+        let fresh = Wal.decode_records (Wal.durable_bytes wal) in
+        let cached = Wal.durable_records wal in
+        if not (List.for_all2 record_equal fresh cached) then
+          Alcotest.fail "cached decode differs from fresh decode";
+        Alcotest.(check int)
+          "everything flushed is durable" (List.length !written) (List.length cached);
+        (* A second read must come from the cache and agree. *)
+        if not (List.for_all2 record_equal cached (Wal.durable_records wal)) then
+          Alcotest.fail "repeated cached reads disagree";
+        ignore durable_now
+      done)
+
 let suite =
   [
     Alcotest.test_case "record codec roundtrip" `Quick roundtrip;
+    Alcotest.test_case "incremental decode cache" `Quick incremental_decode_cache;
     Alcotest.test_case "flush is the durability boundary" `Quick durability_boundary;
     Alcotest.test_case "torn writes decode to a clean prefix" `Quick torn_write;
     Alcotest.test_case "random record roundtrips" `Quick random_roundtrip;
