@@ -57,6 +57,32 @@ let run_tests_alloc ?quota tests =
         (Test.names test))
     tests
 
+(* ---------------- per-transaction latency percentiles ---------------- *)
+
+(* Nearest-rank percentile on a sorted sample. *)
+let percentile_sorted a p =
+  let n = Array.length a in
+  if n = 0 then nan
+  else a.(max 0 (min (n - 1) (int_of_float (Float.ceil (p *. float_of_int n)) - 1)))
+
+(* (p50, p95, p99) of a latency sample; unit in = unit out. *)
+let percentiles lats =
+  let a = Array.of_list lats in
+  Array.sort compare a;
+  (percentile_sorted a 0.50, percentile_sorted a 0.95, percentile_sorted a 0.99)
+
+(* Run [n] iterations of [f], timing each: per-iteration wall ns, in
+   iteration order — the sample the macro benches feed to [percentiles]. *)
+let timed_iters n f =
+  let lats = ref [] in
+  for i = 1 to n do
+    let t0 = Monotonic_clock.now () in
+    f i;
+    let t1 = Monotonic_clock.now () in
+    lats := Int64.to_float (Int64.sub t1 t0) :: !lats
+  done;
+  List.rev !lats
+
 (* ---------------- machine-readable recording (--json) ---------------- *)
 
 (* [bench/main.exe --json] collects every [record] call made by the
@@ -72,6 +98,9 @@ type jrecord = {
   jr_params : (string * jval) list;
   jr_ns : float;
   jr_minor_words : float;
+  jr_p50 : float;  (* per-transaction latency percentiles, ns (nan = n/a) *)
+  jr_p95 : float;
+  jr_p99 : float;
 }
 
 let smoke = ref false
@@ -79,11 +108,12 @@ let json_out : string option ref = ref None
 let json_records : jrecord list ref = ref []
 let json_summary : (string * jval) list ref = ref []
 
-let record ~experiment ~name ~params ?(ns = nan) ?(minor_words = nan) () =
+let record ~experiment ~name ~params ?(ns = nan) ?(minor_words = nan) ?(p50 = nan) ?(p95 = nan)
+    ?(p99 = nan) () =
   if !json_out <> None then
     json_records :=
       { jr_experiment = experiment; jr_name = name; jr_params = params; jr_ns = ns;
-        jr_minor_words = minor_words }
+        jr_minor_words = minor_words; jr_p50 = p50; jr_p95 = p95; jr_p99 = p99 }
       :: !json_records
 
 let summarize key v = if !json_out <> None then json_summary := (key, v) :: !json_summary
@@ -118,12 +148,15 @@ let write_json () =
         (fun i r ->
           if i > 0 then Buffer.add_string buf ",\n";
           Buffer.add_string buf
-            (Printf.sprintf "    {\"experiment\": %s, \"name\": %s, \"params\": {%s}, \"ns_per_op\": %s, \"minor_words_per_op\": %s}"
+            (Printf.sprintf "    {\"experiment\": %s, \"name\": %s, \"params\": {%s}, \"ns_per_op\": %s, \"minor_words_per_op\": %s, \"p50_ns\": %s, \"p95_ns\": %s, \"p99_ns\": %s}"
                (jval_to_string (S r.jr_experiment))
                (jval_to_string (S r.jr_name))
                (fields r.jr_params)
                (jval_to_string (F r.jr_ns))
-               (jval_to_string (F r.jr_minor_words))))
+               (jval_to_string (F r.jr_minor_words))
+               (jval_to_string (F r.jr_p50))
+               (jval_to_string (F r.jr_p95))
+               (jval_to_string (F r.jr_p99))))
         (List.rev !json_records);
       Buffer.add_string buf "\n  ],\n";
       Buffer.add_string buf (Printf.sprintf "  \"summary\": {%s}\n}\n" (fields (List.rev !json_summary)));

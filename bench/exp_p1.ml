@@ -123,7 +123,9 @@ let run_batch ~quota prepared =
 
 let mix_name = function `Irrelevant -> "irrelevant" | `Relevant -> "relevant"
 
-let record_row ~mix ~fan_in ~alphabet ~engine_name ~kind ~ns ~words =
+let record_row ?(latency = (nan, nan, nan)) ~mix ~fan_in ~alphabet ~engine_name ~kind ~ns ~words
+    () =
+  let p50, p95, p99 = latency in
   Bench_common.record ~experiment:"p1"
     ~name:(Printf.sprintf "%s fan=%d alpha=%d %s" (mix_name mix) fan_in alphabet engine_name)
     ~params:
@@ -134,24 +136,26 @@ let record_row ~mix ~fan_in ~alphabet ~engine_name ~kind ~ns ~words =
         ("engine", Bench_common.S engine_name);
         ("kind", Bench_common.S kind);
       ]
-    ~ns ~minor_words:words ()
+    ~ns ~minor_words:words ~p50 ~p95 ~p99 ()
 
 (* Committed transactions: [txns] transactions of [posts] irrelevant posts
-   each, wall-clocked end to end so commit-prepare flushes are charged. *)
+   each, wall-clocked end to end so commit-prepare flushes are charged;
+   per-transaction latencies feed the p50/p95/p99 columns. *)
 let macro ~engine_name ~alphabet ~fan_in ~txns ~posts =
   let env, obj, ev = setup ~engine:(engine engine_name) ~alphabet ~fan_in in
   let rt = Session.runtime env in
   let e = ev 2 in
+  let lats = ref [] in
   let (), ns =
     Bench_common.wall (fun () ->
-        for _ = 1 to txns do
-          Session.with_txn env (fun txn ->
-              for _ = 1 to posts do
-                Runtime.post rt txn ~obj ~event:e
-              done)
-        done)
+        lats :=
+          Bench_common.timed_iters txns (fun _ ->
+              Session.with_txn env (fun txn ->
+                  for _ = 1 to posts do
+                    Runtime.post rt txn ~obj ~event:e
+                  done)))
   in
-  (env, ns /. float_of_int (txns * posts))
+  (env, ns /. float_of_int (txns * posts), Bench_common.percentiles !lats)
 
 let print_part ~columns rows =
   let table = Table.create ~columns in
@@ -186,7 +190,7 @@ let run () =
   let fan_results =
     List.map2
       (fun (fan_in, engine_name, _) (_, ns, words) ->
-        record_row ~mix:`Irrelevant ~fan_in ~alphabet:32 ~engine_name ~kind:"micro" ~ns ~words;
+        record_row ~mix:`Irrelevant ~fan_in ~alphabet:32 ~engine_name ~kind:"micro" ~ns ~words ();
         (fan_in, engine_name, ns, words))
       prepared rows
   in
@@ -246,7 +250,7 @@ let run () =
   let alpha_results =
     List.map2
       (fun (alphabet, engine_name, _) (_, ns, words) ->
-        record_row ~mix:`Irrelevant ~fan_in:8 ~alphabet ~engine_name ~kind:"micro" ~ns ~words;
+        record_row ~mix:`Irrelevant ~fan_in:8 ~alphabet ~engine_name ~kind:"micro" ~ns ~words ();
         (alphabet, engine_name, ns))
       prepared rows
   in
@@ -289,7 +293,7 @@ let run () =
   let move_results =
     List.map2
       (fun (engine_name, _) (_, ns, words) ->
-        record_row ~mix:`Relevant ~fan_in:8 ~alphabet:32 ~engine_name ~kind:"micro" ~ns ~words;
+        record_row ~mix:`Relevant ~fan_in:8 ~alphabet:32 ~engine_name ~kind:"micro" ~ns ~words ();
         (engine_name, ns, words))
       prepared rows
   in
@@ -325,9 +329,9 @@ let run () =
   let macro_rows =
     List.map
       (fun engine_name ->
-        let env, ns = macro ~engine_name ~alphabet:32 ~fan_in:high_fan ~txns ~posts in
-        record_row ~mix:`Irrelevant ~fan_in:high_fan ~alphabet:32 ~engine_name ~kind:"macro"
-          ~ns ~words:nan;
+        let env, ns, latency = macro ~engine_name ~alphabet:32 ~fan_in:high_fan ~txns ~posts in
+        record_row ~latency ~mix:`Irrelevant ~fan_in:high_fan ~alphabet:32 ~engine_name
+          ~kind:"macro" ~ns ~words:nan ();
         (engine_name, env, ns))
       [ "full"; "reference" ]
   in

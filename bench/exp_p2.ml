@@ -50,6 +50,9 @@ type row = {
   r_flushes : int;  (* workload-attributable log forces, both stores *)
   r_avg_batch : int;
   r_ack_lag : int;
+  r_p50 : float;  (* per-transaction ack latency percentiles, ns *)
+  r_p95 : float;
+  r_p99 : float;
 }
 
 (* The credit-card macro: [txns] single-operation transactions against one
@@ -71,15 +74,17 @@ let run_credcard ~flush_spin ~txns mode_name =
   in
   Session.sync env;
   let before = total_flushes (Session.counters env) in
+  let lats = ref [] in
   let (), ns =
     Bench_common.wall (fun () ->
-        for i = 1 to txns do
-          Session.with_txn env (fun txn ->
-              if i mod 8 = 0 then Credit_card.pay_bill env txn card ~amount:70.0
-              else Credit_card.buy env txn card ~merchant ~amount:10.0)
-        done;
+        lats :=
+          Bench_common.timed_iters txns (fun i ->
+              Session.with_txn env (fun txn ->
+                  if i mod 8 = 0 then Credit_card.pay_bill env txn card ~amount:70.0
+                  else Credit_card.buy env txn card ~merchant ~amount:10.0));
         Session.sync env)
   in
+  let p50, p95, p99 = Bench_common.percentiles !lats in
   let counters = Session.counters env in
   {
     r_workload = "credcard";
@@ -89,6 +94,9 @@ let run_credcard ~flush_spin ~txns mode_name =
     r_flushes = total_flushes counters - before;
     r_avg_batch = counter counters "objects.avg_batch_size";
     r_ack_lag = counter counters "objects.ack_lag_ticks";
+    r_p50 = p50;
+    r_p95 = p95;
+    r_p99 = p99;
   }
 
 (* Synthetic fan-in on the MM backend: one declared event, [fan_in]
@@ -126,15 +134,17 @@ let run_fanin ~flush_spin ~txns ~fan_in mode_name =
      field: the object-store commit is what the pipeline batches — a
      post-only transaction whose machines return to their start state
      writes nothing and forces nothing. *)
+  let lats = ref [] in
   let (), ns =
     Bench_common.wall (fun () ->
-        for i = 1 to txns do
-          Session.with_txn env (fun txn ->
-              Session.set_field env txn obj "n" (Value.Int i);
-              Session.post_event env txn obj "Tick")
-        done;
+        lats :=
+          Bench_common.timed_iters txns (fun i ->
+              Session.with_txn env (fun txn ->
+                  Session.set_field env txn obj "n" (Value.Int i);
+                  Session.post_event env txn obj "Tick"));
         Session.sync env)
   in
+  let p50, p95, p99 = Bench_common.percentiles !lats in
   let counters = Session.counters env in
   {
     r_workload = "fan-in";
@@ -144,6 +154,9 @@ let run_fanin ~flush_spin ~txns ~fan_in mode_name =
     r_flushes = total_flushes counters - before;
     r_avg_batch = counter counters "objects.avg_batch_size";
     r_ack_lag = counter counters "objects.ack_lag_ticks";
+    r_p50 = p50;
+    r_p95 = p95;
+    r_p99 = p99;
   }
 
 let record row =
@@ -158,7 +171,7 @@ let record row =
         ("avg_batch_size", Bench_common.I row.r_avg_batch);
         ("ack_lag_ticks", Bench_common.I row.r_ack_lag);
       ]
-    ~ns:row.r_ns_per_txn ()
+    ~ns:row.r_ns_per_txn ~p50:row.r_p50 ~p95:row.r_p95 ~p99:row.r_p99 ()
 
 let print_rows rows =
   let base =
@@ -176,6 +189,9 @@ let print_rows rows =
           ("wal flushes", Table.Right);
           ("flush reduction", Table.Right);
           ("throughput gain", Table.Right);
+          ("p50 ns", Table.Right);
+          ("p95 ns", Table.Right);
+          ("p99 ns", Table.Right);
           ("ack lag ticks", Table.Right);
         ]
   in
@@ -191,6 +207,9 @@ let print_rows rows =
           (if r.r_flushes = 0 then "n/a"
            else Printf.sprintf "%.2fx" (float_of_int base.r_flushes /. float_of_int r.r_flushes));
           Bench_common.ratio_cell r.r_ns_per_txn base.r_ns_per_txn;
+          Bench_common.ns_cell r.r_p50;
+          Bench_common.ns_cell r.r_p95;
+          Bench_common.ns_cell r.r_p99;
           string_of_int r.r_ack_lag;
         ])
     rows;

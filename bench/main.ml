@@ -30,6 +30,7 @@ let experiments =
     ("r1", Exp_r1.run);
     ("p1", Exp_p1.run);
     ("p2", Exp_p2.run);
+    ("p3", Exp_p3.run);
   ]
 
 let () =

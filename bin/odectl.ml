@@ -23,6 +23,7 @@ module Intern = Ode_event.Intern
 module Session = Ode.Session
 module Credit_card = Ode.Credit_card
 module Value = Ode_objstore.Value
+module Sharded = Ode_parallel.Sharded
 
 let split_commas s =
   String.split_on_char ',' s |> List.map String.trim |> List.filter (fun s -> s <> "")
@@ -406,7 +407,103 @@ let demo_cmd =
 (* odectl stats *)
 
 let stats_cmd =
-  let run store engine durability rounds =
+  let print_rt ~engine ~rounds ~store counters =
+    Printf.printf "posting-engine counters (%s engine, %d rounds, %s store)\n" engine rounds store;
+    let has_prefix p k = String.length k > String.length p && String.sub k 0 (String.length p) = p in
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-24s %d\n" k v)
+      (List.filter (fun (k, _) -> has_prefix "rt." k) counters)
+  in
+  let print_durability ~mode counters =
+    Printf.printf "durability counters (%s pipeline)\n"
+      (Ode_storage.Commit_pipeline.mode_to_string mode);
+    let durability_keys =
+      [
+        "wal_flushes"; "wal_bytes"; "batched_commits"; "batch_flushes";
+        "flushed_commits"; "avg_batch_size"; "max_batch_size"; "ack_lag_ticks"; "pending_acks";
+      ]
+    in
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-24s %d\n" k v)
+      (List.filter
+         (fun (k, _) ->
+           List.exists
+             (fun suffix ->
+               String.equal k ("objects." ^ suffix) || String.equal k ("triggers." ^ suffix))
+             durability_keys)
+         counters)
+  in
+  (* One card per shard; each round submits, per shard, one 8-buys+payment
+     transaction that also forwards a BigBuy to the next shard's card, so
+     the routed / cross-shard / barrier counters all move. *)
+  let run_sharded ~store ~engine ~kind ~engine_cfg ~mode ~rounds ~shards ~smode ~per_shard =
+    let fleet =
+      Sharded.create ~store:kind ~engine:engine_cfg ~durability:mode ~shards ~mode:smode
+        ~schema:(fun ~shard:_ env -> Credit_card.define_all env)
+        ()
+    in
+    let cards = Array.make shards None in
+    for s = 0 to shards - 1 do
+      Sharded.submit fleet ~key:s (fun ctx txn ->
+          let env = ctx.Sharded.session in
+          let customer = Credit_card.new_customer env txn ~name:"stats" in
+          let merchant = Credit_card.new_merchant env txn ~name:"store" in
+          let card = Credit_card.new_card env txn ~customer ~limit:1_000_000.0 () in
+          ignore (Session.activate env txn card ~trigger:"DenyCredit" ~args:[]);
+          ignore
+            (Session.activate env txn card ~trigger:"AutoRaiseLimit" ~args:[ Value.Float 500.0 ]);
+          cards.(ctx.Sharded.shard) <- Some (card, merchant))
+    done;
+    Sharded.barrier fleet;
+    Sharded.sync fleet;
+    for s = 0 to shards - 1 do
+      Sharded.with_shard fleet ~key:s Session.reset_counters
+    done;
+    for _ = 1 to rounds do
+      for s = 0 to shards - 1 do
+        Sharded.submit fleet ~key:s (fun ctx txn ->
+            let env = ctx.Sharded.session in
+            let card, merchant = Option.get cards.(ctx.Sharded.shard) in
+            for _ = 1 to 8 do
+              Credit_card.buy env txn card ~merchant ~amount:10.0
+            done;
+            Credit_card.pay_bill env txn card ~amount:80.0;
+            let next_card, _ = Option.get cards.((ctx.Sharded.shard + 1) mod shards) in
+            let big_buy = Session.user_event_id env txn card "BigBuy" in
+            ctx.Sharded.forward ~payload:[ Value.Float 900.0 ] ~obj:next_card ~event:big_buy ())
+      done;
+      Sharded.barrier fleet
+    done;
+    Sharded.sync fleet;
+    let fs = Sharded.stats fleet in
+    Printf.printf "fleet counters (K=%d, mode=%s, %d rounds, %s store)\n" shards
+      (Sharded.mode_to_string smode) rounds store;
+    Printf.printf "  %-24s %d\n" "posts_routed" fs.Sharded.fs_tasks;
+    Printf.printf "  %-24s %d\n" "committed" fs.Sharded.fs_committed;
+    Printf.printf "  %-24s %d\n" "aborted" fs.Sharded.fs_aborted;
+    Printf.printf "  %-24s %d\n" "failed" fs.Sharded.fs_failed;
+    Printf.printf "  %-24s %d\n" "cross_shard_forwards" fs.Sharded.fs_forwards;
+    Printf.printf "  %-24s %d\n" "barrier_rounds" fs.Sharded.fs_rounds;
+    Printf.printf "  %-24s %d\n" "mailbox_high_water" fs.Sharded.fs_mailbox_hwm;
+    if per_shard then begin
+      Printf.printf "per-shard counters\n";
+      Printf.printf "  %5s %6s %9s %7s %6s %7s %6s %6s %8s\n" "shard" "routed" "committed"
+        "aborted" "failed" "fwd-out" "fwd-in" "rounds" "mbox-hwm";
+      List.iter
+        (fun ss ->
+          Printf.printf "  %5d %6d %9d %7d %6d %7d %6d %6d %8d\n" ss.Sharded.ss_shard
+            ss.Sharded.ss_tasks ss.Sharded.ss_committed ss.Sharded.ss_aborted
+            ss.Sharded.ss_failed ss.Sharded.ss_forwards_out ss.Sharded.ss_forwards_in
+            ss.Sharded.ss_rounds ss.Sharded.ss_mailbox_hwm)
+        (Sharded.shard_stats fleet)
+    end;
+    let counters = Sharded.counters fleet in
+    print_rt ~engine ~rounds ~store counters;
+    print_durability ~mode counters;
+    Sharded.shutdown fleet;
+    if fs.Sharded.fs_failed > 0 then die "%d task(s) failed" fs.Sharded.fs_failed else 0
+  in
+  let run store engine durability rounds shards smode_text per_shard =
     let kind = match store with "disk" -> `Disk | _ -> `Mem in
     match
       match engine with
@@ -418,7 +515,13 @@ let stats_cmd =
     | Some engine_cfg -> begin
     match Ode_storage.Commit_pipeline.mode_of_string durability with
     | Error msg -> die "bad --durability: %s" msg
-    | Ok mode ->
+    | Ok mode -> begin
+    match Sharded.mode_of_string smode_text with
+    | Error msg -> usage_die "bad --mode: %s" msg
+    | Ok _ when shards < 0 -> usage_die "--shards must be >= 0 (0 = unsharded)"
+    | Ok smode when shards > 0 ->
+        run_sharded ~store ~engine ~kind ~engine_cfg ~mode ~rounds ~shards ~smode ~per_shard
+    | Ok _ ->
     let env = Session.create ~store:kind ~engine:engine_cfg ~durability:mode () in
     Credit_card.define_all env;
     let card, merchant =
@@ -440,30 +543,10 @@ let stats_cmd =
           Credit_card.pay_bill env txn card ~amount:80.0)
     done;
     Session.sync env;
-    Printf.printf "posting-engine counters (%s engine, %d rounds, %s store)\n" engine rounds store;
-    let counters = Session.counters env in
-    let has_prefix p k = String.length k > String.length p && String.sub k 0 (String.length p) = p in
-    List.iter
-      (fun (k, v) -> Printf.printf "  %-24s %d\n" k v)
-      (List.filter (fun (k, _) -> has_prefix "rt." k) counters);
-    Printf.printf "durability counters (%s pipeline)\n"
-      (Ode_storage.Commit_pipeline.mode_to_string mode);
-    let durability_keys =
-      [
-        "wal_flushes"; "wal_bytes"; "batched_commits"; "batch_flushes";
-        "flushed_commits"; "avg_batch_size"; "max_batch_size"; "ack_lag_ticks"; "pending_acks";
-      ]
-    in
-    List.iter
-      (fun (k, v) -> Printf.printf "  %-24s %d\n" k v)
-      (List.filter
-         (fun (k, _) ->
-           List.exists
-             (fun suffix ->
-               String.equal k ("objects." ^ suffix) || String.equal k ("triggers." ^ suffix))
-             durability_keys)
-         counters);
+    print_rt ~engine ~rounds ~store (Session.counters env);
+    print_durability ~mode (Session.counters env);
     0
+    end
     end
   in
   let store =
@@ -482,12 +565,26 @@ let stats_cmd =
   in
   let rounds =
     Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"N"
-           ~doc:"Workload transactions (8 buys + 1 payment each).")
+           ~doc:"Workload transactions (8 buys + 1 payment each; per shard when sharded).")
+  in
+  let shards =
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"K"
+           ~doc:"Partition the workload over K shard domains (0 = unsharded, the default). \
+                 Each round then also forwards a cross-shard BigBuy envelope per shard.")
+  in
+  let smode =
+    Arg.(value & opt string "det" & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Sharded execution mode: 'det' (deterministic barrier rounds) or 'free' \
+                 (maximum throughput). Only meaningful with --shards.")
+  in
+  let per_shard =
+    Arg.(value & flag & info [ "per-shard" ]
+           ~doc:"With --shards, also print each shard's routed/forward/round/mailbox counters.")
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a posting workload and print the trigger runtime's per-layer counters")
-    Term.(const run $ store $ engine $ durability $ rounds)
+    Term.(const run $ store $ engine $ durability $ rounds $ shards $ smode $ per_shard)
 
 let () =
   let doc = "Ode active-database reproduction tools" in

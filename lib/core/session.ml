@@ -113,8 +113,8 @@ let intern t = t.intern
 (* ------------------------------------------------------------------ *)
 (* Construction. *)
 
-let assemble ?engine ~kind ~backend ~faults ~mgr ~obj_store ~trig_store ~db () =
-  let intern = Intern.create () in
+let assemble ?engine ?intern ~kind ~backend ~faults ~mgr ~obj_store ~trig_store ~db () =
+  let intern = match intern with Some i -> i | None -> Intern.create () in
   {
     kind;
     backend;
@@ -129,32 +129,45 @@ let assemble ?engine ~kind ~backend ~faults ~mgr ~obj_store ~trig_store ~db () =
     posting_plans = Hashtbl.create 64;
   }
 
-let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?flush_spin ?durability ?faults
-    ?engine () =
+(* [shard] = (index, count): the object store only mints rids ≡ index
+   (mod count), so [oid mod count] names an object's home shard — the
+   {!Ode_parallel} partitioning rule. The trigger store's rids are
+   shard-local (never routed), so it stays unstrided. (0, 1) is exactly
+   the unsharded behaviour. *)
+let shard_params = function
+  | None -> (None, None)
+  | Some (index, count) -> (Some index, Some count)
+
+let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep
+    ?durability ?faults ?shard ?intern ?engine () =
   let mgr = Txn.create_mgr () in
   (* One plane shared by both stores: every page write, WAL flush, eviction
      and lock acquisition across the whole environment gets a single global
      I/O-point number, so a fault plan addresses any of them. *)
   let faults = match faults with Some f -> f | None -> Faults.create () in
+  let rid_base, rid_stride = shard_params shard in
   let backend, obj_store, trig_store =
     match store with
     | `Disk ->
         let objects =
-          Disk_store.create ?page_size ?pool_capacity ?io_spin ?flush_spin ?durability ~faults
-            ~mgr ~name:"objects" ()
+          Disk_store.create ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep
+            ?durability ~faults ?rid_base ?rid_stride ~mgr ~name:"objects" ()
         in
         let triggers =
-          Disk_store.create ?page_size ?pool_capacity ?io_spin ?flush_spin ?durability ~faults
-            ~mgr ~name:"triggers" ()
+          Disk_store.create ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep
+            ?durability ~faults ~mgr ~name:"triggers" ()
         in
         (Disk_backend (objects, triggers), Disk_store.ops objects, Disk_store.ops triggers)
     | `Mem ->
-        let objects = Mem_store.create ?flush_spin ?durability ~mgr ~name:"objects" () in
-        let triggers = Mem_store.create ?flush_spin ?durability ~mgr ~name:"triggers" () in
+        let objects =
+          Mem_store.create ?flush_spin ?flush_sleep ?durability ?rid_base ?rid_stride ~mgr
+            ~name:"objects" ()
+        in
+        let triggers = Mem_store.create ?flush_spin ?flush_sleep ?durability ~mgr ~name:"triggers" () in
         (Mem_backend (objects, triggers), Mem_store.ops objects, Mem_store.ops triggers)
   in
   let db = Database.create ~mgr ~store:obj_store ~name:"main" in
-  assemble ?engine ~kind:store ~backend ~faults ~mgr ~obj_store ~trig_store ~db ()
+  assemble ?engine ?intern ~kind:store ~backend ~faults ~mgr ~obj_store ~trig_store ~db ()
 
 let durability t = Commit_pipeline.mode t.obj_store.Store.pipeline
 
@@ -545,6 +558,20 @@ let post_event ?(args = []) t txn oid ename =
   | Some id -> Runtime.post ~payload:args t.rt txn ~obj:oid ~event:id
   | None -> fail "class %s does not declare user event %s" cls ename
 
+(* Post by pre-interned global id — how {!Ode_parallel} applies a sealed
+   cross-shard envelope: the origin shard resolved the name against its
+   own class table, and the intern snapshot guarantees the id means the
+   same event here. *)
+let post_event_id ?(args = []) t txn oid ~event =
+  ignore (class_of t txn oid);
+  Runtime.post ~payload:args t.rt txn ~obj:oid ~event
+
+let user_event_id t txn oid ename =
+  let cls = class_of t txn oid in
+  match declared_event_id t ~cls (Intern.User ename) with
+  | Some id -> id
+  | None -> fail "class %s does not declare user event %s" cls ename
+
 let rec invoke t txn oid mname args =
   let cls = class_of t txn oid in
   Runtime.note_access t.rt txn ~obj:oid ~cls;
@@ -854,34 +881,38 @@ let crash t =
       Mem_store.crash triggers);
   { ci_kind = t.kind; ci_obj_wal; ci_trig_wal }
 
-let recover ?flush_spin ?durability ?faults ?engine image =
+let recover ?flush_spin ?flush_sleep ?durability ?faults ?shard ?intern ?engine image =
   let mgr = Txn.create_mgr () in
   let faults = match faults with Some f -> f | None -> Faults.create () in
+  let rid_base, rid_stride = shard_params shard in
   let backend, obj_store, trig_store =
     match image.ci_kind with
     | `Disk ->
         let objects =
-          Recovery.recover_disk ?flush_spin ?durability ~faults ~mgr ~name:"objects"
-            ~wal_bytes:image.ci_obj_wal ()
+          Recovery.recover_disk ?flush_spin ?flush_sleep ?durability ~faults ?rid_base
+            ?rid_stride ~mgr ~name:"objects" ~wal_bytes:image.ci_obj_wal ()
         in
         let triggers =
-          Recovery.recover_disk ?flush_spin ?durability ~faults ~mgr ~name:"triggers"
-            ~wal_bytes:image.ci_trig_wal ()
+          Recovery.recover_disk ?flush_spin ?flush_sleep ?durability ~faults ~mgr
+            ~name:"triggers" ~wal_bytes:image.ci_trig_wal ()
         in
         (Disk_backend (objects, triggers), Disk_store.ops objects, Disk_store.ops triggers)
     | `Mem ->
         let objects =
-          Recovery.recover_mem ?flush_spin ?durability ~mgr ~name:"objects"
-            ~wal_bytes:image.ci_obj_wal ()
+          Recovery.recover_mem ?flush_spin ?flush_sleep ?durability ?rid_base ?rid_stride ~mgr
+            ~name:"objects" ~wal_bytes:image.ci_obj_wal ()
         in
         let triggers =
-          Recovery.recover_mem ?flush_spin ?durability ~mgr ~name:"triggers"
+          Recovery.recover_mem ?flush_spin ?flush_sleep ?durability ~mgr ~name:"triggers"
             ~wal_bytes:image.ci_trig_wal ()
         in
         (Mem_backend (objects, triggers), Mem_store.ops objects, Mem_store.ops triggers)
   in
   let db = Database.open_existing ~mgr ~store:obj_store ~name:"main" in
-  let t = assemble ?engine ~kind:image.ci_kind ~backend ~faults ~mgr ~obj_store ~trig_store ~db () in
+  let t =
+    assemble ?engine ?intern ~kind:image.ci_kind ~backend ~faults ~mgr ~obj_store ~trig_store
+      ~db ()
+  in
   let txn = Txn.begin_txn ~system:true mgr in
   (* A crash can land between the objects store's commit flush and the
      triggers store's (commit is per-participant, not atomic across

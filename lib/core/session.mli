@@ -76,8 +76,11 @@ val create :
   ?pool_capacity:int ->
   ?io_spin:int ->
   ?flush_spin:int ->
+  ?flush_sleep:int ->
   ?durability:Ode_storage.Commit_pipeline.mode ->
   ?faults:Ode_storage.Faults.t ->
+  ?shard:int * int ->
+  ?intern:Ode_event.Intern.t ->
   ?engine:Ode_trigger.Runtime.config ->
   unit ->
   t
@@ -103,7 +106,18 @@ val create :
     ({!Ode_trigger.Runtime.config}); default
     {!Ode_trigger.Runtime.default_config}. Use
     {!Ode_trigger.Runtime.reference_config} for the unoptimised
-    differential-reference engine. *)
+    differential-reference engine.
+
+    [flush_sleep] is the blocking variant of [flush_spin] (nanoseconds;
+    see {!Ode_storage.Wal.create}) — sleeping log forces overlap across
+    {!Ode_parallel} shard domains like independent WAL devices.
+
+    [shard] = [(index, count)] makes the object store mint only oids
+    ≡ index (mod count) — the {!Ode_parallel} partitioning rule; default
+    [(0, 1)], the unsharded behaviour, which is bit-identical to omitting
+    it. [intern] seeds the environment's event-intern table (normally
+    {!Ode_event.Intern.of_snapshot} of shard 0's table) so global event
+    ids agree across shards without locking. *)
 
 val store_kind : t -> store_kind
 
@@ -210,6 +224,16 @@ val post_event : ?args:Value.t list -> t -> Txn.t -> Oid.t -> string -> unit
     {!Ode_trigger.Trigger_def.ctx.ev_args} (§8 "attributes of
     events"). *)
 
+val post_event_id : ?args:Value.t list -> t -> Txn.t -> Oid.t -> event:int -> unit
+(** Post by pre-interned global event id — how {!Ode_parallel} applies a
+    sealed cross-shard envelope. The id must come from the same intern
+    snapshot this environment was seeded with. *)
+
+val user_event_id : t -> Txn.t -> Oid.t -> string -> int
+(** The interned global id of a declared user event on the object's class
+    — what a forwarding task seals into an envelope. Raises {!Ode_error}
+    if the class does not declare it. *)
+
 val cluster : t -> cls:string -> Oid.t list
 (** Oids currently in the class's own cluster. *)
 
@@ -314,8 +338,11 @@ val crash : t -> crash_image
 
 val recover :
   ?flush_spin:int ->
+  ?flush_sleep:int ->
   ?durability:Ode_storage.Commit_pipeline.mode ->
   ?faults:Ode_storage.Faults.t ->
+  ?shard:int * int ->
+  ?intern:Ode_event.Intern.t ->
   ?engine:Ode_trigger.Runtime.config ->
   crash_image ->
   t

@@ -76,3 +76,34 @@ let name_of_id t id =
 let count t = t.next
 
 let lookups t = t.lookups
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic snapshots (Ode_parallel): shard 0 defines the schema,
+   snapshots its table, and every other shard pre-registers the same
+   assignment — global event ids then agree across shards without any
+   locking, because re-interning the same (class, event) pairs in the same
+   definition order is a pure replay. *)
+
+type snapshot = (key * int) list  (* sorted by id *)
+
+let snapshot t =
+  Hashtbl.fold (fun key id acc -> (key, id) :: acc) t.forward []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let of_snapshot entries =
+  let t = create () in
+  List.iter
+    (fun (key, id) ->
+      if Hashtbl.mem t.forward key || Hashtbl.mem t.reverse id then
+        invalid_arg "Intern.of_snapshot: duplicate key or id";
+      Hashtbl.replace t.forward key id;
+      Hashtbl.replace t.reverse id key;
+      t.next <- max t.next (id + 1))
+    entries;
+  t
+
+let equal_snapshot a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun ((ca, ba), ia) ((cb, bb), ib) -> String.equal ca cb && basic_equal ba bb && ia = ib)
+       a b

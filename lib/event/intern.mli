@@ -42,6 +42,21 @@ val count : t -> int
 val lookups : t -> int
 (** Total [id]/[find] calls — posting-cost accounting for T2. *)
 
+type snapshot = ((string * basic) * int) list
+(** A full id assignment, sorted by id — the {!Ode_parallel} shard
+    handshake: shard 0 defines the schema and snapshots its table; the
+    other shards start from {!of_snapshot} so global event ids agree
+    across shards without locking (replaying the same definitions in the
+    same order then re-finds, never re-assigns). *)
+
+val snapshot : t -> snapshot
+
+val of_snapshot : snapshot -> t
+(** A fresh table pre-registered with the given assignment. Raises
+    [Invalid_argument] on a duplicate key or id. *)
+
+val equal_snapshot : snapshot -> snapshot -> bool
+
 val basic_equal : basic -> basic -> bool
 val pp_basic : Format.formatter -> basic -> unit
 val basic_to_string : basic -> string

@@ -1,0 +1,106 @@
+(* Bounded SPSC mailbox with an unbounded side lane for peer forwards.
+
+   The router (single producer) pushes through the bounded ring: when a
+   shard falls behind, [push] blocks and the router stops feeding it —
+   back-pressure instead of unbounded queue growth. Peer shards deliver
+   cross-shard envelopes through [push_forward], an unbounded MPSC lane:
+   a shard blocked on a full peer ring while that peer is blocked on
+   *its* full ring would deadlock the fleet, so shard-to-shard traffic
+   must never block (the quiescence counter in [Sharded] bounds it
+   instead).
+
+   One mutex guards both lanes; [pop] serves the forward lane first so
+   envelope backlogs drain ahead of fresh router work in [Free] mode
+   (in [Deterministic] mode the forward lane is unused — the router
+   replays envelopes itself in round order). *)
+
+type 'a t = {
+  ring : 'a option array;
+  mutable head : int;  (* next slot to pop *)
+  mutable size : int;
+  (* Unbounded forward lane, a two-list FIFO queue. *)
+  mutable fwd_front : 'a list;
+  mutable fwd_back : 'a list;  (* reversed *)
+  mutable fwd_size : int;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  mutable hwm : int;  (* high-water mark across both lanes *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Mailbox.create: capacity must be positive";
+  {
+    ring = Array.make capacity None;
+    head = 0;
+    size = 0;
+    fwd_front = [];
+    fwd_back = [];
+    fwd_size = 0;
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+    hwm = 0;
+  }
+
+let occupancy t = t.size + t.fwd_size
+
+let note_hwm t =
+  let n = occupancy t in
+  if n > t.hwm then t.hwm <- n
+
+let push t x =
+  Mutex.lock t.mu;
+  while t.size = Array.length t.ring do
+    Condition.wait t.nonfull t.mu
+  done;
+  t.ring.((t.head + t.size) mod Array.length t.ring) <- Some x;
+  t.size <- t.size + 1;
+  note_hwm t;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mu
+
+let push_forward t x =
+  Mutex.lock t.mu;
+  t.fwd_back <- x :: t.fwd_back;
+  t.fwd_size <- t.fwd_size + 1;
+  note_hwm t;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mu
+
+let pop t =
+  Mutex.lock t.mu;
+  while occupancy t = 0 do
+    Condition.wait t.nonempty t.mu
+  done;
+  let x =
+    if t.fwd_size > 0 then begin
+      (if t.fwd_front = [] then begin
+         t.fwd_front <- List.rev t.fwd_back;
+         t.fwd_back <- []
+       end);
+      match t.fwd_front with
+      | x :: rest ->
+          t.fwd_front <- rest;
+          t.fwd_size <- t.fwd_size - 1;
+          x
+      | [] -> assert false
+    end
+    else begin
+      let slot = t.head in
+      let x = match t.ring.(slot) with Some x -> x | None -> assert false in
+      t.ring.(slot) <- None;
+      t.head <- (slot + 1) mod Array.length t.ring;
+      t.size <- t.size - 1;
+      Condition.signal t.nonfull;
+      x
+    end
+  in
+  Mutex.unlock t.mu;
+  x
+
+let high_water t =
+  Mutex.lock t.mu;
+  let h = t.hwm in
+  Mutex.unlock t.mu;
+  h

@@ -1,0 +1,25 @@
+(** Bounded SPSC mailbox with an unbounded side lane for peer forwards.
+
+    The router→shard lane is a fixed ring: {!push} blocks when it is
+    full, giving the fleet back-pressure. The shard→shard lane
+    ({!push_forward}) is unbounded so cross-shard envelope delivery can
+    never deadlock two mutually-full shards; {!Sharded}'s quiescence
+    counter bounds it logically. {!pop} serves the forward lane first. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] unless [capacity > 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** Producer side of the bounded ring; blocks while full. *)
+
+val push_forward : 'a t -> 'a -> unit
+(** Unbounded MPSC lane; never blocks. *)
+
+val pop : 'a t -> 'a
+(** Blocks while both lanes are empty. *)
+
+val high_water : 'a t -> int
+(** Highest combined occupancy ever observed — the [mailbox_hwm]
+    counter surfaced by [odectl stats --per-shard]. *)

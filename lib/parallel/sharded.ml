@@ -1,0 +1,535 @@
+(* Domain-parallel sharded execution engine.
+
+   Objects are hash-partitioned by oid across K shards: shard i owns
+   every oid ≡ i (mod K), enforced at the source by the object store's
+   rid striding ([Session.create ~shard:(i, K)]) — an object's home
+   shard is literally [oid mod K], no directory needed. Each shard is a
+   complete, independent [Session] (its own lock manager, stores, WALs,
+   commit pipeline and trigger runtime) running on its own OCaml 5
+   domain, so shard-local transactions need zero cross-shard
+   coordination — the paper's TriggerState is keyed by (trigger, object)
+   and every posted event targets one object's machines (§5.2–§5.4), so
+   trigger detection partitions perfectly along with the data.
+
+   The router (the caller's domain) dispatches transactions to their
+   home shard over bounded SPSC mailboxes ({!Mailbox}). Cross-shard
+   posts are not executed remotely: the originating task seals them into
+   envelopes (object, interned event id, payload) which are delivered to
+   the owning shard only after the originating transaction commits —
+   envelopes of aborted transactions are dropped with the rest of the
+   transaction's effects.
+
+   Two execution modes:
+
+   - [Deterministic]: logical-tick barrier rounds. A round delivers
+     (1) the previous round's envelopes, sorted by (submission seq,
+     emission index) — a total order independent of K — then (2) the
+     round's submitted tasks in submission order, then a round barrier.
+     Every observable (firing order, committed state, even WAL bytes at
+     K=1) is a pure function of the input schedule.
+
+   - [Free]: no barrier; the router pushes tasks as they arrive, shards
+     chew through their mailboxes concurrently, envelopes travel
+     directly shard-to-shard through the unbounded forward lane.
+     Maximum throughput, no cross-shard ordering promise.
+
+   Event-id agreement: shard 0 defines the schema first; its intern
+   table is snapshotted and every other shard starts from that snapshot
+   ([Intern.of_snapshot]), then replays the same schema definition —
+   global event ids agree across shards without a shared table or a
+   lock, checked by comparing snapshots. *)
+
+module Session = Ode.Session
+module Oid = Ode_objstore.Oid
+module Value = Ode_objstore.Value
+module Intern = Ode_event.Intern
+module Faults = Ode_storage.Faults
+module Txn = Ode_storage.Txn
+
+type mode = Deterministic | Free
+
+let mode_to_string = function Deterministic -> "det" | Free -> "free"
+
+let mode_of_string = function
+  | "det" | "deterministic" -> Ok Deterministic
+  | "free" -> Ok Free
+  | s -> Error (Printf.sprintf "unknown mode %S (have: det, free)" s)
+
+type envelope = {
+  env_obj : Oid.t;
+  env_event : int;  (* interned global event id *)
+  env_payload : Value.t list;
+  env_seq : int;  (* submission index of the originating task *)
+  env_emit : int;  (* emission index within that task *)
+}
+
+(* (seq, emit) is unique per envelope and assigned before any routing
+   decision, so this order is total and independent of K. *)
+let compare_envelope a b = compare (a.env_seq, a.env_emit) (b.env_seq, b.env_emit)
+
+type ctx = {
+  shard : int;
+  session : Session.t;
+  forward : ?payload:Value.t list -> obj:Oid.t -> event:int -> unit -> unit;
+      (** Seal a cross-shard post into an envelope. Buffered until the
+          enclosing transaction commits; dropped if it aborts. Applied at
+          the destination in deterministic round order ([Deterministic])
+          or as soon as delivered ([Free]) — deferred even when the
+          destination is the originating shard itself, so the semantics
+          do not depend on K. *)
+}
+
+type task = ctx -> Txn.t -> unit
+
+type msg =
+  | Run of { seq : int; task : task; enq : float }
+  | Apply of envelope
+  | Round_end
+  | Quit
+
+(* ---------------- small synchronisation helpers ---------------- *)
+
+type 'a slot = { smu : Mutex.t; scond : Condition.t; mutable sval : 'a option }
+
+let slot_create () = { smu = Mutex.create (); scond = Condition.create (); sval = None }
+
+let slot_put s v =
+  Mutex.lock s.smu;
+  s.sval <- Some v;
+  Condition.signal s.scond;
+  Mutex.unlock s.smu
+
+let slot_take s =
+  Mutex.lock s.smu;
+  let rec wait () =
+    match s.sval with
+    | Some v ->
+        s.sval <- None;
+        v
+    | None ->
+        Condition.wait s.scond s.smu;
+        wait ()
+  in
+  let v = wait () in
+  Mutex.unlock s.smu;
+  v
+
+(* Outstanding-message counter: [Free]-mode quiescence. A task's child
+   envelopes are registered before the task itself is retired, so the
+   count only reaches zero when the whole causal tree has drained. *)
+type counter = { cmu : Mutex.t; ccond : Condition.t; mutable live : int }
+
+let counter_create () = { cmu = Mutex.create (); ccond = Condition.create (); live = 0 }
+
+let counter_incr c =
+  Mutex.lock c.cmu;
+  c.live <- c.live + 1;
+  Mutex.unlock c.cmu
+
+let counter_decr c =
+  Mutex.lock c.cmu;
+  c.live <- c.live - 1;
+  if c.live = 0 then Condition.broadcast c.ccond;
+  Mutex.unlock c.cmu
+
+let counter_wait_zero c =
+  Mutex.lock c.cmu;
+  while c.live <> 0 do
+    Condition.wait c.ccond c.cmu
+  done;
+  Mutex.unlock c.cmu
+
+(* ---------------- shards ---------------- *)
+
+type round_reply = { rr_outbox : envelope list (* emission order *) }
+
+type shard = {
+  sh_index : int;
+  sh_session : Session.t;
+  sh_mailbox : msg Mailbox.t;
+  sh_done : round_reply slot;
+  (* Written only by the shard's domain; read by the router at quiescent
+     points (after a round barrier or free-mode drain — both publish
+     through a mutex). *)
+  mutable sh_tasks : int;
+  mutable sh_committed : int;
+  mutable sh_aborted : int;
+  mutable sh_failed : int;
+  mutable sh_forwards_out : int;
+  mutable sh_forwards_in : int;
+  mutable sh_rounds : int;
+  mutable sh_outbox : envelope list;  (* newest first; Deterministic only *)
+  mutable sh_latencies : float list;  (* seconds per completed task, newest first *)
+  mutable sh_crashed : string option;  (* Injected_crash description *)
+  mutable sh_last_error : string option;
+}
+
+type t = {
+  k : int;
+  mode : mode;
+  shards : shard array;
+  mutable domains : unit Domain.t array;
+  pending : counter;
+  mutable next_seq : int;
+  mutable queued : (int * int * task) list;  (* (seq, shard, task), newest first *)
+  mutable envelopes : envelope list;  (* to deliver next round; unsorted *)
+  mutable stopped : bool;
+}
+
+let shard_count t = t.k
+let shard_of t key = ((key mod t.k) + t.k) mod t.k
+let home_of t oid = shard_of t (Oid.to_rid oid |> Ode_storage.Rid.to_int)
+
+let session t i =
+  if i < 0 || i >= t.k then invalid_arg "Sharded.session: shard index out of range";
+  t.shards.(i).sh_session
+
+(* ---------------- worker ---------------- *)
+
+let record_latency sh enq = sh.sh_latencies <- (Unix.gettimeofday () -. enq) :: sh.sh_latencies
+
+let deliver_free t e =
+  counter_incr t.pending;
+  Mailbox.push_forward t.shards.(home_of t e.env_obj).sh_mailbox (Apply e)
+
+let run_task t sh ~seq task =
+  let emitted = ref 0 in
+  let buffered = ref [] in
+  let ctx =
+    {
+      shard = sh.sh_index;
+      session = sh.sh_session;
+      forward =
+        (fun ?(payload = []) ~obj ~event () ->
+          let e =
+            { env_obj = obj; env_event = event; env_payload = payload; env_seq = seq;
+              env_emit = !emitted }
+          in
+          incr emitted;
+          buffered := e :: !buffered);
+    }
+  in
+  sh.sh_tasks <- sh.sh_tasks + 1;
+  match Session.with_txn sh.sh_session (fun txn -> task ctx txn) with
+  | () ->
+      sh.sh_committed <- sh.sh_committed + 1;
+      let out = List.rev !buffered in
+      sh.sh_forwards_out <- sh.sh_forwards_out + List.length out;
+      (match t.mode with
+      | Deterministic -> sh.sh_outbox <- List.rev_append out sh.sh_outbox
+      | Free -> List.iter (deliver_free t) out)
+  | exception Session.Aborted -> sh.sh_aborted <- sh.sh_aborted + 1
+
+let apply_envelope sh e =
+  sh.sh_forwards_in <- sh.sh_forwards_in + 1;
+  match
+    Session.with_txn sh.sh_session (fun txn ->
+        (* The target may have been deleted since the envelope was
+           sealed; a post to a dead object is a no-op, not an error. *)
+        if Session.exists sh.sh_session txn e.env_obj then
+          Session.post_event_id ~args:e.env_payload sh.sh_session txn e.env_obj
+            ~event:e.env_event)
+  with
+  | () -> sh.sh_committed <- sh.sh_committed + 1
+  | exception Session.Aborted -> sh.sh_aborted <- sh.sh_aborted + 1
+
+(* After an injected crash the shard's stores are gone: skip all further
+   work (the messages are consumed and discarded so the fleet's protocol
+   keeps moving), remember why, and let the router decide. *)
+let guarded sh f =
+  if sh.sh_crashed = None then
+    match f () with
+    | () -> ()
+    | exception Faults.Injected_crash { point; site } ->
+        sh.sh_crashed <-
+          Some
+            (Printf.sprintf "injected crash at point %d (%s)" point (Faults.site_to_string site))
+    | exception e ->
+        sh.sh_failed <- sh.sh_failed + 1;
+        sh.sh_last_error <- Some (Printexc.to_string e)
+
+let rec worker_loop t sh =
+  match Mailbox.pop sh.sh_mailbox with
+  | Quit -> ()
+  | Round_end ->
+      sh.sh_rounds <- sh.sh_rounds + 1;
+      let out = List.rev sh.sh_outbox in
+      sh.sh_outbox <- [];
+      slot_put sh.sh_done { rr_outbox = out };
+      worker_loop t sh
+  | Run { seq; task; enq } ->
+      guarded sh (fun () -> run_task t sh ~seq task);
+      record_latency sh enq;
+      if t.mode = Free then counter_decr t.pending;
+      worker_loop t sh
+  | Apply e ->
+      guarded sh (fun () -> apply_envelope sh e);
+      if t.mode = Free then counter_decr t.pending;
+      worker_loop t sh
+
+(* ---------------- construction ---------------- *)
+
+let make_shard ~mailbox_capacity i session =
+  {
+    sh_index = i;
+    sh_session = session;
+    sh_mailbox = Mailbox.create ~capacity:mailbox_capacity;
+    sh_done = slot_create ();
+    sh_tasks = 0;
+    sh_committed = 0;
+    sh_aborted = 0;
+    sh_failed = 0;
+    sh_forwards_out = 0;
+    sh_forwards_in = 0;
+    sh_rounds = 0;
+    sh_outbox = [];
+    sh_latencies = [];
+    sh_crashed = None;
+    sh_last_error = None;
+  }
+
+let assemble_fleet ~mode ~mailbox_capacity sessions =
+  let k = Array.length sessions in
+  let shards = Array.mapi (make_shard ~mailbox_capacity) sessions in
+  let t =
+    {
+      k;
+      mode;
+      shards;
+      domains = [||];
+      pending = counter_create ();
+      next_seq = 0;
+      queued = [];
+      envelopes = [];
+      stopped = false;
+    }
+  in
+  t.domains <- Array.map (fun sh -> Domain.spawn (fun () -> worker_loop t sh)) shards;
+  t
+
+(* Define the schema on every shard from one deterministic intern
+   snapshot, and fail loudly if any shard's replay diverged. *)
+let seeded_schema ~k ~schema ~make =
+  let s0 = make 0 None in
+  schema ~shard:0 s0;
+  let snap = Intern.snapshot (Session.intern s0) in
+  let sessions =
+    Array.init k (fun i ->
+        if i = 0 then s0
+        else begin
+          let s = make i (Some (Intern.of_snapshot snap)) in
+          schema ~shard:i s;
+          if not (Intern.equal_snapshot (Intern.snapshot (Session.intern s)) snap) then
+            invalid_arg
+              (Printf.sprintf
+                 "Ode_parallel: shard %d interned a different event-id assignment than shard 0 \
+                  (schema must be identical across shards)"
+                 i);
+          s
+        end)
+  in
+  sessions
+
+let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep
+    ?durability ?engine ?(mailbox_capacity = 256) ?shard_faults ~shards ~mode ~schema () =
+  if shards < 1 then invalid_arg "Sharded.create: shards must be >= 1";
+  let k = shards in
+  let make i intern =
+    let faults = match shard_faults with Some f -> f i | None -> Faults.create () in
+    Session.create ~store ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep
+      ?durability ~faults ~shard:(i, k) ?intern ?engine ()
+  in
+  assemble_fleet ~mode ~mailbox_capacity (seeded_schema ~k ~schema ~make)
+
+(* ---------------- routing ---------------- *)
+
+let check_live t what = if t.stopped then invalid_arg ("Sharded." ^ what ^ ": fleet is stopped")
+
+let submit t ~key task =
+  check_live t "submit";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let home = shard_of t key in
+  match t.mode with
+  | Deterministic -> t.queued <- (seq, home, task) :: t.queued
+  | Free ->
+      counter_incr t.pending;
+      Mailbox.push t.shards.(home).sh_mailbox (Run { seq; task; enq = Unix.gettimeofday () })
+
+(* One deterministic round: prior envelopes (in (seq, emit) order), then
+   this round's tasks (in submission order), then the barrier. *)
+let barrier t =
+  check_live t "barrier";
+  match t.mode with
+  | Free -> ()
+  | Deterministic ->
+      let envs = List.sort compare_envelope t.envelopes in
+      t.envelopes <- [];
+      let runs = List.rev t.queued in
+      t.queued <- [];
+      if envs <> [] || runs <> [] then begin
+        List.iter
+          (fun e -> Mailbox.push t.shards.(home_of t e.env_obj).sh_mailbox (Apply e))
+          envs;
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun (seq, home, task) ->
+            Mailbox.push t.shards.(home).sh_mailbox (Run { seq; task; enq = now }))
+          runs;
+        Array.iter (fun sh -> Mailbox.push sh.sh_mailbox Round_end) t.shards;
+        (* The barrier: every shard has drained its round and handed back
+           its outbox (the slot's mutex publishes the shard's session
+           state to the router). *)
+        Array.iter
+          (fun sh ->
+            let reply = slot_take sh.sh_done in
+            t.envelopes <- List.rev_append reply.rr_outbox t.envelopes)
+          t.shards
+      end
+
+let rec drain t =
+  match t.mode with
+  | Free -> counter_wait_zero t.pending
+  | Deterministic -> if t.queued <> [] || t.envelopes <> [] then (barrier t; drain t)
+
+let sync t =
+  check_live t "sync";
+  drain t;
+  Array.iter (fun sh -> if sh.sh_crashed = None then Session.sync sh.sh_session) t.shards
+
+let crashed_shards t =
+  Array.to_list t.shards
+  |> List.filter_map (fun sh ->
+         match sh.sh_crashed with Some why -> Some (sh.sh_index, why) | None -> None)
+
+let failures t =
+  Array.to_list t.shards
+  |> List.filter_map (fun sh ->
+         match sh.sh_last_error with Some e -> Some (sh.sh_index, e) | None -> None)
+
+(* Read against a shard's session from the router. Only sound at a
+   quiescent point (after {!sync} or {!barrier}): the workers are blocked
+   on their mailboxes and the barrier/drain handshake published their
+   writes. *)
+let with_shard t ~key f =
+  let sh = t.shards.(shard_of t key) in
+  f sh.sh_session
+
+let stop_workers t =
+  Array.iter (fun sh -> Mailbox.push sh.sh_mailbox Quit) t.shards;
+  Array.iter Domain.join t.domains;
+  t.stopped <- true
+
+let shutdown t =
+  if not t.stopped then begin
+    sync t;
+    stop_workers t
+  end
+
+(* ---------------- crash / recovery ---------------- *)
+
+type fleet_image = { fl_images : Session.crash_image array }
+
+(* Capture the fleet's durable state: every shard loses its volatile
+   state (no sync — a crash is a crash), the WAL prefixes survive.
+   In-flight envelopes are volatile too: forwards are at-most-once, lost
+   if not yet applied at the crash (documented in docs/PERF.md). *)
+let crash t =
+  if not t.stopped then stop_workers t;
+  { fl_images = Array.map (fun sh -> Session.crash sh.sh_session) t.shards }
+
+let image_shards img = Array.length img.fl_images
+
+let image_wals img i =
+  if i < 0 || i >= Array.length img.fl_images then
+    invalid_arg "Sharded.image_wals: shard index out of range";
+  Session.image_wals img.fl_images.(i)
+
+let recover ?flush_spin ?flush_sleep ?durability ?engine ?(mailbox_capacity = 256) ~mode
+    ~schema img =
+  let k = Array.length img.fl_images in
+  if k < 1 then invalid_arg "Sharded.recover: empty fleet image";
+  let make i intern =
+    Session.recover ?flush_spin ?flush_sleep ?durability ~shard:(i, k) ?intern ?engine
+      img.fl_images.(i)
+  in
+  assemble_fleet ~mode ~mailbox_capacity (seeded_schema ~k ~schema ~make)
+
+(* ---------------- statistics ---------------- *)
+
+type shard_stats = {
+  ss_shard : int;
+  ss_tasks : int;  (* tasks routed to (and consumed by) this shard *)
+  ss_committed : int;
+  ss_aborted : int;
+  ss_failed : int;
+  ss_forwards_out : int;
+  ss_forwards_in : int;
+  ss_rounds : int;
+  ss_mailbox_hwm : int;
+}
+
+let shard_stats t =
+  Array.to_list t.shards
+  |> List.map (fun sh ->
+         {
+           ss_shard = sh.sh_index;
+           ss_tasks = sh.sh_tasks;
+           ss_committed = sh.sh_committed;
+           ss_aborted = sh.sh_aborted;
+           ss_failed = sh.sh_failed;
+           ss_forwards_out = sh.sh_forwards_out;
+           ss_forwards_in = sh.sh_forwards_in;
+           ss_rounds = sh.sh_rounds;
+           ss_mailbox_hwm = Mailbox.high_water sh.sh_mailbox;
+         })
+
+type fleet_stats = {
+  fs_shards : int;
+  fs_mode : mode;
+  fs_tasks : int;  (* posts routed *)
+  fs_committed : int;
+  fs_aborted : int;
+  fs_failed : int;
+  fs_forwards : int;  (* cross-shard envelopes sent *)
+  fs_rounds : int;  (* barrier rounds (max over shards) *)
+  fs_mailbox_hwm : int;  (* max over shards *)
+}
+
+let stats t =
+  let per = shard_stats t in
+  {
+    fs_shards = t.k;
+    fs_mode = t.mode;
+    fs_tasks = List.fold_left (fun a s -> a + s.ss_tasks) 0 per;
+    fs_committed = List.fold_left (fun a s -> a + s.ss_committed) 0 per;
+    fs_aborted = List.fold_left (fun a s -> a + s.ss_aborted) 0 per;
+    fs_failed = List.fold_left (fun a s -> a + s.ss_failed) 0 per;
+    fs_forwards = List.fold_left (fun a s -> a + s.ss_forwards_out) 0 per;
+    fs_rounds = List.fold_left (fun a s -> max a s.ss_rounds) 0 per;
+    fs_mailbox_hwm = List.fold_left (fun a s -> max a s.ss_mailbox_hwm) 0 per;
+  }
+
+(* Merged session counters, summed across shards (same keys as
+   [Session.counters]). *)
+let counters t =
+  let acc = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun sh ->
+      List.iter
+        (fun (key, v) ->
+          match Hashtbl.find_opt acc key with
+          | Some prev -> Hashtbl.replace acc key (prev + v)
+          | None ->
+              order := key :: !order;
+              Hashtbl.replace acc key v)
+        (Session.counters sh.sh_session))
+    t.shards;
+  List.rev_map (fun key -> (key, Hashtbl.find acc key)) !order
+
+(* Per-task wall-clock latencies in seconds, all shards merged, oldest
+   first. Deterministic mode measures from round dispatch, Free mode from
+   router push — both include mailbox queueing. *)
+let latencies t =
+  Array.to_list t.shards |> List.concat_map (fun sh -> List.rev sh.sh_latencies)

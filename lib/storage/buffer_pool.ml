@@ -5,14 +5,25 @@ type stats = {
   mutable writebacks : int;
 }
 
-type frame = { page : Page.t; mutable dirty : bool; mutable last_used : int }
+(* Frames form an intrusive doubly-linked recency list: [prev] points
+   toward the MRU head, [next] toward the LRU tail. Victim selection is
+   the tail — O(1), where the previous implementation scanned the whole
+   table per eviction (O(n) with a per-frame logical clock). *)
+type frame = {
+  id : int;
+  page : Page.t;
+  mutable dirty : bool;
+  mutable prev : frame option;
+  mutable next : frame option;
+}
 
 type t = {
   pager : Pager.t;
   capacity : int;
   faults : Faults.t;
   frames : (int, frame) Hashtbl.t;
-  mutable clock : int;
+  mutable head : frame option;  (* most recently used *)
+  mutable tail : frame option;  (* least recently used: the victim *)
   stats : stats;
 }
 
@@ -24,37 +35,47 @@ let create ?faults pager ~capacity =
     capacity;
     faults;
     frames = Hashtbl.create 64;
-    clock = 0;
+    head = None;
+    tail = None;
     stats = { hits = 0; misses = 0; evictions = 0; writebacks = 0 };
   }
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+let unlink t frame =
+  (match frame.prev with Some p -> p.next <- frame.next | None -> t.head <- frame.next);
+  (match frame.next with Some n -> n.prev <- frame.prev | None -> t.tail <- frame.prev);
+  frame.prev <- None;
+  frame.next <- None
 
-let writeback t id frame =
+let push_front t frame =
+  frame.prev <- None;
+  frame.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some frame | None -> t.tail <- Some frame);
+  t.head <- Some frame
+
+let touch t frame =
+  match t.head with
+  | Some h when h == frame -> ()
+  | _ ->
+      unlink t frame;
+      push_front t frame
+
+let writeback t frame =
   if frame.dirty then begin
-    Pager.write t.pager id frame.page;
+    Pager.write t.pager frame.id frame.page;
     frame.dirty <- false;
     t.stats.writebacks <- t.stats.writebacks + 1
   end
 
 let evict_lru t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun id frame ->
-      match !victim with
-      | None -> victim := Some (id, frame)
-      | Some (_, best) -> if frame.last_used < best.last_used then victim := Some (id, frame))
-    t.frames;
-  match !victim with
+  match t.tail with
   | None -> ()
-  | Some (id, frame) ->
+  | Some frame ->
       (match Faults.check t.faults Faults.Pool_evict with
       | `Proceed -> ()
       | `Torn _ -> Faults.torn_crash t.faults Faults.Pool_evict);
-      writeback t id frame;
-      Hashtbl.remove t.frames id;
+      writeback t frame;
+      unlink t frame;
+      Hashtbl.remove t.frames frame.id;
       t.stats.evictions <- t.stats.evictions + 1
 
 let with_page t id ~dirty f =
@@ -66,17 +87,30 @@ let with_page t id ~dirty f =
     | None ->
         t.stats.misses <- t.stats.misses + 1;
         if Hashtbl.length t.frames >= t.capacity then evict_lru t;
-        let frame = { page = Pager.read t.pager id; dirty = false; last_used = 0 } in
+        let frame = { id; page = Pager.read t.pager id; dirty = false; prev = None; next = None } in
         Hashtbl.replace t.frames id frame;
+        push_front t frame;
         frame
   in
-  frame.last_used <- tick t;
+  touch t frame;
   if dirty then frame.dirty <- true;
   f frame.page
 
-let flush_all t = Hashtbl.iter (fun id frame -> writeback t id frame) t.frames
+(* Recency order (MRU first): deterministic, unlike a Hashtbl fold, so
+   fault-point numbering under [flush_all] is reproducible. *)
+let flush_all t =
+  let rec go = function
+    | None -> ()
+    | Some frame ->
+        writeback t frame;
+        go frame.next
+  in
+  go t.head
 
-let drop_all t = Hashtbl.reset t.frames
+let drop_all t =
+  Hashtbl.reset t.frames;
+  t.head <- None;
+  t.tail <- None
 
 let stats t = t.stats
 

@@ -16,6 +16,8 @@ type t = {
   mutable active_page : int option;  (* current fill target *)
   roomy_pages : (int, unit) Hashtbl.t;  (* pages with reclaimed space *)
   undo : (int, Wal.op list) Hashtbl.t;  (* txn -> ops, newest first *)
+  rid_base : int;  (* shard residue: fresh rids ≡ rid_base (mod rid_stride) *)
+  rid_stride : int;
   mutable next_rid : int;
   mutable crashed : bool;
   mutable inserts : int;
@@ -153,7 +155,7 @@ let log_op t (txn : Txn.t) op =
    delete), so they are drawn from a monotone counter per store. *)
 let fresh_rid t =
   let rid = Rid.of_int t.next_rid in
-  t.next_rid <- t.next_rid + 1;
+  t.next_rid <- t.next_rid + t.rid_stride;
   rid
 
 let insert_impl t (txn : Txn.t) payload =
@@ -285,11 +287,13 @@ let counters_impl t () =
   ]
   @ Commit_pipeline.counters t.pipeline
 
-let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?flush_spin ?durability ?faults
-    ~mgr ~name () =
+let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?flush_spin ?flush_sleep
+    ?durability ?faults ?(rid_base = 0) ?(rid_stride = 1) ~mgr ~name () =
+  if rid_stride < 1 || rid_base < 0 || rid_base >= rid_stride then
+    fail "store %s: rid_base %d must lie in [0, rid_stride=%d)" name rid_base rid_stride;
   let faults = match faults with Some f -> f | None -> Faults.create () in
   let pager = Pager.create ?io_spin ~faults ~page_size () in
-  let wal = Wal.create ~faults ?flush_spin () in
+  let wal = Wal.create ~faults ?flush_spin ?flush_sleep () in
   let t =
     {
       name;
@@ -305,7 +309,9 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?flush_spin ?durab
       active_page = None;
       roomy_pages = Hashtbl.create 16;
       undo = Hashtbl.create 8;
-      next_rid = 0;
+      rid_base;
+      rid_stride;
+      next_rid = rid_base;
       crashed = false;
       inserts = 0;
       reads = 0;
@@ -333,12 +339,19 @@ let ops t =
     pipeline = t.pipeline;
   }
 
+(* Smallest candidate rid > [rid] in the store's residue class, so fresh
+   rids after recovery keep the shard partitioning invariant. *)
+let align_after t rid =
+  let n = Rid.to_int rid + 1 in
+  if n <= t.rid_base then t.rid_base
+  else t.rid_base + ((n - t.rid_base + t.rid_stride - 1) / t.rid_stride) * t.rid_stride
+
 let load_bulk t entries =
   if Rid.Tbl.length t.dir > 0 then fail "load_bulk into non-empty store %s" t.name;
   List.iter
     (fun (rid, payload) ->
       ignore (phys_insert t rid payload);
-      t.next_rid <- max t.next_rid (Rid.to_int rid + 1))
+      t.next_rid <- max t.next_rid (align_after t rid))
     entries
 
 let flush_pages t = Buffer_pool.flush_all t.pool

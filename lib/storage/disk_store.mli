@@ -16,8 +16,11 @@ val create :
   ?pool_capacity:int ->
   ?io_spin:int ->
   ?flush_spin:int ->
+  ?flush_sleep:int ->
   ?durability:Commit_pipeline.mode ->
   ?faults:Faults.t ->
+  ?rid_base:int ->
+  ?rid_stride:int ->
   mgr:Txn.mgr ->
   name:string ->
   unit ->
@@ -25,12 +28,17 @@ val create :
 (** Creates an empty store and registers it as a commit/abort participant
     with [mgr]. [page_size] defaults to 4096, [pool_capacity] (frames) to
     64; [io_spin] simulates per-page-I/O device latency (see
-    {!Pager.create}) and [flush_spin] per-log-force latency (see
-    {!Wal.create}). [durability] selects the commit pipeline's mode
+    {!Pager.create}), [flush_spin] per-log-force latency and
+    [flush_sleep] its blocking variant (see {!Wal.create}).
+    [durability] selects the commit pipeline's mode
     ({!Commit_pipeline.mode}, default [Immediate] — flush per commit).
     [faults] is the fault-injection plane shared by the
     store's pager, buffer pool, WAL and lock points; pass the same plane
-    to several stores to give them one global I/O-point numbering. *)
+    to several stores to give them one global I/O-point numbering.
+    [rid_base]/[rid_stride] (defaults 0/1) restrict fresh rids to the
+    residue class [rid_base (mod rid_stride)] — the {!Ode_parallel} shard
+    partitioning rule; raises [Store_error] unless
+    [0 <= rid_base < rid_stride]. *)
 
 val ops : t -> Store.t
 (** The uniform interface used by everything above the storage layer. *)

@@ -6,6 +6,8 @@ type t = {
   records : bytes Rid.Tbl.t;
   mutable sorted_rids : Rid.t list option;  (* cache for scans; None = dirty *)
   undo : (int, Wal.op list) Hashtbl.t;
+  rid_base : int;  (* shard residue: fresh rids ≡ rid_base (mod rid_stride) *)
+  rid_stride : int;
   mutable next_rid : int;
   mutable crashed : bool;
   mutable inserts : int;
@@ -31,7 +33,7 @@ let log_op t (txn : Txn.t) op =
 let insert_impl t (txn : Txn.t) payload =
   check_usable t;
   let rid = Rid.of_int t.next_rid in
-  t.next_rid <- t.next_rid + 1;
+  t.next_rid <- t.next_rid + t.rid_stride;
   Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
   Rid.Tbl.replace t.records rid payload;
   t.sorted_rids <- None;
@@ -140,8 +142,11 @@ let counters_impl t () =
   ]
   @ Commit_pipeline.counters t.pipeline
 
-let create ?flush_spin ?durability ~mgr ~name () =
-  let wal = Wal.create ?flush_spin () in
+let create ?flush_spin ?flush_sleep ?durability ?(rid_base = 0) ?(rid_stride = 1) ~mgr ~name
+    () =
+  if rid_stride < 1 || rid_base < 0 || rid_base >= rid_stride then
+    fail "store %s: rid_base %d must lie in [0, rid_stride=%d)" name rid_base rid_stride;
+  let wal = Wal.create ?flush_spin ?flush_sleep () in
   let t =
     {
       name;
@@ -151,7 +156,9 @@ let create ?flush_spin ?durability ~mgr ~name () =
       records = Rid.Tbl.create 256;
       sorted_rids = None;
       undo = Hashtbl.create 8;
-      next_rid = 0;
+      rid_base;
+      rid_stride;
+      next_rid = rid_base;
       crashed = false;
       inserts = 0;
       reads = 0;
@@ -178,12 +185,19 @@ let ops t =
     pipeline = t.pipeline;
   }
 
+(* Smallest candidate rid > [rid] in the store's residue class, so fresh
+   rids after recovery keep the shard partitioning invariant. *)
+let align_after t rid =
+  let n = Rid.to_int rid + 1 in
+  if n <= t.rid_base then t.rid_base
+  else t.rid_base + ((n - t.rid_base + t.rid_stride - 1) / t.rid_stride) * t.rid_stride
+
 let load_bulk t entries =
   if Rid.Tbl.length t.records > 0 then fail "load_bulk into non-empty store %s" t.name;
   List.iter
     (fun (rid, payload) ->
       Rid.Tbl.replace t.records rid payload;
-      t.next_rid <- max t.next_rid (Rid.to_int rid + 1))
+      t.next_rid <- max t.next_rid (align_after t rid))
     entries;
   t.sorted_rids <- None
 

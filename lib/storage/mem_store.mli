@@ -10,10 +10,23 @@
 type t
 
 val create :
-  ?flush_spin:int -> ?durability:Commit_pipeline.mode -> mgr:Txn.mgr -> name:string -> unit -> t
-(** [flush_spin] simulates log-force latency (see {!Wal.create});
-    [durability] selects the commit pipeline's mode
-    ({!Commit_pipeline.mode}, default [Immediate]). *)
+  ?flush_spin:int ->
+  ?flush_sleep:int ->
+  ?durability:Commit_pipeline.mode ->
+  ?rid_base:int ->
+  ?rid_stride:int ->
+  mgr:Txn.mgr ->
+  name:string ->
+  unit ->
+  t
+(** [flush_spin] simulates log-force latency and [flush_sleep] its
+    blocking variant (see {!Wal.create}); [durability] selects the commit
+    pipeline's mode ({!Commit_pipeline.mode}, default [Immediate]).
+    [rid_base]/[rid_stride] (defaults 0/1) restrict freshly minted rids to
+    the residue class [rid_base (mod rid_stride)] — how {!Ode_parallel}
+    gives shard [i] of [K] ownership of every oid ≡ i (mod K) without
+    coordination. Raises [Store_error] unless
+    [0 <= rid_base < rid_stride]. *)
 
 val ops : t -> Store.t
 

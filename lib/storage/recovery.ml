@@ -42,20 +42,23 @@ let committed_state records =
   let entries = Rid.Tbl.fold (fun rid payload acc -> (rid, payload) :: acc) state [] in
   List.sort (fun (a, _) (b, _) -> Rid.compare a b) entries
 
-let recover_disk ?page_size ?pool_capacity ?io_spin ?flush_spin ?durability ?faults ~mgr ~name
-    ~wal_bytes () =
+let recover_disk ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep ?durability
+    ?faults ?rid_base ?rid_stride ~mgr ~name ~wal_bytes () =
   let state = committed_state (Wal.decode_records wal_bytes) in
   let store =
-    Disk_store.create ?page_size ?pool_capacity ?io_spin ?flush_spin ?durability ?faults ~mgr
-      ~name ()
+    Disk_store.create ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep ?durability
+      ?faults ?rid_base ?rid_stride ~mgr ~name ()
   in
   Disk_store.load_bulk store state;
   (Disk_store.ops store).Store.checkpoint ();
   store
 
-let recover_mem ?flush_spin ?durability ~mgr ~name ~wal_bytes () =
+let recover_mem ?flush_spin ?flush_sleep ?durability ?rid_base ?rid_stride ~mgr ~name
+    ~wal_bytes () =
   let state = committed_state (Wal.decode_records wal_bytes) in
-  let store = Mem_store.create ?flush_spin ?durability ~mgr ~name () in
+  let store =
+    Mem_store.create ?flush_spin ?flush_sleep ?durability ?rid_base ?rid_stride ~mgr ~name ()
+  in
   Mem_store.load_bulk store state;
   (Mem_store.ops store).Store.checkpoint ();
   store

@@ -24,8 +24,11 @@ val recover_disk :
   ?pool_capacity:int ->
   ?io_spin:int ->
   ?flush_spin:int ->
+  ?flush_sleep:int ->
   ?durability:Commit_pipeline.mode ->
   ?faults:Faults.t ->
+  ?rid_base:int ->
+  ?rid_stride:int ->
   mgr:Txn.mgr ->
   name:string ->
   wal_bytes:bytes ->
@@ -34,11 +37,17 @@ val recover_disk :
 (** Build a fresh disk store holding exactly the committed state of the
     given durable log bytes. The new store's own WAL begins with a
     checkpoint of the recovered state. [durability] configures the
-    recovered store's commit pipeline (default [Immediate]). *)
+    recovered store's commit pipeline (default [Immediate]);
+    [rid_base]/[rid_stride] must repeat the crashed store's shard
+    partitioning so post-recovery allocations stay in its residue class
+    (see {!Disk_store.create}). *)
 
 val recover_mem :
   ?flush_spin:int ->
+  ?flush_sleep:int ->
   ?durability:Commit_pipeline.mode ->
+  ?rid_base:int ->
+  ?rid_stride:int ->
   mgr:Txn.mgr ->
   name:string ->
   wal_bytes:bytes ->

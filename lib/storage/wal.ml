@@ -17,6 +17,7 @@ type t = {
   durable : Buffer.t;
   faults : Faults.t;
   flush_spin : int;
+  flush_sleep : int;  (* blocking fsync latency in ns; 0 = none *)
   mutable tail : record list;  (* reversed *)
   mutable flushes : int;
   (* Decoded-durable-prefix cache: Crashlab probes call [durable_records]
@@ -28,12 +29,13 @@ type t = {
   mutable bytes_cache : bytes option;  (* copy of the durable buffer, while current *)
 }
 
-let create ?faults ?(flush_spin = 0) () =
+let create ?faults ?(flush_spin = 0) ?(flush_sleep = 0) () =
   let faults = match faults with Some f -> f | None -> Faults.create () in
   {
     durable = Buffer.create 4096;
     faults;
     flush_spin;
+    flush_sleep;
     tail = [];
     flushes = 0;
     decoded_rev = [];
@@ -134,7 +136,11 @@ let spin t =
   for i = 1 to t.flush_spin do
     acc := !acc + i
   done;
-  ignore (Sys.opaque_identity !acc)
+  ignore (Sys.opaque_identity !acc);
+  (* Unlike the CPU spin, a sleeping log force releases the processor —
+     concurrent shards ([Ode_parallel]) overlap their forces exactly as
+     independent WAL devices would, even on a single core. *)
+  if t.flush_sleep > 0 then Unix.sleepf (float_of_int t.flush_sleep *. 1e-9)
 
 let flush t =
   let pending = List.rev t.tail in

@@ -33,7 +33,7 @@ type record =
 
 type t
 
-val create : ?faults:Faults.t -> ?flush_spin:int -> unit -> t
+val create : ?faults:Faults.t -> ?flush_spin:int -> ?flush_sleep:int -> unit -> t
 (** [faults] is the fault-injection plane consulted on every non-empty
     {!flush} (default: a fresh inert plane). A [Fail] there models a
     failed fsync (the tail stays buffered); a [Torn] appends only a byte
@@ -41,7 +41,10 @@ val create : ?faults:Faults.t -> ?flush_spin:int -> unit -> t
     [flush_spin] simulates log-force latency: each successful non-empty
     flush busy-loops that many iterations (default 0), the WAL's analogue
     of {!Pager.create}'s [io_spin] — how the benchmarks give fsync a
-    realistic cost. *)
+    realistic cost. [flush_sleep] (nanoseconds, default 0) is the
+    {e blocking} variant: the flush sleeps instead of spinning, releasing
+    the processor, so concurrent shards ({!Ode_parallel}) overlap their
+    log forces like independent WAL devices even on one core. *)
 
 val append : t -> record -> unit
 (** Buffer a record; it is not durable until {!flush}. *)

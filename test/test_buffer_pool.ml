@@ -69,6 +69,65 @@ let flush_all_keeps_frames () =
   Buffer_pool.with_page pool ids.(0) ~dirty:false (fun _ -> ());
   Alcotest.(check int) "frame still cached" (before + 1) (Buffer_pool.stats pool).Buffer_pool.hits
 
+(* The intrusive-list rewrite must evict in exact LRU order: victim =
+   least recently touched, with every touch (hit or fault) refreshing
+   recency. Asserted through hit/miss observations so the test pins the
+   policy, not the representation. *)
+let eviction_order () =
+  let _pager, pool, ids = setup ~capacity:2 ~pages:3 in
+  let access i = Buffer_pool.with_page pool ids.(i) ~dirty:false (fun _ -> ()) in
+  let expect_hit msg i =
+    let before = (Buffer_pool.stats pool).Buffer_pool.hits in
+    access i;
+    Alcotest.(check int) msg (before + 1) (Buffer_pool.stats pool).Buffer_pool.hits
+  in
+  let expect_miss msg i =
+    let before = (Buffer_pool.stats pool).Buffer_pool.misses in
+    access i;
+    Alcotest.(check int) msg (before + 1) (Buffer_pool.stats pool).Buffer_pool.misses
+  in
+  access 0;
+  access 1;
+  (* recency: [1; 0] *)
+  expect_hit "touch refreshes 0" 0;
+  (* recency: [0; 1] — faulting 2 must evict 1, not 0 *)
+  expect_miss "fault 2" 2;
+  expect_hit "0 survived (1 was the victim)" 0;
+  (* recency: [0; 2] — faulting 1 must evict 2 *)
+  expect_miss "re-fault 1" 1;
+  expect_miss "2 was the victim" 2;
+  Alcotest.(check int) "eviction count" 3 (Buffer_pool.stats pool).Buffer_pool.evictions
+
+(* Differential against a naive list-model LRU over a seeded access
+   pattern: same hits, same misses, same victims at every step. *)
+let eviction_order_model () =
+  let capacity = 4 and pages = 9 and steps = 600 in
+  let _pager, pool, ids = setup ~capacity ~pages in
+  let prng = Random.State.make [| 0x1B0F |] in
+  let model = ref [] in  (* resident ids, MRU first *)
+  for step = 1 to steps do
+    let i = Random.State.int prng pages in
+    let model_hit = List.mem i !model in
+    (* Model: move to front; on a miss at capacity, drop the last. *)
+    let without = List.filter (fun j -> j <> i) !model in
+    model := i :: (if model_hit then without
+                   else if List.length without >= capacity then
+                     List.filteri (fun k _ -> k < capacity - 1) without
+                   else without);
+    let before = Buffer_pool.stats pool in
+    let hits0 = before.Buffer_pool.hits and misses0 = before.Buffer_pool.misses in
+    Buffer_pool.with_page pool ids.(i) ~dirty:false (fun _ -> ());
+    let after = Buffer_pool.stats pool in
+    if model_hit then
+      Alcotest.(check int)
+        (Printf.sprintf "step %d: model hit on %d" step i)
+        (hits0 + 1) after.Buffer_pool.hits
+    else
+      Alcotest.(check int)
+        (Printf.sprintf "step %d: model miss on %d" step i)
+        (misses0 + 1) after.Buffer_pool.misses
+  done
+
 let zero_capacity_rejected () =
   let pager = Pager.create ~page_size:256 () in
   match Buffer_pool.create pager ~capacity:0 with
@@ -80,6 +139,8 @@ let suite =
     Alcotest.test_case "hits and misses" `Quick hits_and_misses;
     Alcotest.test_case "LRU eviction writes back" `Quick lru_eviction_writes_back;
     Alcotest.test_case "LRU prefers cold pages" `Quick lru_prefers_cold_pages;
+    Alcotest.test_case "eviction order is exact LRU" `Quick eviction_order;
+    Alcotest.test_case "eviction differential vs list model" `Quick eviction_order_model;
     Alcotest.test_case "drop_all discards dirty frames" `Quick drop_all_discards;
     Alcotest.test_case "flush_all keeps frames" `Quick flush_all_keeps_frames;
     Alcotest.test_case "zero capacity rejected" `Quick zero_capacity_rejected;
