@@ -1,0 +1,188 @@
+(* P4 — WAL-shipping replication: quorum commit cost.
+
+   Measures committed-transaction throughput and per-transaction ack
+   latency percentiles on the credit-card macro across durability modes:
+
+     immediate   flush per commit, no fleet (reference point)
+     group:16    batched local flushes, no fleet
+     quorum:N    batched flushes shipped to a 3-replica in-process fleet;
+                 the durability ack releases only once the batch is
+                 persisted on N replicas (commit-order release through
+                 Commit_pipeline.note_quorum_offset)
+
+   The log force carries the same simulated device latency as P2
+   (flush_spin); shipping and replica replay run in-process, so the
+   numbers isolate the protocol cost of quorum gating (parking, offset
+   bookkeeping, replica replay work) rather than network latency.
+
+   Acceptance (ISSUE 6): quorum:2 sustains >= 0.5x the commit throughput
+   of group:16, with ack p50/p95/p99 recorded for every mode in
+   BENCH_P4.json. *)
+
+module Session = Ode.Session
+module Credit_card = Ode.Credit_card
+module Commit_pipeline = Ode_storage.Commit_pipeline
+module Replication = Ode_replication.Replication
+module Table = Ode_util.Table
+
+let mode_of name =
+  match Commit_pipeline.mode_of_string name with
+  | Ok mode -> mode
+  | Error msg -> invalid_arg ("exp_p4: " ^ msg)
+
+let counter counters name = try List.assoc name counters with Not_found -> 0
+
+let total_flushes counters =
+  counter counters "objects.wal_flushes" + counter counters "triggers.wal_flushes"
+
+type row = {
+  r_mode : string;
+  r_replicas : int;
+  r_txns : int;
+  r_ns_per_txn : float;
+  r_flushes : int;
+  r_ship_batches : int;
+  r_ship_bytes : int;
+  r_quorum_waits : int;
+  r_p50 : float;  (* per-transaction ack latency percentiles, ns *)
+  r_p95 : float;
+  r_p99 : float;
+}
+
+(* The credit-card macro of P2, optionally under a replication fleet:
+   [txns] single-operation transactions against one card, then a final
+   [sync] (which under quorum also releases the last parked acks) so
+   deferred work is charged to the run. *)
+let run_credcard ~flush_spin ~txns ~replicas mode_name =
+  let env =
+    Session.create ~store:`Disk ~flush_spin ~durability:(mode_of mode_name) ()
+  in
+  Credit_card.define_all env;
+  let card, merchant =
+    Session.with_txn env (fun txn ->
+        let customer = Credit_card.new_customer env txn ~name:"p4" in
+        let merchant = Credit_card.new_merchant env txn ~name:"store" in
+        let card = Credit_card.new_card env txn ~customer ~limit:1_000_000.0 () in
+        ignore (Session.activate env txn card ~trigger:"DenyCredit" ~args:[]);
+        (card, merchant))
+  in
+  Session.sync env;
+  let mgr = if replicas > 0 then Some (Replication.attach ~replicas env) else None in
+  let before = total_flushes (Session.counters env) in
+  let lats = ref [] in
+  let (), ns =
+    Bench_common.wall (fun () ->
+        lats :=
+          Bench_common.timed_iters txns (fun i ->
+              Session.with_txn env (fun txn ->
+                  if i mod 8 = 0 then Credit_card.pay_bill env txn card ~amount:70.0
+                  else Credit_card.buy env txn card ~merchant ~amount:10.0));
+        Session.sync env)
+  in
+  let p50, p95, p99 = Bench_common.percentiles !lats in
+  let counters = Session.counters env in
+  let ship name = match mgr with None -> 0 | Some m -> counter (Replication.counters m) name in
+  {
+    r_mode = mode_name;
+    r_replicas = replicas;
+    r_txns = txns;
+    r_ns_per_txn = ns /. float_of_int txns;
+    r_flushes = total_flushes counters - before;
+    r_ship_batches = ship "ship_batches";
+    r_ship_bytes = ship "ship_bytes";
+    r_quorum_waits = ship "quorum_waits";
+    r_p50 = p50;
+    r_p95 = p95;
+    r_p99 = p99;
+  }
+
+let record row =
+  Bench_common.record ~experiment:"p4"
+    ~name:(Printf.sprintf "credcard %s" row.r_mode)
+    ~params:
+      [
+        ("mode", Bench_common.S row.r_mode);
+        ("replicas", Bench_common.I row.r_replicas);
+        ("txns", Bench_common.I row.r_txns);
+        ("wal_flushes", Bench_common.I row.r_flushes);
+        ("ship_batches", Bench_common.I row.r_ship_batches);
+        ("ship_bytes", Bench_common.I row.r_ship_bytes);
+        ("quorum_waits", Bench_common.I row.r_quorum_waits);
+      ]
+    ~ns:row.r_ns_per_txn ~p50:row.r_p50 ~p95:row.r_p95 ~p99:row.r_p99 ()
+
+let print_rows rows =
+  let base =
+    match List.find_opt (fun r -> r.r_mode = "group:16") rows with
+    | Some r -> r
+    | None -> List.hd rows
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("mode", Table.Left);
+          ("replicas", Table.Right);
+          ("ns/txn", Table.Right);
+          ("vs group:16", Table.Right);
+          ("wal flushes", Table.Right);
+          ("ship batches", Table.Right);
+          ("ship KiB", Table.Right);
+          ("quorum waits", Table.Right);
+          ("ack p50 ns", Table.Right);
+          ("ack p95 ns", Table.Right);
+          ("ack p99 ns", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.r_mode;
+          string_of_int r.r_replicas;
+          Bench_common.ns_cell r.r_ns_per_txn;
+          Bench_common.ratio_cell r.r_ns_per_txn base.r_ns_per_txn;
+          string_of_int r.r_flushes;
+          string_of_int r.r_ship_batches;
+          Printf.sprintf "%.1f" (float_of_int r.r_ship_bytes /. 1024.0);
+          string_of_int r.r_quorum_waits;
+          Bench_common.ns_cell r.r_p50;
+          Bench_common.ns_cell r.r_p95;
+          Bench_common.ns_cell r.r_p99;
+        ])
+    rows;
+  Table.print table
+
+let run () =
+  Bench_common.section "P4" "WAL-shipping replication: quorum commit cost";
+  let smoke = !Bench_common.smoke in
+  let flush_spin = if smoke then 5_000 else 50_000 in
+  let txns = if smoke then 64 else 512 in
+  let fleet = 3 in
+  let configs =
+    [
+      ("immediate", 0);
+      ("group:16", 0);
+      ("quorum:1", fleet);
+      ("quorum:2", fleet);
+      ("quorum:3", fleet);
+    ]
+  in
+  Bench_common.note
+    "\nCredit-card macro (disk store, %d single-op txns, flush_spin=%d, %d-replica fleet for quorum):\n"
+    txns flush_spin fleet;
+  let rows =
+    List.map (fun (mode, replicas) -> run_credcard ~flush_spin ~txns ~replicas mode) configs
+  in
+  List.iter record rows;
+  print_rows rows;
+  let find mode = List.find_opt (fun r -> r.r_mode = mode) rows in
+  match (find "group:16", find "quorum:2") with
+  | Some grp, Some q2 ->
+      let throughput_ratio = grp.r_ns_per_txn /. q2.r_ns_per_txn in
+      Bench_common.note
+        "\nquorum:2 vs group:16: %.2fx throughput (acceptance: >= 0.5x), ack p99 %.0f ns\n"
+        throughput_ratio q2.r_p99;
+      Bench_common.summarize "p4_throughput_ratio_quorum2" (Bench_common.F throughput_ratio);
+      Bench_common.summarize "p4_ack_p99_quorum2" (Bench_common.F q2.r_p99)
+  | _ -> Bench_common.note "\nacceptance rows missing (mode list changed?)\n"

@@ -31,6 +31,7 @@ let experiments =
     ("p1", Exp_p1.run);
     ("p2", Exp_p2.run);
     ("p3", Exp_p3.run);
+    ("p4", Exp_p4.run);
   ]
 
 let () =

@@ -24,6 +24,7 @@ module Session = Ode.Session
 module Credit_card = Ode.Credit_card
 module Value = Ode_objstore.Value
 module Sharded = Ode_parallel.Sharded
+module Replication = Ode_replication.Replication
 
 let split_commas s =
   String.split_on_char ',' s |> List.map String.trim |> List.filter (fun s -> s <> "")
@@ -503,7 +504,7 @@ let stats_cmd =
     Sharded.shutdown fleet;
     if fs.Sharded.fs_failed > 0 then die "%d task(s) failed" fs.Sharded.fs_failed else 0
   in
-  let run store engine durability rounds shards smode_text per_shard =
+  let run store engine durability rounds shards smode_text per_shard replication =
     let kind = match store with "disk" -> `Disk | _ -> `Mem in
     match
       match engine with
@@ -519,9 +520,18 @@ let stats_cmd =
     match Sharded.mode_of_string smode_text with
     | Error msg -> usage_die "bad --mode: %s" msg
     | Ok _ when shards < 0 -> usage_die "--shards must be >= 0 (0 = unsharded)"
+    | Ok _ when shards > 0 && replication > 0 ->
+        die "--replication is unsharded-only (drop --shards)"
     | Ok smode when shards > 0 ->
         run_sharded ~store ~engine ~kind ~engine_cfg ~mode ~rounds ~shards ~smode ~per_shard
     | Ok _ ->
+    (* --replication with the default immediate durability upgrades to
+       the quorum pipeline so the demo actually gates acks on the fleet. *)
+    let mode =
+      if replication > 0 && mode = Ode_storage.Commit_pipeline.Immediate then
+        Ode_storage.Commit_pipeline.Quorum { n = 2; max_batch = 16; max_delay_ticks = 64 }
+      else mode
+    in
     let env = Session.create ~store:kind ~engine:engine_cfg ~durability:mode () in
     Credit_card.define_all env;
     let card, merchant =
@@ -534,6 +544,11 @@ let stats_cmd =
             (Session.activate env txn card ~trigger:"AutoRaiseLimit" ~args:[ Value.Float 500.0 ]);
           (card, merchant))
     in
+    Session.sync env;
+    let mgr =
+      if replication > 0 then Some (Replication.attach ~replicas:replication env)
+      else None
+    in
     Session.reset_counters env;
     for _ = 1 to rounds do
       Session.with_txn env (fun txn ->
@@ -545,6 +560,14 @@ let stats_cmd =
     Session.sync env;
     print_rt ~engine ~rounds ~store (Session.counters env);
     print_durability ~mode (Session.counters env);
+    (match mgr with
+    | None -> ()
+    | Some m ->
+        Printf.printf "replication counters (%d replicas, %s pipeline)\n" replication
+          (Ode_storage.Commit_pipeline.mode_to_string mode);
+        List.iter
+          (fun (k, v) -> Printf.printf "  %-24s %d\n" k v)
+          (Replication.counters m));
     0
     end
     end
@@ -560,8 +583,10 @@ let stats_cmd =
   let durability =
     Arg.(value & opt string "immediate" & info [ "durability" ] ~docv:"MODE"
            ~doc:"Commit pipeline mode: 'immediate' (flush per commit), 'group[:BATCH[:DELAY]]' \
-                 (batched log forces, deterministic tick deadline), or 'async[:LAG]' \
-                 (ack before flush, bounded unflushed window).")
+                 (batched log forces, deterministic tick deadline), 'async[:LAG]' \
+                 (ack before flush, bounded unflushed window), or \
+                 'quorum[:N[:BATCH[:DELAY]]]' (batched forces whose acks also wait for N \
+                 replicas — pair with --replication).")
   in
   let rounds =
     Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"N"
@@ -581,10 +606,19 @@ let stats_cmd =
     Arg.(value & flag & info [ "per-shard" ]
            ~doc:"With --shards, also print each shard's routed/forward/round/mailbox counters.")
   in
+  let replication =
+    Arg.(value & opt ~vopt:3 int 0 & info [ "replication" ] ~docv:"N"
+           ~doc:"Attach N in-process WAL-shipping replicas (bare flag: 3) and print the \
+                 replication counters (ship batches/bytes, per-replica durable offsets, \
+                 quorum waits). With the default immediate durability the pipeline is \
+                 upgraded to 'quorum:2:16:64' so acks actually gate on the fleet; pass \
+                 --durability quorum:N:... to control the quorum explicitly. Unsharded only.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a posting workload and print the trigger runtime's per-layer counters")
-    Term.(const run $ store $ engine $ durability $ rounds $ shards $ smode $ per_shard)
+    Term.(const run $ store $ engine $ durability $ rounds $ shards $ smode $ per_shard
+          $ replication)
 
 let () =
   let doc = "Ode active-database reproduction tools" in

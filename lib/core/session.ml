@@ -105,6 +105,7 @@ type trigger_spec = {
 
 let store_kind t = t.kind
 let faults t = t.faults
+let stores t = (t.obj_store, t.trig_store)
 let runtime t = t.rt
 let database t = t.db
 let mgr t = t.mgr
@@ -881,6 +882,12 @@ let crash t =
       Mem_store.crash triggers);
   { ci_kind = t.kind; ci_obj_wal; ci_trig_wal }
 
+type recovery_report = { rr_obj_tail : int; rr_trig_tail : int }
+
+let report_of_image image =
+  let tail wal_bytes = Recovery.truncated_tail (Wal.decode_records wal_bytes) in
+  { rr_obj_tail = tail image.ci_obj_wal; rr_trig_tail = tail image.ci_trig_wal }
+
 let recover ?flush_spin ?flush_sleep ?durability ?faults ?shard ?intern ?engine image =
   let mgr = Txn.create_mgr () in
   let faults = match faults with Some f -> f | None -> Faults.create () in
@@ -921,7 +928,14 @@ let recover ?flush_spin ?flush_sleep ?durability ?faults ?shard ?intern ?engine 
   Txn.commit txn;
   t
 
+let recover_with_report ?flush_spin ?flush_sleep ?durability ?faults ?shard ?intern ?engine
+    image =
+  let t = recover ?flush_spin ?flush_sleep ?durability ?faults ?shard ?intern ?engine image in
+  (t, report_of_image image)
+
 let image_wals image = (image.ci_obj_wal, image.ci_trig_wal)
+
+let image_of_wals ~kind ~obj ~trig = { ci_kind = kind; ci_obj_wal = obj; ci_trig_wal = trig }
 
 let drain_phoenix t = Runtime.drain_phoenix t.rt
 

@@ -354,16 +354,49 @@ val recover :
     — FSMs are recompiled each run, per §5.1.3. [faults] arms a fault
     plane on the recovered environment (default: inert). *)
 
+type recovery_report = { rr_obj_tail : int; rr_trig_tail : int }
+(** What {!recover} dropped, per store: the count of WAL records after
+    the last complete commit boundary ({!Ode_storage.Recovery.truncated_tail})
+    — in-flight work redo skipped rather than silently swallowed. *)
+
+val report_of_image : crash_image -> recovery_report
+(** The truncated tails an image would recover with, without recovering. *)
+
+val recover_with_report :
+  ?flush_spin:int ->
+  ?flush_sleep:int ->
+  ?durability:Ode_storage.Commit_pipeline.mode ->
+  ?faults:Ode_storage.Faults.t ->
+  ?shard:int * int ->
+  ?intern:Ode_event.Intern.t ->
+  ?engine:Ode_trigger.Runtime.config ->
+  crash_image ->
+  t * recovery_report
+(** {!recover}, also reporting the truncated tail of each store's WAL —
+    how {!Ode_replication} asserts a promoted replica's exact truncation
+    point. *)
+
 val image_wals : crash_image -> bytes * bytes
 (** The [(objects, triggers)] durable WAL prefixes captured by the crash —
     what the fault-injection harness feeds to record-level recovery
     oracles. *)
+
+val image_of_wals : kind:store_kind -> obj:bytes -> trig:bytes -> crash_image
+(** Assemble a crash image from raw durable WAL prefixes — how a replica's
+    shipped log becomes a recoverable image at promotion
+    ({!Ode_replication}). Inverse of {!image_wals}. *)
 
 val drain_phoenix : t -> unit
 (** Re-run any phoenix actions that survived a crash; call after classes
     are re-defined. *)
 
 (* -------------------- introspection -------------------- *)
+
+val stores : t -> Ode_storage.Store.t * Ode_storage.Store.t
+(** The [(objects, triggers)] store handles — each carries its WAL and
+    commit pipeline. How {!Ode_replication} taps the durable log for
+    shipping and installs the quorum shipper; application code should not
+    bypass the session API through these. *)
 
 val runtime : t -> Ode_trigger.Runtime.t
 val database : t -> Ode_objstore.Database.t

@@ -455,6 +455,11 @@ let recover ?flush_spin ?flush_sleep ?durability ?engine ?(mailbox_capacity = 25
   in
   assemble_fleet ~mode ~mailbox_capacity (seeded_schema ~k ~schema ~make)
 
+let recover_with_reports ?flush_spin ?flush_sleep ?durability ?engine ?mailbox_capacity
+    ~mode ~schema img =
+  let t = recover ?flush_spin ?flush_sleep ?durability ?engine ?mailbox_capacity ~mode ~schema img in
+  (t, Array.map Session.report_of_image img.fl_images)
+
 (* ---------------- statistics ---------------- *)
 
 type shard_stats = {

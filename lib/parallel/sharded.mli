@@ -139,6 +139,20 @@ val recover :
     schema is replayed per shard (same intern handshake as {!create}),
     and fresh worker domains are spawned. *)
 
+val recover_with_reports :
+  ?flush_spin:int ->
+  ?flush_sleep:int ->
+  ?durability:Ode_storage.Commit_pipeline.mode ->
+  ?engine:Ode_trigger.Runtime.config ->
+  ?mailbox_capacity:int ->
+  mode:mode ->
+  schema:(shard:int -> Session.t -> unit) ->
+  fleet_image ->
+  t * Session.recovery_report array
+(** {!recover}, also reporting each shard's truncated WAL tails
+    ({!Session.recovery_report}) — the per-shard count of records after
+    the last complete commit boundary, no longer silently swallowed. *)
+
 (* ---------------- statistics ---------------- *)
 
 type shard_stats = {

@@ -1,0 +1,172 @@
+(** WAL-shipping replication with quorum commit and failover.
+
+    A primary {!Ode.Session} ships every new durable byte range of its
+    two WALs (objects, triggers) to N replicas at every commit-pipeline
+    flush, through {!Commit_pipeline.attach_shipper}. Each replica keeps
+    a persisted copy of both streams ({!Replay}) and replays them
+    continuously into warm standby state — per-transaction op buffering,
+    applied at commit markers, undone through before-images when a later
+    [Abort] cancels a [Commit] (last-marker-wins), reset at checkpoints.
+
+    When the primary runs in {!Commit_pipeline.Quorum}[ {n; _}] mode the
+    manager feeds each store's n-th-highest replica offset back into the
+    pipeline ({!Commit_pipeline.note_quorum_offset}); durability acks
+    release in commit order once the covering prefix is persisted on [n]
+    replicas, never earlier.
+
+    Failover ({!promote}) rebuilds a full session from a replica's log
+    copies: recovery truncates to the last complete commit boundary
+    (shipping is flush-aligned, so the truncated tail is 0 in this
+    transport), the schema is re-run per the paper's §5.1.3
+    recompile-on-recovery rule, and the session resumes as primary.
+    Trigger firings are at-most-once across failover: a committed
+    firing's durable effect survives promotion exactly once, and a
+    rolled-back firing never reappears. *)
+
+module Wal := Ode_storage.Wal
+module Rid := Ode_storage.Rid
+module Commit_pipeline := Ode_storage.Commit_pipeline
+module Session := Ode.Session
+
+exception Primary_down of { ship_point : int }
+(** Raised at an armed ship point ({!arm_ship_crash}) and by any ship
+    attempt after the manager has been declared dead — the in-process
+    stand-in for the primary's host dying mid-send. *)
+
+type stream = [ `Objects | `Triggers ]
+
+val stream_to_string : stream -> string
+
+type chunk = { ck_stream : stream; ck_base : int; ck_bytes : bytes }
+(** One shipped log range: [ck_bytes] is the primary WAL's byte range
+    starting at absolute offset [ck_base]. Chunks are flush-aligned
+    (whole records) in this transport, but {!Replay.feed} tolerates
+    arbitrary re-chunking and overlap, so a socket transport can split
+    them freely. *)
+
+(** A replica's standby copy of one WAL stream. *)
+module Replay : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> base:int -> bytes -> unit
+  (** Persist and replay a shipped range. Idempotent: a chunk that lies
+      entirely within the already-persisted prefix is a counted no-op
+      ({!redundant}); an overlapping chunk contributes only its fresh
+      suffix. Raises [Invalid_argument] on a gap ([base] beyond the
+      persisted length) — the transport must retransmit in order. *)
+
+  val size : t -> int
+  (** Persisted bytes — the replica's durable offset for this stream. *)
+
+  val batches : t -> int
+  (** Chunks that contributed fresh bytes. *)
+
+  val redundant : t -> int
+  (** Chunks skipped as already-persisted duplicates. *)
+
+  val log_bytes : t -> bytes
+  (** The persisted log copy (what failover recovers from). *)
+
+  val records : t -> Wal.record list
+  (** All decoded records, oldest first. *)
+
+  val state : t -> (Rid.t * bytes) list
+  (** The warm standby record map, sorted by rid — must always equal
+      [Recovery.committed_state] of the decoded log. *)
+end
+
+(** One in-process primary->replica connection with link-failure
+    simulation: while paused, chunks queue in order and deliver on
+    resume. *)
+module Link : sig
+  type t
+
+  val create : ?up:bool -> (chunk -> unit) -> t
+  val is_up : t -> bool
+  val send : t -> chunk -> unit
+  val pause : t -> unit
+  val resume : t -> unit
+end
+
+type t
+(** A replication manager: one primary, N replicas, shipping hooks
+    installed on both store pipelines. *)
+
+type replica
+
+val attach : ?replicas:int -> ?failover_count:int -> Session.t -> t
+(** Install shipping on [primary]'s two commit pipelines and create
+    [replicas] (default 2) empty replicas. Ships the already-durable WAL
+    prefix immediately, so a freshly recovered primary's checkpoint
+    reaches the fleet before the first commit. If the primary's
+    durability mode is [Quorum {n; _}], quorum feedback is armed with
+    that [n]; other modes ship without gating acks.
+    [failover_count] seeds the counter when re-attaching after a
+    promotion. *)
+
+val detach : t -> unit
+(** Remove the shipping hooks. Parked quorum acks (if any) stay parked:
+    with the fleet gone they are simply not durable on [n] sites. *)
+
+val primary : t -> Session.t
+val n_replicas : t -> int
+val quorum_n : t -> int
+
+val ship_points : t -> int
+(** Ship events so far (one per non-empty per-replica per-stream send
+    attempt) — the crash sweep's point space. *)
+
+val arm_ship_crash : t -> int -> unit
+(** Die at the [k]-th ship point counted from now: the send does not
+    happen, the manager is dead to the fleet, and {!Primary_down}
+    propagates out of the flushing commit. *)
+
+val replica_replay : t -> int -> stream -> Replay.t
+val replica_offsets : t -> int -> int * int
+(** Replica [i]'s persisted [(objects, triggers)] byte offsets. *)
+
+val pause : t -> int -> unit
+(** Pause replica [i]'s link: subsequent chunks queue (a lagging
+    replica). Quorum progress excludes its future offsets. *)
+
+val resume : t -> int -> unit
+(** Deliver replica [i]'s backlog in order and republish quorum
+    progress — parked acks whose prefix became [n]-durable release now,
+    still in commit order. *)
+
+val link_up : t -> int -> bool
+
+val furthest_ahead : t -> int
+(** The replica with the most persisted bytes (objects + triggers),
+    lowest id on ties — the failover candidate that loses nothing any
+    quorum ever acked. *)
+
+type promotion = {
+  pm_session : Session.t;
+  pm_replica : int;
+  pm_report : Session.recovery_report;
+      (** truncated tails at promotion — 0 on both streams under
+          flush-aligned shipping *)
+}
+
+val promote :
+  ?durability:Commit_pipeline.mode ->
+  ?engine:Ode_trigger.Runtime.config ->
+  schema:(Session.t -> unit) ->
+  t ->
+  int ->
+  promotion
+(** Promote replica [i]: recover a session from its persisted log copies
+    (truncating to the last complete commit boundary), run [schema] on it
+    (§5.1.3), and mark the old primary dead. [durability] defaults to the
+    old primary's mode; attach a new manager to the returned session to
+    rebuild the fleet (seed it with [~failover_count]). *)
+
+val counters : t -> (string * int) list
+(** [ship_batches], [ship_bytes], [ship_points], [redundant_feeds],
+    [failover_count], [replica_acked_offset] (fleet floor of persisted
+    offsets), the primary pipelines' [quorum_waits] / [quorum_commits] /
+    [quorum_pending] sums, and per-replica
+    [replicaI.objects_offset] / [replicaI.triggers_offset]. *)

@@ -2,6 +2,7 @@ type mode =
   | Immediate
   | Group of { max_batch : int; max_delay_ticks : int }
   | Async of { max_lag : int }
+  | Quorum of { n : int; max_batch : int; max_delay_ticks : int }
 
 type t = {
   wal : Wal.t;
@@ -9,11 +10,20 @@ type t = {
   mutable tick : int;  (* logical clock: one tick per pipeline operation *)
   mutable queued : (Txn.t * int) list;  (* newest first; no commit marker yet *)
   mutable awaiting : (Txn.t * int) list;  (* marker in the WAL tail, flush pending *)
+  (* Locally durable but awaiting remote durability, oldest first:
+     (txn, enqueue tick, WAL byte offset that must be durable on [n]
+     replicas before the ack may release). Offsets are monotone, so
+     releasing a prefix releases in commit order. *)
+  mutable quorum_pending : (Txn.t * int * int) list;
+  mutable quorum_offset : int;  (* highest offset durable on >= n replicas *)
+  mutable post_flush : (unit -> unit) option;  (* replication shipper hook *)
   mutable batched_commits : int;
   mutable batch_flushes : int;
   mutable flushed_commits : int;
   mutable max_batch_size : int;
   mutable ack_lag_ticks : int;
+  mutable quorum_waits : int;
+  mutable quorum_commits : int;
 }
 
 let create ?(mode = Immediate) wal =
@@ -23,16 +33,21 @@ let create ?(mode = Immediate) wal =
     tick = 0;
     queued = [];
     awaiting = [];
+    quorum_pending = [];
+    quorum_offset = 0;
+    post_flush = None;
     batched_commits = 0;
     batch_flushes = 0;
     flushed_commits = 0;
     max_batch_size = 0;
     ack_lag_ticks = 0;
+    quorum_waits = 0;
+    quorum_commits = 0;
   }
 
 let mode t = t.mode
 
-let pending t = List.length t.queued + List.length t.awaiting
+let pending t = List.length t.queued + List.length t.awaiting + List.length t.quorum_pending
 
 (* Append the queued batch's single Commit_group marker. One record per
    batch keeps torn-flush semantics all-or-nothing: the decoder only keeps
@@ -46,7 +61,34 @@ let materialize t =
       t.awaiting <- queued @ t.awaiting;
       t.queued <- []
 
-(* Everything materialized reached the durable prefix: resolve the acks. *)
+let release_ack t (txn, enqueued_at) =
+  t.ack_lag_ticks <- t.ack_lag_ticks + (t.tick - enqueued_at);
+  Txn.resolve_ack txn
+
+(* Release quorum-pending acks whose required offset the fleet has
+   confirmed. The list is oldest-first with monotone offsets, so this
+   releases a prefix — acks always release in commit order. *)
+let release_quorum t =
+  let rec go = function
+    | (txn, enqueued_at, req) :: rest when req <= t.quorum_offset ->
+        release_ack t (txn, enqueued_at);
+        t.quorum_commits <- t.quorum_commits + 1;
+        go rest
+    | rest -> rest
+  in
+  t.quorum_pending <- go t.quorum_pending
+
+let note_quorum_offset t offset =
+  if offset > t.quorum_offset then t.quorum_offset <- offset;
+  release_quorum t
+
+let attach_shipper t hook = t.post_flush <- Some hook
+let detach_shipper t = t.post_flush <- None
+
+(* Everything materialized reached the durable prefix: resolve the acks —
+   or, under [Quorum] with a shipper attached, park them until the fleet
+   confirms the batch's offset. A [Quorum] pipeline with no shipper is a
+   degraded single-site primary and acks on local durability (= [Group]). *)
 let resolve_awaiting t =
   match t.awaiting with
   | [] -> ()
@@ -55,17 +97,22 @@ let resolve_awaiting t =
       t.batch_flushes <- t.batch_flushes + 1;
       t.flushed_commits <- t.flushed_commits + n;
       if n > t.max_batch_size then t.max_batch_size <- n;
-      List.iter
-        (fun (txn, enqueued_at) ->
-          t.ack_lag_ticks <- t.ack_lag_ticks + (t.tick - enqueued_at);
-          Txn.resolve_ack txn)
-        acked;
+      (match (t.mode, t.post_flush) with
+      | Quorum _, Some _ ->
+          let req = Wal.durable_size t.wal in
+          t.quorum_pending <-
+            t.quorum_pending
+            @ List.rev_map (fun (txn, enqueued_at) -> (txn, enqueued_at, req)) acked
+      | _ -> List.iter (release_ack t) acked);
       t.awaiting <- []
 
 let flush t =
   materialize t;
   Wal.flush t.wal;
-  resolve_awaiting t
+  resolve_awaiting t;
+  (match t.post_flush with None -> () | Some hook -> hook ());
+  release_quorum t;
+  if t.quorum_pending <> [] then t.quorum_waits <- t.quorum_waits + 1
 
 (* A transient flush failure must not unwind the commit: another
    participant may already have made its part durable. The batch stays
@@ -82,8 +129,9 @@ let deadline_due t max_delay_ticks =
 let tick t =
   t.tick <- t.tick + 1;
   match t.mode with
-  | Group { max_delay_ticks; _ } when deadline_due t max_delay_ticks -> attempt_flush t
-  | Immediate | Group _ | Async _ -> ()
+  | Group { max_delay_ticks; _ } | Quorum { max_delay_ticks; _ } ->
+      if deadline_due t max_delay_ticks then attempt_flush t
+  | Immediate | Async _ -> ()
 
 let on_commit t (txn : Txn.t) =
   t.tick <- t.tick + 1;
@@ -93,7 +141,7 @@ let on_commit t (txn : Txn.t) =
       Wal.append t.wal (Wal.Commit txn.id);
       t.awaiting <- (txn, t.tick) :: t.awaiting;
       attempt_flush t
-  | Group { max_batch; max_delay_ticks } ->
+  | Group { max_batch; max_delay_ticks } | Quorum { max_batch; max_delay_ticks; _ } ->
       t.batched_commits <- t.batched_commits + 1;
       t.queued <- (txn, t.tick) :: t.queued;
       if List.length t.queued >= max_batch || deadline_due t max_delay_ticks then
@@ -116,12 +164,16 @@ let counters t =
     ("max_batch_size", t.max_batch_size);
     ("ack_lag_ticks", t.ack_lag_ticks);
     ("pending_acks", pending t);
+    ("quorum_waits", t.quorum_waits);
+    ("quorum_commits", t.quorum_commits);
+    ("quorum_pending", List.length t.quorum_pending);
   ]
 
 (* ---- mode syntax (odectl / bench) ---- *)
 
 let default_group = Group { max_batch = 16; max_delay_ticks = 64 }
 let default_async = Async { max_lag = 32 }
+let default_quorum = Quorum { n = 2; max_batch = 16; max_delay_ticks = 64 }
 
 let mode_of_string s =
   let s = String.lowercase_ascii (String.trim s) in
@@ -147,13 +199,29 @@ let mode_of_string s =
       match int_arg "lag window" l with
       | Ok max_lag -> Ok (Async { max_lag })
       | Error e -> Error e)
+  | [ "quorum" ] -> Ok default_quorum
+  | [ "quorum"; n ] -> (
+      match int_arg "quorum size" n with
+      | Ok n -> Ok (Quorum { n; max_batch = 16; max_delay_ticks = 64 })
+      | Error e -> Error e)
+  | [ "quorum"; n; b ] -> (
+      match (int_arg "quorum size" n, int_arg "batch size" b) with
+      | Ok n, Ok max_batch -> Ok (Quorum { n; max_batch; max_delay_ticks = 64 })
+      | Error e, _ | _, Error e -> Error e)
+  | [ "quorum"; n; b; d ] -> (
+      match (int_arg "quorum size" n, int_arg "batch size" b, int_arg "delay" d) with
+      | Ok n, Ok max_batch, Ok max_delay_ticks -> Ok (Quorum { n; max_batch; max_delay_ticks })
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
   | _ ->
       Error
         (Printf.sprintf
-           "unknown durability mode %S (want immediate, group[:B[:D]] or async[:L])" s)
+           "unknown durability mode %S (want immediate, group[:B[:D]], async[:L] or \
+            quorum[:N[:B[:D]]])" s)
 
 let mode_to_string = function
   | Immediate -> "immediate"
   | Group { max_batch; max_delay_ticks } ->
       Printf.sprintf "group:%d:%d" max_batch max_delay_ticks
   | Async { max_lag } -> Printf.sprintf "async:%d" max_lag
+  | Quorum { n; max_batch; max_delay_ticks } ->
+      Printf.sprintf "quorum:%d:%d:%d" n max_batch max_delay_ticks

@@ -26,6 +26,16 @@
       application immediately (ack-before-flush) and the log is only
       forced once more than [max_lag] commits are unflushed. No latency
       bound, only a bounded unflushed-commit window.
+    - [Quorum { n; max_batch; max_delay_ticks }]: replicated durability.
+      Batching is exactly [Group], but after the local force the batch's
+      acks stay deferred until the batch's WAL offset is durable on at
+      least [n] replicas. The pipeline itself is replication-agnostic: a
+      shipper ({!attach_shipper}, installed by [Ode_replication]) runs
+      after every successful flush and reports fleet progress back via
+      {!note_quorum_offset}; pending acks release strictly in commit
+      order as the confirmed offset advances. With no shipper attached
+      the pipeline is a degraded single-site primary and [Quorum]
+      behaves as [Group].
 
     {2 Batch atomicity}
 
@@ -42,6 +52,7 @@ type mode =
   | Immediate
   | Group of { max_batch : int; max_delay_ticks : int }
   | Async of { max_lag : int }
+  | Quorum of { n : int; max_batch : int; max_delay_ticks : int }
 
 type t
 
@@ -76,18 +87,37 @@ val materialize : t -> unit
 
 val pending : t -> int
 (** Commits whose durability ack is still deferred (queued + awaiting
-    flush). *)
+    flush + awaiting quorum). *)
+
+val attach_shipper : t -> (unit -> unit) -> unit
+(** Install the replication shipper, called after every successful
+    {!flush} (including checkpoint flushes) with the WAL's durable prefix
+    already advanced. The hook ships the new bytes to the fleet and
+    reports confirmed progress back via {!note_quorum_offset}. Installing
+    a shipper is what arms [Quorum] ack parking. *)
+
+val detach_shipper : t -> unit
+
+val note_quorum_offset : t -> int -> unit
+(** The highest WAL byte offset now durable on the mode's required number
+    of replicas (monotone; stale values are ignored). Releases every
+    parked [Quorum] ack whose batch offset is covered, oldest first —
+    ack release order is the commit order. *)
 
 val counters : t -> (string * int) list
 (** [batched_commits] (commits whose ack was deferred past [on_commit]),
     [batch_flushes] (WAL forces that resolved at least one ack),
     [flushed_commits], [avg_batch_size] (rounded), [max_batch_size],
-    [ack_lag_ticks] (summed resolve−enqueue tick lag), [pending_acks]. *)
+    [ack_lag_ticks] (summed resolve−enqueue tick lag), [pending_acks],
+    [quorum_waits] (flushes that left at least one ack parked on remote
+    durability), [quorum_commits] (acks released by quorum confirmation),
+    [quorum_pending] (currently parked). *)
 
 val mode_of_string : string -> (mode, string) result
 (** ["immediate"], ["group"], ["group:B"], ["group:B:D"] (batch size [B],
     deadline [D] ticks; defaults 16 and 64), ["async"], ["async:L"] (lag
-    window [L]; default 32). *)
+    window [L]; default 32), ["quorum"], ["quorum:N"], ["quorum:N:B"],
+    ["quorum:N:B:D"] (quorum size [N]; defaults 2, 16 and 64). *)
 
 val mode_to_string : mode -> string
 (** Inverse of {!mode_of_string}. *)

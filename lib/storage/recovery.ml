@@ -23,6 +23,20 @@ let split_at_checkpoint records =
   in
   go [] [] records
 
+(* Records after the last complete commit boundary: the trailing run of
+   Begin/Op records belonging to work no durable marker ever resolved.
+   Abort counts as a boundary — truncating a durable Abort would
+   resurrect the transaction it cancelled (last-marker-wins above). *)
+let truncated_tail records =
+  let tail = ref 0 in
+  List.iter
+    (fun record ->
+      match record with
+      | Wal.Commit _ | Wal.Commit_group _ | Wal.Checkpoint _ | Wal.Abort _ -> tail := 0
+      | Wal.Begin _ | Wal.Op _ -> incr tail)
+    records;
+  !tail
+
 let committed_state records =
   let committed = committed_txns records in
   let base, suffix = split_at_checkpoint records in

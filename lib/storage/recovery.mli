@@ -19,6 +19,14 @@ val committed_state : Wal.record list -> (Rid.t * bytes) list
 (** The record map implied by a log: latest checkpoint plus committed
     suffix, sorted by rid. *)
 
+val truncated_tail : Wal.record list -> int
+(** Records after the last complete commit boundary — the trailing
+    Begin/Op run of transactions no durable marker ever resolved, which
+    redo silently skips. Reported by [Session.recover_with_report] so
+    the replication tests can assert exact truncation points. [Abort]
+    counts as a boundary: truncating a durable Abort would resurrect the
+    Commit it cancels (last-marker-wins). *)
+
 val recover_disk :
   ?page_size:int ->
   ?pool_capacity:int ->

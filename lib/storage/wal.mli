@@ -75,4 +75,11 @@ val decode_records : bytes -> record list
 (** Decodes as many complete records as the byte prefix contains; a
     truncated trailing record is ignored (torn-write semantics). *)
 
+val decode_record : Ode_util.Binc.reader -> record
+(** One record at the reader's position. Raises [Binc.Corrupt] on a
+    truncated or malformed record (the reader position is then
+    undefined). Lets a replication replica decode a shipped log
+    incrementally: remember [Binc.pos] after each complete record and
+    spill the undecoded suffix until the next chunk arrives. *)
+
 val pp_record : Format.formatter -> record -> unit

@@ -278,6 +278,116 @@ let group_crash_recovery () =
       Alcotest.(check (float 0.001)) "all synced purchases recovered" 1100.0
         (Credit_card.balance env' txn card))
 
+(* ------------------------------------------------------------------ *)
+
+(* Seeded ack-ordering property: interleave commits on Group, Async and
+   Quorum pipelines with site progress and ticks. Two invariants, checked
+   after every step on every pipeline:
+
+   - acks release in commit order — the acked transactions always form a
+     prefix of the commit sequence;
+   - an ack never releases before the commit is durable at the required
+     number of sites: locally for Group/Async, and additionally on
+     [n] of the fake replica sites for Quorum (each commit's ack needs a
+     durable offset strictly beyond the pre-commit durable size). *)
+let quorum_ack_order () =
+  Seeds.with_seed "durability.quorum-ack-order" @@ fun seed ->
+  let prng = Prng.create ~seed:(Int64.of_int seed) in
+  let mk mode = make_store ~durability:mode () in
+  let stores =
+    [|
+      ("group", mk (Commit_pipeline.Group { max_batch = 3; max_delay_ticks = 7 }));
+      ("async", mk (Commit_pipeline.Async { max_lag = 64 }));
+      ( "quorum",
+        mk (Commit_pipeline.Quorum { n = 2; max_batch = 3; max_delay_ticks = 7 })
+      );
+    |]
+  in
+  (* Fake replica sites for the quorum store: each holds a durable
+     offset that only advances when pumped, lagging the primary by a
+     seeded amount. *)
+  let _, (_, qstore) = stores.(2) in
+  let sites = Array.make 3 0 in
+  let pump () =
+    let sorted = Array.copy sites in
+    Array.sort (fun a b -> compare b a) sorted;
+    Commit_pipeline.note_quorum_offset qstore.Store.pipeline sorted.(1)
+  in
+  Commit_pipeline.attach_shipper qstore.Store.pipeline pump;
+  (* Per store: commits oldest-first, with the pre-commit durable size
+     (the ack's durable-offset lower bound). *)
+  let committed = Array.map (fun _ -> ref []) stores in
+  let quorum_floor () =
+    let sorted = Array.copy sites in
+    Array.sort (fun a b -> compare b a) sorted;
+    sorted.(1)
+  in
+  let check_invariants step =
+    Array.iteri
+      (fun si (name, (_, store)) ->
+        let in_order = List.rev !(committed.(si)) in
+        let durable = Wal.durable_size store.Store.wal in
+        let boundary = ref false in
+        List.iteri
+          (fun i (txn, lower_bound) ->
+            let acked = Txn.durably_acked txn in
+            if acked && !boundary then
+              Alcotest.failf "[%s] step %d: ack %d released out of commit order"
+                name step i;
+            if (not acked) && not !boundary then boundary := true;
+            if acked then begin
+              if lower_bound >= durable then
+                Alcotest.failf
+                  "[%s] step %d: ack %d released before local durability" name
+                  step i;
+              if name = "quorum" && lower_bound >= quorum_floor () then
+                Alcotest.failf
+                  "[%s] step %d: ack %d released before 2 sites held it" name
+                  step i
+            end)
+          in_order)
+      stores
+  in
+  for step = 1 to 400 do
+    (match Prng.int prng 6 with
+    | 0 | 1 ->
+        (* one commit on a random pipeline *)
+        let si = Prng.int prng (Array.length stores) in
+        let _, (mgr, store) = stores.(si) in
+        let lower_bound = Wal.durable_size store.Store.wal in
+        let txn = commit_write mgr store (Printf.sprintf "p%d" step) in
+        committed.(si) := (txn, lower_bound) :: !(committed.(si))
+    | 2 ->
+        (* a replica site persists more of the shipped stream *)
+        let i = Prng.int prng (Array.length sites) in
+        let durable = Wal.durable_size qstore.Store.wal in
+        sites.(i) <- min durable (sites.(i) + 1 + Prng.int prng 96);
+        pump ()
+    | 3 ->
+        let si = Prng.int prng (Array.length stores) in
+        let _, (_, store) = stores.(si) in
+        Commit_pipeline.flush store.Store.pipeline
+    | _ ->
+        Array.iter
+          (fun (_, (_, store)) -> Commit_pipeline.tick store.Store.pipeline)
+          stores);
+    check_invariants step
+  done;
+  (* Drain: flush everything, let every site catch up — every commit must
+     end up acked, still in order. *)
+  Array.iter (fun (_, (_, store)) -> Commit_pipeline.flush store.Store.pipeline) stores;
+  Array.iteri (fun i _ -> sites.(i) <- Wal.durable_size qstore.Store.wal) sites;
+  pump ();
+  check_invariants (-1);
+  Array.iteri
+    (fun si (name, _) ->
+      List.iteri
+        (fun i (txn, _) ->
+          if not (Txn.durably_acked txn) then
+            Alcotest.failf "[%s] commit %d never acked after drain" name i)
+        (List.rev !(committed.(si))))
+    stores
+
 let suite =
   [
     Alcotest.test_case "mode strings" `Quick mode_strings;
@@ -287,4 +397,5 @@ let suite =
     Alcotest.test_case "checkpoint drains the pipeline" `Quick checkpoint_drains;
     Alcotest.test_case "mode differential (seeded)" `Quick mode_differential;
     Alcotest.test_case "group-mode crash recovery" `Quick group_crash_recovery;
+    Alcotest.test_case "quorum ack ordering (seeded)" `Quick quorum_ack_order;
   ]

@@ -150,6 +150,69 @@ let both label f = [
   Alcotest.test_case (label ^ " (disk)") `Quick (f `Disk);
 ]
 
+(* Replaying the same Commit_group batch twice onto a warm replica is a
+   no-op: the WAL-shipping replica ([Replication.Replay]) treats a
+   re-shipped prefix as a counted duplicate, so a retransmitting
+   transport cannot double-apply a batch (satellite of the replication
+   work; the shipping paths live in test_replication.ml). *)
+let replay_batch_idempotent kind () =
+  let mgr = Txn.create_mgr () in
+  let store =
+    match kind with
+    | `Disk ->
+        Disk_store.ops
+          (Disk_store.create
+             ~durability:
+               (Ode_storage.Commit_pipeline.Group
+                  { max_batch = 8; max_delay_ticks = 64 })
+             ~mgr ~name:"p" ~page_size:256 ~pool_capacity:4 ())
+    | `Mem ->
+        Mem_store.ops
+          (Mem_store.create
+             ~durability:
+               (Ode_storage.Commit_pipeline.Group
+                  { max_batch = 8; max_delay_ticks = 64 })
+             ~mgr ~name:"p" ())
+  in
+  let module Replay = Ode_replication.Replication.Replay in
+  let replica = Replay.create () in
+  (* First batch: ship it once. *)
+  for i = 1 to 5 do
+    let txn = Txn.begin_txn mgr in
+    ignore (store.Store.insert txn (b (Printf.sprintf "batch1-%d" i)));
+    Txn.commit txn
+  done;
+  Ode_storage.Commit_pipeline.flush store.Store.pipeline;
+  let first = Wal.durable_bytes store.Store.wal in
+  Replay.feed replica ~base:0 first;
+  let snapshot = Replay.state replica in
+  (* The same batch again, verbatim: applied state must not move. *)
+  Replay.feed replica ~base:0 first;
+  Alcotest.(check int) "duplicate counted" 1 (Replay.redundant replica);
+  Alcotest.(check int) "no bytes appended" (Bytes.length first) (Replay.size replica);
+  Alcotest.(check bool) "state unchanged" true (Replay.state replica = snapshot);
+  (* A second batch ships; replaying batch 1 a third time afterwards is
+     still a no-op, and the replica ends equal to the committed state. *)
+  for i = 1 to 3 do
+    let txn = Txn.begin_txn mgr in
+    ignore (store.Store.insert txn (b (Printf.sprintf "batch2-%d" i)));
+    Txn.commit txn
+  done;
+  Ode_storage.Commit_pipeline.flush store.Store.pipeline;
+  let all = Wal.durable_bytes store.Store.wal in
+  Replay.feed replica ~base:(Bytes.length first)
+    (Bytes.sub all (Bytes.length first) (Bytes.length all - Bytes.length first));
+  Replay.feed replica ~base:0 first;
+  Alcotest.(check int) "second duplicate counted" 2 (Replay.redundant replica);
+  let want = Recovery.committed_state (Wal.decode_records all) in
+  let got = Replay.state replica in
+  Alcotest.(check int) "record count" (List.length want) (List.length got);
+  List.iter2
+    (fun (r1, b1) (r2, b2) ->
+      Alcotest.(check int) "rid" (Rid.to_int r1) (Rid.to_int r2);
+      Alcotest.(check bytes) "payload" b1 b2)
+    want got
+
 let suite =
   List.concat
     [
@@ -157,6 +220,7 @@ let suite =
       both "flushed-but-uncommitted skipped" flushed_but_uncommitted_dont;
       both "checkpoint as redo base" checkpoint_is_a_base;
       both "recovery idempotent" recovery_idempotent;
+      both "replayed batch idempotent" replay_batch_idempotent;
       [
         Alcotest.test_case "random history (mem)" `Quick (random_history `Mem 31L);
         Alcotest.test_case "random history (disk)" `Quick (random_history `Disk 32L);
