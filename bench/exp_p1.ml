@@ -53,6 +53,9 @@ let setup ~engine ~alphabet ~fan_in =
           tr_coupling = Ode_trigger.Coupling.Immediate;
           tr_action = (fun _ _ -> ());
           tr_posts = [];
+          tr_reads = [];
+          tr_writes = [];
+          tr_pure = true;
         };
       ]
     ();

@@ -117,6 +117,9 @@ let run_fanin ~flush_spin ~txns ~fan_in mode_name =
           tr_coupling = Ode_trigger.Coupling.Immediate;
           tr_action = (fun _ _ -> ());
           tr_posts = [];
+          tr_reads = [];
+          tr_writes = [];
+          tr_pure = true;
         };
       ]
     ();

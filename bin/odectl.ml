@@ -174,11 +174,14 @@ let opp_cmd =
 let lint_cmd =
   let module Diagnostic = Ode_analysis.Diagnostic in
   let module Analyze = Ode_analysis.Analyze in
-  let run json max_sev_text budget paths =
+  let run json max_sev_text budget concur paths =
     match Diagnostic.severity_of_string max_sev_text with
     | None -> usage_die "bad --max-severity %S (expected info, warning or error)" max_sev_text
     | Some max_sev -> begin
-        let config = { Analyze.default_config with Analyze.state_budget = budget } in
+        let config =
+          if concur then Analyze.concur_only_config
+          else { Analyze.default_config with Analyze.state_budget = budget }
+        in
         let lint_one path =
           match In_channel.with_open_text path In_channel.input_all with
           | exception Sys_error msg -> Error msg
@@ -260,6 +263,12 @@ let lint_cmd =
          & info [ "budget" ] ~docv:"N"
              ~doc:"State budget for the determinization blow-up pass.")
   in
+  let concur =
+    Arg.(value & flag
+         & info [ "concur" ]
+             ~doc:"Run only the whole-schema concurrency pass (lock-order deadlock, \
+                   snapshot-safety, cross-shard affinity).")
+  in
   let paths =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE"
            ~doc:"O++-style schema files (see examples/schemas/).")
@@ -267,8 +276,53 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically analyze the triggers of O++-style schemas (emptiness, vacuity, \
-             subsumption, termination, state blow-up)")
-    Term.(const run $ json $ max_sev $ budget $ paths)
+             subsumption, termination, state blow-up, concurrency)")
+    Term.(const run $ json $ max_sev $ budget $ concur $ paths)
+
+(* ------------------------------------------------------------------ *)
+(* odectl footprint *)
+
+let footprint_cmd =
+  let module Concur = Ode_analysis.Concur in
+  let run json shards path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg -> die "%s" msg
+    | source -> begin
+        let env = Session.create () in
+        match
+          Ode.Opp.load ~on_missing:`Stub ~allow_lint_errors:true env
+            ~bindings:Ode.Opp.no_bindings source
+        with
+        | exception Ode.Opp.Syntax_error { line; message } ->
+            die "%s:%d: %s" path line message
+        | exception Session.Ode_error msg -> die "%s: %s" path msg
+        | _classes ->
+            let report = Session.concur_report env in
+            let shards = if shards > 1 then Some shards else None in
+            if json then print_string (Concur.report_json ?shards report)
+            else Format.printf "%a" (Concur.pp_report ?shards) report;
+            0
+      end
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Annotate cross-shard affinity with the expected forward fraction at K \
+                   shards (the oid mod K partition of the parallel fleet).")
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"O++-style schema file (see examples/schemas/).")
+  in
+  Cmd.v
+    (Cmd.info "footprint"
+       ~doc:"Infer per-trigger lock footprints (direct and cascade-transitive) for an \
+             O++-style schema, with deadlock cycles, commutativity classes, \
+             snapshot-safety and shard affinity")
+    Term.(const run $ json $ shards $ path)
 
 (* ------------------------------------------------------------------ *)
 (* odectl faults *)
@@ -484,6 +538,7 @@ let stats_cmd =
     Printf.printf "  %-24s %d\n" "aborted" fs.Sharded.fs_aborted;
     Printf.printf "  %-24s %d\n" "failed" fs.Sharded.fs_failed;
     Printf.printf "  %-24s %d\n" "cross_shard_forwards" fs.Sharded.fs_forwards;
+    Printf.printf "  %-24s %d\n" "trigger_forwards" fs.Sharded.fs_trigger_forwards;
     Printf.printf "  %-24s %d\n" "barrier_rounds" fs.Sharded.fs_rounds;
     Printf.printf "  %-24s %d\n" "mailbox_high_water" fs.Sharded.fs_mailbox_hwm;
     if per_shard then begin
@@ -624,7 +679,8 @@ let () =
   let doc = "Ode active-database reproduction tools" in
   let info = Cmd.info "odectl" ~version:"1.0.0" ~doc in
   let group =
-    Cmd.group info [ fsm_cmd; figure1_cmd; opp_cmd; lint_cmd; demo_cmd; faults_cmd; stats_cmd ]
+    Cmd.group info
+      [ fsm_cmd; figure1_cmd; opp_cmd; lint_cmd; footprint_cmd; demo_cmd; faults_cmd; stats_cmd ]
   in
   (* Strict command-line handling: cmdliner's default eval maps parse
      errors to exit 124. Here every run function returns its own exit code

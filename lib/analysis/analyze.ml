@@ -15,6 +15,9 @@ type rule = {
   r_fsm : Fsm.t;
   r_coupling : Coupling.t;
   r_posts : int list;
+  r_reads : string list;
+  r_writes : string list;
+  r_pure : bool;
 }
 
 let rule_of_info ~cls (info : Trigger_def.info) =
@@ -27,6 +30,9 @@ let rule_of_info ~cls (info : Trigger_def.info) =
     r_fsm = info.Trigger_def.t_fsm;
     r_coupling = info.Trigger_def.t_coupling;
     r_posts = info.Trigger_def.t_posts;
+    r_reads = info.Trigger_def.t_reads;
+    r_writes = info.Trigger_def.t_writes;
+    r_pure = info.Trigger_def.t_pure;
   }
 
 let rules_of_registry registry =
@@ -43,14 +49,25 @@ type config = {
   subsumption : bool;
   termination : bool;
   blowup : bool;
+  concur : bool;
 }
 
 let default_config =
   { state_budget = 256; emptiness = true; vacuity = true; subsumption = true; termination = true;
-    blowup = true }
+    blowup = true; concur = true }
 
 let define_time_config =
-  { default_config with vacuity = false; subsumption = false; blowup = false }
+  { default_config with vacuity = false; subsumption = false; blowup = false; concur = false }
+
+let concur_only_config =
+  {
+    default_config with
+    emptiness = false;
+    vacuity = false;
+    subsumption = false;
+    termination = false;
+    blowup = false;
+  }
 
 (* ---------------- AST surgery for the vacuity pass ---------------- *)
 
@@ -152,10 +169,28 @@ let sccs edges n =
   done;
   List.rev !out
 
+(* ---------------- the concur pass (see Concur) ---------------- *)
+
+let concur_rule r =
+  {
+    Concur.c_cls = r.r_cls;
+    c_name = r.r_name;
+    c_source = r.r_source;
+    c_fsm = r.r_fsm;
+    c_masked = masked_occurrences r.r_expr > 0;
+    c_posts = r.r_posts;
+    c_reads = r.r_reads;
+    c_writes = r.r_writes;
+    c_pure = r.r_pure;
+  }
+
+let concur_report ?same_family ?event_name rules =
+  Concur.analyze ?same_family ?event_name (List.map concur_rule rules)
+
 (* ---------------- the passes ---------------- *)
 
 let analyze ?(config = default_config) ?(event_name = fun e -> Printf.sprintf "e%d" e)
-    ?(before_twin = fun _ -> None) rules =
+    ?(before_twin = fun _ -> None) ?same_family rules =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let rules_arr = Array.of_list rules in
@@ -402,5 +437,10 @@ let analyze ?(config = default_config) ?(event_name = fun e -> Printf.sprintf "e
         end)
       (sccs edges n)
   end;
+
+  (* Concurrency: lock footprints, static deadlock, snapshot-safety and
+     shard affinity — the whole-schema pass (see {!Concur}). *)
+  if config.concur then
+    List.iter add (Concur.diagnostics (concur_report ?same_family ~event_name rules));
 
   Diagnostic.sort !diags

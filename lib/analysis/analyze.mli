@@ -31,7 +31,12 @@
     (deferred couplings spread the cascade across transactions).
 
     {b Blow-up} ([state-blowup], Warning): the raw determinized machine
-    exceeds [state_budget] states. *)
+    exceeds [state_budget] states.
+
+    {b Concurrency} (pass [concur], delegated to {!Concur}):
+    [lock-order-cycle] Errors (static deadlock with a witness cascade),
+    [snapshot-safe] and [cross-shard-post] Infos, all derived from the
+    inferred lock footprints. *)
 
 module Fsm := Ode_event.Fsm
 module Ast := Ode_event.Ast
@@ -45,6 +50,9 @@ type rule = {
   r_fsm : Fsm.t;  (** the registered (simplified, trimmed, pruned) machine *)
   r_coupling : Ode_trigger.Coupling.t;
   r_posts : int list;  (** event ids the action declares it may post *)
+  r_reads : string list;  (** classes the action may read (defaulted) *)
+  r_writes : string list;  (** classes the action may write (defaulted) *)
+  r_pure : bool;  (** the action touches no object store *)
 }
 
 val rule_of_info : cls:string -> Ode_trigger.Trigger_def.info -> rule
@@ -60,24 +68,43 @@ type config = {
   subsumption : bool;
   termination : bool;
   blowup : bool;  (** also controls the [prunable-states] Info *)
+  concur : bool;  (** the whole-schema concurrency pass ({!Concur}) *)
 }
 
 val default_config : config
 (** All passes on; [state_budget = 256]. *)
 
 val define_time_config : config
-(** Only the error-capable passes (emptiness, termination) — what
-    {!Session.define_class} runs to gate registration; cheap enough for
-    every definition. *)
+(** Only the error-capable per-trigger passes (emptiness, termination) —
+    what {!Session.define_class} runs to gate registration; cheap enough
+    for every definition. The concur pass is off here too: it is a
+    whole-schema judgement, rerun over the final registry (lint or
+    {!Session.enable_validation}) rather than per definition. *)
+
+val concur_only_config : config
+(** Only the concurrency pass — [odectl lint --concur]. *)
+
+val concur_rule : rule -> Concur.rule
+(** Project a rule into {!Concur}'s self-contained input form (the
+    [c_masked] bit is derived from the expression). *)
+
+val concur_report :
+  ?same_family:(string -> string -> bool) -> ?event_name:(int -> string) -> rule list -> Concur.report
+(** Run footprint inference and the derived judgements directly — the
+    footprint table behind [odectl footprint] and the runtime soundness
+    checker. *)
 
 val analyze :
   ?config:config ->
   ?event_name:(int -> string) ->
   ?before_twin:(int -> int option) ->
+  ?same_family:(string -> string -> bool) ->
   rule list ->
   Diagnostic.t list
 (** Run the configured passes over the rule set. [event_name] renders
     event ids in messages; [before_twin e] maps an [after f] event id to
     the interned id of its declared [before f] twin (if any) for the
-    anchored posting-order check — {!Session} supplies both. Diagnostics
-    are returned {!Diagnostic.sort}ed. *)
+    anchored posting-order check; [same_family] is the subtype oracle the
+    concur pass widens object-conflict and affinity decisions with —
+    {!Session} supplies all three. Diagnostics are returned
+    {!Diagnostic.sort}ed. *)

@@ -1,0 +1,503 @@
+module Fsm = Ode_event.Fsm
+module IntSet = Fsm.IntSet
+module SS = Footprint.SS
+
+type rule = {
+  c_cls : string;
+  c_name : string;
+  c_source : string;
+  c_fsm : Fsm.t;
+  c_masked : bool;
+  c_posts : int list;
+  c_reads : string list;
+  c_writes : string list;
+  c_pure : bool;
+}
+
+type row = {
+  row_cls : string;
+  row_name : string;
+  row_source : string;
+  row_dead : bool;
+  row_direct : Footprint.t;
+  row_cascade : Footprint.t;
+  row_snapshot_safe : bool;
+  row_commute : int;
+  row_cross : (string * string) list;
+}
+
+type cycle = {
+  cy_nodes : string list;
+  cy_edges : (string * string * string) list;
+}
+
+type report = {
+  rp_rows : row list;
+  rp_cycles : cycle list;
+  rp_independent_pairs : int;
+  rp_total_pairs : int;
+}
+
+let qualified r = r.c_cls ^ "." ^ r.c_name
+
+(* ------------------------------------------------------------------ *)
+(* Footprint inference. *)
+
+(* Locks of one firing, posts excluded. Advancement always S-reads and
+   may X-write the trigger's own state row (once-only firing also
+   deletes it); a masked expression reads anchor fields; declared
+   [reads]/[writes] cover the action's object accesses; creating or
+   deleting objects of class W also inserts/deletes the constraint
+   TriggerStates of W (and, up the hierarchy, of its ancestors — the
+   soundness check is modulo subtyping, see {!Footprint.covered}). *)
+let direct_footprint r =
+  let own = [ r.c_cls ] in
+  Footprint.make ~trig_s:(own @ r.c_writes) ~trig_x:(own @ r.c_writes)
+    ~obj_s:((if r.c_masked then own else []) @ r.c_reads)
+    ~obj_x:r.c_writes ()
+
+(* Cascade inference: a posted event e
+   - S-reads the class record of the posted-to object (any class
+     declaring e in some trigger expression);
+   - may advance (S-read, X-write) every live machine listening to e,
+     evaluating its masks (anchor S-read);
+   - and, when e can complete a match, fires the listener — whose whole
+     cascade footprint joins ours (fixpoint over the posting graph). *)
+let infer arr =
+  let n = Array.length arr in
+  let live = Array.map (fun r -> Lang.live_events r.c_fsm) arr in
+  let firing = Array.map (fun r -> Lang.firing_events r.c_fsm) arr in
+  let direct = Array.map direct_footprint arr in
+  let post_base = Array.make n Footprint.empty in
+  let fired = Array.make n [] in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun e ->
+        for j = 0 to n - 1 do
+          if IntSet.mem e arr.(j).c_fsm.Fsm.alphabet then begin
+            let cls = [ arr.(j).c_cls ] in
+            post_base.(i) <- Footprint.union post_base.(i) (Footprint.make ~obj_s:cls ());
+            if IntSet.mem e live.(j) then
+              post_base.(i) <-
+                Footprint.union post_base.(i)
+                  (Footprint.make ~trig_s:cls ~trig_x:cls
+                     ~obj_s:(if arr.(j).c_masked then cls else [])
+                     ());
+            if IntSet.mem e firing.(j) && not (List.mem j fired.(i)) then
+              fired.(i) <- j :: fired.(i)
+          end
+        done)
+      arr.(i).c_posts
+  done;
+  let total = Array.init n (fun i -> Footprint.union direct.(i) post_base.(i)) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      List.iter
+        (fun j ->
+          let u = Footprint.union total.(i) total.(j) in
+          if not (Footprint.equal u total.(i)) then begin
+            total.(i) <- u;
+            changed := true
+          end)
+        fired.(i)
+    done
+  done;
+  (direct, total)
+
+(* ------------------------------------------------------------------ *)
+(* Lock-order graph and deadlock cycles. *)
+
+type node = Trig of string | Obj of string
+
+let node_name = function
+  | Trig c -> Printf.sprintf "triggers(%s)" c
+  | Obj c -> Printf.sprintf "objects(%s)" c
+
+let nodes_of (fp : Footprint.t) =
+  List.map (fun c -> Trig c) (SS.elements (SS.union fp.Footprint.trig_s fp.Footprint.trig_x))
+  @ List.map (fun c -> Obj c) (SS.elements (SS.union fp.Footprint.obj_s fp.Footprint.obj_x))
+
+(* Tarjan over an adjacency array; returns SCCs (each a node-id list). *)
+let sccs succ n =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (succ v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  List.rev !out
+
+(* A shortest cycle through the SCC's smallest node, as a readable
+   witness: BFS within the SCC from that node back to itself. *)
+let extract_cycle ~in_scc ~succ start =
+  let q = Queue.create () in
+  let pred = Hashtbl.create 16 in
+  Queue.push start q;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun w ->
+        if !found = None && in_scc w then
+          if w = start then found := Some v
+          else if not (Hashtbl.mem pred w) then begin
+            Hashtbl.replace pred w v;
+            Queue.push w q
+          end)
+      (succ v)
+  done;
+  match !found with
+  | None -> [ start ]  (* defensive: an SCC of >= 2 always has a cycle *)
+  | Some last ->
+      let rec back v acc = if v = start then v :: acc else back (Hashtbl.find pred v) (v :: acc) in
+      back last []
+
+let deadlock_cycles arr direct total =
+  let n = Array.length arr in
+  let node_ids = Hashtbl.create 32 in
+  let node_names = ref [] in
+  let id_of node =
+    let name = node_name node in
+    match Hashtbl.find_opt node_ids name with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length node_ids in
+        Hashtbl.replace node_ids name i;
+        node_names := name :: !node_names;
+        i
+  in
+  (* Edge u -> v with the first witnessing trigger kept. *)
+  let edges = Hashtbl.create 64 in
+  let add_edge ~witness u v =
+    if u <> v && not (Hashtbl.mem edges (u, v)) then Hashtbl.replace edges (u, v) witness
+  in
+  for i = 0 to n - 1 do
+    let r = arr.(i) in
+    if not (Lang.empty r.c_fsm) then begin
+      let witness = qualified r in
+      let first = id_of (Trig r.c_cls) in
+      let mid =
+        List.filter_map
+          (fun nd -> if nd = Trig r.c_cls then None else Some (id_of nd))
+          (nodes_of direct.(i))
+      in
+      (* Cascade-only nodes are acquired while direct ones are held. The
+         poster's own advancement lock precedes its action; the action's
+         own-effect locks precede (or interleave with) everything its
+         posts acquire — we only order direct-before-cascade, never
+         within a stage, so the graph under-constrains interleavings and
+         a reported cycle is a real ordering conflict. *)
+      let restset = List.filter (fun nd -> nd <> Trig r.c_cls) (nodes_of total.(i)) in
+      let rest =
+        List.filter_map
+          (fun nd ->
+            let v = id_of nd in
+            if List.mem v mid then None else Some v)
+          restset
+      in
+      List.iter (fun m -> add_edge ~witness first m) mid;
+      List.iter
+        (fun v ->
+          add_edge ~witness first v;
+          List.iter (fun m -> add_edge ~witness m v) mid)
+        rest
+    end
+  done;
+  let nn = Hashtbl.length node_ids in
+  let names = Array.of_list (List.rev !node_names) in
+  let adj = Array.make nn [] in
+  Hashtbl.iter (fun (u, v) _ -> adj.(u) <- v :: adj.(u)) edges;
+  let adj_sorted = Array.map (List.sort compare) adj in
+  let succ v = adj_sorted.(v) in
+  let components = sccs succ nn in
+  List.filter_map
+    (fun comp ->
+      match comp with
+      | [] | [ _ ] -> None
+      | _ ->
+          let comp_set = Hashtbl.create 8 in
+          List.iter (fun v -> Hashtbl.replace comp_set v ()) comp;
+          let start = List.fold_left min (List.hd comp) comp in
+          let path = extract_cycle ~in_scc:(Hashtbl.mem comp_set) ~succ start in
+          let hops =
+            List.mapi
+              (fun k u ->
+                let v = List.nth path ((k + 1) mod List.length path) in
+                (names.(u), names.(v), Hashtbl.find edges (u, v)))
+              path
+          in
+          Some { cy_nodes = List.map (fun v -> names.(v)) path; cy_edges = hops })
+    components
+
+(* ------------------------------------------------------------------ *)
+
+let analyze ?(same_family = String.equal) ?(event_name = fun e -> Printf.sprintf "e%d" e) rules =
+  let arr = Array.of_list rules in
+  let n = Array.length arr in
+  let direct, total = infer arr in
+  let dead = Array.map (fun r -> Lang.empty r.c_fsm) arr in
+  (* Commutativity classes: union-find over conflicting cascade
+     footprints; dead triggers never run and conflict with nothing. *)
+  let uf = Array.init n Fun.id in
+  let rec find i = if uf.(i) = i then i else begin uf.(i) <- find uf.(i); uf.(i) end in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then uf.(max ri rj) <- min ri rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        (not dead.(i)) && (not dead.(j))
+        && Footprint.conflicts ~related:same_family total.(i) total.(j)
+      then union i j
+    done
+  done;
+  let class_ids = Hashtbl.create 8 in
+  let commute_of i =
+    let r = find i in
+    match Hashtbl.find_opt class_ids r with
+    | Some c -> c
+    | None ->
+        let c = Hashtbl.length class_ids in
+        Hashtbl.replace class_ids r c;
+        c
+  in
+  let independent = ref 0 and pairs = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if (not dead.(i)) && not dead.(j) then begin
+        incr pairs;
+        if find i <> find j then incr independent
+      end
+    done
+  done;
+  (* Shard affinity: posting edges whose listener class is outside the
+     poster's family address (under the analyzer's locality convention)
+     a different object, hence with oid-mod-K placement a different
+     shard with probability (K-1)/K. *)
+  let cross_of i =
+    let r = arr.(i) in
+    let out = ref [] in
+    List.iter
+      (fun e ->
+        Array.iter
+          (fun (t : rule) ->
+            if
+              IntSet.mem e t.c_fsm.Fsm.alphabet
+              && (not (same_family r.c_cls t.c_cls))
+              && not (List.mem (event_name e, t.c_cls) !out)
+            then out := (event_name e, t.c_cls) :: !out)
+          arr)
+      r.c_posts;
+    List.sort compare !out
+  in
+  let rows =
+    List.init n (fun i ->
+        let r = arr.(i) in
+        {
+          row_cls = r.c_cls;
+          row_name = r.c_name;
+          row_source = r.c_source;
+          row_dead = dead.(i);
+          row_direct = direct.(i);
+          row_cascade = total.(i);
+          row_snapshot_safe = (not dead.(i)) && Footprint.object_read_only total.(i);
+          row_commute = commute_of i;
+          row_cross = (if dead.(i) then [] else cross_of i);
+        })
+  in
+  {
+    rp_rows = rows;
+    rp_cycles = deadlock_cycles arr direct total;
+    rp_independent_pairs = !independent;
+    rp_total_pairs = !pairs;
+  }
+
+let footprint report ~cls ~trigger =
+  List.find_map
+    (fun row ->
+      if String.equal row.row_cls cls && String.equal row.row_name trigger then
+        Some row.row_cascade
+      else None)
+    report.rp_rows
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics. *)
+
+let diagnostics report =
+  let cycle_diags =
+    List.map
+      (fun cy ->
+        let from_witness =
+          match cy.cy_edges with
+          | (_, _, w) :: _ -> w
+          | [] -> "?.?"
+        in
+        let cls, trigger =
+          match String.index_opt from_witness '.' with
+          | Some i ->
+              ( String.sub from_witness 0 i,
+                String.sub from_witness (i + 1) (String.length from_witness - i - 1) )
+          | None -> (from_witness, from_witness)
+        in
+        let hops =
+          String.concat "; "
+            (List.map (fun (u, v, w) -> Printf.sprintf "%s -> %s via %s" u v w) cy.cy_edges)
+        in
+        let witnesses =
+          List.sort_uniq String.compare (List.map (fun (_, _, w) -> w) cy.cy_edges)
+        in
+        Diagnostic.make ~severity:Diagnostic.Error ~code:"lock-order-cycle" ~pass:"concur" ~cls
+          ~trigger ~related:witnesses
+          (Printf.sprintf
+             "potential lock-order deadlock: %s — concurrent cascades can acquire these targets \
+              in opposite orders"
+             hops))
+      report.rp_cycles
+  in
+  let row_diags =
+    List.concat_map
+      (fun row ->
+        let safe =
+          if row.row_snapshot_safe then
+            [
+              Diagnostic.make ~severity:Diagnostic.Info ~code:"snapshot-safe" ~pass:"concur"
+                ~cls:row.row_cls ~trigger:row.row_name ~source:row.row_source
+                "cascade footprint never X-locks an object store; certified snapshot-safe \
+                 (MVCC read-path candidate)";
+            ]
+          else []
+        in
+        let cross =
+          match row.row_cross with
+          | [] -> []
+          | edges ->
+              let rendered =
+                String.concat ", "
+                  (List.map (fun (ev, cls) -> Printf.sprintf "%s -> %s" ev cls) edges)
+              in
+              [
+                Diagnostic.make ~severity:Diagnostic.Info ~code:"cross-shard-post" ~pass:"concur"
+                  ~cls:row.row_cls ~trigger:row.row_name ~source:row.row_source
+                  ~related:(List.map snd edges)
+                  (Printf.sprintf
+                     "posts cross the shard partition (%s): with K shards an expected (K-1)/K \
+                      of these posts forward to another shard"
+                     rendered);
+              ]
+        in
+        safe @ cross)
+      report.rp_rows
+  in
+  cycle_diags @ row_diags
+
+(* ------------------------------------------------------------------ *)
+(* Rendering. *)
+
+let pp_report ?shards ppf report =
+  let open Format in
+  fprintf ppf "footprints (%d triggers):@." (List.length report.rp_rows);
+  List.iter
+    (fun row ->
+      fprintf ppf "  %s.%s%s@." row.row_cls row.row_name (if row.row_dead then " (dead)" else "");
+      fprintf ppf "    direct : %a@." Footprint.pp row.row_direct;
+      fprintf ppf "    cascade: %a@." Footprint.pp row.row_cascade;
+      fprintf ppf "    snapshot-safe: %s   commute-class: %d@."
+        (if row.row_snapshot_safe then "yes" else "no")
+        row.row_commute;
+      match row.row_cross with
+      | [] -> ()
+      | edges ->
+          fprintf ppf "    cross-shard posts: %s%s@."
+            (String.concat ", " (List.map (fun (ev, cls) -> ev ^ " -> " ^ cls) edges))
+            (match shards with
+            | Some k when k > 1 ->
+                sprintf "  (expected forward fraction %.2f at K=%d)"
+                  (float_of_int (k - 1) /. float_of_int k)
+                  k
+            | _ -> ""))
+    report.rp_rows;
+  fprintf ppf "independent pairs: %d/%d@." report.rp_independent_pairs report.rp_total_pairs;
+  match report.rp_cycles with
+  | [] -> fprintf ppf "lock-order cycles: none@."
+  | cycles ->
+      fprintf ppf "lock-order cycles: %d@." (List.length cycles);
+      List.iter
+        (fun cy ->
+          fprintf ppf "  cycle: %s@." (String.concat " -> " (cy.cy_nodes @ [ List.hd cy.cy_nodes ]));
+          List.iter (fun (u, v, w) -> fprintf ppf "    %s -> %s via %s@." u v w) cy.cy_edges)
+        cycles
+
+let report_json ?shards report =
+  let buf = Buffer.create 1024 in
+  let add = Buffer.add_string buf in
+  add "{\"version\":1,\"triggers\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then add ",";
+      add "\n  ";
+      add
+        (Printf.sprintf
+           {|{"class":%S,"trigger":%S,"dead":%b,"direct":%s,"cascade":%s,"snapshot_safe":%b,"commute_class":%d,"cross_posts":[%s]}|}
+           row.row_cls row.row_name row.row_dead
+           (Footprint.to_json row.row_direct)
+           (Footprint.to_json row.row_cascade)
+           row.row_snapshot_safe row.row_commute
+           (String.concat ","
+              (List.map
+                 (fun (ev, cls) -> Printf.sprintf {|{"event":%S,"target":%S}|} ev cls)
+                 row.row_cross))))
+    report.rp_rows;
+  (if report.rp_rows <> [] then add "\n");
+  add "],\"cycles\":[";
+  List.iteri
+    (fun i cy ->
+      if i > 0 then add ",";
+      add "\n  ";
+      add
+        (Printf.sprintf {|{"nodes":[%s],"edges":[%s]}|}
+           (String.concat "," (List.map (Printf.sprintf "%S") cy.cy_nodes))
+           (String.concat ","
+              (List.map
+                 (fun (u, v, w) -> Printf.sprintf {|{"from":%S,"to":%S,"via":%S}|} u v w)
+                 cy.cy_edges))))
+    report.rp_cycles;
+  (if report.rp_cycles <> [] then add "\n");
+  add (Printf.sprintf "\n],\"independent_pairs\":%d,\"pairs\":%d" report.rp_independent_pairs
+         report.rp_total_pairs);
+  (match shards with
+  | Some k -> add (Printf.sprintf ",\"shards\":%d" k)
+  | None -> ());
+  add "}\n";
+  Buffer.contents buf

@@ -1,0 +1,95 @@
+(** Whole-schema concurrency analysis: lock-footprint inference, static
+    deadlock detection, interference/commutativity classes, snapshot-safe
+    certification and shard-affinity analysis.
+
+    The unit of analysis is the {e cascade} of one trigger firing: the
+    locks its own FSM advancement takes, the locks its action's declared
+    effects ([reads]/[writes]/[pure]) take, and — transitively through
+    the declared [posts] — the locks of every machine its posting may
+    advance and every further trigger it may fire. All judgements are
+    over-approximations of the default (filtered, write-back-cached)
+    engine, whose eager X-lock discipline makes the commit-prepare flush
+    lock-free: see docs/CONCURRENCY.md.
+
+    This module is deliberately independent of {!Analyze} (which runs it
+    as its sixth pass); inputs are self-contained {!rule} values. *)
+
+type rule = {
+  c_cls : string;  (** defining class *)
+  c_name : string;
+  c_source : string;  (** event-expression source text, for diagnostics *)
+  c_fsm : Ode_event.Fsm.t;
+  c_masked : bool;  (** the expression evaluates at least one mask *)
+  c_posts : int list;  (** interned ids the action declares it may post *)
+  c_reads : string list;  (** resolved+defaulted effect declarations *)
+  c_writes : string list;
+  c_pure : bool;
+}
+
+type row = {
+  row_cls : string;
+  row_name : string;
+  row_source : string;
+  row_dead : bool;  (** language-empty machine: can never fire *)
+  row_direct : Footprint.t;
+      (** locks of one firing, excluding everything its posts cause *)
+  row_cascade : Footprint.t;
+      (** transitive closure over the posting graph — the footprint the
+          dynamic soundness checker validates against *)
+  row_snapshot_safe : bool;
+      (** cascade never X-locks an object store (and the trigger is not
+          dead): certified MVCC candidate *)
+  row_commute : int;
+      (** commutativity-class id: rows in different classes have
+          non-conflicting cascade footprints and commute — safe to run
+          concurrently under [Free]-mode sharding *)
+  row_cross : (string * string) list;
+      (** posting edges leaving the trigger's class family, as
+          (event name, target class): each such post may cross the
+          [oid mod K] shard partition and forward *)
+}
+
+type cycle = {
+  cy_nodes : string list;  (** lock targets in cycle order, rendered
+      ["triggers(C)"] / ["objects(C)"] *)
+  cy_edges : (string * string * string) list;
+      (** (from, to, witness): [witness] is the qualified trigger whose
+          cascade acquires [from] before [to] *)
+}
+
+type report = {
+  rp_rows : row list;  (** class-then-declaration order *)
+  rp_cycles : cycle list;  (** lock-order cycles — potential deadlocks *)
+  rp_independent_pairs : int;  (** trigger pairs certified to commute *)
+  rp_total_pairs : int;
+}
+
+val analyze :
+  ?same_family:(string -> string -> bool) ->
+  ?event_name:(int -> string) ->
+  rule list ->
+  report
+(** [same_family a b] decides whether classes [a] and [b] can describe
+    the same objects (subtype-related in either direction); it widens
+    object-store conflict detection and narrows shard-affinity: a post
+    whose targets are all same-family is assumed anchor-local, one that
+    reaches an unrelated class necessarily addresses another object —
+    and with [oid mod K] placement an expected [(K-1)/K] of those
+    forwards cross shards. Defaults to name equality. *)
+
+val footprint : report -> cls:string -> trigger:string -> Footprint.t option
+(** The cascade footprint of one trigger, for the runtime soundness
+    checker. *)
+
+val diagnostics : report -> Diagnostic.t list
+(** Pass ["concur"]: [lock-order-cycle] errors (with the witness cascade
+    in the message and the witness triggers in [d_related]),
+    [snapshot-safe] and [cross-shard-post] infos. Unsorted — callers
+    merge with other passes and {!Diagnostic.sort}. *)
+
+val pp_report : ?shards:int -> Format.formatter -> report -> unit
+(** Human-readable footprint table; with [shards = K] also prints the
+    estimated cross-shard forward fraction per affected trigger. *)
+
+val report_json : ?shards:int -> report -> string
+(** Machine-readable table, stable field order, ["\n"]-terminated. *)

@@ -47,7 +47,19 @@ let compare a b =
       if c <> 0 then c
       else begin
         let c = String.compare a.d_code b.d_code in
-        if c <> 0 then c else String.compare a.d_message b.d_message
+        if c <> 0 then c
+        else begin
+          (* Two passes can emit the same code for the same span (e.g. a
+             re-run under a different configuration merged into one
+             report): keep interleaved pass output stable too. *)
+          let c = String.compare a.d_pass b.d_pass in
+          if c <> 0 then c
+          else begin
+            let c = String.compare a.d_message b.d_message in
+            if c <> 0 then c
+            else List.compare String.compare a.d_related b.d_related
+          end
+        end
       end
     end
   end

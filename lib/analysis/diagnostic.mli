@@ -10,8 +10,10 @@
 
     The JSON encoder is hand-rolled (the repo carries no JSON dependency)
     and the rendering is deterministic: [sort] orders diagnostics by
-    descending severity, then class, trigger, code and message, so golden
-    tests and CI output are stable. *)
+    descending severity, then class, trigger, code, pass, message and
+    related list — a total order over every field, so interleaving the
+    output of multiple passes (or merged analyzer runs) stays stable for
+    golden tests and CI. *)
 
 type severity = Info | Warning | Error
 

@@ -1,0 +1,93 @@
+module SS = Set.Make (String)
+
+type t = { trig_s : SS.t; trig_x : SS.t; obj_s : SS.t; obj_x : SS.t }
+
+let empty = { trig_s = SS.empty; trig_x = SS.empty; obj_s = SS.empty; obj_x = SS.empty }
+
+let is_empty fp =
+  SS.is_empty fp.trig_s && SS.is_empty fp.trig_x && SS.is_empty fp.obj_s && SS.is_empty fp.obj_x
+
+let union a b =
+  {
+    trig_s = SS.union a.trig_s b.trig_s;
+    trig_x = SS.union a.trig_x b.trig_x;
+    obj_s = SS.union a.obj_s b.obj_s;
+    obj_x = SS.union a.obj_x b.obj_x;
+  }
+
+let equal a b =
+  SS.equal a.trig_s b.trig_s && SS.equal a.trig_x b.trig_x && SS.equal a.obj_s b.obj_s
+  && SS.equal a.obj_x b.obj_x
+
+let make ?(trig_s = []) ?(trig_x = []) ?(obj_s = []) ?(obj_x = []) () =
+  {
+    trig_s = SS.of_list trig_s;
+    trig_x = SS.of_list trig_x;
+    obj_s = SS.of_list obj_s;
+    obj_x = SS.of_list obj_x;
+  }
+
+let object_read_only fp = SS.is_empty fp.obj_x
+
+let conflicts ?(related = String.equal) a b =
+  let touches set cls = SS.mem cls set in
+  let touches_related set cls = SS.exists (fun c -> related c cls) set in
+  (* TriggerState rows are keyed by defining class: exact-name overlap. *)
+  SS.exists (fun c -> touches b.trig_s c || touches b.trig_x c) a.trig_x
+  || SS.exists (fun c -> touches b.trig_x c) a.trig_s
+  (* Object rows: two subtyping-related class names can describe the
+     same objects, so widen the match. *)
+  || SS.exists (fun c -> touches_related b.obj_s c || touches_related b.obj_x c) a.obj_x
+  || SS.exists (fun c -> touches_related b.obj_x c) a.obj_s
+
+let covered ~sub ~observed ~static =
+  let violations = ref [] in
+  let check kind_name obs ok =
+    SS.iter
+      (fun cls -> if not (ok cls) then violations := Printf.sprintf "%s(%s)" kind_name cls :: !violations)
+      obs
+  in
+  (* Observed TriggerState class A is justified by static C <= A: static
+     footprints name the most-derived class whose lifecycle is declared,
+     runtime lifecycle walks up to ancestors' constraint activations. *)
+  let trig_ok statics a = SS.exists (fun c -> String.equal c a || sub ~sub:c ~super:a) statics in
+  (* Observed object class D is justified by static C >= D: effects name
+     base classes, runtime sees dynamic (more derived) classes. *)
+  let obj_ok statics d = SS.exists (fun c -> String.equal c d || sub ~sub:d ~super:c) statics in
+  let trig_any = SS.union static.trig_s static.trig_x in
+  let obj_any = SS.union static.obj_s static.obj_x in
+  check "S triggers" observed.trig_s (trig_ok trig_any);
+  check "X triggers" observed.trig_x (trig_ok static.trig_x);
+  check "S objects" observed.obj_s (obj_ok obj_any);
+  check "X objects" observed.obj_x (obj_ok static.obj_x);
+  List.sort String.compare !violations
+
+let targets fp =
+  let trig = SS.union fp.trig_s fp.trig_x and obj = SS.union fp.obj_s fp.obj_x in
+  List.sort String.compare
+    (List.map (Printf.sprintf "triggers(%s)") (SS.elements trig)
+    @ List.map (Printf.sprintf "objects(%s)") (SS.elements obj))
+
+let mode_targets fp mode =
+  let trig, obj = match mode with `S -> (fp.trig_s, fp.obj_s) | `X -> (fp.trig_x, fp.obj_x) in
+  List.map (Printf.sprintf "triggers(%s)") (SS.elements trig)
+  @ List.map (Printf.sprintf "objects(%s)") (SS.elements obj)
+
+let pp ppf fp =
+  if is_empty fp then Format.pp_print_string ppf "(empty)"
+  else begin
+    let s = mode_targets fp `S and x = mode_targets fp `X in
+    let part label = function
+      | [] -> None
+      | ts -> Some (label ^ " " ^ String.concat ", " ts)
+    in
+    let parts = List.filter_map Fun.id [ part "S:" s; part "X:" x ] in
+    Format.pp_print_string ppf (String.concat "; " parts)
+  end
+
+let json_array set =
+  "[" ^ String.concat "," (List.map (Printf.sprintf "%S") (SS.elements set)) ^ "]"
+
+let to_json fp =
+  Printf.sprintf {|{"trig_s":%s,"trig_x":%s,"obj_s":%s,"obj_x":%s}|} (json_array fp.trig_s)
+    (json_array fp.trig_x) (json_array fp.obj_s) (json_array fp.obj_x)

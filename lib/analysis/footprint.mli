@@ -1,0 +1,75 @@
+(** Lock footprints: the set algebra under {!Concur}'s whole-schema
+    concurrency analysis.
+
+    A footprint over-approximates the record locks one trigger firing
+    (plus everything it transitively causes) may acquire, at class
+    granularity and split by store: [trig_*] are TriggerState records of
+    activations {e defined by} the named class, [obj_*] are object
+    records whose {e dynamic} class is (a subclass of) the named class.
+    [S]/[X] follow {!Ode_storage.Lock_manager}: reads take S, any
+    insert/update/delete takes X, and the write-back TriggerState cache
+    acquires its X locks eagerly, so deferred flushes add nothing.
+
+    The dynamic soundness checker replays observed access sets against
+    these footprints with {!covered}; the static side builds them in
+    {!Concur}. *)
+
+module SS : Set.S with type elt = string
+
+type t = {
+  trig_s : SS.t;  (** classes whose TriggerState records may be S-locked *)
+  trig_x : SS.t;  (** ... X-locked (insert/update/delete) *)
+  obj_s : SS.t;  (** classes whose object records may be S-locked *)
+  obj_x : SS.t;  (** ... X-locked (create/update/delete) *)
+}
+
+val empty : t
+val is_empty : t -> bool
+val union : t -> t -> t
+val equal : t -> t -> bool
+
+val make :
+  ?trig_s:string list ->
+  ?trig_x:string list ->
+  ?obj_s:string list ->
+  ?obj_x:string list ->
+  unit ->
+  t
+
+val object_read_only : t -> bool
+(** No X entry on any object class: the snapshot-safe criterion — an
+    MVCC read path could serve every object access of this footprint
+    from a consistent snapshot without locks. (TriggerState writes are
+    allowed: they are the bookkeeping MVCC would also version.) *)
+
+val conflicts : ?related:(string -> string -> bool) -> t -> t -> bool
+(** One side X-locks a target the other touches at all. [related]
+    widens name equality for {e object} classes (two classes related by
+    subtyping describe overlapping object populations); TriggerState
+    targets compare by defining class, where distinct names are distinct
+    record populations. Footprints that do not conflict commute:
+    executing them in either order (or concurrently on different shards)
+    yields the same state. *)
+
+val covered : sub:(sub:string -> super:string -> bool) -> observed:t -> static:t -> string list
+(** Soundness check: every observed access is justified by a static
+    entry, where X justifies S on the same target and the class match is
+    modulo subtyping — an observed {e object} class [D] is covered by a
+    static class [C] when [D <= C] (the static name over-approximates
+    down the hierarchy: declared effects name base classes, runtime sees
+    dynamic classes), and an observed {e TriggerState} defining class
+    [A] is covered by a static [C] when [C <= A] (object lifecycle on a
+    class touches the constraint activations of its {e ancestors}).
+    Returns human-readable descriptions of uncovered accesses; [[]]
+    means the observation is inside the static footprint. *)
+
+val targets : t -> string list
+(** All distinct lock targets, rendered ["triggers(C)"] / ["objects(C)"],
+    sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["S: triggers(A), objects(A); X: triggers(A)"] (or ["(empty)"]). *)
+
+val to_json : t -> string
+(** [{"trig_s":[...],"trig_x":[...],"obj_s":[...],"obj_x":[...]}] with
+    sorted arrays — stable for golden tests. *)

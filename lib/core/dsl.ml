@@ -18,7 +18,7 @@ let before_tabort = Intern.Before_tabort
 let after_tcommit = Intern.After_tcommit
 
 let trigger ?(params = []) ?(perpetual = false) ?(coupling = Coupling.Immediate) ?(posts = [])
-    name ~event ~action =
+    ?(reads = []) ?(writes = []) ?(pure = false) name ~event ~action =
   {
     Session.tr_name = name;
     tr_params = params;
@@ -27,6 +27,9 @@ let trigger ?(params = []) ?(perpetual = false) ?(coupling = Coupling.Immediate)
     tr_coupling = coupling;
     tr_action = action;
     tr_posts = posts;
+    tr_reads = reads;
+    tr_writes = writes;
+    tr_pure = pure;
   }
 
 let obj_get env (ctx : Ctx.ctx) field = Session.get_field env ctx.Ctx.txn ctx.Ctx.obj field

@@ -25,13 +25,20 @@ val trigger :
   ?perpetual:bool ->
   ?coupling:Ode_trigger.Coupling.t ->
   ?posts:string list ->
+  ?reads:string list ->
+  ?writes:string list ->
+  ?pure:bool ->
   string ->
   event:string ->
   action:Session.action_impl ->
   Session.trigger_spec
 (** Defaults: no parameters, once-only, immediate coupling — the paper's
     defaults. [posts] declares the events the action may post (for the
-    static analyzer's termination pass); default none. *)
+    static analyzer's termination pass); default none. [reads]/[writes]
+    declare the classes whose object stores the action touches and [pure]
+    that it touches none — inputs to the concurrency analyzer's
+    lock-footprint inference (see {!Session.trigger_spec}); default
+    undeclared, i.e. reads+writes of the trigger's own class. *)
 
 (* Accessors for trigger masks/actions (which receive a {!Ctx.ctx} for the
    anchor object). *)

@@ -294,33 +294,56 @@ let split_modifiers line raw =
   in
   (perpetual, coupling, expr)
 
-(* The action part of a trigger is "NAME [posts DECL, DECL...]": an action
-   binding name, optionally followed by the events the action may post
-   (event-declaration syntax, fed to the static analyzer's termination
-   pass). *)
-let split_posts raw =
+(* The action part of a trigger is
+   "NAME [pure] [posts DECL, ...] [reads CLS, ...] [writes CLS, ...]": an
+   action binding name followed by declarative clauses, in any order —
+   [posts] (event-declaration syntax) feeds the static analyzer's
+   termination pass; [reads]/[writes] (class names) and [pure] feed the
+   concurrency analyzer's lock-footprint inference. *)
+let split_action_clauses line raw =
   let raw = String.trim raw in
   let n = String.length raw in
-  let rec find i =
-    if i + 5 > n then None
-    else if
-      String.sub raw i 5 = "posts"
-      && i > 0
-      && (not (is_ident raw.[i - 1]))
-      && (i + 5 = n || not (is_ident raw.[i + 5]))
-    then Some i
-    else find (i + 1)
+  let keywords = [ "pure"; "posts"; "reads"; "writes" ] in
+  let standalone_at i kw =
+    let k = String.length kw in
+    i + k <= n
+    && String.sub raw i k = kw
+    && i > 0
+    && (not (is_ident raw.[i - 1]))
+    && (i + k = n || not (is_ident raw.[i + k]))
   in
-  match find 0 with
-  | None -> (raw, [])
-  | Some i ->
-      let action = String.trim (String.sub raw 0 i) in
-      let posts =
-        String.split_on_char ',' (String.sub raw (i + 5) (n - i - 5))
-        |> List.map String.trim
-        |> List.filter (fun p -> p <> "")
-      in
-      (action, posts)
+  let rec find i acc =
+    if i >= n then List.rev acc
+    else
+      match List.find_opt (standalone_at i) keywords with
+      | Some kw -> find (i + String.length kw) ((i, kw) :: acc)
+      | None -> find (i + 1) acc
+  in
+  let marks = find 0 [] in
+  let action =
+    String.trim (String.sub raw 0 (match marks with (i, _) :: _ -> i | [] -> n))
+  in
+  let split_names content =
+    String.split_on_char ',' content |> List.map String.trim |> List.filter (fun p -> p <> "")
+  in
+  let pure = ref false and posts = ref [] and reads = ref [] and writes = ref [] in
+  let rec sections = function
+    | [] -> ()
+    | (i, kw) :: rest ->
+        let start = i + String.length kw in
+        let stop = match rest with (j, _) :: _ -> j | [] -> n in
+        let content = String.trim (String.sub raw start (stop - start)) in
+        (match kw with
+        | "pure" ->
+            if content <> "" then syntax_error line "unexpected %S after 'pure'" content;
+            pure := true
+        | "posts" -> posts := !posts @ split_names content
+        | "reads" -> reads := !reads @ split_names content
+        | _ -> writes := !writes @ split_names content);
+        sections rest
+  in
+  sections marks;
+  (action, !posts, !reads, !writes, !pure)
 
 (* ------------------------------------------------------------------ *)
 (* Class bodies. *)
@@ -330,8 +353,12 @@ type decl = {
   mutable d_methods : string list;
   mutable d_masks : string list;
   mutable d_events : Ode_event.Intern.basic list;
-  mutable d_triggers : (string * string list * bool * Coupling.t * string * string * string list) list;
-      (* name, params, perpetual, coupling, expr text, action name, posts *)
+  mutable d_triggers :
+    (string * string list * bool * Coupling.t * string * string * string list * string list
+    * string list * bool)
+    list;
+      (* name, params, perpetual, coupling, expr text, action name, posts,
+         reads, writes, pure *)
   mutable d_constraints : string list;
 }
 
@@ -392,11 +419,12 @@ let parse_class_body cur =
             expect_char cur ':' "':'";
             let raw = until cur "==>" in
             let perpetual, coupling, expr = split_modifiers line raw in
-            let action, posts = split_posts (until cur ";") in
+            let action, posts, reads, writes, pure = split_action_clauses line (until cur ";") in
             if expr = "" then syntax_error line "trigger %s has an empty event expression" name;
             if action = "" then syntax_error line "trigger %s has an empty action" name;
             decl.d_triggers <-
-              decl.d_triggers @ [ (name, params, perpetual, coupling, expr, action, posts) ]
+              decl.d_triggers
+              @ [ (name, params, perpetual, coupling, expr, action, posts, reads, writes, pure) ]
         | type_name ->
             (* field: TYPE NAME [= LITERAL]; *)
             let default =
@@ -447,11 +475,13 @@ let define_one env ~on_missing ~allow_lint_errors ~bindings ~name ~parents decl 
   in
   let triggers =
     List.map
-      (fun (tname, params, perpetual, coupling, expr, action_name, posts) ->
+      (fun (tname, params, perpetual, coupling, expr, action_name, posts, reads, writes, pure) ->
         let action =
           if action_name = "tabort" then fun _env _ctx -> Session.tabort ()
           else resolve ~stub:stub_action ~on_missing "action" bindings.actions ~cls action_name
         in
+        (* [tabort] touches no object store by construction. *)
+        let pure = pure || (action_name = "tabort" && reads = [] && writes = []) in
         {
           Session.tr_name = tname;
           tr_params = params;
@@ -460,6 +490,9 @@ let define_one env ~on_missing ~allow_lint_errors ~bindings ~name ~parents decl 
           tr_coupling = coupling;
           tr_action = action;
           tr_posts = posts;
+          tr_reads = reads;
+          tr_writes = writes;
+          tr_pure = pure;
         })
       decl.d_triggers
   in

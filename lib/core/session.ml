@@ -19,6 +19,8 @@ module Minimize = Ode_event.Minimize
 module Fsm = Ode_event.Fsm
 module Coupling = Ode_trigger.Coupling
 module Analyze = Ode_analysis.Analyze
+module Concur = Ode_analysis.Concur
+module Footprint = Ode_analysis.Footprint
 module Diagnostic = Ode_analysis.Diagnostic
 module Trigger_def = Ode_trigger.Trigger_def
 module Trigger_state = Ode_trigger.Trigger_state
@@ -66,6 +68,15 @@ type t = {
   classes : (string, class_entry) Hashtbl.t;
   posting_plans : (string * string, int list * int list) Hashtbl.t;
       (* (dynamic class, method) -> before ids, after ids *)
+  mutable validation : validation option;
+      (* lock-footprint soundness checker (see enable_validation) *)
+}
+
+and validation = {
+  v_table : (string * string, Footprint.t) Hashtbl.t;
+      (* (defining class, trigger) -> static cascade footprint *)
+  mutable v_violations : string list;  (* reversed *)
+  mutable v_frames : int;  (* firings validated *)
 }
 
 and method_ctx = {
@@ -101,6 +112,9 @@ type trigger_spec = {
   tr_coupling : Coupling.t;
   tr_action : action_impl;
   tr_posts : string list;
+  tr_reads : string list;
+  tr_writes : string list;
+  tr_pure : bool;
 }
 
 let store_kind t = t.kind
@@ -128,6 +142,7 @@ let assemble ?engine ?intern ~kind ~backend ~faults ~mgr ~obj_store ~trig_store 
     intern;
     classes = Hashtbl.create 32;
     posting_plans = Hashtbl.create 64;
+    validation = None;
   }
 
 (* [shard] = (index, count): the object store only mints rids ≡ index
@@ -241,6 +256,89 @@ let before_twin t event =
       declared_event_id t ~cls (Intern.Before m)
   | _ -> None
 
+(* Subtype oracle for the concur pass: two classes can describe the same
+   objects iff one is an ancestor of the other. *)
+let same_family t a b =
+  let registry = Runtime.registry t.rt in
+  String.equal a b
+  || Trigger_def.Registry.is_subclass registry ~sub:a ~super:b
+  || Trigger_def.Registry.is_subclass registry ~sub:b ~super:a
+
+(* The whole-schema footprint table over the current registry — behind
+   [odectl footprint] and the dynamic soundness checker. *)
+let concur_report t =
+  Analyze.concur_report ~same_family:(same_family t)
+    ~event_name:(Intern.name_of_id t.intern)
+    (Analyze.rules_of_registry (Runtime.registry t.rt))
+
+(* ------------------------------------------------------------------ *)
+(* Lock-footprint validation mode: record each firing's observed lock
+   set (Runtime frames) and assert it is covered by the static cascade
+   footprint — the analyzer can never silently under-approximate. *)
+
+let footprint_of_acc acc =
+  List.fold_left
+    (fun fp (kind, cls) ->
+      let one =
+        match kind with
+        | Runtime.Trig_read -> Footprint.make ~trig_s:[ cls ] ()
+        | Runtime.Trig_write -> Footprint.make ~trig_x:[ cls ] ()
+        | Runtime.Obj_read -> Footprint.make ~obj_s:[ cls ] ()
+        | Runtime.Obj_write -> Footprint.make ~obj_x:[ cls ] ()
+      in
+      Footprint.union fp one)
+    Footprint.empty acc
+
+let enable_validation t =
+  (* The reference engine reads every candidate activation on every post
+     (no relevance filtering), acquiring S locks the static footprint
+     deliberately excludes — validation is defined over the default
+     filtered engine. *)
+  if not (Runtime.config t.rt).Runtime.filter then
+    fail "enable_validation: requires the filtering engine (reference_config reads every candidate activation)";
+  let v =
+    match t.validation with
+    | Some v -> v
+    | None ->
+        let v = { v_table = Hashtbl.create 64; v_violations = []; v_frames = 0 } in
+        t.validation <- Some v;
+        v
+  in
+  Hashtbl.reset v.v_table;
+  List.iter
+    (fun row ->
+      Hashtbl.replace v.v_table (row.Concur.row_cls, row.Concur.row_name) row.Concur.row_cascade)
+    (concur_report t).Concur.rp_rows;
+  let registry = Runtime.registry t.rt in
+  let sub ~sub:s ~super = Trigger_def.Registry.is_subclass registry ~sub:s ~super in
+  Runtime.set_validator t.rt
+    (Some
+       (fun ~cls ~trigger ~acc ->
+         v.v_frames <- v.v_frames + 1;
+         match Hashtbl.find_opt v.v_table (cls, trigger) with
+         | None ->
+             v.v_violations <-
+               Printf.sprintf "%s.%s: fired without a static footprint" cls trigger
+               :: v.v_violations
+         | Some static -> begin
+             match Footprint.covered ~sub ~observed:(footprint_of_acc acc) ~static with
+             | [] -> ()
+             | uncovered ->
+                 v.v_violations <-
+                   Printf.sprintf "%s.%s: observed locks outside the static footprint: %s" cls
+                     trigger (String.concat ", " uncovered)
+                   :: v.v_violations
+           end))
+
+let disable_validation t =
+  t.validation <- None;
+  Runtime.set_validator t.rt None
+
+let validation_violations t =
+  match t.validation with None -> [] | Some v -> List.rev v.v_violations
+
+let validation_frames t = match t.validation with None -> 0 | Some v -> v.v_frames
+
 let define_class t ~name ?(parents = []) ?(fields = []) ?(methods = []) ?(events = [])
     ?(masks = []) ?(triggers = []) ?(constraints = []) ?(allow_lint_errors = false) () =
   if Hashtbl.mem t.classes name then fail "class %s is already defined" name;
@@ -267,6 +365,9 @@ let define_class t ~name ?(parents = []) ?(fields = []) ?(methods = []) ?(events
           tr_coupling = Coupling.Immediate;
           tr_action = (fun _env _ctx -> raise Runtime.Tabort);
           tr_posts = [];
+          tr_reads = [];
+          tr_writes = [];
+          tr_pure = true;
         })
       constraints
   in
@@ -388,6 +489,28 @@ let define_class t ~name ?(parents = []) ?(fields = []) ?(methods = []) ?(events
             name spec.tr_name raw
     in
     let posts = List.sort_uniq Int.compare (List.map resolve_post spec.tr_posts) in
+    (* Effect declarations ([reads]/[writes]/[pure]) feed the concurrency
+       analyzer. A class named in a clause must already be defined (or be
+       this class); undeclared actions default to reads+writes of their own
+       class — a safe over-approximation for intra-object actions. *)
+    let resolve_effect what raw =
+      let cls = String.trim raw in
+      if String.equal cls name || Hashtbl.mem t.classes cls then cls
+      else
+        fail "class %s, trigger %s: %s declaration names unknown class %s" name spec.tr_name what
+          cls
+    in
+    let reads, writes =
+      if spec.tr_pure then begin
+        if spec.tr_reads <> [] || spec.tr_writes <> [] then
+          fail "class %s, trigger %s: pure excludes reads/writes declarations" name spec.tr_name;
+        ([], [])
+      end
+      else if spec.tr_reads = [] && spec.tr_writes = [] then ([ name ], [ name ])
+      else
+        ( List.sort_uniq String.compare (List.map (resolve_effect "reads") spec.tr_reads),
+          List.sort_uniq String.compare (List.map (resolve_effect "writes") spec.tr_writes) )
+    in
     let used_masks = Ast.masks expr in
     let mask_fns =
       List.map
@@ -411,6 +534,9 @@ let define_class t ~name ?(parents = []) ?(fields = []) ?(methods = []) ?(events
       t_anchored = anchored;
       t_source = spec.tr_event;
       t_posts = posts;
+      t_reads = reads;
+      t_writes = writes;
+      t_pure = spec.tr_pure;
     }
   in
   let infos = Array.of_list (List.mapi compile_trigger triggers) in
@@ -457,14 +583,17 @@ let define_class t ~name ?(parents = []) ?(fields = []) ?(methods = []) ?(events
       d_alphabet = alphabet;
       d_txn_events = txn_events;
       d_triggers = infos;
-    }
+    };
+  (* A new class changes the whole-schema footprint table: refresh the
+     dynamic checker so already-installed validators see the new rows. *)
+  if Option.is_some t.validation then enable_validation t
 
 (* Full analysis of every registered trigger (all five passes), for
    [odectl lint] and tests. *)
 let lint ?config t =
   let rules = Analyze.rules_of_registry (Runtime.registry t.rt) in
   Analyze.analyze ?config ~event_name:(Intern.name_of_id t.intern) ~before_twin:(before_twin t)
-    rules
+    ~same_family:(same_family t) rules
 
 (* ------------------------------------------------------------------ *)
 (* Method resolution and event posting plans (§5.3). *)
@@ -504,7 +633,11 @@ let posting_plan t ~cls mname =
 (* ------------------------------------------------------------------ *)
 (* Persistent object operations. *)
 
-let class_of t txn oid = Database.class_of t.db txn oid
+let class_of t txn oid =
+  let cls = Database.class_of t.db txn oid in
+  (* S lock on the object's record: visible to validation frames. *)
+  Runtime.note_object_access t.rt ~cls ~write:false;
+  cls
 
 let note_access t txn oid =
   let cls = class_of t txn oid in
@@ -523,6 +656,7 @@ let pnew t txn ~cls ?(init = []) () =
       if not (List.mem_assoc name fields) then fail "class %s has no field %s" cls name)
     init;
   let oid = Database.pnew t.db txn (Objrec.make ~cls ~fields) in
+  Runtime.note_object_access t.rt ~cls ~write:true;
   Runtime.note_access t.rt txn ~obj:oid ~cls;
   (* Auto-activate constraint triggers declared by the class and its
      bases. *)
@@ -538,6 +672,9 @@ let pnew t txn ~cls ?(init = []) () =
   oid
 
 let pdelete t txn oid =
+  (if Runtime.in_validation_frame t.rt then
+     let cls = Database.class_of t.db txn oid in
+     Runtime.note_object_access t.rt ~cls ~write:true);
   (* Dropping an object deactivates the triggers anchored at it; dangling
      TriggerStates would otherwise crash later postings and commits. *)
   Runtime.on_object_deleted t.rt txn oid;
@@ -550,7 +687,9 @@ let get_field t txn oid field =
   Database.get_field t.db txn oid field
 
 let set_field t txn oid field v =
-  note_access t txn oid;
+  let cls = class_of t txn oid in
+  Runtime.note_access t.rt txn ~obj:oid ~cls;
+  Runtime.note_object_access t.rt ~cls ~write:true;
   Database.set_field t.db txn oid field v
 
 let post_event ?(args = []) t txn oid ename =
@@ -578,7 +717,7 @@ let rec invoke t txn oid mname args =
   Runtime.note_access t.rt txn ~obj:oid ~cls;
   let impl = resolve_method t ~cls mname in
   let before_ids, after_ids = posting_plan t ~cls mname in
-  let ctx = persistent_ctx t txn oid in
+  let ctx = persistent_ctx t txn oid ~cls in
   (* §8 "attributes of events": the invocation's arguments travel with the
      before/after events, so masks can inspect them. *)
   List.iter (fun event -> Runtime.post ~payload:args t.rt txn ~obj:oid ~event) before_ids;
@@ -586,13 +725,19 @@ let rec invoke t txn oid mname args =
   List.iter (fun event -> Runtime.post ~payload:args t.rt txn ~obj:oid ~event) after_ids;
   result
 
-and persistent_ctx t txn oid =
+and persistent_ctx t txn oid ~cls =
   {
     env = t;
     txn = Some txn;
     self = Persistent oid;
-    get = (fun field -> Database.get_field t.db txn oid field);
-    set = (fun field v -> Database.set_field t.db txn oid field v);
+    get =
+      (fun field ->
+        Runtime.note_object_access t.rt ~cls ~write:false;
+        Database.get_field t.db txn oid field);
+    set =
+      (fun field v ->
+        Runtime.note_object_access t.rt ~cls ~write:true;
+        Database.set_field t.db txn oid field v);
     invoke_self = (fun mname args -> invoke t txn oid mname args);
     post_self = (fun ename -> post_event t txn oid ename);
   }

@@ -66,6 +66,17 @@ type trigger_spec = {
           the [posts] clause. Purely declarative: resolved against the
           declared alphabet at class definition and fed to the static
           analyzer's rule triggering graph; the runtime never reads it. *)
+  tr_reads : string list;
+      (** classes whose object stores the action may read — the [reads]
+          clause, input to the concurrency analyzer's lock-footprint
+          inference. Each name must be this class or an already-defined
+          one. When both [tr_reads] and [tr_writes] are empty (and not
+          [tr_pure]) the action defaults to reads+writes of its own
+          class. *)
+  tr_writes : string list;  (** classes the action may write — [writes] *)
+  tr_pure : bool;
+      (** the action touches no object store at all (e.g. [tabort]);
+          excludes [tr_reads]/[tr_writes] *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -172,10 +183,46 @@ val define_class :
     trigger expressions that fail to parse. *)
 
 val lint : ?config:Ode_analysis.Analyze.config -> t -> Ode_analysis.Diagnostic.t list
-(** Run the full static analysis (all five passes — emptiness, vacuity,
-    subsumption, termination, blow-up budget) over every registered
-    trigger, sorted most-severe first. [config] defaults to
+(** Run the full static analysis (all six passes — emptiness, vacuity,
+    subsumption, termination, blow-up budget, concurrency) over every
+    registered trigger, sorted most-severe first. [config] defaults to
     {!Ode_analysis.Analyze.default_config}. *)
+
+val concur_report : t -> Ode_analysis.Concur.report
+(** The whole-schema concurrency report over every registered trigger:
+    per-trigger lock footprints (direct and cascade-transitive),
+    lock-order cycles, commutativity classes, snapshot-safety and
+    shard-affinity judgements — what [odectl footprint] renders and
+    {!enable_validation} checks firings against. *)
+
+(* -------------------- footprint validation -------------------- *)
+
+val enable_validation : t -> unit
+(** Switch on the dynamic lock-footprint soundness checker: every trigger
+    firing from now on records the lock set it actually acquires (trigger
+    and object records, S and X) and checks it against the static cascade
+    footprint from {!concur_report}. Accesses outside the footprint are
+    collected as {!validation_violations} — an empty list after a workload
+    is evidence the static analysis over-approximates the runtime, as it
+    must. Frames nest: a cascaded firing's locks are charged to every
+    open frame, matching the transitive footprint.
+
+    The table refreshes automatically when further classes are defined.
+    Raises {!Ode_error} under {!Ode_trigger.Runtime.reference_config}: the
+    reference engine reads every candidate activation on every post (no
+    relevance filtering), acquiring locks the static footprint deliberately
+    excludes — validation is defined over the default filtered engine. *)
+
+val disable_validation : t -> unit
+(** Stop recording; clears collected violations. *)
+
+val validation_violations : t -> string list
+(** Violations collected since {!enable_validation}, oldest first; each is
+    ["Cls.Trigger: observed locks outside the static footprint: ..."]. *)
+
+val validation_frames : t -> int
+(** Firings validated since {!enable_validation} — assert it is positive
+    to know the checker actually saw work. *)
 
 (* -------------------- transactions -------------------- *)
 

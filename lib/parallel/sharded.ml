@@ -157,6 +157,10 @@ type shard = {
   mutable sh_failed : int;
   mutable sh_forwards_out : int;
   mutable sh_forwards_in : int;
+  mutable sh_trigger_forwards : int;
+      (* forwards emitted while a trigger action was on the stack — the
+         observable counterpart of the analyzer's cross-shard affinity
+         prediction *)
   mutable sh_rounds : int;
   mutable sh_outbox : envelope list;  (* newest first; Deterministic only *)
   mutable sh_latencies : float list;  (* seconds per completed task, newest first *)
@@ -206,6 +210,8 @@ let run_task t sh ~seq task =
               env_emit = !emitted }
           in
           incr emitted;
+          if Ode_trigger.Runtime.in_firing (Session.runtime sh.sh_session) then
+            sh.sh_trigger_forwards <- sh.sh_trigger_forwards + 1;
           buffered := e :: !buffered);
     }
   in
@@ -281,6 +287,7 @@ let make_shard ~mailbox_capacity i session =
     sh_failed = 0;
     sh_forwards_out = 0;
     sh_forwards_in = 0;
+    sh_trigger_forwards = 0;
     sh_rounds = 0;
     sh_outbox = [];
     sh_latencies = [];
@@ -470,6 +477,7 @@ type shard_stats = {
   ss_failed : int;
   ss_forwards_out : int;
   ss_forwards_in : int;
+  ss_trigger_forwards : int;
   ss_rounds : int;
   ss_mailbox_hwm : int;
 }
@@ -485,6 +493,7 @@ let shard_stats t =
            ss_failed = sh.sh_failed;
            ss_forwards_out = sh.sh_forwards_out;
            ss_forwards_in = sh.sh_forwards_in;
+           ss_trigger_forwards = sh.sh_trigger_forwards;
            ss_rounds = sh.sh_rounds;
            ss_mailbox_hwm = Mailbox.high_water sh.sh_mailbox;
          })
@@ -497,6 +506,7 @@ type fleet_stats = {
   fs_aborted : int;
   fs_failed : int;
   fs_forwards : int;  (* cross-shard envelopes sent *)
+  fs_trigger_forwards : int;  (* of which emitted inside a trigger firing *)
   fs_rounds : int;  (* barrier rounds (max over shards) *)
   fs_mailbox_hwm : int;  (* max over shards *)
 }
@@ -511,6 +521,7 @@ let stats t =
     fs_aborted = List.fold_left (fun a s -> a + s.ss_aborted) 0 per;
     fs_failed = List.fold_left (fun a s -> a + s.ss_failed) 0 per;
     fs_forwards = List.fold_left (fun a s -> a + s.ss_forwards_out) 0 per;
+    fs_trigger_forwards = List.fold_left (fun a s -> a + s.ss_trigger_forwards) 0 per;
     fs_rounds = List.fold_left (fun a s -> max a s.ss_rounds) 0 per;
     fs_mailbox_hwm = List.fold_left (fun a s -> max a s.ss_mailbox_hwm) 0 per;
   }

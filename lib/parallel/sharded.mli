@@ -163,6 +163,11 @@ type shard_stats = {
   ss_failed : int;
   ss_forwards_out : int;  (** envelopes sealed and sent *)
   ss_forwards_in : int;  (** envelopes applied *)
+  ss_trigger_forwards : int;
+      (** forwards emitted while a trigger action was on the stack — the
+          observable counterpart of the concurrency analyzer's
+          cross-shard affinity prediction: zero predicted
+          [cross-shard-post] edges must mean zero of these *)
   ss_rounds : int;  (** barrier rounds completed *)
   ss_mailbox_hwm : int;  (** mailbox high-water mark *)
 }
@@ -177,6 +182,7 @@ type fleet_stats = {
   fs_aborted : int;
   fs_failed : int;
   fs_forwards : int;
+  fs_trigger_forwards : int;  (** of which emitted inside a trigger firing *)
   fs_rounds : int;
   fs_mailbox_hwm : int;
 }

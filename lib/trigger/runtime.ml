@@ -118,6 +118,23 @@ type txn_local = {
   mutable dirty : Rid.t list;  (* reversed first-dirtied order *)
 }
 
+(* --- Lock-footprint validation mode (soundness checker for
+   Ode_analysis.Concur). When a validator is installed, every firing
+   pushes a frame; lock-relevant accesses performed while any frame is
+   open are recorded into {e all} open frames (a nested cascade's locks
+   belong to the outer trigger's transitive footprint too). On frame pop
+   the validator receives the observed access set. The record is at
+   class granularity, mirroring the static footprint's targets. *)
+type access = Trig_read | Trig_write | Obj_read | Obj_write
+
+type vframe = {
+  vf_cls : string;
+  vf_trigger : string;
+  mutable vf_acc : (access * string) list;
+}
+
+type validator = cls:string -> trigger:string -> acc:(access * string) list -> unit
+
 type t = {
   registry : Trigger_def.Registry.t;
   intern : Intern.t;
@@ -131,12 +148,33 @@ type t = {
   mutable phoenix_hint : int;
       (* over-approximation of queued phoenix entries; lets after-commit
          processing skip the drain scan entirely in the common case *)
+  mutable frames : vframe list;  (* open validation frames, innermost first *)
+  mutable validator : validator option;
   stats : stats;
 }
 
 let registry t = t.registry
 let intern t = t.intern
 let mgr t = t.mgr
+let in_firing t = t.fire_depth > 0
+let in_validation_frame t = t.frames <> []
+
+let set_validator t v =
+  t.validator <- v;
+  if v = None then t.frames <- []
+
+(* No-op when no frame is open (one list-emptiness check on the hot
+   path); otherwise dedup-insert into every open frame. *)
+let note_lock t access cls =
+  match t.frames with
+  | [] -> ()
+  | frames ->
+      List.iter
+        (fun fr ->
+          if not (List.mem (access, cls) fr.vf_acc) then fr.vf_acc <- (access, cls) :: fr.vf_acc)
+        frames
+
+let note_object_access t ~cls ~write = note_lock t (if write then Obj_write else Obj_read) cls
 
 let fresh_stats () =
   {
@@ -269,6 +307,8 @@ let create ?(config = default_config) ~mgr ~intern ~store () =
       fire_depth = 0;
       draining = false;
       phoenix_hint = 0;
+      frames = [];
+      validator = None;
       stats = fresh_stats ();
     }
   in
@@ -461,6 +501,7 @@ let activate ?(anchors = []) t txn ~defining_cls ~trigger ~obj ~obj_cls ~args =
     }
   in
   let id = t.store.Store.insert txn (Trigger_state.encode st) in
+  note_lock t Trig_write defining_cls;
   t.stats.activations <- t.stats.activations + 1;
   Log.debug (fun m ->
       m "activate %s::%s on %a (t%d)" defining_cls trigger Oid.pp obj txn.Txn.id);
@@ -516,6 +557,8 @@ let deactivate t txn id =
   match cached_read t txn id with
   | None -> ()
   | Some st ->
+      note_lock t Trig_read st.Trigger_state.trigobjtype;
+      note_lock t Trig_write st.Trigger_state.trigobjtype;
       evict_cached t txn id;
       t.store.Store.delete txn id;
       (match find_entry t ~obj:st.Trigger_state.trigobj ~rid:id with
@@ -535,6 +578,7 @@ let on_object_deleted t txn obj =
       match cached_read t txn entry.e_rid with
       | None -> ()
       | Some st ->
+          note_lock t Trig_read st.Trigger_state.trigobjtype;
           if Oid.equal st.Trigger_state.trigobj obj then deactivate t txn entry.e_rid
           else
             (* [obj] was a secondary anchor: keep the trigger, drop the
@@ -547,7 +591,9 @@ let active_on t txn obj =
   List.filter_map
     (fun entry ->
       match cached_read t txn entry.e_rid with
-      | Some st -> Some (entry.e_rid, st)
+      | Some st ->
+          note_lock t Trig_read st.Trigger_state.trigobjtype;
+          Some (entry.e_rid, st)
       | None -> None)
     entries
 
@@ -565,6 +611,7 @@ let enqueue_phoenix t txn fire =
     }
   in
   ignore (t.store.Store.insert txn (Trigger_state.encode_phoenix entry));
+  note_lock t Trig_write fire.f_cls;
   t.phoenix_hint <- t.phoenix_hint + 1
 
 let run_action t txn fire =
@@ -582,9 +629,26 @@ let run_action t txn fire =
   in
   if t.fire_depth > 64 then fail "trigger cascade deeper than 64";
   t.fire_depth <- t.fire_depth + 1;
-  Fun.protect
-    ~finally:(fun () -> t.fire_depth <- t.fire_depth - 1)
-    (fun () -> fire.f_info.Trigger_def.t_action ctx)
+  match t.validator with
+  | None ->
+      Fun.protect
+        ~finally:(fun () -> t.fire_depth <- t.fire_depth - 1)
+        (fun () -> fire.f_info.Trigger_def.t_action ctx)
+  | Some validate ->
+      (* Validation mode: open a frame for this firing; the finally block
+         still validates when the action aborts — locks acquired before
+         the abort were real acquisitions and must be inside the static
+         footprint. *)
+      let fr =
+        { vf_cls = fire.f_cls; vf_trigger = fire.f_info.Trigger_def.t_name; vf_acc = [] }
+      in
+      t.frames <- fr :: t.frames;
+      Fun.protect
+        ~finally:(fun () ->
+          t.fire_depth <- t.fire_depth - 1;
+          (match t.frames with _ :: rest -> t.frames <- rest | [] -> ());
+          validate ~cls:fr.vf_cls ~trigger:fr.vf_trigger ~acc:fr.vf_acc)
+        (fun () -> fire.f_info.Trigger_def.t_action ctx)
 
 let route_fire t txn fire =
   let info = fire.f_info in
@@ -712,6 +776,7 @@ let post ?(payload = []) t txn ~obj ~event =
       match cached_read t txn entry.e_rid with
       | None -> ()
       | Some st ->
+          note_lock t Trig_read entry.e_cls;
           if st.Trigger_state.statenum <> Trigger_state.dead_state then begin
             let info = info_of t entry in
             let fsm = info.Trigger_def.t_fsm in
@@ -741,6 +806,7 @@ let post ?(payload = []) t txn ~obj ~event =
                   (true, cascade t txn ~info ~ctx next)
             in
             if final <> st.Trigger_state.statenum then begin
+              note_lock t Trig_write entry.e_cls;
               write_state t txn entry.e_rid (Trigger_state.with_statenum st final);
               (* Mirror the move so filtering decisions see the new state;
                  journal the old mirror for abort reversal and mark this

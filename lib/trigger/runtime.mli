@@ -200,5 +200,44 @@ val drain_phoenix : t -> unit
 
 val phoenix_backlog : t -> int
 
+(** {1 Lock-footprint validation (soundness checker)}
+
+    Dynamic counterpart of {!Ode_analysis.Concur}'s static lock-footprint
+    inference. With a validator installed, every trigger firing opens a
+    frame; lock-relevant store accesses performed while the frame is open
+    — by the action itself, by machine advancement its posts cause, and
+    by anything deeper in the cascade — are recorded at class granularity
+    and handed to the validator when the frame closes. A nested firing's
+    accesses are also recorded into the enclosing frames, so each frame
+    sees its trigger's {e transitive} footprint. *)
+
+type access =
+  | Trig_read  (** S lock on a TriggerState record of the named class *)
+  | Trig_write  (** X lock (update/insert/delete) on same *)
+  | Obj_read  (** S lock on an object record whose dynamic class is named *)
+  | Obj_write  (** X lock on same *)
+
+type validator = cls:string -> trigger:string -> acc:(access * string) list -> unit
+
+val set_validator : t -> validator option -> unit
+(** Install (or remove, clearing any open frames) the validation
+    callback. [cls]/[trigger] identify the firing; [acc] is the deduped
+    observed access set. *)
+
+val in_firing : t -> bool
+(** A trigger action is on the call stack (fire depth > 0). Used by
+    {!Ode_parallel.Sharded} to count trigger-initiated cross-shard
+    forwards against the static affinity prediction. *)
+
+val in_validation_frame : t -> bool
+(** At least one validation frame is open — callers outside this module
+    (e.g. {!Ode_core.Session}'s object-store operations) use this to skip
+    note bookkeeping entirely in normal operation. *)
+
+val note_object_access : t -> cls:string -> write:bool -> unit
+(** Record an object-store access into the open frames (no-op when none
+    are). The session layer calls this from its object read/write paths,
+    where the dynamic class is known. *)
+
 val stats : t -> stats
 val reset_stats : t -> unit

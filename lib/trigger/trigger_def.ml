@@ -22,6 +22,9 @@ type info = {
   t_anchored : bool;
   t_source : string;
   t_posts : int list;
+  t_reads : string list;
+  t_writes : string list;
+  t_pure : bool;
 }
 
 type descriptor = {

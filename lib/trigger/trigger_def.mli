@@ -45,6 +45,17 @@ type info = {
       (** interned event ids the action declares it may post (the [posts]
           clause) — input to {!Ode_analysis}'s rule triggering graph; the
           runtime itself never reads it *)
+  t_reads : string list;
+      (** classes whose objects the action may read (the [reads] clause),
+          resolved and defaulted at define time: a pure action reads
+          nothing, an undeclared action is assumed to read and write its
+          own class. Like [t_posts], analysis input only. *)
+  t_writes : string list;
+      (** classes whose objects the action may create, update or delete
+          (the [writes] clause); same defaulting as {!t_reads} *)
+  t_pure : bool;
+      (** the action touches no object store at all (e.g. [tabort], or a
+          declared [pure] action) — the strongest effect annotation *)
 }
 
 type descriptor = {

@@ -55,6 +55,8 @@ let test_fixture_classes () =
   expect "shadowed-trigger" Diagnostic.Warning "Shadowed";
   expect "trigger-cycle" Diagnostic.Error "Cyclic";
   expect "state-blowup" Diagnostic.Warning "Blowup";
+  expect "snapshot-safe" Diagnostic.Info "Ledger";
+  expect "cross-shard-post" Diagnostic.Info "Source";
   (* The shadowing warning lands on the included trigger and names the
      shadowing one. *)
   let shadow = find "shadowed-trigger" in
@@ -73,8 +75,10 @@ let golden_json =
   {"file":"FILE","severity":"warning","code":"state-blowup","pass":"blowup","class":"Blowup","trigger":"Needle","source":"E, any, any, any, any, any, any, any, any","excerpt":null,"message":"determinization produced 513 states (budget 256); every activation pays for this machine","related":[]},
   {"file":"FILE","severity":"warning","code":"shadowed-trigger","pass":"subsumption","class":"Shadowed","trigger":"Narrow","source":"E, F","excerpt":null,"message":"every event sequence that fires this trigger also fires Shadowed.Wide","related":["Shadowed.Wide"]},
   {"file":"FILE","severity":"warning","code":"vacuous-mask","pass":"vacuity","class":"Unhealthy","trigger":"Vacuous","source":"F || ((E && G) & M)","excerpt":"(Unhealthy:E && Unhealthy:G) & M","message":"masked subexpression never lies on a completed match; mask M is evaluated only on paths that cannot fire","related":[]},
+  {"file":"FILE","severity":"info","code":"snapshot-safe","pass":"concur","class":"Ledger","trigger":"GuardBalance","source":"Audit","excerpt":null,"message":"cascade footprint never X-locks an object store; certified snapshot-safe (MVCC read-path candidate)","related":[]},
+  {"file":"FILE","severity":"info","code":"cross-shard-post","pass":"concur","class":"Source","trigger":"Fan","source":"Req","excerpt":null,"message":"posts cross the shard partition (Feed:Pub -> Mirror): with K shards an expected (K-1)/K of these posts forward to another shard","related":["Mirror"]},
   {"file":"FILE","severity":"info","code":"prunable-states","pass":"emptiness","class":"Unhealthy","trigger":"Dead","source":"(E, F) && (G, F)","excerpt":null,"message":"7 of 8 raw subset-construction states are unreachable or cannot reach an accept (trimmed from the registered machine)","related":[]}
-],"counts":{"error":2,"warning":3,"info":1}}
+],"counts":{"error":2,"warning":3,"info":3}}
 |}
 
 let test_golden_json () =

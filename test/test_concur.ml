@@ -1,0 +1,413 @@
+(* Whole-schema concurrency analyzer (Ode_analysis.Concur) and its
+   runtime soundness checker.
+
+   Unit tests pin the deadlock fixture's lock-order cycle, the
+   snapshot-safety and shard-affinity judgements, and that the dynamic
+   checker catches a deliberately under-declared action. The seeded
+   differential then generates random schemas (500 random trigger
+   expressions across 50 sessions), runs random post workloads with
+   validation on — every firing's observed lock set must be covered by
+   the static cascade footprint — and repeats one schema through sharded
+   fleets at K in {1, 2, 4}. *)
+
+module Session = Ode.Session
+module Opp = Ode.Opp
+module Dsl = Ode.Dsl
+module Concur = Ode_analysis.Concur
+module Diagnostic = Ode_analysis.Diagnostic
+module Sharded = Ode_parallel.Sharded
+module Value = Ode_objstore.Value
+module Ctx = Ode_trigger.Trigger_def
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1)) in
+  go 0
+
+(* Relative to the runner's cwd: [_build/default/test] under
+   [dune runtest] (the fixtures are dune deps), the repo root under
+   [dune exec test/main.exe] (the CI seed matrix). *)
+let fixture_path name =
+  let candidates =
+    [ Filename.concat "../examples/schemas" name; Filename.concat "examples/schemas" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "fixture %s not found from cwd %s" name (Sys.getcwd ())
+
+let deadlock_fixture_path () = fixture_path "deadlock_fixture.opp"
+let credit_card_path () = fixture_path "credit_card.opp"
+
+let load_fixture path =
+  let source = In_channel.with_open_text path In_channel.input_all in
+  let env = Session.create () in
+  ignore (Opp.load ~on_missing:`Stub ~allow_lint_errors:true env ~bindings:Opp.no_bindings source);
+  env
+
+let row report ~cls ~trigger =
+  match
+    List.find_opt
+      (fun r -> String.equal r.Concur.row_cls cls && String.equal r.Concur.row_name trigger)
+      report.Concur.rp_rows
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "report has no row for %s.%s" cls trigger
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock fixture: a lock-order cycle without a firing-graph cycle. *)
+
+let test_deadlock_fixture () =
+  let env = load_fixture (deadlock_fixture_path ()) in
+  let report = Session.concur_report env in
+  Alcotest.(check int) "one lock-order cycle" 1 (List.length report.Concur.rp_cycles);
+  let cy = List.hd report.Concur.rp_cycles in
+  let witnesses = List.sort_uniq compare (List.map (fun (_, _, w) -> w) cy.Concur.cy_edges) in
+  Alcotest.(check (list string)) "witness cascades" [ "Lft.Fwd"; "Rgt.Back" ] witnesses;
+  (* The cycle surfaces as an Error diagnostic of the concur pass... *)
+  let diags = Session.lint env in
+  let cycle_diag =
+    match
+      List.find_opt (fun d -> String.equal d.Diagnostic.d_code "lock-order-cycle") diags
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "lint produced no lock-order-cycle diagnostic"
+  in
+  Alcotest.(check string) "cycle severity" "error"
+    (Diagnostic.severity_to_string cycle_diag.Diagnostic.d_severity);
+  Alcotest.(check string) "cycle pass" "concur" cycle_diag.Diagnostic.d_pass;
+  Alcotest.(check (list string))
+    "cycle related lists both cascades" [ "Lft.Fwd"; "Rgt.Back" ]
+    cycle_diag.Diagnostic.d_related;
+  (* ...while the termination pass stays silent (no firing-graph cycle:
+     each posting chain ends in a non-posting listener). *)
+  Alcotest.(check (list string)) "no trigger-cycle" []
+    (List.filter_map
+       (fun d ->
+         if String.equal d.Diagnostic.d_code "trigger-cycle" then Some d.Diagnostic.d_message
+         else None)
+       diags)
+
+let test_fixture_judgements () =
+  let env = load_fixture (deadlock_fixture_path ()) in
+  let report = Session.concur_report env in
+  Alcotest.(check bool) "Guard snapshot-safe" true
+    (row report ~cls:"Lft" ~trigger:"Guard").Concur.row_snapshot_safe;
+  Alcotest.(check bool) "Fwd not snapshot-safe" false
+    (row report ~cls:"Lft" ~trigger:"Fwd").Concur.row_snapshot_safe;
+  (* Affinity: each posting trigger reaches exactly the sibling family. *)
+  Alcotest.(check (list (pair string string)))
+    "Fwd crosses to Rgt"
+    [ ("Chan:Pong", "Rgt") ]
+    (row report ~cls:"Lft" ~trigger:"Fwd").Concur.row_cross;
+  Alcotest.(check (list (pair string string)))
+    "Back crosses to Lft"
+    [ ("Chan:Dong", "Lft") ]
+    (row report ~cls:"Rgt" ~trigger:"Back").Concur.row_cross;
+  (* Everything here conflicts transitively: one commutativity class. *)
+  Alcotest.(check int) "no independent pairs" 0 report.Concur.rp_independent_pairs
+
+let test_credit_card_clean () =
+  let env = load_fixture (credit_card_path ()) in
+  let report = Session.concur_report env in
+  Alcotest.(check int) "no lock-order cycles" 0 (List.length report.Concur.rp_cycles);
+  Alcotest.(check bool) "DenyCredit snapshot-safe" true
+    (row report ~cls:"CredCard" ~trigger:"DenyCredit").Concur.row_snapshot_safe;
+  List.iter
+    (fun r -> Alcotest.(check (list (pair string string))) "no cross-shard posts" [] r.Concur.row_cross)
+    report.Concur.rp_rows
+
+(* ------------------------------------------------------------------ *)
+(* The checker must catch an under-declared action: a trigger declared
+   [pure] whose action writes its anchor is exactly the lie the static
+   table would propagate silently. *)
+
+let test_validator_catches_lie () =
+  let env = Session.create () in
+  Session.define_class env ~name:"Liar"
+    ~fields:[ ("n", Dsl.int 0) ]
+    ~events:[ Dsl.user_event "Poke" ]
+    ~triggers:
+      [
+        Dsl.trigger "Sneaky" ~perpetual:true ~pure:true ~event:"Poke"
+          ~action:(fun env ctx ->
+            Dsl.obj_set env ctx "n" (Dsl.int (1 + Value.to_int (Dsl.obj_get env ctx "n"))));
+      ]
+    ();
+  Session.enable_validation env;
+  Session.with_txn env (fun txn ->
+      let o = Session.pnew env txn ~cls:"Liar" () in
+      ignore (Session.activate env txn o ~trigger:"Sneaky" ~args:[]);
+      Session.post_event env txn o "Poke");
+  Alcotest.(check bool) "a firing was validated" true (Session.validation_frames env > 0);
+  match Session.validation_violations env with
+  | [] -> Alcotest.fail "undeclared write not caught"
+  | v :: _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "violation names the trigger (%s)" v)
+        true
+        (contains ~needle:"Liar.Sneaky" v
+        && contains ~needle:"outside the static footprint" v)
+
+(* ------------------------------------------------------------------ *)
+(* Random schemas for the soundness differential. Two sibling classes
+   share the base's three user events; triggers draw random (unanchored)
+   expressions and one of four truthful action shapes:
+     - update: writes its anchor (effects left undeclared -> own/own)
+     - probe:  reads its anchor, declared [reads]-only
+     - relay:  posts a declared random event to its anchor
+     - veto:   tabort ([pure])                                        *)
+
+let events = [ "PA"; "PB"; "PC" ]
+
+let rec gen_expr rng depth =
+  let leaf () =
+    match Random.State.int rng 4 with
+    | 0 -> "any"
+    | i -> List.nth events (i - 1)
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Random.State.int rng 8 with
+    | 0 | 1 -> "(" ^ gen_expr rng (depth - 1) ^ " , " ^ gen_expr rng (depth - 1) ^ ")"
+    | 2 | 3 -> "(" ^ gen_expr rng (depth - 1) ^ " || " ^ gen_expr rng (depth - 1) ^ ")"
+    | 4 -> "(" ^ gen_expr rng (depth - 1) ^ " && " ^ gen_expr rng (depth - 1) ^ ")"
+    | _ -> leaf ()
+
+let triggers_per_class = 5
+
+let gen_trigger rng cls i =
+  let name = Printf.sprintf "T%d" i in
+  let base = gen_expr rng 2 in
+  let masked = Random.State.int rng 3 = 0 in
+  let expr = if masked then "(" ^ base ^ ") & Hot" else base in
+  let perpetual = Random.State.int rng 2 = 0 in
+  let coupling =
+    if Random.State.int rng 4 = 0 then Ode_trigger.Coupling.End else Ode_trigger.Coupling.Immediate
+  in
+  match Random.State.int rng 8 with
+  | 0 | 1 ->
+      (* relay: posts a random declared event back to its anchor. Always
+         immediate-coupled: an End-coupled relay chain can legitimately
+         never quiesce at commit, whereas immediate cascades are bounded
+         by the depth-64 abort (which the driver tolerates). *)
+      let ev = List.nth events (Random.State.int rng 3) in
+      Dsl.trigger name ~perpetual ~event:expr ~posts:[ ev ]
+        ~action:(fun env ctx -> Session.post_event env ctx.Ctx.txn ctx.Ctx.obj ev)
+  | 2 ->
+      (* probe: reads only, and says so *)
+      Dsl.trigger name ~perpetual ~coupling ~event:expr ~reads:[ cls ]
+        ~action:(fun env ctx -> ignore (Dsl.obj_get env ctx "n"))
+  | 3 ->
+      (* veto *)
+      Dsl.trigger name ~perpetual ~coupling ~event:expr ~pure:true
+        ~action:(fun _env _ctx -> Session.tabort ())
+  | _ ->
+      (* update: undeclared, defaulted to reads+writes of the own class *)
+      Dsl.trigger name ~perpetual ~coupling ~event:expr
+        ~action:(fun env ctx ->
+          Dsl.obj_set env ctx "n" (Dsl.int (1 + Value.to_int (Dsl.obj_get env ctx "n"))))
+
+let build_schema rng env =
+  Session.define_class env ~name:"RBase" ~events:(List.map Dsl.user_event events) ();
+  List.iter
+    (fun cls ->
+      Session.define_class env ~name:cls ~parents:[ "RBase" ]
+        ~fields:[ ("n", Dsl.int 0) ]
+        ~masks:[ ("Hot", fun env ctx -> Value.to_int (Dsl.obj_get env ctx "n") > 3) ]
+        ~triggers:(List.init triggers_per_class (gen_trigger rng cls))
+        ~allow_lint_errors:true ())
+    [ "RA"; "RB" ]
+
+(* One random workload over one object: activate everything, then a few
+   transactions of random posts. Veto aborts ([Aborted]) and depth-64
+   cascade aborts ([Trigger_error]) are expected outcomes of random
+   schemas and fine — validation frames settle on unwind too. *)
+let tolerated = function
+  | Session.Aborted | Ode_trigger.Runtime.Trigger_error _ -> true
+  | _ -> false
+
+let drive rng env o =
+  (try
+     Session.with_txn env (fun txn ->
+         for i = 0 to triggers_per_class - 1 do
+           ignore
+             (Session.activate env txn o ~trigger:(Printf.sprintf "T%d" i) ~args:[])
+         done)
+   with e when tolerated e -> ());
+  for _ = 1 to 6 do
+    try
+      Session.with_txn env (fun txn ->
+          for _ = 1 to 4 do
+            Session.post_event env txn o (List.nth events (Random.State.int rng 3))
+          done)
+    with e when tolerated e -> ()
+  done
+
+let test_soundness_differential () =
+  Seeds.with_seed "concur.soundness" (fun seed ->
+      let sessions = 50 in
+      let frames = ref 0 in
+      for i = 1 to sessions do
+        let rng = Random.State.make [| seed; 0xC0C0; i |] in
+        let env = Session.create () in
+        build_schema rng env;
+        Session.enable_validation env;
+        List.iter
+          (fun cls ->
+            for _ = 1 to 2 do
+              let o = Session.with_txn env (fun txn -> Session.pnew env txn ~cls ()) in
+              drive rng env o
+            done)
+          [ "RA"; "RB" ];
+        frames := !frames + Session.validation_frames env;
+        match Session.validation_violations env with
+        | [] -> ()
+        | v :: _ ->
+            Alcotest.failf "schema #%d: observed locks escaped the static footprint: %s" i v
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "firings validated (got %d)" !frames)
+        true (!frames > 500))
+
+(* The same soundness property through sharded fleets: every shard runs
+   the identical random schema with validation on; zero violations at
+   K in {1, 2, 4} (plus ODE_SHARDS when set), and since no action ever
+   touches the fleet's forward lane, the trigger-initiated forward
+   counter must stay zero. *)
+let shard_counts () =
+  let base = [ 1; 2; 4 ] in
+  match Sys.getenv_opt "ODE_SHARDS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k >= 1 && not (List.mem k base) -> base @ [ k ]
+      | _ -> base)
+  | None -> base
+
+let test_soundness_sharded () =
+  Seeds.with_seed "concur.sharded" (fun seed ->
+      List.iter
+        (fun k ->
+          let schema ~shard:_ env =
+            (* Same seed on every shard: identical replay. *)
+            build_schema (Random.State.make [| seed; 0x5A5A |]) env;
+            Session.enable_validation env
+          in
+          let fleet = Sharded.create ~shards:k ~mode:Sharded.Deterministic ~schema () in
+          let nobjs = 8 in
+          let oids = Array.make nobjs None in
+          for i = 0 to nobjs - 1 do
+            Sharded.submit fleet ~key:i (fun ctx txn ->
+                let cls = if i mod 2 = 0 then "RA" else "RB" in
+                let o = Session.pnew ctx.Sharded.session txn ~cls () in
+                for t = 0 to triggers_per_class - 1 do
+                  ignore
+                    (Session.activate ctx.Sharded.session txn o
+                       ~trigger:(Printf.sprintf "T%d" t) ~args:[])
+                done;
+                oids.(i) <- Some o)
+          done;
+          Sharded.barrier fleet;
+          let rng = Random.State.make [| seed; 0xD1CE |] in
+          for _ = 1 to 12 do
+            for i = 0 to nobjs - 1 do
+              let ev = List.nth events (Random.State.int rng 3) in
+              Sharded.submit fleet ~key:i (fun ctx txn ->
+                  Session.post_event ctx.Sharded.session txn (Option.get oids.(i)) ev)
+            done;
+            Sharded.barrier fleet
+          done;
+          Sharded.sync fleet;
+          (* Depth-64 cascade aborts are a tolerated outcome of random
+             relay cycles; anything else is a real failure. *)
+          Alcotest.(check (list (pair int string)))
+            (Printf.sprintf "K=%d no unexpected task failures" k)
+            []
+            (List.filter
+               (fun (_, msg) -> not (contains ~needle:"cascade" msg))
+               (Sharded.failures fleet));
+          let frames = ref 0 in
+          for s = 0 to k - 1 do
+            let session = Sharded.session fleet s in
+            frames := !frames + Session.validation_frames session;
+            match Session.validation_violations session with
+            | [] -> ()
+            | v :: _ -> Alcotest.failf "K=%d shard %d: %s" k s v
+          done;
+          Alcotest.(check bool)
+            (Printf.sprintf "K=%d firings validated (got %d)" k !frames)
+            true (!frames > 0);
+          Alcotest.(check int)
+            (Printf.sprintf "K=%d trigger-initiated forwards" k)
+            0 (Sharded.stats fleet).Sharded.fs_trigger_forwards;
+          Sharded.shutdown fleet)
+        (shard_counts ()))
+
+(* ------------------------------------------------------------------ *)
+(* The trigger-initiated forward counter moves when (and only when) an
+   action emits through the fleet's forward lane mid-firing. *)
+
+let test_trigger_forward_counter () =
+  let k = 2 in
+  let fwd = Array.make k None in
+  let schema ~shard env =
+    Session.define_class env ~name:"Relay"
+      ~events:[ Dsl.user_event "Ping"; Dsl.user_event "Pong" ]
+      ~triggers:
+        [
+          Dsl.trigger "Bounce" ~perpetual:true ~event:"Ping" ~pure:true
+            ~action:(fun env ctx ->
+              (* Emit through the submitting task's forward lane: the
+                 fleet must attribute this envelope to a firing. *)
+              match fwd.(shard) with
+              | Some forward ->
+                  let ev = Session.user_event_id env ctx.Ctx.txn ctx.Ctx.obj "Pong" in
+                  forward ~obj:ctx.Ctx.obj ~event:ev ()
+              | None -> ());
+        ]
+      ()
+  in
+  let fleet = Sharded.create ~shards:k ~mode:Sharded.Deterministic ~schema () in
+  let oids = Array.make k None in
+  for i = 0 to k - 1 do
+    Sharded.submit fleet ~key:i (fun ctx txn ->
+        let o = Session.pnew ctx.Sharded.session txn ~cls:"Relay" () in
+        ignore (Session.activate ctx.Sharded.session txn o ~trigger:"Bounce" ~args:[]);
+        oids.(i) <- Some o)
+  done;
+  Sharded.barrier fleet;
+  let pings = 5 in
+  for _ = 1 to pings do
+    for i = 0 to k - 1 do
+      Sharded.submit fleet ~key:i (fun ctx txn ->
+          fwd.(ctx.Sharded.shard) <-
+            Some (fun ~obj ~event () -> ctx.Sharded.forward ~obj ~event ());
+          Fun.protect
+            ~finally:(fun () -> fwd.(ctx.Sharded.shard) <- None)
+            (fun () ->
+              Session.post_event ctx.Sharded.session txn (Option.get oids.(i)) "Ping"))
+    done;
+    Sharded.barrier fleet
+  done;
+  Sharded.sync fleet;
+  Alcotest.(check (list (pair int string))) "no task failures" [] (Sharded.failures fleet);
+  let stats = Sharded.stats fleet in
+  Alcotest.(check int) "every firing forwarded" (pings * k) stats.Sharded.fs_trigger_forwards;
+  Alcotest.(check bool) "subset of all forwards" true
+    (stats.Sharded.fs_trigger_forwards <= stats.Sharded.fs_forwards);
+  Sharded.shutdown fleet
+
+let suite =
+  [
+    Alcotest.test_case "deadlock fixture: lock-order cycle with witness" `Quick
+      test_deadlock_fixture;
+    Alcotest.test_case "fixture snapshot-safety and shard affinity" `Quick
+      test_fixture_judgements;
+    Alcotest.test_case "credit card schema concur-clean" `Quick test_credit_card_clean;
+    Alcotest.test_case "validator catches an under-declared action" `Quick
+      test_validator_catches_lie;
+    Alcotest.test_case "soundness differential: 500 random triggers" `Quick
+      test_soundness_differential;
+    Alcotest.test_case "soundness differential, sharded K in {1,2,4}" `Quick
+      test_soundness_sharded;
+    Alcotest.test_case "trigger-initiated forward counter" `Quick test_trigger_forward_counter;
+  ]

@@ -106,6 +106,9 @@ let define_w env fires =
       tr_coupling = Ode_trigger.Coupling.Immediate;
       tr_action = log name;
       tr_posts = [];
+      tr_reads = [];
+      tr_writes = [];
+      tr_pure = true;
     }
   in
   Session.define_class env ~name:"W"

@@ -116,6 +116,9 @@ let phoenix_survives_crash kind () =
             t_anchored = false;
             t_source = "e";
             t_posts = [];
+            t_reads = [];
+            t_writes = [];
+            t_pure = true;
           };
         |];
     }
