@@ -488,10 +488,27 @@ let stats_cmd =
              durability_keys)
          counters)
   in
+  let print_mvcc ~mvcc counters =
+    if mvcc then begin
+      Printf.printf "mvcc counters (version chains + lock-free read path)\n";
+      let contains_mvcc k =
+        let n = String.length k and m = 5 (* "mvcc." *) in
+        let rec go i = i + m <= n && (String.sub k i m = "mvcc." || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun (k, v) -> Printf.printf "  %-32s %d\n" k v)
+        (List.filter
+           (fun (k, _) ->
+             contains_mvcc k
+             || List.mem k [ "rt.snapshot_reads"; "rt.s_locks_avoided"; "rt.write_conflicts" ])
+           counters)
+    end
+  in
   (* One card per shard; each round submits, per shard, one 8-buys+payment
      transaction that also forwards a BigBuy to the next shard's card, so
      the routed / cross-shard / barrier counters all move. *)
-  let run_sharded ~store ~engine ~kind ~engine_cfg ~mode ~rounds ~shards ~smode ~per_shard =
+  let run_sharded ~store ~engine ~kind ~engine_cfg ~mode ~rounds ~shards ~smode ~per_shard ~mvcc =
     let fleet =
       Sharded.create ~store:kind ~engine:engine_cfg ~durability:mode ~shards ~mode:smode
         ~schema:(fun ~shard:_ env -> Credit_card.define_all env)
@@ -530,6 +547,15 @@ let stats_cmd =
       Sharded.barrier fleet
     done;
     Sharded.sync fleet;
+    (* Exercise the lock-free read path once per shard so --mvcc shows
+       live counters (pinned at each shard's own commit clock). *)
+    if mvcc then
+      for s = 0 to shards - 1 do
+        ignore
+          (Sharded.snapshot_read fleet ~key:s (fun env txn ->
+               let card, _ = Option.get cards.(s) in
+               Credit_card.balance env txn card))
+      done;
     let fs = Sharded.stats fleet in
     Printf.printf "fleet counters (K=%d, mode=%s, %d rounds, %s store)\n" shards
       (Sharded.mode_to_string smode) rounds store;
@@ -556,10 +582,11 @@ let stats_cmd =
     let counters = Sharded.counters fleet in
     print_rt ~engine ~rounds ~store counters;
     print_durability ~mode counters;
+    print_mvcc ~mvcc counters;
     Sharded.shutdown fleet;
     if fs.Sharded.fs_failed > 0 then die "%d task(s) failed" fs.Sharded.fs_failed else 0
   in
-  let run store engine durability rounds shards smode_text per_shard replication =
+  let run store engine durability rounds shards smode_text per_shard replication mvcc =
     let kind = match store with "disk" -> `Disk | _ -> `Mem in
     match
       match engine with
@@ -578,7 +605,7 @@ let stats_cmd =
     | Ok _ when shards > 0 && replication > 0 ->
         die "--replication is unsharded-only (drop --shards)"
     | Ok smode when shards > 0 ->
-        run_sharded ~store ~engine ~kind ~engine_cfg ~mode ~rounds ~shards ~smode ~per_shard
+        run_sharded ~store ~engine ~kind ~engine_cfg ~mode ~rounds ~shards ~smode ~per_shard ~mvcc
     | Ok _ ->
     (* --replication with the default immediate durability upgrades to
        the quorum pipeline so the demo actually gates acks on the fleet. *)
@@ -613,8 +640,11 @@ let stats_cmd =
           Credit_card.pay_bill env txn card ~amount:80.0)
     done;
     Session.sync env;
+    if mvcc then
+      ignore (Session.with_snapshot env (fun txn -> Credit_card.balance env txn card));
     print_rt ~engine ~rounds ~store (Session.counters env);
     print_durability ~mode (Session.counters env);
+    print_mvcc ~mvcc (Session.counters env);
     (match mgr with
     | None -> ()
     | Some m ->
@@ -669,11 +699,18 @@ let stats_cmd =
                  upgraded to 'quorum:2:16:64' so acks actually gate on the fleet; pass \
                  --durability quorum:N:... to control the quorum explicitly. Unsharded only.")
   in
+  let mvcc =
+    Arg.(value & flag & info [ "mvcc" ]
+           ~doc:"Also run one lock-free snapshot read (per shard when sharded) and print the \
+                 MVCC counter group: version-chain stats (snapshot_reads, s_locks_avoided, \
+                 versions_installed/pruned, max_chain_len, live_snapshots) and the trigger \
+                 runtime's certified lock-free read counters.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a posting workload and print the trigger runtime's per-layer counters")
     Term.(const run $ store $ engine $ durability $ rounds $ shards $ smode $ per_shard
-          $ replication)
+          $ replication $ mvcc)
 
 let () =
   let doc = "Ode active-database reproduction tools" in

@@ -271,6 +271,19 @@ let concur_report t =
     ~event_name:(Intern.name_of_id t.intern)
     (Analyze.rules_of_registry (Runtime.registry t.rt))
 
+(* Re-derive the set of Concur-certified snapshot-safe triggers and hand
+   it to the runtime: their advances and cascades run on the lock-free
+   MVCC read path. Refreshed after every [define_class] — a new class can
+   both add rows and (via cross-class posts) decertify existing ones. *)
+let refresh_snapshot_safe t =
+  if (Runtime.config t.rt).Runtime.mvcc then
+    Runtime.set_snapshot_safe t.rt
+      (List.filter_map
+         (fun row ->
+           if row.Concur.row_snapshot_safe then Some (row.Concur.row_cls, row.Concur.row_name)
+           else None)
+         (concur_report t).Concur.rp_rows)
+
 (* ------------------------------------------------------------------ *)
 (* Lock-footprint validation mode: record each firing's observed lock
    set (Runtime frames) and assert it is covered by the static cascade
@@ -315,6 +328,25 @@ let enable_validation t =
     (Some
        (fun ~cls ~trigger ~acc ->
          v.v_frames <- v.v_frames + 1;
+         (* Certified snapshot-safe firings must observe an empty S set:
+            every read in the cascade went through the lock-free MVCC
+            path, so any recorded shared access is a certification bug. *)
+         if Runtime.snapshot_safe t.rt ~cls ~trigger then begin
+           let shared =
+             List.filter_map
+               (fun (kind, k) ->
+                 match kind with
+                 | Runtime.Trig_read | Runtime.Obj_read -> Some k
+                 | Runtime.Trig_write | Runtime.Obj_write -> None)
+               acc
+           in
+           if shared <> [] then
+             v.v_violations <-
+               Printf.sprintf
+                 "%s.%s: certified snapshot-safe but observed shared-lock reads: %s" cls trigger
+                 (String.concat ", " (List.sort_uniq String.compare shared))
+               :: v.v_violations
+         end;
          match Hashtbl.find_opt v.v_table (cls, trigger) with
          | None ->
              v.v_violations <-
@@ -585,8 +617,10 @@ let define_class t ~name ?(parents = []) ?(fields = []) ?(methods = []) ?(events
       d_triggers = infos;
     };
   (* A new class changes the whole-schema footprint table: refresh the
-     dynamic checker so already-installed validators see the new rows. *)
-  if Option.is_some t.validation then enable_validation t
+     dynamic checker so already-installed validators see the new rows,
+     and re-derive the certified snapshot-safe trigger set. *)
+  if Option.is_some t.validation then enable_validation t;
+  refresh_snapshot_safe t
 
 (* Full analysis of every registered trigger (all five passes), for
    [odectl lint] and tests. *)
@@ -633,9 +667,17 @@ let posting_plan t ~cls mname =
 (* ------------------------------------------------------------------ *)
 (* Persistent object operations. *)
 
+(* Object dereference for reads: inside a certified snapshot-safe firing
+   the lock-free read-committed variant is used — no S lock, and the
+   (suppressed) read note keeps the observed S set empty. *)
+let get_record t txn oid =
+  if Runtime.lock_free_reads_active t.rt then Database.get_committed t.db txn oid
+  else Database.get t.db txn oid
+
 let class_of t txn oid =
-  let cls = Database.class_of t.db txn oid in
-  (* S lock on the object's record: visible to validation frames. *)
+  let cls = (get_record t txn oid).Objrec.cls in
+  (* S lock on the object's record: visible to validation frames (no-op
+     and no lock on the lock-free path). *)
   Runtime.note_object_access t.rt ~cls ~write:false;
   cls
 
@@ -684,7 +726,7 @@ let exists t txn oid = Database.exists t.db txn oid
 
 let get_field t txn oid field =
   note_access t txn oid;
-  Database.get_field t.db txn oid field
+  Objrec.get (get_record t txn oid) field
 
 let set_field t txn oid field v =
   let cls = class_of t txn oid in
@@ -733,7 +775,7 @@ and persistent_ctx t txn oid ~cls =
     get =
       (fun field ->
         Runtime.note_object_access t.rt ~cls ~write:false;
-        Database.get_field t.db txn oid field);
+        Objrec.get (get_record t txn oid) field);
     set =
       (fun field v ->
         Runtime.note_object_access t.rt ~cls ~write:true;
@@ -842,6 +884,25 @@ let with_txn t f =
       raise other
 
 let attempt t f = match with_txn t f with result -> Some result | exception Aborted -> None
+
+(* Snapshot (read-only) transactions: reads resolve against the version
+   chains at a timestamp pinned on first read, take no locks, and can
+   never block or deadlock. Writes through one raise [Store_error]. *)
+let begin_snapshot t = Txn.begin_txn ~snapshot:true t.mgr
+
+let with_snapshot t f =
+  let txn = begin_snapshot t in
+  match f txn with
+  | result ->
+      (* A snapshot transaction performed no trigger work; [forget]
+         before commit so the cache participant has nothing to flush. *)
+      Runtime.forget t.rt txn;
+      Txn.commit txn;
+      result
+  | exception exn ->
+      Runtime.forget t.rt txn;
+      (if Txn.is_active txn then try Txn.abort txn with _ -> ());
+      raise exn
 
 (* ------------------------------------------------------------------ *)
 (* Volatile objects (design goals 3-4). *)
@@ -1122,6 +1183,9 @@ let counters t =
       ("rt.activations", rt.Runtime.activations);
       ("rt.deactivations", rt.Runtime.deactivations);
       ("rt.local_activations", rt.Runtime.local_activations);
+      ("rt.snapshot_reads", rt.Runtime.snapshot_reads);
+      ("rt.s_locks_avoided", rt.Runtime.s_locks_avoided);
+      ("rt.write_conflicts", rt.Runtime.write_conflicts);
       ("intern.events", Ode_event.Intern.count t.intern);
       ("intern.lookups", Ode_event.Intern.lookups t.intern);
     ]

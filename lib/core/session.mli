@@ -218,7 +218,11 @@ val disable_validation : t -> unit
 
 val validation_violations : t -> string list
 (** Violations collected since {!enable_validation}, oldest first; each is
-    ["Cls.Trigger: observed locks outside the static footprint: ..."]. *)
+    ["Cls.Trigger: observed locks outside the static footprint: ..."].
+    Firings of {!Ode_analysis.Concur}-certified snapshot-safe triggers
+    are additionally checked for an {e empty} shared-lock set — their
+    cascades run on the lock-free MVCC read path, so any observed S
+    access is reported as a violation. *)
 
 val validation_frames : t -> int
 (** Firings validated since {!enable_validation} — assert it is positive
@@ -245,6 +249,18 @@ val with_txn : t -> (Txn.t -> 'a) -> 'a
 val attempt : t -> (Txn.t -> 'a) -> 'a option
 (** Like {!with_txn} but returns [None] instead of raising {!Aborted} —
     convenient when a trigger like DenyCredit vetoes the transaction. *)
+
+val begin_snapshot : t -> Txn.t
+(** Begin a read-only {e snapshot} transaction: reads resolve against an
+    immutable snapshot of the committed state at a timestamp pinned on
+    the first read, take no shared locks, and can never block, deadlock
+    or abort. Any write through it raises [Store_error]. Finish with
+    {!Txn.commit} (or use {!with_snapshot}); an open snapshot pins the
+    versions it can see against garbage collection until it ends. *)
+
+val with_snapshot : t -> (Txn.t -> 'a) -> 'a
+(** Run the body in a fresh snapshot transaction and end it. Exceptions
+    propagate after the snapshot is released. *)
 
 val tabort : unit -> 'a
 (** The O++ [tabort] statement: abort the enclosing transaction. Allowed

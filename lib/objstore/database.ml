@@ -137,6 +137,19 @@ let get_opt t txn oid =
 let get t txn oid =
   match get_opt t txn oid with Some record -> record | None -> raise (No_such_object oid)
 
+(* Lock-free read-committed dereference (certified snapshot-safe trigger
+   cascades): newest committed version, or the in-place state when [txn]
+   already holds the record's lock. No S lock is taken. *)
+let get_committed_opt t txn oid =
+  match snd (t.store.Store.read_committed txn (Oid.to_rid oid)) with
+  | None -> None
+  | Some payload -> Some (Objrec.decode payload)
+
+let get_committed t txn oid =
+  match get_committed_opt t txn oid with
+  | Some record -> record
+  | None -> raise (No_such_object oid)
+
 let pdelete t txn oid =
   let record = get t txn oid in
   t.store.Store.delete txn (Oid.to_rid oid);

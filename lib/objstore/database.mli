@@ -34,6 +34,15 @@ val get : t -> Ode_storage.Txn.t -> Oid.t -> Objrec.t
 
 val get_opt : t -> Ode_storage.Txn.t -> Oid.t -> Objrec.t option
 
+val get_committed : t -> Ode_storage.Txn.t -> Oid.t -> Objrec.t
+(** Lock-free read-committed dereference: the object's newest committed
+    version (or this transaction's own in-place state if it already holds
+    the record's lock), with no S lock taken. Used by certified
+    snapshot-safe trigger cascades ({!Ode_trigger.Runtime}). Raises
+    {!No_such_object}. *)
+
+val get_committed_opt : t -> Ode_storage.Txn.t -> Oid.t -> Objrec.t option
+
 val put : t -> Ode_storage.Txn.t -> Oid.t -> Objrec.t -> unit
 (** Replace the object (exclusive lock). The class may not change. *)
 

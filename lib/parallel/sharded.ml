@@ -422,6 +422,12 @@ let with_shard t ~key f =
   let sh = t.shards.(shard_of t key) in
   f sh.sh_session
 
+(* Lock-free read path: a snapshot transaction on the key's home shard,
+   pinned at that shard's own commit clock (per-shard clocks — each
+   shard's manager advances independently at its pipeline flush order). *)
+let snapshot_read t ~key f =
+  with_shard t ~key (fun session -> Session.with_snapshot session (fun txn -> f session txn))
+
 let stop_workers t =
   Array.iter (fun sh -> Mailbox.push sh.sh_mailbox Quit) t.shards;
   Array.iter Domain.join t.domains;

@@ -99,6 +99,13 @@ val with_shard : t -> key:int -> (Session.t -> 'a) -> 'a
 (** Run [f] on the home shard's session from the router's domain. Only
     sound at a quiescent point. *)
 
+val snapshot_read : t -> key:int -> (Session.t -> Txn.t -> 'a) -> 'a
+(** Run [f] inside a lock-free snapshot transaction
+    ({!Session.with_snapshot}) on the key's home shard, pinned at that
+    shard's own commit clock — per-shard clocks come for free because
+    each shard is a complete independent session. Same quiescence
+    contract as {!with_shard}. *)
+
 val session : t -> int -> Session.t
 
 val crashed_shards : t -> (int * string) list

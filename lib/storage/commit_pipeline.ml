@@ -135,6 +135,10 @@ let tick t =
 
 let on_commit t (txn : Txn.t) =
   t.tick <- t.tick + 1;
+  (* Advance the MVCC commit clock in pipeline-enqueue order (== flush
+     order: batches flush in enqueue order and never reorder). Memoized
+     per transaction, so the second store's pipeline reuses the stamp. *)
+  ignore (Txn.stamp_commit txn);
   Txn.defer_ack txn;
   match t.mode with
   | Immediate ->

@@ -62,12 +62,15 @@ val create : ?mode:mode -> Wal.t -> t
 val mode : t -> mode
 
 val on_commit : t -> Txn.t -> unit
-(** Route one committed transaction's log force. Appends the commit
-    marker (per-txn [Commit] under [Immediate], batched [Commit_group]
-    otherwise), defers the transaction's durability ack
-    ({!Txn.defer_ack}), and flushes per the mode's policy. A transient
-    injected flush failure is swallowed (the ack stays deferred); an
-    injected crash propagates. *)
+(** Route one committed transaction's log force. Stamps the transaction
+    with the manager's next MVCC commit timestamp ({!Txn.stamp_commit} —
+    pipelines enqueue and flush in commit order, so the clock advances in
+    flush order; memoized, so a transaction spanning several stores gets
+    one stamp), appends the commit marker (per-txn [Commit] under
+    [Immediate], batched [Commit_group] otherwise), defers the
+    transaction's durability ack ({!Txn.defer_ack}), and flushes per the
+    mode's policy. A transient injected flush failure is swallowed (the
+    ack stays deferred); an injected crash propagates. *)
 
 val tick : t -> unit
 (** Advance logical time without a commit (the stores call this on abort).

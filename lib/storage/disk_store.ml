@@ -16,6 +16,7 @@ type t = {
   mutable active_page : int option;  (* current fill target *)
   roomy_pages : (int, unit) Hashtbl.t;  (* pages with reclaimed space *)
   undo : (int, Wal.op list) Hashtbl.t;  (* txn -> ops, newest first *)
+  chains : Mvcc.t;  (* committed version chains for snapshot reads *)
   rid_base : int;  (* shard residue: fresh rids ≡ rid_base (mod rid_stride) *)
   rid_stride : int;
   mutable next_rid : int;
@@ -30,6 +31,10 @@ type t = {
 let fail fmt = Format.kasprintf (fun msg -> raise (Store.Store_error msg)) fmt
 
 let check_usable t = if t.crashed then fail "store %s has crashed" t.name
+
+let check_writable t (txn : Txn.t) =
+  if Txn.is_snapshot txn then
+    fail "snapshot transaction %d is read-only (store %s)" txn.id t.name
 
 let encode_record rid payload =
   let w = Binc.writer () in
@@ -160,6 +165,7 @@ let fresh_rid t =
 
 let insert_impl t (txn : Txn.t) payload =
   check_usable t;
+  check_writable t txn;
   let rid = fresh_rid t in
   lock_or_timeout t txn rid Lock_manager.X;
   ignore (phys_insert t rid payload);
@@ -167,14 +173,44 @@ let insert_impl t (txn : Txn.t) payload =
   t.inserts <- t.inserts + 1;
   rid
 
+(* Snapshot readers resolve against the in-memory version chains at their
+   pinned timestamp — no lock, no block, no page I/O. Regular
+   transactions S-lock the record and read in place. *)
 let read_impl t (txn : Txn.t) rid =
   check_usable t;
-  lock_or_timeout t txn rid Lock_manager.S;
+  if Txn.is_snapshot txn then begin
+    Txn.check_active txn;
+    let ts = Txn.pin_snapshot txn in
+    Mvcc.note_snapshot_read t.chains;
+    t.reads <- t.reads + 1;
+    Mvcc.read_at t.chains ~ts rid
+  end
+  else begin
+    lock_or_timeout t txn rid Lock_manager.S;
+    t.reads <- t.reads + 1;
+    phys_read t rid
+  end
+
+(* Lock-free read-committed access for a regular transaction (certified
+   snapshot-safe trigger cascades); see [Mem_store.read_committed_impl]. *)
+let read_committed_impl t (txn : Txn.t) rid =
+  check_usable t;
+  Txn.check_active txn;
+  let held =
+    Lock_manager.holds (Txn.lock_mgr t.mgr) ~txn:txn.id (lock_key t rid) <> None
+  in
   t.reads <- t.reads + 1;
-  phys_read t rid
+  if held then (Mvcc.own_read_ts, phys_read t rid)
+  else begin
+    Mvcc.note_snapshot_read t.chains;
+    Mvcc.latest t.chains rid
+  end
+
+let version_ts_impl t rid = fst (Mvcc.latest t.chains rid)
 
 let update_impl t (txn : Txn.t) rid payload =
   check_usable t;
+  check_writable t txn;
   lock_or_timeout t txn rid Lock_manager.X;
   match phys_read t rid with
   | None -> fail "update of unknown record %a" Rid.pp rid
@@ -185,6 +221,7 @@ let update_impl t (txn : Txn.t) rid payload =
 
 let delete_impl t (txn : Txn.t) rid =
   check_usable t;
+  check_writable t txn;
   lock_or_timeout t txn rid Lock_manager.X;
   match phys_read t rid with
   | None -> fail "delete of unknown record %a" Rid.pp rid
@@ -207,12 +244,22 @@ let sorted_rids t =
 
 let iter_impl t (txn : Txn.t) f =
   check_usable t;
-  let rids = sorted_rids t in
-  let visit rid =
-    lock_or_timeout t txn rid Lock_manager.S;
-    match phys_read t rid with None -> () | Some payload -> f rid payload
-  in
-  List.iter visit rids
+  if Txn.is_snapshot txn then begin
+    Txn.check_active txn;
+    let ts = Txn.pin_snapshot txn in
+    Mvcc.iter_at t.chains ~ts (fun rid payload ->
+        Mvcc.note_snapshot_read t.chains;
+        t.reads <- t.reads + 1;
+        f rid payload)
+  end
+  else begin
+    let rids = sorted_rids t in
+    let visit rid =
+      lock_or_timeout t txn rid Lock_manager.S;
+      match phys_read t rid with None -> () | Some payload -> f rid payload
+    in
+    List.iter visit rids
+  end
 
 let apply_undo t op =
   match op with
@@ -224,11 +271,30 @@ let apply_undo t op =
    reproduces the seed behaviour (per-txn Commit record, flush per commit,
    transient flush failure swallowed as delayed durability), Group/Async
    modes batch the force across transactions. *)
+(* Distinct rids a transaction's undo ops touched, for version install. *)
+let touched_rids ops =
+  List.fold_left
+    (fun acc op ->
+      let rid =
+        match op with
+        | Wal.Insert (rid, _) | Wal.Update (rid, _, _) | Wal.Delete (rid, _) -> rid
+      in
+      if List.exists (Rid.equal rid) acc then acc else rid :: acc)
+    [] ops
+
 let on_commit t (txn : Txn.t) =
-  if Hashtbl.mem t.undo txn.id then begin
-    Commit_pipeline.on_commit t.pipeline txn;
-    Hashtbl.remove t.undo txn.id
-  end
+  match Hashtbl.find_opt t.undo txn.id with
+  | None -> ()
+  | Some undo_ops ->
+      Commit_pipeline.on_commit t.pipeline txn;
+      (* Install one version per touched record under the pipeline's commit
+         stamp — the post-commit state (None for a delete tombstone). *)
+      let ts = Txn.commit_ts txn in
+      List.iter
+        (fun rid -> Mvcc.install t.chains ~ts rid (phys_read t rid))
+        (touched_rids undo_ops);
+      Mvcc.maybe_prune t.chains ~watermark:(Txn.gc_watermark t.mgr);
+      Hashtbl.remove t.undo txn.id
 
 let on_abort t (txn : Txn.t) =
   if not t.crashed then begin
@@ -264,7 +330,12 @@ let checkpoint_impl t () =
      pipeline flush then forces both and resolves the deferred acks. *)
   Commit_pipeline.materialize t.pipeline;
   Wal.append t.wal (Wal.Checkpoint state);
-  Commit_pipeline.flush t.pipeline
+  Commit_pipeline.flush t.pipeline;
+  Mvcc.prune t.chains ~watermark:(Txn.gc_watermark t.mgr)
+
+let prune_versions_impl t () =
+  check_usable t;
+  Mvcc.prune t.chains ~watermark:(Txn.gc_watermark t.mgr)
 
 let counters_impl t () =
   let pager = Pager.stats t.pager in
@@ -286,6 +357,11 @@ let counters_impl t () =
     ("wal_bytes", Wal.durable_size t.wal);
   ]
   @ Commit_pipeline.counters t.pipeline
+  @ Mvcc.counters t.chains
+  @ [
+      ("mvcc.oldest_snapshot_lag", Txn.oldest_snapshot_lag t.mgr);
+      ("mvcc.live_snapshots", Txn.live_snapshot_count t.mgr);
+    ]
 
 let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?flush_spin ?flush_sleep
     ?durability ?faults ?(rid_base = 0) ?(rid_stride = 1) ~mgr ~name () =
@@ -309,6 +385,7 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?flush_spin ?flush
       active_page = None;
       roomy_pages = Hashtbl.create 16;
       undo = Hashtbl.create 8;
+      chains = Mvcc.create ();
       rid_base;
       rid_stride;
       next_rid = rid_base;
@@ -332,6 +409,9 @@ let ops t =
     update = update_impl t;
     delete = delete_impl t;
     iter = iter_impl t;
+    read_committed = read_committed_impl t;
+    version_ts = version_ts_impl t;
+    prune_versions = prune_versions_impl t;
     record_count = (fun () -> Rid.Tbl.length t.dir);
     checkpoint = checkpoint_impl t;
     counters = counters_impl t;
@@ -351,6 +431,9 @@ let load_bulk t entries =
   List.iter
     (fun (rid, payload) ->
       ignore (phys_insert t rid payload);
+      (* Baseline version at ts 0: recovered state predates every future
+         snapshot, and uncommitted pre-crash work never had a version. *)
+      Mvcc.install t.chains ~ts:0 rid (Some payload);
       t.next_rid <- max t.next_rid (align_after t rid))
     entries
 
@@ -358,6 +441,7 @@ let flush_pages t = Buffer_pool.flush_all t.pool
 
 let crash t =
   Buffer_pool.drop_all t.pool;
+  Mvcc.clear t.chains;
   t.crashed <- true
 
 let page_count t = Pager.page_count t.pager

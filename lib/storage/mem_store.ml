@@ -6,6 +6,7 @@ type t = {
   records : bytes Rid.Tbl.t;
   mutable sorted_rids : Rid.t list option;  (* cache for scans; None = dirty *)
   undo : (int, Wal.op list) Hashtbl.t;
+  chains : Mvcc.t;  (* committed version chains for snapshot reads *)
   rid_base : int;  (* shard residue: fresh rids ≡ rid_base (mod rid_stride) *)
   rid_stride : int;
   mutable next_rid : int;
@@ -20,6 +21,10 @@ let fail fmt = Format.kasprintf (fun msg -> raise (Store.Store_error msg)) fmt
 
 let check_usable t = if t.crashed then fail "store %s has crashed" t.name
 
+let check_writable t (txn : Txn.t) =
+  if Txn.is_snapshot txn then
+    fail "snapshot transaction %d is read-only (store %s)" txn.id t.name
+
 let lock_key t rid = Lock_manager.Record (t.name, rid)
 
 let log_op t (txn : Txn.t) op =
@@ -32,6 +37,7 @@ let log_op t (txn : Txn.t) op =
 
 let insert_impl t (txn : Txn.t) payload =
   check_usable t;
+  check_writable t txn;
   let rid = Rid.of_int t.next_rid in
   t.next_rid <- t.next_rid + t.rid_stride;
   Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
@@ -41,14 +47,47 @@ let insert_impl t (txn : Txn.t) payload =
   t.inserts <- t.inserts + 1;
   rid
 
+(* Snapshot readers resolve against the version chains at their pinned
+   timestamp — no lock, no block, no abort. Regular transactions S-lock
+   the record and read in place (uncommitted isolation comes from the
+   writers' X locks). *)
 let read_impl t (txn : Txn.t) rid =
   check_usable t;
-  Store.lock_or_raise txn (lock_key t rid) Lock_manager.S;
+  if Txn.is_snapshot txn then begin
+    Txn.check_active txn;
+    let ts = Txn.pin_snapshot txn in
+    Mvcc.note_snapshot_read t.chains;
+    t.reads <- t.reads + 1;
+    Mvcc.read_at t.chains ~ts rid
+  end
+  else begin
+    Store.lock_or_raise txn (lock_key t rid) Lock_manager.S;
+    t.reads <- t.reads + 1;
+    Rid.Tbl.find_opt t.records rid
+  end
+
+(* Lock-free read-committed access for a regular transaction (certified
+   snapshot-safe trigger cascades). A record the transaction already
+   locked is served from the in-place state — reads-your-own-writes,
+   tagged [Mvcc.own_read_ts] so callers skip write-time validation. *)
+let read_committed_impl t (txn : Txn.t) rid =
+  check_usable t;
+  Txn.check_active txn;
+  let held =
+    Lock_manager.holds (Txn.lock_mgr t.mgr) ~txn:txn.id (lock_key t rid) <> None
+  in
   t.reads <- t.reads + 1;
-  Rid.Tbl.find_opt t.records rid
+  if held then (Mvcc.own_read_ts, Rid.Tbl.find_opt t.records rid)
+  else begin
+    Mvcc.note_snapshot_read t.chains;
+    Mvcc.latest t.chains rid
+  end
+
+let version_ts_impl t rid = fst (Mvcc.latest t.chains rid)
 
 let update_impl t (txn : Txn.t) rid payload =
   check_usable t;
+  check_writable t txn;
   Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
   match Rid.Tbl.find_opt t.records rid with
   | None -> fail "update of unknown record %a" Rid.pp rid
@@ -59,6 +98,7 @@ let update_impl t (txn : Txn.t) rid payload =
 
 let delete_impl t (txn : Txn.t) rid =
   check_usable t;
+  check_writable t txn;
   Store.lock_or_raise txn (lock_key t rid) Lock_manager.X;
   match Rid.Tbl.find_opt t.records rid with
   | None -> fail "delete of unknown record %a" Rid.pp rid
@@ -81,12 +121,22 @@ let sorted_rids t =
 
 let iter_impl t (txn : Txn.t) f =
   check_usable t;
-  let rids = sorted_rids t in
-  let visit rid =
-    Store.lock_or_raise txn (lock_key t rid) Lock_manager.S;
-    match Rid.Tbl.find_opt t.records rid with None -> () | Some payload -> f rid payload
-  in
-  List.iter visit rids
+  if Txn.is_snapshot txn then begin
+    Txn.check_active txn;
+    let ts = Txn.pin_snapshot txn in
+    Mvcc.iter_at t.chains ~ts (fun rid payload ->
+        Mvcc.note_snapshot_read t.chains;
+        t.reads <- t.reads + 1;
+        f rid payload)
+  end
+  else begin
+    let rids = sorted_rids t in
+    let visit rid =
+      Store.lock_or_raise txn (lock_key t rid) Lock_manager.S;
+      match Rid.Tbl.find_opt t.records rid with None -> () | Some payload -> f rid payload
+    in
+    List.iter visit rids
+  end
 
 let apply_undo t op =
   (match op with
@@ -97,13 +147,32 @@ let apply_undo t op =
   | Wal.Update (rid, before, _) -> Rid.Tbl.replace t.records rid before
   | Wal.Delete (rid, before) -> Rid.Tbl.replace t.records rid before
 
+(* Distinct rids a transaction's undo ops touched, for version install. *)
+let touched_rids ops =
+  List.fold_left
+    (fun acc op ->
+      let rid =
+        match op with
+        | Wal.Insert (rid, _) | Wal.Update (rid, _, _) | Wal.Delete (rid, _) -> rid
+      in
+      if List.exists (Rid.equal rid) acc then acc else rid :: acc)
+    [] ops
+
 (* Commit-time log force routes through the pipeline; see
-   [Disk_store.on_commit]. *)
+   [Disk_store.on_commit]. The pipeline stamps the transaction's commit
+   timestamp, under which we install one version per touched record —
+   the post-commit state (None for a delete tombstone). *)
 let on_commit t (txn : Txn.t) =
-  if Hashtbl.mem t.undo txn.id then begin
-    Commit_pipeline.on_commit t.pipeline txn;
-    Hashtbl.remove t.undo txn.id
-  end
+  match Hashtbl.find_opt t.undo txn.id with
+  | None -> ()
+  | Some undo_ops ->
+      Commit_pipeline.on_commit t.pipeline txn;
+      let ts = Txn.commit_ts txn in
+      List.iter
+        (fun rid -> Mvcc.install t.chains ~ts rid (Rid.Tbl.find_opt t.records rid))
+        (touched_rids undo_ops);
+      Mvcc.maybe_prune t.chains ~watermark:(Txn.gc_watermark t.mgr);
+      Hashtbl.remove t.undo txn.id
 
 let on_abort t (txn : Txn.t) =
   if not t.crashed then begin
@@ -115,6 +184,10 @@ let on_abort t (txn : Txn.t) =
         Hashtbl.remove t.undo txn.id;
         Commit_pipeline.tick t.pipeline
   end
+
+let prune_versions_impl t () =
+  check_usable t;
+  Mvcc.prune t.chains ~watermark:(Txn.gc_watermark t.mgr)
 
 let checkpoint_impl t () =
   check_usable t;
@@ -129,7 +202,8 @@ let checkpoint_impl t () =
   in
   Commit_pipeline.materialize t.pipeline;
   Wal.append t.wal (Wal.Checkpoint entries);
-  Commit_pipeline.flush t.pipeline
+  Commit_pipeline.flush t.pipeline;
+  Mvcc.prune t.chains ~watermark:(Txn.gc_watermark t.mgr)
 
 let counters_impl t () =
   [
@@ -141,6 +215,11 @@ let counters_impl t () =
     ("wal_bytes", Wal.durable_size t.wal);
   ]
   @ Commit_pipeline.counters t.pipeline
+  @ Mvcc.counters t.chains
+  @ [
+      ("mvcc.oldest_snapshot_lag", Txn.oldest_snapshot_lag t.mgr);
+      ("mvcc.live_snapshots", Txn.live_snapshot_count t.mgr);
+    ]
 
 let create ?flush_spin ?flush_sleep ?durability ?(rid_base = 0) ?(rid_stride = 1) ~mgr ~name
     () =
@@ -156,6 +235,7 @@ let create ?flush_spin ?flush_sleep ?durability ?(rid_base = 0) ?(rid_stride = 1
       records = Rid.Tbl.create 256;
       sorted_rids = None;
       undo = Hashtbl.create 8;
+      chains = Mvcc.create ();
       rid_base;
       rid_stride;
       next_rid = rid_base;
@@ -178,6 +258,9 @@ let ops t =
     update = update_impl t;
     delete = delete_impl t;
     iter = iter_impl t;
+    read_committed = read_committed_impl t;
+    version_ts = version_ts_impl t;
+    prune_versions = prune_versions_impl t;
     record_count = (fun () -> Rid.Tbl.length t.records);
     checkpoint = checkpoint_impl t;
     counters = counters_impl t;
@@ -197,6 +280,9 @@ let load_bulk t entries =
   List.iter
     (fun (rid, payload) ->
       Rid.Tbl.replace t.records rid payload;
+      (* Baseline version at ts 0: recovered state predates every future
+         snapshot, and uncommitted pre-crash work never had a version. *)
+      Mvcc.install t.chains ~ts:0 rid (Some payload);
       t.next_rid <- max t.next_rid (align_after t rid))
     entries;
   t.sorted_rids <- None
@@ -204,4 +290,5 @@ let load_bulk t entries =
 let crash t =
   Rid.Tbl.reset t.records;
   t.sorted_rids <- None;
+  Mvcc.clear t.chains;
   t.crashed <- true

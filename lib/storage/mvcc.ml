@@ -1,0 +1,88 @@
+type t = {
+  chains : (int * bytes option) list Rid.Tbl.t;  (* newest first *)
+  mutable installed : int;
+  mutable pruned : int;
+  mutable snapshot_reads : int;
+  mutable since_prune : int;  (* installs since the last prune *)
+}
+
+let own_read_ts = -1
+
+let auto_prune_interval = 256
+
+let create () =
+  { chains = Rid.Tbl.create 256; installed = 0; pruned = 0; snapshot_reads = 0; since_prune = 0 }
+
+let install t ~ts rid payload =
+  let chain = match Rid.Tbl.find_opt t.chains rid with Some c -> c | None -> [] in
+  Rid.Tbl.replace t.chains rid ((ts, payload) :: chain);
+  t.installed <- t.installed + 1;
+  t.since_prune <- t.since_prune + 1
+
+let latest t rid =
+  match Rid.Tbl.find_opt t.chains rid with
+  | Some (version :: _) -> version
+  | Some [] | None -> (0, None)
+
+let read_at t ~ts rid =
+  match Rid.Tbl.find_opt t.chains rid with
+  | None -> None
+  | Some chain ->
+      let rec visible = function
+        | [] -> None
+        | (vts, payload) :: older -> if vts <= ts then payload else visible older
+      in
+      visible chain
+
+let iter_at t ~ts f =
+  let rids = Rid.Tbl.fold (fun rid _ acc -> rid :: acc) t.chains [] in
+  List.iter
+    (fun rid -> match read_at t ~ts rid with Some payload -> f rid payload | None -> ())
+    (List.sort Rid.compare rids)
+
+(* Keep versions above the watermark plus the single newest one at or
+   below it (the version every snapshot >= watermark resolves to). A
+   chain whose surviving tail is one tombstone is dead history: drop it. *)
+let prune t ~watermark =
+  t.since_prune <- 0;
+  let doomed = ref [] in
+  Rid.Tbl.iter
+    (fun rid chain ->
+      let rec keep = function
+        | [] -> []
+        | ((vts, _) as v) :: older ->
+            if vts > watermark then v :: keep older
+            else begin
+              t.pruned <- t.pruned + List.length older;
+              [ v ]
+            end
+      in
+      let kept = keep chain in
+      match kept with
+      | [ (vts, None) ] when vts <= watermark ->
+          t.pruned <- t.pruned + 1;
+          doomed := rid :: !doomed
+      | kept -> if kept != chain then Rid.Tbl.replace t.chains rid kept)
+    t.chains;
+  List.iter (fun rid -> Rid.Tbl.remove t.chains rid) !doomed
+
+let maybe_prune t ~watermark = if t.since_prune >= auto_prune_interval then prune t ~watermark
+
+let clear t =
+  Rid.Tbl.reset t.chains;
+  t.since_prune <- 0
+
+let note_snapshot_read t = t.snapshot_reads <- t.snapshot_reads + 1
+
+let max_chain_len t =
+  Rid.Tbl.fold (fun _ chain acc -> max acc (List.length chain)) t.chains 0
+
+let counters t =
+  [
+    ("mvcc.snapshot_reads", t.snapshot_reads);
+    ("mvcc.s_locks_avoided", t.snapshot_reads);
+    ("mvcc.versions_installed", t.installed);
+    ("mvcc.versions_pruned", t.pruned);
+    ("mvcc.max_chain_len", max_chain_len t);
+    ("mvcc.chains", Rid.Tbl.length t.chains);
+  ]

@@ -1,0 +1,68 @@
+(** Per-record version chains for multi-version concurrency control.
+
+    Each record id maps to a chain of [(commit_ts, payload option)]
+    versions, newest first; [None] payloads are tombstones left by
+    deletes. Chains hold {e committed} data only — writers keep their
+    uncommitted, in-place changes in the store's record table (protected
+    by their X locks) and install one version per touched record at
+    commit, stamped with the transaction's commit timestamp
+    ({!Txn.commit_ts}). Snapshot readers resolve a record at a pinned
+    timestamp without taking any lock: the newest version at or below the
+    snapshot is, by construction, the committed prefix at that instant.
+
+    GC prunes versions no live snapshot can reach: everything strictly
+    older than the newest version at or below the watermark
+    ({!Txn.gc_watermark} — the oldest live snapshot, or the commit clock
+    at quiescence). A full prune runs at every checkpoint; a cheap
+    opportunistic prune runs every {!auto_prune_interval} installs so a
+    long writer run cannot grow chains unboundedly between checkpoints. *)
+
+type t
+
+val create : unit -> t
+
+val own_read_ts : int
+(** Sentinel timestamp ([-1]) tagging a lock-free read that was served
+    from the store's current state because the reading transaction
+    already holds a lock on the record (reads-your-own-writes); such a
+    read needs no commit-time validation. *)
+
+val install : t -> ts:int -> Rid.t -> bytes option -> unit
+(** Prepend a committed version ([None] = delete tombstone). [ts] must be
+    monotonically non-decreasing across calls (commit order). *)
+
+val latest : t -> Rid.t -> int * bytes option
+(** Chain head: the newest committed version and its timestamp;
+    [(0, None)] for a record with no chain (never committed). *)
+
+val read_at : t -> ts:int -> Rid.t -> bytes option
+(** The record's committed payload as of snapshot [ts]: the newest
+    version at or below [ts], [None] if that version is a tombstone or
+    the record did not yet exist. *)
+
+val iter_at : t -> ts:int -> (Rid.t -> bytes -> unit) -> unit
+(** Visit every record live at snapshot [ts], in ascending rid order. *)
+
+val prune : t -> watermark:int -> unit
+(** Drop every version strictly older than the newest version at or
+    below [watermark]; chains whose surviving version is a tombstone at
+    or below the watermark are dropped entirely. *)
+
+val auto_prune_interval : int
+
+val maybe_prune : t -> watermark:int -> unit
+(** {!prune}, but only once every {!auto_prune_interval} installs. *)
+
+val clear : t -> unit
+(** Drop all chains (crash: versions are volatile). Counters survive. *)
+
+val note_snapshot_read : t -> unit
+(** Count one snapshot-path read (and the S lock it avoided). *)
+
+val max_chain_len : t -> int
+(** Current longest chain (recomputed; 0 for an empty store). *)
+
+val counters : t -> (string * int) list
+(** [mvcc.snapshot_reads], [mvcc.s_locks_avoided],
+    [mvcc.versions_installed], [mvcc.versions_pruned],
+    [mvcc.max_chain_len], [mvcc.chains]. *)

@@ -1,5 +1,7 @@
 exception Would_block of { txn : int; key : Lock_manager.key; holders : int list }
 
+exception Write_conflict of { txn : int; key : Lock_manager.key }
+
 type t = {
   name : string;
   insert : Txn.t -> bytes -> Rid.t;
@@ -7,6 +9,9 @@ type t = {
   update : Txn.t -> Rid.t -> bytes -> unit;
   delete : Txn.t -> Rid.t -> unit;
   iter : Txn.t -> (Rid.t -> bytes -> unit) -> unit;
+  read_committed : Txn.t -> Rid.t -> int * bytes option;
+  version_ts : Rid.t -> int;
+  prune_versions : unit -> unit;
   record_count : unit -> int;
   checkpoint : unit -> unit;
   counters : unit -> (string * int) list;

@@ -5,29 +5,64 @@
     record-of-functions interface, so the object store, trigger runtime and
     benchmarks are written once and run against either backend.
 
-    All operations run under a transaction and follow strict 2PL: [read]
-    takes a shared lock on the record, [insert]/[update]/[delete] take
-    exclusive locks held until commit/abort. An operation that cannot get
-    its lock raises {!Would_block} (caught by the {!Workload} scheduler) or
-    {!Lock_manager.Deadlock}. *)
+    Operations run under a transaction. A {e regular} transaction follows
+    strict 2PL: [read] takes a shared lock on the record, [insert]/
+    [update]/[delete] take exclusive locks held until commit/abort; an
+    operation that cannot get its lock raises {!Would_block} (caught by
+    the {!Workload} scheduler) or {!Lock_manager.Deadlock}.
+
+    A {e snapshot} transaction ({!Txn.begin_txn} [~snapshot:true]) takes
+    the multi-version read path instead: [read]/[iter] pin the commit
+    clock at first use and resolve against the per-record version chains
+    ({!Mvcc}) with {e no} locks — lock-free and abort-free. Writes under a
+    snapshot transaction raise {!Store_error}. [read_committed] offers
+    the same lock-free read-committed access to regular transactions (the
+    trigger runtime's certified snapshot-safe cascades), validated at
+    write time against {!Write_conflict}. *)
 
 exception Would_block of { txn : int; key : Lock_manager.key; holders : int list }
+
+exception Write_conflict of { txn : int; key : Lock_manager.key }
+(** First-updater-wins MVCC validation failure: between a transaction's
+    lock-free read of a record ({!t.read_committed}) and its write, some
+    other transaction committed a newer version. The writer must abort
+    and retry (the {!Workload} scheduler restarts its script). *)
 
 type t = {
   name : string;
   insert : Txn.t -> bytes -> Rid.t;
   read : Txn.t -> Rid.t -> bytes option;
+      (** S lock under a regular transaction; lock-free snapshot
+          resolution at the pinned timestamp under a snapshot one. *)
   update : Txn.t -> Rid.t -> bytes -> unit;
   delete : Txn.t -> Rid.t -> unit;
   iter : Txn.t -> (Rid.t -> bytes -> unit) -> unit;
-      (** Iterate every live record under shared locks. *)
+      (** Iterate every live record: under shared locks (regular), or
+          lock-free over the version chains at the pinned timestamp
+          (snapshot). *)
+  read_committed : Txn.t -> Rid.t -> int * bytes option;
+      (** Lock-free read-committed access for a {e regular} transaction:
+          if the transaction already holds a lock on the record, the
+          current store state is returned tagged {!Mvcc.own_read_ts}
+          (reads-your-own-writes, no validation needed); otherwise the
+          newest committed version and its timestamp, with no lock
+          taken. Callers that later write the record must validate the
+          returned timestamp against {!version_ts}. *)
+  version_ts : Rid.t -> int;
+      (** Commit timestamp of the record's newest committed version (0
+          if none) — the write-time validation anchor. *)
+  prune_versions : unit -> unit;
+      (** Force a version-chain GC pass at the manager's current
+          watermark ({!Txn.gc_watermark}). Checkpoints do this
+          implicitly. *)
   record_count : unit -> int;
   checkpoint : unit -> unit;
-      (** Write a full-state checkpoint to the WAL. Only call at transaction
+      (** Write a full-state checkpoint to the WAL and prune version
+          chains to the GC watermark. Only call at transaction
           quiescence. *)
   counters : unit -> (string * int) list;
-      (** Backend-specific counters (page I/O, pool hits, WAL flushes, ...)
-          for the benchmark harness. *)
+      (** Backend-specific counters (page I/O, pool hits, WAL flushes,
+          [mvcc.*], ...) for the benchmark harness. *)
   wal : Wal.t;
   pipeline : Commit_pipeline.t;
       (** The store's group-commit durability pipeline; commit-time log
@@ -39,4 +74,4 @@ val lock_or_raise : Txn.t -> Lock_manager.key -> Lock_manager.mode -> unit
 
 exception Store_error of string
 (** Misuse: updating/deleting a non-existent record, oversized record,
-    etc. *)
+    writing under a snapshot transaction, etc. *)

@@ -3,10 +3,13 @@ type state = Active | Committed | Aborted
 type t = {
   id : int;
   system : bool;
+  snapshot : bool;
   mgr : mgr;
   mutable state : state;
   mutable deps : int list;
   mutable unacked : int;
+  mutable commit_ts : int;  (* -1 until stamped by the commit pipeline *)
+  mutable snapshot_ts : int;  (* -1 until pinned at first snapshot read *)
 }
 
 and participant = {
@@ -22,6 +25,12 @@ and mgr = {
   mutable participants : participant list;  (* in registration order *)
   states : (int, state) Hashtbl.t;
   stats : mgr_stats;
+  (* MVCC commit clock: one tick per committed writer, advanced by the
+     commit pipeline in flush-enqueue order (== commit order in this
+     synchronous engine). Per-manager, so each Ode_parallel shard keeps
+     its own clock. *)
+  mutable commit_clock : int;
+  live_snapshots : (int, int) Hashtbl.t;  (* txn id -> pinned snapshot ts *)
 }
 
 and mgr_stats = {
@@ -43,20 +52,72 @@ let create_mgr ?lock_mgr () =
     participants = [];
     states = Hashtbl.create 64;
     stats = { begun = 0; committed = 0; aborted = 0; system_begun = 0 };
+    commit_clock = 0;
+    live_snapshots = Hashtbl.create 8;
   }
 
 let lock_mgr mgr = mgr.lock_mgr
 
 let register_participant mgr p = mgr.participants <- mgr.participants @ [ p ]
 
-let begin_txn ?(system = false) mgr =
+let begin_txn ?(system = false) ?(snapshot = false) mgr =
   let id = mgr.next_id in
   mgr.next_id <- id + 1;
   mgr.stats.begun <- mgr.stats.begun + 1;
   if system then mgr.stats.system_begun <- mgr.stats.system_begun + 1;
-  let t = { id; system; mgr; state = Active; deps = []; unacked = 0 } in
+  let t =
+    { id; system; snapshot; mgr; state = Active; deps = []; unacked = 0; commit_ts = -1;
+      snapshot_ts = -1 }
+  in
   Hashtbl.replace mgr.states id Active;
   t
+
+(* -------------------- MVCC commit clock and snapshots -------------------- *)
+
+let is_snapshot t = t.snapshot
+
+(* Stamp the transaction with the next commit timestamp; memoized so that
+   however many store pipelines a transaction participates in, all its
+   versions carry one timestamp — commits are atomic across stores. *)
+let stamp_commit t =
+  if t.commit_ts < 0 then begin
+    t.mgr.commit_clock <- t.mgr.commit_clock + 1;
+    t.commit_ts <- t.mgr.commit_clock
+  end;
+  t.commit_ts
+
+let commit_ts t = t.commit_ts
+
+let commit_clock mgr = mgr.commit_clock
+
+(* Pin the snapshot at the current clock on first use: everything
+   committed so far is visible, nothing after. Registration in
+   [live_snapshots] holds the GC watermark down until the reader ends. *)
+let pin_snapshot t =
+  if not t.snapshot then
+    raise (Invalid_state (Printf.sprintf "transaction %d is not a snapshot reader" t.id));
+  if t.snapshot_ts < 0 then begin
+    t.snapshot_ts <- t.mgr.commit_clock;
+    Hashtbl.replace t.mgr.live_snapshots t.id t.snapshot_ts
+  end;
+  t.snapshot_ts
+
+let snapshot_ts t = t.snapshot_ts
+
+let oldest_snapshot mgr =
+  Hashtbl.fold
+    (fun _ ts acc -> match acc with None -> Some ts | Some best -> Some (min best ts))
+    mgr.live_snapshots None
+
+let live_snapshot_count mgr = Hashtbl.length mgr.live_snapshots
+
+(* Versions at or below the watermark (bar the newest such) are invisible
+   to every live or future snapshot and can be garbage-collected. *)
+let gc_watermark mgr =
+  match oldest_snapshot mgr with Some ts -> ts | None -> mgr.commit_clock
+
+let oldest_snapshot_lag mgr =
+  match oldest_snapshot mgr with Some ts -> mgr.commit_clock - ts | None -> 0
 
 let is_active t = t.state = Active
 
@@ -67,6 +128,7 @@ let check_active t =
 let finish t state =
   t.state <- state;
   Hashtbl.replace t.mgr.states t.id state;
+  Hashtbl.remove t.mgr.live_snapshots t.id;
   Lock_manager.release_all t.mgr.lock_mgr ~txn:t.id
 
 let abort t =

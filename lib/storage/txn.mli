@@ -19,10 +19,16 @@ type state = Active | Committed | Aborted
 type t = private {
   id : int;
   system : bool;
+  snapshot : bool;
+      (** MVCC read-only reader: reads resolve against an immutable
+          snapshot of committed state, no locks are ever taken, writes
+          are rejected by the stores ({!is_snapshot}). *)
   mgr : mgr;
   mutable state : state;
   mutable deps : int list;  (** transaction ids this commit depends on *)
   mutable unacked : int;  (** durability acks still deferred (see {!durably_acked}) *)
+  mutable commit_ts : int;  (** MVCC commit timestamp; -1 until stamped *)
+  mutable snapshot_ts : int;  (** pinned snapshot timestamp; -1 until first read *)
 }
 
 and participant = {
@@ -57,7 +63,53 @@ val lock_mgr : mgr -> Lock_manager.t
 
 val register_participant : mgr -> participant -> unit
 
-val begin_txn : ?system:bool -> mgr -> t
+val begin_txn : ?system:bool -> ?snapshot:bool -> mgr -> t
+(** [snapshot:true] begins an MVCC read-only reader (default [false]):
+    its first store read pins the current commit clock and every
+    subsequent read resolves against that committed prefix, lock-free
+    and abort-free. Store writes under a snapshot transaction raise
+    {!Store.Store_error}. *)
+
+(** {2 MVCC commit clock and snapshots}
+
+    The manager carries a monotonic commit clock, advanced by
+    {!Commit_pipeline.on_commit} in flush-enqueue order (identical to
+    commit order in this synchronous engine) — one clock per manager, so
+    every {!Ode_parallel.Sharded} shard clocks independently. Writers are
+    stamped once ({!stamp_commit} is memoized), so a transaction's
+    versions across several stores share one timestamp. *)
+
+val is_snapshot : t -> bool
+
+val stamp_commit : t -> int
+(** Advance the manager's commit clock and stamp the transaction with it
+    (idempotent; later calls return the first stamp). Called by the
+    commit pipeline — not by application code. *)
+
+val commit_ts : t -> int
+(** The stamp, or -1 for a transaction that has not reached a commit
+    pipeline (read-only transactions never do). *)
+
+val commit_clock : mgr -> int
+
+val pin_snapshot : t -> int
+(** Pin (first call) and return the snapshot timestamp; registers the
+    reader in the manager's live-snapshot set until it finishes. Raises
+    {!Invalid_state} on a non-snapshot transaction. *)
+
+val snapshot_ts : t -> int
+
+val oldest_snapshot : mgr -> int option
+val live_snapshot_count : mgr -> int
+
+val gc_watermark : mgr -> int
+(** Oldest live snapshot timestamp, or the commit clock when no snapshot
+    is live: versions below it (bar the newest per record) are
+    unreachable and {!Mvcc.prune} may drop them. *)
+
+val oldest_snapshot_lag : mgr -> int
+(** [commit_clock - oldest live snapshot] (0 when none): how much
+    history the slowest reader pins. *)
 
 val commit : t -> unit
 val abort : t -> unit

@@ -61,7 +61,7 @@ let run ?(schedule = `Round_robin) ?(max_turns = 1_000_000) ?(max_restarts = 100
               r.remaining <- rest;
               progressed_in_pass := true
           | exception Store.Would_block _ -> incr blocks
-          | exception Lock_manager.Deadlock _ ->
+          | exception (Lock_manager.Deadlock _ | Store.Write_conflict _) ->
               Txn.abort txn;
               incr restarts;
               r.restarts <- r.restarts + 1;

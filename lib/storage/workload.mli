@@ -10,9 +10,10 @@
 
     - a step that raises {!Store.Would_block} is retried on a later turn
       (the transaction keeps its locks and its pending wait);
-    - a step that raises {!Lock_manager.Deadlock} has its transaction
-      aborted and the whole script restarted from the beginning in a fresh
-      transaction;
+    - a step that raises {!Lock_manager.Deadlock} or
+      {!Store.Write_conflict} (MVCC first-updater-wins validation) has its
+      transaction aborted and the whole script restarted from the
+      beginning in a fresh transaction;
     - when a script's steps are exhausted its transaction commits.
 
     Because a blocked step is re-executed in full on retry, a step should

@@ -36,6 +36,9 @@ type stats = {
   mutable activations : int;
   mutable deactivations : int;
   mutable local_activations : int;
+  mutable snapshot_reads : int;
+  mutable s_locks_avoided : int;
+  mutable write_conflicts : int;
 }
 
 type config = {
@@ -43,11 +46,14 @@ type config = {
   cache : bool;
   dense : bool;
   dense_max_cells : int;
+  mvcc : bool;
 }
 
-let default_config = { filter = true; cache = true; dense = true; dense_max_cells = 4096 }
+let default_config =
+  { filter = true; cache = true; dense = true; dense_max_cells = 4096; mvcc = true }
 
-let reference_config = { filter = false; cache = false; dense = false; dense_max_cells = 0 }
+let reference_config =
+  { filter = false; cache = false; dense = false; dense_max_cells = 0; mvcc = false }
 
 module Obj_index = Ode_objstore.Hash_index.Make (struct
   type t = Oid.t
@@ -103,8 +109,17 @@ type index_change =
 
 (* Write-back cache slot: the decoded state as this transaction last saw
    (or wrote) it. Dirty slots are encoded and flushed to the store once,
-   in the commit prepare phase. *)
-type centry = { mutable c_st : Trigger_state.t; mutable c_dirty : bool }
+   in the commit prepare phase. [c_read_ts] is the commit timestamp the
+   slot was filled at when it came from a lock-free read-committed read
+   (>= 0): the first write to the slot must validate that the record's
+   newest version is still that timestamp (first-updater-wins) and raises
+   {!Store.Write_conflict} otherwise. -1 means the slot is covered by a
+   real lock (S-locked read, own write) and needs no validation. *)
+type centry = {
+  mutable c_st : Trigger_state.t;
+  mutable c_dirty : bool;
+  mutable c_read_ts : int;
+}
 
 type txn_local = {
   mutable end_list : fire list;  (* reversed *)
@@ -150,6 +165,11 @@ type t = {
          processing skip the drain scan entirely in the common case *)
   mutable frames : vframe list;  (* open validation frames, innermost first *)
   mutable validator : validator option;
+  (* Concur-certified snapshot-safe triggers, keyed (class, trigger name):
+     their firings — and everything their cascades read — take the
+     lock-free MVCC read-committed path instead of S-locking. *)
+  snap_safe : (string * string, unit) Hashtbl.t;
+  mutable lock_free_depth : int;  (* > 0 inside a certified advance/fire *)
   stats : stats;
 }
 
@@ -163,6 +183,23 @@ let set_validator t v =
   t.validator <- v;
   if v = None then t.frames <- []
 
+let set_snapshot_safe t pairs =
+  Hashtbl.reset t.snap_safe;
+  List.iter (fun (cls, trigger) -> Hashtbl.replace t.snap_safe (cls, trigger) ()) pairs
+
+let snapshot_safe t ~cls ~trigger = Hashtbl.mem t.snap_safe (cls, trigger)
+
+let lock_free_reads_active t = t.lock_free_depth > 0
+
+(* Run [f] with lock-free MVCC reads active (certified snapshot-safe
+   advance or firing). Nested certified work just deepens the counter. *)
+let with_lock_free t enabled f =
+  if not enabled then f ()
+  else begin
+    t.lock_free_depth <- t.lock_free_depth + 1;
+    Fun.protect ~finally:(fun () -> t.lock_free_depth <- t.lock_free_depth - 1) f
+  end
+
 (* No-op when no frame is open (one list-emptiness check on the hot
    path); otherwise dedup-insert into every open frame. *)
 let note_lock t access cls =
@@ -174,7 +211,14 @@ let note_lock t access cls =
           if not (List.mem (access, cls) fr.vf_acc) then fr.vf_acc <- (access, cls) :: fr.vf_acc)
         frames
 
-let note_object_access t ~cls ~write = note_lock t (if write then Obj_write else Obj_read) cls
+(* A shared-lock note that is skipped while lock-free reads are active:
+   the read took no S lock, so it must not appear in the observed S set —
+   the validation checker confirms certified cascades stay S-free. *)
+let note_read_lock t cls = if t.lock_free_depth = 0 then note_lock t Trig_read cls
+
+let note_object_access t ~cls ~write =
+  if write then note_lock t Obj_write cls
+  else if t.lock_free_depth = 0 then note_lock t Obj_read cls
 
 let fresh_stats () =
   {
@@ -196,6 +240,9 @@ let fresh_stats () =
     activations = 0;
     deactivations = 0;
     local_activations = 0;
+    snapshot_reads = 0;
+    s_locks_avoided = 0;
+    write_conflicts = 0;
   }
 
 let local t (txn : Txn.t) =
@@ -309,6 +356,8 @@ let create ?(config = default_config) ~mgr ~intern ~store () =
       phoenix_hint = 0;
       frames = [];
       validator = None;
+      snap_safe = Hashtbl.create 8;
+      lock_free_depth = 0;
       stats = fresh_stats ();
     }
   in
@@ -418,12 +467,42 @@ let info_of t entry =
       entry.e_info <- Some info;
       info
 
+(* Lock-free variant of the cache-miss path: read the newest committed
+   version of the trigger state (or the in-place state when this
+   transaction already holds the record's lock — reads-your-own-writes)
+   with no S lock. The version timestamp is remembered on the cache slot
+   for first-updater-wins validation at the first write. *)
+let mvcc_read t txn id =
+  let l = local t txn in
+  match Rid.Tbl.find_opt l.cache id with
+  | Some ce ->
+      t.stats.cache_hits <- t.stats.cache_hits + 1;
+      Some ce.c_st
+  | None -> begin
+      let ts, payload = t.store.Store.read_committed txn id in
+      match payload with
+      | None -> None
+      | Some payload -> begin
+          match Trigger_state.decode payload with
+          | Trigger_state.Phoenix _ -> None
+          | Trigger_state.State st ->
+              t.stats.cache_misses <- t.stats.cache_misses + 1;
+              t.stats.snapshot_reads <- t.stats.snapshot_reads + 1;
+              if ts >= 0 then t.stats.s_locks_avoided <- t.stats.s_locks_avoided + 1;
+              Rid.Tbl.replace l.cache id { c_st = st; c_dirty = false; c_read_ts = ts };
+              Some st
+        end
+    end
+
 (* All reads of persistent trigger state go through here: with the cache
    enabled, the first read per (txn, rid) decodes and caches; repeated
    posts in the same transaction then skip both the store read and the
-   decode. Reads see this transaction's own deferred writes. *)
+   decode. Reads see this transaction's own deferred writes. Inside a
+   certified snapshot-safe advance/firing the miss path is the lock-free
+   one. *)
 let cached_read t txn id =
   if not t.config.cache then read_state t txn id
+  else if lock_free_reads_active t then mvcc_read t txn id
   else begin
     let l = local t txn in
     match Rid.Tbl.find_opt l.cache id with
@@ -435,7 +514,7 @@ let cached_read t txn id =
         | None -> None
         | Some st ->
             t.stats.cache_misses <- t.stats.cache_misses + 1;
-            Rid.Tbl.replace l.cache id { c_st = st; c_dirty = false };
+            Rid.Tbl.replace l.cache id { c_st = st; c_dirty = false; c_read_ts = -1 };
             Some st
       end
   end
@@ -449,17 +528,29 @@ let write_state t txn id st =
   t.stats.state_writes <- t.stats.state_writes + 1;
   if not t.config.cache then t.store.Store.update txn id (Trigger_state.encode st)
   else begin
-    Store.lock_or_raise txn (Ode_storage.Lock_manager.Record (t.store.Store.name, id)) Ode_storage.Lock_manager.X;
+    let key = Ode_storage.Lock_manager.Record (t.store.Store.name, id) in
+    Store.lock_or_raise txn key Ode_storage.Lock_manager.X;
     let l = local t txn in
     match Rid.Tbl.find_opt l.cache id with
     | Some ce ->
+        (* A slot filled by a lock-free read validates now that the X lock
+           is held: if the record's newest version moved past the read
+           timestamp, some other transaction committed in between —
+           first-updater-wins, the writer aborts and retries. *)
+        if ce.c_read_ts >= 0 then begin
+          if t.store.Store.version_ts id <> ce.c_read_ts then begin
+            t.stats.write_conflicts <- t.stats.write_conflicts + 1;
+            raise (Store.Write_conflict { txn = txn.Txn.id; key })
+          end;
+          ce.c_read_ts <- -1
+        end;
         ce.c_st <- st;
         if not ce.c_dirty then begin
           ce.c_dirty <- true;
           l.dirty <- id :: l.dirty
         end
     | None ->
-        Rid.Tbl.replace l.cache id { c_st = st; c_dirty = true };
+        Rid.Tbl.replace l.cache id { c_st = st; c_dirty = true; c_read_ts = -1 };
         l.dirty <- id :: l.dirty
   end
 
@@ -557,7 +648,7 @@ let deactivate t txn id =
   match cached_read t txn id with
   | None -> ()
   | Some st ->
-      note_lock t Trig_read st.Trigger_state.trigobjtype;
+      note_read_lock t st.Trigger_state.trigobjtype;
       note_lock t Trig_write st.Trigger_state.trigobjtype;
       evict_cached t txn id;
       t.store.Store.delete txn id;
@@ -578,7 +669,7 @@ let on_object_deleted t txn obj =
       match cached_read t txn entry.e_rid with
       | None -> ()
       | Some st ->
-          note_lock t Trig_read st.Trigger_state.trigobjtype;
+          note_read_lock t st.Trigger_state.trigobjtype;
           if Oid.equal st.Trigger_state.trigobj obj then deactivate t txn entry.e_rid
           else
             (* [obj] was a secondary anchor: keep the trigger, drop the
@@ -592,7 +683,7 @@ let active_on t txn obj =
     (fun entry ->
       match cached_read t txn entry.e_rid with
       | Some st ->
-          note_lock t Trig_read st.Trigger_state.trigobjtype;
+          note_read_lock t st.Trigger_state.trigobjtype;
           Some (entry.e_rid, st)
       | None -> None)
     entries
@@ -614,6 +705,13 @@ let enqueue_phoenix t txn fire =
   note_lock t Trig_write fire.f_cls;
   t.phoenix_hint <- t.phoenix_hint + 1
 
+(* A certified snapshot-safe firing (and everything its cascade reads)
+   runs on the lock-free MVCC path; requires the write-back cache, which
+   carries the read timestamps for write-time validation. *)
+let certified_fire t fire =
+  t.config.mvcc && t.config.cache
+  && Hashtbl.mem t.snap_safe (fire.f_cls, fire.f_info.Trigger_def.t_name)
+
 let run_action t txn fire =
   Log.debug (fun m ->
       m "fire %s::%s on %a (%a, t%d)" fire.f_cls fire.f_info.Trigger_def.t_name Oid.pp fire.f_obj
@@ -629,11 +727,12 @@ let run_action t txn fire =
   in
   if t.fire_depth > 64 then fail "trigger cascade deeper than 64";
   t.fire_depth <- t.fire_depth + 1;
+  let lock_free = certified_fire t fire in
   match t.validator with
   | None ->
       Fun.protect
         ~finally:(fun () -> t.fire_depth <- t.fire_depth - 1)
-        (fun () -> fire.f_info.Trigger_def.t_action ctx)
+        (fun () -> with_lock_free t lock_free (fun () -> fire.f_info.Trigger_def.t_action ctx))
   | Some validate ->
       (* Validation mode: open a frame for this firing; the finally block
          still validates when the action aborts — locks acquired before
@@ -648,7 +747,7 @@ let run_action t txn fire =
           t.fire_depth <- t.fire_depth - 1;
           (match t.frames with _ :: rest -> t.frames <- rest | [] -> ());
           validate ~cls:fr.vf_cls ~trigger:fr.vf_trigger ~acc:fr.vf_acc)
-        (fun () -> fire.f_info.Trigger_def.t_action ctx)
+        (fun () -> with_lock_free t lock_free (fun () -> fire.f_info.Trigger_def.t_action ctx))
 
 let route_fire t txn fire =
   let info = fire.f_info in
@@ -772,11 +871,21 @@ let post ?(payload = []) t txn ~obj ~event =
            not (Fsm.event_live info.Trigger_def.t_fsm ~state:entry.e_state ~event))
       in
       if skip then t.stats.index_skips <- t.stats.index_skips + 1
-      else
-      match cached_read t txn entry.e_rid with
-      | None -> ()
-      | Some st ->
-          note_lock t Trig_read entry.e_cls;
+      else begin
+        (* A certified snapshot-safe trigger advances lock-free: its state
+           read resolves against the newest committed version with no S
+           lock; the state write (if the machine moves) still X-locks and
+           validates first-updater-wins. *)
+        let lock_free =
+          t.lock_free_depth > 0
+          || t.config.mvcc && t.config.cache
+             && Hashtbl.mem t.snap_safe (entry.e_cls, (info_of t entry).Trigger_def.t_name)
+        in
+        with_lock_free t lock_free @@ fun () ->
+        match cached_read t txn entry.e_rid with
+        | None -> ()
+        | Some st ->
+          note_read_lock t entry.e_cls;
           if st.Trigger_state.statenum <> Trigger_state.dead_state then begin
             let info = info_of t entry in
             let fsm = info.Trigger_def.t_fsm in
@@ -831,6 +940,7 @@ let post ?(payload = []) t txn ~obj ~event =
                 }
                 :: !ready
           end
+      end
     in
     (* Advance every active trigger before firing any (§5.4.5): an action
        must not affect another trigger's mask evaluation for this event. *)
@@ -1049,4 +1159,7 @@ let reset_stats t =
   s.fires_phoenix <- 0;
   s.activations <- 0;
   s.deactivations <- 0;
-  s.local_activations <- 0
+  s.local_activations <- 0;
+  s.snapshot_reads <- 0;
+  s.s_locks_avoided <- 0;
+  s.write_conflicts <- 0

@@ -50,6 +50,15 @@ type stats = {
   mutable activations : int;
   mutable deactivations : int;
   mutable local_activations : int;
+  mutable snapshot_reads : int;
+      (** trigger-state reads served lock-free from the committed
+          versions (certified snapshot-safe advances/firings) *)
+  mutable s_locks_avoided : int;
+      (** of those, reads that would have taken a fresh S lock on the
+          locking path (excludes reads-your-own-writes) *)
+  mutable write_conflicts : int;
+      (** first-updater-wins validation failures
+          ({!Ode_storage.Store.Write_conflict}) *)
 }
 
 type config = {
@@ -61,13 +70,17 @@ type config = {
   dense : bool;  (** hybrid dense dispatch: O(1) compact transition tables
       for small machines, sparse binary search above [dense_max_cells] *)
   dense_max_cells : int;
+  mvcc : bool;  (** route {!Ode_analysis.Concur}-certified snapshot-safe
+      trigger advances and cascades through the lock-free MVCC
+      read-committed path (no S locks; first-updater-wins write
+      validation). Requires [cache]. *)
 }
 (** Posting-engine layer switches. The layers are pure optimisations:
     observable trigger behaviour is identical under any combination (the
     differential tests drive {!default_config} against
     {!reference_config}), except that filtered posts skip the shared
     record locks the reference path would take on irrelevant
-    activations. *)
+    activations, and certified mvcc reads take none at all. *)
 
 val default_config : config
 (** All layers on, [dense_max_cells = 4096]. *)
@@ -237,7 +250,24 @@ val in_validation_frame : t -> bool
 val note_object_access : t -> cls:string -> write:bool -> unit
 (** Record an object-store access into the open frames (no-op when none
     are). The session layer calls this from its object read/write paths,
-    where the dynamic class is known. *)
+    where the dynamic class is known. Read accesses are suppressed while
+    lock-free MVCC reads are active — no S lock was taken, so none may
+    appear in the observed set. *)
+
+(** {1 Certified snapshot-safe (lock-free) firing} *)
+
+val set_snapshot_safe : t -> (string * string) list -> unit
+(** Replace the set of [(class, trigger)] pairs whose advances and firing
+    cascades run on the lock-free MVCC read path. The session layer
+    derives the list from {!Ode_analysis.Concur.row_snapshot_safe}
+    certification after every [define_class]. *)
+
+val snapshot_safe : t -> cls:string -> trigger:string -> bool
+
+val lock_free_reads_active : t -> bool
+(** A certified snapshot-safe advance or firing is on the call stack:
+    object-store reads made now should use the lock-free read-committed
+    variants (the session layer checks this). *)
 
 val stats : t -> stats
 val reset_stats : t -> unit
