@@ -32,6 +32,7 @@ let experiments =
     ("p2", Exp_p2.run);
     ("p3", Exp_p3.run);
     ("p4", Exp_p4.run);
+    ("p5", Exp_p5.run);
     ("p7", Exp_p7.run);
   ]
 

@@ -505,12 +505,44 @@ let stats_cmd =
            counters)
     end
   in
+  let print_capacity ~capacity counters =
+    if capacity then begin
+      Printf.printf
+        "capacity counters (WAL segments, checkpoint chain, bloom filter, buffer pool)\n";
+      let capacity_keys =
+        [
+          "wal_footprint"; "segments_sealed"; "segments_retired"; "wal_retired_bytes";
+          "ckpt_fulls"; "ckpt_deltas"; "ckpt_incremental_bytes"; "dirty_rids"; "auto_ckpts";
+          "bloom_negatives"; "bloom_fp"; "bloom_bits"; "bloom_keys";
+          "pool_hits"; "pool_misses"; "pool_evictions"; "pool_writebacks";
+        ]
+      in
+      List.iter
+        (fun (k, v) -> Printf.printf "  %-32s %d\n" k v)
+        (List.filter
+           (fun (k, _) ->
+             List.exists
+               (fun suffix ->
+                 String.equal k ("objects." ^ suffix) || String.equal k ("triggers." ^ suffix))
+               capacity_keys)
+           counters)
+    end
+  in
+  (* The capacity knobs the --capacity flag arms: small enough that the
+     credit-card workload rolls segments, runs the incremental chain and
+     triggers the auto-checkpoint policy within the default 50 rounds. *)
+  let capacity_knobs capacity =
+    if capacity then (Some 4096, Some 4, Some 16384) else (None, None, None)
+  in
   (* One card per shard; each round submits, per shard, one 8-buys+payment
      transaction that also forwards a BigBuy to the next shard's card, so
      the routed / cross-shard / barrier counters all move. *)
-  let run_sharded ~store ~engine ~kind ~engine_cfg ~mode ~rounds ~shards ~smode ~per_shard ~mvcc =
+  let run_sharded ~store ~engine ~kind ~engine_cfg ~mode ~rounds ~shards ~smode ~per_shard ~mvcc
+      ~capacity =
+    let wal_segment_bytes, ckpt_full_every, auto_checkpoint_bytes = capacity_knobs capacity in
     let fleet =
-      Sharded.create ~store:kind ~engine:engine_cfg ~durability:mode ~shards ~mode:smode
+      Sharded.create ~store:kind ~engine:engine_cfg ~durability:mode ?wal_segment_bytes
+        ?ckpt_full_every ?auto_checkpoint_bytes ~shards ~mode:smode
         ~schema:(fun ~shard:_ env -> Credit_card.define_all env)
         ()
     in
@@ -583,10 +615,11 @@ let stats_cmd =
     print_rt ~engine ~rounds ~store counters;
     print_durability ~mode counters;
     print_mvcc ~mvcc counters;
+    print_capacity ~capacity counters;
     Sharded.shutdown fleet;
     if fs.Sharded.fs_failed > 0 then die "%d task(s) failed" fs.Sharded.fs_failed else 0
   in
-  let run store engine durability rounds shards smode_text per_shard replication mvcc =
+  let run store engine durability rounds shards smode_text per_shard replication mvcc capacity =
     let kind = match store with "disk" -> `Disk | _ -> `Mem in
     match
       match engine with
@@ -605,7 +638,8 @@ let stats_cmd =
     | Ok _ when shards > 0 && replication > 0 ->
         die "--replication is unsharded-only (drop --shards)"
     | Ok smode when shards > 0 ->
-        run_sharded ~store ~engine ~kind ~engine_cfg ~mode ~rounds ~shards ~smode ~per_shard ~mvcc
+        run_sharded ~store ~engine ~kind ~engine_cfg ~mode ~rounds ~shards ~smode ~per_shard
+          ~mvcc ~capacity
     | Ok _ ->
     (* --replication with the default immediate durability upgrades to
        the quorum pipeline so the demo actually gates acks on the fleet. *)
@@ -614,7 +648,11 @@ let stats_cmd =
         Ode_storage.Commit_pipeline.Quorum { n = 2; max_batch = 16; max_delay_ticks = 64 }
       else mode
     in
-    let env = Session.create ~store:kind ~engine:engine_cfg ~durability:mode () in
+    let wal_segment_bytes, ckpt_full_every, auto_checkpoint_bytes = capacity_knobs capacity in
+    let env =
+      Session.create ~store:kind ~engine:engine_cfg ~durability:mode ?wal_segment_bytes
+        ?ckpt_full_every ?auto_checkpoint_bytes ()
+    in
     Credit_card.define_all env;
     let card, merchant =
       Session.with_txn env (fun txn ->
@@ -642,9 +680,11 @@ let stats_cmd =
     Session.sync env;
     if mvcc then
       ignore (Session.with_snapshot env (fun txn -> Credit_card.balance env txn card));
+    if capacity then Session.checkpoint env;
     print_rt ~engine ~rounds ~store (Session.counters env);
     print_durability ~mode (Session.counters env);
     print_mvcc ~mvcc (Session.counters env);
+    print_capacity ~capacity (Session.counters env);
     (match mgr with
     | None -> ()
     | Some m ->
@@ -706,11 +746,19 @@ let stats_cmd =
                  versions_installed/pruned, max_chain_len, live_snapshots) and the trigger \
                  runtime's certified lock-free read counters.")
   in
+  let capacity =
+    Arg.(value & flag & info [ "capacity" ]
+           ~doc:"Arm the million-object capacity engine (WAL segment rotation at 4 KiB, \
+                 incremental checkpoints with a full anchor every 4th, auto-checkpoint at \
+                 16 KiB of WAL growth) and print the capacity counter group: WAL footprint \
+                 and retired segments, full/incremental checkpoint chain, bloom-filter \
+                 probes, and buffer-pool hits/misses/evictions.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a posting workload and print the trigger runtime's per-layer counters")
     Term.(const run $ store $ engine $ durability $ rounds $ shards $ smode $ per_shard
-          $ replication $ mvcc)
+          $ replication $ mvcc $ capacity)
 
 let () =
   let doc = "Ode active-database reproduction tools" in

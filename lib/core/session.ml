@@ -70,6 +70,13 @@ type t = {
       (* (dynamic class, method) -> before ids, after ids *)
   mutable validation : validation option;
       (* lock-footprint soundness checker (see enable_validation) *)
+  mutable ckpt_pending : bool;
+      (* a checkpoint was requested (explicitly or by the auto policy)
+         while transactions were in flight; taken at the next quiescent
+         transaction boundary (see maybe_capacity_work) *)
+  mutable ckpt_deadline : int option;
+      (* remaining transaction boundaries before a deferred checkpoint
+         must have run; None = wait indefinitely *)
 }
 
 and validation = {
@@ -143,6 +150,8 @@ let assemble ?engine ?intern ~kind ~backend ~faults ~mgr ~obj_store ~trig_store 
     classes = Hashtbl.create 32;
     posting_plans = Hashtbl.create 64;
     validation = None;
+    ckpt_pending = false;
+    ckpt_deadline = None;
   }
 
 (* [shard] = (index, count): the object store only mints rids ≡ index
@@ -155,7 +164,8 @@ let shard_params = function
   | Some (index, count) -> (Some index, Some count)
 
 let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep
-    ?durability ?faults ?shard ?intern ?engine () =
+    ?durability ?faults ?shard ?intern ?engine ?wal_segment_bytes ?ckpt_full_every
+    ?auto_checkpoint_bytes () =
   let mgr = Txn.create_mgr () in
   (* One plane shared by both stores: every page write, WAL flush, eviction
      and lock acquisition across the whole environment gets a single global
@@ -167,19 +177,25 @@ let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush
     | `Disk ->
         let objects =
           Disk_store.create ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep
-            ?durability ~faults ?rid_base ?rid_stride ~mgr ~name:"objects" ()
+            ?durability ~faults ?rid_base ?rid_stride ?wal_segment_bytes ?ckpt_full_every
+            ?auto_ckpt_bytes:auto_checkpoint_bytes ~mgr ~name:"objects" ()
         in
         let triggers =
           Disk_store.create ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep
-            ?durability ~faults ~mgr ~name:"triggers" ()
+            ?durability ~faults ?wal_segment_bytes ?ckpt_full_every
+            ?auto_ckpt_bytes:auto_checkpoint_bytes ~mgr ~name:"triggers" ()
         in
         (Disk_backend (objects, triggers), Disk_store.ops objects, Disk_store.ops triggers)
     | `Mem ->
         let objects =
-          Mem_store.create ?flush_spin ?flush_sleep ?durability ?rid_base ?rid_stride ~mgr
+          Mem_store.create ?flush_spin ?flush_sleep ?durability ?rid_base ?rid_stride
+            ?wal_segment_bytes ?ckpt_full_every ?auto_ckpt_bytes:auto_checkpoint_bytes ~mgr
             ~name:"objects" ()
         in
-        let triggers = Mem_store.create ?flush_spin ?flush_sleep ?durability ~mgr ~name:"triggers" () in
+        let triggers =
+          Mem_store.create ?flush_spin ?flush_sleep ?durability ?wal_segment_bytes
+            ?ckpt_full_every ?auto_ckpt_bytes:auto_checkpoint_bytes ~mgr ~name:"triggers" ()
+        in
         (Mem_backend (objects, triggers), Mem_store.ops objects, Mem_store.ops triggers)
   in
   let db = Database.create ~mgr ~store:obj_store ~name:"main" in
@@ -748,6 +764,18 @@ let post_event_id ?(args = []) t txn oid ~event =
   ignore (class_of t txn oid);
   Runtime.post ~payload:args t.rt txn ~obj:oid ~event
 
+(* Capacity fast path: consult the object store's membership probe
+   (bloom filter then directory — no lock, no page read) and drop the
+   posting silently when the target has no live record, the same
+   semantics as {!Ode_parallel}'s envelope drop for dead targets. On a
+   live target the posting still validates the class like
+   [post_event_id] does, via [Runtime.post]'s record access. *)
+let post_event_fast ?(args = []) t txn oid ~event =
+  if t.obj_store.Store.maybe_present (Oid.to_rid oid) then begin
+    ignore (class_of t txn oid);
+    Runtime.post ~payload:args t.rt txn ~obj:oid ~event
+  end
+
 let user_event_id t txn oid ename =
   let cls = class_of t txn oid in
   match declared_event_id t ~cls (Intern.User ename) with
@@ -843,13 +871,54 @@ let trigger_fsm t ~cls ~trigger =
   | None -> fail "class %s has no trigger %s" cls trigger
 
 (* ------------------------------------------------------------------ *)
+(* Capacity: checkpoint scheduling. *)
+
+let quiescent t =
+  t.obj_store.Store.in_flight () = 0 && t.trig_store.Store.in_flight () = 0
+
+let checkpoint_now t =
+  t.obj_store.Store.checkpoint ();
+  t.trig_store.Store.checkpoint ()
+
+let auto_checkpoint_due t =
+  Commit_pipeline.auto_checkpoint_due t.obj_store.Store.pipeline
+  || Commit_pipeline.auto_checkpoint_due t.trig_store.Store.pipeline
+
+(* Transaction-boundary hook: a checkpoint requested while transactions
+   held uncommitted writes (explicitly via [checkpoint], or by the
+   [auto_checkpoint_bytes] WAL-growth policy) is taken at the first
+   boundary where both stores are quiescent. Deterministic: the decision
+   depends only on [in_flight], never on timing. *)
+let maybe_capacity_work t =
+  if (not t.ckpt_pending) && auto_checkpoint_due t then t.ckpt_pending <- true;
+  if t.ckpt_pending then begin
+    if quiescent t then begin
+      t.ckpt_pending <- false;
+      t.ckpt_deadline <- None;
+      checkpoint_now t
+    end
+    else
+      match t.ckpt_deadline with
+      | None -> ()
+      | Some n when n > 1 -> t.ckpt_deadline <- Some (n - 1)
+      | Some _ ->
+          t.ckpt_pending <- false;
+          t.ckpt_deadline <- None;
+          fail "deferred checkpoint missed its deadline: transactions still in flight"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Transactions. *)
 
 let begin_txn t = Txn.begin_txn t.mgr
 
-let commit t txn = Runtime.commit_with_triggers t.rt txn
+let commit t txn =
+  Runtime.commit_with_triggers t.rt txn;
+  maybe_capacity_work t
 
-let abort t txn = Runtime.abort_with_triggers t.rt txn
+let abort t txn =
+  Runtime.abort_with_triggers t.rt txn;
+  maybe_capacity_work t
 
 let tabort () = raise Runtime.Tabort
 
@@ -1072,9 +1141,30 @@ end
 
 type crash_image = { ci_kind : store_kind; ci_obj_wal : bytes; ci_trig_wal : bytes }
 
-let checkpoint t =
-  t.obj_store.Store.checkpoint ();
-  t.trig_store.Store.checkpoint ()
+(* Quiesce-then-checkpoint: with no uncommitted writes in flight the
+   checkpoint runs immediately; otherwise it is deferred to the next
+   quiescent transaction boundary (see [maybe_capacity_work]) instead of
+   the storage layer's hard [Store_error]. [deadline] bounds the wait in
+   transaction boundaries; exhausting it raises [Ode_error]. *)
+let checkpoint ?deadline t =
+  if quiescent t then begin
+    t.ckpt_pending <- false;
+    t.ckpt_deadline <- None;
+    checkpoint_now t
+  end
+  else begin
+    (match deadline with
+    | Some n when n <= 0 ->
+        fail "checkpoint: transactions in flight and deadline exhausted"
+    | _ -> ());
+    t.ckpt_pending <- true;
+    t.ckpt_deadline <-
+      (match (t.ckpt_deadline, deadline) with
+      | Some a, Some b -> Some (min a b)
+      | None, d | d, None -> d)
+  end
+
+let checkpoint_pending t = t.ckpt_pending
 
 let crash t =
   let ci_obj_wal = Wal.durable_bytes t.obj_store.Store.wal in
@@ -1094,7 +1184,8 @@ let report_of_image image =
   let tail wal_bytes = Recovery.truncated_tail (Wal.decode_records wal_bytes) in
   { rr_obj_tail = tail image.ci_obj_wal; rr_trig_tail = tail image.ci_trig_wal }
 
-let recover ?flush_spin ?flush_sleep ?durability ?faults ?shard ?intern ?engine image =
+let recover ?flush_spin ?flush_sleep ?durability ?faults ?shard ?intern ?engine
+    ?wal_segment_bytes ?ckpt_full_every ?auto_checkpoint_bytes image =
   let mgr = Txn.create_mgr () in
   let faults = match faults with Some f -> f | None -> Faults.create () in
   let rid_base, rid_stride = shard_params shard in
@@ -1103,20 +1194,25 @@ let recover ?flush_spin ?flush_sleep ?durability ?faults ?shard ?intern ?engine 
     | `Disk ->
         let objects =
           Recovery.recover_disk ?flush_spin ?flush_sleep ?durability ~faults ?rid_base
-            ?rid_stride ~mgr ~name:"objects" ~wal_bytes:image.ci_obj_wal ()
+            ?rid_stride ?wal_segment_bytes ?ckpt_full_every
+            ?auto_ckpt_bytes:auto_checkpoint_bytes ~mgr ~name:"objects"
+            ~wal_bytes:image.ci_obj_wal ()
         in
         let triggers =
-          Recovery.recover_disk ?flush_spin ?flush_sleep ?durability ~faults ~mgr
+          Recovery.recover_disk ?flush_spin ?flush_sleep ?durability ~faults
+            ?wal_segment_bytes ?ckpt_full_every ?auto_ckpt_bytes:auto_checkpoint_bytes ~mgr
             ~name:"triggers" ~wal_bytes:image.ci_trig_wal ()
         in
         (Disk_backend (objects, triggers), Disk_store.ops objects, Disk_store.ops triggers)
     | `Mem ->
         let objects =
-          Recovery.recover_mem ?flush_spin ?flush_sleep ?durability ?rid_base ?rid_stride ~mgr
+          Recovery.recover_mem ?flush_spin ?flush_sleep ?durability ?rid_base ?rid_stride
+            ?wal_segment_bytes ?ckpt_full_every ?auto_ckpt_bytes:auto_checkpoint_bytes ~mgr
             ~name:"objects" ~wal_bytes:image.ci_obj_wal ()
         in
         let triggers =
-          Recovery.recover_mem ?flush_spin ?flush_sleep ?durability ~mgr ~name:"triggers"
+          Recovery.recover_mem ?flush_spin ?flush_sleep ?durability ?wal_segment_bytes
+            ?ckpt_full_every ?auto_ckpt_bytes:auto_checkpoint_bytes ~mgr ~name:"triggers"
             ~wal_bytes:image.ci_trig_wal ()
         in
         (Mem_backend (objects, triggers), Mem_store.ops objects, Mem_store.ops triggers)

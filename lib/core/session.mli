@@ -93,6 +93,9 @@ val create :
   ?shard:int * int ->
   ?intern:Ode_event.Intern.t ->
   ?engine:Ode_trigger.Runtime.config ->
+  ?wal_segment_bytes:int ->
+  ?ckpt_full_every:int ->
+  ?auto_checkpoint_bytes:int ->
   unit ->
   t
 (** Fresh empty database environment. [store] defaults to [`Mem]
@@ -100,6 +103,14 @@ val create :
     (default 4096) and buffer-pool frame count (default 64) can be tuned
     for the I/O experiments. The sizing arguments are ignored for
     [`Mem].
+
+    [wal_segment_bytes], [ckpt_full_every] and [auto_checkpoint_bytes]
+    are the capacity knobs, applied to both stores (see
+    {!Ode_storage.Disk_store.create}): WAL segment rotation size
+    (0 = never rotate), full-checkpoint cadence in the incremental
+    chain (1 = every checkpoint full), and the WAL-growth threshold
+    that arms the automatic quiesce-then-checkpoint policy (0 = off;
+    see {!checkpoint}).
 
     [durability] selects the commit pipeline mode shared by both stores
     ({!Ode_storage.Commit_pipeline.mode}): [Immediate] (default) forces
@@ -292,6 +303,15 @@ val post_event_id : ?args:Value.t list -> t -> Txn.t -> Oid.t -> event:int -> un
     sealed cross-shard envelope. The id must come from the same intern
     snapshot this environment was seeded with. *)
 
+val post_event_fast : ?args:Value.t list -> t -> Txn.t -> Oid.t -> event:int -> unit
+(** Like {!post_event_id}, but first consults the object store's
+    membership probe ([Store.maybe_present]: bloom filter then
+    directory, no lock and no page read) and silently drops the posting
+    when the target has no live record — the same drop semantics
+    {!Ode_parallel} applies to envelopes for deleted targets. At
+    million-object scale this answers postings to absent or archived
+    oids without touching the buffer pool (experiment P5). *)
+
 val user_event_id : t -> Txn.t -> Oid.t -> string -> int
 (** The interned global id of a declared user event on the object's class
     — what a forwarding task seals into an envelope. Raises {!Ode_error}
@@ -391,8 +411,23 @@ end
 
 type crash_image
 
-val checkpoint : t -> unit
-(** Checkpoint both stores (call between transactions). *)
+val checkpoint : ?deadline:int -> t -> unit
+(** Checkpoint both stores. If transactions hold uncommitted writes the
+    checkpoint is not a failure any more: it is deferred and taken at
+    the first transaction boundary (commit or abort) where both stores
+    are quiescent. [deadline] bounds the wait, counted in transaction
+    boundaries; when it is exhausted with writers still in flight,
+    {!Ode_error} is raised ([deadline <= 0] with writers in flight
+    fails immediately). Without [deadline] the request waits
+    indefinitely. The same deferral path serves the automatic
+    checkpoint policy armed by [auto_checkpoint_bytes] on {!create}. *)
+
+val checkpoint_pending : t -> bool
+(** A deferred checkpoint (explicit or automatic) is waiting for
+    quiescence. *)
+
+val quiescent : t -> bool
+(** No transaction holds uncommitted writes in either store. *)
 
 val crash : t -> crash_image
 (** Simulate a crash: volatile state (buffer pool, caches, indexes) is
@@ -407,6 +442,9 @@ val recover :
   ?shard:int * int ->
   ?intern:Ode_event.Intern.t ->
   ?engine:Ode_trigger.Runtime.config ->
+  ?wal_segment_bytes:int ->
+  ?ckpt_full_every:int ->
+  ?auto_checkpoint_bytes:int ->
   crash_image ->
   t
 (** Rebuild an environment from a crash image: recover both stores, reopen

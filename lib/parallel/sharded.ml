@@ -338,13 +338,15 @@ let seeded_schema ~k ~schema ~make =
   sessions
 
 let create ?(store = `Mem) ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep
-    ?durability ?engine ?(mailbox_capacity = 256) ?shard_faults ~shards ~mode ~schema () =
+    ?durability ?engine ?(mailbox_capacity = 256) ?shard_faults ?wal_segment_bytes
+    ?ckpt_full_every ?auto_checkpoint_bytes ~shards ~mode ~schema () =
   if shards < 1 then invalid_arg "Sharded.create: shards must be >= 1";
   let k = shards in
   let make i intern =
     let faults = match shard_faults with Some f -> f i | None -> Faults.create () in
     Session.create ~store ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep
-      ?durability ~faults ~shard:(i, k) ?intern ?engine ()
+      ?durability ~faults ~shard:(i, k) ?intern ?engine ?wal_segment_bytes ?ckpt_full_every
+      ?auto_checkpoint_bytes ()
   in
   assemble_fleet ~mode ~mailbox_capacity (seeded_schema ~k ~schema ~make)
 
@@ -458,13 +460,13 @@ let image_wals img i =
     invalid_arg "Sharded.image_wals: shard index out of range";
   Session.image_wals img.fl_images.(i)
 
-let recover ?flush_spin ?flush_sleep ?durability ?engine ?(mailbox_capacity = 256) ~mode
-    ~schema img =
+let recover ?flush_spin ?flush_sleep ?durability ?engine ?(mailbox_capacity = 256)
+    ?wal_segment_bytes ?ckpt_full_every ?auto_checkpoint_bytes ~mode ~schema img =
   let k = Array.length img.fl_images in
   if k < 1 then invalid_arg "Sharded.recover: empty fleet image";
   let make i intern =
     Session.recover ?flush_spin ?flush_sleep ?durability ~shard:(i, k) ?intern ?engine
-      img.fl_images.(i)
+      ?wal_segment_bytes ?ckpt_full_every ?auto_checkpoint_bytes img.fl_images.(i)
   in
   assemble_fleet ~mode ~mailbox_capacity (seeded_schema ~k ~schema ~make)
 

@@ -56,6 +56,9 @@ val create :
   ?engine:Ode_trigger.Runtime.config ->
   ?mailbox_capacity:int ->
   ?shard_faults:(int -> Ode_storage.Faults.t) ->
+  ?wal_segment_bytes:int ->
+  ?ckpt_full_every:int ->
+  ?auto_checkpoint_bytes:int ->
   shards:int ->
   mode:mode ->
   schema:(shard:int -> Session.t -> unit) ->
@@ -66,7 +69,9 @@ val create :
     snapshot seeds the rest — a divergent replay raises
     [Invalid_argument]). [shard_faults] supplies each shard's private
     fault-injection plane (default: inert planes) — the fleet-crash
-    harness arms exactly one of them. Session parameters are forwarded to
+    harness arms exactly one of them. Session parameters, including the
+    capacity knobs ([wal_segment_bytes], [ckpt_full_every],
+    [auto_checkpoint_bytes], see {!Session.create}), are forwarded to
     every shard's {!Session.create}. *)
 
 val shard_count : t -> int
@@ -137,6 +142,9 @@ val recover :
   ?durability:Ode_storage.Commit_pipeline.mode ->
   ?engine:Ode_trigger.Runtime.config ->
   ?mailbox_capacity:int ->
+  ?wal_segment_bytes:int ->
+  ?ckpt_full_every:int ->
+  ?auto_checkpoint_bytes:int ->
   mode:mode ->
   schema:(shard:int -> Session.t -> unit) ->
   fleet_image ->

@@ -106,6 +106,16 @@ module Replay = struct
         Hashtbl.reset t.pending_ops;
         Hashtbl.reset t.applied_ops;
         List.iter (fun (rid, payload) -> put t rid payload) entries
+    | Wal.Ckpt_delta { entries; _ } ->
+        (* Incremental manifest, also quiescent: overlay the dirtied
+           rids (None = delete) without resetting — state accumulated
+           since the full anchor stays valid. *)
+        Hashtbl.reset t.pending_ops;
+        Hashtbl.reset t.applied_ops;
+        List.iter
+          (fun (rid, payload) ->
+            match payload with Some payload -> put t rid payload | None -> drop t rid)
+          entries
 
   let feed t ~base chunk =
     let len = Buffer.length t.log in
@@ -232,9 +242,14 @@ let ship_stream t r stream wal sent set_sent =
         t.dead <- true;
         raise (Primary_down { ship_point = t.ship_points })
     | _ -> ());
-    let bytes = Wal.durable_bytes wal in
+    (* Global-offset range read: the retirement pins below guarantee the
+       unshipped suffix is never retired out from under the shipper. *)
     let chunk =
-      { ck_stream = stream; ck_base = sent; ck_bytes = Bytes.sub bytes sent (durable - sent) }
+      {
+        ck_stream = stream;
+        ck_base = sent;
+        ck_bytes = Wal.read_range wal ~pos:sent ~len:(durable - sent);
+      }
     in
     set_sent durable;
     t.ship_batches <- t.ship_batches + 1;
@@ -288,6 +303,17 @@ let attach ?(replicas = 2) ?(failover_count = 0) primary =
   let obj_store, trig_store = Session.stores primary in
   Commit_pipeline.attach_shipper obj_store.Store.pipeline (fun () -> on_flush t ());
   Commit_pipeline.attach_shipper trig_store.Store.pipeline (fun () -> on_flush t ());
+  (* Retirement pins: the primary's full checkpoints may retire WAL
+     segments, but never one some replica has not yet *persisted*. The
+     floor is the slowest replica's replayed offset — a paused link's
+     replica freezes its floor, pinning every later segment until it
+     catches back up (promote replays the replica's own log copy, so a
+     promotable standby is never left needing retired bytes). *)
+  let floor replay_of () =
+    Array.fold_left (fun acc r -> min acc (Replay.size (replay_of r))) max_int t.replicas
+  in
+  Wal.add_pin obj_store.Store.wal ~name:"replication" (floor (fun r -> r.rp_obj));
+  Wal.add_pin trig_store.Store.wal ~name:"replication" (floor (fun r -> r.rp_trig));
   (* Initial sync: ship the already-durable prefix (a recovered primary's
      WAL starts with a checkpoint) so replicas are never behind a
      never-flushing stream. *)
@@ -297,7 +323,9 @@ let attach ?(replicas = 2) ?(failover_count = 0) primary =
 let detach t =
   let obj_store, trig_store = Session.stores t.primary in
   Commit_pipeline.detach_shipper obj_store.Store.pipeline;
-  Commit_pipeline.detach_shipper trig_store.Store.pipeline
+  Commit_pipeline.detach_shipper trig_store.Store.pipeline;
+  Wal.remove_pin obj_store.Store.wal ~name:"replication";
+  Wal.remove_pin trig_store.Store.wal ~name:"replication"
 
 let primary t = t.primary
 let n_replicas t = Array.length t.replicas

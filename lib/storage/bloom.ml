@@ -1,0 +1,96 @@
+(* Seeded bloom filter over rid keys.
+
+   Sits in front of the disk-store directory so lookups of rids that
+   were never inserted (cold posts, archived objects, replays against
+   retired data) answer "definitely absent" without taking a lock or
+   touching the buffer pool. The filter is add-only: deletes leave
+   their key behind as a tolerated false positive until the next
+   rebuild (the store rebuilds from the live directory at every full
+   checkpoint, and opportunistically once insertions overrun the sized
+   capacity).
+
+   Design follows the classic partitioned double-hashing scheme
+   (Kirsch & Mitzenmacher): two 64-bit mixes of (key, seed) generate
+   the k probe positions as h1 + i*h2 over a power-of-two bit array,
+   so membership costs k cache probes and no allocation. Everything is
+   deterministic in (seed, insert order-independent), which keeps
+   crash sweeps and seeded property tests replayable. *)
+
+type t = {
+  bits : Bytes.t;
+  mask : int; (* bit-count - 1; bit count is a power of two *)
+  k : int; (* probes per key *)
+  seed : int;
+  expected : int; (* capacity the array was sized for *)
+  fp_rate : float; (* configured target false-positive rate *)
+  mutable count : int; (* keys added since creation *)
+}
+
+(* 64-bit finalizer in the splitmix64 family. OCaml ints are 63-bit;
+   multiplication wraps, which is exactly what a mixer wants. The final
+   [land max_int] clears the sign so callers can mod/mask directly. *)
+let mix seed x =
+  let x = x lxor seed in
+  let x = (x lxor (x lsr 30)) * 0xbf58476d1ce4e5b in
+  let x = (x lxor (x lsr 27)) * 0x94d049bb133111e in
+  let x = x lxor (x lsr 31) in
+  x land max_int
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+(* bits-per-key for a target fp rate is ln(fp) / ln(0.6185) ≈
+   -log2(fp) / ln 2; k = bits_per_key * ln 2 rounded. *)
+let create ~seed ~expected ~fp_rate =
+  let expected = max 1 expected in
+  let fp_rate = if fp_rate <= 0.0 || fp_rate >= 1.0 then 0.01 else fp_rate in
+  let bits_per_key = -.(log fp_rate) /. (log 2.0 *. log 2.0) in
+  let nbits = pow2_at_least (max 64 (int_of_float (float_of_int expected *. bits_per_key))) 64 in
+  let k = max 1 (int_of_float ((Float.round (bits_per_key *. log 2.0)))) in
+  {
+    bits = Bytes.make (nbits / 8) '\000';
+    mask = nbits - 1;
+    k;
+    seed;
+    expected;
+    fp_rate;
+    count = 0;
+  }
+
+let probes t key f =
+  let h1 = mix t.seed key in
+  let h2 = mix (t.seed lxor 0x5DEECE66D) key lor 1 in
+  let rec go i h =
+    if i < t.k then begin
+      f (h land t.mask);
+      go (i + 1) (h + h2)
+    end
+  in
+  go 0 h1
+
+let set_bit t bit =
+  let byte = bit lsr 3 and off = bit land 7 in
+  Bytes.unsafe_set t.bits byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl off)))
+
+let get_bit t bit =
+  let byte = bit lsr 3 and off = bit land 7 in
+  Char.code (Bytes.unsafe_get t.bits byte) land (1 lsl off) <> 0
+
+let add t key =
+  probes t key (set_bit t);
+  t.count <- t.count + 1
+
+(* [false] is authoritative: the key was never added. [true] means
+   "maybe present" at roughly the configured false-positive rate while
+   count <= expected. *)
+let maybe_mem t key =
+  let present = ref true in
+  (try probes t key (fun bit -> if not (get_bit t bit) then (present := false; raise Exit))
+   with Exit -> ());
+  !present
+
+let count t = t.count
+let expected t = t.expected
+let fp_rate t = t.fp_rate
+let seed t = t.seed
+let bit_count t = t.mask + 1

@@ -1,0 +1,28 @@
+(** Seeded bloom filter over integer keys (rids).
+
+    Consulted by the stores before directory / buffer-pool lookups so
+    reads of never-inserted rids cost k bit probes and no lock, no
+    page read. Add-only: deletions remain as tolerated false positives
+    until the owner rebuilds the filter from its live directory (done
+    at every full checkpoint). Deterministic in the seed. *)
+
+type t
+
+val create : seed:int -> expected:int -> fp_rate:float -> t
+(** [create ~seed ~expected ~fp_rate] sizes a power-of-two bit array
+    for [expected] keys at target false-positive rate [fp_rate]
+    (clamped to (0,1); out-of-range values fall back to 0.01). *)
+
+val add : t -> int -> unit
+
+val maybe_mem : t -> int -> bool
+(** [false] is authoritative (the key was never added); [true] is
+    "maybe", wrong at ~[fp_rate] while at most [expected] keys are in. *)
+
+val count : t -> int
+(** Keys added since creation. *)
+
+val expected : t -> int
+val fp_rate : t -> float
+val seed : t -> int
+val bit_count : t -> int

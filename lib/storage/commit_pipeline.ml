@@ -24,9 +24,18 @@ type t = {
   mutable ack_lag_ticks : int;
   mutable quorum_waits : int;
   mutable quorum_commits : int;
+  (* Auto-checkpoint policy: once the WAL has grown [auto_ckpt_bytes]
+     past the last checkpoint, [auto_checkpoint_due] turns true. The
+     pipeline only *signals* — the owner (Session) takes the checkpoint
+     at the next quiescent transaction boundary, because a checkpoint
+     inside a flush would see the committing transaction's undo entry
+     still live. 0 disables the policy. *)
+  auto_ckpt_bytes : int;
+  mutable last_ckpt_size : int;
+  mutable auto_ckpts : int;
 }
 
-let create ?(mode = Immediate) wal =
+let create ?(mode = Immediate) ?(auto_ckpt_bytes = 0) wal =
   {
     wal;
     mode;
@@ -43,9 +52,21 @@ let create ?(mode = Immediate) wal =
     ack_lag_ticks = 0;
     quorum_waits = 0;
     quorum_commits = 0;
+    auto_ckpt_bytes;
+    last_ckpt_size = 0;
+    auto_ckpts = 0;
   }
 
 let mode t = t.mode
+
+let auto_checkpoint_due t =
+  t.auto_ckpt_bytes > 0 && Wal.durable_size t.wal - t.last_ckpt_size >= t.auto_ckpt_bytes
+
+(* Called by the store at the end of every checkpoint (manual or
+   policy-driven): rearms the growth trigger. *)
+let note_checkpoint t =
+  if auto_checkpoint_due t then t.auto_ckpts <- t.auto_ckpts + 1;
+  t.last_ckpt_size <- Wal.durable_size t.wal
 
 let pending t = List.length t.queued + List.length t.awaiting + List.length t.quorum_pending
 
@@ -171,6 +192,7 @@ let counters t =
     ("quorum_waits", t.quorum_waits);
     ("quorum_commits", t.quorum_commits);
     ("quorum_pending", List.length t.quorum_pending);
+    ("auto_ckpts", t.auto_ckpts);
   ]
 
 (* ---- mode syntax (odectl / bench) ---- *)

@@ -56,10 +56,25 @@ type mode =
 
 type t
 
-val create : ?mode:mode -> Wal.t -> t
-(** A pipeline over [wal]. [mode] defaults to [Immediate]. *)
+val create : ?mode:mode -> ?auto_ckpt_bytes:int -> Wal.t -> t
+(** A pipeline over [wal]. [mode] defaults to [Immediate].
+    [auto_ckpt_bytes] (default 0 = off) arms the auto-checkpoint policy:
+    once the WAL durable prefix has grown that many bytes past the last
+    checkpoint, {!auto_checkpoint_due} turns true. The pipeline never
+    checkpoints itself — the session owning the store reads the signal
+    and checkpoints at the next quiescent transaction boundary. *)
 
 val mode : t -> mode
+
+val auto_checkpoint_due : t -> bool
+(** WAL growth since the last {!note_checkpoint} has reached the
+    configured [auto_ckpt_bytes] threshold (always [false] when the
+    policy is off). *)
+
+val note_checkpoint : t -> unit
+(** Record that a checkpoint just completed (called by the store at the
+    end of every [checkpoint_impl]): rearms the growth trigger at the
+    current durable size. *)
 
 val on_commit : t -> Txn.t -> unit
 (** Route one committed transaction's log force. Stamps the transaction
@@ -114,7 +129,8 @@ val counters : t -> (string * int) list
     [ack_lag_ticks] (summed resolve−enqueue tick lag), [pending_acks],
     [quorum_waits] (flushes that left at least one ack parked on remote
     durability), [quorum_commits] (acks released by quorum confirmation),
-    [quorum_pending] (currently parked). *)
+    [quorum_pending] (currently parked), [auto_ckpts] (checkpoints taken
+    with the growth trigger armed). *)
 
 val mode_of_string : string -> (mode, string) result
 (** ["immediate"], ["group"], ["group:B"], ["group:B:D"] (batch size [B],

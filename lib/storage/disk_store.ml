@@ -17,6 +17,13 @@ type t = {
   roomy_pages : (int, unit) Hashtbl.t;  (* pages with reclaimed space *)
   undo : (int, Wal.op list) Hashtbl.t;  (* txn -> ops, newest first *)
   chains : Mvcc.t;  (* committed version chains for snapshot reads *)
+  dirty : unit Rid.Tbl.t;  (* rids with committed changes since the last checkpoint *)
+  mutable bloom : Bloom.t;  (* membership filter in front of [dir] *)
+  bloom_seed : int;
+  bloom_fp_rate : float;
+  ckpt_full_every : int;  (* every Nth checkpoint is a full anchor *)
+  mutable ckpt_seq : int;
+  mutable last_full_seq : int;  (* -1 until the first full checkpoint *)
   rid_base : int;  (* shard residue: fresh rids ≡ rid_base (mod rid_stride) *)
   rid_stride : int;
   mutable next_rid : int;
@@ -26,6 +33,11 @@ type t = {
   mutable updates : int;
   mutable deletes : int;
   mutable relocations : int;
+  mutable bloom_negatives : int;  (* lookups answered "absent" without lock or page *)
+  mutable bloom_fp : int;  (* bloom said maybe, directory said no *)
+  mutable ckpt_fulls : int;
+  mutable ckpt_deltas : int;
+  mutable ckpt_delta_bytes : int;  (* total encoded size of delta manifests *)
 }
 
 let fail fmt = Format.kasprintf (fun msg -> raise (Store.Store_error msg)) fmt
@@ -104,9 +116,25 @@ let phys_insert t rid payload =
         | Some slot -> { page = page_id; slot }
         | None -> fail "record does not fit on a fresh page")
   in
-  if not (Rid.Tbl.mem t.dir rid) then t.sorted_rids <- None;
+  if not (Rid.Tbl.mem t.dir rid) then begin
+    t.sorted_rids <- None;
+    Bloom.add t.bloom (Rid.to_int rid)
+  end;
   Rid.Tbl.replace t.dir rid loc;
   loc
+
+(* Resize-and-rekey from the live directory. Runs at every full
+   checkpoint (flushing deleted rids out of the filter) and whenever
+   inserts overrun the sized capacity by 2x (keeping the false-positive
+   rate near its target as the store grows). Same seed — rebuilds are
+   deterministic. *)
+let rebuild_bloom t =
+  let live = Rid.Tbl.length t.dir in
+  let bloom =
+    Bloom.create ~seed:t.bloom_seed ~expected:(max 1024 (2 * live)) ~fp_rate:t.bloom_fp_rate
+  in
+  Rid.Tbl.iter (fun rid _ -> Bloom.add bloom (Rid.to_int rid)) t.dir;
+  t.bloom <- bloom
 
 let phys_read t rid =
   match Rid.Tbl.find_opt t.dir rid with
@@ -171,6 +199,7 @@ let insert_impl t (txn : Txn.t) payload =
   ignore (phys_insert t rid payload);
   log_op t txn (Wal.Insert (rid, payload));
   t.inserts <- t.inserts + 1;
+  if Bloom.count t.bloom > 2 * Bloom.expected t.bloom then rebuild_bloom t;
   rid
 
 (* Snapshot readers resolve against the in-memory version chains at their
@@ -185,10 +214,24 @@ let read_impl t (txn : Txn.t) rid =
     t.reads <- t.reads + 1;
     Mvcc.read_at t.chains ~ts rid
   end
+  else if not (Bloom.maybe_mem t.bloom (Rid.to_int rid)) then begin
+    (* Definitely never inserted: answer without the S-lock, the
+       directory probe or the page read. Safe because the filter has no
+       false negatives — a concurrent uncommitted insert of this rid
+       would already be in the filter and fall through to the lock. *)
+    Txn.check_active txn;
+    t.bloom_negatives <- t.bloom_negatives + 1;
+    t.reads <- t.reads + 1;
+    None
+  end
   else begin
     lock_or_timeout t txn rid Lock_manager.S;
     t.reads <- t.reads + 1;
-    phys_read t rid
+    match phys_read t rid with
+    | None ->
+        t.bloom_fp <- t.bloom_fp + 1;
+        None
+    | some -> some
   end
 
 (* Lock-free read-committed access for a regular transaction (certified
@@ -271,15 +314,22 @@ let apply_undo t op =
    reproduces the seed behaviour (per-txn Commit record, flush per commit,
    transient flush failure swallowed as delayed durability), Group/Async
    modes batch the force across transactions. *)
-(* Distinct rids a transaction's undo ops touched, for version install. *)
+(* Distinct rids a transaction's undo ops touched, for version install.
+   Deduped through a scratch table: the membership scan over the
+   accumulator made large batched transactions quadratic in batch size. *)
 let touched_rids ops =
+  let seen = Rid.Tbl.create 64 in
   List.fold_left
     (fun acc op ->
       let rid =
         match op with
         | Wal.Insert (rid, _) | Wal.Update (rid, _, _) | Wal.Delete (rid, _) -> rid
       in
-      if List.exists (Rid.equal rid) acc then acc else rid :: acc)
+      if Rid.Tbl.mem seen rid then acc
+      else begin
+        Rid.Tbl.replace seen rid ();
+        rid :: acc
+      end)
     [] ops
 
 let on_commit t (txn : Txn.t) =
@@ -291,7 +341,11 @@ let on_commit t (txn : Txn.t) =
          stamp — the post-commit state (None for a delete tombstone). *)
       let ts = Txn.commit_ts txn in
       List.iter
-        (fun rid -> Mvcc.install t.chains ~ts rid (phys_read t rid))
+        (fun rid ->
+          Mvcc.install t.chains ~ts rid (phys_read t rid);
+          (* Committed change: the next incremental checkpoint must carry
+             this rid (aborted work never enters the dirty set). *)
+          Rid.Tbl.replace t.dirty rid ())
         (touched_rids undo_ops);
       Mvcc.maybe_prune t.chains ~watermark:(Txn.gc_watermark t.mgr);
       Hashtbl.remove t.undo txn.id
@@ -309,6 +363,46 @@ let on_abort t (txn : Txn.t) =
         Commit_pipeline.tick t.pipeline
   end
 
+(* Checkpoint: every [ckpt_full_every]-th one (and the first) is a full
+   anchor logging the entire committed state; the rest are incremental
+   [Ckpt_delta] manifests carrying only the rids committed since the
+   previous checkpoint — O(dirty), not O(data). After a full anchor the
+   log below it is re-derivable, so sealed WAL segments wholly below the
+   anchor record retire (subject to replication pins), and the bloom
+   filter rebuilds from the live directory, flushing deleted rids out. *)
+let write_ckpt t ~seq ~full record =
+  let record_len =
+    let w = Binc.writer () in
+    Wal.encode_record w record;
+    Bytes.length (Binc.contents w)
+  in
+  (* Any queued group batch materializes ahead of the checkpoint record so
+     the batch's commit marker precedes the state it is folded into; the
+     pipeline flush then forces both and resolves the deferred acks. *)
+  Commit_pipeline.materialize t.pipeline;
+  Wal.append t.wal record;
+  Commit_pipeline.flush t.pipeline;
+  (* Only a durable checkpoint updates the chain bookkeeping: a failed
+     flush leaves the record buffered and the dirty set intact, so the
+     next attempt simply supersedes it. *)
+  t.ckpt_seq <- seq + 1;
+  Rid.Tbl.reset t.dirty;
+  if full then begin
+    t.ckpt_fulls <- t.ckpt_fulls + 1;
+    t.last_full_seq <- seq;
+    (* The anchor starts at [durable end - its encoded length]: it is the
+       last record of the flush we just forced. Everything strictly below
+       is superseded. *)
+    Wal.retire_below t.wal ~offset:(Wal.durable_size t.wal - record_len);
+    rebuild_bloom t
+  end
+  else begin
+    t.ckpt_deltas <- t.ckpt_deltas + 1;
+    t.ckpt_delta_bytes <- t.ckpt_delta_bytes + record_len
+  end;
+  Commit_pipeline.note_checkpoint t.pipeline;
+  Mvcc.prune t.chains ~watermark:(Txn.gc_watermark t.mgr)
+
 let checkpoint_impl t () =
   check_usable t;
   if Hashtbl.length t.undo > 0 then fail "checkpoint with in-flight transactions";
@@ -317,20 +411,48 @@ let checkpoint_impl t () =
      data pages (it replays the WAL), but this keeps the device image
      current and makes page writes addressable I/O points. *)
   Buffer_pool.flush_all t.pool;
-  let state =
-    List.map
-      (fun rid ->
-        match phys_read t rid with
-        | Some payload -> (rid, payload)
-        | None -> fail "checkpoint: dangling directory entry %a" Rid.pp rid)
-      (sorted_rids t)
+  let seq = t.ckpt_seq in
+  let full = t.last_full_seq < 0 || seq - t.last_full_seq >= t.ckpt_full_every in
+  let record =
+    if full then
+      Wal.Checkpoint
+        (List.map
+           (fun rid ->
+             match phys_read t rid with
+             | Some payload -> (rid, payload)
+             | None -> fail "checkpoint: dangling directory entry %a" Rid.pp rid)
+           (sorted_rids t))
+    else begin
+      let entries =
+        Rid.Tbl.fold (fun rid () acc -> (rid, phys_read t rid) :: acc) t.dirty []
+      in
+      let entries = List.sort (fun (a, _) (b, _) -> Rid.compare a b) entries in
+      Wal.Ckpt_delta { seq; base = t.last_full_seq; entries }
+    end
   in
-  (* Any queued group batch materializes ahead of the checkpoint record so
-     the batch's commit marker precedes the state it is folded into; the
-     pipeline flush then forces both and resolves the deferred acks. *)
+  write_ckpt t ~seq ~full record
+
+(* Recovery's anchor: the caller just [load_bulk]ed [entries] (sorted, the
+   exact committed state), so logging them directly skips the per-record
+   page reads a regular full checkpoint pays — at a million objects that
+   re-read is most of the recovery fixed cost. The store is fresh (empty
+   WAL, right-sized bloom courtesy of [load_bulk]), which also lets this
+   path skip [write_ckpt]'s length-probe encode, its retirement call
+   (nothing below the anchor exists) and the bloom rebuild. *)
+let anchor_from t entries =
+  check_usable t;
+  if Hashtbl.length t.undo > 0 then fail "checkpoint with in-flight transactions";
+  if Wal.durable_size t.wal > 0 then fail "anchor_from into a store with WAL history";
+  Buffer_pool.flush_all t.pool;
+  let seq = t.ckpt_seq in
   Commit_pipeline.materialize t.pipeline;
-  Wal.append t.wal (Wal.Checkpoint state);
+  Wal.append t.wal (Wal.Checkpoint entries);
   Commit_pipeline.flush t.pipeline;
+  t.ckpt_seq <- seq + 1;
+  Rid.Tbl.reset t.dirty;
+  t.ckpt_fulls <- t.ckpt_fulls + 1;
+  t.last_full_seq <- seq;
+  Commit_pipeline.note_checkpoint t.pipeline;
   Mvcc.prune t.chains ~watermark:(Txn.gc_watermark t.mgr)
 
 let prune_versions_impl t () =
@@ -355,6 +477,18 @@ let counters_impl t () =
     ("pool_writebacks", pool.Buffer_pool.writebacks);
     ("wal_flushes", Wal.flush_count t.wal);
     ("wal_bytes", Wal.durable_size t.wal);
+    ("wal_footprint", Wal.retained_size t.wal);
+    ("segments_sealed", Wal.segments_sealed t.wal);
+    ("segments_retired", Wal.segments_retired t.wal);
+    ("wal_retired_bytes", Wal.retired_bytes t.wal);
+    ("ckpt_fulls", t.ckpt_fulls);
+    ("ckpt_deltas", t.ckpt_deltas);
+    ("ckpt_incremental_bytes", t.ckpt_delta_bytes);
+    ("dirty_rids", Rid.Tbl.length t.dirty);
+    ("bloom_negatives", t.bloom_negatives);
+    ("bloom_fp", t.bloom_fp);
+    ("bloom_bits", Bloom.bit_count t.bloom);
+    ("bloom_keys", Bloom.count t.bloom);
   ]
   @ Commit_pipeline.counters t.pipeline
   @ Mvcc.counters t.chains
@@ -364,12 +498,15 @@ let counters_impl t () =
     ]
 
 let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?flush_spin ?flush_sleep
-    ?durability ?faults ?(rid_base = 0) ?(rid_stride = 1) ~mgr ~name () =
+    ?durability ?faults ?(rid_base = 0) ?(rid_stride = 1) ?(wal_segment_bytes = 0)
+    ?(ckpt_full_every = 1) ?auto_ckpt_bytes ?(bloom_seed = 0x0DE5EED) ?(bloom_fp_rate = 0.01)
+    ~mgr ~name () =
   if rid_stride < 1 || rid_base < 0 || rid_base >= rid_stride then
     fail "store %s: rid_base %d must lie in [0, rid_stride=%d)" name rid_base rid_stride;
+  if ckpt_full_every < 1 then fail "store %s: ckpt_full_every must be >= 1" name;
   let faults = match faults with Some f -> f | None -> Faults.create () in
   let pager = Pager.create ?io_spin ~faults ~page_size () in
-  let wal = Wal.create ~faults ?flush_spin ?flush_sleep () in
+  let wal = Wal.create ~faults ?flush_spin ?flush_sleep ~segment_bytes:wal_segment_bytes () in
   let t =
     {
       name;
@@ -378,7 +515,7 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?flush_spin ?flush
       pager;
       pool = Buffer_pool.create ~faults pager ~capacity:pool_capacity;
       wal;
-      pipeline = Commit_pipeline.create ?mode:durability wal;
+      pipeline = Commit_pipeline.create ?mode:durability ?auto_ckpt_bytes wal;
       dir = Rid.Tbl.create 256;
       sorted_rids = None;
       heap_pages = [];
@@ -386,6 +523,13 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?flush_spin ?flush
       roomy_pages = Hashtbl.create 16;
       undo = Hashtbl.create 8;
       chains = Mvcc.create ();
+      dirty = Rid.Tbl.create 64;
+      bloom = Bloom.create ~seed:bloom_seed ~expected:1024 ~fp_rate:bloom_fp_rate;
+      bloom_seed;
+      bloom_fp_rate;
+      ckpt_full_every;
+      ckpt_seq = 0;
+      last_full_seq = -1;
       rid_base;
       rid_stride;
       next_rid = rid_base;
@@ -395,6 +539,11 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?flush_spin ?flush
       updates = 0;
       deletes = 0;
       relocations = 0;
+      bloom_negatives = 0;
+      bloom_fp = 0;
+      ckpt_fulls = 0;
+      ckpt_deltas = 0;
+      ckpt_delta_bytes = 0;
     }
   in
   Txn.register_participant mgr
@@ -413,6 +562,19 @@ let ops t =
     version_ts = version_ts_impl t;
     prune_versions = prune_versions_impl t;
     record_count = (fun () -> Rid.Tbl.length t.dir);
+    maybe_present =
+      (fun rid ->
+        check_usable t;
+        if not (Bloom.maybe_mem t.bloom (Rid.to_int rid)) then begin
+          t.bloom_negatives <- t.bloom_negatives + 1;
+          false
+        end
+        else begin
+          let hit = Rid.Tbl.mem t.dir rid in
+          if not hit then t.bloom_fp <- t.bloom_fp + 1;
+          hit
+        end);
+    in_flight = (fun () -> Hashtbl.length t.undo);
     checkpoint = checkpoint_impl t;
     counters = counters_impl t;
     wal = t.wal;
@@ -428,12 +590,18 @@ let align_after t rid =
 
 let load_bulk t entries =
   if Rid.Tbl.length t.dir > 0 then fail "load_bulk into non-empty store %s" t.name;
+  (* Size the bloom for the load up front so neither the per-record adds
+     nor the recovery anchor need a rebuild pass. *)
+  t.bloom <-
+    Bloom.create ~seed:t.bloom_seed
+      ~expected:(max 1024 (2 * List.length entries))
+      ~fp_rate:t.bloom_fp_rate;
   List.iter
     (fun (rid, payload) ->
       ignore (phys_insert t rid payload);
       (* Baseline version at ts 0: recovered state predates every future
          snapshot, and uncommitted pre-crash work never had a version. *)
-      Mvcc.install t.chains ~ts:0 rid (Some payload);
+      Mvcc.load t.chains ~ts:0 rid (Some payload);
       t.next_rid <- max t.next_rid (align_after t rid))
     entries
 

@@ -21,6 +21,11 @@ val create :
   ?faults:Faults.t ->
   ?rid_base:int ->
   ?rid_stride:int ->
+  ?wal_segment_bytes:int ->
+  ?ckpt_full_every:int ->
+  ?auto_ckpt_bytes:int ->
+  ?bloom_seed:int ->
+  ?bloom_fp_rate:float ->
   mgr:Txn.mgr ->
   name:string ->
   unit ->
@@ -38,7 +43,17 @@ val create :
     [rid_base]/[rid_stride] (defaults 0/1) restrict fresh rids to the
     residue class [rid_base (mod rid_stride)] — the {!Ode_parallel} shard
     partitioning rule; raises [Store_error] unless
-    [0 <= rid_base < rid_stride]. *)
+    [0 <= rid_base < rid_stride].
+
+    Capacity knobs: [wal_segment_bytes] (default 0 = never) seals WAL
+    segments at that size so full checkpoints can retire them
+    ({!Wal.retire_below}); [ckpt_full_every] (default 1 = always full)
+    makes every Nth checkpoint a full anchor with incremental
+    [Ckpt_delta] manifests between; [auto_ckpt_bytes] (default 0 = off)
+    arms {!Commit_pipeline.auto_checkpoint_due} at that much WAL growth;
+    [bloom_seed]/[bloom_fp_rate] (defaults [0x0DE5EED]/0.01) configure
+    the rid membership filter consulted before directory and buffer-pool
+    lookups. *)
 
 val ops : t -> Store.t
 (** The uniform interface used by everything above the storage layer. *)
@@ -47,6 +62,14 @@ val load_bulk : t -> (Rid.t * bytes) list -> unit
 (** Physically install records, bypassing transactions, locking and
     logging. Recovery-only; raises [Store_error] if the store is not
     empty. *)
+
+val anchor_from : t -> (Rid.t * bytes) list -> unit
+(** Write a full anchor checkpoint whose payload is [entries] verbatim
+    (sorted by rid), with the usual anchor bookkeeping: WAL retirement
+    below the record and a bloom rebuild. Recovery pairs this with
+    {!load_bulk} — the entries are the state just loaded, so logging them
+    directly skips the per-record page re-read a regular full checkpoint
+    performs. *)
 
 val flush_pages : t -> unit
 (** Write back all dirty frames (clean shutdown). *)

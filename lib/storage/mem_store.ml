@@ -7,6 +7,10 @@ type t = {
   mutable sorted_rids : Rid.t list option;  (* cache for scans; None = dirty *)
   undo : (int, Wal.op list) Hashtbl.t;
   chains : Mvcc.t;  (* committed version chains for snapshot reads *)
+  dirty : unit Rid.Tbl.t;  (* rids with committed changes since the last checkpoint *)
+  ckpt_full_every : int;  (* every Nth checkpoint is a full anchor *)
+  mutable ckpt_seq : int;
+  mutable last_full_seq : int;  (* -1 until the first full checkpoint *)
   rid_base : int;  (* shard residue: fresh rids ≡ rid_base (mod rid_stride) *)
   rid_stride : int;
   mutable next_rid : int;
@@ -15,6 +19,9 @@ type t = {
   mutable reads : int;
   mutable updates : int;
   mutable deletes : int;
+  mutable ckpt_fulls : int;
+  mutable ckpt_deltas : int;
+  mutable ckpt_delta_bytes : int;  (* total encoded size of delta manifests *)
 }
 
 let fail fmt = Format.kasprintf (fun msg -> raise (Store.Store_error msg)) fmt
@@ -147,15 +154,22 @@ let apply_undo t op =
   | Wal.Update (rid, before, _) -> Rid.Tbl.replace t.records rid before
   | Wal.Delete (rid, before) -> Rid.Tbl.replace t.records rid before
 
-(* Distinct rids a transaction's undo ops touched, for version install. *)
+(* Distinct rids a transaction's undo ops touched, for version install.
+   Deduped through a scratch table: the membership scan over the
+   accumulator made large batched transactions quadratic in batch size. *)
 let touched_rids ops =
+  let seen = Rid.Tbl.create 64 in
   List.fold_left
     (fun acc op ->
       let rid =
         match op with
         | Wal.Insert (rid, _) | Wal.Update (rid, _, _) | Wal.Delete (rid, _) -> rid
       in
-      if List.exists (Rid.equal rid) acc then acc else rid :: acc)
+      if Rid.Tbl.mem seen rid then acc
+      else begin
+        Rid.Tbl.replace seen rid ();
+        rid :: acc
+      end)
     [] ops
 
 (* Commit-time log force routes through the pipeline; see
@@ -169,7 +183,9 @@ let on_commit t (txn : Txn.t) =
       Commit_pipeline.on_commit t.pipeline txn;
       let ts = Txn.commit_ts txn in
       List.iter
-        (fun rid -> Mvcc.install t.chains ~ts rid (Rid.Tbl.find_opt t.records rid))
+        (fun rid ->
+          Mvcc.install t.chains ~ts rid (Rid.Tbl.find_opt t.records rid);
+          Rid.Tbl.replace t.dirty rid ())
         (touched_rids undo_ops);
       Mvcc.maybe_prune t.chains ~watermark:(Txn.gc_watermark t.mgr);
       Hashtbl.remove t.undo txn.id
@@ -189,20 +205,72 @@ let prune_versions_impl t () =
   check_usable t;
   Mvcc.prune t.chains ~watermark:(Txn.gc_watermark t.mgr)
 
+(* Full-anchor / incremental-delta checkpoint chain; the logic mirrors
+   [Disk_store.checkpoint_impl] minus the buffer-pool flush and bloom. *)
+let write_ckpt t ~seq ~full record =
+  let record_len =
+    let w = Ode_util.Binc.writer () in
+    Wal.encode_record w record;
+    Bytes.length (Ode_util.Binc.contents w)
+  in
+  Commit_pipeline.materialize t.pipeline;
+  Wal.append t.wal record;
+  Commit_pipeline.flush t.pipeline;
+  t.ckpt_seq <- seq + 1;
+  Rid.Tbl.reset t.dirty;
+  if full then begin
+    t.ckpt_fulls <- t.ckpt_fulls + 1;
+    t.last_full_seq <- seq;
+    Wal.retire_below t.wal ~offset:(Wal.durable_size t.wal - record_len)
+  end
+  else begin
+    t.ckpt_deltas <- t.ckpt_deltas + 1;
+    t.ckpt_delta_bytes <- t.ckpt_delta_bytes + record_len
+  end;
+  Commit_pipeline.note_checkpoint t.pipeline;
+  Mvcc.prune t.chains ~watermark:(Txn.gc_watermark t.mgr)
+
 let checkpoint_impl t () =
   check_usable t;
   if Hashtbl.length t.undo > 0 then fail "checkpoint with in-flight transactions";
-  let entries =
-    List.map
-      (fun rid ->
-        match Rid.Tbl.find_opt t.records rid with
-        | Some payload -> (rid, payload)
-        | None -> fail "checkpoint: dangling rid %a" Rid.pp rid)
-      (sorted_rids t)
+  let seq = t.ckpt_seq in
+  let full = t.last_full_seq < 0 || seq - t.last_full_seq >= t.ckpt_full_every in
+  let record =
+    if full then
+      Wal.Checkpoint
+        (List.map
+           (fun rid ->
+             match Rid.Tbl.find_opt t.records rid with
+             | Some payload -> (rid, payload)
+             | None -> fail "checkpoint: dangling rid %a" Rid.pp rid)
+           (sorted_rids t))
+    else begin
+      let entries =
+        Rid.Tbl.fold (fun rid () acc -> (rid, Rid.Tbl.find_opt t.records rid) :: acc) t.dirty []
+      in
+      let entries = List.sort (fun (a, _) (b, _) -> Rid.compare a b) entries in
+      Wal.Ckpt_delta { seq; base = t.last_full_seq; entries }
+    end
   in
+  write_ckpt t ~seq ~full record
+
+(* Recovery's anchor: log the just-loaded entries directly instead of
+   re-reading every record; the fresh store's empty WAL also makes the
+   length-probe encode and the retirement call dead weight (see
+   [Disk_store.anchor_from]). *)
+let anchor_from t entries =
+  check_usable t;
+  if Hashtbl.length t.undo > 0 then fail "checkpoint with in-flight transactions";
+  if Wal.durable_size t.wal > 0 then fail "anchor_from into a store with WAL history";
+  let seq = t.ckpt_seq in
   Commit_pipeline.materialize t.pipeline;
   Wal.append t.wal (Wal.Checkpoint entries);
   Commit_pipeline.flush t.pipeline;
+  t.ckpt_seq <- seq + 1;
+  Rid.Tbl.reset t.dirty;
+  t.ckpt_fulls <- t.ckpt_fulls + 1;
+  t.last_full_seq <- seq;
+  Commit_pipeline.note_checkpoint t.pipeline;
   Mvcc.prune t.chains ~watermark:(Txn.gc_watermark t.mgr)
 
 let counters_impl t () =
@@ -213,6 +281,14 @@ let counters_impl t () =
     ("deletes", t.deletes);
     ("wal_flushes", Wal.flush_count t.wal);
     ("wal_bytes", Wal.durable_size t.wal);
+    ("wal_footprint", Wal.retained_size t.wal);
+    ("segments_sealed", Wal.segments_sealed t.wal);
+    ("segments_retired", Wal.segments_retired t.wal);
+    ("wal_retired_bytes", Wal.retired_bytes t.wal);
+    ("ckpt_fulls", t.ckpt_fulls);
+    ("ckpt_deltas", t.ckpt_deltas);
+    ("ckpt_incremental_bytes", t.ckpt_delta_bytes);
+    ("dirty_rids", Rid.Tbl.length t.dirty);
   ]
   @ Commit_pipeline.counters t.pipeline
   @ Mvcc.counters t.chains
@@ -221,21 +297,26 @@ let counters_impl t () =
       ("mvcc.live_snapshots", Txn.live_snapshot_count t.mgr);
     ]
 
-let create ?flush_spin ?flush_sleep ?durability ?(rid_base = 0) ?(rid_stride = 1) ~mgr ~name
-    () =
+let create ?flush_spin ?flush_sleep ?durability ?(rid_base = 0) ?(rid_stride = 1)
+    ?(wal_segment_bytes = 0) ?(ckpt_full_every = 1) ?auto_ckpt_bytes ~mgr ~name () =
   if rid_stride < 1 || rid_base < 0 || rid_base >= rid_stride then
     fail "store %s: rid_base %d must lie in [0, rid_stride=%d)" name rid_base rid_stride;
-  let wal = Wal.create ?flush_spin ?flush_sleep () in
+  if ckpt_full_every < 1 then fail "store %s: ckpt_full_every must be >= 1" name;
+  let wal = Wal.create ?flush_spin ?flush_sleep ~segment_bytes:wal_segment_bytes () in
   let t =
     {
       name;
       mgr;
       wal;
-      pipeline = Commit_pipeline.create ?mode:durability wal;
+      pipeline = Commit_pipeline.create ?mode:durability ?auto_ckpt_bytes wal;
       records = Rid.Tbl.create 256;
       sorted_rids = None;
       undo = Hashtbl.create 8;
       chains = Mvcc.create ();
+      dirty = Rid.Tbl.create 64;
+      ckpt_full_every;
+      ckpt_seq = 0;
+      last_full_seq = -1;
       rid_base;
       rid_stride;
       next_rid = rid_base;
@@ -244,6 +325,9 @@ let create ?flush_spin ?flush_sleep ?durability ?(rid_base = 0) ?(rid_stride = 1
       reads = 0;
       updates = 0;
       deletes = 0;
+      ckpt_fulls = 0;
+      ckpt_deltas = 0;
+      ckpt_delta_bytes = 0;
     }
   in
   Txn.register_participant mgr
@@ -262,6 +346,11 @@ let ops t =
     version_ts = version_ts_impl t;
     prune_versions = prune_versions_impl t;
     record_count = (fun () -> Rid.Tbl.length t.records);
+    maybe_present =
+      (fun rid ->
+        check_usable t;
+        Rid.Tbl.mem t.records rid);
+    in_flight = (fun () -> Hashtbl.length t.undo);
     checkpoint = checkpoint_impl t;
     counters = counters_impl t;
     wal = t.wal;
@@ -282,7 +371,7 @@ let load_bulk t entries =
       Rid.Tbl.replace t.records rid payload;
       (* Baseline version at ts 0: recovered state predates every future
          snapshot, and uncommitted pre-crash work never had a version. *)
-      Mvcc.install t.chains ~ts:0 rid (Some payload);
+      Mvcc.load t.chains ~ts:0 rid (Some payload);
       t.next_rid <- max t.next_rid (align_after t rid))
     entries;
   t.sorted_rids <- None

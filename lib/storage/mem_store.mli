@@ -15,6 +15,9 @@ val create :
   ?durability:Commit_pipeline.mode ->
   ?rid_base:int ->
   ?rid_stride:int ->
+  ?wal_segment_bytes:int ->
+  ?ckpt_full_every:int ->
+  ?auto_ckpt_bytes:int ->
   mgr:Txn.mgr ->
   name:string ->
   unit ->
@@ -26,12 +29,19 @@ val create :
     the residue class [rid_base (mod rid_stride)] — how {!Ode_parallel}
     gives shard [i] of [K] ownership of every oid ≡ i (mod K) without
     coordination. Raises [Store_error] unless
-    [0 <= rid_base < rid_stride]. *)
+    [0 <= rid_base < rid_stride]. [wal_segment_bytes], [ckpt_full_every]
+    and [auto_ckpt_bytes] are the capacity knobs, as in
+    {!Disk_store.create} (no bloom: the record table is its own O(1)
+    membership probe). *)
 
 val ops : t -> Store.t
 
 val load_bulk : t -> (Rid.t * bytes) list -> unit
 (** Physically install records (recovery only; store must be empty). *)
+
+val anchor_from : t -> (Rid.t * bytes) list -> unit
+(** Write a full anchor checkpoint from the just-loaded entries without
+    re-reading them; see {!Disk_store.anchor_from}. *)
 
 val crash : t -> unit
 (** Simulate a crash: in-memory contents are lost; only the WAL's durable

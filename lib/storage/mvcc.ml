@@ -1,5 +1,11 @@
 type t = {
   chains : (int * bytes option) list Rid.Tbl.t;  (* newest first *)
+  pending : unit Rid.Tbl.t;
+      (* rids whose chains may still hold prunable history (multi-version
+         chains and lone tombstones). Pruning walks only these, so a GC
+         pass costs O(recently-written records), not O(all records) — at
+         million-object scale a full-table sweep every
+         [auto_prune_interval] installs would dominate update cost. *)
   mutable installed : int;
   mutable pruned : int;
   mutable snapshot_reads : int;
@@ -11,11 +17,27 @@ let own_read_ts = -1
 let auto_prune_interval = 256
 
 let create () =
-  { chains = Rid.Tbl.create 256; installed = 0; pruned = 0; snapshot_reads = 0; since_prune = 0 }
+  {
+    chains = Rid.Tbl.create 256;
+    pending = Rid.Tbl.create 256;
+    installed = 0;
+    pruned = 0;
+    snapshot_reads = 0;
+    since_prune = 0;
+  }
+
+(* Recovery bulk load: a fresh singleton non-tombstone chain is settled
+   (nothing to prune until a later install supersedes it), so skipping the
+   pending-set registration keeps the first post-recovery prune from
+   sweeping every loaded record. *)
+let load t ~ts rid payload =
+  Rid.Tbl.replace t.chains rid [ (ts, payload) ];
+  t.installed <- t.installed + 1
 
 let install t ~ts rid payload =
   let chain = match Rid.Tbl.find_opt t.chains rid with Some c -> c | None -> [] in
   Rid.Tbl.replace t.chains rid ((ts, payload) :: chain);
+  Rid.Tbl.replace t.pending rid ();
   t.installed <- t.installed + 1;
   t.since_prune <- t.since_prune + 1
 
@@ -46,30 +68,44 @@ let iter_at t ~ts f =
 let prune t ~watermark =
   t.since_prune <- 0;
   let doomed = ref [] in
+  (* rids with nothing left to prune at any future watermark: a single
+     non-tombstone version can never be dropped (only superseded), so it
+     leaves the pending set until the next install re-adds it. *)
+  let settled = ref [] in
   Rid.Tbl.iter
-    (fun rid chain ->
-      let rec keep = function
-        | [] -> []
-        | ((vts, _) as v) :: older ->
-            if vts > watermark then v :: keep older
-            else begin
-              t.pruned <- t.pruned + List.length older;
-              [ v ]
-            end
-      in
-      let kept = keep chain in
-      match kept with
-      | [ (vts, None) ] when vts <= watermark ->
-          t.pruned <- t.pruned + 1;
-          doomed := rid :: !doomed
-      | kept -> if kept != chain then Rid.Tbl.replace t.chains rid kept)
-    t.chains;
-  List.iter (fun rid -> Rid.Tbl.remove t.chains rid) !doomed
+    (fun rid () ->
+      match Rid.Tbl.find_opt t.chains rid with
+      | None -> settled := rid :: !settled
+      | Some chain -> begin
+          let rec keep = function
+            | [] -> []
+            | ((vts, _) as v) :: older ->
+                if vts > watermark then v :: keep older
+                else begin
+                  t.pruned <- t.pruned + List.length older;
+                  [ v ]
+                end
+          in
+          let kept = keep chain in
+          match kept with
+          | [ (vts, None) ] when vts <= watermark ->
+              t.pruned <- t.pruned + 1;
+              doomed := rid :: !doomed;
+              settled := rid :: !settled
+          | [ (_, Some _) ] ->
+              settled := rid :: !settled;
+              if kept != chain then Rid.Tbl.replace t.chains rid kept
+          | kept -> if kept != chain then Rid.Tbl.replace t.chains rid kept
+        end)
+    t.pending;
+  List.iter (fun rid -> Rid.Tbl.remove t.chains rid) !doomed;
+  List.iter (fun rid -> Rid.Tbl.remove t.pending rid) !settled
 
 let maybe_prune t ~watermark = if t.since_prune >= auto_prune_interval then prune t ~watermark
 
 let clear t =
   Rid.Tbl.reset t.chains;
+  Rid.Tbl.reset t.pending;
   t.since_prune <- 0
 
 let note_snapshot_read t = t.snapshot_reads <- t.snapshot_reads + 1

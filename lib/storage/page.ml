@@ -1,6 +1,6 @@
 type t = { buf : bytes }
 
-let header_size = 4
+let header_size = 8
 let slot_size = 4
 let dead_off = 0xffff
 
@@ -17,6 +17,15 @@ let set_nslots t v = set16 t 0 v
 let free_off t = get16 t 2
 let set_free_off t v = set16 t 2 v
 
+(* Dead-slot and live-byte tallies live in the header so inserts need no
+   slot-table scan: the original find-dead-slot + sum-live-bytes pair made
+   filling a page O(slots) per insert, O(slots^2) per page — the dominant
+   cost of bulk loads at million-object scale. *)
+let dead_count t = get16 t 4
+let set_dead_count t v = set16 t 4 v
+let live_total t = get16 t 6
+let set_live_total t v = set16 t 6 v
+
 let slot_pos t i = Bytes.length t.buf - ((i + 1) * slot_size)
 let slot_off t i = get16 t (slot_pos t i)
 let slot_len t i = get16 t (slot_pos t i + 2)
@@ -30,6 +39,8 @@ let create ~size =
   let t = { buf = Bytes.make size '\000' } in
   set_nslots t 0;
   set_free_off t header_size;
+  set_dead_count t 0;
+  set_live_total t 0;
   t
 
 let slot_table_start t = Bytes.length t.buf - (nslots t * slot_size)
@@ -38,13 +49,7 @@ let free_space t =
   let gap = slot_table_start t - free_off t in
   max 0 (gap - slot_size)
 
-let live_slots t =
-  let n = nslots t in
-  let count = ref 0 in
-  for i = 0 to n - 1 do
-    if slot_off t i <> dead_off then incr count
-  done;
-  !count
+let live_slots t = nslots t - dead_count t
 
 let read t i =
   if i < 0 || i >= nslots t then None
@@ -70,22 +75,18 @@ let compact t =
     records;
   set_free_off t !cursor
 
-let live_bytes t =
-  let total = ref 0 in
-  for i = 0 to nslots t - 1 do
-    if slot_off t i <> dead_off then total := !total + slot_len t i
-  done;
-  !total
-
 (* Best available contiguous room for [extra_slots] additional slot
    entries, assuming a compaction. *)
 let room_after_compaction t ~extra_slots =
-  Bytes.length t.buf - header_size - live_bytes t - ((nslots t + extra_slots) * slot_size)
+  Bytes.length t.buf - header_size - live_total t - ((nslots t + extra_slots) * slot_size)
 
 let find_dead_slot t =
-  let n = nslots t in
-  let rec go i = if i >= n then None else if slot_off t i = dead_off then Some i else go (i + 1) in
-  go 0
+  if dead_count t = 0 then None
+  else begin
+    let n = nslots t in
+    let rec go i = if i >= n then None else if slot_off t i = dead_off then Some i else go (i + 1) in
+    go 0
+  end
 
 let insert t data =
   let len = Bytes.length data in
@@ -99,18 +100,25 @@ let insert t data =
     set_free_off t (off + len);
     let slot =
       match reuse with
-      | Some i -> i
+      | Some i ->
+          set_dead_count t (dead_count t - 1);
+          i
       | None ->
           let i = nslots t in
           set_nslots t (i + 1);
           i
     in
     set_slot t slot ~off ~len;
+    set_live_total t (live_total t + len);
     Some slot
   end
 
 let delete t i =
-  if i >= 0 && i < nslots t && slot_off t i <> dead_off then set_slot t i ~off:dead_off ~len:0
+  if i >= 0 && i < nslots t && slot_off t i <> dead_off then begin
+    set_live_total t (live_total t - slot_len t i);
+    set_dead_count t (dead_count t + 1);
+    set_slot t i ~off:dead_off ~len:0
+  end
 
 let update t i data =
   match read t i with
@@ -119,6 +127,7 @@ let update t i data =
       let len = Bytes.length data in
       if len <= slot_len t i then begin
         let off = slot_off t i in
+        set_live_total t (live_total t - slot_len t i + len);
         Bytes.blit data 0 t.buf off len;
         set_slot t i ~off ~len;
         true
@@ -126,9 +135,13 @@ let update t i data =
       else begin
         let old_off = slot_off t i and old_len = slot_len t i in
         set_slot t i ~off:dead_off ~len:0;
+        set_live_total t (live_total t - old_len);
+        set_dead_count t (dead_count t + 1);
         if room_after_compaction t ~extra_slots:0 < len then begin
           (* Roll back the tombstone; caller will relocate the record. *)
           set_slot t i ~off:old_off ~len:old_len;
+          set_live_total t (live_total t + old_len);
+          set_dead_count t (dead_count t - 1);
           false
         end
         else begin
@@ -137,6 +150,8 @@ let update t i data =
           Bytes.blit data 0 t.buf off len;
           set_free_off t (off + len);
           set_slot t i ~off ~len;
+          set_live_total t (live_total t + len);
+          set_dead_count t (dead_count t - 1);
           true
         end
       end

@@ -1,14 +1,16 @@
 (** Slotted page, the unit of storage in the EOS-like disk store.
 
-    Layout (all 16-bit big-endian):
+    Layout (all 16-bit little-endian):
     {v
-      [nslots][free_off]  ... record heap grows up ...  [slotN]..[slot1]
+      [nslots][free_off][dead_count][live_bytes]
+        ... record heap grows up ...  [slotN]..[slot1]
     v}
     Each slot is a pair [off,len]; a deleted slot has [off = 0xffff]. Slot
     indexes are stable for the lifetime of the record on this page, so a
     (page, slot) pair identifies a record version until it moves. Inserting
     compacts the heap in place when fragmentation blocks an otherwise
-    fitting record. *)
+    fitting record. [dead_count] and [live_bytes] are header tallies so an
+    insert costs O(1) instead of a slot-table scan per call. *)
 
 type t
 

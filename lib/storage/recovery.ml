@@ -14,15 +14,6 @@ let committed_txns records =
     records;
   committed
 
-(* Records after (and including) the latest checkpoint's base state. *)
-let split_at_checkpoint records =
-  let rec go base suffix_rev = function
-    | [] -> (base, List.rev suffix_rev)
-    | Wal.Checkpoint entries :: rest -> go entries [] rest
-    | record :: rest -> go base (record :: suffix_rev) rest
-  in
-  go [] [] records
-
 (* Records after the last complete commit boundary: the trailing run of
    Begin/Op records belonging to work no durable marker ever resolved.
    Abort counts as a boundary — truncating a durable Abort would
@@ -32,47 +23,73 @@ let truncated_tail records =
   List.iter
     (fun record ->
       match record with
-      | Wal.Commit _ | Wal.Commit_group _ | Wal.Checkpoint _ | Wal.Abort _ -> tail := 0
+      | Wal.Commit _ | Wal.Commit_group _ | Wal.Checkpoint _ | Wal.Abort _ | Wal.Ckpt_delta _ ->
+          tail := 0
       | Wal.Begin _ | Wal.Op _ -> incr tail)
     records;
   !tail
 
+(* Single forward fold. A full [Checkpoint] resets the map to its
+   entries (everything earlier is superseded); a [Ckpt_delta] overlays
+   only the records dirtied since the previous checkpoint, [None]
+   meaning delete — deltas never reset, so state accumulated since the
+   full anchor (directly applied ops or earlier deltas) survives.
+   Committed ops apply as they are met; ops below a full checkpoint are
+   folded then discarded by its reset, which makes the fold equivalent
+   to the classic split-at-checkpoint replay while bounding the work a
+   recovery does to the retained log (retirement drops everything below
+   the last full anchor). Checkpoints are taken at quiescent points, so
+   no transaction's ops straddle one. *)
 let committed_state records =
   let committed = committed_txns records in
-  let base, suffix = split_at_checkpoint records in
-  let state = Rid.Tbl.create 256 in
-  List.iter (fun (rid, payload) -> Rid.Tbl.replace state rid payload) base;
+  let state = ref (Rid.Tbl.create 256) in
   let apply = function
+    | Wal.Checkpoint entries ->
+        (* A full anchor replaces the map wholesale; building the
+           replacement pre-sized skips the doubling rehashes a
+           million-entry anchor would otherwise pay. *)
+        let tbl = Rid.Tbl.create (max 256 (2 * List.length entries)) in
+        List.iter (fun (rid, payload) -> Rid.Tbl.replace tbl rid payload) entries;
+        state := tbl
+    | Wal.Ckpt_delta { entries; _ } ->
+        List.iter
+          (fun (rid, payload) ->
+            match payload with
+            | Some payload -> Rid.Tbl.replace !state rid payload
+            | None -> Rid.Tbl.remove !state rid)
+          entries
     | Wal.Op (txn, op) when Hashtbl.mem committed txn -> begin
         match op with
         | Wal.Insert (rid, payload) | Wal.Update (rid, _, payload) ->
-            Rid.Tbl.replace state rid payload
-        | Wal.Delete (rid, _) -> Rid.Tbl.remove state rid
+            Rid.Tbl.replace !state rid payload
+        | Wal.Delete (rid, _) -> Rid.Tbl.remove !state rid
       end
-    | Wal.Op _ | Wal.Begin _ | Wal.Commit _ | Wal.Commit_group _ | Wal.Abort _
-    | Wal.Checkpoint _ -> ()
+    | Wal.Op _ | Wal.Begin _ | Wal.Commit _ | Wal.Commit_group _ | Wal.Abort _ -> ()
   in
-  List.iter apply suffix;
-  let entries = Rid.Tbl.fold (fun rid payload acc -> (rid, payload) :: acc) state [] in
+  List.iter apply records;
+  let entries = Rid.Tbl.fold (fun rid payload acc -> (rid, payload) :: acc) !state [] in
   List.sort (fun (a, _) (b, _) -> Rid.compare a b) entries
 
 let recover_disk ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep ?durability
-    ?faults ?rid_base ?rid_stride ~mgr ~name ~wal_bytes () =
+    ?faults ?rid_base ?rid_stride ?wal_segment_bytes ?ckpt_full_every ?auto_ckpt_bytes ?bloom_seed
+    ?bloom_fp_rate ~mgr ~name ~wal_bytes () =
   let state = committed_state (Wal.decode_records wal_bytes) in
   let store =
     Disk_store.create ?page_size ?pool_capacity ?io_spin ?flush_spin ?flush_sleep ?durability
-      ?faults ?rid_base ?rid_stride ~mgr ~name ()
+      ?faults ?rid_base ?rid_stride ?wal_segment_bytes ?ckpt_full_every ?auto_ckpt_bytes
+      ?bloom_seed ?bloom_fp_rate ~mgr ~name ()
   in
   Disk_store.load_bulk store state;
-  (Disk_store.ops store).Store.checkpoint ();
+  Disk_store.anchor_from store state;
   store
 
-let recover_mem ?flush_spin ?flush_sleep ?durability ?rid_base ?rid_stride ~mgr ~name
-    ~wal_bytes () =
+let recover_mem ?flush_spin ?flush_sleep ?durability ?rid_base ?rid_stride ?wal_segment_bytes
+    ?ckpt_full_every ?auto_ckpt_bytes ~mgr ~name ~wal_bytes () =
   let state = committed_state (Wal.decode_records wal_bytes) in
   let store =
-    Mem_store.create ?flush_spin ?flush_sleep ?durability ?rid_base ?rid_stride ~mgr ~name ()
+    Mem_store.create ?flush_spin ?flush_sleep ?durability ?rid_base ?rid_stride
+      ?wal_segment_bytes ?ckpt_full_every ?auto_ckpt_bytes ~mgr ~name ()
   in
   Mem_store.load_bulk store state;
-  (Mem_store.ops store).Store.checkpoint ();
+  Mem_store.anchor_from store state;
   store

@@ -2,12 +2,17 @@
 
     Scheme: two-pass redo-only logical recovery. Pass one scans the log for
     commit records (per-transaction [Commit] markers and group-commit
-    [Commit_group] batches alike); pass two replays, starting from the most recent
-    checkpoint, every operation belonging to a committed transaction, in log
-    order. Operations of uncommitted transactions are simply never applied
-    (uncommitted data never reaches the durable state), so no undo pass is
-    needed — the style used by main-memory managers like Dali, which MM-Ode
-    runs on.
+    [Commit_group] batches alike); pass two replays, starting from the most
+    recent full [Checkpoint] anchor, the [Ckpt_delta] manifests chained
+    above it and every operation belonging to a committed transaction, in
+    log order. Operations of uncommitted transactions are simply never
+    applied (uncommitted data never reaches the durable state), so no undo
+    pass is needed — the style used by main-memory managers like Dali,
+    which MM-Ode runs on.
+
+    With segment retirement ({!Wal.retire_below}) the retained log starts
+    at the last full anchor, so replay work is bounded by checkpoint age,
+    not total history.
 
     The paper leans on this machinery twice: aborted transactions must roll
     back trigger state ("Event roll-back is handled using standard
@@ -16,8 +21,8 @@
     recorded as committed records drained post-recovery. *)
 
 val committed_state : Wal.record list -> (Rid.t * bytes) list
-(** The record map implied by a log: latest checkpoint plus committed
-    suffix, sorted by rid. *)
+(** The record map implied by a log: latest full checkpoint, overlaid
+    deltas, plus committed suffix, sorted by rid. *)
 
 val truncated_tail : Wal.record list -> int
 (** Records after the last complete commit boundary — the trailing
@@ -37,6 +42,11 @@ val recover_disk :
   ?faults:Faults.t ->
   ?rid_base:int ->
   ?rid_stride:int ->
+  ?wal_segment_bytes:int ->
+  ?ckpt_full_every:int ->
+  ?auto_ckpt_bytes:int ->
+  ?bloom_seed:int ->
+  ?bloom_fp_rate:float ->
   mgr:Txn.mgr ->
   name:string ->
   wal_bytes:bytes ->
@@ -48,7 +58,9 @@ val recover_disk :
     recovered store's commit pipeline (default [Immediate]);
     [rid_base]/[rid_stride] must repeat the crashed store's shard
     partitioning so post-recovery allocations stay in its residue class
-    (see {!Disk_store.create}). *)
+    (see {!Disk_store.create}). The capacity knobs
+    ([wal_segment_bytes], [ckpt_full_every], [auto_ckpt_bytes], bloom
+    parameters) should likewise repeat the crashed store's settings. *)
 
 val recover_mem :
   ?flush_spin:int ->
@@ -56,6 +68,9 @@ val recover_mem :
   ?durability:Commit_pipeline.mode ->
   ?rid_base:int ->
   ?rid_stride:int ->
+  ?wal_segment_bytes:int ->
+  ?ckpt_full_every:int ->
+  ?auto_ckpt_bytes:int ->
   mgr:Txn.mgr ->
   name:string ->
   wal_bytes:bytes ->

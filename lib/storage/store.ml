@@ -13,6 +13,13 @@ type t = {
   version_ts : Rid.t -> int;
   prune_versions : unit -> unit;
   record_count : unit -> int;
+  maybe_present : Rid.t -> bool;
+      (* capacity probe: bloom (then directory) membership — no lock, no
+         page read. [false] is authoritative; [true] means the rid has a
+         live directory entry. *)
+  in_flight : unit -> int;
+      (* transactions with uncommitted writes in this store (undo entries);
+         a checkpoint needs this to be 0. *)
   checkpoint : unit -> unit;
   counters : unit -> (string * int) list;
   wal : Wal.t;

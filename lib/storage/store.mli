@@ -56,10 +56,23 @@ type t = {
           watermark ({!Txn.gc_watermark}). Checkpoints do this
           implicitly. *)
   record_count : unit -> int;
+  maybe_present : Rid.t -> bool;
+      (** Capacity probe: bloom-then-directory membership with no lock
+          and no page read. [false] is authoritative (the rid has no
+          live record); [true] means a live directory entry exists
+          (committed or uncommitted). The cheap existence check behind
+          [Session.post_event_fast]. *)
+  in_flight : unit -> int;
+      (** Transactions with uncommitted writes in this store. A
+          checkpoint requires this to be 0; [Session.checkpoint] uses it
+          to defer until quiescence. *)
   checkpoint : unit -> unit;
-      (** Write a full-state checkpoint to the WAL and prune version
-          chains to the GC watermark. Only call at transaction
-          quiescence. *)
+      (** Write a checkpoint to the WAL — a full anchor or an
+          incremental [Ckpt_delta] manifest per the store's
+          [ckpt_full_every] chain — and prune version chains to the GC
+          watermark. A full anchor also retires WAL segments below it
+          and rebuilds the bloom filter. Only call at transaction
+          quiescence (raises [Store_error] otherwise). *)
   counters : unit -> (string * int) list;
       (** Backend-specific counters (page I/O, pool hits, WAL flushes,
           [mvcc.*], ...) for the benchmark harness. *)
