@@ -1,0 +1,349 @@
+(* P8 — binary wire protocol + pipelined multi-client server over the
+   sharded engine.
+
+   Two macro measurements against a real [Ode_net.Server] on a unix
+   socket, backed by a Free-mode sharded fleet (ODE_SHARDS or 4 shard
+   domains) with the credit-card schema on every shard:
+
+   scaling     C synchronous clients (one thread + one connection each,
+               one request in flight) split a fixed total of mixed
+               requests on each client's own card (3 reads : 1 method
+               call). C sweeps 1..64: at C=1 throughput is bound by the
+               socket round trip, so the sweep measures how far
+               concurrent connections fill the reactor and the shard
+               domains.
+
+   pipelining  a mixed slow/fast workload per batch: an interactive
+               transaction on stream 1 (begin, Buy, commit) plus a
+               window of fast snapshot reads on stream 0. Off = every
+               reply awaited before the next request (19 round trips per
+               batch); on = all frames sent back-to-back and awaited at
+               batch end — the stream keeps the transaction ordered
+               while the snapshot reads overlap it, and the server
+               coalesces the replies into single flushes.
+
+   Acceptance (ISSUE 10): >= 3x req/s at 32 clients vs 1, pipelined
+   >= 2x non-pipelined, p50/p95/p99 recorded for both. *)
+
+module P = Ode_net.Proto
+module Server = Ode_net.Server
+module Client = Ode_net.Client
+module Sharded = Ode_parallel.Sharded
+module Credit_card = Ode.Credit_card
+module Value = Ode_objstore.Value
+module Table = Ode_util.Table
+
+let shards () =
+  match Sys.getenv_opt "ODE_SHARDS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with Some k when k >= 1 -> k | _ -> 4)
+  | None -> 4
+
+let sock_n = ref 0
+
+let with_server f =
+  incr sock_n;
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ode-p8-%d-%d.sock" (Unix.getpid ()) !sock_n)
+  in
+  let fleet =
+    Sharded.create ~shards:(shards ()) ~mode:Sharded.Free
+      ~schema:(fun ~shard:_ env -> Credit_card.define_all env)
+      ()
+  in
+  let server = Server.start ~fleet ~listen:[ Server.Unix_sock path ] () in
+  let addr = List.hd (Server.addrs server) in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Server.stop server);
+      Sharded.shutdown fleet)
+    (fun () -> f addr)
+
+(* One client's working set: a card pinned to the shard picked by [key]
+   plus its merchant. No triggers — the workload measures the wire and
+   the dispatch machinery, not the trigger engine. *)
+let provision c ~key =
+  Client.txn_begin c ~stream:1 ~key;
+  let customer =
+    Client.new_obj c ~stream:1 ~cls:"Customer" [ ("name", Value.Str (string_of_int key)) ]
+  in
+  let merchant = Client.new_obj c ~stream:1 ~cls:"Merchant" [ ("name", Value.Str "m") ] in
+  let card =
+    Client.new_obj c ~stream:1 ~cls:"CredCard"
+      [ ("issuedTo", Value.Oid customer); ("credLim", Value.Float 1e12) ]
+  in
+  Client.txn_commit c ~stream:1;
+  (card, merchant)
+
+(* Workers provision off the clock, rendezvous, then run timed: the wall
+   interval covers only the request traffic. *)
+let timed_fleet ~clients worker =
+  let m = Mutex.create () and cv = Condition.create () in
+  let ready = ref 0 and go = ref false in
+  let lats = Array.make clients [] in
+  let body i =
+    let run = worker i in
+    Mutex.lock m;
+    incr ready;
+    Condition.broadcast cv;
+    while not !go do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m;
+    lats.(i) <- run ()
+  in
+  let threads = Array.init clients (fun i -> Thread.create body i) in
+  Mutex.lock m;
+  while !ready < clients do
+    Condition.wait cv m
+  done;
+  Mutex.unlock m;
+  let t0 = Monotonic_clock.now () in
+  Mutex.lock m;
+  go := true;
+  Condition.broadcast cv;
+  Mutex.unlock m;
+  Array.iter Thread.join threads;
+  let wall_ns = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) in
+  (List.concat (Array.to_list lats), wall_ns)
+
+let fail_reply msg = failwith ("p8: unexpected error reply: " ^ msg)
+
+(* ---------------- part 1: client scaling, one request in flight -------- *)
+
+type srow = {
+  s_clients : int;
+  s_reqs : int;
+  s_rps : float;
+  s_p50 : float;
+  s_p95 : float;
+  s_p99 : float;
+}
+
+let run_scaling ~clients ~total =
+  with_server @@ fun addr ->
+  let per_client = max 1 (total / clients) in
+  let worker i =
+    let c = Client.connect addr in
+    let card, _merchant = provision c ~key:i in
+    fun () ->
+      let lats = ref [] in
+      for j = 1 to per_client do
+        let req =
+          if j mod 4 = 0 then P.Invoke { obj = card; meth = "PayBill"; args = [ Value.Float 1.0 ] }
+          else P.Get_field { obj = card; field = "currBal" }
+        in
+        let t0 = Monotonic_clock.now () in
+        (match Client.call c req with
+        | P.Done _ -> ()
+        | P.Fail { msg; _ } -> fail_reply msg);
+        lats := Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) :: !lats
+      done;
+      Client.close c;
+      !lats
+  in
+  let lats, wall_ns = timed_fleet ~clients worker in
+  let reqs = per_client * clients in
+  let p50, p95, p99 = Bench_common.percentiles lats in
+  {
+    s_clients = clients;
+    s_reqs = reqs;
+    s_rps = float_of_int reqs /. (wall_ns /. 1e9);
+    s_p50 = p50;
+    s_p95 = p95;
+    s_p99 = p99;
+  }
+
+(* ---------------- part 2: pipelining on/off, mixed slow/fast ----------- *)
+
+let fast_window = 16 (* snapshot reads per batch riding beside the txn *)
+
+type prow = {
+  pr_on : bool;
+  pr_reqs : int;
+  pr_rps : float;
+  pr_p50 : float;
+  pr_p95 : float;
+  pr_p99 : float;
+}
+
+let run_pipeline ~pipelined ~clients ~batches =
+  with_server @@ fun addr ->
+  let worker i =
+    let c = Client.connect addr in
+    let card, merchant = provision c ~key:i in
+    fun () ->
+      let lats = ref [] in
+      for _b = 1 to batches do
+        let pending = ref [] in
+        let submit ?stream req =
+          let t0 = Monotonic_clock.now () in
+          let sync = Client.send c ?stream req in
+          if pipelined then pending := (sync, t0) :: !pending
+          else begin
+            (match Client.await c sync with
+            | P.Done _ -> ()
+            | P.Fail { msg; _ } -> fail_reply msg);
+            lats := Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) :: !lats
+          end
+        in
+        (* The slow side: an interactive transaction on stream 1. The
+           fast side: snapshot reads of the same card on stream 0 —
+           lock-free, so they overlap the open transaction. *)
+        submit ~stream:1 (P.Txn_begin { key = i });
+        submit ~stream:1
+          (P.Invoke { obj = card; meth = "Buy"; args = [ Value.Oid merchant; Value.Float 1.0 ] });
+        for _ = 1 to fast_window do
+          submit (P.Snapshot_get { obj = card; field = "currBal" })
+        done;
+        submit ~stream:1 P.Txn_commit;
+        List.iter
+          (fun (sync, t0) ->
+            (match Client.await c sync with
+            | P.Done _ -> ()
+            | P.Fail { msg; _ } -> fail_reply msg);
+            lats := Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) :: !lats)
+          (List.rev !pending)
+      done;
+      Client.close c;
+      !lats
+  in
+  let lats, wall_ns = timed_fleet ~clients worker in
+  let reqs = clients * batches * (3 + fast_window) in
+  let p50, p95, p99 = Bench_common.percentiles lats in
+  {
+    pr_on = pipelined;
+    pr_reqs = reqs;
+    pr_rps = float_of_int reqs /. (wall_ns /. 1e9);
+    pr_p50 = p50;
+    pr_p95 = p95;
+    pr_p99 = p99;
+  }
+
+(* ---------------- recording and presentation ---------------- *)
+
+let record_scaling r =
+  Bench_common.record ~experiment:"p8"
+    ~name:(Printf.sprintf "scaling C=%d" r.s_clients)
+    ~params:
+      [
+        ("clients", Bench_common.I r.s_clients);
+        ("requests", Bench_common.I r.s_reqs);
+        ("req_per_sec", Bench_common.F r.s_rps);
+      ]
+    ~ns:(1e9 /. r.s_rps) ~p50:r.s_p50 ~p95:r.s_p95 ~p99:r.s_p99 ()
+
+let record_pipeline r =
+  Bench_common.record ~experiment:"p8"
+    ~name:(Printf.sprintf "pipelining %s" (if r.pr_on then "on" else "off"))
+    ~params:
+      [
+        ("pipelined", Bench_common.B r.pr_on);
+        ("requests", Bench_common.I r.pr_reqs);
+        ("req_per_sec", Bench_common.F r.pr_rps);
+      ]
+    ~ns:(1e9 /. r.pr_rps) ~p50:r.pr_p50 ~p95:r.pr_p95 ~p99:r.pr_p99 ()
+
+let run () =
+  Bench_common.section "P8" "binary wire protocol + pipelined multi-client server";
+  let smoke = !Bench_common.smoke in
+  let client_counts = if smoke then [ 1; 4 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let total = if smoke then 800 else 24_000 in
+  Bench_common.note
+    "\nfleet: %d shard domains, unix socket, mixed 3:1 read/method workload, %d total \
+     requests split across C synchronous clients:\n"
+    (shards ()) total;
+  let srows = List.map (fun c -> run_scaling ~clients:c ~total) client_counts in
+  List.iter record_scaling srows;
+  let stable =
+    Table.create
+      ~columns:
+        [
+          ("clients", Table.Right);
+          ("requests", Table.Right);
+          ("req/s", Table.Right);
+          ("p50 ns", Table.Right);
+          ("p95 ns", Table.Right);
+          ("p99 ns", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row stable
+        [
+          string_of_int r.s_clients;
+          string_of_int r.s_reqs;
+          Printf.sprintf "%.0f" r.s_rps;
+          Bench_common.ns_cell r.s_p50;
+          Bench_common.ns_cell r.s_p95;
+          Bench_common.ns_cell r.s_p99;
+        ])
+    srows;
+  Table.print stable;
+  let pclients = if smoke then 2 else 8 in
+  let batches = if smoke then 8 else 80 in
+  Bench_common.note
+    "\npipelining: %d clients x %d batches, each batch = txn(begin, Buy, commit) on stream 1 \
+     + %d snapshot reads on stream 0:\n"
+    pclients batches fast_window;
+  let prows =
+    List.map (fun p -> run_pipeline ~pipelined:p ~clients:pclients ~batches) [ false; true ]
+  in
+  List.iter record_pipeline prows;
+  let ptable =
+    Table.create
+      ~columns:
+        [
+          ("pipelining", Table.Left);
+          ("requests", Table.Right);
+          ("req/s", Table.Right);
+          ("p50 ns", Table.Right);
+          ("p95 ns", Table.Right);
+          ("p99 ns", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row ptable
+        [
+          (if r.pr_on then "on" else "off");
+          string_of_int r.pr_reqs;
+          Printf.sprintf "%.0f" r.pr_rps;
+          Bench_common.ns_cell r.pr_p50;
+          Bench_common.ns_cell r.pr_p95;
+          Bench_common.ns_cell r.pr_p99;
+        ])
+    prows;
+  Table.print ptable;
+  (* acceptance summaries — the scaling criterion is stated at C=32, so
+     report against the C=32 row when the sweep reaches it (smoke sweeps
+     stop earlier and fall back to their own maximum). *)
+  let find c = List.find_opt (fun r -> r.s_clients = c) srows in
+  let cmax = List.fold_left max 1 client_counts in
+  let cref = if cmax >= 32 then 32 else cmax in
+  (match (find 1, find cref) with
+  | Some r1, Some rm ->
+      let scaling = rm.s_rps /. r1.s_rps in
+      Bench_common.note
+        "\nreq/s at C=%d vs C=1: %.2fx (acceptance at C=32: >= 3x)\n" cref scaling;
+      Bench_common.summarize "p8_rps_c1" (Bench_common.F r1.s_rps);
+      Bench_common.summarize
+        (Printf.sprintf "p8_rps_c%d" cref)
+        (Bench_common.F rm.s_rps);
+      Bench_common.summarize "p8_clients_max" (Bench_common.I cmax);
+      Bench_common.summarize
+        (Printf.sprintf "p8_scaling_c%d_vs_c1" cref)
+        (Bench_common.F scaling)
+  | _ -> Bench_common.note "\nscaling acceptance rows missing\n");
+  match prows with
+  | [ off; on ] ->
+      let speedup = on.pr_rps /. off.pr_rps in
+      Bench_common.note "pipelined vs not: %.2fx req/s (acceptance: >= 2x); p99 %s ns on, %s ns off\n"
+        speedup (Bench_common.ns_cell on.pr_p99) (Bench_common.ns_cell off.pr_p99);
+      Bench_common.summarize "p8_pipeline_speedup" (Bench_common.F speedup);
+      Bench_common.summarize "p8_rps_pipeline_off" (Bench_common.F off.pr_rps);
+      Bench_common.summarize "p8_rps_pipeline_on" (Bench_common.F on.pr_rps);
+      Bench_common.summarize "p8_p99_pipeline_off_ns" (Bench_common.F off.pr_p99);
+      Bench_common.summarize "p8_p99_pipeline_on_ns" (Bench_common.F on.pr_p99)
+  | _ -> Bench_common.note "pipeline acceptance rows missing\n"

@@ -34,6 +34,7 @@ let experiments =
     ("p4", Exp_p4.run);
     ("p5", Exp_p5.run);
     ("p7", Exp_p7.run);
+    ("p8", Exp_p8.run);
   ]
 
 let () =

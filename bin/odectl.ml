@@ -760,12 +760,182 @@ let stats_cmd =
     Term.(const run $ store $ engine $ durability $ rounds $ shards $ smode $ per_shard
           $ replication $ mvcc $ capacity)
 
+(* ------------------------------------------------------------------ *)
+(* odectl serve / odectl ping *)
+
+module Net_server = Ode_net.Server
+module Net_client = Ode_net.Client
+
+let parse_listen s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | a :: rest -> (
+        match Net_server.addr_of_string a with
+        | Ok addr -> go (addr :: acc) rest
+        | Error m -> Error m)
+  in
+  go [] (split_commas s)
+
+let serve_cmd =
+  let run listen shards store durability schema_file smoke =
+    match parse_listen listen with
+    | Error m -> usage_die "bad --listen: %s" m
+    | Ok [] -> usage_die "no --listen address"
+    | Ok addrs -> (
+        let kind = match store with "disk" -> `Disk | _ -> `Mem in
+        (
+            match Ode_storage.Commit_pipeline.mode_of_string durability with
+            | Error msg -> die "bad --durability: %s" msg
+            | Ok dmode -> (
+                match
+                  if schema_file = "" then Ok None
+                  else
+                    try Ok (Some (In_channel.with_open_bin schema_file In_channel.input_all))
+                    with Sys_error m -> Error m
+                with
+                | Error m -> die "cannot read --schema: %s" m
+                | Ok schema_src ->
+                    let fleet =
+                      Sharded.create ~store:kind ~durability:dmode ~shards
+                        ~mode:Sharded.Free
+                        ~schema:(fun ~shard:_ env ->
+                          Credit_card.define_all env;
+                          match schema_src with
+                          | None -> ()
+                          | Some src ->
+                              ignore
+                                (Ode.Opp.load ~on_missing:`Stub env
+                                   ~bindings:Ode.Opp.no_bindings src))
+                        ()
+                    in
+                    let server = Net_server.start ~fleet ~listen:addrs () in
+                    List.iter
+                      (fun a ->
+                        Printf.printf "odectl: listening on %s (%d shards, %s store)\n%!"
+                          (Net_server.addr_to_string a) shards store)
+                      (Net_server.addrs server);
+                    let finish report =
+                      Sharded.shutdown fleet;
+                      Printf.printf
+                        "odectl: server stopped: %d conns, %d drained, %d dropped requests \
+                         (%d streams), %d txns rolled back%s\n"
+                        report.Net_server.r_conns report.Net_server.r_drained
+                        report.Net_server.r_dropped_requests report.Net_server.r_dropped_streams
+                        report.Net_server.r_aborted_txns
+                        (match report.Net_server.r_failure with
+                        | None -> ""
+                        | Some m -> ", reactor failure: " ^ m);
+                      match report.Net_server.r_failure with None -> 0 | Some _ -> 1
+                    in
+                    if not smoke then finish (Net_server.wait server)
+                    else begin
+                      (* Self-test: ping, create, buy, post, graceful shutdown. *)
+                      let c = Net_client.connect (List.hd (Net_server.addrs server)) in
+                      Net_client.ping c;
+                      Net_client.txn_begin c ~stream:1 ~key:0;
+                      let customer =
+                        Net_client.new_obj c ~stream:1 ~cls:"Customer"
+                          [ ("name", Value.Str "smoke") ]
+                      in
+                      let merchant =
+                        Net_client.new_obj c ~stream:1 ~cls:"Merchant"
+                          [ ("name", Value.Str "shop") ]
+                      in
+                      let card =
+                        Net_client.new_obj c ~stream:1 ~cls:"CredCard"
+                          [ ("issuedTo", Value.Oid customer); ("credLim", Value.Float 1000.0) ]
+                      in
+                      ignore
+                        (Net_client.invoke c ~stream:1 card "Buy"
+                           [ Value.Oid merchant; Value.Float 100.0 ]);
+                      Net_client.txn_commit c ~stream:1;
+                      let posted = Net_client.post_event c ~fast:true card "BigBuy" in
+                      let bal = Net_client.get_field c card "currBal" in
+                      Net_client.shutdown c;
+                      Net_client.close c;
+                      let code = finish (Net_server.wait server) in
+                      if code <> 0 then code
+                      else if (not posted) || bal <> Value.Float 100.0 then
+                        die "smoke check failed: posted=%b balance=%s" posted
+                          (Value.to_string bal)
+                      else begin
+                        Printf.printf "odectl: serve smoke ok (balance 100.0, post delivered)\n";
+                        0
+                      end
+                    end)))
+  in
+  let listen =
+    Arg.(value & opt string "unix:/tmp/ode.sock"
+         & info [ "listen" ] ~docv:"ADDRS"
+             ~doc:"Comma-separated listen addresses: unix:PATH or tcp:HOST:PORT (port 0 \
+                   picks a free port).")
+  in
+  let shards =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Shard-domain count for the fleet behind the server.")
+  in
+  let store =
+    Arg.(value & opt string "mem" & info [ "store" ] ~docv:"KIND" ~doc:"'mem' or 'disk'.")
+  in
+  let durability =
+    Arg.(value & opt string "immediate"
+         & info [ "durability" ] ~docv:"MODE"
+             ~doc:"Commit pipeline mode: immediate, group:N or async.")
+  in
+  let schema =
+    Arg.(value & opt string ""
+         & info [ "schema" ] ~docv:"FILE"
+             ~doc:"Extra O++ schema loaded on every shard at startup (stub bindings), on \
+                   top of the built-in credit-card classes.")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Self-test: start, connect in-process, ping/create/buy/post, graceful \
+                   shutdown; exit 0 on success.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the sharded engine over the Ode wire protocol (see docs/NET.md)")
+    Term.(const run $ listen $ shards $ store $ durability $ schema $ smoke)
+
+let ping_cmd =
+  let run addr do_shutdown =
+    match Net_server.addr_of_string addr with
+    | Error m -> usage_die "bad address: %s" m
+    | Ok a -> (
+        match Net_client.connect a with
+        | exception Net_client.Net_error m -> die "%s" m
+        | exception Net_client.Remote { code; msg } ->
+            die "handshake rejected (%s): %s" (Ode_net.Proto.err_code_name code) msg
+        | c ->
+            let t0 = Unix.gettimeofday () in
+            Net_client.ping c;
+            let dt = (Unix.gettimeofday () -. t0) *. 1e3 in
+            Printf.printf "PONG from %s (%.2f ms)\n" addr dt;
+            if do_shutdown then Net_client.shutdown c;
+            Net_client.close c;
+            0)
+  in
+  let addr =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ADDR" ~doc:"Server address (unix:PATH or tcp:HOST:PORT).")
+  in
+  let do_shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ] ~doc:"After the ping, ask the server to drain and stop.")
+  in
+  Cmd.v (Cmd.info "ping" ~doc:"Ping an Ode server (optionally shut it down)")
+    Term.(const run $ addr $ do_shutdown)
+
 let () =
   let doc = "Ode active-database reproduction tools" in
   let info = Cmd.info "odectl" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ fsm_cmd; figure1_cmd; opp_cmd; lint_cmd; footprint_cmd; demo_cmd; faults_cmd; stats_cmd ]
+      [ fsm_cmd; figure1_cmd; opp_cmd; lint_cmd; footprint_cmd; demo_cmd; faults_cmd; stats_cmd;
+        serve_cmd; ping_cmd ]
   in
   (* Strict command-line handling: cmdliner's default eval maps parse
      errors to exit 124. Here every run function returns its own exit code

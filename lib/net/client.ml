@@ -1,0 +1,187 @@
+module P = Proto
+
+exception Net_error of string
+exception Remote of { code : P.err_code; msg : string }
+
+type t = {
+  fd : Unix.file_descr;
+  chunks : P.Chunks.t;
+  out : Buffer.t;
+  mutable next_sync : int;
+  parked : (int, P.reply) Hashtbl.t;
+  rbuf : bytes;
+}
+
+let net_fail fmt = Printf.ksprintf (fun m -> raise (Net_error m)) fmt
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let send t ?(stream = 0) req =
+  let sync = t.next_sync in
+  t.next_sync <- sync + 1;
+  Buffer.add_bytes t.out (P.encode_request ~sync ~stream req);
+  sync
+
+let flush t =
+  let data = Buffer.to_bytes t.out in
+  Buffer.clear t.out;
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write t.fd data !off (len - !off) with
+    | 0 -> net_fail "connection closed while writing"
+    | n -> off := !off + n
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        net_fail "write failed: %s" (Unix.error_message e)
+  done
+
+let rec await t sync =
+  match Hashtbl.find_opt t.parked sync with
+  | Some reply ->
+      Hashtbl.remove t.parked sync;
+      reply
+  | None -> (
+      flush t;
+      match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+      | 0 -> net_fail "connection closed by server"
+      | exception Unix.Unix_error (EINTR, _, _) -> await t sync
+      | exception Unix.Unix_error (e, _, _) ->
+          net_fail "read failed: %s" (Unix.error_message e)
+      | n ->
+          P.Chunks.feed t.chunks t.rbuf 0 n;
+          let rec drain () =
+            match P.Chunks.next t.chunks with
+            | Some body ->
+                let s, reply = P.decode_reply body in
+                Hashtbl.replace t.parked s reply;
+                drain ()
+            | None -> ()
+          in
+          (try drain () with P.Frame_error m -> net_fail "bad reply frame: %s" m);
+          await t sync)
+
+let call t ?stream req = await t (send t ?stream req)
+
+let call_exn t ?stream req =
+  match call t ?stream req with
+  | P.Done p -> p
+  | P.Fail { code; msg } -> raise (Remote { code; msg })
+
+let connect addr =
+  let fd =
+    match addr with
+    | Server.Unix_sock path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with Unix.Unix_error (e, _, _) ->
+           (try Unix.close fd with _ -> ());
+           net_fail "connect %s: %s" path (Unix.error_message e));
+        fd
+    | Server.Tcp (host, port) ->
+        let ip =
+          try Unix.inet_addr_of_string host
+          with _ -> (
+            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with _ -> Unix.inet_addr_loopback)
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.connect fd (Unix.ADDR_INET (ip, port));
+           Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error (e, _, _) ->
+           (try Unix.close fd with _ -> ());
+           net_fail "connect %s:%d: %s" host port (Unix.error_message e));
+        fd
+  in
+  let t =
+    {
+      fd;
+      chunks = P.Chunks.create ();
+      out = Buffer.create 256;
+      next_sync = 0;
+      parked = Hashtbl.create 16;
+      rbuf = Bytes.create 65536;
+    }
+  in
+  (match call_exn t (P.Hello { magic = P.magic; version = P.version }) with
+  | P.P_pong _ -> ()
+  | _ ->
+      close t;
+      net_fail "unexpected handshake reply"
+  | exception e ->
+      close t;
+      raise e);
+  t
+
+(* ---------------- conveniences ---------------- *)
+
+let unexpected what = net_fail "unexpected %s reply payload" what
+
+let ping t = match call_exn t P.Ping with P.P_pong _ -> () | _ -> unexpected "ping"
+
+let define_class t source =
+  match call_exn t (P.Define_class { source }) with
+  | P.P_names ns -> ns
+  | _ -> unexpected "define_class"
+
+let new_obj t ?stream ~cls init =
+  match call_exn t ?stream (P.New_obj { cls; init }) with
+  | P.P_oid o -> o
+  | _ -> unexpected "new_obj"
+
+let get_field t ?stream obj field =
+  match call_exn t ?stream (P.Get_field { obj; field }) with
+  | P.P_value v -> v
+  | _ -> unexpected "get_field"
+
+let set_field t ?stream obj field value =
+  match call_exn t ?stream (P.Set_field { obj; field; value }) with
+  | P.P_unit -> ()
+  | _ -> unexpected "set_field"
+
+let invoke t ?stream obj meth args =
+  match call_exn t ?stream (P.Invoke { obj; meth; args }) with
+  | P.P_value v -> v
+  | _ -> unexpected "invoke"
+
+let post_event t ?stream ?(fast = false) ?(args = []) obj event =
+  match call_exn t ?stream (P.Post_event { obj; event; args; fast }) with
+  | P.P_bool b -> b
+  | _ -> unexpected "post_event"
+
+let activate t ?stream obj ~trigger ~args =
+  match call_exn t ?stream (P.Activate { obj; trigger; args }) with
+  | P.P_id i -> i
+  | _ -> unexpected "activate"
+
+let deactivate t ?stream tid =
+  match call_exn t ?stream (P.Deactivate { tid }) with
+  | P.P_unit -> ()
+  | _ -> unexpected "deactivate"
+
+let txn_begin t ~stream ~key =
+  match call_exn t ~stream (P.Txn_begin { key }) with
+  | P.P_unit -> ()
+  | _ -> unexpected "txn_begin"
+
+let txn_commit t ~stream =
+  match call_exn t ~stream P.Txn_commit with
+  | P.P_unit -> ()
+  | _ -> unexpected "txn_commit"
+
+let txn_abort t ~stream =
+  match call_exn t ~stream P.Txn_abort with
+  | P.P_unit -> ()
+  | _ -> unexpected "txn_abort"
+
+let snapshot_get t ?stream obj field =
+  match call_exn t ?stream (P.Snapshot_get { obj; field }) with
+  | P.P_value v -> v
+  | _ -> unexpected "snapshot_get"
+
+let stats t =
+  match call_exn t P.Stats with P.P_stats s -> s | _ -> unexpected "stats"
+
+let shutdown t =
+  match call_exn t P.Shutdown with P.P_unit -> () | _ -> unexpected "shutdown"

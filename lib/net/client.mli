@@ -1,0 +1,56 @@
+(** Minimal blocking client for the Ode wire protocol.
+
+    One [t] wraps one socket and is {e not} thread-safe — give each client
+    thread its own connection. Pipelining is explicit: {!send} buffers a
+    request and returns its sync id without touching the network; {!await}
+    flushes the output buffer and reads until that sync's reply arrives,
+    parking any other replies it sees (replies complete out of order
+    across streams). {!call} is the classic one-in-flight RPC shape. *)
+
+exception Net_error of string
+(** Connection-level failure: refused, closed mid-reply, framing desync. *)
+
+exception
+  Remote of { code : Proto.err_code; msg : string }
+(** Raised by the [_exn] conveniences when the server answers [Fail]. *)
+
+type t
+
+val connect : Server.addr -> t
+(** Connect and run the [Hello] handshake; raises {!Remote} on a version
+    or magic rejection. *)
+
+val close : t -> unit
+
+val send : t -> ?stream:int -> Proto.request -> int
+(** Buffer a request (default stream 0), return its sync id. *)
+
+val flush : t -> unit
+val await : t -> int -> Proto.reply
+val call : t -> ?stream:int -> Proto.request -> Proto.reply
+val call_exn : t -> ?stream:int -> Proto.request -> Proto.payload
+
+(** {2 Conveniences} (all [call_exn]-based, raising {!Remote} on errors) *)
+
+module Value := Ode_objstore.Value
+module Oid := Ode_objstore.Oid
+
+val ping : t -> unit
+val define_class : t -> string -> string list
+val new_obj : t -> ?stream:int -> cls:string -> (string * Value.t) list -> Oid.t
+val get_field : t -> ?stream:int -> Oid.t -> string -> Value.t
+val set_field : t -> ?stream:int -> Oid.t -> string -> Value.t -> unit
+val invoke : t -> ?stream:int -> Oid.t -> string -> Value.t list -> Value.t
+
+val post_event : t -> ?stream:int -> ?fast:bool -> ?args:Value.t list -> Oid.t -> string -> bool
+(** [true] when the event was posted, [false] when the bloom-backed fast
+    path dropped it (definitely-absent object). *)
+
+val activate : t -> ?stream:int -> Oid.t -> trigger:string -> args:Value.t list -> int
+val deactivate : t -> ?stream:int -> int -> unit
+val txn_begin : t -> stream:int -> key:int -> unit
+val txn_commit : t -> stream:int -> unit
+val txn_abort : t -> stream:int -> unit
+val snapshot_get : t -> ?stream:int -> Oid.t -> string -> Value.t
+val stats : t -> (string * int) list
+val shutdown : t -> unit

@@ -1,0 +1,376 @@
+module Binc = Ode_util.Binc
+module Value = Ode_objstore.Value
+module Oid = Ode_objstore.Oid
+
+let version = 1
+let magic = "ODE1"
+let default_max_frame = 16 * 1024 * 1024
+
+type request =
+  | Hello of { magic : string; version : int }
+  | Ping
+  | Define_class of { source : string }
+  | New_obj of { cls : string; init : (string * Value.t) list }
+  | Delete_obj of { obj : Oid.t }
+  | Get_field of { obj : Oid.t; field : string }
+  | Set_field of { obj : Oid.t; field : string; value : Value.t }
+  | Invoke of { obj : Oid.t; meth : string; args : Value.t list }
+  | Post_event of { obj : Oid.t; event : string; args : Value.t list; fast : bool }
+  | Activate of { obj : Oid.t; trigger : string; args : Value.t list }
+  | Deactivate of { tid : int }
+  | Txn_begin of { key : int }
+  | Txn_commit
+  | Txn_abort
+  | Snapshot_get of { obj : Oid.t; field : string }
+  | Stats
+  | Shutdown
+
+type payload =
+  | P_unit
+  | P_pong of { version : int }
+  | P_oid of Oid.t
+  | P_value of Value.t
+  | P_bool of bool
+  | P_id of int
+  | P_names of string list
+  | P_stats of (string * int) list
+
+type err_code =
+  | E_version
+  | E_malformed
+  | E_bad_request
+  | E_aborted
+  | E_conflict
+  | E_cross_shard
+  | E_shutdown
+  | E_internal
+
+let err_code_name = function
+  | E_version -> "version"
+  | E_malformed -> "malformed"
+  | E_bad_request -> "bad_request"
+  | E_aborted -> "aborted"
+  | E_conflict -> "conflict"
+  | E_cross_shard -> "cross_shard"
+  | E_shutdown -> "shutdown"
+  | E_internal -> "internal"
+
+let err_code_to_int = function
+  | E_version -> 1
+  | E_malformed -> 2
+  | E_bad_request -> 3
+  | E_aborted -> 4
+  | E_conflict -> 5
+  | E_cross_shard -> 6
+  | E_shutdown -> 7
+  | E_internal -> 8
+
+exception Frame_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Frame_error m)) fmt
+
+let err_code_of_int = function
+  | 1 -> E_version
+  | 2 -> E_malformed
+  | 3 -> E_bad_request
+  | 4 -> E_aborted
+  | 5 -> E_conflict
+  | 6 -> E_cross_shard
+  | 7 -> E_shutdown
+  | 8 -> E_internal
+  | n -> fail "unknown error code %d" n
+
+type reply = Done of payload | Fail of { code : err_code; msg : string }
+
+(* ---------------- framing ---------------- *)
+
+let frame body =
+  let n = Bytes.length body in
+  let out = Bytes.create (4 + n) in
+  Bytes.set out 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set out 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set out 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set out 3 (Char.chr (n land 0xff));
+  Bytes.blit body 0 out 4 n;
+  out
+
+module Chunks = struct
+  type t = {
+    mutable buf : bytes;
+    mutable start : int;
+    mutable len : int;
+    max_frame : int;
+  }
+
+  let create ?(max_frame = default_max_frame) () =
+    { buf = Bytes.create 4096; start = 0; len = 0; max_frame }
+
+  let buffered t = t.len
+
+  let ensure t extra =
+    let cap = Bytes.length t.buf in
+    if t.start + t.len + extra > cap then
+      if t.len + extra <= cap then begin
+        Bytes.blit t.buf t.start t.buf 0 t.len;
+        t.start <- 0
+      end
+      else begin
+        let ncap = max (t.len + extra) (2 * cap) in
+        let nb = Bytes.create ncap in
+        Bytes.blit t.buf t.start nb 0 t.len;
+        t.buf <- nb;
+        t.start <- 0
+      end
+
+  let feed t src pos len =
+    ensure t len;
+    Bytes.blit src pos t.buf (t.start + t.len) len;
+    t.len <- t.len + len
+
+  let next t =
+    if t.len < 4 then None
+    else begin
+      let b i = Char.code (Bytes.get t.buf (t.start + i)) in
+      let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      if n <= 0 || n > t.max_frame then
+        fail "frame length %d out of bounds (max %d)" n t.max_frame;
+      if t.len < 4 + n then None
+      else begin
+        let body = Bytes.sub t.buf (t.start + 4) n in
+        t.start <- t.start + 4 + n;
+        t.len <- t.len - (4 + n);
+        if t.len = 0 then t.start <- 0;
+        Some body
+      end
+    end
+end
+
+(* ---------------- body codec ---------------- *)
+
+let w_oid w o = Binc.write_varint w (Oid.to_int o)
+let r_oid r = Oid.of_int (Binc.read_varint r)
+let w_value = Value.write
+let r_value = Value.read
+
+let w_init w init =
+  Binc.write_list w
+    (fun (f, v) ->
+      Binc.write_string w f;
+      w_value w v)
+    init
+
+let r_init r =
+  Binc.read_list r (fun () ->
+      let f = Binc.read_string r in
+      let v = r_value r in
+      (f, v))
+
+let w_args w args = Binc.write_list w (fun v -> w_value w v) args
+let r_args r = Binc.read_list r (fun () -> r_value r)
+
+let write_request w = function
+  | Hello { magic; version } ->
+      Binc.write_uvarint w 1;
+      Binc.write_string w magic;
+      Binc.write_uvarint w version
+  | Ping -> Binc.write_uvarint w 2
+  | Define_class { source } ->
+      Binc.write_uvarint w 3;
+      Binc.write_string w source
+  | New_obj { cls; init } ->
+      Binc.write_uvarint w 4;
+      Binc.write_string w cls;
+      w_init w init
+  | Delete_obj { obj } ->
+      Binc.write_uvarint w 5;
+      w_oid w obj
+  | Get_field { obj; field } ->
+      Binc.write_uvarint w 6;
+      w_oid w obj;
+      Binc.write_string w field
+  | Set_field { obj; field; value } ->
+      Binc.write_uvarint w 7;
+      w_oid w obj;
+      Binc.write_string w field;
+      w_value w value
+  | Invoke { obj; meth; args } ->
+      Binc.write_uvarint w 8;
+      w_oid w obj;
+      Binc.write_string w meth;
+      w_args w args
+  | Post_event { obj; event; args; fast } ->
+      Binc.write_uvarint w 9;
+      w_oid w obj;
+      Binc.write_string w event;
+      w_args w args;
+      Binc.write_bool w fast
+  | Activate { obj; trigger; args } ->
+      Binc.write_uvarint w 10;
+      w_oid w obj;
+      Binc.write_string w trigger;
+      w_args w args
+  | Deactivate { tid } ->
+      Binc.write_uvarint w 11;
+      Binc.write_varint w tid
+  | Txn_begin { key } ->
+      Binc.write_uvarint w 12;
+      Binc.write_varint w key
+  | Txn_commit -> Binc.write_uvarint w 13
+  | Txn_abort -> Binc.write_uvarint w 14
+  | Snapshot_get { obj; field } ->
+      Binc.write_uvarint w 15;
+      w_oid w obj;
+      Binc.write_string w field
+  | Stats -> Binc.write_uvarint w 16
+  | Shutdown -> Binc.write_uvarint w 17
+
+let read_request r =
+  match Binc.read_uvarint r with
+  | 1 ->
+      let magic = Binc.read_string r in
+      let version = Binc.read_uvarint r in
+      Hello { magic; version }
+  | 2 -> Ping
+  | 3 -> Define_class { source = Binc.read_string r }
+  | 4 ->
+      let cls = Binc.read_string r in
+      let init = r_init r in
+      New_obj { cls; init }
+  | 5 -> Delete_obj { obj = r_oid r }
+  | 6 ->
+      let obj = r_oid r in
+      let field = Binc.read_string r in
+      Get_field { obj; field }
+  | 7 ->
+      let obj = r_oid r in
+      let field = Binc.read_string r in
+      let value = r_value r in
+      Set_field { obj; field; value }
+  | 8 ->
+      let obj = r_oid r in
+      let meth = Binc.read_string r in
+      let args = r_args r in
+      Invoke { obj; meth; args }
+  | 9 ->
+      let obj = r_oid r in
+      let event = Binc.read_string r in
+      let args = r_args r in
+      let fast = Binc.read_bool r in
+      Post_event { obj; event; args; fast }
+  | 10 ->
+      let obj = r_oid r in
+      let trigger = Binc.read_string r in
+      let args = r_args r in
+      Activate { obj; trigger; args }
+  | 11 -> Deactivate { tid = Binc.read_varint r }
+  | 12 -> Txn_begin { key = Binc.read_varint r }
+  | 13 -> Txn_commit
+  | 14 -> Txn_abort
+  | 15 ->
+      let obj = r_oid r in
+      let field = Binc.read_string r in
+      Snapshot_get { obj; field }
+  | 16 -> Stats
+  | 17 -> Shutdown
+  | k -> fail "unknown request kind %d" k
+
+let write_payload w = function
+  | P_unit -> Binc.write_uvarint w 0
+  | P_pong { version } ->
+      Binc.write_uvarint w 1;
+      Binc.write_uvarint w version
+  | P_oid o ->
+      Binc.write_uvarint w 2;
+      w_oid w o
+  | P_value v ->
+      Binc.write_uvarint w 3;
+      w_value w v
+  | P_bool b ->
+      Binc.write_uvarint w 4;
+      Binc.write_bool w b
+  | P_id i ->
+      Binc.write_uvarint w 5;
+      Binc.write_varint w i
+  | P_names ns ->
+      Binc.write_uvarint w 6;
+      Binc.write_list w (fun n -> Binc.write_string w n) ns
+  | P_stats kvs ->
+      Binc.write_uvarint w 7;
+      Binc.write_list w
+        (fun (k, v) ->
+          Binc.write_string w k;
+          Binc.write_varint w v)
+        kvs
+
+let read_payload r =
+  match Binc.read_uvarint r with
+  | 0 -> P_unit
+  | 1 -> P_pong { version = Binc.read_uvarint r }
+  | 2 -> P_oid (r_oid r)
+  | 3 -> P_value (r_value r)
+  | 4 -> P_bool (Binc.read_bool r)
+  | 5 -> P_id (Binc.read_varint r)
+  | 6 -> P_names (Binc.read_list r (fun () -> Binc.read_string r))
+  | 7 ->
+      P_stats
+        (Binc.read_list r (fun () ->
+             let k = Binc.read_string r in
+             let v = Binc.read_varint r in
+             (k, v)))
+  | k -> fail "unknown payload kind %d" k
+
+(* ---------------- frames ---------------- *)
+
+let encode_request ~sync ~stream req =
+  if sync < 0 || stream < 0 then
+    invalid_arg "Proto.encode_request: negative sync or stream";
+  let w = Binc.writer () in
+  Binc.write_uvarint w sync;
+  Binc.write_uvarint w stream;
+  write_request w req;
+  frame (Binc.contents w)
+
+let encode_reply ~sync reply =
+  let w = Binc.writer () in
+  Binc.write_uvarint w sync;
+  (match reply with
+  | Done p ->
+      Binc.write_uvarint w 0;
+      write_payload w p
+  | Fail { code; msg } ->
+      Binc.write_uvarint w 1;
+      Binc.write_uvarint w (err_code_to_int code);
+      Binc.write_string w msg);
+  frame (Binc.contents w)
+
+type decoded_request = { rq_sync : int; rq_stream : int; rq_req : request }
+
+let decode_request body =
+  let r = Binc.reader body in
+  try
+    let rq_sync = Binc.read_uvarint r in
+    let rq_stream = Binc.read_uvarint r in
+    let rq_req = read_request r in
+    { rq_sync; rq_stream; rq_req }
+  with Binc.Corrupt m -> fail "malformed request: %s" m
+
+let decode_reply body =
+  let r = Binc.reader body in
+  try
+    let sync = Binc.read_uvarint r in
+    let reply =
+      match Binc.read_uvarint r with
+      | 0 -> Done (read_payload r)
+      | 1 ->
+          let code = err_code_of_int (Binc.read_uvarint r) in
+          let msg = Binc.read_string r in
+          Fail { code; msg }
+      | k -> fail "unknown reply status %d" k
+    in
+    (sync, reply)
+  with Binc.Corrupt m -> fail "malformed reply: %s" m
+
+let request_sync body =
+  match Binc.read_uvarint (Binc.reader body) with
+  | sync -> Some sync
+  | exception _ -> None

@@ -1,0 +1,124 @@
+(** The Ode wire protocol: compact length-prefixed binary frames.
+
+    Every frame is a 4-byte big-endian length [N] followed by an [N]-byte
+    {!Ode_util.Binc} body (the same explicit varint codec the WALs use — no
+    [Marshal] on the wire, so the bytes are deterministic and versioned).
+    Requests carry a client-chosen {e sync} id echoed verbatim in the reply,
+    so replies may complete out of order, and a {e stream} id giving the
+    ordering domain (tarantool iproto's streams, gh-5860):
+
+    - stream [0]: no ordering — every request is independent and may execute
+      concurrently with everything else on the connection;
+    - stream [> 0]: requests execute strictly in submission order, at most
+      one in flight; a stream may hold one open interactive transaction
+      ({!Txn_begin} … {!Txn_commit}/{!Txn_abort}), which pins the stream to
+      the transaction's home shard until it closes.
+
+    The first frame on a connection must be {!Hello}; the server answers
+    {!P_pong} or fails the handshake ({!E_version}) and closes. *)
+
+module Value := Ode_objstore.Value
+module Oid := Ode_objstore.Oid
+
+val version : int
+(** Protocol version carried in {!Hello}; bumped on incompatible change. *)
+
+val magic : string
+(** Handshake magic ["ODE1"]. *)
+
+val default_max_frame : int
+(** Default frame-body cap (16 MiB): a length prefix beyond the cap is a
+    framing desync and unrecoverable ({!Frame_error}). *)
+
+type request =
+  | Hello of { magic : string; version : int }
+  | Ping
+  | Define_class of { source : string }
+      (** O++ schema source, loaded via [Opp.load] on every shard. *)
+  | New_obj of { cls : string; init : (string * Value.t) list }
+  | Delete_obj of { obj : Oid.t }
+  | Get_field of { obj : Oid.t; field : string }
+  | Set_field of { obj : Oid.t; field : string; value : Value.t }
+  | Invoke of { obj : Oid.t; meth : string; args : Value.t list }
+  | Post_event of { obj : Oid.t; event : string; args : Value.t list; fast : bool }
+      (** [fast]: consult the store's bloom filter first and silently drop
+          the post when the object is definitely absent/archived — the wire
+          face of [Session.post_event_fast]. Reply is {!P_bool}: was the
+          event posted? *)
+  | Activate of { obj : Oid.t; trigger : string; args : Value.t list }
+  | Deactivate of { tid : int }
+  | Txn_begin of { key : int }
+      (** Open an interactive transaction on this stream, pinned to
+          [key]'s home shard ([key mod K]); use an oid's int image to
+          co-locate with the objects the transaction will touch. Invalid on
+          stream 0. *)
+  | Txn_commit
+  | Txn_abort
+  | Snapshot_get of { obj : Oid.t; field : string }
+      (** Lock-free MVCC snapshot read on the object's home shard. *)
+  | Stats
+  | Shutdown  (** Ask the server to drain and stop (graceful). *)
+
+type payload =
+  | P_unit
+  | P_pong of { version : int }
+  | P_oid of Oid.t
+  | P_value of Value.t
+  | P_bool of bool
+  | P_id of int  (** trigger-activation id ({!Deactivate} takes it back) *)
+  | P_names of string list  (** classes defined *)
+  | P_stats of (string * int) list
+
+type err_code =
+  | E_version  (** handshake version mismatch — connection closes *)
+  | E_malformed  (** frame body failed to decode — connection survives *)
+  | E_bad_request  (** semantic error (unknown class/field, txn misuse…) *)
+  | E_aborted  (** transaction aborted (trigger [tabort] or deadlock victim) *)
+  | E_conflict  (** lock or write-validation conflict *)
+  | E_cross_shard
+      (** object's home shard differs from the stream's open-transaction pin *)
+  | E_shutdown  (** server is draining; request not executed *)
+  | E_internal
+
+val err_code_name : err_code -> string
+
+type reply = Done of payload | Fail of { code : err_code; msg : string }
+
+exception Frame_error of string
+(** Unrecoverable framing problem (bad length prefix) or malformed body. *)
+
+val encode_request : sync:int -> stream:int -> request -> bytes
+(** Complete frame, length prefix included. [sync] and [stream] must be
+    non-negative. *)
+
+val encode_reply : sync:int -> reply -> bytes
+
+type decoded_request = { rq_sync : int; rq_stream : int; rq_req : request }
+
+val decode_request : bytes -> decoded_request
+(** Decode a frame {e body} (no length prefix). Raises {!Frame_error} on
+    truncated or malformed bytes — the frame boundary itself is intact, so
+    the caller can reply with an error and keep the connection. *)
+
+val decode_reply : bytes -> int * reply
+(** [sync, reply] from a frame body. Raises {!Frame_error}. *)
+
+val request_sync : bytes -> int option
+(** Best-effort sync extraction from a (possibly malformed) request body,
+    so decode failures can still be answered under the right sync. *)
+
+(** Incremental frame reassembly over arbitrary byte chunks. *)
+module Chunks : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+  val feed : t -> bytes -> int -> int -> unit
+  (** [feed t buf pos len] appends [len] bytes of [buf] at [pos]. *)
+
+  val next : t -> bytes option
+  (** Next complete frame body, or [None] until more bytes arrive. Raises
+      {!Frame_error} when the pending length prefix is out of bounds —
+      the byte stream cannot be resynced and the connection must close. *)
+
+  val buffered : t -> int
+end

@@ -1,0 +1,90 @@
+(** Multi-client network server over the sharded engine.
+
+    One {e reactor} domain (tarantool's iproto-thread shape) owns all
+    sockets: it accepts connections on one or more listeners, reassembles
+    {!Proto} frames, enforces per-stream ordering, and routes each request
+    to its object's home shard through {!Ode_parallel.Sharded.post_foreign}
+    — the thread-safe MPSC entry lane into the shard mailboxes. The K shard
+    domains execute requests against their own sessions and hand encoded
+    replies back through per-connection outboxes; the reactor flushes each
+    outbox as one coalesced write per wakeup (the network analogue of the
+    WAL's group commit), so a burst of completions costs one syscall.
+
+    Concurrency contract:
+    - requests on stream 0, and requests on {e different} streams, execute
+      concurrently — a slow interactive transaction on one stream never
+      head-of-line-blocks posts racing past it on the same socket;
+    - requests within one stream (> 0) run strictly in order, at most one
+      in flight;
+    - an interactive transaction pins its stream to the transaction's home
+      shard; touching an object on another shard inside it fails with
+      [E_cross_shard];
+    - [Define_class] is globally serialized (one at a time) and fanned out
+      to all K shards so their intern tables stay identical;
+    - backpressure: a connection stops being read while its outbox exceeds
+      [outbox_hwm] bytes or it has more than [max_conn_inflight] requests
+      in flight or queued.
+
+    Graceful shutdown ({!stop}, or a client {!Proto.Shutdown} frame): stop
+    accepting and reading, drop queued-but-undispatched stream requests,
+    wait for in-flight requests to complete and their replies to flush,
+    roll back open interactive transactions, all under a deadline — then
+    report what was drained, dropped, aborted, and abandoned. Replies are
+    enqueued only after the shard finishes the request, so any reply a
+    client has seen describes a fully committed (or cleanly failed)
+    transaction: graceful shutdown loses zero acknowledged commits. *)
+
+module Sharded := Ode_parallel.Sharded
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+(** ["unix:/path"] or ["tcp:host:port"]; a bare ["host:port"] is TCP. *)
+
+val addr_to_string : addr -> string
+
+type t
+
+type report = {
+  r_conns : int;  (** connections open when shutdown began *)
+  r_drained : int;  (** in-flight requests completed during the drain *)
+  r_dropped_requests : int;  (** queued stream requests discarded unrun *)
+  r_dropped_streams : int;  (** streams that lost at least one request *)
+  r_aborted_txns : int;  (** open interactive transactions rolled back *)
+  r_abandoned : int;  (** in-flight requests still running at the deadline *)
+  r_deadline_hit : bool;
+  r_failure : string option;  (** reactor crash, if any (should be [None]) *)
+}
+
+val start :
+  ?bindings:Ode.Opp.bindings ->
+  ?max_frame:int ->
+  ?outbox_hwm:int ->
+  ?max_conn_inflight:int ->
+  ?drain_deadline:float ->
+  fleet:Sharded.t ->
+  listen:addr list ->
+  unit ->
+  t
+(** Bind and listen on every address (raising on bind failure), then spawn
+    the reactor domain. The fleet must be in [Free] mode ([Invalid_argument]
+    otherwise) and stays owned by the caller — {!stop} does not shut it
+    down. [bindings] backs wire-level [Define_class] ([Opp.load] with
+    [`Stub] for names it lacks). [drain_deadline] (seconds, default 5.0)
+    bounds the graceful drain. Ignores [SIGPIPE] process-wide. *)
+
+val addrs : t -> addr list
+(** Bound addresses; TCP port 0 is resolved to the real port. *)
+
+val stop : ?deadline:float -> t -> report
+(** Request a graceful drain and wait for the reactor to finish. Safe to
+    call from any thread, more than once (later calls return the same
+    report). *)
+
+val wait : t -> report
+(** Block until the server stops (e.g. a client sent [Shutdown]). *)
+
+val counters : t -> (string * int) list
+(** Server-side counters ([net.accepted], [net.frames_in], [net.flushes],
+    [net.batched_frames], …). Read without synchronization — values are
+    monotone and may lag by a few events. *)

@@ -68,6 +68,20 @@ let push_forward t x =
   Condition.signal t.nonempty;
   Mutex.unlock t.mu
 
+(* One lock + one signal for a whole batch: the consumer drains the lane
+   message by message, so producers that accumulate (the network reactor)
+   pay the synchronisation once per flush instead of once per message. *)
+let push_forward_many t xs =
+  match xs with
+  | [] -> ()
+  | xs ->
+      Mutex.lock t.mu;
+      t.fwd_back <- List.rev_append xs t.fwd_back;
+      t.fwd_size <- t.fwd_size + List.length xs;
+      note_hwm t;
+      Condition.signal t.nonempty;
+      Mutex.unlock t.mu
+
 let pop t =
   Mutex.lock t.mu;
   while occupancy t = 0 do

@@ -17,6 +17,10 @@ val push : 'a t -> 'a -> unit
 val push_forward : 'a t -> 'a -> unit
 (** Unbounded MPSC lane; never blocks. *)
 
+val push_forward_many : 'a t -> 'a list -> unit
+(** Push a whole batch (in list order) through the forward lane with a
+    single lock acquisition and consumer signal. *)
+
 val pop : 'a t -> 'a
 (** Blocks while both lanes are empty. *)
 

@@ -84,6 +84,7 @@ type task = ctx -> Txn.t -> unit
 type msg =
   | Run of { seq : int; task : task; enq : float }
   | Apply of envelope
+  | Foreign of (Session.t -> unit)
   | Round_end
   | Quit
 
@@ -157,6 +158,9 @@ type shard = {
   mutable sh_failed : int;
   mutable sh_forwards_out : int;
   mutable sh_forwards_in : int;
+  mutable sh_foreign : int;
+      (* foreign requests ({!post_foreign}) executed — the network
+         front-end's entry lane *)
   mutable sh_trigger_forwards : int;
       (* forwards emitted while a trigger action was on the stack — the
          observable counterpart of the analyzer's cross-shard affinity
@@ -272,6 +276,14 @@ let rec worker_loop t sh =
       guarded sh (fun () -> apply_envelope sh e);
       if t.mode = Free then counter_decr t.pending;
       worker_loop t sh
+  | Foreign f ->
+      (* Foreign closures (the network server's requests) manage their own
+         transactions and must never leak an exception — [guarded] is only
+         the crash/last-resort backstop keeping the shard protocol alive. *)
+      sh.sh_foreign <- sh.sh_foreign + 1;
+      guarded sh (fun () -> f sh.sh_session);
+      if t.mode = Free then counter_decr t.pending;
+      worker_loop t sh
 
 (* ---------------- construction ---------------- *)
 
@@ -287,6 +299,7 @@ let make_shard ~mailbox_capacity i session =
     sh_failed = 0;
     sh_forwards_out = 0;
     sh_forwards_in = 0;
+    sh_foreign = 0;
     sh_trigger_forwards = 0;
     sh_rounds = 0;
     sh_outbox = [];
@@ -364,6 +377,43 @@ let submit t ~key task =
   | Free ->
       counter_incr t.pending;
       Mailbox.push t.shards.(home).sh_mailbox (Run { seq; task; enq = Unix.gettimeofday () })
+
+(* Thread-safe foreign entry lane: the network server injects requests
+   into a shard's mailbox through the unbounded MPSC forward lane, from
+   any domain, without touching the single-caller router state
+   ([next_seq]/[queued] stay router-only). [Free] mode only: in
+   [Deterministic] mode the forward lane is unused between barriers, so a
+   foreign request would sit undelivered until the next round — reject it
+   loudly instead of stalling the caller. Foreign closures run on the
+   shard's own domain against its session; they own their transaction
+   boundaries and their error handling (a completion callback inside the
+   closure is how results travel back). Callers must quiesce their own
+   traffic before [shutdown]/[crash]. *)
+let check_foreign t ~shard =
+  check_live t "post_foreign";
+  if t.mode <> Free then
+    invalid_arg "Sharded.post_foreign: foreign requests need Free mode";
+  if shard < 0 || shard >= t.k then
+    invalid_arg "Sharded.post_foreign: shard index out of range"
+
+let post_foreign t ~shard f =
+  check_foreign t ~shard;
+  counter_incr t.pending;
+  Mailbox.push_forward t.shards.(shard).sh_mailbox (Foreign f)
+
+(* Batched variant: one mailbox lock + one shard wakeup for the whole
+   list — the reactor accumulates a cycle's dispatches per shard and
+   flushes them here before blocking again. *)
+let post_foreign_batch t ~shard fs =
+  match fs with
+  | [] -> ()
+  | fs ->
+      check_foreign t ~shard;
+      Mutex.lock t.pending.cmu;
+      t.pending.live <- t.pending.live + List.length fs;
+      Mutex.unlock t.pending.cmu;
+      Mailbox.push_forward_many t.shards.(shard).sh_mailbox
+        (List.map (fun f -> Foreign f) fs)
 
 (* One deterministic round: prior envelopes (in (seq, emit) order), then
    this round's tasks (in submission order), then the barrier. *)
@@ -485,6 +535,7 @@ type shard_stats = {
   ss_failed : int;
   ss_forwards_out : int;
   ss_forwards_in : int;
+  ss_foreign : int;
   ss_trigger_forwards : int;
   ss_rounds : int;
   ss_mailbox_hwm : int;
@@ -501,6 +552,7 @@ let shard_stats t =
            ss_failed = sh.sh_failed;
            ss_forwards_out = sh.sh_forwards_out;
            ss_forwards_in = sh.sh_forwards_in;
+           ss_foreign = sh.sh_foreign;
            ss_trigger_forwards = sh.sh_trigger_forwards;
            ss_rounds = sh.sh_rounds;
            ss_mailbox_hwm = Mailbox.high_water sh.sh_mailbox;
@@ -514,6 +566,7 @@ type fleet_stats = {
   fs_aborted : int;
   fs_failed : int;
   fs_forwards : int;  (* cross-shard envelopes sent *)
+  fs_foreign : int;  (* foreign (network) requests executed *)
   fs_trigger_forwards : int;  (* of which emitted inside a trigger firing *)
   fs_rounds : int;  (* barrier rounds (max over shards) *)
   fs_mailbox_hwm : int;  (* max over shards *)
@@ -529,6 +582,7 @@ let stats t =
     fs_aborted = List.fold_left (fun a s -> a + s.ss_aborted) 0 per;
     fs_failed = List.fold_left (fun a s -> a + s.ss_failed) 0 per;
     fs_forwards = List.fold_left (fun a s -> a + s.ss_forwards_out) 0 per;
+    fs_foreign = List.fold_left (fun a s -> a + s.ss_foreign) 0 per;
     fs_trigger_forwards = List.fold_left (fun a s -> a + s.ss_trigger_forwards) 0 per;
     fs_rounds = List.fold_left (fun a s -> max a s.ss_rounds) 0 per;
     fs_mailbox_hwm = List.fold_left (fun a s -> max a s.ss_mailbox_hwm) 0 per;

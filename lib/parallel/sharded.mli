@@ -85,6 +85,22 @@ val submit : t -> key:int -> task -> unit
     the next {!barrier} round. [Free]: pushed immediately (blocks while
     the home mailbox ring is full — back-pressure). *)
 
+val post_foreign : t -> shard:int -> (Session.t -> unit) -> unit
+(** Thread-safe foreign entry lane ([Free] mode only; [Deterministic]
+    raises [Invalid_argument]): inject a closure into the shard's mailbox
+    through the unbounded MPSC forward lane, callable from {e any} domain
+    — unlike the single-caller router API. The closure runs on the
+    shard's own domain against its session; it owns its transaction
+    boundaries and must not let exceptions escape (results travel back
+    through a completion callback captured in the closure). This is how
+    {!Ode_net}'s server routes decoded requests to shard mailboxes.
+    Callers must stop injecting before {!shutdown}/{!crash}. *)
+
+val post_foreign_batch : t -> shard:int -> (Session.t -> unit) list -> unit
+(** {!post_foreign} for a whole batch (run in list order): one mailbox
+    lock and one shard wakeup for the entire list. The network reactor
+    accumulates a wakeup's dispatches per shard and flushes them here. *)
+
 val barrier : t -> unit
 (** [Deterministic] only (no-op in [Free]): run one round — deliver the
     previous round's envelopes in (seq, emit) order, then the buffered
@@ -178,6 +194,7 @@ type shard_stats = {
   ss_failed : int;
   ss_forwards_out : int;  (** envelopes sealed and sent *)
   ss_forwards_in : int;  (** envelopes applied *)
+  ss_foreign : int;  (** foreign requests ({!post_foreign}) executed *)
   ss_trigger_forwards : int;
       (** forwards emitted while a trigger action was on the stack — the
           observable counterpart of the concurrency analyzer's
@@ -197,6 +214,7 @@ type fleet_stats = {
   fs_aborted : int;
   fs_failed : int;
   fs_forwards : int;
+  fs_foreign : int;  (** foreign (network) requests executed *)
   fs_trigger_forwards : int;  (** of which emitted inside a trigger firing *)
   fs_rounds : int;
   fs_mailbox_hwm : int;

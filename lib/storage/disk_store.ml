@@ -35,6 +35,8 @@ type t = {
   mutable relocations : int;
   mutable bloom_negatives : int;  (* lookups answered "absent" without lock or page *)
   mutable bloom_fp : int;  (* bloom said maybe, directory said no *)
+  mutable bloom_stale : int;  (* deleted rids still hashed into the filter *)
+  mutable bloom_incr_rebuilds : int;  (* full anchors served by an O(dirty) patch *)
   mutable ckpt_fulls : int;
   mutable ckpt_deltas : int;
   mutable ckpt_delta_bytes : int;  (* total encoded size of delta manifests *)
@@ -134,7 +136,32 @@ let rebuild_bloom t =
     Bloom.create ~seed:t.bloom_seed ~expected:(max 1024 (2 * live)) ~fp_rate:t.bloom_fp_rate
   in
   Rid.Tbl.iter (fun rid _ -> Bloom.add bloom (Rid.to_int rid)) t.dir;
-  t.bloom <- bloom
+  t.bloom <- bloom;
+  t.bloom_stale <- 0
+
+(* Full-anchor bloom refresh: when the checkpoint's committed delta is
+   small relative to the live set and the filter is neither over capacity
+   nor carrying many dead keys, patch the existing filter from the dirty
+   rids instead of re-hashing the whole directory — O(dirty), not
+   O(live). Deleted rids stay hashed in (false positives only, counted in
+   [bloom_stale]), so the patch path keeps its own budget: once stale
+   keys or insert overrun would erode the false-positive target, the next
+   anchor falls back to the full walk and flushes them out. *)
+let refresh_bloom t ~dirty_rids =
+  let live = Rid.Tbl.length t.dir in
+  let saturated = Bloom.count t.bloom > 2 * Bloom.expected t.bloom in
+  let too_stale = t.bloom_stale * 8 > max 1024 live in
+  let small = List.length dirty_rids * 8 <= live in
+  if small && (not saturated) && not too_stale then begin
+    List.iter
+      (fun rid ->
+        let key = Rid.to_int rid in
+        if Rid.Tbl.mem t.dir rid && not (Bloom.maybe_mem t.bloom key) then
+          Bloom.add t.bloom key)
+      dirty_rids;
+    t.bloom_incr_rebuilds <- t.bloom_incr_rebuilds + 1
+  end
+  else rebuild_bloom t
 
 let phys_read t rid =
   match Rid.Tbl.find_opt t.dir rid with
@@ -156,7 +183,8 @@ let phys_delete t rid =
       Buffer_pool.with_page t.pool loc.page ~dirty:true (fun page -> Page.delete page loc.slot);
       Hashtbl.replace t.roomy_pages loc.page ();
       Rid.Tbl.remove t.dir rid;
-      t.sorted_rids <- None
+      t.sorted_rids <- None;
+      t.bloom_stale <- t.bloom_stale + 1
 
 let phys_update t rid payload =
   match Rid.Tbl.find_opt t.dir rid with
@@ -386,6 +414,11 @@ let write_ckpt t ~seq ~full record =
      flush leaves the record buffered and the dirty set intact, so the
      next attempt simply supersedes it. *)
   t.ckpt_seq <- seq + 1;
+  (* The dirty set feeds the incremental bloom refresh below, so capture
+     it before the reset. *)
+  let dirty_rids =
+    if full then Rid.Tbl.fold (fun rid () acc -> rid :: acc) t.dirty [] else []
+  in
   Rid.Tbl.reset t.dirty;
   if full then begin
     t.ckpt_fulls <- t.ckpt_fulls + 1;
@@ -394,7 +427,7 @@ let write_ckpt t ~seq ~full record =
        last record of the flush we just forced. Everything strictly below
        is superseded. *)
     Wal.retire_below t.wal ~offset:(Wal.durable_size t.wal - record_len);
-    rebuild_bloom t
+    refresh_bloom t ~dirty_rids
   end
   else begin
     t.ckpt_deltas <- t.ckpt_deltas + 1;
@@ -489,6 +522,8 @@ let counters_impl t () =
     ("bloom_fp", t.bloom_fp);
     ("bloom_bits", Bloom.bit_count t.bloom);
     ("bloom_keys", Bloom.count t.bloom);
+    ("bloom_stale_keys", t.bloom_stale);
+    ("bloom_incremental_rebuilds", t.bloom_incr_rebuilds);
   ]
   @ Commit_pipeline.counters t.pipeline
   @ Mvcc.counters t.chains
@@ -540,6 +575,8 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?io_spin ?flush_spin ?flush
       deletes = 0;
       relocations = 0;
       bloom_negatives = 0;
+      bloom_stale = 0;
+      bloom_incr_rebuilds = 0;
       bloom_fp = 0;
       ckpt_fulls = 0;
       ckpt_deltas = 0;

@@ -370,6 +370,71 @@ let maybe_present_probe () =
   Alcotest.(check bool) "most probes answered by the bloom, no lock, no page" true
     (List.assoc "bloom_negatives" (store.Store.counters ()) - negatives_before >= 400)
 
+(* Full anchors with a small committed delta patch the existing bloom
+   filter in O(dirty) instead of re-hashing the whole directory. Deleted
+   rids stay hashed in until the stale-key budget is blown, at which
+   point the next anchor falls back to the full walk and flushes them. *)
+let bloom_incremental_refresh () =
+  let counter (store : Store.t) name = List.assoc name (store.Store.counters ()) in
+  let mgr = Txn.create_mgr () in
+  let store =
+    Disk_store.ops (Disk_store.create ~mgr ~name:"incr" ~ckpt_full_every:1 ())
+  in
+  let base =
+    Array.init 2_000 (fun i -> commit_insert mgr store (Printf.sprintf "b%d" i))
+  in
+  store.Store.checkpoint ();
+  Alcotest.(check int) "first anchor walks the whole directory" 0
+    (counter store "bloom_incremental_rebuilds");
+  (* small insert deltas: each full anchor is served by a patch *)
+  let fresh = ref [] in
+  for round = 1 to 3 do
+    for i = 0 to 9 do
+      fresh := commit_insert mgr store (Printf.sprintf "r%d.%d" round i) :: !fresh
+    done;
+    store.Store.checkpoint ();
+    Alcotest.(check int) "small delta patched in place" round
+      (counter store "bloom_incremental_rebuilds")
+  done;
+  List.iter
+    (fun rid ->
+      Alcotest.(check bool) "patched rid visible to the filter" true
+        (store.Store.maybe_present rid))
+    !fresh;
+  (* deletes leave dead keys in the filter; small anchors keep patching
+     until the stale count erodes the fp budget, then one anchor re-walks *)
+  let deleted = ref [] in
+  let cursor = ref 0 in
+  let fell_back = ref false in
+  let rounds = ref 0 in
+  while (not !fell_back) && !rounds < 30 do
+    incr rounds;
+    let txn = Txn.begin_txn mgr in
+    for _ = 1 to 20 do
+      store.Store.delete txn base.(!cursor);
+      deleted := base.(!cursor) :: !deleted;
+      incr cursor
+    done;
+    Txn.commit txn;
+    let before = counter store "bloom_incremental_rebuilds" in
+    store.Store.checkpoint ();
+    if counter store "bloom_incremental_rebuilds" = before then fell_back := true
+  done;
+  Alcotest.(check bool) "stale keys eventually force the full walk" true !fell_back;
+  Alcotest.(check int) "full walk flushed the dead keys" 0
+    (counter store "bloom_stale_keys");
+  let absent =
+    List.fold_left
+      (fun n rid -> if store.Store.maybe_present rid then n else n + 1)
+      0 !deleted
+  in
+  (* definitely-absent modulo bloom false positives *)
+  Alcotest.(check bool)
+    (Printf.sprintf "deleted rids absent after rebuild (%d/%d)" absent
+       (List.length !deleted))
+    true
+    (absent * 10 >= List.length !deleted * 9)
+
 let post_event_fast_drops_absent () =
   let env = Session.create ~store:`Disk ~ckpt_full_every:1 () in
   let fired = ref 0 in
@@ -428,6 +493,8 @@ let suite =
     Alcotest.test_case "auto-checkpoint policy bounds the WAL" `Quick auto_checkpoint_policy;
     Alcotest.test_case "maybe_present: bloom-then-directory membership" `Quick
       maybe_present_probe;
+    Alcotest.test_case "bloom: full anchors patch incrementally, stale keys force rebuild"
+      `Quick bloom_incremental_refresh;
     Alcotest.test_case "post_event_fast drops postings to absent objects" `Quick
       post_event_fast_drops_absent;
   ]
